@@ -1,0 +1,122 @@
+// Figure 6 (paper §6.1): breakdown of the one-way host-to-host latency for a
+// 64-byte Nectar datagram. The paper reports ~163 us total, split roughly
+// 40% host-CAB interface (sender + receiver), 40% CAB-to-CAB, and 20% host
+// message creation/reading, with stage costs like begin_put = 8 us,
+// datalink = 18 us, "pass message" = 10 us, end_get = 20 us.
+
+#include "common.hpp"
+
+namespace nectar::bench {
+namespace {
+
+constexpr std::size_t kMsgSize = 64;
+
+struct Breakdown {
+  double host_create;      // building the message (begin_put + fill)
+  double iface_sender;     // end_put + signal + CAB wakeup + protocol send entry
+  double cab_to_cab;       // datagram protocol + datalink + wire + receive path
+  double iface_receiver;   // poll detection + begin_get
+  double host_read;        // reading the data + end_get
+  double total;
+};
+
+Breakdown measure() {
+  net::NectarSystem sys(2, /*with_vme=*/true);
+  host::HostNode h0(sys, 0), h1(sys, 1);
+  sim::TraceRecorder& tr = sys.net().trace();
+
+  core::MailboxAddr svc_addr{};
+  bool ready = false;
+  bool done = false;
+
+  // Receiver host process: polls for the message (§6.1: "the host process is
+  // polling for receipt of the message, so no interrupt or context switch is
+  // required" on the receiving side).
+  h1.host.run_process("receiver", [&] {
+    auto hm = h1.nin.create_mailbox("sink");
+    svc_addr = hm.mb->address();
+    ready = true;
+    std::vector<std::uint8_t> buf(kMsgSize);
+    core::Message m = h1.nin.begin_get_poll(hm);
+    tr.mark("host.got-message");
+    h1.nin.read_message(m, buf);
+    tr.mark("host.data-read");
+    h1.nin.end_get(hm, m);
+    tr.mark("host.read-done");
+    done = true;
+  });
+  sys.net().run_until(sim::msec(1));
+
+  // Sender host process.
+  h0.host.run_process("sender", [&] {
+    host::HostNectarPort port(h0.nin, h0.sockets, "src");
+    auto data = pattern(kMsgSize);
+    tr.mark("host.start");
+    // HostNectarPort::send_datagram = begin_put + write + end_put; we want
+    // marks between the phases, so inline the same steps here.
+    nectarine::HostNectarine::HostMailbox send{&h0.sockets.send_mailbox(), 0, 0};
+    core::Message req = h0.nin.begin_put(send, static_cast<std::uint32_t>(16 + data.size()));
+    std::vector<std::uint8_t> hdr(16);
+    proto::put32n(hdr, 0, host::SocketServer::kViaDatagram);
+    proto::put32n(hdr, 4, static_cast<std::uint32_t>(svc_addr.node));
+    proto::put32n(hdr, 8, svc_addr.index);
+    proto::put32n(hdr, 12, port.address().index);
+    tr.mark("host.msg-built");  // descriptor ready; data still to cross the bus
+    h0.nin.write_message(req, hdr);
+    h0.nin.driver().copy_to_cab(data, req.data + 16);
+    tr.mark("host.data-copied");
+    h0.nin.end_put(send, req);
+    tr.mark("host.end_put-done");
+  });
+  sys.net().run_until(sim::sec(1));
+  if (!done) throw std::runtime_error("fig6: message never delivered");
+
+  Breakdown b{};
+  sim::SimTime t0 = tr.mark_time("host.start");
+  sim::SimTime built = tr.mark_time("host.msg-built");
+  sim::SimTime copied = tr.mark_time("host.data-copied");
+  sim::SimTime posted = tr.mark_time("host.end_put-done");
+  sim::SimTime dg_deliver = tr.mark_time("datagram.deliver");
+  sim::SimTime got = tr.mark_time("host.got-message");
+  sim::SimTime data_read = tr.mark_time("host.data-read");
+  sim::SimTime read_done = tr.mark_time("host.read-done");
+
+  // Attribution: everything between the host's End_Put returning and the
+  // message landing in the destination mailbox on the far CAB is CAB work +
+  // wire (the "CAB-to-CAB latency" of §6.1); the interface buckets are the
+  // host-side VME manipulation plus the receiver's poll/Begin_Get.
+  b.host_create = sim::to_usec(built - t0);
+  b.iface_sender = sim::to_usec(posted - built);  // VME data copy + end_put/signal
+  b.cab_to_cab = sim::to_usec(dg_deliver - posted);
+  b.iface_receiver = sim::to_usec(data_read - dg_deliver);  // poll + begin_get + VME copy
+  b.host_read = sim::to_usec(read_done - data_read);
+  (void)copied;
+  (void)got;
+  b.total = sim::to_usec(read_done - t0);
+  return b;
+}
+
+}  // namespace
+}  // namespace nectar::bench
+
+int main() {
+  using namespace nectar::bench;
+  print_header("Figure 6: one-way host-to-host datagram latency breakdown (64 bytes)");
+
+  Breakdown b = measure();
+  std::printf("%-46s %8.1f us\n", "host: create message (begin_put)", b.host_create);
+  std::printf("%-46s %8.1f us\n", "host-CAB iface, sender (VME copy+end_put+signal)", b.iface_sender);
+  std::printf("%-46s %8.1f us\n", "CAB-to-CAB (wakeup + protocol + wire + deliver)", b.cab_to_cab);
+  std::printf("%-46s %8.1f us\n", "host-CAB iface, receiver (poll+begin_get+VME copy)", b.iface_receiver);
+  std::printf("%-46s %8.1f us\n", "host: release message (end_get)", b.host_read);
+  std::printf("%-46s %8.1f us   (paper: ~163 us)\n", "TOTAL one-way", b.total);
+
+  double iface = b.iface_sender + b.iface_receiver;
+  double host = b.host_create + b.host_read;
+  std::printf("\nBuckets (paper: ~40%% interface / ~40%% CAB-to-CAB / ~20%% host):\n");
+  std::printf("  host-CAB interface : %5.1f us  (%4.1f%%)\n", iface, 100 * iface / b.total);
+  std::printf("  CAB-to-CAB         : %5.1f us  (%4.1f%%)\n", b.cab_to_cab,
+              100 * b.cab_to_cab / b.total);
+  std::printf("  host processing    : %5.1f us  (%4.1f%%)\n", host, 100 * host / b.total);
+  return 0;
+}

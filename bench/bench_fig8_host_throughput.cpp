@@ -1,0 +1,177 @@
+// Figure 8 (paper §6.3): host-to-host throughput vs message size for TCP/IP
+// and RMP through the protocol engine, plus the comparison points from the
+// text: CAB-as-network-device mode (6.4 Mbit/s) and plain Ethernet
+// (7.2 Mbit/s). Paper: the curves have the same shape as Fig. 7 "but they
+// flatten earlier because the slow VME bus makes the transmission times more
+// significant"; both protocols are limited by the ~30 Mbit/s VME bus, with
+// TCP/IP peaking around 24 Mbit/s (RMP ~28).
+
+#include "common.hpp"
+
+#include "host/ethernet.hpp"
+#include "host/netdev.hpp"
+
+namespace nectar::bench {
+namespace {
+
+int messages_for(std::size_t size) {
+  if (size <= 64) return 600;
+  if (size <= 1024) return 300;
+  return 150;
+}
+
+struct HostPair {
+  net::NectarSystem sys{2, /*with_vme=*/true};
+  host::HostNode h0{sys, 0};
+  host::HostNode h1{sys, 1};
+};
+
+double host_rmp_throughput(std::size_t size) {
+  HostPair p;
+  const int n = messages_for(size);
+  core::MailboxAddr dst{};
+  bool ready = false;
+  sim::SimTime t0 = -1, t1 = -1;
+  p.h1.host.run_process("recv", [&] {
+    host::HostNectarPort port(p.h1.nin, p.h1.sockets, "sink");
+    dst = port.address();
+    ready = true;
+    std::vector<std::uint8_t> buf(size);
+    for (int i = 0; i < n; ++i) {
+      port.recv(buf);
+      if (i == 0) t0 = p.sys.engine().now();
+    }
+    t1 = p.sys.engine().now();
+  });
+  p.sys.net().run_until(sim::msec(1));
+  if (!ready) return 0;
+  p.h0.host.run_process("send", [&] {
+    host::HostNectarPort port(p.h0.nin, p.h0.sockets, "src");
+    auto data = pattern(size);
+    for (int i = 0; i < n; ++i) {
+      // Host-side pacing: poll the CAB's queue depth over the bus.
+      while (p.sys.stack(0).rmp.queued_to(1) >= 8) {
+        p.h0.host.cpu().charge_until(p.sys.net().vme(0)->programmed_access(1));
+        p.h0.host.cpu().sleep_for(sim::usec(200));
+      }
+      port.send_reliable(dst, data);
+    }
+  });
+  p.sys.net().run_until(sim::sec(60));
+  if (t1 <= t0 || t0 < 0) return 0;
+  return mbit_per_sec(static_cast<std::uint64_t>(n - 1) * size, t1 - t0);
+}
+
+double host_tcp_throughput(std::size_t size) {
+  HostPair p;
+  const int n = messages_for(size);
+  const std::uint64_t total = static_cast<std::uint64_t>(n) * size;
+  sim::SimTime t0 = -1, t1 = -1;
+  bool listening = false;
+  p.h1.host.run_process("server", [&] {
+    host::HostTcpSocket s(p.h1.nin, p.h1.sockets, p.sys.stack(1).tcp);
+    listening = true;
+    if (!s.listen(80)) return;
+    std::vector<std::uint8_t> buf(16 * 1024);
+    std::uint64_t got = 0;
+    while (got < total) {
+      std::size_t r = s.recv(buf);
+      if (r == 0) break;
+      if (t0 < 0) t0 = p.sys.engine().now();
+      got += r;
+    }
+    t1 = p.sys.engine().now();
+  });
+  p.sys.net().run_until(sim::msec(1));
+  if (!listening) return 0;
+  p.h0.host.run_process("client", [&] {
+    p.h0.host.cpu().sleep_for(sim::usec(500));
+    host::HostTcpSocket s(p.h0.nin, p.h0.sockets, p.sys.stack(0).tcp);
+    if (!s.connect(5000, proto::ip_of_node(1), 80)) return;
+    auto data = pattern(size);
+    proto::TcpConnection* c = p.sys.stack(0).tcp.find(s.conn_id());
+    for (int i = 0; i < n; ++i) {
+      // Host-side pacing: poll the connection state over the bus.
+      while (c->unacked_bytes() >= 128 * 1024) {
+        p.h0.host.cpu().charge_until(p.sys.net().vme(0)->programmed_access(1));
+        p.h0.host.cpu().sleep_for(sim::usec(200));
+      }
+      s.send(data);
+    }
+  });
+  p.sys.net().run_until(sim::sec(60));
+  if (t1 <= t0 || t0 < 0) return 0;
+  return mbit_per_sec(total, t1 - t0);
+}
+
+/// §5.1/§6.3: CAB as a plain network device, protocols on the host.
+double netdev_throughput() {
+  HostPair p;
+  host::NetDevice dev0(p.h0.nin, p.sys.net().datalink(0));
+  host::NetDevice dev1(p.h1.nin, p.sys.net().datalink(1));
+  const int n = 300;
+  const std::size_t size = host::NetDevice::kMtu;
+  sim::SimTime t0 = -1, t1 = -1;
+  int got = 0;
+  dev1.start_receiver([&](std::vector<std::uint8_t>) {
+    if (t0 < 0) t0 = p.sys.engine().now();
+    if (++got == n) t1 = p.sys.engine().now();
+  });
+  p.h0.host.run_process("send", [&] {
+    auto data = pattern(size);
+    for (int i = 0; i < n; ++i) dev0.send_packet(1, data);
+  });
+  p.sys.net().run_until(sim::sec(60));
+  if (t1 <= t0 || t0 < 0) return 0;
+  return mbit_per_sec(static_cast<std::uint64_t>(n - 1) * size, t1 - t0);
+}
+
+/// §6.3: the same hosts over their on-board Ethernet (no VME crossing).
+double ethernet_throughput() {
+  sim::Engine engine;
+  host::Host ha(engine, "hostA"), hb(engine, "hostB");
+  host::EthernetSegment ether(engine);
+  auto& nic_a = ether.attach(ha);
+  auto& nic_b = ether.attach(hb);
+  const int n = 300;
+  const std::size_t size = host::EthernetSegment::kMtu;
+  sim::SimTime t0 = -1, t1 = -1;
+  int got = 0;
+  nic_b.start_receiver([&](std::vector<std::uint8_t>) {
+    if (t0 < 0) t0 = engine.now();
+    if (++got == n) t1 = engine.now();
+  });
+  ha.run_process("send", [&] {
+    auto data = pattern(size);
+    for (int i = 0; i < n; ++i) nic_a.send(1, data);
+  });
+  engine.run();
+  if (t1 <= t0 || t0 < 0) return 0;
+  return mbit_per_sec(static_cast<std::uint64_t>(n - 1) * size, t1 - t0);
+}
+
+}  // namespace
+}  // namespace nectar::bench
+
+int main() {
+  using namespace nectar::bench;
+  print_header("Figure 8: host-to-host throughput vs message size (Mbit/s)");
+
+  std::printf("%8s %10s %10s\n", "size", "TCP/IP", "RMP");
+  for (std::size_t size : {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}) {
+    double tcp = host_tcp_throughput(size);
+    double rmp = host_rmp_throughput(size);
+    std::printf("%8zu %10.2f %10.2f\n", size, tcp, rmp);
+  }
+  std::printf("\nComparison points (paper §6.3):\n");
+  std::printf("  %-42s %6.2f Mbit/s   (paper: 6.4)\n", "CAB as network device (protocols on host)",
+              netdev_throughput());
+  std::printf("  %-42s %6.2f Mbit/s   (paper: 7.2)\n", "on-board Ethernet (bypasses VME)",
+              ethernet_throughput());
+  std::printf(
+      "\nShape checks (paper): both curves flatten earlier than Fig. 7, capped\n"
+      "by the ~30 Mbit/s VME bus; TCP/IP peaks around 24 Mbit/s, RMP ~28;\n"
+      "netdev mode is ~4x slower than the protocol engine; Ethernet beats\n"
+      "netdev mode because its interface bypasses the VME bus.\n");
+  return 0;
+}

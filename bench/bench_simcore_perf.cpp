@@ -1,0 +1,110 @@
+// Wall-clock microbenchmarks of the simulation substrate itself (google-
+// benchmark). These do NOT reproduce paper results — they measure how fast
+// the simulator runs on the build machine, which bounds how large a Nectar
+// you can simulate interactively.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cpu.hpp"
+#include "core/heap.hpp"
+#include "core/priorities.hpp"
+#include "hw/crc.hpp"
+#include "net/system.hpp"
+#include "proto/checksum.hpp"
+#include "sim/engine.hpp"
+#include "sim/fiber.hpp"
+
+namespace {
+
+void BM_EngineScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    nectar::sim::Engine e;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) e.schedule_at(i, [&sink] { ++sink; });
+    e.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleAndRun);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  nectar::sim::Fiber f([] {
+    for (;;) nectar::sim::Fiber::suspend();
+  });
+  for (auto _ : state) {
+    f.resume();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // switch in + out
+}
+BENCHMARK(BM_FiberSwitch);
+
+void BM_CpuChargeDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    nectar::sim::Engine e;
+    nectar::core::Cpu cpu(e, "cpu");
+    cpu.fork("t", nectar::core::kSystemPriority, [&cpu] {
+      for (int i = 0; i < 1000; ++i) cpu.charge(100);
+    });
+    e.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CpuChargeDispatch);
+
+void BM_HeapAllocFree(benchmark::State& state) {
+  nectar::hw::CabMemory mem;
+  nectar::core::BufferHeap heap(mem);
+  for (auto _ : state) {
+    nectar::hw::CabAddr a = heap.alloc(512);
+    heap.free(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeapAllocFree);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nectar::hw::Crc32::compute(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(1500)->Arg(8192);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nectar::proto::InternetChecksum::compute(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500)->Arg(8192);
+
+void BM_FullDatagramRoundTrip(benchmark::State& state) {
+  // Wall-clock cost of simulating one 64-byte CAB-CAB datagram round trip.
+  for (auto _ : state) {
+    nectar::net::NectarSystem sys(2);
+    auto& svc = sys.runtime(1).create_mailbox("echo");
+    auto& reply = sys.runtime(0).create_mailbox("reply");
+    sys.runtime(1).fork_system("echo", [&] {
+      nectar::core::Message m = svc.begin_get();
+      auto info = sys.stack(1).datagram.last_sender(svc);
+      sys.stack(1).datagram.send({info.src_node, info.src_mailbox}, m);
+    });
+    sys.runtime(0).fork_system("client", [&] {
+      auto& s = sys.runtime(0).create_mailbox("s");
+      nectar::core::Message m = s.begin_put(64);
+      sys.stack(0).datagram.send(svc.address(), m, true, reply.address().index);
+      nectar::core::Message r = reply.begin_get();
+      reply.end_get(r);
+    });
+    sys.engine().run();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullDatagramRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// These harnesses measure *simulated* time on the deterministic clock, so a
+// run is reproducible bit for bit; wall-clock benchmarking frameworks do not
+// apply. Each binary prints the rows/series of one table or figure from
+// Cooper et al., SIGCOMM 1990, alongside the paper's reported values.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "host/node.hpp"
+#include "net/system.hpp"
+
+namespace nectar::bench {
+
+inline std::vector<std::uint8_t> pattern(std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  return v;
+}
+
+inline double median_usec(std::vector<sim::SimTime> samples) {
+  std::sort(samples.begin(), samples.end());
+  return sim::to_usec(samples[samples.size() / 2]);
+}
+
+inline double mbit_per_sec(std::uint64_t bytes, sim::SimTime elapsed) {
+  return static_cast<double>(bytes) * 8.0 / (static_cast<double>(elapsed) / sim::kSecond) / 1e6;
+}
+
+inline core::Message stage_message(core::Mailbox& mb, core::CabRuntime& rt,
+                                   std::span<const std::uint8_t> data) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(data.size()));
+  rt.board().memory().write(m.data, data);
+  return m;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("(simulated Nectar system; see DESIGN.md for the substitution model)\n\n");
+}
+
+}  // namespace nectar::bench

@@ -1,0 +1,60 @@
+// Quickstart: the smallest complete Nectar program.
+//
+// Builds a two-node Nectar (two CABs on one 16x16 HUB), runs a CAB thread on
+// each node, and exchanges a reliable message through a network-addressed
+// mailbox — the paper's §3.3 zero-copy mailbox interface over the §4
+// reliable message protocol. Everything runs on the deterministic simulated
+// clock; the printed times are simulated microseconds.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "net/system.hpp"
+
+using namespace nectar;
+
+int main() {
+  // One HUB, two CABs, full protocol stacks, routes installed.
+  net::NectarSystem sys(/*num_cabs=*/2);
+
+  // A network-wide addressable mailbox on node 1 (§3.3).
+  core::Mailbox& inbox = sys.runtime(1).create_mailbox("greetings");
+
+  // Receiver: a CAB thread that blocks in Begin_Get until a message lands.
+  sys.runtime(1).fork_app("receiver", [&] {
+    core::Message m = inbox.begin_get();
+    std::vector<std::uint8_t> bytes(m.len);
+    sys.runtime(1).board().memory().read(m.data, bytes);
+    std::printf("[%8.1f us] node 1 received %u bytes: \"%s\"\n",
+                sim::to_usec(sys.engine().now()), m.len,
+                std::string(bytes.begin(), bytes.end()).c_str());
+    inbox.end_get(m);
+  });
+
+  // Sender: build the message in place (two-phase put) and ship it with the
+  // reliable message protocol; the buffer is freed when the ACK arrives.
+  sys.runtime(0).fork_app("sender", [&] {
+    const std::string text = "hello from the communication processor";
+    core::Mailbox& scratch = sys.runtime(0).create_mailbox("scratch");
+    core::Message m = scratch.begin_put(static_cast<std::uint32_t>(text.size()));
+    sys.runtime(0).board().memory().write(
+        m.data, std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+    std::printf("[%8.1f us] node 0 sending %zu bytes via RMP\n",
+                sim::to_usec(sys.engine().now()), text.size());
+    sys.stack(0).rmp.send(inbox.address(), m);
+    sys.stack(0).rmp.wait_acked(1);
+    std::printf("[%8.1f us] node 0 got the acknowledgment\n",
+                sim::to_usec(sys.engine().now()));
+  });
+
+  sys.engine().run();
+
+  std::printf("\nstats: rmp sent=%llu delivered=%llu retransmissions=%llu\n",
+              static_cast<unsigned long long>(sys.stack(0).rmp.messages_sent()),
+              static_cast<unsigned long long>(sys.stack(1).rmp.messages_delivered()),
+              static_cast<unsigned long long>(sys.stack(0).rmp.retransmissions()));
+  return 0;
+}

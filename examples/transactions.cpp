@@ -1,0 +1,138 @@
+// transactions: a miniature Camelot (paper §5.3).
+//
+// "Communication is a major bottleneck in the Camelot distributed
+// transaction system, so experiments are being planned to offload Camelot's
+// distributed locking and commit protocols to the CAB."
+//
+// Node 0's CAB hosts a lock server and a tiny record store; worker tasks on
+// the other CABs run read-modify-write "transactions" against shared
+// records under exclusive locks. Run it with locking on (default) and off
+// (argv[1] = "race") to watch lost updates appear when the lock manager is
+// bypassed.
+//
+//   $ ./transactions          # serialized: final balance is exact
+//   $ ./transactions race     # unlocked: lost updates likely
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "nectarine/lockmgr.hpp"
+#include "net/system.hpp"
+
+using namespace nectar;
+
+namespace {
+
+/// A record store on node 0's CAB: READ(name) -> u32, WRITE(name, u32).
+class RecordStore {
+ public:
+  static constexpr std::uint32_t kOpRead = 1;
+  static constexpr std::uint32_t kOpWrite = 2;
+
+  RecordStore(core::CabRuntime& rt, nproto::ReqResp& rr) : rt_(rt), rr_(rr),
+        svc_(rt.create_mailbox("record-store")) {
+    rt_.fork_system("record-store", [this] { loop(); });
+  }
+  core::MailboxAddr address() const { return svc_.address(); }
+
+ private:
+  void loop() {
+    hw::CabMemory& mem = rt_.board().memory();
+    for (;;) {
+      core::Message req = svc_.begin_get();
+      auto info = nproto::ReqResp::parse_request(rt_, req);
+      core::Message p = nproto::ReqResp::payload_of(req);
+      std::uint32_t result = 0;
+      if (p.len >= 8) {
+        std::uint32_t op = mem.read32(p.data);
+        std::uint32_t value = mem.read32(p.data + 4);
+        std::vector<std::uint8_t> nb(p.len - 8);
+        mem.read(p.data + 8, nb);
+        std::string name(nb.begin(), nb.end());
+        if (op == kOpWrite) records_[name] = value;
+        result = records_[name];
+      }
+      svc_.end_get(p);
+      core::Message rsp = svc_.begin_put(4);
+      mem.write32(rsp.data, result);
+      rr_.respond(info, rsp);
+    }
+  }
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& rr_;
+  core::Mailbox& svc_;
+  std::map<std::string, std::uint32_t> records_;
+};
+
+std::uint32_t store_call(core::CabRuntime& rt, nproto::ReqResp& rr, core::MailboxAddr store,
+                         std::uint32_t op, const std::string& name, std::uint32_t value) {
+  hw::CabMemory& mem = rt.board().memory();
+  core::Mailbox& scratch = rt.create_mailbox("txn-scratch");
+  core::Message req = scratch.begin_put(static_cast<std::uint32_t>(8 + name.size()));
+  mem.write32(req.data, op);
+  mem.write32(req.data + 4, value);
+  mem.write(req.data + 8, std::span<const std::uint8_t>(
+                              reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+  core::Message rsp = rr.call(store, req);
+  std::uint32_t out = rsp.len >= 4 ? mem.read32(rsp.data) : 0;
+  scratch.end_get(rsp);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool use_locks = !(argc > 1 && std::string(argv[1]) == "race");
+  constexpr int kWorkers = 3;
+  constexpr int kTxnsEach = 20;
+
+  net::NectarSystem sys(kWorkers + 1);
+  nectarine::LockServer locks(sys.runtime(0), sys.stack(0).reqresp, sys.stack(0).rmp);
+  RecordStore store(sys.runtime(0), sys.stack(0).reqresp);
+
+  std::printf("mini-Camelot: %d workers x %d transactions on record \"balance\" (%s)\n\n",
+              kWorkers, kTxnsEach, use_locks ? "with CAB lock manager" : "UNLOCKED — racy");
+
+  for (int w = 1; w <= kWorkers; ++w) {
+    sys.runtime(w).fork_app("worker", [&sys, &locks, &store, w, use_locks] {
+      core::CabRuntime& rt = sys.runtime(w);
+      nproto::ReqResp& rr = sys.stack(w).reqresp;
+      nectarine::LockClient lock(rt, rr, locks.address(), static_cast<std::uint32_t>(w));
+      for (int i = 0; i < kTxnsEach; ++i) {
+        if (use_locks) lock.acquire("balance", nectarine::LockServer::Mode::Exclusive);
+        // The read-modify-write critical section, deliberately spread over
+        // several network round trips so races have room to happen.
+        std::uint32_t v = store_call(rt, rr, store.address(), RecordStore::kOpRead, "balance", 0);
+        rt.cpu().charge(sim::usec(50));  // "business logic"
+        store_call(rt, rr, store.address(), RecordStore::kOpWrite, "balance", v + 1);
+        if (use_locks) lock.release("balance");
+      }
+    });
+  }
+  sys.net().run_until(sim::sec(60));
+
+  std::uint32_t final_balance = 0;
+  sys.runtime(0).fork_app("audit", [&] {
+    final_balance =
+        store_call(sys.runtime(0), sys.stack(0).reqresp, store.address(), RecordStore::kOpRead,
+                   "balance", 0);
+  });
+  sys.net().run_until(sim::sec(61));
+
+  int expected = kWorkers * kTxnsEach;
+  std::printf("expected balance : %d\n", expected);
+  std::printf("final balance    : %u\n", final_balance);
+  std::printf("lock grants      : %llu (queued waits: %llu)\n",
+              static_cast<unsigned long long>(locks.grants()),
+              static_cast<unsigned long long>(locks.queued_waits()));
+  if (static_cast<int>(final_balance) == expected) {
+    std::printf("\nserializable: no lost updates.\n");
+  } else {
+    std::printf("\nLOST UPDATES: %d increments vanished in the race.\n",
+                expected - static_cast<int>(final_balance));
+  }
+  return 0;
+}

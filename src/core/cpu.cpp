@@ -1,0 +1,260 @@
+#include "core/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace nectar::core {
+
+namespace {
+thread_local Cpu* g_current_cpu = nullptr;
+}
+
+Cpu* Cpu::current() { return g_current_cpu; }
+
+Cpu::Cpu(sim::Engine& engine, std::string name, sim::SimTime context_switch_cost)
+    : engine_(engine), name_(std::move(name)), switch_cost_(context_switch_cost) {
+  irq_fiber_ = std::make_unique<sim::Fiber>([this] { irq_loop(); }, name_ + ".irq");
+}
+
+Cpu::~Cpu() = default;
+
+// --- thread management -------------------------------------------------------
+
+Thread* Cpu::fork(std::string name, int priority, std::function<void()> body) {
+  auto t = std::make_unique<Thread>(*this, std::move(name), priority, std::move(body));
+  Thread* raw = t.get();
+  threads_.push_back(std::move(t));
+  run_queue_.push(raw);
+  kick();
+  return raw;
+}
+
+Thread::Thread(Cpu& cpu, std::string name, int priority, std::function<void()> body)
+    : cpu_(cpu),
+      name_(std::move(name)),
+      priority_(priority),
+      fiber_([this, body = std::move(body)] { cpu_.thread_trampoline(this, body); }, name_) {}
+
+void Cpu::thread_trampoline(Thread* t, const std::function<void()>& body) {
+  body();
+  t->state_ = Thread::State::Finished;
+  for (Thread* j : t->joiners_) wake(j);
+  t->joiners_.clear();
+  current_ = nullptr;
+  // Returning ends the fiber; dispatch() continues with the next thread.
+}
+
+void Cpu::join(Thread* t) {
+  Thread* self = current_;
+  if (self == nullptr || in_interrupt()) {
+    throw std::logic_error("Cpu::join must be called from a thread");
+  }
+  if (t->finished()) return;
+  t->joiners_.push_back(self);
+  block();
+}
+
+std::size_t Cpu::threads_alive() const {
+  return static_cast<std::size_t>(
+      std::count_if(threads_.begin(), threads_.end(),
+                    [](const auto& t) { return !t->finished(); }));
+}
+
+// --- execution ----------------------------------------------------------------
+
+void Cpu::begin_busy(sim::SimTime ns) {
+  busy_until_ = engine_.now() + ns;
+  busy_time_ += ns;
+  engine_.schedule_at(busy_until_, [this] { dispatch(); });
+}
+
+void Cpu::charge(sim::SimTime ns) {
+  assert(sim::Fiber::current() != nullptr && "charge() outside any execution context");
+  while (ns > 0) {
+    sim::SimTime slice = std::min(ns, sim::costs::kChargeSlice);
+    begin_busy(slice);
+    sim::Fiber::suspend();
+    ns -= slice;
+  }
+}
+
+void Cpu::charge_until(sim::SimTime t) {
+  sim::SimTime now = engine_.now();
+  if (t > now) charge(t - now);
+}
+
+void Cpu::yield() {
+  Thread* self = current_;
+  assert(self != nullptr && !in_interrupt() && "yield() must be called from a thread");
+  Thread* best = run_queue_.peek_best();
+  if (best == nullptr || best->priority() < self->priority()) return;
+  self->state_ = Thread::State::Ready;
+  run_queue_.push(self);
+  current_ = nullptr;
+  sim::Fiber::suspend();
+}
+
+void Cpu::block() {
+  Thread* self = current_;
+  if (self == nullptr || in_interrupt()) {
+    throw std::logic_error(name_ + ": block() outside thread context");
+  }
+  // Every new blocking episode invalidates sleep timers armed for earlier
+  // ones: a sleeper woken early must not be re-woken from a later block by
+  // its stale timer.
+  ++self->sleep_gen_;
+  self->state_ = Thread::State::Blocked;
+  current_ = nullptr;
+  sim::Fiber::suspend();
+}
+
+void Cpu::block_unmasked() {
+  Thread* self = current_;
+  if (self == nullptr || in_interrupt()) {
+    throw std::logic_error(name_ + ": block_unmasked() outside thread context");
+  }
+  assert(irq_disable_depth_ > 0 && "block_unmasked requires the interrupt mask held");
+  ++self->sleep_gen_;  // see block(): invalidates stale sleep timers
+  self->state_ = Thread::State::Blocked;
+  current_ = nullptr;
+  // Drop the mask *after* marking ourselves blocked: a pending interrupt
+  // delivered once we suspend can therefore wake us without a lost-wakeup
+  // window.
+  --irq_disable_depth_;
+  if (irq_disable_depth_ == 0 && !irq_queue_.empty()) kick();
+  sim::Fiber::suspend();
+  ++irq_disable_depth_;
+}
+
+void Cpu::wake(Thread* t) {
+  if (t->state_ != Thread::State::Blocked) return;
+  t->state_ = Thread::State::Ready;
+  run_queue_.push(t);
+  kick();
+}
+
+void Cpu::sleep_until(sim::SimTime t) {
+  Thread* self = current_;
+  if (self == nullptr || in_interrupt()) {
+    throw std::logic_error(name_ + ": sleep outside thread context");
+  }
+  // The timer is valid only for the blocking episode block() is about to
+  // begin (block() increments the generation as it parks us).
+  std::uint64_t gen = self->sleep_gen_ + 1;
+  engine_.schedule_at(t, [this, self, gen] {
+    if (self->sleep_gen_ == gen) wake(self);
+  });
+  block();
+}
+
+// --- interrupts ----------------------------------------------------------------
+
+void Cpu::post_interrupt(IrqHandler handler) {
+  irq_queue_.push_back(std::move(handler));
+  kick();
+}
+
+void Cpu::disable_interrupts() { ++irq_disable_depth_; }
+
+void Cpu::enable_interrupts() {
+  assert(irq_disable_depth_ > 0);
+  if (--irq_disable_depth_ == 0 && !irq_queue_.empty()) kick();
+}
+
+void Cpu::irq_loop() {
+  for (;;) {
+    while (!irq_queue_.empty() && irq_disable_depth_ == 0) {
+      IrqHandler h = std::move(irq_queue_.front());
+      irq_queue_.pop_front();
+      ++interrupts_taken_;
+      charge(sim::costs::kInterruptEntry);
+      h();
+      charge(sim::costs::kInterruptExit);
+    }
+    irq_active_ = false;
+    sim::Fiber::suspend();
+    irq_active_ = true;
+  }
+}
+
+Cpu::TimerId Cpu::set_timer(sim::SimTime t, std::function<void()> fn) {
+  TimerId id = next_timer_++;
+  auto timer = std::make_shared<Timer>();
+  timer->event = engine_.schedule_at(
+      t, [this, id, timer, fn = std::move(fn)]() mutable {
+        timers_.erase(id);
+        if (timer->alive) post_interrupt(std::move(fn));
+      });
+  timers_.emplace(id, timer);
+  return id;
+}
+
+void Cpu::cancel_timer(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return;
+  it->second->alive = false;
+  engine_.cancel(it->second->event);
+  timers_.erase(it);
+}
+
+// --- dispatcher ------------------------------------------------------------------
+
+void Cpu::kick() {
+  if (dispatch_scheduled_) return;
+  dispatch_scheduled_ = true;
+  engine_.schedule_in(0, [this] {
+    dispatch_scheduled_ = false;
+    dispatch();
+  });
+}
+
+void Cpu::resume_fiber(sim::Fiber& f) {
+  assert(sim::Fiber::current() == nullptr);
+  g_current_cpu = this;
+  f.resume();
+  g_current_cpu = nullptr;
+}
+
+void Cpu::dispatch() {
+  if (engine_.now() < busy_until_) return;  // mid-charge; its completion event redispatches
+  for (;;) {
+    if (switch_target_ != nullptr) {
+      // The context-switch charge has elapsed: hand the CPU over.
+      Thread* t = switch_target_;
+      switch_target_ = nullptr;
+      current_ = t;
+      t->state_ = Thread::State::Running;
+      resume_fiber(t->fiber_);
+    } else if (irq_active_ || (!irq_queue_.empty() && irq_disable_depth_ == 0)) {
+      irq_active_ = true;
+      resume_fiber(*irq_fiber_);
+    } else {
+      Thread* best = run_queue_.peek_best();
+      if (current_ != nullptr && current_->state_ == Thread::State::Running) {
+        if (best != nullptr && best->priority() > current_->priority()) {
+          // Preempt: with preemption, "a context switch occurs as soon as a
+          // higher-priority thread is awakened" (§3.1).
+          Thread* prev = current_;
+          prev->state_ = Thread::State::Ready;
+          run_queue_.push(prev);
+          current_ = nullptr;
+          ++context_switches_;
+          switch_target_ = run_queue_.pop_best();
+          begin_busy(switch_cost_);
+        } else {
+          resume_fiber(current_->fiber_);
+        }
+      } else if (best != nullptr) {
+        ++context_switches_;
+        switch_target_ = run_queue_.pop_best();
+        begin_busy(switch_cost_);
+      } else {
+        return;  // idle: wait for a wakeup or interrupt
+      }
+    }
+    if (engine_.now() < busy_until_) return;  // the running context started a charge
+  }
+}
+
+}  // namespace nectar::core

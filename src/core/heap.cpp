@@ -1,0 +1,86 @@
+#include "core/heap.hpp"
+
+#include <stdexcept>
+
+#include "core/cpu.hpp"
+
+namespace nectar::core {
+
+namespace {
+constexpr std::size_t kAlign = 8;
+constexpr std::size_t align_up(std::size_t n) { return (n + kAlign - 1) & ~(kAlign - 1); }
+}  // namespace
+
+BufferHeap::BufferHeap(hw::CabMemory& memory, hw::CabAddr base, std::size_t size)
+    : memory_(memory), base_(base), size_(size), bytes_free_(size) {
+  if (!hw::CabMemory::in_data_region(base, size)) {
+    throw std::invalid_argument("BufferHeap must live in the DMA-able data region");
+  }
+  free_.emplace(base_, size_);
+}
+
+hw::CabAddr BufferHeap::alloc(std::size_t len) {
+  std::size_t need = align_up(len ? len : 1);
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    if (it->second < need) continue;
+    hw::CabAddr addr = it->first;
+    std::size_t block = it->second;
+    free_.erase(it);
+    if (block > need) free_.emplace(addr + need, block - need);
+    allocated_.emplace(addr, need);
+    bytes_free_ -= need;
+    ++allocs_;
+    return addr;
+  }
+  ++failed_;
+  return 0;
+}
+
+void BufferHeap::free(hw::CabAddr addr) {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) throw std::logic_error("BufferHeap::free: not an allocated block");
+  std::size_t len = it->second;
+  allocated_.erase(it);
+  bytes_free_ += len;
+  ++frees_;
+
+  // Insert into the free list and coalesce with neighbours.
+  auto [pos, inserted] = free_.emplace(addr, len);
+  if (!inserted) throw std::logic_error("BufferHeap::free: double free");
+  // Coalesce with successor.
+  auto next = std::next(pos);
+  if (next != free_.end() && pos->first + pos->second == next->first) {
+    pos->second += next->second;
+    free_.erase(next);
+  }
+  // Coalesce with predecessor.
+  if (pos != free_.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->first + prev->second == pos->first) {
+      prev->second += pos->second;
+      free_.erase(pos);
+    }
+  }
+}
+
+std::size_t BufferHeap::size_of(hw::CabAddr addr) const {
+  auto it = allocated_.find(addr);
+  if (it == allocated_.end()) throw std::logic_error("BufferHeap::size_of: not allocated");
+  return it->second;
+}
+
+void BufferHeap::wait_for_space(Cpu& cpu) {
+  Thread* self = cpu.current_thread();
+  if (self == nullptr) throw std::logic_error("BufferHeap::wait_for_space: no thread");
+  space_waiters_.push_back(self);
+  cpu.block_unmasked();
+}
+
+void BufferHeap::notify_space() {
+  // Wake every waiter; they re-try their allocations (first-fit order is
+  // whoever the scheduler runs first, which is deterministic).
+  for (Thread* t : space_waiters_) t->cpu().wake(t);
+  space_waiters_.clear();
+}
+
+}  // namespace nectar::core

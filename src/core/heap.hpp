@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hw/memory.hpp"
+
+namespace nectar::core {
+
+class Cpu;
+class Thread;
+
+/// Allocator for message buffers in CAB data memory (paper §3.3: "buffer
+/// space for messages is allocated from a common heap ... better utilization
+/// of the CAB data memory since it is shared among all mailboxes").
+///
+/// First-fit free list with coalescing. Block metadata is kept host-side
+/// (the simulated SPARC's bookkeeping structures are not themselves part of
+/// any measured data path); the payload bytes live in real CAB memory.
+class BufferHeap {
+ public:
+  BufferHeap(hw::CabMemory& memory, hw::CabAddr base = hw::kDataBase,
+             std::size_t size = hw::kDataSize);
+
+  /// Allocate `len` bytes (8-byte aligned). Returns 0 when no space —
+  /// callers block and retry after notify_space().
+  hw::CabAddr alloc(std::size_t len);
+  void free(hw::CabAddr addr);
+
+  /// Size originally requested for an allocated block.
+  std::size_t size_of(hw::CabAddr addr) const;
+  bool is_allocated(hw::CabAddr addr) const { return allocated_.count(addr) > 0; }
+
+  /// Threads blocked waiting for heap space (Begin_Put with a full heap).
+  void wait_for_space(Cpu& cpu);
+  void notify_space();
+
+  std::size_t bytes_free() const { return bytes_free_; }
+  std::size_t bytes_in_use() const { return size_ - bytes_free_; }
+  std::size_t capacity() const { return size_; }
+  std::uint64_t allocs() const { return allocs_; }
+  std::uint64_t frees() const { return frees_; }
+  std::uint64_t failed_allocs() const { return failed_; }
+  std::size_t free_blocks() const { return free_.size(); }
+
+ private:
+  hw::CabMemory& memory_;
+  hw::CabAddr base_;
+  std::size_t size_;
+  std::map<hw::CabAddr, std::size_t> free_;       // addr -> block size
+  std::map<hw::CabAddr, std::size_t> allocated_;  // addr -> block size
+  std::size_t bytes_free_;
+  std::uint64_t allocs_ = 0;
+  std::uint64_t frees_ = 0;
+  std::uint64_t failed_ = 0;
+  std::vector<Thread*> space_waiters_;
+};
+
+}  // namespace nectar::core

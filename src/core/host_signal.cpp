@@ -1,0 +1,96 @@
+#include "core/host_signal.hpp"
+
+#include <stdexcept>
+
+#include "core/cpu.hpp"
+#include "core/heap.hpp"
+#include "sim/costs.hpp"
+
+namespace nectar::core {
+
+HostSignaling::HostSignaling(Cpu& cab_cpu, hw::CabMemory& memory, BufferHeap& heap)
+    : cab_cpu_(cab_cpu), memory_(memory), heap_(heap) {}
+
+HostSignaling::HostCondId HostSignaling::alloc_condition() {
+  hw::CabAddr word = heap_.alloc(4);
+  if (word == 0) throw std::runtime_error("HostSignaling: no space for condition word");
+  memory_.write32(word, 0);
+  HostCondId id = next_cond_++;
+  conditions_.emplace(id, word);
+  return id;
+}
+
+void HostSignaling::free_condition(HostCondId id) {
+  auto it = conditions_.find(id);
+  if (it == conditions_.end()) return;
+  heap_.free(it->second);
+  conditions_.erase(it);
+}
+
+hw::CabAddr HostSignaling::poll_addr(HostCondId id) const {
+  auto it = conditions_.find(id);
+  if (it == conditions_.end()) throw std::logic_error("HostSignaling: unknown condition");
+  return it->second;
+}
+
+std::uint32_t HostSignaling::poll_value(HostCondId id) const {
+  return memory_.read32(poll_addr(id));
+}
+
+void HostSignaling::signal(HostCondId id) {
+  // §3.2: "Signal increments a poll value in the host condition."
+  Cpu* c = Cpu::current();
+  if (c != nullptr) c->charge(sim::costs::kSignalQueuePost);
+  hw::CabAddr word = poll_addr(id);
+  memory_.write32(word, memory_.read32(word) + 1);
+  ++signals_sent_;
+  // "When a host condition variable is signaled, its address is placed in
+  // the host signal queue, and the host is interrupted."
+  post_to_host({kOpHostCondSignal, id, 0});
+}
+
+void HostSignaling::signal_from_host(HostCondId id) {
+  hw::CabAddr word = poll_addr(id);
+  memory_.write32(word, memory_.read32(word) + 1);
+  ++signals_sent_;
+  // A host-side signal still goes through the host signal queue so that
+  // *other* host processes blocked in the driver are woken.
+  post_to_host({kOpHostCondSignal, id, 0});
+}
+
+void HostSignaling::post_to_host(SignalElement e) {
+  host_queue_.push_back(e);
+  if (host_interrupt_) host_interrupt_();
+}
+
+std::optional<SignalElement> HostSignaling::pop_host_signal() {
+  if (host_queue_.empty()) return std::nullopt;
+  SignalElement e = host_queue_.front();
+  host_queue_.pop_front();
+  return e;
+}
+
+void HostSignaling::register_opcode(std::uint16_t opcode,
+                                    std::function<void(SignalElement)> handler) {
+  cab_handlers_[opcode] = std::move(handler);
+}
+
+void HostSignaling::post_to_cab(SignalElement e) {
+  cab_queue_.push_back(e);
+  ++cab_requests_;
+}
+
+void HostSignaling::drain_cab_queue() {
+  while (!cab_queue_.empty()) {
+    SignalElement e = cab_queue_.front();
+    cab_queue_.pop_front();
+    auto it = cab_handlers_.find(e.opcode);
+    if (it == cab_handlers_.end()) {
+      throw std::logic_error("HostSignaling: no handler for CAB opcode " +
+                             std::to_string(e.opcode));
+    }
+    it->second(e);
+  }
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hw/memory.hpp"
+
+namespace nectar::core {
+
+class Cpu;
+class BufferHeap;
+
+/// A queued signal element (paper §3.2: "fixed-size elements that consist of
+/// an opcode and a parameter"; we carry an auxiliary word for the RPC sync).
+struct SignalElement {
+  std::uint16_t opcode = 0;
+  std::uint32_t param = 0;
+  std::uint32_t aux = 0;
+};
+
+/// Opcode the CAB places in the host signal queue when a host condition is
+/// signaled; the host driver wakes the waiting processes.
+constexpr std::uint16_t kOpHostCondSignal = 1;
+
+/// Host-CAB signaling (paper §3.2).
+///
+/// * Host condition variables: poll words in CAB memory. Signal increments
+///   the poll value; Wait (host side) either polls the word over VME or
+///   blocks in the CAB device driver until the CAB interrupts the host.
+/// * Host signal queue (CAB -> host): drained by the driver's interrupt
+///   handler.
+/// * CAB signal queue (host -> CAB): drained at interrupt level on the CAB
+///   (doorbell), dispatching registered opcode handlers — this is also the
+///   transport for the simple host-to-CAB RPC facility.
+class HostSignaling {
+ public:
+  using HostCondId = std::uint32_t;
+
+  HostSignaling(Cpu& cab_cpu, hw::CabMemory& memory, BufferHeap& heap);
+
+  // --- host condition variables -------------------------------------------
+
+  /// Allocate a host condition; its poll word lives in CAB data memory.
+  HostCondId alloc_condition();
+  void free_condition(HostCondId id);
+  hw::CabAddr poll_addr(HostCondId id) const;
+
+  /// Signal from CAB context: increment the poll word, post to the host
+  /// signal queue, and interrupt the host.
+  void signal(HostCondId id);
+
+  /// Signal from the host side: the caller (host driver) has already charged
+  /// the VME write; this updates the poll word and notifies local waiters
+  /// through the same host-notify hook.
+  void signal_from_host(HostCondId id);
+
+  /// Current poll value (hosts read the word through the driver which
+  /// charges VME time; this is the raw accessor).
+  std::uint32_t poll_value(HostCondId id) const;
+
+  // --- host signal queue (CAB -> host) --------------------------------------
+
+  /// Invoked whenever the CAB wants the host's attention ("the host is
+  /// interrupted"); the host driver installs its interrupt entry here.
+  void set_host_interrupt(std::function<void()> fn) { host_interrupt_ = std::move(fn); }
+  std::optional<SignalElement> pop_host_signal();
+  std::size_t host_queue_depth() const { return host_queue_.size(); }
+
+  /// Post an arbitrary request to the host (§3.2: "this queue can also be
+  /// used by the CAB for other kinds of requests to the host, such as
+  /// invocation of host I/O and debugging facilities").
+  void post_to_host(SignalElement e);
+
+  // --- CAB signal queue (host -> CAB) ----------------------------------------
+
+  /// Register the handler for an opcode; it runs at interrupt level on the
+  /// CAB when the host rings the doorbell.
+  void register_opcode(std::uint16_t opcode, std::function<void(SignalElement)> handler);
+
+  /// Host side: enqueue a request and ring the CAB's doorbell. The caller
+  /// (host driver) charges the VME traffic.
+  void post_to_cab(SignalElement e);
+
+  /// Drain the CAB signal queue, dispatching handlers. The runtime wires
+  /// this to the doorbell interrupt.
+  void drain_cab_queue();
+
+  std::uint64_t signals_sent() const { return signals_sent_; }
+  std::uint64_t cab_requests() const { return cab_requests_; }
+
+ private:
+  Cpu& cab_cpu_;
+  hw::CabMemory& memory_;
+  BufferHeap& heap_;
+
+  std::map<HostCondId, hw::CabAddr> conditions_;
+  HostCondId next_cond_ = 1;
+
+  std::deque<SignalElement> host_queue_;
+  std::function<void()> host_interrupt_;
+
+  std::deque<SignalElement> cab_queue_;
+  std::map<std::uint16_t, std::function<void(SignalElement)>> cab_handlers_;
+
+  std::uint64_t signals_sent_ = 0;
+  std::uint64_t cab_requests_ = 0;
+};
+
+}  // namespace nectar::core

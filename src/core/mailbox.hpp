@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/heap.hpp"
+#include "hw/memory.hpp"
+
+namespace nectar::core {
+
+class Cpu;
+class Thread;
+class Mailbox;
+
+/// Network-wide mailbox address (paper §3.3): any host process or CAB thread
+/// anywhere in the Nectar network can name a mailbox by (node, index).
+struct MailboxAddr {
+  std::int32_t node = -1;   ///< CAB node id
+  std::uint32_t index = 0;  ///< per-CAB mailbox index
+  bool operator==(const MailboxAddr&) const = default;
+};
+
+/// A message under construction or consumption. The payload bytes live in
+/// real CAB data memory at [data, data+len); `block` tracks the underlying
+/// allocation so adjust operations can shrink the visible range without
+/// copying (§3.3).
+struct Message {
+  hw::CabAddr data = 0;
+  std::uint32_t len = 0;
+  hw::CabAddr block = 0;
+  std::uint32_t block_len = 0;
+  bool from_cache = false;
+  Mailbox* cache_owner = nullptr;
+
+  bool valid() const { return block != 0 || from_cache; }
+};
+
+/// Mailbox (paper §3.3): a queue of messages with a network-wide address.
+///
+/// The two-phase interface lets messages be produced and consumed *in place*
+/// in CAB memory with no copying: Begin_Put allocates and returns the data
+/// area, End_Put publishes it; Begin_Get returns the next message in place,
+/// End_Get releases it. Enqueue moves a message between mailboxes by
+/// pointer manipulation only. A reader upcall may be attached, converting a
+/// cross-thread hand-off into a local procedure call.
+///
+/// Blocking variants are for threads; interrupt handlers use the *_try
+/// forms (§3.3: "Interrupt handlers use non-blocking versions").
+class Mailbox {
+ public:
+  /// Size of the per-mailbox cached small buffer (§3.3).
+  static constexpr std::uint32_t kSmallBufSize = 128;
+
+  using Upcall = std::function<void(Mailbox&)>;
+
+  Mailbox(Cpu& home_cpu, BufferHeap& heap, std::string name, MailboxAddr addr);
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // --- writer interface ----------------------------------------------------
+
+  /// Reserve a `size`-byte data area; blocks while the heap is exhausted.
+  /// Several puts may be outstanding at once.
+  Message begin_put(std::uint32_t size);
+  /// Non-blocking variant (interrupt handlers). nullopt when out of space.
+  std::optional<Message> begin_put_try(std::uint32_t size);
+  /// Publish a message: append to the queue, wake a reader, fire the upcall.
+  void end_put(Message m);
+
+  // --- reader interface ----------------------------------------------------
+
+  /// Take the next message; blocks while the mailbox is empty. Multiple
+  /// threads may consume concurrently from one mailbox.
+  Message begin_get();
+  std::optional<Message> begin_get_try();
+  /// Release a consumed message's storage.
+  void end_get(Message m);
+
+  // --- zero-copy plumbing ---------------------------------------------------
+
+  /// Publish a held message into `dst` without copying (§3.3 Enqueue). The
+  /// message must have come from begin_put or begin_get.
+  void enqueue(Message m, Mailbox& dst);
+
+  /// Shrink the visible range in place: drop `n` bytes from the front/back
+  /// (§3.3 "adjust the size of messages in place").
+  static Message adjust_prefix(Message m, std::uint32_t n);
+  static Message adjust_suffix(Message m, std::uint32_t n);
+
+  // --- upcalls & notification ------------------------------------------------
+
+  /// Attach a reader upcall, invoked (in the publisher's context) as a side
+  /// effect of End_Put / Enqueue.
+  void set_reader_upcall(Upcall up) { upcall_ = std::move(up); }
+  bool has_upcall() const { return static_cast<bool>(upcall_); }
+
+  /// Hook fired whenever a message is published (after waking readers);
+  /// the host/CAB signaling layer uses this to signal host conditions.
+  void set_notify_hook(std::function<void()> hook) { notify_hook_ = std::move(hook); }
+
+  /// Hook fired whenever a reader takes a message (begin_get/begin_get_try);
+  /// TCP uses this to learn that receive buffering has been consumed and a
+  /// window update may be due. Must not block.
+  void set_consume_hook(std::function<void()> hook) { consume_hook_ = std::move(hook); }
+
+  // --- introspection -----------------------------------------------------------
+
+  const std::string& name() const { return name_; }
+  MailboxAddr address() const { return addr_; }
+  std::size_t queued() const { return queue_.size(); }
+  /// Total payload bytes currently published but not yet taken by a reader
+  /// (TCP derives its advertised window from this).
+  std::size_t queued_bytes() const { return queued_bytes_; }
+  bool empty() const { return queue_.empty(); }
+  Cpu& home_cpu() { return cpu_; }
+  BufferHeap& heap() { return heap_; }
+
+  std::uint64_t puts() const { return puts_; }
+  std::uint64_t gets() const { return gets_; }
+  std::uint64_t enqueues() const { return enqueues_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+
+ private:
+  std::optional<Message> alloc_message(std::uint32_t size);
+  void release_storage(const Message& m);
+  void publish(Message m, Cpu& caller);
+
+  Cpu& cpu_;  // home CPU: where the storage lives (the CAB)
+  BufferHeap& heap_;
+  std::string name_;
+  MailboxAddr addr_;
+
+  std::deque<Message> queue_;
+  std::size_t queued_bytes_ = 0;
+  std::deque<Thread*> readers_;  // threads blocked in begin_get
+
+  hw::CabAddr cache_buf_ = 0;  // lazily allocated small-message cache
+  bool cache_free_ = false;
+
+  Upcall upcall_;
+  std::function<void()> notify_hook_;
+  std::function<void()> consume_hook_;
+
+  std::uint64_t puts_ = 0;
+  std::uint64_t gets_ = 0;
+  std::uint64_t enqueues_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace nectar::core

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace nectar::core {
+
+/// Scheduling priorities (paper §3.1): "The current scheduler uses a
+/// preemptive, priority-based scheme, with system threads running at a
+/// higher priority than application threads."
+constexpr int kInterruptPriority = 100;  // implicit: the interrupt context
+constexpr int kSystemPriority = 10;      // protocol / runtime threads
+constexpr int kAppPriority = 5;          // application tasks on the CAB
+constexpr int kHostProcessPriority = 5;  // host processes (on the host CPU)
+
+}  // namespace nectar::core

@@ -1,0 +1,45 @@
+#include "core/runtime.hpp"
+
+namespace nectar::core {
+
+CabRuntime::CabRuntime(hw::CabBoard& board, sim::TraceRecorder* trace)
+    : board_(board),
+      cpu_(board.engine(), board.name() + ".cpu"),
+      heap_(board.memory()),
+      signals_(cpu_, board.memory(), heap_),
+      cab_syncs_(board.name() + ".cab-syncs"),
+      host_syncs_(board.name() + ".host-syncs"),
+      trace_(trace) {
+  // Start-of-packet interrupt: the input FIFO went non-empty (§4.1).
+  board_.set_irq_handler(hw::CabIrq::PacketArrival, [this] {
+    cpu_.post_interrupt([this] {
+      if (packet_handler_) packet_handler_();
+    });
+  });
+  // Host doorbell: drain the CAB signal queue at interrupt level (§3.2).
+  board_.set_irq_handler(hw::CabIrq::HostDoorbell, [this] {
+    cpu_.post_interrupt([this] { signals_.drain_cab_queue(); });
+  });
+  // DMA completion lines: the datalink layer passes completion lambdas to
+  // the DMA controller directly, wrapping them in post_interrupt; these
+  // default handlers exist so stray raises fail loudly in tests.
+  board_.set_irq_handler(hw::CabIrq::DmaRecvDone, [] {});
+  board_.set_irq_handler(hw::CabIrq::DmaSendDone, [] {});
+  board_.set_irq_handler(hw::CabIrq::VmeDone, [] {});
+}
+
+Mailbox& CabRuntime::create_mailbox(std::string name) {
+  std::uint32_t index = next_mailbox_++;
+  MailboxAddr addr{board_.node_id(), index};
+  auto mb = std::make_unique<Mailbox>(cpu_, heap_, std::move(name), addr);
+  Mailbox& ref = *mb;
+  mailboxes_.emplace(index, std::move(mb));
+  return ref;
+}
+
+Mailbox* CabRuntime::find_mailbox(std::uint32_t index) {
+  auto it = mailboxes_.find(index);
+  return it == mailboxes_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/cpu.hpp"
+#include "core/heap.hpp"
+#include "core/host_signal.hpp"
+#include "core/mailbox.hpp"
+#include "core/priorities.hpp"
+#include "core/sync.hpp"
+#include "hw/cab.hpp"
+#include "sim/trace.hpp"
+
+namespace nectar::core {
+
+/// The CAB runtime system (paper §3): boots on a CabBoard and provides the
+/// facilities transport protocols and CAB-resident applications are built
+/// from — preemptive priority threads, the buffer heap, mailboxes with
+/// network-wide addresses, syncs, and the host-CAB signaling layer.
+class CabRuntime {
+ public:
+  explicit CabRuntime(hw::CabBoard& board, sim::TraceRecorder* trace = nullptr);
+
+  CabRuntime(const CabRuntime&) = delete;
+  CabRuntime& operator=(const CabRuntime&) = delete;
+
+  hw::CabBoard& board() { return board_; }
+  Cpu& cpu() { return cpu_; }
+  BufferHeap& heap() { return heap_; }
+  HostSignaling& signals() { return signals_; }
+  SyncPool& cab_syncs() { return cab_syncs_; }
+  SyncPool& host_syncs() { return host_syncs_; }
+  sim::Engine& engine() { return board_.engine(); }
+  int node_id() const { return board_.node_id(); }
+
+  // --- threads ---------------------------------------------------------------
+
+  Thread* fork_system(std::string name, std::function<void()> body) {
+    return cpu_.fork(std::move(name), kSystemPriority, std::move(body));
+  }
+  Thread* fork_app(std::string name, std::function<void()> body) {
+    return cpu_.fork(std::move(name), kAppPriority, std::move(body));
+  }
+
+  // --- mailboxes ---------------------------------------------------------------
+
+  /// Create a mailbox with the next network-wide address on this CAB.
+  Mailbox& create_mailbox(std::string name);
+  /// Look up a local mailbox by its per-CAB index (transport protocols
+  /// deliver remote messages through this). nullptr if unknown.
+  Mailbox* find_mailbox(std::uint32_t index);
+  std::size_t mailbox_count() const { return mailboxes_.size(); }
+
+  // --- datalink hook --------------------------------------------------------------
+
+  /// Install the handler that runs (in interrupt context) when the input
+  /// FIFO goes non-empty — the start-of-packet interrupt (§3.1, §4.1).
+  void set_packet_handler(std::function<void()> fn) { packet_handler_ = std::move(fn); }
+
+  // --- tracing ----------------------------------------------------------------------
+
+  sim::TraceRecorder* trace() { return trace_; }
+  void trace_mark(const char* label) {
+    if (trace_ != nullptr) trace_->mark(label);
+  }
+
+ private:
+  hw::CabBoard& board_;
+  Cpu cpu_;
+  BufferHeap heap_;
+  HostSignaling signals_;
+  SyncPool cab_syncs_;
+  SyncPool host_syncs_;
+  sim::TraceRecorder* trace_;
+
+  std::map<std::uint32_t, std::unique_ptr<Mailbox>> mailboxes_;
+  std::uint32_t next_mailbox_ = 1;
+  std::function<void()> packet_handler_;
+};
+
+}  // namespace nectar::core

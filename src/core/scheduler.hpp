@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+
+namespace nectar::core {
+
+class Thread;
+
+/// Ready queue: highest priority first, FIFO within a priority level
+/// (paper §3.1: preemptive, priority-based scheduling).
+class RunQueue {
+ public:
+  void push(Thread* t);
+  /// Re-admit a preempted thread at the head of its priority level so it
+  /// continues before its round-robin peers.
+  void push_front(Thread* t);
+  Thread* pop_best();
+  Thread* peek_best() const;
+  bool remove(Thread* t);
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+ private:
+  // Key is -priority so begin() is the best level.
+  std::map<int, std::deque<Thread*>> levels_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nectar::core

@@ -1,0 +1,97 @@
+#include "core/sync.hpp"
+
+#include <stdexcept>
+
+#include "core/cpu.hpp"
+#include "sim/costs.hpp"
+
+namespace nectar::core {
+
+namespace {
+Cpu& caller() {
+  Cpu* c = Cpu::current();
+  if (c == nullptr) throw std::logic_error("sync op outside any execution context");
+  return *c;
+}
+}  // namespace
+
+SyncPool::Sync& SyncPool::get(SyncId id) {
+  auto it = syncs_.find(id);
+  if (it == syncs_.end()) throw std::logic_error(name_ + ": unknown or freed sync");
+  return it->second;
+}
+
+SyncPool::SyncId SyncPool::alloc() {
+  caller().charge(sim::costs::kSyncOp);
+  SyncId id = next_++;
+  syncs_.emplace(id, Sync{});
+  ++total_allocs_;
+  return id;
+}
+
+void SyncPool::write(SyncId id, std::uint32_t value) {
+  Cpu& c = caller();
+  // §3.4: "checking whether the sync has already been canceled and marking
+  // the sync as written must be done atomically. On the CAB this is done by
+  // masking interrupts."
+  c.charge(sim::costs::kSyncOp);
+  InterruptGuard guard(c);
+  Sync& s = get(id);
+  if (s.state == State::Canceled) {
+    syncs_.erase(id);  // Write frees a canceled sync
+    return;
+  }
+  if (s.state == State::Written) throw std::logic_error(name_ + ": double write");
+  s.state = State::Written;
+  s.value = value;
+  if (s.reader != nullptr) {
+    Thread* t = s.reader;
+    s.reader = nullptr;
+    c.charge(sim::costs::kThreadWakeup);
+    t->cpu().wake(t);
+  }
+}
+
+std::uint32_t SyncPool::read(SyncId id) {
+  Cpu& c = caller();
+  if (c.in_interrupt()) throw std::logic_error(name_ + ": blocking read in interrupt context");
+  c.charge(sim::costs::kSyncOp);
+  InterruptGuard guard(c);
+  for (;;) {
+    Sync& s = get(id);
+    if (s.state == State::Written) {
+      std::uint32_t v = s.value;
+      syncs_.erase(id);  // Read frees the sync
+      return v;
+    }
+    if (s.state == State::Canceled) throw std::logic_error(name_ + ": read of canceled sync");
+    if (s.reader != nullptr) throw std::logic_error(name_ + ": second reader on sync");
+    s.reader = c.current_thread();
+    if (s.reader == nullptr) throw std::logic_error(name_ + ": blocking read outside thread");
+    c.block_unmasked();
+  }
+}
+
+bool SyncPool::read_try(SyncId id, std::uint32_t* out) {
+  Cpu& c = caller();
+  c.charge(sim::costs::kSyncOp);
+  Sync& s = get(id);
+  if (s.state != State::Written) return false;
+  *out = s.value;
+  syncs_.erase(id);
+  return true;
+}
+
+void SyncPool::cancel(SyncId id) {
+  Cpu& c = caller();
+  c.charge(sim::costs::kSyncOp);
+  InterruptGuard guard(c);
+  Sync& s = get(id);
+  if (s.state == State::Written) {
+    syncs_.erase(id);  // Cancel frees a written sync
+    return;
+  }
+  s.state = State::Canceled;  // a subsequent Write will free it
+}
+
+}  // namespace nectar::core

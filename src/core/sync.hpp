@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace nectar::core {
+
+class Thread;
+
+/// Lightweight synchronization (paper §3.4): a sync carries a single one-word
+/// value from a writer to one asynchronous reader — cheaper than a mailbox
+/// when all that is needed is "a condition variable and a shared word".
+/// Operations are Alloc, Write, Read, and Cancel, with the paper's exact
+/// free-on-read / free-on-write-after-cancel lifecycle.
+///
+/// Host processes and CAB threads allocate from *separate pools* so no
+/// cross-bus locking is needed for allocation (§3.4).
+class SyncPool {
+ public:
+  using SyncId = std::uint32_t;
+
+  explicit SyncPool(std::string name) : name_(std::move(name)) {}
+
+  /// Alloc: create a new sync in the Empty state.
+  SyncId alloc();
+
+  /// Write: deposit `value` and mark written; wakes a blocked reader. If the
+  /// sync was canceled, it is freed instead (§3.4).
+  void write(SyncId id, std::uint32_t value);
+
+  /// Read: block until written, then free the sync and return its value.
+  std::uint32_t read(SyncId id);
+
+  /// Non-blocking poll: returns true and frees the sync if it was written.
+  /// (Host processes poll syncs over the VME bus.)
+  bool read_try(SyncId id, std::uint32_t* out);
+
+  /// Cancel: the reader is no longer interested. Frees immediately if
+  /// already written; otherwise marks canceled so a later Write frees it.
+  void cancel(SyncId id);
+
+  const std::string& name() const { return name_; }
+  std::size_t live() const { return syncs_.size(); }
+  std::uint64_t total_allocs() const { return total_allocs_; }
+
+ private:
+  enum class State : std::uint8_t { Empty, Written, Canceled };
+  struct Sync {
+    State state = State::Empty;
+    std::uint32_t value = 0;
+    Thread* reader = nullptr;
+  };
+
+  Sync& get(SyncId id);
+
+  std::string name_;
+  std::map<SyncId, Sync> syncs_;
+  SyncId next_ = 1;
+  std::uint64_t total_allocs_ = 0;
+};
+
+}  // namespace nectar::core

@@ -1,0 +1,72 @@
+#include "core/thread.hpp"
+
+#include <cassert>
+
+#include "core/cpu.hpp"
+#include "sim/costs.hpp"
+
+namespace nectar::core {
+
+void Mutex::lock() {
+  Thread* self = cpu_.current_thread();
+  assert(self != nullptr && !cpu_.in_interrupt() &&
+         "Mutex is a thread-level primitive; interrupt handlers must use "
+         "interrupt masking instead (paper §3.1)");
+  cpu_.charge(sim::costs::kLockOp);
+  while (owner_ != nullptr) {
+    waiters_.push_back(self);
+    cpu_.block();
+  }
+  owner_ = self;
+}
+
+bool Mutex::try_lock() {
+  Thread* self = cpu_.current_thread();
+  assert(self != nullptr && !cpu_.in_interrupt());
+  cpu_.charge(sim::costs::kLockOp);
+  if (owner_ != nullptr) return false;
+  owner_ = self;
+  return true;
+}
+
+void Mutex::unlock() {
+  assert(owner_ == cpu_.current_thread() && "unlock by non-owner");
+  cpu_.charge(sim::costs::kLockOp);
+  owner_ = nullptr;
+  if (!waiters_.empty()) {
+    Thread* next = waiters_.front();
+    waiters_.pop_front();
+    cpu_.charge(sim::costs::kThreadWakeup);
+    cpu_.wake(next);
+  }
+}
+
+void CondVar::wait(Mutex& m) {
+  Thread* self = cpu_.current_thread();
+  assert(self != nullptr && !cpu_.in_interrupt());
+  waiters_.push_back(self);
+  m.unlock();
+  cpu_.block();
+  m.lock();
+}
+
+void CondVar::signal() {
+  cpu_.charge(sim::costs::kCondSignal);
+  if (waiters_.empty()) return;
+  Thread* t = waiters_.front();
+  waiters_.pop_front();
+  cpu_.charge(sim::costs::kThreadWakeup);
+  cpu_.wake(t);
+}
+
+void CondVar::broadcast() {
+  cpu_.charge(sim::costs::kCondSignal);
+  while (!waiters_.empty()) {
+    Thread* t = waiters_.front();
+    waiters_.pop_front();
+    cpu_.charge(sim::costs::kThreadWakeup);
+    cpu_.wake(t);
+  }
+}
+
+}  // namespace nectar::core

@@ -1,0 +1,42 @@
+#include "host/console.hpp"
+
+namespace nectar::host {
+
+HostConsole::HostConsole(CabDriver& driver)
+    : driver_(driver), buffers_(driver.cab().create_mailbox("console")) {
+  // Host side: the driver's interrupt handler pulls the text across the bus
+  // and acknowledges so the CAB can free the buffer.
+  driver_.register_host_opcode(kOpWrite, [this](core::SignalElement e) {
+    std::vector<std::uint8_t> text(e.aux);
+    driver_.read_block(e.param, text);
+    bytes_ += text.size();
+    std::string line(text.begin(), text.end());
+    if (sink_) {
+      sink_(std::move(line));
+    } else {
+      lines_.push_back(std::move(line));
+    }
+    driver_.post_to_cab({kOpWriteDone, e.param, 0});
+  });
+  // CAB side: completion frees the buffer (interrupt level).
+  driver_.cab().signals().register_opcode(kOpWriteDone, [this](core::SignalElement e) {
+    auto it = outstanding_.find(e.param);
+    if (it == outstanding_.end()) return;
+    core::Message m = it->second;
+    outstanding_.erase(it);
+    buffers_.end_get(m);
+  });
+}
+
+void HostConsole::print_from_cab(const std::string& text) {
+  core::CabRuntime& rt = driver_.cab();
+  core::Message m = buffers_.begin_put(static_cast<std::uint32_t>(text.size()));
+  rt.cpu().charge(static_cast<sim::SimTime>(text.size()) * sim::costs::kCabCopyPerByte);
+  rt.board().memory().write(
+      m.data, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(text.data()),
+                                            text.size()));
+  outstanding_[m.data] = m;
+  rt.signals().post_to_host({kOpWrite, m.data, static_cast<std::uint32_t>(m.len)});
+}
+
+}  // namespace nectar::host

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "host/driver.hpp"
+
+namespace nectar::host {
+
+/// Host console / debugging facility (paper §3.2: the host signal queue
+/// "can also be used by the CAB for other kinds of requests to the host,
+/// such as invocation of host I/O and debugging facilities").
+///
+/// CAB threads print lines through the host: the text is built in CAB
+/// memory, its address posted on the host signal queue; the host's driver
+/// interrupt reads it across the bus into the sink, then posts a completion
+/// back so the CAB frees the buffer — the full round trip of a 1990-style
+/// cross-processor printf.
+class HostConsole {
+ public:
+  static constexpr std::uint16_t kOpWrite = 50;      ///< CAB->host: param=addr, aux=len
+  static constexpr std::uint16_t kOpWriteDone = 51;  ///< host->CAB: param=addr
+
+  explicit HostConsole(CabDriver& driver);
+
+  HostConsole(const HostConsole&) = delete;
+  HostConsole& operator=(const HostConsole&) = delete;
+
+  /// Where host-side output goes (defaults to collecting in `lines()`).
+  void set_sink(std::function<void(std::string)> sink) { sink_ = std::move(sink); }
+
+  /// CAB-side printf: call from a CAB thread. Blocks only for buffer space.
+  void print_from_cab(const std::string& text);
+
+  const std::vector<std::string>& lines() const { return lines_; }
+  std::uint64_t bytes_printed() const { return bytes_; }
+
+ private:
+  CabDriver& driver_;
+  core::Mailbox& buffers_;
+  std::map<hw::CabAddr, core::Message> outstanding_;
+  std::function<void(std::string)> sink_;
+  std::vector<std::string> lines_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace nectar::host

@@ -1,0 +1,77 @@
+#include "host/ethernet.hpp"
+
+#include <stdexcept>
+
+namespace nectar::host {
+
+namespace costs = sim::costs;
+
+EthernetSegment::Nic::Nic(EthernetSegment& seg, Host& host, int station)
+    : seg_(seg), host_(host), station_(station) {}
+
+EthernetSegment::Nic& EthernetSegment::attach(Host& host) {
+  nics_.push_back(std::make_unique<Nic>(*this, host, static_cast<int>(nics_.size())));
+  return *nics_.back();
+}
+
+void EthernetSegment::Nic::send(int dst_station, std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMtu) throw std::invalid_argument("Ethernet: frame exceeds MTU");
+  core::Cpu& cpu = host_.cpu();
+  // Same host protocol stack as netdev mode, but no VME crossing: the NIC
+  // DMA reads straight from host memory.
+  cpu.charge(costs::kHostStackPerPacket);
+  cpu.charge(static_cast<sim::SimTime>(payload.size()) * costs::kHostCopyPerByte);
+  cpu.charge(costs::kEthernetPerPacket);
+  ++tx_;
+  seg_.transmit(dst_station, std::vector<std::uint8_t>(payload.begin(), payload.end()));
+}
+
+void EthernetSegment::transmit(int dst_station, std::vector<std::uint8_t> frame) {
+  if (dst_station < 0 || static_cast<std::size_t>(dst_station) >= nics_.size()) {
+    throw std::out_of_range("Ethernet: no such station");
+  }
+  // Shared medium: one frame at a time (no collision modeling; the paper's
+  // measurement is a two-host stream on a quiet segment).
+  sim::SimTime start = std::max(engine_.now(), busy_until_);
+  sim::SimTime ttime =
+      sim::transmit_time(static_cast<std::int64_t>(frame.size() + 18), costs::kEthernetBitsPerSec);
+  busy_until_ = start + ttime;
+  Nic* dst = nics_[static_cast<std::size_t>(dst_station)].get();
+  engine_.schedule_at(busy_until_, [dst, frame = std::move(frame)]() mutable {
+    dst->deliver(std::move(frame));
+  });
+}
+
+void EthernetSegment::Nic::deliver(std::vector<std::uint8_t> frame) {
+  rx_queue_.push_back(std::move(frame));
+  if (rx_waiter_ != nullptr) {
+    core::Thread* t = rx_waiter_;
+    rx_waiter_ = nullptr;
+    host_.cpu().wake(t);
+  }
+}
+
+void EthernetSegment::Nic::start_receiver(
+    std::function<void(std::vector<std::uint8_t>)> handler) {
+  host_.run_process("ether-input", [this, handler = std::move(handler)] {
+    core::Cpu& cpu = host_.cpu();
+    for (;;) {
+      {
+        core::InterruptGuard g(cpu);
+        while (rx_queue_.empty()) {
+          rx_waiter_ = cpu.current_thread();
+          cpu.block_unmasked();
+        }
+      }
+      std::vector<std::uint8_t> frame = std::move(rx_queue_.front());
+      rx_queue_.pop_front();
+      ++rx_;
+      cpu.charge(costs::kHostInterrupt);
+      cpu.charge(costs::kHostStackPerPacket);
+      cpu.charge(static_cast<sim::SimTime>(frame.size()) * costs::kHostCopyPerByte);
+      handler(std::move(frame));
+    }
+  });
+}
+
+}  // namespace nectar::host

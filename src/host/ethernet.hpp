@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "host/process.hpp"
+
+namespace nectar::host {
+
+/// The comparison interface of §6.3: a conventional 10 Mbit/s on-board
+/// Ethernet. It bypasses the VME bus entirely (the NIC sits on the CPU
+/// board), which is why the paper's hosts did *better* over Ethernet
+/// (7.2 Mbit/s) than over Nectar-as-network-device (6.4 Mbit/s).
+class EthernetSegment {
+ public:
+  static constexpr std::size_t kMtu = 1500;
+
+  explicit EthernetSegment(sim::Engine& engine) : engine_(engine) {}
+
+  class Nic {
+   public:
+    Nic(EthernetSegment& seg, Host& host, int station);
+
+    int station() const { return station_; }
+    Host& host() { return host_; }
+
+    /// Transmit from a host process: host protocol stack + copy charged,
+    /// then the frame serializes onto the shared segment.
+    void send(int dst_station, std::span<const std::uint8_t> payload);
+
+    /// Deliver received frames to `handler` in a host process context.
+    void start_receiver(std::function<void(std::vector<std::uint8_t>)> handler);
+
+    std::uint64_t frames_sent() const { return tx_; }
+    std::uint64_t frames_received() const { return rx_; }
+
+   private:
+    friend class EthernetSegment;
+    void deliver(std::vector<std::uint8_t> frame);
+
+    EthernetSegment& seg_;
+    Host& host_;
+    int station_;
+    std::deque<std::vector<std::uint8_t>> rx_queue_;
+    core::Thread* rx_waiter_ = nullptr;
+    std::uint64_t tx_ = 0;
+    std::uint64_t rx_ = 0;
+  };
+
+  Nic& attach(Host& host);
+
+ private:
+  friend class Nic;
+  void transmit(int dst_station, std::vector<std::uint8_t> frame);
+
+  sim::Engine& engine_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  sim::SimTime busy_until_ = 0;  // shared medium
+};
+
+}  // namespace nectar::host

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "host/driver.hpp"
+#include "host/netdev.hpp"
+#include "host/process.hpp"
+#include "host/sockets.hpp"
+#include "nectarine/nectarine.hpp"
+#include "net/system.hpp"
+
+namespace nectar::host {
+
+/// One complete Nectar installation seat: a workstation host, its CAB (from
+/// a NectarSystem built with VME buses), the device driver, Nectarine, the
+/// CAB-side services, and the protocol-engine socket server. This is the
+/// configuration the paper's Table 1 / Fig. 6 / Fig. 8 host measurements ran
+/// on.
+struct HostNode {
+  Host host;
+  CabDriver driver;
+  nectarine::HostNectarine nin;
+  nectarine::CabServices services;
+  SocketServer sockets;
+
+  HostNode(net::NectarSystem& sys, int node)
+      : host(sys.engine(), "host" + std::to_string(node)),
+        driver(host, sys.runtime(node)),
+        nin(driver),
+        services(sys.runtime(node), sys.stack(node).reqresp),
+        sockets(sys.runtime(node), sys.stack(node).tcp, sys.stack(node).datagram,
+                sys.stack(node).rmp, &sys.stack(node).udp, &sys.stack(node).reqresp) {}
+};
+
+}  // namespace nectar::host

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <string>
+
+#include "core/cpu.hpp"
+#include "core/priorities.hpp"
+#include "sim/costs.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::host {
+
+/// A workstation host (Sun-4 class in the paper's testbed). Host "processes"
+/// are threads on the host CPU; the host side of the Nectar software —
+/// the CAB device driver, Nectarine, the socket emulation — runs here and
+/// reaches CAB memory only across the VME bus.
+class Host {
+ public:
+  Host(sim::Engine& engine, std::string name)
+      : name_(std::move(name)),
+        cpu_(engine, name_ + ".cpu", sim::costs::kHostContextSwitch) {}
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const { return name_; }
+  core::Cpu& cpu() { return cpu_; }
+
+  /// Start a user process.
+  core::Thread* run_process(std::string pname, std::function<void()> body) {
+    return cpu_.fork(std::move(pname), core::kHostProcessPriority, std::move(body));
+  }
+
+ private:
+  std::string name_;
+  core::Cpu cpu_;
+};
+
+}  // namespace nectar::host

@@ -1,0 +1,257 @@
+#include "host/sockets.hpp"
+
+#include <stdexcept>
+
+namespace nectar::host {
+
+namespace costs = sim::costs;
+
+// --- SocketServer (CAB side) ---------------------------------------------------
+
+SocketServer::SocketServer(core::CabRuntime& rt, proto::Tcp& tcp,
+                           nproto::DatagramProtocol& datagram, nproto::Rmp& rmp, proto::Udp* udp,
+                           nproto::ReqResp* reqresp)
+    : rt_(rt),
+      tcp_(tcp),
+      datagram_(datagram),
+      rmp_(rmp),
+      udp_(udp),
+      reqresp_(reqresp),
+      control_(rt.create_mailbox("socket-control")),
+      send_(rt.create_mailbox("nectar-send-request")) {
+  rt_.fork_system("socket-control", [this] { control_loop(); });
+  rt_.fork_system("nectar-send", [this] { send_loop(); });
+}
+
+void SocketServer::control_loop() {
+  hw::CabMemory& mem = rt_.board().memory();
+  for (;;) {
+    core::Message m = control_.begin_get();
+    if (m.len < 8) {
+      control_.end_get(m);
+      continue;
+    }
+    ++control_requests_;
+    std::uint32_t sync = mem.read32(m.data);
+    std::uint32_t kind = mem.read32(m.data + 4);
+    std::uint32_t a = m.len >= 12 ? mem.read32(m.data + 8) : 0;
+    std::uint32_t b = m.len >= 16 ? mem.read32(m.data + 12) : 0;
+    std::uint32_t c = m.len >= 20 ? mem.read32(m.data + 16) : 0;
+    control_.end_get(m);
+
+    std::uint32_t result = 0;
+    switch (kind) {
+      case kConnect: {
+        proto::TcpConnection* conn =
+            tcp_.connect(static_cast<std::uint16_t>(a), b, static_cast<std::uint16_t>(c));
+        result = conn->id();
+        break;
+      }
+      case kListen: {
+        proto::TcpConnection* conn = tcp_.listen(static_cast<std::uint16_t>(a));
+        result = conn->id();
+        break;
+      }
+      case kWait: {
+        proto::TcpConnection* conn = tcp_.find(a);
+        result = (conn != nullptr && tcp_.wait_established(conn)) ? 1 : 0;
+        break;
+      }
+      case kClose: {
+        proto::TcpConnection* conn = tcp_.find(a);
+        if (conn != nullptr) tcp_.close(conn);
+        result = 1;
+        break;
+      }
+      default:
+        break;
+    }
+    rt_.host_syncs().write(sync, result);
+  }
+}
+
+void SocketServer::send_loop() {
+  hw::CabMemory& mem = rt_.board().memory();
+  for (;;) {
+    core::Message m = send_.begin_get();
+    if (m.len < 16) {
+      send_.end_get(m);
+      continue;
+    }
+    ++send_requests_;
+    std::uint32_t proto = mem.read32(m.data);
+    std::int32_t node = static_cast<std::int32_t>(mem.read32(m.data + 4));
+    std::uint32_t index = mem.read32(m.data + 8);
+    std::uint32_t src_mailbox = mem.read32(m.data + 12);
+    core::Message payload = core::Mailbox::adjust_prefix(m, 16);
+    if (proto == kViaRmp) {
+      rmp_.send({node, index}, payload, /*free_when_acked=*/true);
+    } else if (proto == kViaUdp && udp_ != nullptr) {
+      std::uint16_t dst_port = static_cast<std::uint16_t>(index >> 16);
+      std::uint16_t src_port = static_cast<std::uint16_t>(index & 0xFFFF);
+      udp_->send(src_port, static_cast<proto::IpAddr>(node), dst_port, payload, true);
+    } else if (proto == kViaRespond && reqresp_ != nullptr) {
+      nproto::ReqResp::RequestInfo info;
+      info.client_node = node;
+      info.reply_mailbox = index;
+      info.xid = static_cast<std::uint16_t>(src_mailbox);
+      reqresp_->respond(info, payload);
+    } else {
+      datagram_.send({node, index}, payload, /*free_when_sent=*/true, src_mailbox);
+    }
+  }
+}
+
+// --- HostTcpSocket ------------------------------------------------------------------
+
+HostTcpSocket::HostTcpSocket(nectarine::HostNectarine& nin, SocketServer& server, proto::Tcp& tcp)
+    : nin_(nin), server_(server), tcp_(tcp) {
+  send_req_ = nectarine::HostNectarine::HostMailbox{&tcp_.send_request_mailbox(), 0, 0};
+}
+
+std::uint32_t HostTcpSocket::control(std::uint32_t kind, std::uint32_t a, std::uint32_t b,
+                                     std::uint32_t c) {
+  core::Cpu& cpu = nin_.driver().host().cpu();
+  core::SyncPool::SyncId sync = nin_.cab().host_syncs().alloc();
+  nectarine::HostNectarine::HostMailbox ctl{&server_.control_mailbox(), 0, 0};
+  core::Message req = nin_.begin_put(ctl, 20);
+  std::vector<std::uint8_t> buf(20);
+  proto::put32n(buf, 0, sync);
+  proto::put32n(buf, 4, kind);
+  proto::put32n(buf, 8, a);
+  proto::put32n(buf, 12, b);
+  proto::put32n(buf, 16, c);
+  nin_.write_message(req, buf);
+  nin_.end_put(ctl, req);
+  std::uint32_t result = 0;
+  for (;;) {
+    cpu.charge_until(nin_.cab().board().vme()->programmed_access(1));
+    if (nin_.cab().host_syncs().read_try(sync, &result)) return result;
+    cpu.charge(costs::kHostPollLoop);
+  }
+}
+
+bool HostTcpSocket::connect(std::uint16_t local_port, proto::IpAddr dst, std::uint16_t dst_port) {
+  conn_id_ = control(SocketServer::kConnect, local_port, dst, dst_port);
+  if (conn_id_ == 0) return false;
+  proto::TcpConnection* conn = tcp_.find(conn_id_);
+  rx_ = nin_.attach(conn->receive_mailbox());
+  rx_attached_ = true;
+  return control(SocketServer::kWait, conn_id_) == 1;
+}
+
+bool HostTcpSocket::listen(std::uint16_t port) {
+  conn_id_ = control(SocketServer::kListen, port);
+  if (conn_id_ == 0) return false;
+  proto::TcpConnection* conn = tcp_.find(conn_id_);
+  rx_ = nin_.attach(conn->receive_mailbox());
+  rx_attached_ = true;
+  return control(SocketServer::kWait, conn_id_) == 1;
+}
+
+void HostTcpSocket::send(std::span<const std::uint8_t> data) {
+  // §4.2 inline path: request header + payload placed in the send-request
+  // mailbox; the TCP send thread transmits in place.
+  core::Message req = nin_.begin_put(send_req_, static_cast<std::uint32_t>(16 + data.size()));
+  std::vector<std::uint8_t> hdr(16);
+  proto::put32n(hdr, 0, conn_id_);
+  proto::put32n(hdr, 4, proto::Tcp::kSendReqInline);
+  nin_.write_message(req, hdr);
+  // Payload goes straight after the header (bulk via VME DMA).
+  nin_.driver().copy_to_cab(data, req.data + 16);
+  nin_.end_put(send_req_, req);
+}
+
+std::size_t HostTcpSocket::recv(std::span<std::uint8_t> out, bool poll) {
+  if (!rx_attached_) throw std::logic_error("HostTcpSocket::recv before connect/listen");
+  core::Message m = poll ? nin_.begin_get_poll(rx_) : nin_.begin_get_block(rx_);
+  if (m.len == 0) {
+    nin_.end_get(rx_, m);
+    return 0;  // end of stream
+  }
+  if (m.len > out.size()) throw std::logic_error("HostTcpSocket::recv: buffer too small");
+  nin_.read_message(m, out.first(m.len));
+  std::size_t n = m.len;
+  nin_.end_get(rx_, m);
+  return n;
+}
+
+void HostTcpSocket::close() {
+  if (conn_id_ != 0) control(SocketServer::kClose, conn_id_);
+}
+
+// --- HostNectarPort ------------------------------------------------------------------------
+
+HostNectarPort::HostNectarPort(nectarine::HostNectarine& nin, SocketServer& server,
+                               const std::string& name)
+    : nin_(nin), server_(server), rx_(nin.create_mailbox(name)) {
+  send_ = nectarine::HostNectarine::HostMailbox{&server_.send_mailbox(), 0, 0};
+}
+
+void HostNectarPort::send_via(std::uint32_t proto, core::MailboxAddr dst,
+                              std::span<const std::uint8_t> data, std::uint32_t src_field) {
+  core::Message req = nin_.begin_put(send_, static_cast<std::uint32_t>(16 + data.size()));
+  std::vector<std::uint8_t> hdr(16);
+  proto::put32n(hdr, 0, proto);
+  proto::put32n(hdr, 4, static_cast<std::uint32_t>(dst.node));
+  proto::put32n(hdr, 8, dst.index);
+  proto::put32n(hdr, 12, src_field);
+  nin_.write_message(req, hdr);
+  nin_.driver().copy_to_cab(data, req.data + 16);
+  nin_.end_put(send_, req);
+}
+
+void HostNectarPort::send_datagram(core::MailboxAddr dst, std::span<const std::uint8_t> data) {
+  send_via(SocketServer::kViaDatagram, dst, data, rx_.mb->address().index);
+}
+
+void HostNectarPort::send_reliable(core::MailboxAddr dst, std::span<const std::uint8_t> data) {
+  send_via(SocketServer::kViaRmp, dst, data, rx_.mb->address().index);
+}
+
+nproto::ReqResp::RequestInfo HostNectarPort::parse_request(std::span<const std::uint8_t> raw) {
+  proto::NectarHeader h = proto::NectarHeader::parse(raw);
+  nproto::ReqResp::RequestInfo info;
+  info.client_node = h.src_node;
+  info.reply_mailbox = h.src_mailbox;
+  info.xid = h.seq;
+  return info;
+}
+
+void HostNectarPort::respond(const nproto::ReqResp::RequestInfo& info,
+                             std::span<const std::uint8_t> data) {
+  send_via(SocketServer::kViaRespond,
+           {info.client_node, info.reply_mailbox}, data, info.xid);
+}
+
+std::size_t HostNectarPort::recv(std::span<std::uint8_t> out, bool poll) {
+  core::Message m = poll ? nin_.begin_get_poll(rx_) : nin_.begin_get_block(rx_);
+  if (m.len > out.size()) throw std::logic_error("HostNectarPort::recv: buffer too small");
+  nin_.read_message(m, out.first(m.len));
+  std::size_t n = m.len;
+  nin_.end_get(rx_, m);
+  return n;
+}
+
+void HostNectarPort::bind_udp(proto::Udp& udp, std::uint16_t port) {
+  udp.bind(port, rx_.mb);
+}
+
+void HostNectarPort::send_udp(proto::IpAddr dst, std::uint16_t dst_port, std::uint16_t src_port,
+                              std::span<const std::uint8_t> data) {
+  core::MailboxAddr pseudo{static_cast<std::int32_t>(dst),
+                           (static_cast<std::uint32_t>(dst_port) << 16) | src_port};
+  send_via(SocketServer::kViaUdp, pseudo, data, rx_.mb->address().index);
+}
+
+std::size_t HostNectarPort::recv_udp(std::span<std::uint8_t> out, bool poll) {
+  core::Message m = poll ? nin_.begin_get_poll(rx_) : nin_.begin_get_block(rx_);
+  core::Message payload = proto::Udp::payload_of(m);
+  if (payload.len > out.size()) throw std::logic_error("recv_udp: buffer too small");
+  nin_.read_message(payload, out.first(payload.len));
+  std::size_t n = payload.len;
+  nin_.end_get(rx_, payload);
+  return n;
+}
+
+}  // namespace nectar::host

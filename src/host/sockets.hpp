@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nectarine/nectarine.hpp"
+#include "proto/tcp.hpp"
+#include "proto/udp.hpp"
+
+namespace nectar::host {
+
+/// CAB-side socket/transport server (protocol-engine usage level, §5.2):
+/// host processes cannot execute CAB code, so connection control (connect,
+/// listen, close) and Nectar-protocol sends arrive as requests in mailboxes
+/// serviced by CAB threads — the same pattern as TCP's send-request mailbox.
+class SocketServer {
+ public:
+  // Request kinds for the control mailbox ([u32 sync][u32 kind][args...]).
+  static constexpr std::uint32_t kConnect = 1;  // args: lport, raddr, rport
+  static constexpr std::uint32_t kListen = 2;   // args: lport
+  static constexpr std::uint32_t kWait = 3;     // args: conn id -> 1 established
+  static constexpr std::uint32_t kClose = 4;    // args: conn id
+
+  // Protocols for the send mailbox ([u32 proto][u32 node][u32 index]
+  // [u32 src_mailbox][payload]). For kViaUdp the fields are reinterpreted:
+  // node = destination IP address, index = (dst_port<<16)|src_port.
+  static constexpr std::uint32_t kViaDatagram = 0;
+  static constexpr std::uint32_t kViaRmp = 1;
+  static constexpr std::uint32_t kViaUdp = 2;
+  /// Request-response reply on behalf of a host-resident server: fields are
+  /// node = client node, index = reply mailbox, src_mailbox = xid.
+  static constexpr std::uint32_t kViaRespond = 3;
+
+  SocketServer(core::CabRuntime& rt, proto::Tcp& tcp, nproto::DatagramProtocol& datagram,
+               nproto::Rmp& rmp, proto::Udp* udp = nullptr, nproto::ReqResp* reqresp = nullptr);
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  core::Mailbox& control_mailbox() { return control_; }
+  core::Mailbox& send_mailbox() { return send_; }
+
+  std::uint64_t control_requests() const { return control_requests_; }
+  std::uint64_t send_requests() const { return send_requests_; }
+
+ private:
+  void control_loop();
+  void send_loop();
+
+  core::CabRuntime& rt_;
+  proto::Tcp& tcp_;
+  nproto::DatagramProtocol& datagram_;
+  nproto::Rmp& rmp_;
+  proto::Udp* udp_;
+  nproto::ReqResp* reqresp_;
+  core::Mailbox& control_;
+  core::Mailbox& send_;
+  std::uint64_t control_requests_ = 0;
+  std::uint64_t send_requests_ = 0;
+};
+
+/// Host-side Berkeley-socket-style stream over the CAB-resident TCP (§5.2:
+/// "The familiar Berkeley socket interface is also being implemented at this
+/// level ... an emulation library ... for applications that can be
+/// re-linked").
+class HostTcpSocket {
+ public:
+  HostTcpSocket(nectarine::HostNectarine& nin, SocketServer& server, proto::Tcp& tcp);
+
+  /// Active open; blocks until established. Returns false on failure/reset.
+  bool connect(std::uint16_t local_port, proto::IpAddr dst, std::uint16_t dst_port);
+  /// Passive open; blocks until a peer connects.
+  bool listen(std::uint16_t port);
+
+  /// Stream send: data crosses the VME bus into the send-request mailbox
+  /// (inline payload) and is transmitted by the CAB's TCP.
+  void send(std::span<const std::uint8_t> data);
+
+  /// Receive the next in-order chunk into `out`; returns bytes read, 0 on
+  /// end-of-stream. `out` must be at least one MSS.
+  std::size_t recv(std::span<std::uint8_t> out, bool poll = true);
+
+  void close();
+  std::uint32_t conn_id() const { return conn_id_; }
+
+ private:
+  std::uint32_t control(std::uint32_t kind, std::uint32_t a = 0, std::uint32_t b = 0,
+                        std::uint32_t c = 0);
+
+  nectarine::HostNectarine& nin_;
+  SocketServer& server_;
+  proto::Tcp& tcp_;
+  std::uint32_t conn_id_ = 0;
+  nectarine::HostNectarine::HostMailbox rx_{};
+  nectarine::HostNectarine::HostMailbox send_req_{};
+  bool rx_attached_ = false;
+};
+
+/// Host-side access to the Nectar-specific protocols (datagram / RMP),
+/// §5.2's flexible-communication-model interface.
+class HostNectarPort {
+ public:
+  HostNectarPort(nectarine::HostNectarine& nin, SocketServer& server, const std::string& name);
+
+  /// This port's receive mailbox address (give it to peers).
+  core::MailboxAddr address() const { return rx_.mb->address(); }
+
+  /// Send to a remote mailbox via the unreliable datagram protocol.
+  void send_datagram(core::MailboxAddr dst, std::span<const std::uint8_t> data);
+  /// Send via the reliable message protocol.
+  void send_reliable(core::MailboxAddr dst, std::span<const std::uint8_t> data);
+
+  /// Receive the next message (poll- or block-waiting); returns its size.
+  std::size_t recv(std::span<std::uint8_t> out, bool poll = true);
+
+  // --- UDP through the protocol engine ---------------------------------------
+
+  /// Bind this port's receive mailbox to a UDP port on the CAB stack.
+  void bind_udp(proto::Udp& udp, std::uint16_t port);
+  /// Send a UDP datagram (transmitted by the CAB's UDP, §4.1).
+  void send_udp(proto::IpAddr dst, std::uint16_t dst_port, std::uint16_t src_port,
+                std::span<const std::uint8_t> data);
+  /// Receive a UDP datagram payload (IP+UDP headers stripped).
+  std::size_t recv_udp(std::span<std::uint8_t> out, bool poll = true);
+
+  // --- serving request-response RPCs from a host process ---------------------
+
+  /// Requests delivered to this port (when it is a reqresp service mailbox)
+  /// keep their protocol header; recv() returns header+payload and this
+  /// parses the addressing info out of the received bytes.
+  static nproto::ReqResp::RequestInfo parse_request(std::span<const std::uint8_t> raw);
+  static constexpr std::size_t kRequestHeader = proto::NectarHeader::kSize;
+
+  /// Send the RPC reply (executed by the CAB's send server on our behalf).
+  void respond(const nproto::ReqResp::RequestInfo& info, std::span<const std::uint8_t> data);
+
+ private:
+  void send_via(std::uint32_t proto, core::MailboxAddr dst, std::span<const std::uint8_t> data,
+                std::uint32_t src_field);
+
+  nectarine::HostNectarine& nin_;
+  SocketServer& server_;
+  nectarine::HostNectarine::HostMailbox rx_;
+  nectarine::HostNectarine::HostMailbox send_{};
+};
+
+}  // namespace nectar::host

@@ -1,0 +1,31 @@
+#include "hw/cab.hpp"
+
+#include <stdexcept>
+
+namespace nectar::hw {
+
+CabBoard::CabBoard(sim::Engine& engine, std::string name, int node_id, VmeBus* vme)
+    : engine_(engine),
+      name_(std::move(name)),
+      node_id_(node_id),
+      in_fifo_(engine),
+      out_link_(engine, name_ + ".out"),
+      vme_(vme),
+      dma_(engine, memory_, in_fifo_, out_link_, vme) {
+  in_fifo_.set_arrival_callback([this] { raise_irq(CabIrq::PacketArrival); });
+}
+
+void CabBoard::set_irq_handler(CabIrq irq, std::function<void()> handler) {
+  irq_handlers_[static_cast<int>(irq)] = std::move(handler);
+}
+
+void CabBoard::raise_irq(CabIrq irq) {
+  auto& h = irq_handlers_[static_cast<int>(irq)];
+  if (!h) {
+    throw std::logic_error(name_ + ": interrupt raised with no handler installed (irq " +
+                           std::to_string(static_cast<int>(irq)) + ")");
+  }
+  h();
+}
+
+}  // namespace nectar::hw

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "hw/dma.hpp"
+#include "hw/fifo.hpp"
+#include "hw/link.hpp"
+#include "hw/memory.hpp"
+#include "hw/vme.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+
+/// Interrupt lines into the CAB CPU.
+enum class CabIrq : int {
+  PacketArrival = 0,  ///< input FIFO went non-empty (start-of-packet)
+  DmaRecvDone,        ///< receive DMA channel completed
+  DmaSendDone,        ///< send DMA channel completed
+  VmeDone,            ///< VME DMA channel completed
+  HostDoorbell,       ///< host posted to the CAB signal queue
+  Count
+};
+constexpr int kNumCabIrqs = static_cast<int>(CabIrq::Count);
+
+/// The CAB (Communication Accelerator Board), paper §2.2: the hardware
+/// assembly of CPU-visible devices — memory, protection unit, fiber in/out,
+/// DMA controller, VME interface, interrupt lines. The CPU itself (charge
+/// model, scheduling) lives in `core/`, which hooks the interrupt lines.
+class CabBoard {
+ public:
+  CabBoard(sim::Engine& engine, std::string name, int node_id, VmeBus* vme = nullptr);
+
+  CabBoard(const CabBoard&) = delete;
+  CabBoard& operator=(const CabBoard&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const std::string& name() const { return name_; }
+  int node_id() const { return node_id_; }
+
+  CabMemory& memory() { return memory_; }
+  ProtectionUnit& protection() { return protection_; }
+  FiberInFifo& in_fifo() { return in_fifo_; }
+  FiberLink& out_link() { return out_link_; }
+  DmaController& dma() { return dma_; }
+  VmeBus* vme() { return vme_; }
+
+  /// Install the CPU's handler for an interrupt line. Raising an unhandled
+  /// line is an error (the runtime installs all handlers at boot).
+  void set_irq_handler(CabIrq irq, std::function<void()> handler);
+  void raise_irq(CabIrq irq);
+
+  /// Host side rings this after posting to the CAB signal queue (§3.2).
+  void ring_doorbell() { raise_irq(CabIrq::HostDoorbell); }
+
+ private:
+  sim::Engine& engine_;
+  std::string name_;
+  int node_id_;
+  CabMemory memory_;
+  ProtectionUnit protection_;
+  FiberInFifo in_fifo_;
+  FiberLink out_link_;
+  VmeBus* vme_;
+  DmaController dma_;
+  std::array<std::function<void()>, kNumCabIrqs> irq_handlers_{};
+};
+
+}  // namespace nectar::hw

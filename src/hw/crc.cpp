@@ -1,0 +1,41 @@
+#include "hw/crc.hpp"
+
+#include <array>
+
+namespace nectar::hw {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE polynomial
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t Crc32::compute(std::span<const std::uint8_t> data) {
+  Crc32 c;
+  c.update(data);
+  return c.value();
+}
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) c = kTable[(c ^ b) & 0xFF] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t Crc32::value() const { return state_ ^ 0xFFFFFFFFu; }
+
+void Crc32::reset() { state_ = kInit; }
+
+}  // namespace nectar::hw

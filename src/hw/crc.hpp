@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nectar::hw {
+
+/// CRC-32 (IEEE 802.3 polynomial), table-driven.
+///
+/// The CAB computes cyclic redundancy checksums for incoming and outgoing
+/// data in hardware (paper §2.2), so the runtime charges *zero CPU time* for
+/// it — but the simulation really computes it over the real bytes, which is
+/// what lets the fault-injection tests observe corrupted frames being dropped
+/// and retransmitted.
+class Crc32 {
+ public:
+  static constexpr std::uint32_t kInit = 0xFFFFFFFFu;
+
+  /// One-shot CRC of a buffer.
+  static std::uint32_t compute(std::span<const std::uint8_t> data);
+
+  /// Streaming interface (the hardware checksums data as it moves through
+  /// the FIFOs).
+  void update(std::span<const std::uint8_t> data);
+  std::uint32_t value() const;
+  void reset();
+
+ private:
+  std::uint32_t state_ = kInit;
+};
+
+}  // namespace nectar::hw

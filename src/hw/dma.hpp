@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "hw/fifo.hpp"
+#include "hw/frame.hpp"
+#include "hw/link.hpp"
+#include "hw/memory.hpp"
+#include "hw/vme.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+
+/// CAB DMA controller (paper §2.2): manages simultaneous transfers between
+/// the incoming/outgoing fibers and CAB memory, and between VME and CAB
+/// memory, leaving the CAB CPU free. Handles low-level flow control (waits
+/// for FIFO data / drain). DMA touches the *data* memory region only;
+/// attempts to DMA program memory fault.
+class DmaController {
+ public:
+  DmaController(sim::Engine& engine, CabMemory& memory, FiberInFifo& in_fifo, FiberLink& out_link,
+                VmeBus* vme);
+
+  // ---- Receive channel (fiber in -> data memory) -------------------------
+
+  /// Drain the FIFO's front frame into memory at `dst`, skipping the first
+  /// `skip` payload bytes (the datalink header the CPU already consumed).
+  /// When `dst` is kDiscard the payload is drained but not stored.
+  /// `done(frame, crc_ok)` fires when the last byte has been moved;
+  /// `crc_ok` is the hardware CRC verdict.
+  static constexpr CabAddr kDiscard = 0xFFFFFFFFu;
+  using RecvDone = std::function<void(FiberInFifo::ArrivedFrame frame, bool crc_ok)>;
+  void start_recv(CabAddr dst, std::size_t skip, RecvDone done);
+  bool recv_busy() const { return recv_busy_; }
+
+  // ---- Send channel (data memory -> fiber out) ---------------------------
+
+  /// Transmit a frame: `header` (datalink header bytes, built by the CPU in
+  /// registers) followed by `len` bytes from data memory at `src`.
+  /// Hardware computes the CRC over the payload as it streams out.
+  /// `done` fires when the last byte has left the transmitter.
+  void start_send(std::vector<std::uint8_t> route, std::vector<std::uint8_t> header, CabAddr src,
+                  std::size_t len, std::function<void()> done, int src_node = -1);
+
+  // ---- VME channel (host memory <-> data memory) -------------------------
+
+  /// Block-copy host memory into CAB data memory. The host span must stay
+  /// alive until `done`.
+  void start_vme_to_cab(std::span<const std::uint8_t> host_src, CabAddr dst,
+                        std::function<void()> done);
+  /// Block-copy CAB data memory out to host memory.
+  void start_cab_to_vme(CabAddr src, std::span<std::uint8_t> host_dst, std::function<void()> done);
+
+  std::uint64_t recv_frames() const { return recv_frames_; }
+  std::uint64_t recv_crc_errors() const { return recv_crc_errors_; }
+  std::uint64_t send_frames() const { return send_frames_; }
+  std::uint64_t vme_transfers() const { return vme_transfers_; }
+
+ private:
+  void check_dma_range(CabAddr a, std::size_t len) const;
+
+  sim::Engine& engine_;
+  CabMemory& memory_;
+  FiberInFifo& in_fifo_;
+  FiberLink& out_link_;
+  VmeBus* vme_;
+
+  bool recv_busy_ = false;
+  std::uint64_t recv_frames_ = 0;
+  std::uint64_t recv_crc_errors_ = 0;
+  std::uint64_t send_frames_ = 0;
+  std::uint64_t vme_transfers_ = 0;
+  std::uint64_t next_frame_id_ = 1;
+};
+
+}  // namespace nectar::hw

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "hw/frame.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+
+/// CAB input FIFO (paper §2.2): temporary buffering between the incoming
+/// fiber and CAB memory. Frames arrive cut-through; the datalink layer is
+/// told at first-byte time (start-of-packet interrupt) and drains frames via
+/// the DMA controller. If the FIFO fills, upstream is back-pressured.
+class FiberInFifo : public FrameSink {
+ public:
+  struct ArrivedFrame {
+    Frame frame;
+    sim::SimTime first_byte;
+    sim::SimTime last_byte;
+  };
+
+  FiberInFifo(sim::Engine& engine, std::size_t capacity_bytes = 64 * 1024);
+
+  // FrameSink
+  bool offer(Frame&& f, sim::SimTime first_byte, sim::SimTime last_byte) override;
+  void set_drain_notify(std::function<void()> fn) override { drain_notify_ = std::move(fn); }
+
+  /// Invoked (once per frame, at its first-byte time) when a frame starts
+  /// arriving; the CAB wires this to the start-of-packet interrupt.
+  void set_arrival_callback(std::function<void()> fn) { arrival_ = std::move(fn); }
+
+  bool has_frame() const { return !arrived_.empty(); }
+  /// Frame whose first byte has arrived (FIFO order). Precondition: has_frame().
+  const ArrivedFrame& front() const { return arrived_.front(); }
+  /// Remove the front frame (DMA drained it into memory); frees FIFO space
+  /// and notifies a stalled upstream.
+  ArrivedFrame pop();
+
+  /// Time at which the first `n` payload bytes of the front frame are
+  /// available to read (cut-through: they may still be in flight).
+  sim::SimTime payload_available_at(std::size_t n) const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  std::uint64_t frames_accepted() const { return accepted_; }
+  std::uint64_t offers_rejected() const { return rejected_; }
+
+ private:
+  sim::Engine& engine_;
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::deque<ArrivedFrame> arrived_;
+  std::function<void()> arrival_;
+  std::function<void()> drain_notify_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace nectar::hw

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nectar::hw {
+
+/// Per-frame framing overhead on the wire: preamble/flag + length field +
+/// 4-byte hardware CRC trailer.
+constexpr std::size_t kFrameOverhead = 8;
+
+/// A frame in flight on the Nectar fabric.
+///
+/// `route` holds one output-port number per HUB hop (source routing, §2.1);
+/// each HUB consumes one byte. `payload` is the datalink frame (datalink
+/// header + packet); the sending CAB's hardware computes `crc` over it as it
+/// streams out (§2.2), and the receiving CAB's hardware recomputes it.
+struct Frame {
+  std::vector<std::uint8_t> route;
+  std::size_t hops_done = 0;
+  std::vector<std::uint8_t> payload;
+  std::uint32_t crc = 0;
+  bool corrupted = false;  ///< set when fault injection damaged the bytes
+  std::uint64_t id = 0;
+  int src_node = -1;  ///< originating CAB (for stats/debug only)
+
+  std::size_t remaining_hops() const { return route.size() - hops_done; }
+  std::uint8_t next_port() const { return route[hops_done]; }
+
+  /// Bytes this frame occupies on the wire at the current hop.
+  std::size_t wire_bytes() const { return remaining_hops() + payload.size() + kFrameOverhead; }
+};
+
+/// Anything that can accept frames: a HUB input port or a CAB input FIFO.
+///
+/// `offer` is called at the frame's *first-byte* arrival time with the
+/// *last-byte* time attached, so cut-through elements can begin work before
+/// the frame has fully arrived. If the sink cannot buffer the frame it
+/// returns false; the upstream element must hold it and re-offer after the
+/// sink invokes the drain-notify callback (low-level flow control, §2.1).
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual bool offer(Frame&& f, sim::SimTime first_byte, sim::SimTime last_byte) = 0;
+  virtual void set_drain_notify(std::function<void()> fn) = 0;
+};
+
+}  // namespace nectar::hw

@@ -1,0 +1,158 @@
+#include "hw/hub.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nectar::hw {
+
+Hub::Hub(sim::Engine& engine, std::string name, int num_ports, double bits_per_sec,
+         sim::SimTime setup)
+    : engine_(engine), name_(std::move(name)), rate_(bits_per_sec), setup_(setup) {
+  if (num_ports <= 0) throw std::invalid_argument("Hub: need at least one port");
+  inputs_.reserve(static_cast<std::size_t>(num_ports));
+  for (int i = 0; i < num_ports; ++i) inputs_.push_back(std::make_unique<InputPort>(*this, i));
+  outputs_.resize(static_cast<std::size_t>(num_ports));
+}
+
+FrameSink* Hub::input(int port) {
+  if (port < 0 || port >= num_ports()) throw std::out_of_range("Hub::input: bad port");
+  return inputs_[static_cast<std::size_t>(port)].get();
+}
+
+void Hub::attach_output(int port, FrameSink* sink, sim::SimTime propagation) {
+  if (port < 0 || port >= num_ports()) throw std::out_of_range("Hub::attach_output: bad port");
+  OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+  out.sink = sink;
+  out.propagation = propagation;
+  sink->set_drain_notify([this, port] { on_output_drain(port); });
+}
+
+bool Hub::open_circuit(int in, int out) {
+  if (in < 0 || in >= num_ports() || out < 0 || out >= num_ports()) {
+    throw std::out_of_range("Hub::open_circuit: bad port");
+  }
+  OutputPort& o = outputs_[static_cast<std::size_t>(out)];
+  if (o.reserved_by.has_value()) return false;
+  o.reserved_by = in;
+  return true;
+}
+
+void Hub::close_circuit(int in) {
+  for (OutputPort& o : outputs_) {
+    if (o.reserved_by == in) {
+      o.reserved_by.reset();
+      try_forward(static_cast<int>(&o - outputs_.data()));
+    }
+  }
+}
+
+std::optional<int> Hub::circuit_output(int in) const {
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    if (outputs_[i].reserved_by == in) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+std::size_t Hub::output_queue_depth(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).queue.size();
+}
+
+std::size_t Hub::output_queue_highwater(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).highwater;
+}
+
+sim::SimTime Hub::output_busy_time(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).busy_time;
+}
+
+bool Hub::InputPort::offer(Frame&& f, sim::SimTime first, sim::SimTime last) {
+  // HUB input stages always accept; contention is resolved at the output
+  // port queues (virtual cut-through buffering).
+  hub_.route_frame(index_, std::move(f), first, last);
+  return true;
+}
+
+void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last) {
+  int out;
+  std::optional<int> circuit = circuit_output(in_port);
+  if (f.remaining_hops() > 0) {
+    out = f.next_port();
+    ++f.hops_done;  // the HUB consumes one route byte (source routing)
+  } else if (circuit.has_value()) {
+    out = *circuit;  // established circuit: no route byte needed
+  } else {
+    ++route_errors_;
+    return;  // undeliverable: route exhausted and no circuit
+  }
+  if (out < 0 || out >= num_ports() || outputs_[static_cast<std::size_t>(out)].sink == nullptr) {
+    ++route_errors_;
+    return;
+  }
+  OutputPort& o = outputs_[static_cast<std::size_t>(out)];
+  o.queue.push_back({std::move(f), first, last, in_port});
+  o.highwater = std::max(o.highwater, o.queue.size());
+  try_forward(out);
+}
+
+void Hub::try_forward(int out_port) {
+  OutputPort& o = outputs_[static_cast<std::size_t>(out_port)];
+  if (o.transmitting || o.blocked.has_value() || o.queue.empty()) return;
+  // An output reserved by a circuit only carries frames from that input;
+  // frames from other inputs wait until the circuit closes.
+  if (o.reserved_by.has_value() && o.queue.front().in_port != *o.reserved_by) return;
+
+  QueuedFrame qf = std::move(o.queue.front());
+  o.queue.pop_front();
+  o.transmitting = true;
+
+  sim::SimTime ttime =
+      sim::transmit_time(static_cast<std::int64_t>(qf.frame.wire_bytes()), rate_);
+  // Virtual cut-through: forwarding can start once the first byte has
+  // arrived and passed the crossbar (setup_), or once the port frees.
+  sim::SimTime start = std::max(engine_.now(), qf.first_in + setup_);
+  // If the port was free, the frame streams through pipelined with its
+  // arrival; otherwise it re-serializes from the HUB buffer.
+  sim::SimTime out_first = start;
+  sim::SimTime out_last = std::max(qf.last_in + setup_, start + ttime);
+
+  ++frames_switched_;
+  ++o.frames;
+  bytes_switched_ += qf.frame.wire_bytes();
+  o.busy_time += out_last - out_first;
+
+  engine_.schedule_at(out_last, [this, out_port] {
+    OutputPort& p = outputs_[static_cast<std::size_t>(out_port)];
+    p.transmitting = false;
+    try_forward(out_port);
+  });
+
+  sim::SimTime prop = o.propagation;
+  engine_.schedule_at(out_first,
+                      [this, out_port, qf = std::move(qf), out_first, out_last, prop]() mutable {
+                        OutputPort& p = outputs_[static_cast<std::size_t>(out_port)];
+                        Frame f = std::move(qf.frame);
+                        sim::SimTime first = out_first + prop;
+                        sim::SimTime last = out_last + prop;
+                        if (!p.sink->offer(std::move(f), first, last)) {
+                          p.blocked.emplace(std::move(f));
+                          p.blocked_span = last - first;
+                        }
+                      });
+}
+
+void Hub::on_output_drain(int out_port) {
+  OutputPort& o = outputs_[static_cast<std::size_t>(out_port)];
+  if (o.blocked.has_value()) {
+    Frame f = std::move(*o.blocked);
+    o.blocked.reset();
+    sim::SimTime first = engine_.now();
+    sim::SimTime last = first + o.blocked_span;
+    if (!o.sink->offer(std::move(f), first, last)) {
+      o.blocked.emplace(std::move(f));
+      return;
+    }
+  }
+  try_forward(out_port);
+}
+
+}  // namespace nectar::hw

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/frame.hpp"
+#include "sim/costs.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+
+/// Nectar HUB: an N x N crossbar switch with I/O ports and a controller
+/// (paper §2.1). CABs use source routing: each frame carries one output-port
+/// byte per HUB hop, consumed as it traverses. The HUB supports both
+/// packet-switching (per-frame, with virtual cut-through and per-output-port
+/// contention) and circuit-switching (an input pinned to an output). Setup
+/// latency through a single HUB is 700 ns.
+class Hub {
+ public:
+  Hub(sim::Engine& engine, std::string name, int num_ports = 16,
+      double bits_per_sec = sim::costs::kFiberBitsPerSec,
+      sim::SimTime setup = sim::costs::kHubSetup);
+
+  int num_ports() const { return static_cast<int>(inputs_.size()); }
+  const std::string& name() const { return name_; }
+
+  /// The sink a fiber link (or an upstream HUB output) delivers into.
+  FrameSink* input(int port);
+
+  /// Attach the element downstream of output `port` (a CAB input FIFO or
+  /// another HUB's input port). `propagation` models the fiber segment.
+  void attach_output(int port, FrameSink* sink,
+                     sim::SimTime propagation = sim::costs::kLinkPropagation);
+
+  /// Circuit switching: reserve output `out` for input `in`. Frames arriving
+  /// on `in` with an exhausted route are forwarded over the circuit without
+  /// consuming a route byte; frames from other inputs queue until the
+  /// circuit closes. Returns false if the output is already reserved.
+  bool open_circuit(int in, int out);
+  void close_circuit(int in);
+  std::optional<int> circuit_output(int in) const;
+
+  std::uint64_t frames_switched() const { return frames_switched_; }
+  std::uint64_t route_errors() const { return route_errors_; }
+  std::uint64_t bytes_switched() const { return bytes_switched_; }
+  std::size_t output_queue_depth(int port) const;
+  std::size_t output_queue_highwater(int port) const;
+  /// Total time output `port` spent transmitting (utilization numerator).
+  sim::SimTime output_busy_time(int port) const;
+
+ private:
+  struct QueuedFrame {
+    Frame frame;
+    sim::SimTime first_in;
+    sim::SimTime last_in;
+    int in_port;
+  };
+
+  struct OutputPort {
+    FrameSink* sink = nullptr;
+    sim::SimTime propagation = 0;
+    std::deque<QueuedFrame> queue;
+    std::size_t highwater = 0;
+    bool transmitting = false;
+    std::optional<Frame> blocked;
+    sim::SimTime blocked_span = 0;
+    std::optional<int> reserved_by;  // circuit switching
+    std::uint64_t frames = 0;
+    sim::SimTime busy_time = 0;
+  };
+
+  class InputPort : public FrameSink {
+   public:
+    InputPort(Hub& hub, int index) : hub_(hub), index_(index) {}
+    bool offer(Frame&& f, sim::SimTime first, sim::SimTime last) override;
+    void set_drain_notify(std::function<void()> fn) override { notify_ = std::move(fn); }
+    std::function<void()> notify_;
+
+   private:
+    Hub& hub_;
+    int index_;
+  };
+
+  void route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last);
+  void try_forward(int out_port);
+  void on_output_drain(int out_port);
+
+  sim::Engine& engine_;
+  std::string name_;
+  double rate_;
+  sim::SimTime setup_;
+  std::vector<std::unique_ptr<InputPort>> inputs_;
+  std::vector<OutputPort> outputs_;
+  std::uint64_t frames_switched_ = 0;
+  std::uint64_t bytes_switched_ = 0;
+  std::uint64_t route_errors_ = 0;
+};
+
+}  // namespace nectar::hw

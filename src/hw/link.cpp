@@ -1,0 +1,99 @@
+#include "hw/link.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nectar::hw {
+
+FiberLink::FiberLink(sim::Engine& engine, std::string name, double bits_per_sec,
+                     sim::SimTime propagation)
+    : engine_(engine), name_(std::move(name)), rate_(bits_per_sec), propagation_(propagation) {}
+
+void FiberLink::attach(FrameSink* sink) {
+  sink_ = sink;
+  sink_->set_drain_notify([this] { on_drain(); });
+}
+
+void FiberLink::submit(Frame&& f, std::function<void()> on_sent) {
+  queue_.push_back({std::move(f), std::move(on_sent)});
+  try_start();
+}
+
+void FiberLink::set_corrupt_rate(double p, std::uint64_t seed) {
+  corrupt_rate_ = p;
+  corrupt_rng_ = sim::Random(seed);
+}
+
+void FiberLink::set_drop_rate(double p, std::uint64_t seed) {
+  drop_rate_ = p;
+  drop_rng_ = sim::Random(seed);
+}
+
+void FiberLink::try_start() {
+  if (transmitting_ || blocked_.has_value() || queue_.empty()) return;
+  if (sink_ == nullptr) throw std::logic_error("FiberLink " + name_ + ": no sink attached");
+  transmitting_ = true;
+
+  Frame f = std::move(queue_.front().frame);
+  std::function<void()> on_sent = std::move(queue_.front().on_sent);
+  queue_.pop_front();
+
+  sim::SimTime ttime = sim::transmit_time(static_cast<std::int64_t>(f.wire_bytes()), rate_);
+  sim::SimTime first = engine_.now() + propagation_;
+  sim::SimTime last = first + ttime;
+
+  ++frames_sent_;
+  bytes_sent_ += f.wire_bytes();
+
+  // The link head frees once the last byte leaves the transmitter.
+  engine_.schedule_in(ttime, [this, on_sent = std::move(on_sent)] {
+    transmitting_ = false;
+    if (on_sent) on_sent();
+    try_start();
+  });
+
+  if (drop_rate_ > 0 && drop_rng_.chance(drop_rate_)) {
+    ++frames_dropped_;  // the frame evaporates mid-flight
+    return;
+  }
+
+  if (corrupt_rate_ > 0 && corrupt_rng_.chance(corrupt_rate_)) {
+    // Flip a payload byte; the receiving CAB's hardware CRC will catch it.
+    if (!f.payload.empty()) {
+      std::size_t i = corrupt_rng_.next_below(f.payload.size());
+      f.payload[i] ^= 0x5A;
+    }
+    f.corrupted = true;
+    ++frames_corrupted_;
+  }
+
+  engine_.schedule_at(first, [this, f = std::move(f), first, last]() mutable {
+    deliver(std::move(f), first, last);
+  });
+}
+
+void FiberLink::deliver(Frame&& f, sim::SimTime first, sim::SimTime last) {
+  // FrameSink::offer leaves the frame intact when it returns false.
+  if (!sink_->offer(std::move(f), first, last)) {
+    // Downstream FIFO is full: the hardware's low-level flow control stalls
+    // the stream. Hold the frame and re-offer when the sink drains.
+    blocked_.emplace(std::move(f));
+    blocked_span_ = last - first;
+  }
+}
+
+void FiberLink::on_drain() {
+  if (blocked_.has_value()) {
+    Frame f = std::move(*blocked_);
+    blocked_.reset();
+    sim::SimTime first = engine_.now();
+    sim::SimTime last = first + blocked_span_;
+    if (!sink_->offer(std::move(f), first, last)) {
+      blocked_.emplace(std::move(f));
+      return;
+    }
+  }
+  try_start();
+}
+
+}  // namespace nectar::hw

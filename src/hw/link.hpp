@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "hw/frame.hpp"
+#include "sim/costs.hpp"
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+
+namespace nectar::hw {
+
+/// Unidirectional fiber-optic link segment (paper §2.1: 100 Mbit/s).
+///
+/// Serializes frames at the configured bit rate, adds propagation delay, and
+/// delivers cut-through (the sink learns the first- and last-byte times).
+/// Supports fault injection (corruption / drops) for the retransmission
+/// tests. If the downstream sink back-pressures, the link stalls — the
+/// low-level flow control of §2.1.
+class FiberLink {
+ public:
+  FiberLink(sim::Engine& engine, std::string name,
+            double bits_per_sec = sim::costs::kFiberBitsPerSec,
+            sim::SimTime propagation = sim::costs::kLinkPropagation);
+
+  void attach(FrameSink* sink);
+
+  /// Queue a frame for transmission. Transmission begins as soon as the link
+  /// head is free. `on_sent` (optional) fires when the last byte has left the
+  /// transmitter — the DMA send-complete interrupt hangs off this.
+  void submit(Frame&& f, std::function<void()> on_sent = {});
+
+  // Fault injection (deterministic, seeded).
+  void set_corrupt_rate(double p, std::uint64_t seed = 42);
+  void set_drop_rate(double p, std::uint64_t seed = 43);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t frames_corrupted() const { return frames_corrupted_; }
+  std::uint64_t frames_dropped() const { return frames_dropped_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void try_start();
+  void deliver(Frame&& f, sim::SimTime first, sim::SimTime last);
+  void on_drain();
+
+  sim::Engine& engine_;
+  std::string name_;
+  double rate_;
+  sim::SimTime propagation_;
+  FrameSink* sink_ = nullptr;
+
+  struct Pending {
+    Frame frame;
+    std::function<void()> on_sent;
+  };
+  std::deque<Pending> queue_;
+  bool transmitting_ = false;
+  std::optional<Frame> blocked_;       // held by downstream back-pressure
+  sim::SimTime blocked_span_ = 0;      // serialization span of the held frame
+
+  double corrupt_rate_ = 0.0;
+  double drop_rate_ = 0.0;
+  sim::Random corrupt_rng_{42};
+  sim::Random drop_rng_{43};
+
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace nectar::hw

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nectar::hw {
+
+/// Physical address on the CAB (single flat physical address space, §3).
+using CabAddr = std::uint32_t;
+
+// Memory map (paper §2.2): the CAB memory is split into a program region
+// (128 KB PROM + 512 KB RAM) and a data region (1 MB RAM). DMA is supported
+// for the data region only.
+constexpr CabAddr kPromBase = 0;
+constexpr CabAddr kPromSize = 128 * 1024;
+constexpr CabAddr kProgramRamBase = kPromBase + kPromSize;
+constexpr CabAddr kProgramRamSize = 512 * 1024;
+constexpr CabAddr kProgramEnd = kProgramRamBase + kProgramRamSize;
+constexpr CabAddr kDataBase = 1u << 20;
+constexpr CabAddr kDataSize = 1u << 20;
+constexpr CabAddr kDataEnd = kDataBase + kDataSize;
+
+/// Protection page size (paper §2.2: "access permissions ... with each
+/// 1 Kbyte page").
+constexpr CabAddr kPageSize = 1024;
+constexpr CabAddr kNumPages = kDataEnd / kPageSize;
+
+/// CAB on-board memory. Backed by a real byte array: every message the
+/// simulation sends exists as real bytes here, so data integrity can be
+/// asserted end to end.
+class CabMemory {
+ public:
+  CabMemory();
+
+  std::uint8_t read8(CabAddr a) const;
+  void write8(CabAddr a, std::uint8_t v);
+  std::uint32_t read32(CabAddr a) const;
+  void write32(CabAddr a, std::uint32_t v);
+
+  void read(CabAddr a, std::span<std::uint8_t> out) const;
+  void write(CabAddr a, std::span<const std::uint8_t> in);
+  void fill(CabAddr a, std::size_t len, std::uint8_t v);
+
+  /// Direct view of a range (bounds-checked). The simulation's "shared
+  /// memory" mapping of CAB memory into host address spaces is exactly this.
+  std::span<std::uint8_t> view(CabAddr a, std::size_t len);
+  std::span<const std::uint8_t> view(CabAddr a, std::size_t len) const;
+
+  /// True if [a, a+len) lies entirely within the DMA-able data region.
+  static bool in_data_region(CabAddr a, std::size_t len);
+  static bool in_program_region(CabAddr a, std::size_t len);
+  /// True if the range is PROM (writes fault).
+  static bool in_prom(CabAddr a, std::size_t len);
+
+ private:
+  void check(CabAddr a, std::size_t len) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Per-page memory protection with multiple protection domains (§2.2):
+/// "Multiple protection domains are provided, each with its own set of access
+/// permissions. Changing the protection domain is accomplished by reloading a
+/// single register."
+class ProtectionUnit {
+ public:
+  enum class Access : std::uint8_t { None = 0, Read = 1, ReadWrite = 2 };
+
+  explicit ProtectionUnit(int num_domains = 8);
+
+  int num_domains() const { return static_cast<int>(domains_.size()); }
+
+  /// The "single register" that selects the active domain.
+  void set_current_domain(int d);
+  int current_domain() const { return current_; }
+
+  void set_page(int domain, CabAddr page, Access a);
+  void set_range(int domain, CabAddr addr, std::size_t len, Access a);
+
+  /// Check an access from the active domain. Returns false on fault.
+  bool check(CabAddr addr, std::size_t len, bool write) const;
+  bool check_domain(int domain, CabAddr addr, std::size_t len, bool write) const;
+
+  std::uint64_t faults() const { return faults_; }
+
+ private:
+  std::vector<std::vector<Access>> domains_;
+  int current_ = 0;
+  mutable std::uint64_t faults_ = 0;
+};
+
+}  // namespace nectar::hw

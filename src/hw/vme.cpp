@@ -1,0 +1,26 @@
+#include "hw/vme.hpp"
+
+#include <algorithm>
+
+namespace nectar::hw {
+
+sim::SimTime VmeBus::acquire(sim::SimTime duration) {
+  sim::SimTime start = std::max(engine_.now(), busy_until_);
+  busy_until_ = start + duration;
+  return busy_until_;
+}
+
+sim::SimTime VmeBus::programmed_access(std::size_t words) {
+  words_ += words;
+  return acquire(static_cast<sim::SimTime>(words) * word_access_);
+}
+
+void VmeBus::dma_transfer(std::size_t bytes, std::function<void()> done) {
+  ++dma_count_;
+  dma_bytes_ += bytes;
+  sim::SimTime end = acquire(sim::costs::kVmeDmaSetup +
+                             sim::transmit_time(static_cast<std::int64_t>(bytes), dma_rate_));
+  engine_.schedule_at(end, std::move(done));
+}
+
+}  // namespace nectar::hw

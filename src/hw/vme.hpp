@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/costs.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+
+/// VME backplane connecting a host to its CAB (paper §2.2, §6).
+///
+/// Two transfer modes, both contending for the same bus:
+///  - programmed word accesses (~1 us per 32-bit read/write, §6.1) — how the
+///    host manipulates shared data structures in CAB memory;
+///  - block DMA (~30 Mbit/s, §6.3) — how bulk message data crosses.
+///
+/// The bus is a serially-reusable resource: requests are granted in arrival
+/// order (arrival time, then FIFO).
+class VmeBus {
+ public:
+  explicit VmeBus(sim::Engine& engine, std::string name = "vme",
+                  sim::SimTime word_access = sim::costs::kVmeWordAccess,
+                  double dma_bits_per_sec = sim::costs::kVmeDmaBitsPerSec)
+      : engine_(engine), name_(std::move(name)), word_access_(word_access), dma_rate_(dma_bits_per_sec) {}
+
+  /// Reserve the bus for `words` programmed accesses starting no earlier
+  /// than now. Returns the completion time; the caller (a simulated CPU)
+  /// must stall until then.
+  sim::SimTime programmed_access(std::size_t words);
+
+  /// Time to programmatically move `bytes` via word accesses.
+  sim::SimTime programmed_bytes(std::size_t bytes) {
+    return programmed_access((bytes + sim::costs::kVmeWordBytes - 1) / sim::costs::kVmeWordBytes);
+  }
+
+  /// Reserve the bus for a block DMA of `bytes`; `done` fires at completion.
+  void dma_transfer(std::size_t bytes, std::function<void()> done);
+
+  /// When the bus would next be free (for tests / stats).
+  sim::SimTime busy_until() const { return busy_until_; }
+  std::uint64_t words_transferred() const { return words_; }
+  std::uint64_t dma_bytes() const { return dma_bytes_; }
+  std::uint64_t dma_transfers() const { return dma_count_; }
+
+ private:
+  sim::SimTime acquire(sim::SimTime duration);
+
+  sim::Engine& engine_;
+  std::string name_;
+  sim::SimTime word_access_;
+  double dma_rate_;
+  sim::SimTime busy_until_ = 0;
+  std::uint64_t words_ = 0;
+  std::uint64_t dma_bytes_ = 0;
+  std::uint64_t dma_count_ = 0;
+};
+
+}  // namespace nectar::hw

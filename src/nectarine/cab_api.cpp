@@ -1,0 +1,77 @@
+#include "nectarine/cab_api.hpp"
+
+#include "sim/costs.hpp"
+
+namespace nectar::nectarine {
+
+CabNectarine::CabNectarine(core::CabRuntime& rt, nproto::DatagramProtocol& datagram,
+                           nproto::Rmp& rmp, nproto::ReqResp& reqresp)
+    : rt_(rt),
+      datagram_(datagram),
+      rmp_(rmp),
+      reqresp_(reqresp),
+      scratch_(rt.create_mailbox("cab-nectarine")) {}
+
+CabNectarine::MailboxRef CabNectarine::create_mailbox(const std::string& name) {
+  return MailboxRef{&rt_.create_mailbox(name)};
+}
+
+CabNectarine::MailboxRef CabNectarine::attach(core::Mailbox& mb) { return MailboxRef{&mb}; }
+
+core::Message CabNectarine::begin_put(MailboxRef& h, std::uint32_t size) {
+  return h.mb->begin_put(size);
+}
+
+void CabNectarine::end_put(MailboxRef& h, core::Message m) { h.mb->end_put(m); }
+
+core::Message CabNectarine::begin_get(MailboxRef& h) { return h.mb->begin_get(); }
+
+void CabNectarine::end_get(MailboxRef& h, core::Message m) { h.mb->end_get(m); }
+
+void CabNectarine::write_message(const core::Message& m, std::span<const std::uint8_t> data) {
+  if (data.size() > m.len) throw std::invalid_argument("write_message: larger than message");
+  // On-board copy: SPARC moves the bytes (no bus crossing).
+  rt_.cpu().charge(static_cast<sim::SimTime>(data.size()) * sim::costs::kCabCopyPerByte);
+  rt_.board().memory().write(m.data, data);
+}
+
+void CabNectarine::read_message(const core::Message& m, std::span<std::uint8_t> out) {
+  if (out.size() > m.len) throw std::invalid_argument("read_message: larger than message");
+  rt_.cpu().charge(static_cast<sim::SimTime>(out.size()) * sim::costs::kCabCopyPerByte);
+  rt_.board().memory().read(m.data, out);
+}
+
+void CabNectarine::send_datagram(core::MailboxAddr dst, core::Message m,
+                                 std::uint32_t reply_mailbox) {
+  datagram_.send(dst, m, /*free_when_sent=*/true, reply_mailbox);
+}
+
+void CabNectarine::send_reliable(core::MailboxAddr dst, core::Message m) {
+  rmp_.send(dst, m, /*free_when_acked=*/true);
+}
+
+bool CabNectarine::start_remote_task(core::MailboxAddr remote_service, const std::string& task,
+                                     std::uint32_t arg) {
+  hw::CabMemory& mem = rt_.board().memory();
+  core::Message req = scratch_.begin_put(static_cast<std::uint32_t>(8 + task.size()));
+  mem.write32(req.data, CabServices::kStartTask);
+  mem.write32(req.data + 4, arg);
+  mem.write(req.data + 8,
+            std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(task.data()),
+                                          task.size()));
+  try {
+    core::Message rsp = reqresp_.call(remote_service, req);
+    bool ok = false;
+    if (rsp.len == 2) {
+      std::uint8_t st[2];
+      mem.read(rsp.data, st);
+      ok = st[0] == 'o' && st[1] == 'k';
+    }
+    scratch_.end_get(rsp);
+    return ok;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace nectar::nectarine

@@ -1,0 +1,160 @@
+#include "nectarine/lockmgr.hpp"
+
+#include <algorithm>
+
+#include "proto/headers.hpp"
+
+namespace nectar::nectarine {
+
+// --- LockServer ----------------------------------------------------------------
+
+LockServer::LockServer(core::CabRuntime& rt, nproto::ReqResp& reqresp, nproto::Rmp& rmp)
+    : rt_(rt),
+      reqresp_(reqresp),
+      rmp_(rmp),
+      service_(rt.create_mailbox("lock-server")) {
+  rt_.fork_system("lock-server", [this] { server_loop(); });
+}
+
+std::size_t LockServer::locks_held() const {
+  return static_cast<std::size_t>(
+      std::count_if(locks_.begin(), locks_.end(),
+                    [](const auto& kv) { return !kv.second.holders.empty(); }));
+}
+
+bool LockServer::compatible(const LockState& l, Mode m) const {
+  if (l.holders.empty()) return true;
+  // Shared joins shared; exclusive joins nothing; nothing joins exclusive.
+  if (m == Mode::Exclusive) return false;
+  return l.holders.front().mode == Mode::Shared;
+}
+
+void LockServer::send_grant(const Waiter& w) {
+  core::Message m = service_.begin_put(4);
+  rt_.board().memory().write32(m.data, kGranted);
+  rmp_.send({w.node, w.grant_mailbox}, m);
+  ++grants_;
+}
+
+void LockServer::promote_waiters(LockState& l) {
+  // FIFO, but let a run of shared waiters in together.
+  while (!l.waiters.empty()) {
+    Waiter& w = l.waiters.front();
+    if (!compatible(l, w.mode)) break;
+    l.holders.push_back({w.owner_id, w.mode});
+    send_grant(w);
+    l.waiters.pop_front();
+  }
+}
+
+void LockServer::server_loop() {
+  hw::CabMemory& mem = rt_.board().memory();
+  for (;;) {
+    core::Message req = service_.begin_get();
+    auto info = nproto::ReqResp::parse_request(rt_, req);
+    core::Message payload = nproto::ReqResp::payload_of(req);
+
+    std::uint32_t status = kBadRequest;
+    if (payload.len >= 16) {
+      std::uint32_t op = mem.read32(payload.data);
+      Mode mode = mem.read32(payload.data + 4) == 0 ? Mode::Shared : Mode::Exclusive;
+      std::uint32_t owner = mem.read32(payload.data + 8);
+      std::uint32_t grant_mb = mem.read32(payload.data + 12);
+      std::vector<std::uint8_t> name_bytes(payload.len - 16);
+      mem.read(payload.data + 16, name_bytes);
+      std::string name(name_bytes.begin(), name_bytes.end());
+      LockState& l = locks_[name];
+
+      switch (op) {
+        case kOpAcquire:
+          if (compatible(l, mode)) {
+            l.holders.push_back({owner, mode});
+            ++grants_;
+            status = kGranted;
+          } else {
+            l.waiters.push_back({info.client_node, grant_mb, owner, mode});
+            ++queued_waits_;
+            status = kQueued;
+          }
+          break;
+        case kOpTryAcquire:
+          if (compatible(l, mode)) {
+            l.holders.push_back({owner, mode});
+            ++grants_;
+            status = kGranted;
+          } else {
+            status = kWouldBlock;
+          }
+          break;
+        case kOpRelease: {
+          auto it = std::find_if(l.holders.begin(), l.holders.end(),
+                                 [owner](const Owner& o) { return o.owner_id == owner; });
+          if (it == l.holders.end()) {
+            status = kNotHeld;
+          } else {
+            l.holders.erase(it);
+            status = kGranted;
+            promote_waiters(l);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    service_.end_get(payload);
+
+    core::Message rsp = service_.begin_put(4);
+    mem.write32(rsp.data, status);
+    reqresp_.respond(info, rsp);
+  }
+}
+
+// --- LockClient -----------------------------------------------------------------
+
+LockClient::LockClient(core::CabRuntime& rt, nproto::ReqResp& reqresp, core::MailboxAddr server,
+                       std::uint32_t owner_id)
+    : rt_(rt),
+      reqresp_(reqresp),
+      server_(server),
+      owner_id_(owner_id),
+      scratch_(rt.create_mailbox("lock-client-" + std::to_string(owner_id))),
+      grants_(rt.create_mailbox("lock-grants-" + std::to_string(owner_id))) {}
+
+std::uint32_t LockClient::call(std::uint32_t op, const std::string& name,
+                               LockServer::Mode mode) {
+  hw::CabMemory& mem = rt_.board().memory();
+  core::Message req = scratch_.begin_put(static_cast<std::uint32_t>(16 + name.size()));
+  mem.write32(req.data, op);
+  mem.write32(req.data + 4, mode == LockServer::Mode::Shared ? 0 : 1);
+  mem.write32(req.data + 8, owner_id_);
+  mem.write32(req.data + 12, grants_.address().index);
+  mem.write(req.data + 16,
+            std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(name.data()),
+                                          name.size()));
+  core::Message rsp = reqresp_.call(server_, req);
+  std::uint32_t status = rsp.len >= 4 ? mem.read32(rsp.data) : LockServer::kBadRequest;
+  scratch_.end_get(rsp);
+  return status;
+}
+
+bool LockClient::acquire(const std::string& name, LockServer::Mode mode) {
+  std::uint32_t status = call(LockServer::kOpAcquire, name, mode);
+  if (status == LockServer::kGranted) return true;
+  if (status != LockServer::kQueued) return false;
+  // Wait for the deferred grant to arrive over RMP.
+  core::Message g = grants_.begin_get();
+  bool ok = g.len >= 4 && rt_.board().memory().read32(g.data) == LockServer::kGranted;
+  grants_.end_get(g);
+  return ok;
+}
+
+bool LockClient::try_acquire(const std::string& name, LockServer::Mode mode) {
+  return call(LockServer::kOpTryAcquire, name, mode) == LockServer::kGranted;
+}
+
+bool LockClient::release(const std::string& name) {
+  return call(LockServer::kOpRelease, name, LockServer::Mode::Shared) == LockServer::kGranted;
+}
+
+}  // namespace nectar::nectarine

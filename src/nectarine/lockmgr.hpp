@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nproto/reqresp.hpp"
+#include "nproto/rmp.hpp"
+
+namespace nectar::nectarine {
+
+/// Distributed lock manager offloaded to the CAB — the paper's §5.3 Camelot
+/// experiment: "Communication is a major bottleneck in the Camelot
+/// distributed transaction system, so experiments are being planned to
+/// offload Camelot's distributed locking and commit protocols to the CAB."
+///
+/// One CAB hosts the lock table; clients anywhere on the Nectar acquire and
+/// release named locks through the request-response protocol (at-most-once,
+/// so a retransmitted acquire is not granted twice). Shared (read) and
+/// exclusive (write) modes with FIFO queuing. An acquire that cannot be
+/// granted immediately is answered "queued"; the grant itself arrives later
+/// through the reliable message protocol at the client's grant mailbox — so
+/// a waiting client simply blocks in Begin_Get and costs no CPU anywhere.
+class LockServer {
+ public:
+  enum class Mode : std::uint8_t { Shared = 0, Exclusive = 1 };
+
+  // Request layout (native order, shared-memory convention):
+  // [u32 op][u32 mode][u32 owner-id][u32 grant-mailbox][name bytes].
+  // Response: [u32 status]. Deferred grants: 4-byte kGranted via RMP.
+  static constexpr std::uint32_t kOpAcquire = 1;
+  static constexpr std::uint32_t kOpRelease = 2;
+  static constexpr std::uint32_t kOpTryAcquire = 3;
+
+  static constexpr std::uint32_t kGranted = 1;
+  static constexpr std::uint32_t kQueued = 2;
+  static constexpr std::uint32_t kWouldBlock = 3;
+  static constexpr std::uint32_t kNotHeld = 4;
+  static constexpr std::uint32_t kBadRequest = 5;
+
+  LockServer(core::CabRuntime& rt, nproto::ReqResp& reqresp, nproto::Rmp& rmp);
+
+  LockServer(const LockServer&) = delete;
+  LockServer& operator=(const LockServer&) = delete;
+
+  /// Where clients send their lock requests.
+  core::MailboxAddr address() const { return service_.address(); }
+
+  std::uint64_t grants() const { return grants_; }
+  std::uint64_t queued_waits() const { return queued_waits_; }
+  std::size_t locks_held() const;
+
+ private:
+  struct Owner {
+    std::uint32_t owner_id;
+    Mode mode;
+  };
+  struct Waiter {
+    int node;
+    std::uint32_t grant_mailbox;
+    std::uint32_t owner_id;
+    Mode mode;
+  };
+  struct LockState {
+    std::vector<Owner> holders;  // all Shared, or a single Exclusive
+    std::deque<Waiter> waiters;
+  };
+
+  void server_loop();
+  bool compatible(const LockState& l, Mode m) const;
+  void promote_waiters(LockState& l);
+  void send_grant(const Waiter& w);
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  nproto::Rmp& rmp_;
+  core::Mailbox& service_;
+  std::map<std::string, LockState> locks_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t queued_waits_ = 0;
+};
+
+/// CAB-side client for the lock service. Acquire blocks the calling CAB
+/// thread (in its grant mailbox) until the lock is granted.
+class LockClient {
+ public:
+  LockClient(core::CabRuntime& rt, nproto::ReqResp& reqresp, core::MailboxAddr server,
+             std::uint32_t owner_id);
+
+  /// Acquire; blocks until granted. Returns false only on protocol failure.
+  bool acquire(const std::string& name, LockServer::Mode mode);
+  /// Try without waiting; true if granted.
+  bool try_acquire(const std::string& name, LockServer::Mode mode);
+  /// Release; true if the server confirmed we held it.
+  bool release(const std::string& name);
+
+  std::uint32_t owner_id() const { return owner_id_; }
+
+ private:
+  std::uint32_t call(std::uint32_t op, const std::string& name, LockServer::Mode mode);
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  core::MailboxAddr server_;
+  std::uint32_t owner_id_;
+  core::Mailbox& scratch_;
+  core::Mailbox& grants_;
+};
+
+}  // namespace nectar::nectarine

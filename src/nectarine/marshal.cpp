@@ -1,0 +1,160 @@
+#include "nectarine/marshal.hpp"
+
+#include <stdexcept>
+
+#include "proto/headers.hpp"
+
+namespace nectar::nectarine {
+
+namespace {
+core::Cpu& caller() {
+  core::Cpu* c = core::Cpu::current();
+  if (c == nullptr) throw std::logic_error("marshal op outside any execution context");
+  return *c;
+}
+}  // namespace
+
+// --- Encoder ---------------------------------------------------------------------
+
+Marshaller::Encoder::Encoder(core::CabRuntime& rt, core::Message m) : rt_(rt), m_(m) {}
+
+void Marshaller::Encoder::charge(std::size_t bytes) {
+  caller().charge(static_cast<sim::SimTime>(bytes) * kCostPerByte);
+}
+
+void Marshaller::Encoder::raw32(std::uint32_t v) {
+  if (offset_ + 4 > m_.len) throw std::length_error("Marshaller: message too small");
+  std::uint8_t buf[4];
+  proto::put32(buf, 0, v);
+  rt_.board().memory().write(m_.data + offset_, buf);
+  offset_ += 4;
+}
+
+void Marshaller::Encoder::raw_bytes(std::span<const std::uint8_t> bytes) {
+  std::uint32_t padded = (static_cast<std::uint32_t>(bytes.size()) + 3) & ~3u;
+  if (offset_ + padded > m_.len) throw std::length_error("Marshaller: message too small");
+  rt_.board().memory().write(m_.data + offset_, bytes);
+  if (padded > bytes.size()) {
+    rt_.board().memory().fill(m_.data + offset_ + static_cast<hw::CabAddr>(bytes.size()),
+                              padded - bytes.size(), 0);
+  }
+  offset_ += padded;
+}
+
+Marshaller::Encoder& Marshaller::Encoder::put_u32(std::uint32_t v) {
+  charge(8);
+  raw32(kTagU32);
+  raw32(v);
+  return *this;
+}
+
+Marshaller::Encoder& Marshaller::Encoder::put_i64(std::int64_t v) {
+  charge(12);
+  raw32(kTagI64);
+  raw32(static_cast<std::uint32_t>(static_cast<std::uint64_t>(v) >> 32));
+  raw32(static_cast<std::uint32_t>(static_cast<std::uint64_t>(v)));
+  return *this;
+}
+
+Marshaller::Encoder& Marshaller::Encoder::put_string(const std::string& s) {
+  charge(8 + s.size());
+  raw32(kTagString);
+  raw32(static_cast<std::uint32_t>(s.size()));
+  raw_bytes(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s.data()),
+                                          s.size()));
+  return *this;
+}
+
+Marshaller::Encoder& Marshaller::Encoder::put_opaque(std::span<const std::uint8_t> bytes) {
+  charge(8 + bytes.size());
+  raw32(kTagOpaque);
+  raw32(static_cast<std::uint32_t>(bytes.size()));
+  raw_bytes(bytes);
+  return *this;
+}
+
+Marshaller::Encoder& Marshaller::Encoder::put_array_u32(std::span<const std::uint32_t> values) {
+  charge(8 + values.size() * 4);
+  raw32(kTagArrayU32);
+  raw32(static_cast<std::uint32_t>(values.size()));
+  for (std::uint32_t v : values) raw32(v);
+  return *this;
+}
+
+core::Message Marshaller::Encoder::finish() {
+  return core::Mailbox::adjust_suffix(m_, m_.len - offset_);
+}
+
+// --- Decoder ------------------------------------------------------------------------
+
+Marshaller::Decoder::Decoder(core::CabRuntime& rt, const core::Message& m) : rt_(rt), m_(m) {}
+
+void Marshaller::Decoder::charge(std::size_t bytes) {
+  caller().charge(static_cast<sim::SimTime>(bytes) * kCostPerByte);
+}
+
+std::uint32_t Marshaller::Decoder::raw32() {
+  if (offset_ + 4 > m_.len) throw std::out_of_range("Marshaller: truncated message");
+  std::uint8_t buf[4];
+  rt_.board().memory().read(m_.data + offset_, buf);
+  offset_ += 4;
+  return proto::get32(buf, 0);
+}
+
+void Marshaller::Decoder::expect(Tag t) {
+  std::uint32_t got = raw32();
+  if (got != static_cast<std::uint32_t>(t)) {
+    throw std::invalid_argument("Marshaller: expected tag " + std::to_string(t) + ", found " +
+                                std::to_string(got));
+  }
+}
+
+std::uint32_t Marshaller::Decoder::get_u32() {
+  charge(8);
+  expect(kTagU32);
+  return raw32();
+}
+
+std::int64_t Marshaller::Decoder::get_i64() {
+  charge(12);
+  expect(kTagI64);
+  std::uint64_t hi = raw32();
+  std::uint64_t lo = raw32();
+  return static_cast<std::int64_t>(hi << 32 | lo);
+}
+
+std::string Marshaller::Decoder::get_string() {
+  expect(kTagString);
+  std::uint32_t len = raw32();
+  charge(8 + len);
+  std::uint32_t padded = (len + 3) & ~3u;
+  if (offset_ + padded > m_.len) throw std::out_of_range("Marshaller: truncated string");
+  std::vector<std::uint8_t> buf(len);
+  rt_.board().memory().read(m_.data + offset_, buf);
+  offset_ += padded;
+  return {buf.begin(), buf.end()};
+}
+
+std::vector<std::uint8_t> Marshaller::Decoder::get_opaque() {
+  expect(kTagOpaque);
+  std::uint32_t len = raw32();
+  charge(8 + len);
+  std::uint32_t padded = (len + 3) & ~3u;
+  if (offset_ + padded > m_.len) throw std::out_of_range("Marshaller: truncated opaque");
+  std::vector<std::uint8_t> buf(len);
+  rt_.board().memory().read(m_.data + offset_, buf);
+  offset_ += padded;
+  return buf;
+}
+
+std::vector<std::uint32_t> Marshaller::Decoder::get_array_u32() {
+  expect(kTagArrayU32);
+  std::uint32_t n = raw32();
+  charge(8 + static_cast<std::size_t>(n) * 4);
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(raw32());
+  return out;
+}
+
+}  // namespace nectar::nectarine

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mailbox.hpp"
+#include "core/runtime.hpp"
+
+namespace nectar::nectarine {
+
+/// Presentation-layer marshaling (paper §5.3): "Research is under way to use
+/// the CAB to offload presentation layer functionality, such as the
+/// marshaling and unmarshaling of data required by remote procedure call
+/// systems" (referencing Siegel & Cooper's OSI presentation-layer work).
+///
+/// An XDR-style self-describing encoding written directly into a mailbox
+/// message in CAB memory: 4-byte tags, big-endian scalars, length-prefixed
+/// opaque/strings, all fields padded to 4 bytes. Every encode/decode charges
+/// per-byte CPU cost to whichever processor runs it — which is the entire
+/// point of the offload: run it on the CAB and the host never pays it.
+class Marshaller {
+ public:
+  /// Marshaling cost on the executing CPU (ns/byte) — the presentation
+  /// layer's per-byte tax that §5.3 proposes moving off the host.
+  static constexpr sim::SimTime kCostPerByte = 180;
+
+  enum Tag : std::uint32_t {
+    kTagU32 = 1,
+    kTagI64 = 2,
+    kTagString = 3,
+    kTagOpaque = 4,
+    kTagArrayU32 = 5,
+  };
+
+  /// Encoder building into CAB memory at [m.data, m.data+m.len).
+  class Encoder {
+   public:
+    Encoder(core::CabRuntime& rt, core::Message m);
+
+    Encoder& put_u32(std::uint32_t v);
+    Encoder& put_i64(std::int64_t v);
+    Encoder& put_string(const std::string& s);
+    Encoder& put_opaque(std::span<const std::uint8_t> bytes);
+    Encoder& put_array_u32(std::span<const std::uint32_t> values);
+
+    /// The message adjusted (in place) to the encoded length.
+    core::Message finish();
+    std::uint32_t bytes_used() const { return offset_; }
+
+   private:
+    void raw32(std::uint32_t v);
+    void raw_bytes(std::span<const std::uint8_t> bytes);
+    void charge(std::size_t bytes);
+
+    core::CabRuntime& rt_;
+    core::Message m_;
+    std::uint32_t offset_ = 0;
+  };
+
+  /// Decoder over a received message. Tag mismatches throw — a marshaling
+  /// bug is a programming error, not a runtime condition.
+  class Decoder {
+   public:
+    Decoder(core::CabRuntime& rt, const core::Message& m);
+
+    std::uint32_t get_u32();
+    std::int64_t get_i64();
+    std::string get_string();
+    std::vector<std::uint8_t> get_opaque();
+    std::vector<std::uint32_t> get_array_u32();
+
+    bool done() const { return offset_ >= m_.len; }
+    std::uint32_t remaining() const { return m_.len - offset_; }
+
+   private:
+    std::uint32_t raw32();
+    void expect(Tag t);
+    void charge(std::size_t bytes);
+
+    core::CabRuntime& rt_;
+    const core::Message& m_;
+    std::uint32_t offset_ = 0;
+  };
+
+  /// Conservative size bound for an argument list (for Begin_Put).
+  static std::uint32_t string_size(const std::string& s) {
+    return 8 + ((static_cast<std::uint32_t>(s.size()) + 3) & ~3u);
+  }
+  static std::uint32_t opaque_size(std::size_t n) {
+    return 8 + ((static_cast<std::uint32_t>(n) + 3) & ~3u);
+  }
+};
+
+}  // namespace nectar::nectarine

@@ -1,0 +1,110 @@
+#include "nectarine/names.hpp"
+
+#include "nectarine/marshal.hpp"
+
+namespace nectar::nectarine {
+
+// --- NameServer -----------------------------------------------------------------
+
+NameServer::NameServer(core::CabRuntime& rt, nproto::ReqResp& reqresp)
+    : rt_(rt), reqresp_(reqresp), service_(rt.create_mailbox("name-server")) {
+  rt_.fork_system("name-server", [this] { server_loop(); });
+}
+
+void NameServer::server_loop() {
+  for (;;) {
+    core::Message req = service_.begin_get();
+    auto info = nproto::ReqResp::parse_request(rt_, req);
+    core::Message args = nproto::ReqResp::payload_of(req);
+
+    core::Message rsp_buf = service_.begin_put(128);
+    Marshaller::Encoder out(rt_, rsp_buf);
+    try {
+      Marshaller::Decoder in(rt_, args);
+      std::uint32_t op = in.get_u32();
+      switch (op) {
+        case kOpRegister: {
+          std::string name = in.get_string();
+          core::MailboxAddr addr{static_cast<std::int32_t>(in.get_u32()), in.get_u32()};
+          auto it = names_.find(name);
+          if (it != names_.end() && !(it->second == addr)) {
+            out.put_u32(kConflict);
+          } else {
+            names_[name] = addr;
+            out.put_u32(kOk);
+          }
+          break;
+        }
+        case kOpLookup: {
+          std::string name = in.get_string();
+          auto it = names_.find(name);
+          if (it == names_.end()) {
+            out.put_u32(kNotFound);
+          } else {
+            out.put_u32(kOk)
+                .put_u32(static_cast<std::uint32_t>(it->second.node))
+                .put_u32(it->second.index);
+          }
+          break;
+        }
+        case kOpUnregister: {
+          std::string name = in.get_string();
+          out.put_u32(names_.erase(name) > 0 ? kOk : kNotFound);
+          break;
+        }
+        default:
+          out.put_u32(kBad);
+      }
+    } catch (const std::exception&) {
+      out.put_u32(kBad);
+    }
+    service_.end_get(args);
+    reqresp_.respond(info, out.finish());
+  }
+}
+
+// --- NameClient ------------------------------------------------------------------
+
+NameClient::NameClient(core::CabRuntime& rt, nproto::ReqResp& reqresp, core::MailboxAddr server)
+    : rt_(rt), reqresp_(reqresp), server_(server), scratch_(rt.create_mailbox("name-client")) {}
+
+std::uint32_t NameClient::call(std::uint32_t op, const std::string& name, core::MailboxAddr addr,
+                               core::MailboxAddr* out) {
+  core::Message req = scratch_.begin_put(Marshaller::string_size(name) + 64);
+  Marshaller::Encoder enc(rt_, req);
+  enc.put_u32(op).put_string(name);
+  if (op == NameServer::kOpRegister) {
+    enc.put_u32(static_cast<std::uint32_t>(addr.node)).put_u32(addr.index);
+  }
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  std::uint32_t status = dec.get_u32();
+  if (status == NameServer::kOk && op == NameServer::kOpLookup && out != nullptr) {
+    out->node = static_cast<std::int32_t>(dec.get_u32());
+    out->index = dec.get_u32();
+  }
+  scratch_.end_get(rsp);
+  return status;
+}
+
+std::uint32_t NameClient::register_name(const std::string& name, core::MailboxAddr addr) {
+  return call(NameServer::kOpRegister, name, addr, nullptr);
+}
+
+std::uint32_t NameClient::lookup(const std::string& name, core::MailboxAddr* out) {
+  return call(NameServer::kOpLookup, name, {}, out);
+}
+
+std::uint32_t NameClient::unregister_name(const std::string& name) {
+  return call(NameServer::kOpUnregister, name, {}, nullptr);
+}
+
+core::MailboxAddr NameClient::wait_for(const std::string& name, sim::SimTime poll_interval) {
+  core::MailboxAddr addr{};
+  while (lookup(name, &addr) != NameServer::kOk) {
+    rt_.cpu().sleep_for(poll_interval);
+  }
+  return addr;
+}
+
+}  // namespace nectar::nectarine

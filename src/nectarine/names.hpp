@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "nproto/reqresp.hpp"
+
+namespace nectar::nectarine {
+
+/// Distributed name service: maps service names to network-wide mailbox
+/// addresses (§3.3: "Network-wide addressing of mailboxes enables host
+/// processes or CAB threads to send messages to remote mailboxes ... In this
+/// way, remote services can be invoked from anywhere in the Nectar
+/// network"). The paper passes addresses around by hand; real deployments
+/// (and the Mach network-IPC server sketched in §5.2) need a rendezvous
+/// point — one CAB runs the registry, everyone else registers and looks up
+/// through the request-response protocol.
+class NameServer {
+ public:
+  static constexpr std::uint32_t kOpRegister = 1;  // (name, node, index)
+  static constexpr std::uint32_t kOpLookup = 2;    // (name) -> node, index
+  static constexpr std::uint32_t kOpUnregister = 3;
+
+  static constexpr std::uint32_t kOk = 0;
+  static constexpr std::uint32_t kNotFound = 1;
+  static constexpr std::uint32_t kConflict = 2;
+  static constexpr std::uint32_t kBad = 3;
+
+  NameServer(core::CabRuntime& rt, nproto::ReqResp& reqresp);
+
+  NameServer(const NameServer&) = delete;
+  NameServer& operator=(const NameServer&) = delete;
+
+  core::MailboxAddr address() const { return service_.address(); }
+  std::size_t entries() const { return names_.size(); }
+
+ private:
+  void server_loop();
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  core::Mailbox& service_;
+  std::map<std::string, core::MailboxAddr> names_;
+};
+
+/// CAB-side client of the name service.
+class NameClient {
+ public:
+  NameClient(core::CabRuntime& rt, nproto::ReqResp& reqresp, core::MailboxAddr server);
+
+  /// Register `addr` under `name`. Fails with kConflict if taken by a
+  /// different address (re-registering the same address is idempotent).
+  std::uint32_t register_name(const std::string& name, core::MailboxAddr addr);
+
+  /// Look `name` up; returns kOk and fills `out` when found.
+  std::uint32_t lookup(const std::string& name, core::MailboxAddr* out);
+
+  /// Blocking lookup: retries until the name appears (services race their
+  /// clients at startup; this is the rendezvous).
+  core::MailboxAddr wait_for(const std::string& name,
+                             sim::SimTime poll_interval = sim::usec(500));
+
+  std::uint32_t unregister_name(const std::string& name);
+
+ private:
+  std::uint32_t call(std::uint32_t op, const std::string& name, core::MailboxAddr addr,
+                     core::MailboxAddr* out);
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  core::MailboxAddr server_;
+  core::Mailbox& scratch_;
+};
+
+}  // namespace nectar::nectarine

@@ -1,0 +1,324 @@
+#include "nectarine/nectarine.hpp"
+
+#include <stdexcept>
+
+namespace nectar::nectarine {
+
+namespace costs = sim::costs;
+
+// --- CabServices -------------------------------------------------------------
+
+CabServices::CabServices(core::CabRuntime& rt, nproto::ReqResp& reqresp)
+    : rt_(rt),
+      reqresp_(reqresp),
+      service_(rt.create_mailbox("nectarine-svc")),
+      host_call_(rt.create_mailbox("nectarine-host-call")) {
+  install_rpc_handlers();
+  rt_.fork_system("nectarine-svc", [this] { service_loop(); });
+  rt_.fork_system("nectarine-host-call", [this] { host_call_loop(); });
+}
+
+void CabServices::host_call_loop() {
+  hw::CabMemory& mem = rt_.board().memory();
+  for (;;) {
+    core::Message req = host_call_.begin_get();
+    // Layout: [u32 sync][u32 dst node][u32 dst service index][request bytes].
+    if (req.len < 12) {
+      host_call_.end_get(req);
+      continue;
+    }
+    std::uint32_t sync = mem.read32(req.data);
+    std::uint32_t node = mem.read32(req.data + 4);
+    std::uint32_t index = mem.read32(req.data + 8);
+    core::Message payload = core::Mailbox::adjust_prefix(req, 12);
+    // Sync result: 0 = no response (retries exhausted), 1 = service said
+    // "ok", 2 = any other response (the call completed; the host inspects
+    // details through its own reply channel when it needs them).
+    std::uint32_t result = 0;
+    try {
+      core::Message rsp = reqresp_.call({static_cast<std::int32_t>(node), index}, payload);
+      result = 2;
+      if (rsp.len == 2) {
+        std::vector<std::uint8_t> st(2);
+        mem.read(rsp.data, st);
+        if (st[0] == 'o' && st[1] == 'k') result = 1;
+      }
+      host_call_.end_get(rsp);
+    } catch (const std::runtime_error&) {
+      result = 0;
+    }
+    rt_.host_syncs().write(sync, result);
+  }
+}
+
+void CabServices::register_task(const std::string& name, std::function<void(std::uint32_t)> body) {
+  tasks_[name] = std::move(body);
+}
+
+void CabServices::install_rpc_handlers() {
+  core::HostSignaling& sig = rt_.signals();
+  auto reply = [this](std::uint32_t aux, std::uint32_t value) {
+    core::SyncPool::SyncId sync = aux & 0xFFFF;
+    rt_.host_syncs().write(sync, value);
+  };
+
+  sig.register_opcode(kOpBeginPut, [this, reply](core::SignalElement e) {
+    ++rpc_ops_;
+    std::uint32_t index = e.param >> 16;
+    std::uint32_t size = e.param & 0xFFFF;
+    core::Mailbox* mb = rt_.find_mailbox(index);
+    if (mb == nullptr) {
+      reply(e.aux, 0);
+      return;
+    }
+    auto m = mb->begin_put_try(size);
+    if (!m.has_value()) {
+      reply(e.aux, 0);
+      return;
+    }
+    host_messages_[m->data] = *m;
+    reply(e.aux, m->data);
+  });
+
+  sig.register_opcode(kOpEndPut, [this, reply](core::SignalElement e) {
+    ++rpc_ops_;
+    std::uint32_t index = e.aux >> 16;
+    auto it = host_messages_.find(e.param);
+    core::Mailbox* mb = rt_.find_mailbox(index);
+    if (it == host_messages_.end() || mb == nullptr) {
+      reply(e.aux, 0);
+      return;
+    }
+    core::Message m = it->second;
+    host_messages_.erase(it);
+    mb->end_put(m);
+    reply(e.aux, 1);
+  });
+
+  sig.register_opcode(kOpBeginGet, [this, reply](core::SignalElement e) {
+    ++rpc_ops_;
+    core::Mailbox* mb = rt_.find_mailbox(e.param);
+    if (mb == nullptr) {
+      reply(e.aux, 0);
+      return;
+    }
+    auto m = mb->begin_get_try();
+    if (!m.has_value()) {
+      reply(e.aux, 0);  // empty: the host retries
+      return;
+    }
+    host_messages_[m->data] = *m;
+    reply(e.aux, m->data);
+  });
+
+  sig.register_opcode(kOpEndGet, [this, reply](core::SignalElement e) {
+    ++rpc_ops_;
+    std::uint32_t index = e.aux >> 16;
+    auto it = host_messages_.find(e.param);
+    core::Mailbox* mb = rt_.find_mailbox(index);
+    if (it == host_messages_.end() || mb == nullptr) {
+      reply(e.aux, 0);
+      return;
+    }
+    core::Message m = it->second;
+    host_messages_.erase(it);
+    mb->end_get(m);
+    reply(e.aux, 1);
+  });
+
+  sig.register_opcode(kOpMsgLen, [this, reply](core::SignalElement e) {
+    ++rpc_ops_;
+    auto it = host_messages_.find(e.param);
+    reply(e.aux, it == host_messages_.end() ? 0 : it->second.len);
+  });
+}
+
+void CabServices::service_loop() {
+  hw::CabMemory& mem = rt_.board().memory();
+  for (;;) {
+    core::Message req = service_.begin_get();
+    auto info = nproto::ReqResp::parse_request(rt_, req);
+    core::Message payload = nproto::ReqResp::payload_of(req);
+
+    // Payload: [u32 kind][u32 arg][task name bytes].
+    std::string status = "err";
+    if (payload.len >= 8) {
+      std::uint32_t kind = mem.read32(payload.data);
+      std::uint32_t arg = mem.read32(payload.data + 4);
+      std::vector<std::uint8_t> name_bytes(payload.len - 8);
+      mem.read(payload.data + 8, name_bytes);
+      std::string name(name_bytes.begin(), name_bytes.end());
+      if (kind == kStartTask) {
+        auto it = tasks_.find(name);
+        if (it != tasks_.end()) {
+          ++tasks_started_;
+          auto body = it->second;
+          rt_.fork_app("task:" + name, [body, arg] { body(arg); });
+          status = "ok";
+        }
+      }
+    }
+    service_.end_get(payload);
+
+    core::Message rsp = service_.begin_put(static_cast<std::uint32_t>(status.size()));
+    mem.write(rsp.data, std::span<const std::uint8_t>(
+                            reinterpret_cast<const std::uint8_t*>(status.data()), status.size()));
+    reqresp_.respond(info, rsp);
+  }
+}
+
+// --- HostNectarine -----------------------------------------------------------------
+
+HostNectarine::HostNectarine(host::CabDriver& driver) : driver_(driver) {}
+
+HostNectarine::HostMailbox HostNectarine::create_mailbox(const std::string& name) {
+  return attach(cab().create_mailbox(name));
+}
+
+HostNectarine::HostMailbox HostNectarine::attach(core::Mailbox& mb) {
+  HostMailbox h;
+  h.mb = &mb;
+  h.cond = cab().signals().alloc_condition();
+  core::HostSignaling* sig = &cab().signals();
+  auto cond = h.cond;
+  mb.set_notify_hook([sig, cond] { sig->signal(cond); });
+  return h;
+}
+
+core::Message HostNectarine::begin_put(HostMailbox& h, std::uint32_t size) {
+  core::Cpu& cpu = driver_.host().cpu();
+  cpu.charge(costs::kHostMailboxOp);
+  // Manipulating the writer-side descriptors in CAB memory: a handful of
+  // uncached VME word accesses (§6.1 explains why this dominates).
+  cpu.charge_until(cab().board().vme()->programmed_access(3));
+  return h.mb->begin_put(size);
+}
+
+void HostNectarine::end_put(HostMailbox& h, core::Message m) {
+  core::Cpu& cpu = driver_.host().cpu();
+  cpu.charge(costs::kHostMailboxOp);
+  cpu.charge_until(cab().board().vme()->programmed_access(2));
+  h.mb->end_put(m);
+}
+
+core::Message HostNectarine::begin_get_poll(HostMailbox& h) {
+  core::Cpu& cpu = driver_.host().cpu();
+  for (;;) {
+    std::uint32_t seen = driver_.poll(h.cond);
+    cpu.charge_until(cab().board().vme()->programmed_access(2));
+    auto m = h.mb->begin_get_try();
+    if (m.has_value()) return *m;
+    h.last_poll = driver_.wait_poll(h.cond, seen);
+  }
+}
+
+core::Message HostNectarine::begin_get_block(HostMailbox& h) {
+  core::Cpu& cpu = driver_.host().cpu();
+  for (;;) {
+    std::uint32_t seen = driver_.poll(h.cond);
+    cpu.charge_until(cab().board().vme()->programmed_access(2));
+    auto m = h.mb->begin_get_try();
+    if (m.has_value()) return *m;
+    h.last_poll = driver_.wait_blocking(h.cond, seen);
+  }
+}
+
+void HostNectarine::end_get(HostMailbox& h, core::Message m) {
+  core::Cpu& cpu = driver_.host().cpu();
+  cpu.charge(costs::kHostMailboxOp);
+  cpu.charge_until(cab().board().vme()->programmed_access(2));
+  h.mb->end_get(m);
+}
+
+// --- RPC-based variants ---------------------------------------------------------------
+
+core::Message HostNectarine::begin_put_rpc(HostMailbox& h, std::uint32_t size) {
+  std::uint32_t index = h.mb->address().index;
+  for (;;) {
+    std::uint32_t addr = driver_.call_cab(kOpBeginPut, (index << 16) | size, 0);
+    if (addr != 0) {
+      core::Message m;
+      m.data = addr;
+      m.len = size;
+      m.block = addr;
+      m.block_len = size;
+      return m;
+    }
+    driver_.host().cpu().sleep_for(sim::usec(50));  // mailbox out of space
+  }
+}
+
+void HostNectarine::end_put_rpc(HostMailbox& h, core::Message m) {
+  driver_.call_cab(kOpEndPut, m.data, h.mb->address().index);
+}
+
+core::Message HostNectarine::begin_get_rpc(HostMailbox& h) {
+  for (;;) {
+    std::uint32_t addr = driver_.call_cab(kOpBeginGet, h.mb->address().index, 0);
+    if (addr != 0) {
+      std::uint32_t len = driver_.call_cab(kOpMsgLen, addr, 0);
+      core::Message m;
+      m.data = addr;
+      m.len = len;
+      m.block = addr;
+      m.block_len = len;
+      return m;
+    }
+    h.last_poll = driver_.wait_poll(h.cond, h.last_poll);
+  }
+}
+
+void HostNectarine::end_get_rpc(HostMailbox& h, core::Message m) {
+  driver_.call_cab(kOpEndGet, m.data, h.mb->address().index);
+}
+
+// --- data access -------------------------------------------------------------------------
+
+void HostNectarine::write_message(const core::Message& m, std::span<const std::uint8_t> data) {
+  if (data.size() > m.len) throw std::invalid_argument("write_message: larger than message");
+  driver_.copy_to_cab(data, m.data);
+}
+
+void HostNectarine::read_message(const core::Message& m, std::span<std::uint8_t> out) {
+  if (out.size() > m.len) throw std::invalid_argument("read_message: larger than message");
+  driver_.copy_from_cab(m.data, out);
+}
+
+// --- remote tasks -----------------------------------------------------------------------------
+
+std::uint32_t HostNectarine::host_call(CabServices& local, core::MailboxAddr remote_service,
+                                       std::span<const std::uint8_t> request) {
+  core::Cpu& cpu = driver_.host().cpu();
+  core::SyncPool::SyncId sync = cab().host_syncs().alloc();
+
+  // Build the request in the host-call mailbox through the shared mapping.
+  HostMailbox call{&local.host_call_mailbox(), 0, 0};
+  core::Message req = begin_put(call, static_cast<std::uint32_t>(12 + request.size()));
+  std::vector<std::uint8_t> buf(12);
+  proto::put32n(buf, 0, sync);
+  proto::put32n(buf, 4, static_cast<std::uint32_t>(remote_service.node));
+  proto::put32n(buf, 8, remote_service.index);
+  write_message(req, buf);
+  driver_.copy_to_cab(request, req.data + 12);
+  end_put(call, req);
+
+  // Wait for the CAB to complete the remote call (sync polled over VME).
+  std::uint32_t result = 0;
+  for (;;) {
+    cpu.charge_until(cab().board().vme()->programmed_access(1));
+    if (cab().host_syncs().read_try(sync, &result)) break;
+    cpu.charge(costs::kHostPollLoop);
+  }
+  return result;
+}
+
+bool HostNectarine::start_remote_task(CabServices& local, core::MailboxAddr remote_service,
+                                      const std::string& task, std::uint32_t arg) {
+  std::vector<std::uint8_t> payload(8 + task.size());
+  proto::put32n(payload, 0, CabServices::kStartTask);
+  proto::put32n(payload, 4, arg);
+  std::copy(task.begin(), task.end(), payload.begin() + 8);
+  return host_call(local, remote_service, payload) == 1;
+}
+
+}  // namespace nectar::nectarine

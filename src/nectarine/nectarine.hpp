@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "host/driver.hpp"
+#include "nproto/datagram.hpp"
+#include "nproto/reqresp.hpp"
+#include "nproto/rmp.hpp"
+
+namespace nectar::nectarine {
+
+// RPC-based mailbox operation opcodes (paper §3.3: "Mailbox operations from
+// the host were initially implemented using the simple host-to-CAB RPC
+// mechanism"). The shared-memory implementation coexists with it and either
+// can be selected per mailbox — the paper measured the shared-memory path at
+// about twice the speed (reproduced by bench_ablation_mailbox).
+constexpr std::uint16_t kOpBeginPut = host::kOpRpcBase + 0;  // param: mb<<16|size
+constexpr std::uint16_t kOpEndPut = host::kOpRpcBase + 1;    // param: data addr
+constexpr std::uint16_t kOpBeginGet = host::kOpRpcBase + 2;  // param: mb index
+constexpr std::uint16_t kOpEndGet = host::kOpRpcBase + 3;    // param: data addr
+constexpr std::uint16_t kOpMsgLen = host::kOpRpcBase + 4;    // param: data addr
+
+/// CAB-side Nectarine services: the RPC mailbox-operation handlers and the
+/// remote task registry ("Nectarine ... allows applications to create
+/// mailboxes and tasks on other hosts or CABs", §3.5).
+class CabServices {
+ public:
+  /// Request type for the nectarine service mailbox (remote task start).
+  static constexpr std::uint32_t kStartTask = 1;
+
+  CabServices(core::CabRuntime& rt, nproto::ReqResp& reqresp);
+
+  CabServices(const CabServices&) = delete;
+  CabServices& operator=(const CabServices&) = delete;
+
+  core::CabRuntime& runtime() { return rt_; }
+
+  /// Register a task body that remote nodes may start by name. The task
+  /// runs as an application thread (§3.1) with a caller-supplied argument.
+  void register_task(const std::string& name, std::function<void(std::uint32_t)> body);
+
+  /// Network-wide address of the service mailbox remote nodes call into.
+  core::MailboxAddr service_address() const { return service_.address(); }
+
+  /// Mailbox through which the local *host* asks this CAB to perform remote
+  /// operations on its behalf (hosts cannot execute CAB code; they post
+  /// requests — the same pattern as the TCP send-request mailbox, §4.2).
+  core::Mailbox& host_call_mailbox() { return host_call_; }
+
+  std::uint64_t tasks_started() const { return tasks_started_; }
+  std::uint64_t rpc_mailbox_ops() const { return rpc_ops_; }
+
+ private:
+  void install_rpc_handlers();
+  void service_loop();
+  void host_call_loop();
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  core::Mailbox& service_;
+  core::Mailbox& host_call_;
+  std::map<std::string, std::function<void(std::uint32_t)>> tasks_;
+  /// Outstanding host-initiated messages, reconstructable by data address.
+  std::map<hw::CabAddr, core::Message> host_messages_;
+  std::uint64_t tasks_started_ = 0;
+  std::uint64_t rpc_ops_ = 0;
+};
+
+/// Host-side Nectarine (§3.5): "implemented as a library linked into an
+/// application's address space ... provides applications with a procedural
+/// interface to the Nectar communication protocols and direct access to
+/// mailboxes in CAB memory."
+class HostNectarine {
+ public:
+  explicit HostNectarine(host::CabDriver& driver);
+
+  HostNectarine(const HostNectarine&) = delete;
+  HostNectarine& operator=(const HostNectarine&) = delete;
+
+  host::CabDriver& driver() { return driver_; }
+  core::CabRuntime& cab() { return driver_.cab(); }
+
+  /// A host-visible mailbox: the CAB mailbox plus the host condition
+  /// variable used to wait for its messages.
+  struct HostMailbox {
+    core::Mailbox* mb = nullptr;
+    host::CabDriver::HostCondId cond = 0;
+    std::uint32_t last_poll = 0;
+  };
+
+  /// Create a CAB mailbox set up for host access (notify hook attached).
+  HostMailbox create_mailbox(const std::string& name);
+  /// Attach to an existing CAB mailbox for host-side reading.
+  HostMailbox attach(core::Mailbox& mb);
+
+  // --- shared-memory mailbox operations (§3.3) ------------------------------
+
+  core::Message begin_put(HostMailbox& h, std::uint32_t size);
+  void end_put(HostMailbox& h, core::Message m);
+  /// Wait by polling (no system call; the Fig. 6 receive path).
+  core::Message begin_get_poll(HostMailbox& h);
+  /// Wait by blocking in the driver (server processes, §3.2).
+  core::Message begin_get_block(HostMailbox& h);
+  void end_get(HostMailbox& h, core::Message m);
+
+  // --- RPC-based mailbox operations (§3.3, the slower coexisting variant) ----
+
+  core::Message begin_put_rpc(HostMailbox& h, std::uint32_t size);
+  void end_put_rpc(HostMailbox& h, core::Message m);
+  core::Message begin_get_rpc(HostMailbox& h);  // polls via repeated RPC
+  void end_get_rpc(HostMailbox& h, core::Message m);
+
+  // --- message data access (bytes live in CAB memory) ------------------------
+
+  void write_message(const core::Message& m, std::span<const std::uint8_t> data);
+  void read_message(const core::Message& m, std::span<std::uint8_t> out);
+
+  // --- transport shortcuts -----------------------------------------------------
+
+  /// Issue a request-response call to a remote service on behalf of this
+  /// host: the request goes through the local CAB's host-call mailbox; a CAB
+  /// thread performs the call and reports completion through a sync.
+  /// Returns 0 = no response, 1 = service replied "ok", 2 = other response.
+  std::uint32_t host_call(CabServices& local, core::MailboxAddr remote_service,
+                          std::span<const std::uint8_t> request);
+
+  /// Start a named task on a remote CAB. Returns true on success.
+  bool start_remote_task(CabServices& local, core::MailboxAddr remote_service,
+                         const std::string& task, std::uint32_t arg);
+
+ private:
+  host::CabDriver& driver_;
+};
+
+}  // namespace nectar::nectarine

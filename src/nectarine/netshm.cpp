@@ -1,0 +1,160 @@
+#include "nectarine/netshm.hpp"
+
+#include <stdexcept>
+
+namespace nectar::nectarine {
+
+NetSharedMemory::NetSharedMemory(core::CabRuntime& rt, nproto::ReqResp& reqresp, nproto::Rmp& rmp)
+    : rt_(rt),
+      reqresp_(reqresp),
+      rmp_(rmp),
+      service_(rt.create_mailbox("netshm-pager")),
+      inval_(rt.create_mailbox("netshm-inval")) {
+  install_invalidation_upcall();
+  rt_.fork_system("netshm-pager", [this] { service_loop(); });
+}
+
+void NetSharedMemory::configure(std::function<int(std::uint32_t)> home_of,
+                                std::map<int, PeerAddr> peers) {
+  home_of_ = std::move(home_of);
+  peers_ = std::move(peers);
+}
+
+void NetSharedMemory::install_invalidation_upcall() {
+  // Applied at interrupt level the moment the RMP data lands — so the RMP
+  // acknowledgment that home waits for already implies the copy is gone.
+  inval_.set_reader_upcall([this](core::Mailbox& mb) {
+    auto m = mb.begin_get_try();
+    if (!m.has_value()) return;
+    if (m->len >= 4) {
+      std::uint32_t page = rt_.board().memory().read32(m->data);
+      cache_.erase(page);
+      ++inval_applied_;
+    }
+    mb.end_get(*m);
+  });
+}
+
+void NetSharedMemory::home_write(std::uint32_t page, const std::vector<std::uint8_t>& data,
+                                 int writer_node) {
+  (void)writer_node;
+  // Reliably invalidate every cached copy before making the write visible.
+  std::set<int> targets = readers_[page];
+  readers_[page].clear();
+  core::Cpu& cpu = rt_.cpu();
+  int pending = static_cast<int>(targets.size());
+  core::Thread* self = cpu.current_thread();
+  for (int node : targets) {
+    auto it = peers_.find(node);
+    if (it == peers_.end()) {
+      --pending;
+      continue;
+    }
+    core::Message m = service_.begin_put(4);
+    rt_.board().memory().write32(m.data, page);
+    ++inval_sent_;
+    rmp_.send(it->second.inval, m, /*free_when_acked=*/true, [&cpu, self, &pending] {
+      if (--pending == 0) cpu.wake(self);
+    });
+  }
+  {
+    core::InterruptGuard g(cpu);
+    while (pending > 0) cpu.block_unmasked();
+  }
+  master_[page] = data;
+}
+
+void NetSharedMemory::service_loop() {
+  hw::CabMemory& mem = rt_.board().memory();
+  for (;;) {
+    core::Message req = service_.begin_get();
+    auto info = nproto::ReqResp::parse_request(rt_, req);
+    core::Message p = nproto::ReqResp::payload_of(req);
+
+    std::uint32_t op = p.len >= 8 ? mem.read32(p.data) : 0;
+    std::uint32_t page = p.len >= 8 ? mem.read32(p.data + 4) : 0;
+
+    if (op == kOpReadPage && home_of_ && home_of_(page) == self()) {
+      auto& m = master_[page];
+      if (m.empty()) m.assign(kPageSize, 0);
+      readers_[page].insert(info.client_node);
+      service_.end_get(p);
+      core::Message rsp = service_.begin_put(4 + kPageSize);
+      mem.write32(rsp.data, kOk);
+      mem.write(rsp.data + 4, m);
+      reqresp_.respond(info, rsp);
+      continue;
+    }
+    if (op == kOpWritePage && p.len >= 8 + kPageSize && home_of_ && home_of_(page) == self()) {
+      std::vector<std::uint8_t> data(kPageSize);
+      mem.read(p.data + 8, data);
+      service_.end_get(p);
+      home_write(page, data, info.client_node);
+      core::Message rsp = service_.begin_put(4);
+      mem.write32(rsp.data, kOk);
+      reqresp_.respond(info, rsp);
+      continue;
+    }
+    service_.end_get(p);
+    core::Message rsp = service_.begin_put(4);
+    mem.write32(rsp.data, kBad);
+    reqresp_.respond(info, rsp);
+  }
+}
+
+void NetSharedMemory::read(std::uint32_t page, std::span<std::uint8_t> out) {
+  if (out.size() < kPageSize) throw std::invalid_argument("NetSharedMemory::read: short buffer");
+  if (!home_of_) throw std::logic_error("NetSharedMemory: not configured");
+  int home = home_of_(page);
+  if (home == self()) {
+    auto& m = master_[page];
+    if (m.empty()) m.assign(kPageSize, 0);
+    std::copy(m.begin(), m.end(), out.begin());
+    ++hits_;  // home reads are always local
+    return;
+  }
+  auto it = cache_.find(page);
+  if (it != cache_.end()) {
+    std::copy(it->second.begin(), it->second.end(), out.begin());
+    ++hits_;
+    return;
+  }
+  ++misses_;
+  hw::CabMemory& mem = rt_.board().memory();
+  core::Message req = service_.begin_put(8);
+  mem.write32(req.data, kOpReadPage);
+  mem.write32(req.data + 4, page);
+  core::Message rsp = reqresp_.call(peers_.at(home).service, req);
+  if (rsp.len < 4 + kPageSize || mem.read32(rsp.data) != kOk) {
+    service_.end_get(rsp);
+    throw std::runtime_error("NetSharedMemory::read: pager refused");
+  }
+  std::vector<std::uint8_t> data(kPageSize);
+  mem.read(rsp.data + 4, data);
+  service_.end_get(rsp);
+  std::copy(data.begin(), data.end(), out.begin());
+  cache_.emplace(page, std::move(data));
+}
+
+void NetSharedMemory::write(std::uint32_t page, std::span<const std::uint8_t> in) {
+  if (in.size() < kPageSize) throw std::invalid_argument("NetSharedMemory::write: short buffer");
+  if (!home_of_) throw std::logic_error("NetSharedMemory: not configured");
+  int home = home_of_(page);
+  cache_.erase(page);  // our own copy is stale the moment we overwrite
+  if (home == self()) {
+    home_write(page, std::vector<std::uint8_t>(in.begin(), in.end()), self());
+    return;
+  }
+  ++remote_writes_;
+  hw::CabMemory& mem = rt_.board().memory();
+  core::Message req = service_.begin_put(static_cast<std::uint32_t>(8 + kPageSize));
+  mem.write32(req.data, kOpWritePage);
+  mem.write32(req.data + 4, page);
+  mem.write(req.data + 8, in.first(kPageSize));
+  core::Message rsp = reqresp_.call(peers_.at(home).service, req);
+  bool ok = rsp.len >= 4 && mem.read32(rsp.data) == kOk;
+  service_.end_get(rsp);
+  if (!ok) throw std::runtime_error("NetSharedMemory::write: pager refused");
+}
+
+}  // namespace nectar::nectarine

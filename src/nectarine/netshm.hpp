@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "nproto/reqresp.hpp"
+#include "nproto/rmp.hpp"
+
+namespace nectar::nectarine {
+
+/// Network shared memory (paper §5.3 future work): "Using Mach together with
+/// Nectar, we are investigating network shared memory. The CABs will run
+/// external pager tasks that cooperate to provide the required consistency
+/// guarantees."
+///
+/// Directory-based single-writer coherence, one pager task per CAB:
+///  * every page has a *home* CAB holding the master copy and the directory
+///    of caching readers;
+///  * reads hit the local cache when valid, otherwise fetch from home (which
+///    records the reader);
+///  * writes go to home, which reliably invalidates every cached copy (RMP)
+///    *before* acknowledging — invalidations are applied by a mailbox upcall
+///    at interrupt level on each reader, so by the time the writer's call
+///    returns, no stale copy is readable anywhere.
+class NetSharedMemory {
+ public:
+  static constexpr std::size_t kPageSize = 1024;
+
+  // Request ops ([u32 op][u32 page][payload]); response [u32 status][data].
+  static constexpr std::uint32_t kOpReadPage = 1;
+  static constexpr std::uint32_t kOpWritePage = 2;
+  static constexpr std::uint32_t kOk = 1;
+  static constexpr std::uint32_t kBad = 0;
+
+  /// Addresses a peer pager exposes: its request-response service mailbox
+  /// and its invalidation mailbox.
+  struct PeerAddr {
+    core::MailboxAddr service;
+    core::MailboxAddr inval;
+  };
+
+  NetSharedMemory(core::CabRuntime& rt, nproto::ReqResp& reqresp, nproto::Rmp& rmp);
+
+  NetSharedMemory(const NetSharedMemory&) = delete;
+  NetSharedMemory& operator=(const NetSharedMemory&) = delete;
+
+  /// This pager's addresses — hand them to the other nodes.
+  PeerAddr addresses() const { return {service_.address(), inval_.address()}; }
+
+  /// Wire up the cluster: `home_of(page)` maps a page to its home node and
+  /// must agree everywhere; `peers` maps node id -> that node's addresses.
+  void configure(std::function<int(std::uint32_t)> home_of, std::map<int, PeerAddr> peers);
+
+  /// Read a full page into `out` (CAB thread context; blocks on a miss).
+  void read(std::uint32_t page, std::span<std::uint8_t> out);
+
+  /// Write a full page (CAB thread context; returns when globally coherent).
+  void write(std::uint32_t page, std::span<const std::uint8_t> in);
+
+  // --- stats ----------------------------------------------------------------
+
+  std::uint64_t cache_hits() const { return hits_; }
+  std::uint64_t cache_misses() const { return misses_; }
+  std::uint64_t invalidations_sent() const { return inval_sent_; }
+  std::uint64_t invalidations_applied() const { return inval_applied_; }
+  std::uint64_t remote_writes() const { return remote_writes_; }
+  bool cached(std::uint32_t page) const { return cache_.count(page) > 0; }
+
+ private:
+  void service_loop();
+  void install_invalidation_upcall();
+  int self() const { return rt_.node_id(); }
+
+  /// Home side: apply a write — invalidate all readers, then store.
+  void home_write(std::uint32_t page, const std::vector<std::uint8_t>& data, int writer_node);
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  nproto::Rmp& rmp_;
+  core::Mailbox& service_;
+  core::Mailbox& inval_;
+  std::function<int(std::uint32_t)> home_of_;
+  std::map<int, PeerAddr> peers_;
+
+  // Home-side state.
+  std::map<std::uint32_t, std::vector<std::uint8_t>> master_;
+  std::map<std::uint32_t, std::set<int>> readers_;
+
+  // Local cache.
+  std::map<std::uint32_t, std::vector<std::uint8_t>> cache_;
+
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t inval_sent_ = 0;
+  std::uint64_t inval_applied_ = 0;
+  std::uint64_t remote_writes_ = 0;
+};
+
+}  // namespace nectar::nectarine

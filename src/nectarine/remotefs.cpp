@@ -1,0 +1,258 @@
+#include "nectarine/remotefs.hpp"
+
+#include <algorithm>
+
+namespace nectar::nectarine {
+
+// --- FileServer ----------------------------------------------------------------
+
+FileServer::FileServer(core::CabRuntime& rt, nproto::ReqResp& reqresp)
+    : rt_(rt), reqresp_(reqresp), service_(rt.create_mailbox("file-server")) {
+  rt_.fork_app("file-server", [this] { server_loop(); });
+}
+
+void FileServer::server_loop() {
+  for (;;) {
+    core::Message req = service_.begin_get();
+    auto info = nproto::ReqResp::parse_request(rt_, req);
+    core::Message args = nproto::ReqResp::payload_of(req);
+    ++calls_;
+
+    // Response buffer: status plus up to one I/O unit of payload.
+    core::Message rsp_buf = service_.begin_put(FileServer::kMaxIo + 256);
+    Marshaller::Encoder out(rt_, rsp_buf);
+
+    try {
+      Marshaller::Decoder in(rt_, args);
+      std::uint32_t op = in.get_u32();
+      switch (op) {
+        case kOpLookup: {
+          std::string name = in.get_string();
+          auto it = by_name_.find(name);
+          if (it == by_name_.end()) {
+            out.put_u32(kNoEnt);
+          } else {
+            out.put_u32(kOk).put_u32(it->second);
+          }
+          break;
+        }
+        case kOpCreate: {
+          std::string name = in.get_string();
+          if (by_name_.count(name)) {
+            out.put_u32(kExists);
+            break;
+          }
+          std::uint32_t fh = next_handle_++;
+          by_name_[name] = fh;
+          by_handle_[fh] = File{name, {}};
+          out.put_u32(kOk).put_u32(fh);
+          break;
+        }
+        case kOpRead: {
+          std::uint32_t fh = in.get_u32();
+          std::uint32_t off = in.get_u32();
+          std::uint32_t len = std::min(in.get_u32(), kMaxIo);
+          auto it = by_handle_.find(fh);
+          if (it == by_handle_.end()) {
+            out.put_u32(kStale);
+            break;
+          }
+          const auto& bytes = it->second.bytes;
+          std::uint32_t avail =
+              off < bytes.size() ? std::min<std::uint32_t>(
+                                       len, static_cast<std::uint32_t>(bytes.size()) - off)
+                                 : 0;
+          out.put_u32(kOk).put_opaque(
+              std::span<const std::uint8_t>(bytes.data() + off, avail));
+          break;
+        }
+        case kOpWrite: {
+          std::uint32_t fh = in.get_u32();
+          std::uint32_t off = in.get_u32();
+          std::vector<std::uint8_t> data = in.get_opaque();
+          auto it = by_handle_.find(fh);
+          if (it == by_handle_.end()) {
+            out.put_u32(kStale);
+            break;
+          }
+          auto& bytes = it->second.bytes;
+          if (bytes.size() < off + data.size()) bytes.resize(off + data.size());
+          std::copy(data.begin(), data.end(),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(off));
+          out.put_u32(kOk).put_u32(static_cast<std::uint32_t>(data.size()));
+          break;
+        }
+        case kOpRemove: {
+          std::string name = in.get_string();
+          auto it = by_name_.find(name);
+          if (it == by_name_.end()) {
+            out.put_u32(kNoEnt);
+            break;
+          }
+          by_handle_.erase(it->second);
+          by_name_.erase(it);
+          out.put_u32(kOk);
+          break;
+        }
+        case kOpGetattr: {
+          std::uint32_t fh = in.get_u32();
+          auto it = by_handle_.find(fh);
+          if (it == by_handle_.end()) {
+            out.put_u32(kStale);
+          } else {
+            out.put_u32(kOk).put_u32(static_cast<std::uint32_t>(it->second.bytes.size()));
+          }
+          break;
+        }
+        case kOpReaddir: {
+          out.put_u32(kOk).put_u32(static_cast<std::uint32_t>(by_name_.size()));
+          for (const auto& [name, fh] : by_name_) out.put_string(name);
+          break;
+        }
+        default:
+          out.put_u32(kBad);
+          break;
+      }
+    } catch (const std::exception&) {
+      out.put_u32(kBad);  // malformed arguments
+    }
+    service_.end_get(args);
+    reqresp_.respond(info, out.finish());
+  }
+}
+
+// --- FileClient -----------------------------------------------------------------
+
+FileClient::FileClient(core::CabRuntime& rt, nproto::ReqResp& reqresp, core::MailboxAddr server)
+    : rt_(rt), reqresp_(reqresp), server_(server), scratch_(rt.create_mailbox("fs-client")) {}
+
+Marshaller::Encoder FileClient::start_call(std::uint32_t op, std::uint32_t arg_bytes) {
+  core::Message m = scratch_.begin_put(arg_bytes + 64);
+  Marshaller::Encoder enc(rt_, m);
+  enc.put_u32(op);
+  return enc;
+}
+
+FileClient::Status FileClient::lookup(const std::string& name, std::uint32_t* fh_out) {
+  auto enc = start_call(FileServer::kOpLookup, Marshaller::string_size(name));
+  enc.put_string(name);
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  Status st{dec.get_u32()};
+  if (st.ok() && fh_out != nullptr) *fh_out = dec.get_u32();
+  scratch_.end_get(rsp);
+  return st;
+}
+
+FileClient::Status FileClient::create(const std::string& name, std::uint32_t* fh_out) {
+  auto enc = start_call(FileServer::kOpCreate, Marshaller::string_size(name));
+  enc.put_string(name);
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  Status st{dec.get_u32()};
+  if (st.ok() && fh_out != nullptr) *fh_out = dec.get_u32();
+  scratch_.end_get(rsp);
+  return st;
+}
+
+FileClient::Status FileClient::remove(const std::string& name) {
+  auto enc = start_call(FileServer::kOpRemove, Marshaller::string_size(name));
+  enc.put_string(name);
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  Status st{dec.get_u32()};
+  scratch_.end_get(rsp);
+  return st;
+}
+
+FileClient::Status FileClient::getattr(std::uint32_t fh, std::uint32_t* size_out) {
+  auto enc = start_call(FileServer::kOpGetattr, 16);
+  enc.put_u32(fh);
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  Status st{dec.get_u32()};
+  if (st.ok() && size_out != nullptr) *size_out = dec.get_u32();
+  scratch_.end_get(rsp);
+  return st;
+}
+
+FileClient::Status FileClient::read(std::uint32_t fh, std::uint32_t offset, std::uint32_t len,
+                                    std::vector<std::uint8_t>* out) {
+  auto enc = start_call(FileServer::kOpRead, 32);
+  enc.put_u32(fh).put_u32(offset).put_u32(len);
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  Status st{dec.get_u32()};
+  if (st.ok() && out != nullptr) *out = dec.get_opaque();
+  scratch_.end_get(rsp);
+  return st;
+}
+
+FileClient::Status FileClient::write(std::uint32_t fh, std::uint32_t offset,
+                                     std::span<const std::uint8_t> data,
+                                     std::uint32_t* written_out) {
+  auto enc = start_call(FileServer::kOpWrite,
+                        32 + Marshaller::opaque_size(data.size()));
+  enc.put_u32(fh).put_u32(offset).put_opaque(data);
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  Status st{dec.get_u32()};
+  if (st.ok() && written_out != nullptr) *written_out = dec.get_u32();
+  scratch_.end_get(rsp);
+  return st;
+}
+
+FileClient::Status FileClient::readdir(std::vector<std::string>* names_out) {
+  auto enc = start_call(FileServer::kOpReaddir, 8);
+  core::Message rsp = reqresp_.call(server_, enc.finish());
+  Marshaller::Decoder dec(rt_, rsp);
+  Status st{dec.get_u32()};
+  if (st.ok() && names_out != nullptr) {
+    std::uint32_t n = dec.get_u32();
+    names_out->clear();
+    for (std::uint32_t i = 0; i < n; ++i) names_out->push_back(dec.get_string());
+  }
+  scratch_.end_get(rsp);
+  return st;
+}
+
+FileClient::Status FileClient::write_file(const std::string& name,
+                                          std::span<const std::uint8_t> data) {
+  std::uint32_t fh = 0;
+  Status st = lookup(name, &fh);
+  if (st.code == FileServer::kNoEnt) st = create(name, &fh);
+  if (!st.ok()) return st;
+  std::uint32_t off = 0;
+  while (off < data.size()) {
+    std::uint32_t chunk =
+        std::min<std::uint32_t>(FileServer::kMaxIo, static_cast<std::uint32_t>(data.size()) - off);
+    std::uint32_t written = 0;
+    st = write(fh, off, data.subspan(off, chunk), &written);
+    if (!st.ok()) return st;
+    off += written;
+  }
+  return Status{FileServer::kOk};
+}
+
+FileClient::Status FileClient::read_file(const std::string& name,
+                                         std::vector<std::uint8_t>* out) {
+  std::uint32_t fh = 0;
+  Status st = lookup(name, &fh);
+  if (!st.ok()) return st;
+  std::uint32_t size = 0;
+  st = getattr(fh, &size);
+  if (!st.ok()) return st;
+  out->clear();
+  std::uint32_t off = 0;
+  while (off < size) {
+    std::vector<std::uint8_t> chunk;
+    st = read(fh, off, FileServer::kMaxIo, &chunk);
+    if (!st.ok()) return st;
+    if (chunk.empty()) break;
+    out->insert(out->end(), chunk.begin(), chunk.end());
+    off += static_cast<std::uint32_t>(chunk.size());
+  }
+  return Status{FileServer::kOk};
+}
+
+}  // namespace nectar::nectarine

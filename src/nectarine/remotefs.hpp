@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nectarine/marshal.hpp"
+#include "nproto/reqresp.hpp"
+
+namespace nectar::nectarine {
+
+/// NFS-flavored remote file service (paper §7: "Our future work will include
+/// ... porting important applications such as NFS and the X Window System to
+/// Nectar").
+///
+/// A stateless file server running as an application task on a CAB: files
+/// are named by handles after LOOKUP/CREATE; READ and WRITE address
+/// (handle, offset, count) so any call can be retried — which composes with
+/// the request-response transport's at-most-once delivery. Arguments and
+/// results are marshaled with the presentation layer (§5.3), so this module
+/// exercises marshaling, RPC transport, mailboxes, and the datalink in one
+/// realistic application.
+class FileServer {
+ public:
+  static constexpr std::uint32_t kOpLookup = 1;   // (name) -> fh
+  static constexpr std::uint32_t kOpCreate = 2;   // (name) -> fh
+  static constexpr std::uint32_t kOpRead = 3;     // (fh, off, len) -> data
+  static constexpr std::uint32_t kOpWrite = 4;    // (fh, off, data) -> count
+  static constexpr std::uint32_t kOpRemove = 5;   // (name)
+  static constexpr std::uint32_t kOpGetattr = 6;  // (fh) -> size
+  static constexpr std::uint32_t kOpReaddir = 7;  // () -> names
+
+  static constexpr std::uint32_t kOk = 0;
+  static constexpr std::uint32_t kNoEnt = 1;
+  static constexpr std::uint32_t kStale = 2;  // unknown handle
+  static constexpr std::uint32_t kExists = 3;
+  static constexpr std::uint32_t kBad = 4;
+
+  /// Per-call payload ceiling (keeps every RPC under the datalink MTU).
+  static constexpr std::uint32_t kMaxIo = 4096;
+
+  FileServer(core::CabRuntime& rt, nproto::ReqResp& reqresp);
+
+  FileServer(const FileServer&) = delete;
+  FileServer& operator=(const FileServer&) = delete;
+
+  core::MailboxAddr address() const { return service_.address(); }
+
+  std::uint64_t calls_served() const { return calls_; }
+  std::size_t files() const { return by_name_.size(); }
+
+ private:
+  struct File {
+    std::string name;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  void server_loop();
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  core::Mailbox& service_;
+  std::map<std::string, std::uint32_t> by_name_;
+  std::map<std::uint32_t, File> by_handle_;
+  std::uint32_t next_handle_ = 1;
+  std::uint64_t calls_ = 0;
+};
+
+/// CAB-side client. Every method is a synchronous RPC; errors come back as
+/// status codes (an unreachable server throws, as ReqResp::call does).
+class FileClient {
+ public:
+  FileClient(core::CabRuntime& rt, nproto::ReqResp& reqresp, core::MailboxAddr server);
+
+  struct Status {
+    std::uint32_t code = FileServer::kBad;
+    bool ok() const { return code == FileServer::kOk; }
+  };
+
+  Status lookup(const std::string& name, std::uint32_t* fh_out);
+  Status create(const std::string& name, std::uint32_t* fh_out);
+  Status remove(const std::string& name);
+  Status getattr(std::uint32_t fh, std::uint32_t* size_out);
+  Status read(std::uint32_t fh, std::uint32_t offset, std::uint32_t len,
+              std::vector<std::uint8_t>* out);
+  Status write(std::uint32_t fh, std::uint32_t offset, std::span<const std::uint8_t> data,
+               std::uint32_t* written_out);
+  Status readdir(std::vector<std::string>* names_out);
+
+  /// Convenience: whole-file transfer, split into kMaxIo chunks.
+  Status write_file(const std::string& name, std::span<const std::uint8_t> data);
+  Status read_file(const std::string& name, std::vector<std::uint8_t>* out);
+
+ private:
+  Marshaller::Encoder start_call(std::uint32_t op, std::uint32_t arg_bytes);
+  core::Message finish_call(Marshaller::Encoder& enc);
+
+  core::CabRuntime& rt_;
+  nproto::ReqResp& reqresp_;
+  core::MailboxAddr server_;
+  core::Mailbox& scratch_;
+};
+
+}  // namespace nectar::nectarine

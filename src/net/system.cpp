@@ -1,0 +1,20 @@
+#include "net/system.hpp"
+
+#include <stdexcept>
+
+namespace nectar::net {
+
+NectarSystem::NectarSystem(int num_cabs, bool with_vme, const proto::TcpConfig& tcp_config,
+                           std::size_t mtu) {
+  if (num_cabs < 1 || num_cabs > 16) {
+    throw std::invalid_argument("NectarSystem: one 16x16 HUB holds 1..16 CABs");
+  }
+  int hub = net_.add_hub(16);
+  for (int i = 0; i < num_cabs; ++i) net_.add_cab(hub, i, with_vme);
+  net_.install_routes();
+  for (int i = 0; i < num_cabs; ++i) {
+    stacks_.push_back(std::make_unique<NodeStack>(net_, i, tcp_config, mtu));
+  }
+}
+
+}  // namespace nectar::net

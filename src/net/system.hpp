@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "nproto/datagram.hpp"
+#include "nproto/reqresp.hpp"
+#include "nproto/rmp.hpp"
+#include "proto/icmp.hpp"
+#include "proto/ip.hpp"
+#include "proto/tcp.hpp"
+#include "proto/udp.hpp"
+
+namespace nectar::net {
+
+/// The full transport stack running on one CAB: the TCP/IP suite plus the
+/// Nectar-specific datagram / reliable-message / request-response protocols
+/// (paper §4) on top of the datalink.
+struct NodeStack {
+  proto::Ip ip;
+  proto::Icmp icmp;
+  proto::Udp udp;
+  proto::Tcp tcp;
+  nproto::DatagramProtocol datagram;
+  nproto::Rmp rmp;
+  nproto::ReqResp reqresp;
+
+  NodeStack(Network& net, int node, const proto::TcpConfig& tcp_config = {},
+            std::size_t mtu = proto::Ip::kDefaultMtu)
+      : ip(net.datalink(node), proto::ip_of_node(node), mtu),
+        icmp(ip),
+        udp(ip),
+        tcp(ip, tcp_config),
+        datagram(net.datalink(node)),
+        rmp(net.datalink(node)),
+        reqresp(net.datalink(node)) {
+    udp.set_icmp(&icmp);
+  }
+};
+
+/// Convenience assembly for tests/benchmarks/examples: `n` CABs on a single
+/// 16x16 HUB (the common Nectar installation), full stacks, routes
+/// installed.
+class NectarSystem {
+ public:
+  explicit NectarSystem(int num_cabs, bool with_vme = false,
+                        const proto::TcpConfig& tcp_config = {},
+                        std::size_t mtu = proto::Ip::kDefaultMtu);
+
+  Network& net() { return net_; }
+  sim::Engine& engine() { return net_.engine(); }
+  NodeStack& stack(int node) { return *stacks_.at(static_cast<std::size_t>(node)); }
+  core::CabRuntime& runtime(int node) { return net_.runtime(node); }
+
+ private:
+  Network net_;
+  std::vector<std::unique_ptr<NodeStack>> stacks_;
+};
+
+}  // namespace nectar::net

@@ -1,0 +1,96 @@
+#include "net/topology.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace nectar::net {
+
+Network::Network() : trace_(engine_) {}
+
+int Network::add_hub(int ports) {
+  int id = static_cast<int>(hubs_.size());
+  hubs_.push_back(std::make_unique<hw::Hub>(engine_, "hub" + std::to_string(id), ports));
+  return id;
+}
+
+int Network::add_cab(int hub_id, int port, bool with_vme) {
+  if (hub_id < 0 || hub_id >= hub_count()) throw std::out_of_range("Network::add_cab: bad hub");
+  int node = static_cast<int>(cabs_.size());
+  auto cn = std::make_unique<CabNode>();
+  if (with_vme) {
+    cn->vme = std::make_unique<hw::VmeBus>(engine_, "vme" + std::to_string(node));
+  }
+  cn->board =
+      std::make_unique<hw::CabBoard>(engine_, "cab" + std::to_string(node), node, cn->vme.get());
+  cn->rt = std::make_unique<core::CabRuntime>(*cn->board, &trace_);
+  cn->dl = std::make_unique<proto::Datalink>(*cn->rt);
+  cn->hub = hub_id;
+  cn->port = port;
+
+  hw::Hub& h = hub(hub_id);
+  cn->board->out_link().attach(h.input(port));
+  h.attach_output(port, &cn->board->in_fifo());
+
+  cabs_.push_back(std::move(cn));
+  return node;
+}
+
+void Network::link_hubs(int hub_a, int port_a, int hub_b, int port_b) {
+  hw::Hub& a = hub(hub_a);
+  hw::Hub& b = hub(hub_b);
+  a.attach_output(port_a, b.input(port_b));
+  b.attach_output(port_b, a.input(port_a));
+  trunks_.push_back({hub_a, port_a, hub_b, port_b});
+}
+
+std::vector<std::uint8_t> Network::compute_route(int src, int dst) const {
+  const CabNode& s = *cabs_.at(static_cast<std::size_t>(src));
+  const CabNode& d = *cabs_.at(static_cast<std::size_t>(dst));
+  if (s.hub == d.hub) {
+    return {static_cast<std::uint8_t>(d.port)};
+  }
+  // BFS over the HUB graph; remember (trunk output port) per step.
+  struct Step {
+    int hub;
+    std::vector<std::uint8_t> route;
+  };
+  std::deque<Step> frontier{{s.hub, {}}};
+  std::vector<bool> visited(hubs_.size(), false);
+  visited[static_cast<std::size_t>(s.hub)] = true;
+  while (!frontier.empty()) {
+    Step cur = std::move(frontier.front());
+    frontier.pop_front();
+    if (cur.hub == d.hub) {
+      cur.route.push_back(static_cast<std::uint8_t>(d.port));
+      return cur.route;
+    }
+    for (const Trunk& t : trunks_) {
+      if (t.hub_a == cur.hub && !visited[static_cast<std::size_t>(t.hub_b)]) {
+        visited[static_cast<std::size_t>(t.hub_b)] = true;
+        Step next{t.hub_b, cur.route};
+        next.route.push_back(static_cast<std::uint8_t>(t.port_a));
+        frontier.push_back(std::move(next));
+      }
+      if (t.hub_b == cur.hub && !visited[static_cast<std::size_t>(t.hub_a)]) {
+        visited[static_cast<std::size_t>(t.hub_a)] = true;
+        Step next{t.hub_a, cur.route};
+        next.route.push_back(static_cast<std::uint8_t>(t.port_b));
+        frontier.push_back(std::move(next));
+      }
+    }
+  }
+  throw std::logic_error("Network: no route between CABs " + std::to_string(src) + " and " +
+                         std::to_string(dst));
+}
+
+std::vector<std::uint8_t> Network::route(int src, int dst) const { return compute_route(src, dst); }
+
+void Network::install_routes() {
+  for (int s = 0; s < cab_count(); ++s) {
+    for (int d = 0; d < cab_count(); ++d) {
+      cabs_[static_cast<std::size_t>(s)]->dl->set_route(d, compute_route(s, d));
+    }
+  }
+}
+
+}  // namespace nectar::net

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "hw/cab.hpp"
+#include "hw/hub.hpp"
+#include "hw/vme.hpp"
+#include "proto/datalink.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace nectar::net {
+
+/// Builder/owner for a Nectar network: HUBs connected in an arbitrary mesh,
+/// CABs on HUB ports (paper §2, Figure 1). Computes the source routes the
+/// CABs use (§2.1) with a BFS over the HUB graph and installs them in every
+/// datalink.
+class Network {
+ public:
+  Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  sim::TraceRecorder& trace() { return trace_; }
+
+  /// Add a HUB (16x16 by default). Returns its id.
+  int add_hub(int ports = 16);
+  hw::Hub& hub(int id) { return *hubs_.at(static_cast<std::size_t>(id)); }
+  int hub_count() const { return static_cast<int>(hubs_.size()); }
+
+  /// Add a CAB on `hub_id` port `port` (one fiber pair, §2.2). A VME bus is
+  /// created when `with_vme` (for host-attached CABs). Returns the node id.
+  int add_cab(int hub_id, int port, bool with_vme = false);
+  int cab_count() const { return static_cast<int>(cabs_.size()); }
+
+  hw::CabBoard& cab(int node) { return *cabs_.at(static_cast<std::size_t>(node))->board; }
+  core::CabRuntime& runtime(int node) { return *cabs_.at(static_cast<std::size_t>(node))->rt; }
+  proto::Datalink& datalink(int node) { return *cabs_.at(static_cast<std::size_t>(node))->dl; }
+  hw::VmeBus* vme(int node) { return cabs_.at(static_cast<std::size_t>(node))->vme.get(); }
+
+  /// Connect two HUBs with a trunk fiber pair (multi-HUB systems, §2.1).
+  void link_hubs(int hub_a, int port_a, int hub_b, int port_b);
+
+  /// Compute and install source routes between every pair of CABs (and each
+  /// CAB to itself, through its own HUB). Call after the topology is built.
+  void install_routes();
+
+  /// The raw route (one output-port byte per HUB hop) from `src` to `dst`.
+  std::vector<std::uint8_t> route(int src, int dst) const;
+
+  /// Run the simulation until the event queue drains or `t` is reached.
+  void run_until(sim::SimTime t) { engine_.run_until(t); }
+  void run() { engine_.run(); }
+
+ private:
+  struct CabNode {
+    std::unique_ptr<hw::VmeBus> vme;  // may be null; must outlive the board
+    std::unique_ptr<hw::CabBoard> board;
+    std::unique_ptr<core::CabRuntime> rt;
+    std::unique_ptr<proto::Datalink> dl;
+    int hub = -1;
+    int port = -1;
+  };
+  struct Trunk {
+    int hub_a, port_a, hub_b, port_b;
+  };
+
+  std::vector<std::uint8_t> compute_route(int src, int dst) const;
+
+  sim::Engine engine_;
+  sim::TraceRecorder trace_;
+  std::vector<std::unique_ptr<hw::Hub>> hubs_;
+  std::vector<std::unique_ptr<CabNode>> cabs_;
+  std::vector<Trunk> trunks_;
+};
+
+}  // namespace nectar::net

@@ -1,0 +1,72 @@
+#include "nproto/datagram.hpp"
+
+#include "sim/costs.hpp"
+
+namespace nectar::nproto {
+
+namespace costs = sim::costs;
+
+DatagramProtocol::DatagramProtocol(proto::Datalink& dl)
+    : dl_(dl), input_(dl.runtime().create_mailbox("datagram-input")) {
+  dl_.register_client(proto::PacketType::NectarDatagram, this);
+}
+
+void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
+                                std::function<void()> on_sent, std::uint32_t src_mailbox) {
+  runtime().cpu().charge(costs::kNectarProtoSend);
+  runtime().trace_mark("datagram.send");
+
+  proto::NectarHeader h;
+  h.dst_mailbox = dst.index;
+  h.src_mailbox = src_mailbox;
+  h.src_node = static_cast<std::uint8_t>(dl_.node_id());
+  h.length = static_cast<std::uint16_t>(len);
+  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
+  h.serialize(hdr);
+
+  ++sent_;
+  dl_.send(proto::PacketType::NectarDatagram, dst.node, std::move(hdr), payload, len,
+           std::move(on_sent));
+}
+
+void DatagramProtocol::send(core::MailboxAddr dst, core::Message data, bool free_when_sent,
+                            std::uint32_t src_mailbox) {
+  if (free_when_sent) {
+    core::Mailbox& storage = input_;
+    send_raw(dst, data.data, data.len, [&storage, data] { storage.end_get(data); }, src_mailbox);
+  } else {
+    send_raw(dst, data.data, data.len, {}, src_mailbox);
+  }
+}
+
+void DatagramProtocol::end_of_data(core::Message m, std::uint8_t src_node) {
+  core::Cpu& cpu = runtime().cpu();
+  cpu.charge(costs::kNectarProtoRecv);
+
+  if (m.len < proto::NectarHeader::kSize) {
+    input_.end_get(m);
+    return;
+  }
+  proto::NectarHeader h = proto::NectarHeader::parse(
+      runtime().board().memory().view(m.data, proto::NectarHeader::kSize));
+  core::Mailbox* dst = runtime().find_mailbox(h.dst_mailbox);
+  if (dst == nullptr) {
+    ++dropped_no_mailbox_;
+    input_.end_get(m);
+    return;
+  }
+  ++delivered_;
+  last_sender_[dst] = Info{src_node, h.src_mailbox};
+  // Strip the protocol header in place and hand the payload to the target
+  // mailbox — the §3.3 zero-copy path.
+  core::Message payload = core::Mailbox::adjust_prefix(m, proto::NectarHeader::kSize);
+  input_.enqueue(payload, *dst);
+  runtime().trace_mark("datagram.deliver");
+}
+
+DatagramProtocol::Info DatagramProtocol::last_sender(const core::Mailbox& mb) const {
+  auto it = last_sender_.find(&mb);
+  return it == last_sender_.end() ? Info{} : it->second;
+}
+
+}  // namespace nectar::nproto

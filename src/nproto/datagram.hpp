@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/mailbox.hpp"
+#include "proto/datalink.hpp"
+#include "proto/headers.hpp"
+
+namespace nectar::nproto {
+
+/// Nectar-specific datagram protocol (paper §4): unreliable, unordered
+/// delivery of a message to a *network-wide mailbox address* (§3.3). No
+/// software checksum — integrity comes from the hardware CRC. This is the
+/// protocol behind the paper's headline 325 us host-to-host round trip
+/// (Table 1) and the Figure 6 latency breakdown.
+class DatagramProtocol : public proto::DatalinkClient {
+ public:
+  explicit DatagramProtocol(proto::Datalink& dl);
+
+  DatagramProtocol(const DatagramProtocol&) = delete;
+  DatagramProtocol& operator=(const DatagramProtocol&) = delete;
+
+  core::CabRuntime& runtime() { return dl_.runtime(); }
+
+  /// Send `data` to the mailbox `dst`. The data area is released once the
+  /// message is on the wire when `free_when_sent`. `src_mailbox` (optional)
+  /// travels in the header so the receiver can reply.
+  void send(core::MailboxAddr dst, core::Message data, bool free_when_sent = true,
+            std::uint32_t src_mailbox = 0);
+
+  /// Raw variant: payload directly from CAB data memory.
+  void send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
+                std::function<void()> on_sent = {}, std::uint32_t src_mailbox = 0);
+
+  /// Addressing info of a delivered datagram (who sent it, reply mailbox).
+  struct Info {
+    int src_node = -1;
+    std::uint32_t src_mailbox = 0;
+  };
+  /// Delivered messages carry no header (it is stripped before enqueue);
+  /// the last sender info per destination mailbox is available here.
+  Info last_sender(const core::Mailbox& mb) const;
+
+  // --- DatalinkClient --------------------------------------------------------
+
+  std::size_t header_bytes() const override { return proto::NectarHeader::kSize; }
+  core::Mailbox& input_mailbox() override { return input_; }
+  void end_of_data(core::Message m, std::uint8_t src_node) override;
+
+  // --- stats -------------------------------------------------------------------
+
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t datagrams_delivered() const { return delivered_; }
+  std::uint64_t dropped_no_mailbox() const { return dropped_no_mailbox_; }
+
+ private:
+  proto::Datalink& dl_;
+  core::Mailbox& input_;
+  std::map<const core::Mailbox*, Info> last_sender_;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_no_mailbox_ = 0;
+};
+
+}  // namespace nectar::nproto

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/mailbox.hpp"
+#include "proto/datalink.hpp"
+#include "proto/headers.hpp"
+
+namespace nectar::nproto {
+
+/// Nectar request-response protocol (paper §4): "the request-response
+/// protocol provides the transport mechanism for client-server RPC calls."
+///
+/// Client side: call() sends a request carrying a transaction id and blocks
+/// until the matching response arrives, retransmitting the request on
+/// timeout. Server side: requests are enqueued into a registered service
+/// mailbox; respond() sends the reply back. At-most-once execution: the
+/// server caches the last response per client and replays it for duplicate
+/// requests instead of re-executing.
+///
+/// Discipline: the duplicate cache is keyed by client *node*, so the
+/// supported usage is one outstanding call per client-node/server pair —
+/// issue calls sequentially from any one node (multiple client threads on a
+/// node must serialize their calls to the same server).
+class ReqResp : public proto::DatalinkClient {
+ public:
+  static constexpr sim::SimTime kRetryInterval = sim::msec(5);
+  static constexpr int kMaxRetries = 8;
+
+  explicit ReqResp(proto::Datalink& dl);
+
+  ReqResp(const ReqResp&) = delete;
+  ReqResp& operator=(const ReqResp&) = delete;
+
+  core::CabRuntime& runtime() { return dl_.runtime(); }
+
+  // --- client side --------------------------------------------------------------
+
+  /// Synchronous RPC: send `request` to the service mailbox `dst`, block the
+  /// calling thread until the response arrives, and return it. The caller
+  /// owns the returned message (end_get it on a local mailbox when done).
+  /// Throws std::runtime_error after kMaxRetries timeouts.
+  core::Message call(core::MailboxAddr dst, core::Message request,
+                     bool free_request_when_sent = true);
+
+  // --- server side -----------------------------------------------------------------
+
+  /// Requests addressed to `service` (a local mailbox registered with the
+  /// runtime) are delivered there with their protocol header *kept* so the
+  /// server can address the reply.
+  struct RequestInfo {
+    int client_node = -1;
+    std::uint32_t reply_mailbox = 0;  // client-side rendezvous id
+    std::uint16_t xid = 0;
+  };
+  static RequestInfo parse_request(core::CabRuntime& rt, const core::Message& m);
+  /// The request payload, header stripped in place.
+  static core::Message payload_of(core::Message m);
+
+  /// Send `reply` for the request described by `info`. The reply data area
+  /// is retained by the protocol for duplicate-replay and freed when a newer
+  /// request from the same client arrives.
+  void respond(const RequestInfo& info, core::Message reply);
+
+  // --- DatalinkClient ------------------------------------------------------------------
+
+  std::size_t header_bytes() const override { return proto::NectarHeader::kSize; }
+  core::Mailbox& input_mailbox() override { return input_; }
+  void end_of_data(core::Message m, std::uint8_t src_node) override;
+
+  // --- stats --------------------------------------------------------------------------------
+
+  std::uint64_t calls_sent() const { return calls_; }
+  std::uint64_t requests_delivered() const { return requests_delivered_; }
+  std::uint64_t responses_sent() const { return responses_sent_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t duplicate_requests() const { return dup_requests_; }
+
+ private:
+  static constexpr std::uint8_t kFlagRequest = 0;
+  static constexpr std::uint8_t kFlagResponse = 1;
+
+  struct OutstandingCall {
+    core::Thread* waiter = nullptr;
+    bool done = false;
+    bool failed = false;
+    core::Message response{};
+    hw::CabAddr req_payload = 0;
+    std::size_t req_len = 0;
+    std::uint32_t dst_mailbox = 0;
+    int dst_node = -1;
+    int retries_left = kMaxRetries;
+    core::Cpu::TimerId timer = 0;
+    bool timer_set = false;
+  };
+
+  struct ServerCache {
+    std::uint16_t last_xid = 0;
+    bool have_response = false;
+    core::Message response{};        // retained for duplicate replay
+    std::uint32_t reply_mailbox = 0;
+    bool in_progress = false;        // request delivered, respond() pending
+  };
+
+  void transmit_request(std::uint16_t xid);
+  void on_call_timeout(std::uint16_t xid);
+  void transmit_response(int client_node, std::uint16_t xid, std::uint32_t reply_mailbox,
+                         const core::Message& reply);
+
+  proto::Datalink& dl_;
+  core::Mailbox& input_;
+  std::map<std::uint16_t, OutstandingCall> calls_out_;
+  std::uint16_t next_xid_ = 1;
+  std::map<int, ServerCache> server_cache_;  // keyed by client node
+
+  std::uint64_t calls_ = 0;
+  std::uint64_t requests_delivered_ = 0;
+  std::uint64_t responses_sent_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t dup_requests_ = 0;
+};
+
+}  // namespace nectar::nproto

@@ -1,0 +1,164 @@
+#include "nproto/rmp.hpp"
+
+#include "core/cpu.hpp"
+#include "sim/costs.hpp"
+
+namespace nectar::nproto {
+
+namespace costs = sim::costs;
+
+Rmp::Rmp(proto::Datalink& dl) : dl_(dl), input_(dl.runtime().create_mailbox("rmp-input")) {
+  dl_.register_client(proto::PacketType::Rmp, this);
+}
+
+void Rmp::send(core::MailboxAddr dst, core::Message data, bool free_when_acked,
+               std::function<void()> on_acked) {
+  core::Cpu& cpu = runtime().cpu();
+  cpu.charge(costs::kNectarProtoSend);
+  // Send state is shared with the interrupt-level ACK/timeout handlers, so
+  // manipulate it under the interrupt mask (§3.1 discipline).
+  core::InterruptGuard g(cpu);
+  SendChannel& ch = send_channels_[dst.node];
+  ch.queue.push_back(Pending{data, dst.index, free_when_acked, std::move(on_acked)});
+  if (!ch.outstanding) {
+    ch.outstanding = true;
+    transmit_head(dst.node);
+  }
+}
+
+void Rmp::transmit_head(int node) {
+  SendChannel& ch = send_channels_[node];
+  const Pending& p = ch.queue.front();
+
+  proto::NectarHeader h;
+  h.dst_mailbox = p.dst_index;
+  h.src_node = static_cast<std::uint8_t>(dl_.node_id());
+  h.flags = kFlagData;
+  h.seq = ch.next_seq;
+  h.length = static_cast<std::uint16_t>(p.msg.len);
+  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
+  h.serialize(hdr);
+
+  ++sent_;
+  dl_.send(proto::PacketType::Rmp, node, std::move(hdr), p.msg.data, p.msg.len);
+
+  core::Cpu& cpu = runtime().cpu();
+  if (ch.timer_set) cpu.cancel_timer(ch.timer);
+  ch.timer_set = true;
+  ch.timer = cpu.set_timer(runtime().engine().now() + kRetransmitInterval,
+                           [this, node] { on_timeout(node); });
+}
+
+void Rmp::on_timeout(int node) {
+  SendChannel& ch = send_channels_[node];
+  if (!ch.timer_set || !ch.outstanding) return;
+  ch.timer_set = false;
+  ++retransmissions_;
+  transmit_head(node);
+}
+
+void Rmp::handle_ack(int node, std::uint16_t seq) {
+  SendChannel& ch = send_channels_[node];
+  if (!ch.outstanding || seq != ch.next_seq) return;  // stale or duplicate ACK
+  core::Cpu& cpu = runtime().cpu();
+  if (ch.timer_set) {
+    cpu.cancel_timer(ch.timer);
+    ch.timer_set = false;
+  }
+  Pending p = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  ++ch.next_seq;
+  ch.outstanding = false;
+  if (p.free_when_acked) input_.end_get(p.msg);
+  if (p.on_acked) p.on_acked();
+  if (!ch.queue.empty()) {
+    ch.outstanding = true;
+    transmit_head(node);
+  }
+  // Wake pacing/drain waiters on every acknowledgment; they re-check their
+  // own predicates.
+  for (core::Thread* t : ch.drain_waiters) t->cpu().wake(t);
+  ch.drain_waiters.clear();
+}
+
+void Rmp::wait_queue_below(int node, std::size_t n) {
+  core::Cpu& cpu = runtime().cpu();
+  core::InterruptGuard g(cpu);
+  SendChannel& ch = send_channels_[node];
+  while (ch.queue.size() >= n) {
+    ch.drain_waiters.push_back(cpu.current_thread());
+    cpu.block_unmasked();
+  }
+}
+
+std::size_t Rmp::queued_to(int node) const {
+  auto it = send_channels_.find(node);
+  return it == send_channels_.end() ? 0 : it->second.queue.size();
+}
+
+void Rmp::wait_acked(int node) {
+  core::Cpu& cpu = runtime().cpu();
+  core::InterruptGuard g(cpu);
+  SendChannel& ch = send_channels_[node];
+  while (ch.outstanding || !ch.queue.empty()) {
+    ch.drain_waiters.push_back(cpu.current_thread());
+    cpu.block_unmasked();
+  }
+}
+
+void Rmp::send_ack(int node, std::uint16_t seq) {
+  proto::NectarHeader h;
+  h.src_node = static_cast<std::uint8_t>(dl_.node_id());
+  h.flags = kFlagAck;
+  h.seq = seq;
+  h.length = 0;
+  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
+  h.serialize(hdr);
+  ++acks_sent_;
+  dl_.send(proto::PacketType::Rmp, node, std::move(hdr), hw::kDataBase, 0);
+}
+
+void Rmp::end_of_data(core::Message m, std::uint8_t src_node) {
+  core::Cpu& cpu = runtime().cpu();
+  cpu.charge(costs::kNectarProtoRecv);
+
+  if (m.len < proto::NectarHeader::kSize) {
+    input_.end_get(m);
+    return;
+  }
+  proto::NectarHeader h = proto::NectarHeader::parse(
+      runtime().board().memory().view(m.data, proto::NectarHeader::kSize));
+
+  if (h.flags == kFlagAck) {
+    input_.end_get(m);
+    handle_ack(src_node, h.seq);
+    return;
+  }
+
+  RecvChannel& rc = recv_channels_[src_node];
+  if (h.seq != rc.expected_seq) {
+    // Stop-and-wait: this can only be a retransmission of the previous
+    // message whose ACK was lost. Re-acknowledge and drop.
+    ++dups_;
+    input_.end_get(m);
+    send_ack(src_node, h.seq);
+    return;
+  }
+
+  core::Mailbox* dst = runtime().find_mailbox(h.dst_mailbox);
+  if (dst == nullptr) {
+    // Undeliverable; acknowledge anyway so the sender does not retry forever.
+    ++dropped_no_mailbox_;
+    input_.end_get(m);
+    send_ack(src_node, h.seq);
+    ++rc.expected_seq;
+    return;
+  }
+  ++delivered_;
+  ++rc.expected_seq;
+  core::Message payload = core::Mailbox::adjust_prefix(m, proto::NectarHeader::kSize);
+  input_.enqueue(payload, *dst);
+  send_ack(src_node, h.seq);
+}
+
+}  // namespace nectar::nproto

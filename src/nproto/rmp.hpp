@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/mailbox.hpp"
+#include "proto/datalink.hpp"
+#include "proto/headers.hpp"
+
+namespace nectar::nproto {
+
+/// Nectar reliable message protocol (paper §4): "a simple stop-and-wait
+/// protocol". One message outstanding per destination node; the receiver
+/// acknowledges each message; the sender retransmits on timeout. No software
+/// checksum — it "relies on the CRC implemented by the CAB hardware" (§6.2),
+/// which is why RMP reaches ~90 Mbit/s CAB-to-CAB where TCP pays the per-byte
+/// checksum tax (Fig. 7).
+class Rmp : public proto::DatalinkClient {
+ public:
+  /// Stop-and-wait retransmission interval (no RTT estimation in the paper's
+  /// simple protocol).
+  static constexpr sim::SimTime kRetransmitInterval = sim::msec(5);
+
+  explicit Rmp(proto::Datalink& dl);
+
+  Rmp(const Rmp&) = delete;
+  Rmp& operator=(const Rmp&) = delete;
+
+  core::CabRuntime& runtime() { return dl_.runtime(); }
+
+  /// Queue `data` for reliable delivery to the mailbox `dst`. Messages to
+  /// one node are delivered exactly once, in order. The data area is
+  /// released when acknowledged if `free_when_acked`. `on_acked` (optional,
+  /// interrupt context) fires when the acknowledgment arrives.
+  void send(core::MailboxAddr dst, core::Message data, bool free_when_acked = true,
+            std::function<void()> on_acked = {});
+
+  /// Block the calling thread until every queued message to `node` has been
+  /// acknowledged.
+  void wait_acked(int node);
+
+  /// Block until fewer than `n` messages are queued toward `node` — bulk
+  /// senders pace themselves against CAB buffer memory with this.
+  void wait_queue_below(int node, std::size_t n);
+
+  /// Messages queued (including the outstanding one) toward `node`.
+  std::size_t queued_to(int node) const;
+
+  // --- DatalinkClient ----------------------------------------------------------
+
+  std::size_t header_bytes() const override { return proto::NectarHeader::kSize; }
+  core::Mailbox& input_mailbox() override { return input_; }
+  void end_of_data(core::Message m, std::uint8_t src_node) override;
+
+  // --- stats -----------------------------------------------------------------------
+
+  std::uint64_t messages_sent() const { return sent_; }
+  std::uint64_t messages_delivered() const { return delivered_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t duplicates_dropped() const { return dups_; }
+  std::uint64_t acks_sent() const { return acks_sent_; }
+
+ private:
+  static constexpr std::uint8_t kFlagData = 0;
+  static constexpr std::uint8_t kFlagAck = 1;
+
+  struct Pending {
+    core::Message msg;
+    std::uint32_t dst_index;  // destination mailbox on the remote node
+    bool free_when_acked;
+    std::function<void()> on_acked;
+  };
+  struct SendChannel {
+    std::uint16_t next_seq = 0;       // seq of the head-of-line message
+    std::deque<Pending> queue;        // head is the outstanding message
+    bool outstanding = false;         // head transmitted, awaiting ACK
+    core::Cpu::TimerId timer = 0;
+    bool timer_set = false;
+    std::vector<core::Thread*> drain_waiters;
+  };
+  struct RecvChannel {
+    std::uint16_t expected_seq = 0;
+  };
+
+  void transmit_head(int node);         // (re)send the outstanding message
+  void handle_ack(int node, std::uint16_t seq);
+  void on_timeout(int node);
+  void send_ack(int node, std::uint16_t seq);
+
+  proto::Datalink& dl_;
+  core::Mailbox& input_;
+  std::map<int, SendChannel> send_channels_;
+  std::map<int, RecvChannel> recv_channels_;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t dups_ = 0;
+  std::uint64_t acks_sent_ = 0;
+  std::uint64_t dropped_no_mailbox_ = 0;
+};
+
+}  // namespace nectar::nproto

@@ -1,0 +1,57 @@
+#include "proto/checksum.hpp"
+
+#include "sim/costs.hpp"
+
+namespace nectar::proto {
+
+void InternetChecksum::update(std::span<const std::uint8_t> data) {
+  std::size_t i = 0;
+  std::uint32_t s = sum_;
+  if (odd_ && !data.empty()) {
+    // Pair the dangling byte with the first byte of this span.
+    s += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    s += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) {
+    s += static_cast<std::uint32_t>(data[i]) << 8;
+    odd_ = true;
+  }
+  sum_ = s;
+}
+
+std::uint16_t InternetChecksum::value() const {
+  std::uint32_t s = sum_;
+  while (s >> 16) s = (s & 0xFFFF) + (s >> 16);
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t InternetChecksum::compute(std::span<const std::uint8_t> data) {
+  InternetChecksum c;
+  c.update(data);
+  return c.value();
+}
+
+std::uint16_t InternetChecksum::compute2(std::span<const std::uint8_t> a,
+                                         std::span<const std::uint8_t> b) {
+  InternetChecksum c;
+  c.update(a);
+  c.update(b);
+  return c.value();
+}
+
+bool InternetChecksum::verify(std::span<const std::uint8_t> data) {
+  InternetChecksum c;
+  c.update(data);
+  // A buffer containing a correct checksum sums to 0xFFFF (complement 0).
+  return c.value() == 0;
+}
+
+std::int64_t checksum_cost(std::size_t bytes) {
+  return static_cast<std::int64_t>(bytes) * sim::costs::kChecksumPerByte;
+}
+
+}  // namespace nectar::proto

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nectar::proto {
+
+/// Internet checksum (RFC 1071): 16-bit one's-complement sum.
+///
+/// The *computation* is free C++; the *cost model* is separate — protocol
+/// code charges `checksum_cost(bytes)` to the CPU when it checksums in
+/// software (the paper's Fig. 7 shows this is what separates TCP/IP from the
+/// Nectar-specific protocols, which rely on the hardware CRC instead).
+class InternetChecksum {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  /// Final folded, complemented 16-bit checksum.
+  std::uint16_t value() const;
+  void reset() { sum_ = 0; odd_ = false; }
+
+  static std::uint16_t compute(std::span<const std::uint8_t> data);
+  /// Compute over two spans (header + payload), as a gathered send does.
+  static std::uint16_t compute2(std::span<const std::uint8_t> a,
+                                std::span<const std::uint8_t> b);
+  /// True if `data` (which embeds its checksum field) verifies to 0.
+  static bool verify(std::span<const std::uint8_t> data);
+
+ private:
+  std::uint32_t sum_ = 0;
+  bool odd_ = false;  // a dangling odd byte from the previous update
+};
+
+/// CPU time to checksum `bytes` in software on the CAB (see costs.hpp).
+std::int64_t checksum_cost(std::size_t bytes);
+
+}  // namespace nectar::proto

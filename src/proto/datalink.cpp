@@ -1,0 +1,136 @@
+#include "proto/datalink.hpp"
+
+#include <stdexcept>
+
+#include "sim/costs.hpp"
+
+namespace nectar::proto {
+
+namespace costs = sim::costs;
+
+Datalink::Datalink(core::CabRuntime& rt) : rt_(rt) {
+  rt_.set_packet_handler([this] { process_pending(); });
+}
+
+void Datalink::set_route(int dst_node, std::vector<std::uint8_t> route) {
+  routes_[dst_node] = std::move(route);
+}
+
+const std::vector<std::uint8_t>& Datalink::route_to(int dst_node) const {
+  auto it = routes_.find(dst_node);
+  if (it == routes_.end()) {
+    throw std::logic_error(rt_.board().name() + ": no route to node " +
+                           std::to_string(dst_node));
+  }
+  return it->second;
+}
+
+void Datalink::register_client(PacketType type, DatalinkClient* client) {
+  clients_[static_cast<std::uint8_t>(type)] = client;
+}
+
+void Datalink::send(PacketType type, int dst_node, std::vector<std::uint8_t> proto_header,
+                    hw::CabAddr payload, std::size_t len, std::function<void()> on_sent) {
+  if (proto_header.size() + len > kMaxPayload) {
+    throw std::logic_error("Datalink::send: packet exceeds maximum payload");
+  }
+  const std::vector<std::uint8_t>& route = route_to(dst_node);
+  rt_.cpu().charge(costs::kDatalinkSend);
+
+  DatalinkHeader dh;
+  dh.type = type;
+  dh.src_node = static_cast<std::uint8_t>(node_id());
+  dh.length = static_cast<std::uint16_t>(proto_header.size() + len);
+
+  // Gather: [datalink header][protocol header] from registers, payload from
+  // CAB data memory via the send DMA channel.
+  std::vector<std::uint8_t> header(DatalinkHeader::kSize + proto_header.size());
+  dh.serialize(header);
+  std::copy(proto_header.begin(), proto_header.end(), header.begin() + DatalinkHeader::kSize);
+
+  ++packets_sent_;
+  std::function<void()> completion;
+  if (on_sent) {
+    core::Cpu& cpu = rt_.cpu();
+    completion = [&cpu, fn = std::move(on_sent)] { cpu.post_interrupt(fn); };
+  }
+  rt_.board().dma().start_send(route, std::move(header), len > 0 ? payload : hw::kDataBase, len,
+                               std::move(completion), node_id());
+}
+
+void Datalink::discard_front() {
+  rt_.board().dma().start_recv(hw::DmaController::kDiscard, 0,
+                               [this](hw::FiberInFifo::ArrivedFrame, bool) {
+                                 rt_.cpu().post_interrupt([this] { process_pending(); });
+                               });
+}
+
+void Datalink::process_pending() {
+  hw::FiberInFifo& fifo = rt_.board().in_fifo();
+  hw::DmaController& dma = rt_.board().dma();
+  core::Cpu& cpu = rt_.cpu();
+
+  if (dma.recv_busy() || !fifo.has_frame()) return;
+
+  // Stall until the datalink header has arrived in the FIFO (§2.2: the CPU
+  // reads the FIFO head; the bytes may still be in flight), then parse it.
+  cpu.charge_until(fifo.payload_available_at(DatalinkHeader::kSize));
+  cpu.charge(costs::kDatalinkRecv);
+
+  const hw::FiberInFifo::ArrivedFrame& front = fifo.front();
+  if (front.frame.payload.size() < DatalinkHeader::kSize) {
+    ++dropped_runt_;
+    discard_front();
+    return;
+  }
+  DatalinkHeader dh = DatalinkHeader::parse(front.frame.payload);
+  DatalinkClient* client = clients_[static_cast<std::uint8_t>(dh.type)];
+  if (client == nullptr) {
+    ++dropped_no_client_;
+    discard_front();
+    return;
+  }
+
+  // Allocate the packet's data area directly in the protocol's input
+  // mailbox (§4.1: "initiates DMA operations to place the data into an
+  // appropriate mailbox"). Non-blocking: we are at interrupt level.
+  auto msg = client->input_mailbox().begin_put_try(dh.length);
+  if (!msg.has_value()) {
+    ++dropped_no_buffer_;
+    discard_front();
+    return;
+  }
+  core::Message m = *msg;
+  std::uint8_t src = dh.src_node;
+
+  // When will the protocol header have arrived? (Computed now: the FIFO
+  // front may already be popped by the time the DMA completes.)
+  sim::SimTime proto_hdr_avail =
+      fifo.payload_available_at(DatalinkHeader::kSize + client->header_bytes());
+
+  dma.start_recv(m.data, DatalinkHeader::kSize,
+                 [this, m, src, client](hw::FiberInFifo::ArrivedFrame af, bool crc_ok) {
+                   rt_.cpu().post_interrupt([this, m, src, client, crc_ok] {
+                     ++packets_received_;
+                     if (crc_ok) {
+                       client->end_of_data(m, src);
+                     } else {
+                       // The hardware CRC caught corruption: drop silently;
+                       // reliable protocols recover by retransmission.
+                       ++dropped_crc_;
+                       client->input_mailbox().end_get(m);
+                     }
+                     process_pending();
+                   });
+                   (void)af;
+                 });
+
+  // Start-of-data upcall: overlap protocol header processing with the rest
+  // of the packet's arrival (§4.1).
+  if (client->header_bytes() > 0) {
+    cpu.charge_until(proto_hdr_avail);
+    client->start_of_data(m, src);
+  }
+}
+
+}  // namespace nectar::proto

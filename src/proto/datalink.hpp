@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/mailbox.hpp"
+#include "core/runtime.hpp"
+#include "proto/headers.hpp"
+
+namespace nectar::proto {
+
+/// A transport protocol registered with the datalink layer.
+///
+/// Receive flow (paper §4.1): when a packet arrives over the fiber, the
+/// datalink layer reads the datalink header at interrupt time and initiates
+/// DMA into the protocol's input mailbox. Once the protocol header has
+/// arrived it issues a *start-of-data* upcall (so useful work — e.g. the IP
+/// header sanity check — overlaps the rest of the reception), and when the
+/// whole packet is in memory an *end-of-data* upcall.
+class DatalinkClient {
+ public:
+  virtual ~DatalinkClient() = default;
+
+  /// Protocol header bytes guaranteed to be in memory before start_of_data.
+  virtual std::size_t header_bytes() const = 0;
+
+  /// Mailbox packets for this protocol are received into.
+  virtual core::Mailbox& input_mailbox() = 0;
+
+  /// Interrupt context; the first header_bytes() of `m` are valid, the rest
+  /// of the packet is still streaming in.
+  virtual void start_of_data(const core::Message& m, std::uint8_t src_node) {
+    (void)m;
+    (void)src_node;
+  }
+
+  /// Interrupt context; the full packet is in memory. The implementation
+  /// must either publish `m` (end_put / enqueue) or release it.
+  virtual void end_of_data(core::Message m, std::uint8_t src_node) = 0;
+};
+
+/// Nectar datalink layer: framing, packet-type dispatch, source-route lookup,
+/// and the interrupt-time receive path described in §4.1.
+class Datalink {
+ public:
+  /// Maximum datalink payload (protocol headers + data) per packet.
+  static constexpr std::size_t kMaxPayload = 16 * 1024;
+
+  explicit Datalink(core::CabRuntime& rt);
+
+  Datalink(const Datalink&) = delete;
+  Datalink& operator=(const Datalink&) = delete;
+
+  core::CabRuntime& runtime() { return rt_; }
+  int node_id() const { return rt_.node_id(); }
+
+  // --- routing (source routes, §2.1) ---------------------------------------
+
+  void set_route(int dst_node, std::vector<std::uint8_t> route);
+  bool has_route(int dst_node) const { return routes_.count(dst_node) > 0; }
+  const std::vector<std::uint8_t>& route_to(int dst_node) const;
+
+  // --- protocol registration --------------------------------------------------
+
+  void register_client(PacketType type, DatalinkClient* client);
+
+  // --- send path -----------------------------------------------------------------
+
+  /// Transmit `proto_header` (built by the protocol, copied into the frame)
+  /// followed by `len` bytes of payload from CAB data memory at `payload`.
+  /// `on_sent`, if given, runs in interrupt context after the last byte has
+  /// left the fiber (protocols use it to free send buffers).
+  void send(PacketType type, int dst_node, std::vector<std::uint8_t> proto_header,
+            hw::CabAddr payload, std::size_t len, std::function<void()> on_sent = {});
+
+  // --- stats ------------------------------------------------------------------------
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t dropped_no_client() const { return dropped_no_client_; }
+  std::uint64_t dropped_no_buffer() const { return dropped_no_buffer_; }
+  std::uint64_t dropped_crc() const { return dropped_crc_; }
+  std::uint64_t dropped_runt() const { return dropped_runt_; }
+
+ private:
+  void process_pending();  // interrupt context
+  void discard_front();    // interrupt context
+
+  core::CabRuntime& rt_;
+  std::map<int, std::vector<std::uint8_t>> routes_;
+  std::array<DatalinkClient*, 256> clients_{};
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t dropped_no_client_ = 0;
+  std::uint64_t dropped_no_buffer_ = 0;
+  std::uint64_t dropped_crc_ = 0;
+  std::uint64_t dropped_runt_ = 0;
+};
+
+}  // namespace nectar::proto

@@ -1,0 +1,192 @@
+#include "proto/headers.hpp"
+
+#include <stdexcept>
+
+#include "proto/checksum.hpp"
+
+namespace nectar::proto {
+
+namespace {
+void need(std::span<const std::uint8_t> b, std::size_t n, const char* what) {
+  if (b.size() < n) throw std::invalid_argument(std::string(what) + ": buffer too short");
+}
+void need_out(std::span<std::uint8_t> b, std::size_t n, const char* what) {
+  if (b.size() < n) throw std::invalid_argument(std::string(what) + ": buffer too short");
+}
+}  // namespace
+
+std::string ip_to_string(IpAddr a) {
+  return std::to_string(a >> 24) + "." + std::to_string((a >> 16) & 0xFF) + "." +
+         std::to_string((a >> 8) & 0xFF) + "." + std::to_string(a & 0xFF);
+}
+
+// --- datalink -----------------------------------------------------------------
+
+void DatalinkHeader::serialize(std::span<std::uint8_t> out) const {
+  need_out(out, kSize, "DatalinkHeader");
+  put8(out, 0, static_cast<std::uint8_t>(type));
+  put8(out, 1, src_node);
+  put16(out, 2, length);
+}
+
+DatalinkHeader DatalinkHeader::parse(std::span<const std::uint8_t> in) {
+  need(in, kSize, "DatalinkHeader");
+  DatalinkHeader h;
+  h.type = static_cast<PacketType>(get8(in, 0));
+  h.src_node = get8(in, 1);
+  h.length = get16(in, 2);
+  return h;
+}
+
+// --- IP ----------------------------------------------------------------------------
+
+void IpHeader::serialize(std::span<std::uint8_t> out) const {
+  need_out(out, kSize, "IpHeader");
+  put8(out, 0, 0x45);  // version 4, IHL 5
+  put8(out, 1, tos);
+  put16(out, 2, total_len);
+  put16(out, 4, id);
+  std::uint16_t ff = frag_offset & 0x1FFF;
+  if (dont_fragment) ff |= 0x4000;
+  if (more_fragments) ff |= 0x2000;
+  put16(out, 6, ff);
+  put8(out, 8, ttl);
+  put8(out, 9, protocol);
+  put16(out, 10, 0);  // checksum placeholder
+  put32(out, 12, src);
+  put32(out, 16, dst);
+  std::uint16_t sum = InternetChecksum::compute(out.first(kSize));
+  put16(out, 10, sum);
+}
+
+IpHeader IpHeader::parse(std::span<const std::uint8_t> in) {
+  need(in, kSize, "IpHeader");
+  if ((get8(in, 0) >> 4) != 4) throw std::invalid_argument("IpHeader: not IPv4");
+  if ((get8(in, 0) & 0x0F) != 5) throw std::invalid_argument("IpHeader: options unsupported");
+  IpHeader h;
+  h.tos = get8(in, 1);
+  h.total_len = get16(in, 2);
+  h.id = get16(in, 4);
+  std::uint16_t ff = get16(in, 6);
+  h.dont_fragment = (ff & 0x4000) != 0;
+  h.more_fragments = (ff & 0x2000) != 0;
+  h.frag_offset = ff & 0x1FFF;
+  h.ttl = get8(in, 8);
+  h.protocol = get8(in, 9);
+  h.checksum = get16(in, 10);
+  h.src = get32(in, 12);
+  h.dst = get32(in, 16);
+  return h;
+}
+
+bool IpHeader::checksum_ok(std::span<const std::uint8_t> hdr) {
+  if (hdr.size() < kSize) return false;
+  return InternetChecksum::verify(hdr.first(kSize));
+}
+
+// --- ICMP -----------------------------------------------------------------------------
+
+void IcmpHeader::serialize(std::span<std::uint8_t> out) const {
+  need_out(out, kSize, "IcmpHeader");
+  put8(out, 0, type);
+  put8(out, 1, code);
+  put16(out, 2, checksum);
+  put16(out, 4, id);
+  put16(out, 6, seq);
+}
+
+IcmpHeader IcmpHeader::parse(std::span<const std::uint8_t> in) {
+  need(in, kSize, "IcmpHeader");
+  IcmpHeader h;
+  h.type = get8(in, 0);
+  h.code = get8(in, 1);
+  h.checksum = get16(in, 2);
+  h.id = get16(in, 4);
+  h.seq = get16(in, 6);
+  return h;
+}
+
+// --- UDP ------------------------------------------------------------------------------
+
+void UdpHeader::serialize(std::span<std::uint8_t> out) const {
+  need_out(out, kSize, "UdpHeader");
+  put16(out, 0, src_port);
+  put16(out, 2, dst_port);
+  put16(out, 4, length);
+  put16(out, 6, checksum);
+}
+
+UdpHeader UdpHeader::parse(std::span<const std::uint8_t> in) {
+  need(in, kSize, "UdpHeader");
+  UdpHeader h;
+  h.src_port = get16(in, 0);
+  h.dst_port = get16(in, 2);
+  h.length = get16(in, 4);
+  h.checksum = get16(in, 6);
+  return h;
+}
+
+// --- TCP --------------------------------------------------------------------------------
+
+void TcpHeader::serialize(std::span<std::uint8_t> out) const {
+  need_out(out, kSize, "TcpHeader");
+  put16(out, 0, src_port);
+  put16(out, 2, dst_port);
+  put32(out, 4, seq);
+  put32(out, 8, ack);
+  put8(out, 12, 5 << 4);  // data offset 5 words, no options
+  put8(out, 13, flags);
+  put16(out, 14, window);
+  put16(out, 16, checksum);
+  put16(out, 18, urgent);
+}
+
+TcpHeader TcpHeader::parse(std::span<const std::uint8_t> in) {
+  need(in, kSize, "TcpHeader");
+  if ((get8(in, 12) >> 4) != 5) throw std::invalid_argument("TcpHeader: options unsupported");
+  TcpHeader h;
+  h.src_port = get16(in, 0);
+  h.dst_port = get16(in, 2);
+  h.seq = get32(in, 4);
+  h.ack = get32(in, 8);
+  h.flags = get8(in, 13);
+  h.window = get16(in, 14);
+  h.checksum = get16(in, 16);
+  h.urgent = get16(in, 18);
+  return h;
+}
+
+void PseudoHeader::serialize(std::span<std::uint8_t> out) const {
+  need_out(out, kSize, "PseudoHeader");
+  put32(out, 0, src);
+  put32(out, 4, dst);
+  put8(out, 8, 0);
+  put8(out, 9, protocol);
+  put16(out, 10, length);
+}
+
+// --- Nectar transport header -------------------------------------------------------------
+
+void NectarHeader::serialize(std::span<std::uint8_t> out) const {
+  need_out(out, kSize, "NectarHeader");
+  put32(out, 0, dst_mailbox);
+  put32(out, 4, src_mailbox);
+  put8(out, 8, src_node);
+  put8(out, 9, flags);
+  put16(out, 10, seq);
+  put16(out, 12, length);
+}
+
+NectarHeader NectarHeader::parse(std::span<const std::uint8_t> in) {
+  need(in, kSize, "NectarHeader");
+  NectarHeader h;
+  h.dst_mailbox = get32(in, 0);
+  h.src_mailbox = get32(in, 4);
+  h.src_node = get8(in, 8);
+  h.flags = get8(in, 9);
+  h.seq = get16(in, 10);
+  h.length = get16(in, 12);
+  return h;
+}
+
+}  // namespace nectar::proto

@@ -1,0 +1,194 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+namespace nectar::proto {
+
+// --- byte-order helpers (network order = big-endian) -------------------------
+
+inline void put8(std::span<std::uint8_t> b, std::size_t off, std::uint8_t v) { b[off] = v; }
+inline void put16(std::span<std::uint8_t> b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v);
+}
+inline void put32(std::span<std::uint8_t> b, std::size_t off, std::uint32_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 24);
+  b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 3] = static_cast<std::uint8_t>(v);
+}
+inline std::uint8_t get8(std::span<const std::uint8_t> b, std::size_t off) { return b[off]; }
+inline std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] << 8 | b[off + 1]);
+}
+inline std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) << 24 | static_cast<std::uint32_t>(b[off + 1]) << 16 |
+         static_cast<std::uint32_t>(b[off + 2]) << 8 | b[off + 3];
+}
+
+/// Native-order variants for request blocks in *shared memory* (host-CAB
+/// control structures use the machine representation, matching
+/// CabMemory::read32/write32; network headers use the big-endian put/get
+/// above).
+inline void put32n(std::span<std::uint8_t> b, std::size_t off, std::uint32_t v) {
+  std::memcpy(b.data() + off, &v, 4);
+}
+inline std::uint32_t get32n(std::span<const std::uint8_t> b, std::size_t off) {
+  std::uint32_t v;
+  std::memcpy(&v, b.data() + off, 4);
+  return v;
+}
+
+// --- datalink ---------------------------------------------------------------------
+
+/// Packet types multiplexed on the Nectar datalink.
+enum class PacketType : std::uint8_t {
+  Ip = 1,             ///< TCP/IP suite (§4.1-4.2)
+  NectarDatagram = 2, ///< Nectar-specific datagram protocol (§4)
+  Rmp = 3,            ///< Nectar reliable message protocol (§4, §6.2)
+  ReqResp = 4,        ///< Nectar request-response protocol (§4)
+  NetDev = 5,         ///< raw packets for the network-device usage level (§5.1)
+};
+
+/// Datalink header: 4 bytes on the wire, in front of every packet.
+struct DatalinkHeader {
+  PacketType type = PacketType::Ip;
+  std::uint8_t src_node = 0;
+  std::uint16_t length = 0;  ///< payload bytes following this header
+
+  static constexpr std::size_t kSize = 4;
+  void serialize(std::span<std::uint8_t> out) const;
+  static DatalinkHeader parse(std::span<const std::uint8_t> in);
+};
+
+// --- IP (§4.1) -------------------------------------------------------------------
+
+using IpAddr = std::uint32_t;
+
+/// Nectar address plan for the simulation: node n lives at 10.0.0.n.
+constexpr IpAddr ip_of_node(int node) {
+  return (10u << 24) | static_cast<std::uint32_t>(node & 0xFF);
+}
+constexpr int node_of_ip(IpAddr a) { return static_cast<int>(a & 0xFF); }
+std::string ip_to_string(IpAddr a);
+
+enum IpProto : std::uint8_t {
+  kProtoIcmp = 1,
+  kProtoTcp = 6,
+  kProtoUdp = 17,
+};
+
+/// IPv4 header (20 bytes, no options — the CAB stack never emits options).
+struct IpHeader {
+  std::uint8_t tos = 0;
+  std::uint16_t total_len = 0;  ///< header + payload
+  std::uint16_t id = 0;
+  bool dont_fragment = false;
+  bool more_fragments = false;
+  std::uint16_t frag_offset = 0;  ///< in 8-byte units
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  IpAddr src = 0;
+  IpAddr dst = 0;
+
+  static constexpr std::size_t kSize = 20;
+  /// Serialize with a freshly computed header checksum.
+  void serialize(std::span<std::uint8_t> out) const;
+  static IpHeader parse(std::span<const std::uint8_t> in);
+  /// Verify the embedded header checksum.
+  static bool checksum_ok(std::span<const std::uint8_t> hdr);
+};
+
+// --- ICMP (§4.1) --------------------------------------------------------------------
+
+enum IcmpType : std::uint8_t {
+  kIcmpEchoReply = 0,
+  kIcmpUnreachable = 3,
+  kIcmpTimeExceeded = 11,
+  kIcmpEchoRequest = 8,
+};
+
+struct IcmpHeader {
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t id = 0;
+  std::uint16_t seq = 0;
+
+  static constexpr std::size_t kSize = 8;
+  void serialize(std::span<std::uint8_t> out) const;
+  static IcmpHeader parse(std::span<const std::uint8_t> in);
+};
+
+// --- UDP (§4.1) ----------------------------------------------------------------------
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  ///< header + payload
+  std::uint16_t checksum = 0;
+
+  static constexpr std::size_t kSize = 8;
+  void serialize(std::span<std::uint8_t> out) const;
+  static UdpHeader parse(std::span<const std::uint8_t> in);
+};
+
+// --- TCP (§4.2) -----------------------------------------------------------------------
+
+constexpr std::uint8_t kTcpFin = 0x01;
+constexpr std::uint8_t kTcpSyn = 0x02;
+constexpr std::uint8_t kTcpRst = 0x04;
+constexpr std::uint8_t kTcpPsh = 0x08;
+constexpr std::uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  static constexpr std::size_t kSize = 20;
+  void serialize(std::span<std::uint8_t> out) const;
+  static TcpHeader parse(std::span<const std::uint8_t> in);
+  bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+};
+
+/// TCP/UDP pseudo-header for checksumming (RFC 793 / 768).
+struct PseudoHeader {
+  IpAddr src = 0;
+  IpAddr dst = 0;
+  std::uint8_t protocol = 0;
+  std::uint16_t length = 0;
+
+  static constexpr std::size_t kSize = 12;
+  void serialize(std::span<std::uint8_t> out) const;
+};
+
+// --- Nectar-specific transport headers (§4) ----------------------------------------------
+
+/// Common header for the Nectar datagram / RMP / request-response protocols:
+/// they address *mailboxes*, not ports (§3.3: "Network-wide addressing of
+/// mailboxes enables host processes or CAB threads to send messages to
+/// remote mailboxes via transport protocols").
+struct NectarHeader {
+  std::uint32_t dst_mailbox = 0;
+  std::uint32_t src_mailbox = 0;  ///< reply mailbox (0 = none)
+  std::uint8_t src_node = 0;
+  std::uint8_t flags = 0;     ///< protocol-specific (RMP: DATA/ACK, RR: REQ/RSP)
+  std::uint16_t seq = 0;      ///< RMP sequence / RR transaction id
+  std::uint16_t length = 0;   ///< payload bytes
+
+  static constexpr std::size_t kSize = 14;
+  void serialize(std::span<std::uint8_t> out) const;
+  static NectarHeader parse(std::span<const std::uint8_t> in);
+};
+
+}  // namespace nectar::proto

@@ -1,0 +1,181 @@
+#include "proto/icmp.hpp"
+
+#include "proto/checksum.hpp"
+#include "sim/costs.hpp"
+
+namespace nectar::proto {
+
+namespace costs = sim::costs;
+
+Icmp::Icmp(Ip& ip)
+    : ip_(ip),
+      input_(ip.runtime().create_mailbox("icmp-input")),
+      scratch_(ip.runtime().create_mailbox("icmp-scratch")) {
+  ip_.register_protocol(kProtoIcmp, &input_);
+  // §4.1: "ICMP is implemented as a mailbox upcall, while UDP and TCP each
+  // have their own server threads."
+  input_.set_reader_upcall([this](core::Mailbox& mb) { handle(mb); });
+  // IP rejects datagrams for unregistered protocols through us.
+  ip_.set_icmp_error_hook(
+      [this](std::uint8_t code, core::Message offender) { send_unreachable(code, offender); });
+}
+
+void Icmp::handle(core::Mailbox& mb) {
+  auto m = mb.begin_get_try();
+  if (!m.has_value()) return;
+  handle_message(*m);
+}
+
+void Icmp::handle_message(core::Message m) {
+  core::Cpu& cpu = ip_.runtime().cpu();
+  hw::CabMemory& mem = ip_.runtime().board().memory();
+  cpu.charge(costs::kIcmpProcessing);
+
+  if (m.len < IpHeader::kSize + IcmpHeader::kSize) {
+    input_.end_get(m);
+    return;
+  }
+  IpHeader iph = IpHeader::parse(mem.view(m.data, IpHeader::kSize));
+  std::size_t icmp_len = m.len - IpHeader::kSize;
+  auto icmp_bytes = mem.view(m.data + IpHeader::kSize, icmp_len);
+
+  cpu.charge(checksum_cost(icmp_len));
+  if (!InternetChecksum::verify(icmp_bytes)) {
+    ++bad_checksum_;
+    input_.end_get(m);
+    return;
+  }
+  IcmpHeader h = IcmpHeader::parse(icmp_bytes);
+
+  if (h.type == kIcmpEchoRequest) {
+    ++echo_req_rx_;
+    // Answer in place: rewrite type, refresh the checksum, and transmit the
+    // same data area back — no copy, freed after the reply is on the wire.
+    mem.write8(m.data + IpHeader::kSize, kIcmpEchoReply);
+    mem.write8(m.data + IpHeader::kSize + 2, 0);
+    mem.write8(m.data + IpHeader::kSize + 3, 0);
+    cpu.charge(checksum_cost(icmp_len));
+    std::uint16_t sum = InternetChecksum::compute(mem.view(m.data + IpHeader::kSize, icmp_len));
+    mem.write8(m.data + IpHeader::kSize + 2, static_cast<std::uint8_t>(sum >> 8));
+    mem.write8(m.data + IpHeader::kSize + 3, static_cast<std::uint8_t>(sum));
+
+    Ip::OutputInfo info;
+    info.dst = iph.src;
+    info.protocol = kProtoIcmp;
+    core::Message reply = core::Mailbox::adjust_prefix(m, IpHeader::kSize);
+    ip_.output_msg(info, {}, reply, /*free_when_sent=*/true);
+    ++echo_rep_tx_;
+    return;
+  }
+
+  if (h.type == kIcmpEchoReply) {
+    ++echo_rep_rx_;
+    std::uint32_t key = static_cast<std::uint32_t>(h.id) << 16 | h.seq;
+    auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      Pending p = std::move(it->second);
+      pending_.erase(it);
+      if (p.cb) p.cb(h.seq, ip_.runtime().engine().now() - p.sent_at);
+    }
+    input_.end_get(m);
+    return;
+  }
+
+  if (h.type == kIcmpUnreachable) {
+    ++unreach_rx_;
+    // Our 8-byte ICMP header already includes the type-3 "unused" word; the
+    // quoted offending IP header follows it directly.
+    constexpr std::size_t kQuoteOffset = IpHeader::kSize + IcmpHeader::kSize;
+    if (m.len >= kQuoteOffset + IpHeader::kSize && unreachable_handler_) {
+      IpHeader offending = IpHeader::parse(mem.view(m.data + kQuoteOffset, IpHeader::kSize));
+      unreachable_handler_(h.code, offending);
+    }
+    input_.end_get(m);
+    return;
+  }
+
+  // Time-exceeded and friends: account and drop.
+  input_.end_get(m);
+}
+
+void Icmp::send_unreachable(std::uint8_t code, core::Message offender) {
+  core::Cpu& cpu = ip_.runtime().cpu();
+  hw::CabMemory& mem = ip_.runtime().board().memory();
+  cpu.charge(costs::kIcmpProcessing);
+
+  if (offender.len < IpHeader::kSize) {
+    input_.end_get(offender);
+    return;
+  }
+  IpHeader iph = IpHeader::parse(mem.view(offender.data, IpHeader::kSize));
+
+  // Quote the offending IP header + first 8 payload bytes (RFC 792).
+  std::size_t quote = std::min<std::size_t>(offender.len, IpHeader::kSize + 8);
+  std::size_t total = IcmpHeader::kSize + quote;
+  auto out = scratch_.begin_put_try(static_cast<std::uint32_t>(total));
+  if (!out.has_value()) {
+    input_.end_get(offender);
+    return;  // no buffer: the error is expendable
+  }
+  IcmpHeader eh;
+  eh.type = kIcmpUnreachable;
+  eh.code = code;
+  eh.id = 0;  // the id/seq words are the "unused" field of a type-3 message
+  eh.seq = 0;
+  std::vector<std::uint8_t> hdr(IcmpHeader::kSize);
+  eh.serialize(hdr);
+  mem.write(out->data, hdr);
+  // Copy the quoted bytes from the offender in place.
+  std::vector<std::uint8_t> quoted(quote);
+  mem.read(offender.data, quoted);
+  cpu.charge(static_cast<sim::SimTime>(quote) * costs::kCabCopyPerByte);
+  mem.write(out->data + IcmpHeader::kSize, quoted);
+  input_.end_get(offender);
+
+  cpu.charge(checksum_cost(total));
+  std::uint16_t sum = InternetChecksum::compute(mem.view(out->data, total));
+  mem.write8(out->data + 2, static_cast<std::uint8_t>(sum >> 8));
+  mem.write8(out->data + 3, static_cast<std::uint8_t>(sum));
+
+  ++unreach_tx_;
+  Ip::OutputInfo info;
+  info.dst = iph.src;
+  info.protocol = kProtoIcmp;
+  ip_.output_msg(info, {}, *out, /*free_when_sent=*/true);
+}
+
+void Icmp::ping(IpAddr dst, std::uint16_t id, std::uint16_t seq, std::size_t payload_len,
+                EchoCallback on_reply) {
+  core::Cpu& cpu = ip_.runtime().cpu();
+  hw::CabMemory& mem = ip_.runtime().board().memory();
+  cpu.charge(costs::kIcmpProcessing);
+
+  std::size_t total = IcmpHeader::kSize + payload_len;
+  core::Message m = scratch_.begin_put(static_cast<std::uint32_t>(total));
+
+  IcmpHeader h;
+  h.type = kIcmpEchoRequest;
+  h.id = id;
+  h.seq = seq;
+  std::vector<std::uint8_t> hdr(IcmpHeader::kSize);
+  h.serialize(hdr);
+  mem.write(m.data, hdr);
+  for (std::size_t i = 0; i < payload_len; ++i) {
+    mem.write8(m.data + IcmpHeader::kSize + static_cast<hw::CabAddr>(i),
+               static_cast<std::uint8_t>(i));
+  }
+  cpu.charge(checksum_cost(total));
+  std::uint16_t sum = InternetChecksum::compute(mem.view(m.data, total));
+  mem.write8(m.data + 2, static_cast<std::uint8_t>(sum >> 8));
+  mem.write8(m.data + 3, static_cast<std::uint8_t>(sum));
+
+  pending_[static_cast<std::uint32_t>(id) << 16 | seq] =
+      Pending{std::move(on_reply), ip_.runtime().engine().now()};
+
+  Ip::OutputInfo info;
+  info.dst = dst;
+  info.protocol = kProtoIcmp;
+  ip_.output_msg(info, {}, m, /*free_when_sent=*/true);
+}
+
+}  // namespace nectar::proto

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "proto/ip.hpp"
+
+namespace nectar::proto {
+
+/// ICMP (paper §4.1). Implemented as a *mailbox upcall* on its IP input
+/// mailbox — the paper's example of trading a server thread's concurrency
+/// for the absence of context switches: echo requests are answered entirely
+/// at interrupt level, in place, with zero copies.
+class Icmp {
+ public:
+  explicit Icmp(Ip& ip);
+
+  Icmp(const Icmp&) = delete;
+  Icmp& operator=(const Icmp&) = delete;
+
+  /// Send an echo request with `payload_len` pattern bytes; `on_reply(seq,
+  /// rtt)` fires (interrupt context) when the matching reply arrives.
+  using EchoCallback = std::function<void(std::uint16_t seq, sim::SimTime rtt)>;
+  void ping(IpAddr dst, std::uint16_t id, std::uint16_t seq, std::size_t payload_len,
+            EchoCallback on_reply);
+
+  /// Send a destination-unreachable (type 3) for the rejected datagram
+  /// `offender` (IP header attached; consumed). Quotes the offending IP
+  /// header plus the first 8 payload bytes, per RFC 792. Interrupt-safe —
+  /// IP and UDP call this when no protocol/port is registered.
+  void send_unreachable(std::uint8_t code, core::Message offender);
+
+  /// Observe received destination-unreachables (interrupt context):
+  /// `handler(code, offending_header)`.
+  using UnreachableHandler = std::function<void(std::uint8_t code, const IpHeader& offending)>;
+  void set_unreachable_handler(UnreachableHandler h) { unreachable_handler_ = std::move(h); }
+
+  std::uint64_t echo_requests_received() const { return echo_req_rx_; }
+  std::uint64_t echo_replies_sent() const { return echo_rep_tx_; }
+  std::uint64_t echo_replies_received() const { return echo_rep_rx_; }
+  std::uint64_t bad_checksums() const { return bad_checksum_; }
+  std::uint64_t unreachables_sent() const { return unreach_tx_; }
+  std::uint64_t unreachables_received() const { return unreach_rx_; }
+
+ private:
+  void handle(core::Mailbox& mb);  // the reader upcall (interrupt context)
+  void handle_message(core::Message m);
+
+  Ip& ip_;
+  core::Mailbox& input_;
+  core::Mailbox& scratch_;  // data areas for outgoing pings
+
+  struct Pending {
+    EchoCallback cb;
+    sim::SimTime sent_at;
+  };
+  std::map<std::uint32_t, Pending> pending_;  // key: id<<16 | seq
+
+  UnreachableHandler unreachable_handler_;
+  std::uint64_t echo_req_rx_ = 0;
+  std::uint64_t echo_rep_tx_ = 0;
+  std::uint64_t echo_rep_rx_ = 0;
+  std::uint64_t bad_checksum_ = 0;
+  std::uint64_t unreach_tx_ = 0;
+  std::uint64_t unreach_rx_ = 0;
+};
+
+}  // namespace nectar::proto

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/mailbox.hpp"
+#include "proto/datalink.hpp"
+#include "proto/headers.hpp"
+
+namespace nectar::proto {
+
+/// Internet Protocol on the CAB (paper §4.1).
+///
+/// Input processing happens at interrupt time: the start-of-data upcall
+/// performs the header sanity check (including the IP header checksum) while
+/// the rest of the packet is still arriving; the end-of-data upcall queues
+/// fragments for reassembly and transfers complete datagrams — IP header
+/// still attached — to the higher-level protocol's input mailbox with the
+/// zero-copy Enqueue operation.
+///
+/// Output: IP_Output takes a header template (src/dst/protocol/ttl), the
+/// transport header the caller appended, a reference to the data (an address
+/// in CAB data memory), a free-when-sent flag, and fragments as needed.
+class Ip : public DatalinkClient {
+ public:
+  /// Default MTU of the Nectar datalink for IP traffic: large enough that
+  /// the paper's 8 KB benchmark messages travel as single packets (§6.2).
+  static constexpr std::size_t kDefaultMtu = 9 * 1024;
+
+  Ip(Datalink& dl, IpAddr my_addr, std::size_t mtu = kDefaultMtu);
+
+  IpAddr address() const { return my_addr_; }
+  std::size_t mtu() const { return mtu_; }
+  core::CabRuntime& runtime() { return dl_.runtime(); }
+
+  /// Register a transport protocol: complete datagrams with this protocol
+  /// number are enqueued (IP header included) into `input`. Higher-level
+  /// protocols must provide an input mailbox to IP; "this mailbox
+  /// constitutes the entire receive interface between IP and higher
+  /// protocols" (§4.1).
+  void register_protocol(std::uint8_t protocol, core::Mailbox* input);
+
+  /// Route: which Nectar node owns this IP address.
+  void add_host_route(IpAddr addr, int node);
+
+  /// Hook invoked (interrupt context) when a datagram must be rejected with
+  /// an ICMP error: `code` is the ICMP type-3 code (2 = protocol
+  /// unreachable). The ICMP module installs itself here; `offender` is the
+  /// rejected datagram (IP header included), still owned by the callee.
+  using IcmpErrorHook = std::function<void(std::uint8_t code, core::Message offender)>;
+  void set_icmp_error_hook(IcmpErrorHook hook) { icmp_error_ = std::move(hook); }
+
+  // --- IP_Output (§4.1) ------------------------------------------------------
+
+  struct OutputInfo {
+    IpAddr src = 0;  ///< 0 = fill in with our address
+    IpAddr dst = 0;
+    std::uint8_t protocol = 0;
+    std::uint8_t ttl = 64;
+    std::uint8_t tos = 0;
+  };
+
+  /// Send `proto_header` ++ payload[0..len) as one datagram, fragmenting if
+  /// it exceeds the MTU. `on_sent` runs (interrupt context) after the last
+  /// byte of the last fragment has left the fiber.
+  void output(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
+              hw::CabAddr payload, std::size_t len, std::function<void()> on_sent = {});
+
+  /// Variant taking a mailbox message as the data area; frees it after
+  /// transmission when `free_when_sent` (the paper's flag).
+  void output_msg(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
+                  core::Message data, bool free_when_sent);
+
+  // --- DatalinkClient --------------------------------------------------------------
+
+  std::size_t header_bytes() const override { return IpHeader::kSize; }
+  core::Mailbox& input_mailbox() override { return input_; }
+  void start_of_data(const core::Message& m, std::uint8_t src_node) override;
+  void end_of_data(core::Message m, std::uint8_t src_node) override;
+
+  // --- stats --------------------------------------------------------------------------
+
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t fragments_sent() const { return frag_sent_; }
+  std::uint64_t datagrams_delivered() const { return delivered_; }
+  std::uint64_t datagrams_reassembled() const { return reassembled_; }
+  std::uint64_t dropped_bad_header() const { return dropped_bad_header_; }
+  std::uint64_t dropped_no_protocol() const { return dropped_no_protocol_; }
+  std::uint64_t reassembly_timeouts() const { return reass_timeouts_; }
+  std::size_t reassembly_pending() const { return reassembly_.size(); }
+
+  /// How long an incomplete reassembly waits before being discarded.
+  static constexpr sim::SimTime kReassemblyTimeout = sim::msec(500);
+
+ private:
+  struct ReassemblyKey {
+    IpAddr src;
+    IpAddr dst;
+    std::uint16_t id;
+    std::uint8_t protocol;
+    auto operator<=>(const ReassemblyKey&) const = default;
+  };
+  struct Fragment {
+    core::Message msg;       // unpublished message holding hdr+payload
+    std::uint16_t offset;    // bytes (already scaled from 8-byte units)
+    std::uint16_t len;       // payload bytes in this fragment
+  };
+  struct Reassembly {
+    std::vector<Fragment> fragments;
+    std::int32_t total_payload = -1;  // known once the MF=0 fragment arrives
+    core::Cpu::TimerId timer = 0;
+  };
+
+  void deliver(core::Message m, const IpHeader& hdr);
+  void handle_fragment(core::Message m, const IpHeader& hdr);
+  void finish_reassembly(const ReassemblyKey& key, Reassembly& r, const IpHeader& last_hdr);
+  void release(core::Message m) { input_.end_get(m); }
+  int node_for(IpAddr dst) const;
+
+  Datalink& dl_;
+  IpAddr my_addr_;
+  std::size_t mtu_;
+  IcmpErrorHook icmp_error_;
+  core::Mailbox& input_;
+  std::map<std::uint8_t, core::Mailbox*> protocols_;
+  std::map<IpAddr, int> host_routes_;
+  std::map<ReassemblyKey, Reassembly> reassembly_;
+  std::uint16_t next_id_ = 1;
+
+  // Start-of-data verdicts, keyed by packet buffer address: back-to-back
+  // packets pipeline through the datalink (frame N+1's start-of-data can
+  // precede frame N's end-of-data interrupt), so each in-flight packet
+  // carries its own header-check result.
+  std::map<hw::CabAddr, bool> pending_header_ok_;
+
+  std::uint64_t sent_ = 0;
+  std::uint64_t frag_sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t reassembled_ = 0;
+  std::uint64_t dropped_bad_header_ = 0;
+  std::uint64_t dropped_no_protocol_ = 0;
+  std::uint64_t reass_timeouts_ = 0;
+};
+
+}  // namespace nectar::proto

@@ -1,0 +1,119 @@
+#include "proto/udp.hpp"
+
+#include "proto/icmp.hpp"
+
+#include "proto/checksum.hpp"
+#include "sim/costs.hpp"
+
+namespace nectar::proto {
+
+namespace costs = sim::costs;
+
+Udp::Udp(Ip& ip, bool checksum_enabled)
+    : ip_(ip),
+      input_(ip.runtime().create_mailbox("udp-input")),
+      checksum_enabled_(checksum_enabled) {
+  ip_.register_protocol(kProtoUdp, &input_);
+  // §4.1: "UDP and TCP each have their own server threads."
+  ip_.runtime().fork_system("udp-server", [this] { server_loop(); });
+}
+
+void Udp::bind(std::uint16_t port, core::Mailbox* deliver) { ports_[port] = deliver; }
+void Udp::unbind(std::uint16_t port) { ports_.erase(port); }
+
+Udp::DatagramInfo Udp::info_of(const core::Message& m) const {
+  hw::CabMemory& mem = ip_.runtime().board().memory();
+  IpHeader iph = IpHeader::parse(mem.view(m.data, IpHeader::kSize));
+  UdpHeader uh = UdpHeader::parse(mem.view(m.data + IpHeader::kSize, UdpHeader::kSize));
+  DatagramInfo info;
+  info.src_addr = iph.src;
+  info.dst_addr = iph.dst;
+  info.src_port = uh.src_port;
+  info.dst_port = uh.dst_port;
+  info.payload_len = uh.length - UdpHeader::kSize;
+  return info;
+}
+
+core::Message Udp::payload_of(core::Message m) {
+  return core::Mailbox::adjust_prefix(m, kHeaderSpace);
+}
+
+void Udp::send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core::Message data,
+               bool free_when_sent) {
+  core::Cpu& cpu = ip_.runtime().cpu();
+  hw::CabMemory& mem = ip_.runtime().board().memory();
+  cpu.charge(costs::kUdpOutput);
+  ++sent_;
+
+  UdpHeader uh;
+  uh.src_port = src_port;
+  uh.dst_port = dst_port;
+  uh.length = static_cast<std::uint16_t>(UdpHeader::kSize + data.len);
+  std::vector<std::uint8_t> hdr(UdpHeader::kSize);
+  uh.serialize(hdr);
+
+  if (checksum_enabled_) {
+    cpu.charge(checksum_cost(UdpHeader::kSize + data.len + PseudoHeader::kSize));
+    PseudoHeader ph{ip_.address(), dst, kProtoUdp, uh.length};
+    std::vector<std::uint8_t> pseudo(PseudoHeader::kSize);
+    ph.serialize(pseudo);
+    InternetChecksum c;
+    c.update(pseudo);
+    c.update(hdr);
+    c.update(mem.view(data.data, data.len));
+    std::uint16_t sum = c.value();
+    if (sum == 0) sum = 0xFFFF;  // RFC 768: transmitted 0 means "no checksum"
+    put16(hdr, 6, sum);
+  }
+
+  Ip::OutputInfo info;
+  info.dst = dst;
+  info.protocol = kProtoUdp;
+  ip_.output_msg(info, std::move(hdr), data, free_when_sent);
+}
+
+void Udp::server_loop() {
+  core::Cpu& cpu = ip_.runtime().cpu();
+  hw::CabMemory& mem = ip_.runtime().board().memory();
+  for (;;) {
+    core::Message m = input_.begin_get();
+    cpu.charge(costs::kUdpInput);
+    if (m.len < kHeaderSpace) {
+      input_.end_get(m);
+      continue;
+    }
+    IpHeader iph = IpHeader::parse(mem.view(m.data, IpHeader::kSize));
+    UdpHeader uh = UdpHeader::parse(mem.view(m.data + IpHeader::kSize, UdpHeader::kSize));
+
+    if (checksum_enabled_ && uh.checksum != 0) {
+      std::size_t udp_len = m.len - IpHeader::kSize;
+      cpu.charge(checksum_cost(udp_len + PseudoHeader::kSize));
+      PseudoHeader ph{iph.src, iph.dst, kProtoUdp, static_cast<std::uint16_t>(udp_len)};
+      std::vector<std::uint8_t> pseudo(PseudoHeader::kSize);
+      ph.serialize(pseudo);
+      InternetChecksum c;
+      c.update(pseudo);
+      c.update(mem.view(m.data + IpHeader::kSize, udp_len));
+      if (c.value() != 0) {
+        ++dropped_bad_checksum_;
+        input_.end_get(m);
+        continue;
+      }
+    }
+
+    auto it = ports_.find(uh.dst_port);
+    if (it == ports_.end()) {
+      ++dropped_no_port_;
+      if (icmp_ != nullptr && iph.src != ip_.address()) {
+        icmp_->send_unreachable(/*port unreachable*/ 3, m);
+      } else {
+        input_.end_get(m);
+      }
+      continue;
+    }
+    ++delivered_;
+    input_.enqueue(m, *it->second);
+  }
+}
+
+}  // namespace nectar::proto

@@ -1,0 +1,202 @@
+#pragma once
+
+#include "sim/time.hpp"
+
+/// Central cost model: every timing constant in the simulation lives here.
+///
+/// Anchor values are taken directly from the paper (Cooper et al., SIGCOMM
+/// 1990); derived values are calibrated so that the benchmark harness
+/// reproduces the *shape* of Table 1 and Figures 6-8. Each constant notes its
+/// provenance: [paper] = stated in the text, [derived] = calibrated against a
+/// paper-reported aggregate (see DESIGN.md §6 and EXPERIMENTS.md).
+namespace nectar::sim::costs {
+
+// ---------------------------------------------------------------------------
+// Network hardware (paper §2.1)
+// ---------------------------------------------------------------------------
+
+/// [paper] Fiber-optic links run at 100 Mbit/s.
+constexpr double kFiberBitsPerSec = 100e6;
+
+/// [paper] Hardware latency to set up a HUB connection and transfer the first
+/// byte through a single HUB: 700 ns.
+constexpr SimTime kHubSetup = 700;
+
+/// [derived] Propagation delay of one fiber segment (machine-room scale runs,
+/// tens of meters; the paper reports fiber+HUB latency < 5 us total).
+constexpr SimTime kLinkPropagation = 200;
+
+// ---------------------------------------------------------------------------
+// CAB board (paper §2.2)
+// ---------------------------------------------------------------------------
+
+/// [paper] CAB CPU is a 16.5 MHz SPARC.
+constexpr double kCabCyclesPerSec = 16.5e6;
+
+/// One CAB CPU cycle, rounded to ns (60.6 ns).
+constexpr SimTime kCabCycle = 61;
+
+/// Charge for `n` CAB CPU cycles.
+constexpr SimTime cab_cycles(std::int64_t n) { return n * kCabCycle; }
+
+/// [paper] Both CAB memories are 35 ns static RAM; DMA between FIFO and data
+/// memory proceeds at fiber speed, so the memory system is never the
+/// bottleneck. Local DMA setup cost per transfer:
+constexpr SimTime kDmaSetup = 1'500;
+
+/// [derived] Fixed hardware cost to launch/complete one fiber DMA burst.
+constexpr SimTime kFifoDrain = 500;
+
+// ---------------------------------------------------------------------------
+// VME bus (paper §2.2, §6)
+// ---------------------------------------------------------------------------
+
+/// [paper] "each read or write over the VME bus takes about 1 usec".
+constexpr SimTime kVmeWordAccess = 1'000;
+
+/// Width of one programmed VME transfer (32-bit backplane).
+constexpr std::int64_t kVmeWordBytes = 4;
+
+/// [paper] VME DMA bandwidth is about 30 Mbit/s ("throughput ... limited by
+/// the bandwidth of the VME bus, which is about 30 Mbit/sec").
+constexpr double kVmeDmaBitsPerSec = 30e6;
+
+/// [derived] Arbitration / setup overhead for one VME block transfer.
+constexpr SimTime kVmeDmaSetup = 4'000;
+
+// ---------------------------------------------------------------------------
+// CAB runtime system (paper §3)
+// ---------------------------------------------------------------------------
+
+/// [paper] Context switch time, dominated by saving/restoring SPARC register
+/// windows: "20 usec is typical in the current implementation".
+constexpr SimTime kContextSwitch = 20'000;
+
+/// Preemption granularity: long CPU charges (e.g. checksumming an 8 KB
+/// packet) are sliced so interrupts are delivered within "a few tens of
+/// microseconds" (§3.1) rather than at the end of the whole computation.
+constexpr SimTime kChargeSlice = 25'000;
+
+/// [derived] Interrupt entry/exit (trap, register window save, dispatch).
+constexpr SimTime kInterruptEntry = 2'500;
+constexpr SimTime kInterruptExit = 1'000;
+
+/// [derived] Waking a thread (ready-queue insert + priority check).
+constexpr SimTime kThreadWakeup = 3'000;
+
+/// [derived] Mutex/condition primitives (uncontended).
+constexpr SimTime kLockOp = 500;
+constexpr SimTime kCondSignal = 1'000;
+
+/// [derived from Fig. 6] Mailbox primitives executed on the CAB.
+/// Paper breakdown shows begin_put = 8 us, end_get = 20 us, message hand-off
+/// ("pass message") = 10 us, datalink processing = 18 us sender-side.
+constexpr SimTime kMailboxBeginPut = 8'000;
+constexpr SimTime kMailboxEndPut = 4'000;
+constexpr SimTime kMailboxBeginGet = 3'000;
+constexpr SimTime kMailboxEndGet = 8'000;
+constexpr SimTime kMailboxEnqueue = 10'000;  // "pass message", pointer move
+constexpr SimTime kMailboxAdjust = 1'500;
+constexpr SimTime kHeapAlloc = 2'500;
+constexpr SimTime kHeapFree = 1'500;
+/// Small-buffer cache hit bypasses the heap entirely (§3.3: "each mailbox
+/// caches a small buffer; this avoids the cost of heap allocation").
+constexpr SimTime kMailboxCachedAlloc = 600;
+/// Begin_Put total when the cached buffer satisfies the request.
+constexpr SimTime kMailboxBeginPutCached = 2'000;
+
+/// [derived] Sync (lightweight synchronization, §3.4) primitives.
+constexpr SimTime kSyncOp = 1'200;
+
+/// [derived] Posting to a signal queue (host->CAB or CAB->host) and raising
+/// the cross-bus interrupt.
+constexpr SimTime kSignalQueuePost = 2'000;
+
+/// [derived] Upcall invocation (indirect call + argument setup).
+constexpr SimTime kUpcall = 1'000;
+
+// ---------------------------------------------------------------------------
+// Protocol processing on the CAB (paper §4, §6)
+// ---------------------------------------------------------------------------
+
+/// [derived from Fig. 6] Datalink send path: build header, program DMA.
+constexpr SimTime kDatalinkSend = 18'000;
+/// [derived from Fig. 6] Datalink receive path at interrupt time.
+constexpr SimTime kDatalinkRecv = 8'000;
+
+/// [derived] IP header sanity check + checksum over the 20-byte header,
+/// performed during the start-of-data upcall.
+constexpr SimTime kIpInputHeader = 6'000;
+/// [derived] IP output: fill in header template, route lookup.
+constexpr SimTime kIpOutput = 7'000;
+/// [derived] Reassembly bookkeeping per fragment.
+constexpr SimTime kIpReassembly = 4'000;
+
+/// [derived] CAB CPU memory-to-memory copy (only reassembly and other slow
+/// paths copy; the mailbox design exists to avoid this on fast paths).
+constexpr SimTime kCabCopyPerByte = 120;  // ~2 cycles/byte
+
+/// [derived] UDP per-packet processing (excl. checksum).
+constexpr SimTime kUdpInput = 8'000;
+constexpr SimTime kUdpOutput = 8'000;
+
+/// [derived] ICMP per-packet processing (runs as a mailbox upcall, §4.1).
+constexpr SimTime kIcmpProcessing = 6'000;
+
+/// [derived] TCP per-segment processing (excl. checksum): header parse,
+/// sequence bookkeeping, ACK generation / window update.
+constexpr SimTime kTcpSegment = 14'000;
+
+/// [derived, see DESIGN.md §6] Software Internet checksum on the 16.5 MHz
+/// CAB CPU: ~2.5 cycles/byte. This constant produces the Fig. 7 separation
+/// between TCP/IP and RMP ("mostly due to the cost of doing TCP checksums in
+/// software") and the near-identity of "TCP w/o checksum" and RMP.
+constexpr SimTime kChecksumPerByte = 152;  // ns/byte (~2.5 CAB cycles)
+
+/// [derived] Nectar-specific protocol per-message overhead (they rely on the
+/// hardware CRC, so there is no per-byte software cost).
+constexpr SimTime kNectarProtoSend = 5'000;
+constexpr SimTime kNectarProtoRecv = 4'000;
+
+// ---------------------------------------------------------------------------
+// Host (Sun-4 workstation, paper §6)
+// ---------------------------------------------------------------------------
+
+/// Sun-4/xxx SPARC hosts were moderately faster than the CAB CPU.
+constexpr double kHostCyclesPerSec = 25e6;
+constexpr SimTime kHostCycle = 40;
+
+/// [derived] Host-side syscall (enter/exit the UNIX kernel).
+constexpr SimTime kHostSyscall = 25'000;
+
+/// [derived] Host process poll iteration on a host condition variable:
+/// one uncached VME read plus loop overhead.
+constexpr SimTime kHostPollLoop = 500;  // in addition to the VME read
+
+/// [derived] Host-side library overhead for one mailbox op (the VME word
+/// traffic is charged separately by the bus model).
+constexpr SimTime kHostMailboxOp = 1'500;
+
+/// [derived] Host interrupt dispatch (CAB interrupts host; driver runs).
+constexpr SimTime kHostInterrupt = 15'000;
+/// [derived] Host process context switch / scheduler entry.
+constexpr SimTime kHostContextSwitch = 30'000;
+
+/// [derived §6.3] Host-resident BSD protocol stack per-packet cost (socket
+/// layer + TCP/IP + driver) on a Sun-4 class host. Calibrated jointly
+/// against the paper's two host-stack data points: CAB-as-network-device at
+/// 6.4 Mbit/s and on-board Ethernet at 7.2 Mbit/s (both at the 1500-byte
+/// MTU) — this is precisely the per-packet burden the communication
+/// processor exists to offload.
+constexpr SimTime kHostStackPerPacket = 1'300'000;
+constexpr SimTime kHostCopyPerByte = 160;  // ns/byte user<->kernel copy
+
+// ---------------------------------------------------------------------------
+// Ethernet comparison interface (paper §6.3)
+// ---------------------------------------------------------------------------
+
+/// 10 Mbit/s on-board Ethernet (bypasses the VME bus).
+constexpr double kEthernetBitsPerSec = 10e6;
+constexpr SimTime kEthernetPerPacket = 100'000;  // [derived] lands ~7.2 Mbit/s
+
+}  // namespace nectar::sim::costs

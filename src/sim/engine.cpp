@@ -1,0 +1,65 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace nectar::sim {
+
+Engine::EventId Engine::schedule_at(SimTime t, Action fn) {
+  if (t < now_) throw std::logic_error("Engine::schedule_at: time in the past");
+  EventId id = next_id_++;
+  queue_.push(QueueEntry{t, id});
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Engine::cancel(EventId id) { return live_.erase(id) > 0; }
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    QueueEntry e = queue_.top();
+    queue_.pop();
+    auto it = live_.find(e.id);
+    if (it == live_.end()) continue;  // cancelled
+    Action fn = std::move(it->second);
+    live_.erase(it);
+    assert(e.time >= now_);
+    now_ = e.time;
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+bool Engine::run_until(SimTime t) {
+  while (!queue_.empty()) {
+    // Skip over cancelled entries without advancing time.
+    QueueEntry e = queue_.top();
+    if (!live_.count(e.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (e.time > t) {
+      now_ = t;
+      return true;
+    }
+    step();
+  }
+  now_ = std::max(now_, t);
+  return false;
+}
+
+bool Engine::run_while(const std::function<bool()>& pending) {
+  while (pending()) {
+    if (!step()) return false;
+  }
+  return true;
+}
+
+}  // namespace nectar::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nectar::sim {
+
+/// Deterministic discrete-event engine.
+///
+/// Single-threaded: events fire in (time, insertion-order) order, so every
+/// run of a given scenario is bit-for-bit reproducible. All hardware models
+/// and the CAB/host CPU schedulers are driven from this queue.
+class Engine {
+ public:
+  using EventId = std::uint64_t;
+  using Action = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Action fn);
+
+  /// Schedule `fn` `delay` nanoseconds from now.
+  EventId schedule_in(SimTime delay, Action fn) { return schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Process a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Run until simulated time `t` (events at exactly `t` are processed).
+  /// Returns true if the queue still has later events.
+  bool run_until(SimTime t);
+
+  /// Run until `pred()` becomes true or the queue drains.
+  /// Returns true if the predicate was satisfied.
+  bool run_while(const std::function<bool()>& pending);
+
+  std::uint64_t events_processed() const { return processed_; }
+  bool empty() const { return live_.empty(); }
+  std::size_t pending_events() const { return live_.size(); }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    EventId id;
+    bool operator>(const QueueEntry& o) const {
+      return time != o.time ? time > o.time : id > o.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::map<EventId, Action> live_;  // cancelled events are simply absent
+};
+
+}  // namespace nectar::sim

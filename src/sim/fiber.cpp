@@ -1,0 +1,71 @@
+#include "sim/fiber.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+namespace nectar::sim {
+
+namespace {
+/// The fiber currently executing on this OS thread (nullptr = main context).
+thread_local Fiber* g_current = nullptr;
+/// Handshake slot for makecontext, which cannot carry a pointer portably.
+thread_local Fiber* g_starting = nullptr;
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, std::string name, std::size_t stack_size)
+    : body_(std::move(body)), name_(std::move(name)), stack_(stack_size) {}
+
+Fiber::~Fiber() {
+  // Destroying a suspended-but-unfinished fiber abandons its stack frame;
+  // that is fine for simulation teardown (no RAII cleanup runs on it), and
+  // runtime code only destroys fibers it knows are finished or parked.
+}
+
+void Fiber::trampoline() {
+  Fiber* self = g_starting;
+  g_starting = nullptr;
+  try {
+    self->body_();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: uncaught exception in fiber '%s': %s\n",
+                 self->name_.c_str(), e.what());
+    std::abort();
+  } catch (...) {
+    std::fprintf(stderr, "fatal: uncaught exception in fiber '%s'\n", self->name_.c_str());
+    std::abort();
+  }
+  self->finished_ = true;
+  // Fall back to the resumer; uc_link handles the final switch.
+}
+
+void Fiber::resume() {
+  assert(g_current == nullptr && "resume() must be called from the main context");
+  assert(!finished_ && "cannot resume a finished fiber");
+  g_current = this;
+  if (!started_) {
+    started_ = true;
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.data();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = &return_context_;
+    g_starting = this;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
+  }
+  swapcontext(&return_context_, &context_);
+  g_current = nullptr;
+}
+
+void Fiber::suspend() {
+  Fiber* self = g_current;
+  assert(self != nullptr && "suspend() called outside any fiber");
+  g_current = nullptr;
+  swapcontext(&self->context_, &self->return_context_);
+  // Resumed again.
+  g_current = self;
+}
+
+Fiber* Fiber::current() { return g_current; }
+
+}  // namespace nectar::sim

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nectar::sim {
+
+/// Cooperative green thread (ucontext-based).
+///
+/// Fibers are the execution substrate for simulated CAB threads, interrupt
+/// contexts, and host processes. The whole simulation runs on one OS thread:
+/// a fiber runs until it calls `suspend()` (directly or via a blocking
+/// runtime primitive), at which point control returns to whoever called
+/// `resume()` — always the event engine's main context.
+class Fiber {
+ public:
+  /// Create a fiber that will run `body` when first resumed.
+  explicit Fiber(std::function<void()> body, std::string name = "fiber",
+                 std::size_t stack_size = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the main context into this fiber. Must not be called from
+  /// inside another fiber. Returns when the fiber suspends or finishes.
+  void resume();
+
+  /// Called from inside a fiber: switch back to the main context.
+  static void suspend();
+
+  /// The fiber currently executing, or nullptr when on the main context.
+  static Fiber* current();
+
+  bool finished() const { return finished_; }
+  bool started() const { return started_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  static void trampoline();
+
+  std::function<void()> body_;
+  std::string name_;
+  std::vector<unsigned char> stack_;
+  ucontext_t context_{};
+  ucontext_t return_context_{};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace nectar::sim

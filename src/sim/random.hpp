@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nectar::sim {
+
+/// Small deterministic PRNG (xorshift64*), used for fault injection and
+/// workload generation. Seeded explicitly everywhere so runs are reproducible.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed ? seed : 1) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) { return bound ? next_u64() % bound : 0; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nectar::sim

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace nectar::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+///
+/// All latency and throughput results in this repository are measured on this
+/// clock, never on the wall clock; the simulation is fully deterministic.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1'000;
+constexpr SimTime kMillisecond = 1'000'000;
+constexpr SimTime kSecond = 1'000'000'000;
+
+/// Convenience constructors so call sites read as units.
+constexpr SimTime nsec(std::int64_t n) { return n; }
+constexpr SimTime usec(std::int64_t u) { return u * kMicrosecond; }
+constexpr SimTime msec(std::int64_t m) { return m * kMillisecond; }
+constexpr SimTime sec(std::int64_t s) { return s * kSecond; }
+
+/// Convert a simulated duration to floating-point microseconds (for reports).
+constexpr double to_usec(SimTime t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_msec(SimTime t) { return static_cast<double>(t) / kMillisecond; }
+
+/// Time to serialize `bytes` at `bits_per_sec` onto a medium.
+constexpr SimTime transmit_time(std::int64_t bytes, double bits_per_sec) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 / bits_per_sec * kSecond);
+}
+
+}  // namespace nectar::sim

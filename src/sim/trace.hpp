@@ -1,0 +1,59 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nectar::sim {
+
+class Engine;
+
+/// Lightweight span/event recorder used to reproduce the paper's Figure 6
+/// latency breakdown: components mark named points and spans on the simulated
+/// clock; the benchmark harness turns them into a per-stage budget.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(Engine& engine) : engine_(engine) {}
+
+  struct Mark {
+    std::string label;
+    SimTime time;
+  };
+  struct Span {
+    std::string label;
+    SimTime start;
+    SimTime end;
+    SimTime duration() const { return end - start; }
+  };
+
+  /// Record an instantaneous named event.
+  void mark(std::string label);
+
+  /// Open/close a named span. Spans with the same label may not nest.
+  void begin(std::string label);
+  void end(const std::string& label);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  const std::vector<Mark>& marks() const { return marks_; }
+  const std::vector<Span>& spans() const { return spans_; }
+
+  /// Time of the first mark with this label, or -1 if absent.
+  SimTime mark_time(const std::string& label) const;
+
+  /// Total duration of all spans with this label (0 if absent).
+  SimTime span_total(const std::string& label) const;
+
+  void clear();
+
+ private:
+  Engine& engine_;
+  bool enabled_ = true;
+  std::vector<Mark> marks_;
+  std::vector<Span> spans_;
+  std::vector<Span> open_;  // spans begun but not yet ended
+};
+
+}  // namespace nectar::sim

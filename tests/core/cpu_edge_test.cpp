@@ -1,0 +1,173 @@
+// Edge cases in the execution substrate: races between timers, wakeups,
+// joins, and interrupt masking that the runtime's primitives must survive.
+
+#include <gtest/gtest.h>
+
+#include "core/cpu.hpp"
+#include "core/priorities.hpp"
+#include "core/thread.hpp"
+
+namespace nectar::core {
+namespace {
+
+TEST(CpuEdge, MultipleJoinersAllWake) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  int woken = 0;
+  Thread* worker = cpu.fork("worker", kAppPriority, [&] { cpu.charge(sim::usec(100)); });
+  for (int i = 0; i < 4; ++i) {
+    cpu.fork("joiner", kSystemPriority, [&] {
+      cpu.join(worker);
+      ++woken;
+    });
+  }
+  e.run();
+  EXPECT_EQ(woken, 4);
+}
+
+TEST(CpuEdge, StaleSleepTimerDoesNotWakeLaterBlock) {
+  // A thread sleeps, is woken EARLY by an external wake, then blocks on
+  // something else; the original sleep timer firing later must not produce
+  // a spurious wakeup.
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  bool second_wait_done = false;
+  sim::SimTime second_wake_time = -1;
+  Thread* t = cpu.fork("sleeper", kSystemPriority, [&] {
+    cpu.sleep_until(sim::msec(10));  // would fire at 10 ms
+    // Woken early (below, at 1 ms). Now block again.
+    cpu.block();
+    second_wake_time = e.now();
+    second_wait_done = true;
+  });
+  e.schedule_at(sim::msec(1), [&] { cpu.wake(t); });
+  e.schedule_at(sim::msec(20), [&] { cpu.wake(t); });  // the legitimate waker
+  e.run();
+  EXPECT_TRUE(second_wait_done);
+  // The stale 10 ms sleep timer must NOT have ended the second block.
+  EXPECT_GE(second_wake_time, sim::msec(20));
+}
+
+TEST(CpuEdge, TimerCancelAfterQueueingIsHarmless) {
+  // Cancel a timer at the exact time it fires: whichever side wins, the
+  // system must not crash, and the handler runs at most once.
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  int fired = 0;
+  auto id = cpu.set_timer(sim::usec(100), [&] { ++fired; });
+  e.schedule_at(sim::usec(100), [&] { cpu.cancel_timer(id); });
+  e.run();
+  EXPECT_LE(fired, 1);
+}
+
+TEST(CpuEdge, InterruptsDuringContextSwitchAreDeferredNotLost) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  bool handled = false;
+  cpu.fork("a", kAppPriority, [&] { cpu.charge(sim::usec(50)); });
+  cpu.fork("b", kAppPriority, [&] { cpu.charge(sim::usec(50)); });
+  // Post mid-way through the first context switch (switch cost 20 us).
+  e.schedule_at(sim::usec(5), [&] { cpu.post_interrupt([&] { handled = true; }); });
+  e.run();
+  EXPECT_TRUE(handled);
+}
+
+TEST(CpuEdge, NestedInterruptMaskDepth) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  std::vector<int> order;
+  cpu.fork("t", kSystemPriority, [&] {
+    cpu.disable_interrupts();
+    cpu.disable_interrupts();
+    cpu.post_interrupt([&] { order.push_back(9); });
+    cpu.enable_interrupts();  // still masked (depth 1)
+    cpu.charge(sim::usec(10));
+    order.push_back(1);
+    cpu.enable_interrupts();  // now deliverable
+    cpu.charge(sim::usec(1));
+    order.push_back(2);
+  });
+  e.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 9);  // delivered only after full unmask
+  EXPECT_EQ(order[2], 2);
+}
+
+TEST(CpuEdge, ManyInterruptsDrainInOrder) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    cpu.post_interrupt([&order, i] { order.push_back(i); });
+  }
+  e.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CpuEdge, WakeOnRunningThreadIsNoOp) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  int laps = 0;
+  Thread* t = cpu.fork("t", kSystemPriority, [&] {
+    cpu.charge(sim::usec(10));
+    ++laps;
+    cpu.block();
+    ++laps;
+  });
+  // Wake while it is RUNNING (harmless), then wake for real once blocked.
+  e.schedule_at(sim::usec(25), [&] { cpu.wake(t); });
+  e.schedule_at(sim::msec(1), [&] { cpu.wake(t); });
+  e.run();
+  EXPECT_EQ(laps, 2);
+}
+
+TEST(CpuEdge, YieldStormMakesProgressFairly) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  constexpr int kThreads = 5;
+  constexpr int kLaps = 20;
+  std::vector<int> finish_order;
+  for (int i = 0; i < kThreads; ++i) {
+    cpu.fork("y" + std::to_string(i), kAppPriority, [&, i] {
+      for (int r = 0; r < kLaps; ++r) {
+        cpu.charge(sim::usec(1));
+        cpu.yield();
+      }
+      finish_order.push_back(i);
+    });
+  }
+  e.run();
+  ASSERT_EQ(finish_order.size(), static_cast<std::size_t>(kThreads));
+  // Round-robin fairness: the threads finish in fork order.
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(finish_order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CpuEdge, ChargeZeroOrNegativeIsFree) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  sim::SimTime t_after = -1;
+  cpu.fork("t", kSystemPriority, [&] {
+    sim::SimTime t0 = e.now();
+    cpu.charge(0);
+    cpu.charge(-5);
+    t_after = e.now() - t0;
+  });
+  e.run();
+  EXPECT_EQ(t_after, 0);
+}
+
+TEST(CpuEdge, ThreadForkedFromInterruptRuns) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  bool ran = false;
+  cpu.post_interrupt([&] {
+    cpu.fork("spawned", kSystemPriority, [&] { ran = true; });
+  });
+  e.run();
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace nectar::core

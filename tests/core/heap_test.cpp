@@ -1,0 +1,117 @@
+#include "core/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/memory.hpp"
+#include "sim/random.hpp"
+
+namespace nectar::core {
+namespace {
+
+TEST(Heap, AllocReturnsDataRegionAddresses) {
+  hw::CabMemory mem;
+  BufferHeap heap(mem);
+  hw::CabAddr a = heap.alloc(100);
+  ASSERT_NE(a, 0u);
+  EXPECT_TRUE(hw::CabMemory::in_data_region(a, 100));
+  EXPECT_EQ(heap.size_of(a), 104u);  // rounded to 8
+}
+
+TEST(Heap, DistinctAllocationsDoNotOverlap) {
+  hw::CabMemory mem;
+  BufferHeap heap(mem);
+  hw::CabAddr a = heap.alloc(64);
+  hw::CabAddr b = heap.alloc(64);
+  ASSERT_NE(a, 0u);
+  ASSERT_NE(b, 0u);
+  EXPECT_TRUE(b >= a + 64 || a >= b + 64);
+}
+
+TEST(Heap, FreeMakesSpaceReusable) {
+  hw::CabMemory mem;
+  BufferHeap heap(mem);
+  std::size_t before = heap.bytes_free();
+  hw::CabAddr a = heap.alloc(1000);
+  EXPECT_LT(heap.bytes_free(), before);
+  heap.free(a);
+  EXPECT_EQ(heap.bytes_free(), before);
+}
+
+TEST(Heap, ExhaustionReturnsZeroNotCrash) {
+  hw::CabMemory mem;
+  BufferHeap heap(mem, hw::kDataBase, 4096);
+  hw::CabAddr a = heap.alloc(4000);
+  ASSERT_NE(a, 0u);
+  EXPECT_EQ(heap.alloc(200), 0u);
+  EXPECT_EQ(heap.failed_allocs(), 1u);
+  heap.free(a);
+  EXPECT_NE(heap.alloc(200), 0u);
+}
+
+TEST(Heap, CoalescingPreventsFragmentationDeath) {
+  hw::CabMemory mem;
+  BufferHeap heap(mem, hw::kDataBase, 64 * 1024);
+  std::vector<hw::CabAddr> blocks;
+  for (int i = 0; i < 64; ++i) blocks.push_back(heap.alloc(1024 - 16));
+  for (hw::CabAddr b : blocks) heap.free(b);
+  // After freeing everything, one large allocation must succeed.
+  EXPECT_EQ(heap.free_blocks(), 1u);
+  EXPECT_NE(heap.alloc(60 * 1024), 0u);
+}
+
+TEST(Heap, DoubleFreeThrows) {
+  hw::CabMemory mem;
+  BufferHeap heap(mem);
+  hw::CabAddr a = heap.alloc(10);
+  heap.free(a);
+  EXPECT_THROW(heap.free(a), std::logic_error);
+}
+
+TEST(Heap, FreeUnknownAddressThrows) {
+  hw::CabMemory mem;
+  BufferHeap heap(mem);
+  EXPECT_THROW(heap.free(hw::kDataBase + 12345), std::logic_error);
+}
+
+TEST(Heap, MustLiveInDataRegion) {
+  hw::CabMemory mem;
+  EXPECT_THROW(BufferHeap(mem, hw::kProgramRamBase, 4096), std::invalid_argument);
+}
+
+TEST(Heap, RandomizedAllocFreeStress) {
+  // Property: accounting stays consistent and blocks never overlap under a
+  // random alloc/free workload.
+  hw::CabMemory mem;
+  BufferHeap heap(mem, hw::kDataBase, 256 * 1024);
+  sim::Random rng(2024);
+  std::vector<std::pair<hw::CabAddr, std::size_t>> live;
+  for (int step = 0; step < 3000; ++step) {
+    if (live.empty() || rng.chance(0.55)) {
+      std::size_t len = 8 + rng.next_below(4000);
+      hw::CabAddr a = heap.alloc(len);
+      if (a != 0) {
+        std::size_t got = heap.size_of(a);
+        for (auto& [addr, sz] : live) {
+          ASSERT_TRUE(a + got <= addr || addr + sz <= a)
+              << "overlap at step " << step;
+        }
+        live.emplace_back(a, got);
+      }
+    } else {
+      std::size_t idx = rng.next_below(live.size());
+      heap.free(live[idx].first);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+  }
+  std::size_t in_use = 0;
+  for (auto& [addr, sz] : live) in_use += sz;
+  EXPECT_EQ(heap.bytes_in_use(), in_use);
+  for (auto& [addr, sz] : live) heap.free(addr);
+  EXPECT_EQ(heap.bytes_free(), heap.capacity());
+  EXPECT_EQ(heap.free_blocks(), 1u);
+}
+
+}  // namespace
+}  // namespace nectar::core

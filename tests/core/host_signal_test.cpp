@@ -1,0 +1,99 @@
+#include "core/host_signal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu.hpp"
+#include "core/heap.hpp"
+#include "core/priorities.hpp"
+
+namespace nectar::core {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  hw::CabMemory memory;
+  Cpu cpu{engine, "cab.cpu"};
+  BufferHeap heap{memory};
+  HostSignaling sig{cpu, memory, heap};
+};
+
+TEST(HostSignal, SignalIncrementsPollWord) {
+  Fixture f;
+  auto cond = f.sig.alloc_condition();
+  EXPECT_EQ(f.sig.poll_value(cond), 0u);
+  f.cpu.fork("t", kSystemPriority, [&] {
+    f.sig.signal(cond);
+    f.sig.signal(cond);
+  });
+  f.engine.run();
+  EXPECT_EQ(f.sig.poll_value(cond), 2u);
+  // The poll word is a real word in CAB data memory the host can mmap.
+  EXPECT_EQ(f.memory.read32(f.sig.poll_addr(cond)), 2u);
+}
+
+TEST(HostSignal, SignalPostsToHostQueueAndInterrupts) {
+  Fixture f;
+  int host_irqs = 0;
+  f.sig.set_host_interrupt([&] { ++host_irqs; });
+  auto cond = f.sig.alloc_condition();
+  f.cpu.fork("t", kSystemPriority, [&] { f.sig.signal(cond); });
+  f.engine.run();
+  EXPECT_EQ(host_irqs, 1);
+  auto e = f.sig.pop_host_signal();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->opcode, kOpHostCondSignal);
+  EXPECT_EQ(e->param, cond);
+  EXPECT_FALSE(f.sig.pop_host_signal().has_value());
+}
+
+TEST(HostSignal, CabQueueDispatchesRegisteredOpcodes) {
+  Fixture f;
+  std::uint32_t got_param = 0, got_aux = 0;
+  f.sig.register_opcode(42, [&](SignalElement e) {
+    got_param = e.param;
+    got_aux = e.aux;
+  });
+  f.sig.post_to_cab({42, 1234, 99});
+  f.cpu.post_interrupt([&] { f.sig.drain_cab_queue(); });  // doorbell path
+  f.engine.run();
+  EXPECT_EQ(got_param, 1234u);
+  EXPECT_EQ(got_aux, 99u);
+}
+
+TEST(HostSignal, UnregisteredOpcodeFailsLoudly) {
+  Fixture f;
+  f.sig.post_to_cab({7, 0, 0});
+  EXPECT_THROW(f.sig.drain_cab_queue(), std::logic_error);
+}
+
+TEST(HostSignal, QueueDrainsInOrder) {
+  Fixture f;
+  std::vector<std::uint32_t> order;
+  f.sig.register_opcode(1, [&](SignalElement e) { order.push_back(e.param); });
+  for (std::uint32_t i = 0; i < 5; ++i) f.sig.post_to_cab({1, i, 0});
+  f.sig.drain_cab_queue();
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(HostSignal, FreeConditionReleasesHeapSpace) {
+  Fixture f;
+  std::size_t before = f.heap.bytes_in_use();
+  auto cond = f.sig.alloc_condition();
+  EXPECT_GT(f.heap.bytes_in_use(), before);
+  f.sig.free_condition(cond);
+  EXPECT_EQ(f.heap.bytes_in_use(), before);
+  EXPECT_THROW(f.sig.poll_addr(cond), std::logic_error);
+}
+
+TEST(HostSignal, SignalFromHostAlsoNotifies) {
+  Fixture f;
+  int host_irqs = 0;
+  f.sig.set_host_interrupt([&] { ++host_irqs; });
+  auto cond = f.sig.alloc_condition();
+  f.sig.signal_from_host(cond);
+  EXPECT_EQ(f.sig.poll_value(cond), 1u);
+  EXPECT_EQ(host_irqs, 1);
+}
+
+}  // namespace
+}  // namespace nectar::core

@@ -1,0 +1,196 @@
+// Mailbox concurrency semantics: multiple readers, chained upcalls, cache
+// contention — §3.3's "Multiple threads can use these operations to process
+// concurrently the messages arriving at a single mailbox."
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cpu.hpp"
+#include "core/heap.hpp"
+#include "core/mailbox.hpp"
+#include "core/priorities.hpp"
+
+namespace nectar::core {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  hw::CabMemory memory;
+  Cpu cpu{engine, "cab.cpu"};
+  BufferHeap heap{memory};
+  Mailbox mbox{cpu, heap, "work", {0, 1}};
+};
+
+TEST(MailboxConcurrency, WorkQueueConsumedExactlyOnce) {
+  Fixture f;
+  constexpr int kWorkers = 4;
+  constexpr int kJobs = 40;
+  std::multiset<std::uint32_t> seen;
+  for (int w = 0; w < kWorkers; ++w) {
+    f.cpu.fork("worker", kSystemPriority, [&] {
+      for (;;) {
+        Message m = f.mbox.begin_get();
+        std::uint32_t job = f.memory.read32(m.data);
+        f.mbox.end_get(m);
+        if (job == 0xFFFFFFFF) break;  // poison pill
+        seen.insert(job);
+        f.cpu.charge(sim::usec(20));  // "work"
+      }
+    });
+  }
+  f.cpu.fork("producer", kAppPriority, [&] {
+    for (std::uint32_t j = 1; j <= kJobs; ++j) {
+      Message m = f.mbox.begin_put(4);
+      f.memory.write32(m.data, j);
+      f.mbox.end_put(m);
+    }
+    for (int w = 0; w < kWorkers; ++w) {
+      Message m = f.mbox.begin_put(4);
+      f.memory.write32(m.data, 0xFFFFFFFF);
+      f.mbox.end_put(m);
+    }
+  });
+  f.engine.run();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kJobs));
+  for (std::uint32_t j = 1; j <= kJobs; ++j) {
+    EXPECT_EQ(seen.count(j), 1u) << "job " << j;  // exactly once
+  }
+}
+
+TEST(MailboxConcurrency, ChainedUpcallsRunToCompletion) {
+  // end_put -> upcall A enqueues into B -> upcall B enqueues into C: the
+  // §3.3 "converts a cross-thread procedure call into a local one" pattern
+  // composed twice, all within the publisher's context.
+  Fixture f;
+  Mailbox b(f.cpu, f.heap, "b", {0, 2});
+  Mailbox c(f.cpu, f.heap, "c", {0, 3});
+  int final_count = 0;
+  f.mbox.set_reader_upcall([&](Mailbox& mb) {
+    auto m = mb.begin_get_try();
+    if (m.has_value()) mb.enqueue(*m, b);
+  });
+  b.set_reader_upcall([&](Mailbox& mb) {
+    auto m = mb.begin_get_try();
+    if (m.has_value()) mb.enqueue(*m, c);
+  });
+  c.set_reader_upcall([&](Mailbox& mb) {
+    auto m = mb.begin_get_try();
+    if (m.has_value()) {
+      ++final_count;
+      mb.end_get(*m);
+    }
+  });
+  f.cpu.fork("producer", kSystemPriority, [&] {
+    std::uint64_t switches0 = f.cpu.context_switches();
+    for (int i = 0; i < 5; ++i) {
+      Message m = f.mbox.begin_put(8);
+      f.mbox.end_put(m);  // the whole chain runs here
+    }
+    EXPECT_EQ(f.cpu.context_switches(), switches0);  // zero switches
+  });
+  f.engine.run();
+  EXPECT_EQ(final_count, 5);
+  EXPECT_LE(f.heap.bytes_in_use(), 3 * Mailbox::kSmallBufSize + 256);
+}
+
+TEST(MailboxConcurrency, CacheContentionFallsBackToHeapCorrectly) {
+  Fixture f;
+  constexpr int kWriters = 3;
+  int consumed = 0;
+  f.cpu.fork("reader", kAppPriority, [&] {
+    for (int i = 0; i < kWriters * 10; ++i) {
+      Message m = f.mbox.begin_get();
+      f.mbox.end_get(m);
+      ++consumed;
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) {
+    f.cpu.fork("writer", kSystemPriority, [&] {
+      for (int i = 0; i < 10; ++i) {
+        Message m = f.mbox.begin_put(32);  // all compete for one cached buffer
+        f.cpu.charge(sim::usec(5));        // hold it across a charge
+        f.mbox.end_put(m);
+        f.cpu.yield();
+      }
+    });
+  }
+  f.engine.run();
+  EXPECT_EQ(consumed, kWriters * 10);
+  EXPECT_GE(f.mbox.cache_hits(), 1u);                  // the cache did serve
+  EXPECT_LT(f.mbox.cache_hits(), kWriters * 10ull);    // ...but not everyone
+  EXPECT_EQ(f.heap.bytes_in_use(), Mailbox::kSmallBufSize);  // only the cache remains
+}
+
+TEST(MailboxConcurrency, UpcallAndBlockedReaderCoexist) {
+  // The upcall claims every other *publish* (deciding before it dequeues);
+  // the ones it leaves queued are consumed by a blocked server thread —
+  // both §3.3 consumption styles coexisting on one mailbox.
+  Fixture f;
+  int upcall_got = 0, thread_got = 0;
+  f.mbox.set_reader_upcall([&](Mailbox& mb) {
+    if (mb.puts() % 2 == 0) return;  // leave even publishes for the thread
+    auto m = mb.begin_get_try();
+    if (m.has_value()) {
+      ++upcall_got;
+      mb.end_get(*m);
+    }
+  });
+  f.cpu.fork("server", kAppPriority, [&] {
+    for (int i = 0; i < 5; ++i) {
+      Message m = f.mbox.begin_get();
+      ++thread_got;
+      f.mbox.end_get(m);
+    }
+  });
+  f.cpu.fork("producer", kSystemPriority, [&] {
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      Message m = f.mbox.begin_put(16);
+      f.mbox.end_put(m);
+      f.cpu.charge(sim::usec(30));
+    }
+  });
+  f.engine.run();
+  EXPECT_EQ(upcall_got, 5);
+  EXPECT_EQ(thread_got, 5);
+  EXPECT_EQ(f.mbox.queued(), 0u);
+}
+
+TEST(MailboxConcurrency, ManyMailboxesShareTheHeapFairly) {
+  // Writers on distinct mailboxes exhaust the heap together; every blocked
+  // writer resumes as readers drain — no one starves.
+  sim::Engine engine;
+  hw::CabMemory memory;
+  Cpu cpu(engine, "cpu");
+  BufferHeap heap(memory, hw::kDataBase, 64 * 1024);
+  constexpr int kBoxes = 4;
+  std::vector<std::unique_ptr<Mailbox>> boxes;
+  for (int i = 0; i < kBoxes; ++i) {
+    boxes.push_back(std::make_unique<Mailbox>(cpu, heap, "mb", MailboxAddr{0, 10u + i}));
+  }
+  int produced = 0, drained = 0;
+  for (int i = 0; i < kBoxes; ++i) {
+    cpu.fork("writer", kSystemPriority, [&, i] {
+      for (int k = 0; k < 6; ++k) {
+        Message m = boxes[static_cast<std::size_t>(i)]->begin_put(8 * 1024);  // 4x6x8K >> 64K
+        boxes[static_cast<std::size_t>(i)]->end_put(m);
+        ++produced;
+      }
+    });
+    cpu.fork("reader", kAppPriority, [&, i] {
+      for (int k = 0; k < 6; ++k) {
+        Message m = boxes[static_cast<std::size_t>(i)]->begin_get();
+        cpu.charge(sim::usec(50));
+        boxes[static_cast<std::size_t>(i)]->end_get(m);
+        ++drained;
+      }
+    });
+  }
+  engine.run();
+  EXPECT_EQ(produced, kBoxes * 6);
+  EXPECT_EQ(drained, kBoxes * 6);
+  EXPECT_EQ(heap.bytes_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace nectar::core

@@ -1,0 +1,363 @@
+#include "core/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cpu.hpp"
+#include "core/priorities.hpp"
+
+namespace nectar::core {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  hw::CabMemory memory;
+  Cpu cpu{engine, "cab.cpu"};
+  BufferHeap heap{memory};
+  Mailbox mbox{cpu, heap, "test", {0, 1}};
+
+  void write_msg(const Message& m, const std::string& s) {
+    memory.write(m.data, std::span<const std::uint8_t>(
+                             reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  std::string read_msg(const Message& m) {
+    std::vector<std::uint8_t> buf(m.len);
+    memory.read(m.data, buf);
+    return {buf.begin(), buf.end()};
+  }
+};
+
+TEST(Mailbox, TwoPhasePutGetRoundTrip) {
+  Fixture f;
+  std::string got;
+  f.cpu.fork("writer", kSystemPriority, [&] {
+    Message m = f.mbox.begin_put(5);
+    f.write_msg(m, "hello");
+    f.mbox.end_put(m);
+  });
+  f.cpu.fork("reader", kSystemPriority, [&] {
+    Message m = f.mbox.begin_get();
+    got = f.read_msg(m);
+    f.mbox.end_get(m);
+  });
+  f.engine.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(f.mbox.puts(), 1u);
+  EXPECT_EQ(f.mbox.gets(), 1u);
+}
+
+TEST(Mailbox, ReaderBlocksUntilMessageArrives) {
+  Fixture f;
+  sim::SimTime got_at = -1;
+  f.cpu.fork("reader", kSystemPriority, [&] {
+    Message m = f.mbox.begin_get();  // mailbox empty: blocks
+    got_at = f.engine.now();
+    f.mbox.end_get(m);
+  });
+  f.cpu.fork("writer", kAppPriority, [&] {
+    f.cpu.sleep_until(sim::usec(500));
+    Message m = f.mbox.begin_put(4);
+    f.mbox.end_put(m);
+  });
+  f.engine.run();
+  EXPECT_GE(got_at, sim::usec(500));
+}
+
+TEST(Mailbox, MessagesDeliveredInOrder) {
+  Fixture f;
+  std::vector<std::string> got;
+  f.cpu.fork("writer", kSystemPriority, [&] {
+    for (int i = 0; i < 5; ++i) {
+      Message m = f.mbox.begin_put(2);
+      f.write_msg(m, "m" + std::to_string(i));
+      f.mbox.end_put(m);
+    }
+  });
+  f.cpu.fork("reader", kSystemPriority, [&] {
+    for (int i = 0; i < 5; ++i) {
+      Message m = f.mbox.begin_get();
+      got.push_back(f.read_msg(m));
+      f.mbox.end_get(m);
+    }
+  });
+  f.engine.run();
+  ASSERT_EQ(got.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], "m" + std::to_string(i));
+}
+
+TEST(Mailbox, MultiplePutsOutstanding) {
+  // §3.3: "space for additional messages may be reserved in the meantime".
+  Fixture f;
+  std::vector<std::string> got;
+  f.cpu.fork("writer", kSystemPriority, [&] {
+    Message a = f.mbox.begin_put(200);  // > small-buffer size: heap path
+    Message b = f.mbox.begin_put(200);
+    f.write_msg(b, "second");
+    f.write_msg(a, "first");
+    f.mbox.end_put(a);
+    f.mbox.end_put(b);
+  });
+  f.cpu.fork("reader", kSystemPriority, [&] {
+    for (int i = 0; i < 2; ++i) {
+      Message m = f.mbox.begin_get();
+      got.push_back(f.read_msg(m).substr(0, 6));
+      f.mbox.end_get(m);
+    }
+  });
+  f.engine.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].substr(0, 5), "first");
+  EXPECT_EQ(got[1], "second");
+}
+
+TEST(Mailbox, SmallBufferCacheIsReused) {
+  Fixture f;
+  f.cpu.fork("t", kSystemPriority, [&] {
+    Message a = f.mbox.begin_put(32);
+    EXPECT_TRUE(a.from_cache);
+    hw::CabAddr cached = a.data;
+    f.mbox.end_put(a);
+    Message g = f.mbox.begin_get();
+    f.mbox.end_get(g);
+    // Next small put reuses the same cached buffer.
+    Message b = f.mbox.begin_put(32);
+    EXPECT_TRUE(b.from_cache);
+    EXPECT_EQ(b.data, cached);
+    f.mbox.end_put(b);
+  });
+  f.engine.run();
+  EXPECT_EQ(f.mbox.cache_hits(), 2u);
+}
+
+TEST(Mailbox, CacheMissFallsBackToHeap) {
+  Fixture f;
+  f.cpu.fork("t", kSystemPriority, [&] {
+    Message a = f.mbox.begin_put(32);  // takes the cache
+    Message b = f.mbox.begin_put(32);  // cache busy: heap
+    EXPECT_TRUE(a.from_cache);
+    EXPECT_FALSE(b.from_cache);
+    f.mbox.end_put(a);
+    f.mbox.end_put(b);
+  });
+  f.engine.run();
+}
+
+TEST(Mailbox, LargeMessagesBypassCache) {
+  Fixture f;
+  f.cpu.fork("t", kSystemPriority, [&] {
+    Message m = f.mbox.begin_put(Mailbox::kSmallBufSize + 1);
+    EXPECT_FALSE(m.from_cache);
+    f.mbox.end_put(m);
+  });
+  f.engine.run();
+}
+
+TEST(Mailbox, EnqueueMovesWithoutCopy) {
+  // §4.1: IP transfers complete datagrams to the input mailbox of the
+  // higher-level protocol with Enqueue, "so no data is copied".
+  Fixture f;
+  Mailbox dst(f.cpu, f.heap, "dst", {0, 2});
+  std::string got;
+  hw::CabAddr src_addr = 0, dst_addr = 0;
+  f.cpu.fork("ip", kSystemPriority, [&] {
+    Message m = f.mbox.begin_put(300);
+    f.write_msg(m, "datagram");
+    src_addr = m.data;
+    f.mbox.end_put(m);
+    Message taken = f.mbox.begin_get();
+    f.mbox.enqueue(taken, dst);
+  });
+  f.cpu.fork("tcp", kSystemPriority, [&] {
+    Message m = dst.begin_get();
+    got = f.read_msg(m).substr(0, 8);
+    dst_addr = m.data;
+    dst.end_get(m);
+  });
+  f.engine.run();
+  EXPECT_EQ(got, "datagram");
+  EXPECT_EQ(src_addr, dst_addr);  // zero-copy: same bytes, same address
+  EXPECT_EQ(f.mbox.enqueues(), 1u);
+}
+
+TEST(Mailbox, AdjustStripsHeadersInPlace) {
+  Fixture f;
+  f.cpu.fork("t", kSystemPriority, [&] {
+    Message m = f.mbox.begin_put(300);
+    f.write_msg(m, "HDR:payload:TRL");
+    hw::CabAddr base = m.data;
+    Message stripped = Mailbox::adjust_prefix(m, 4);
+    stripped = Mailbox::adjust_suffix(stripped, 4);
+    EXPECT_EQ(stripped.data, base + 4);
+    EXPECT_EQ(stripped.len, 300u - 8u);
+    EXPECT_EQ(f.read_msg(stripped).substr(0, 7), "payload");
+    // The full block is still freed correctly.
+    f.mbox.end_put(stripped);
+    Message g = f.mbox.begin_get();
+    f.mbox.end_get(g);
+  });
+  f.engine.run();
+  EXPECT_EQ(f.heap.bytes_in_use(), f.mbox.cache_hits() > 0 ? 128u : 0u);
+}
+
+TEST(Mailbox, AdjustBeyondLengthThrows) {
+  Fixture f;
+  f.cpu.fork("t", kSystemPriority, [&] {
+    Message m = f.mbox.begin_put(10);
+    EXPECT_THROW(Mailbox::adjust_prefix(m, 11), std::logic_error);
+    EXPECT_THROW(Mailbox::adjust_suffix(m, 11), std::logic_error);
+    f.mbox.end_put(m);
+  });
+  f.engine.run();
+}
+
+TEST(Mailbox, ReaderUpcallConvertsCrossThreadCallToLocal) {
+  // §3.3: attaching the server body as a reader upcall avoids the context
+  // switch of a dedicated server thread.
+  Fixture f;
+  std::vector<std::string> served;
+  f.mbox.set_reader_upcall([&](Mailbox& mb) {
+    auto m = mb.begin_get_try();
+    ASSERT_TRUE(m.has_value());
+    served.push_back(f.read_msg(*m));
+    mb.end_get(*m);
+  });
+  std::uint64_t switches_before = 0, switches_after = 0;
+  f.cpu.fork("client", kSystemPriority, [&] {
+    switches_before = f.cpu.context_switches();
+    for (int i = 0; i < 3; ++i) {
+      Message m = f.mbox.begin_put(4);
+      f.write_msg(m, "req" + std::to_string(i));
+      f.mbox.end_put(m);
+    }
+    switches_after = f.cpu.context_switches();
+  });
+  f.engine.run();
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0], "req0");
+  EXPECT_EQ(switches_after, switches_before);  // no context switches needed
+}
+
+TEST(Mailbox, WriterBlocksWhenHeapExhaustedAndResumesOnFree) {
+  sim::Engine engine;
+  hw::CabMemory memory;
+  Cpu cpu(engine, "cpu");
+  BufferHeap small_heap(memory, hw::kDataBase, 8192);
+  Mailbox mbox(cpu, small_heap, "tight", {0, 1});
+  bool second_put_done = false;
+  sim::SimTime put_done_at = -1;
+  cpu.fork("writer", kSystemPriority, [&] {
+    Message a = mbox.begin_put(6000);
+    mbox.end_put(a);
+    Message b = mbox.begin_put(6000);  // blocks: heap exhausted
+    put_done_at = engine.now();
+    mbox.end_put(b);
+    second_put_done = true;
+  });
+  cpu.fork("reader", kAppPriority, [&] {
+    cpu.sleep_until(sim::usec(400));
+    Message m = mbox.begin_get();
+    cpu.charge(sim::usec(10));
+    mbox.end_get(m);  // frees space; writer resumes
+  });
+  engine.run();
+  EXPECT_TRUE(second_put_done);
+  EXPECT_GE(put_done_at, sim::usec(400));
+}
+
+TEST(Mailbox, TryVariantsNeverBlock) {
+  Fixture f;
+  f.cpu.fork("t", kSystemPriority, [&] {
+    EXPECT_FALSE(f.mbox.begin_get_try().has_value());  // empty
+    auto m = f.mbox.begin_put_try(40);
+    ASSERT_TRUE(m.has_value());
+    f.mbox.end_put(*m);
+    EXPECT_TRUE(f.mbox.begin_get_try().has_value());
+  });
+  f.engine.run();
+}
+
+TEST(Mailbox, TryPutFailsWhenHeapFull) {
+  sim::Engine engine;
+  hw::CabMemory memory;
+  Cpu cpu(engine, "cpu");
+  BufferHeap small_heap(memory, hw::kDataBase, 2048);
+  Mailbox mbox(cpu, small_heap, "tight", {0, 1});
+  cpu.fork("t", kSystemPriority, [&] {
+    auto a = mbox.begin_put_try(1500);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_FALSE(mbox.begin_put_try(1500).has_value());
+    mbox.end_put(*a);
+  });
+  engine.run();
+}
+
+TEST(Mailbox, BlockingOpsInInterruptContextThrow) {
+  Fixture f;
+  bool checked = false;
+  f.cpu.post_interrupt([&] {
+    EXPECT_THROW(f.mbox.begin_get(), std::logic_error);
+    EXPECT_THROW(f.mbox.begin_put(10), std::logic_error);
+    checked = true;
+  });
+  f.engine.run();
+  EXPECT_TRUE(checked);
+}
+
+TEST(Mailbox, InterruptHandlerUsesTryVariants) {
+  // §4.1 pattern: the datalink interrupt publishes into a protocol mailbox;
+  // a server thread consumes.
+  Fixture f;
+  std::string got;
+  f.cpu.fork("server", kSystemPriority, [&] {
+    Message m = f.mbox.begin_get();
+    got = f.read_msg(m);
+    f.mbox.end_get(m);
+  });
+  f.engine.schedule_at(sim::usec(200), [&] {
+    f.cpu.post_interrupt([&] {
+      auto m = f.mbox.begin_put_try(6);
+      ASSERT_TRUE(m.has_value());
+      f.write_msg(*m, "packet");
+      f.mbox.end_put(*m);
+    });
+  });
+  f.engine.run();
+  EXPECT_EQ(got, "packet");
+}
+
+TEST(Mailbox, NotifyHookFiresOnPublish) {
+  Fixture f;
+  int notifications = 0;
+  f.mbox.set_notify_hook([&] { ++notifications; });
+  f.cpu.fork("t", kSystemPriority, [&] {
+    for (int i = 0; i < 3; ++i) {
+      Message m = f.mbox.begin_put(4);
+      f.mbox.end_put(m);
+    }
+  });
+  f.engine.run();
+  EXPECT_EQ(notifications, 3);
+}
+
+TEST(Mailbox, CachedBufferReturnsToOwnerAfterEnqueue) {
+  Fixture f;
+  Mailbox dst(f.cpu, f.heap, "dst", {0, 2});
+  f.cpu.fork("t", kSystemPriority, [&] {
+    Message m = f.mbox.begin_put(16);
+    ASSERT_TRUE(m.from_cache);
+    f.mbox.end_put(m);
+    Message taken = f.mbox.begin_get();
+    f.mbox.enqueue(taken, dst);
+    Message got = dst.begin_get();
+    dst.end_get(got);  // returns the buffer to f.mbox's cache
+    Message again = f.mbox.begin_put(16);
+    EXPECT_TRUE(again.from_cache);
+    f.mbox.end_put(again);
+  });
+  f.engine.run();
+}
+
+}  // namespace
+}  // namespace nectar::core

@@ -1,0 +1,127 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+
+namespace nectar::core {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  hw::CabBoard board{engine, "cab0", 0};
+  CabRuntime rt{board};
+};
+
+TEST(Runtime, MailboxRegistryAssignsSequentialIndices) {
+  Fixture f;
+  Mailbox& a = f.rt.create_mailbox("a");
+  Mailbox& b = f.rt.create_mailbox("b");
+  EXPECT_EQ(a.address().node, 0);
+  EXPECT_EQ(b.address().index, a.address().index + 1);
+  EXPECT_EQ(f.rt.find_mailbox(a.address().index), &a);
+  EXPECT_EQ(f.rt.find_mailbox(b.address().index), &b);
+  EXPECT_EQ(f.rt.find_mailbox(9999), nullptr);
+  EXPECT_EQ(f.rt.mailbox_count(), 2u);
+}
+
+TEST(Runtime, SystemThreadsOutrankApplicationThreads) {
+  Fixture f;
+  std::vector<std::string> order;
+  f.rt.fork_app("app", [&] { order.push_back("app"); });
+  f.rt.fork_system("sys", [&] { order.push_back("sys"); });
+  f.engine.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "sys");
+}
+
+TEST(Runtime, DoorbellDrivesSignalQueueAtInterruptLevel) {
+  Fixture f;
+  bool handled = false;
+  bool was_irq = false;
+  f.rt.signals().register_opcode(9, [&](SignalElement) {
+    handled = true;
+    was_irq = f.rt.cpu().in_interrupt();
+  });
+  f.rt.signals().post_to_cab({9, 0, 0});
+  f.board.ring_doorbell();
+  f.engine.run();
+  EXPECT_TRUE(handled);
+  EXPECT_TRUE(was_irq);
+}
+
+TEST(Runtime, PacketHandlerRunsInInterruptContext) {
+  Fixture f;
+  f.board.out_link().attach(&f.board.in_fifo());  // loopback
+  bool handled = false;
+  bool was_irq = false;
+  f.rt.set_packet_handler([&] {
+    handled = true;
+    was_irq = f.rt.cpu().in_interrupt();
+    // Drain so the frame does not leak.
+    f.board.dma().start_recv(hw::DmaController::kDiscard, 0,
+                             [](hw::FiberInFifo::ArrivedFrame, bool) {});
+  });
+  f.board.memory().write32(hw::kDataBase, 42);
+  f.board.dma().start_send({}, {}, hw::kDataBase, 4, [] {}, 0);
+  f.engine.run();
+  EXPECT_TRUE(handled);
+  EXPECT_TRUE(was_irq);
+}
+
+TEST(Runtime, TraceMarksFlowToSharedRecorder) {
+  sim::Engine engine;
+  sim::TraceRecorder trace(engine);
+  hw::CabBoard board(engine, "cab0", 0);
+  CabRuntime rt(board, &trace);
+  rt.fork_system("t", [&] {
+    rt.cpu().charge(sim::usec(5));
+    rt.trace_mark("checkpoint");
+  });
+  engine.run();
+  EXPECT_GT(trace.mark_time("checkpoint"), 0);
+}
+
+TEST(Runtime, TraceMarkWithoutRecorderIsSafe) {
+  Fixture f;
+  f.rt.fork_system("t", [&] { f.rt.trace_mark("nobody-listens"); });
+  f.engine.run();
+  SUCCEED();
+}
+
+TEST(Runtime, HeapLivesInDataRegion) {
+  Fixture f;
+  EXPECT_EQ(f.rt.heap().capacity(), hw::kDataSize);
+  hw::CabAddr a = f.rt.heap().alloc(128);
+  EXPECT_TRUE(hw::CabMemory::in_data_region(a, 128));
+  f.rt.heap().free(a);
+}
+
+TEST(Runtime, ManyThreadsShareTheCpuFairly) {
+  Fixture f;
+  constexpr int kThreads = 8;
+  std::vector<int> rounds(kThreads, 0);
+  for (int i = 0; i < kThreads; ++i) {
+    f.rt.fork_app("worker", [&f, &rounds, i] {
+      for (int r = 0; r < 10; ++r) {
+        f.rt.cpu().charge(sim::usec(10));
+        rounds[static_cast<std::size_t>(i)] = r + 1;
+        f.rt.cpu().yield();
+      }
+    });
+  }
+  f.engine.run();
+  for (int i = 0; i < kThreads; ++i) EXPECT_EQ(rounds[static_cast<std::size_t>(i)], 10);
+}
+
+TEST(Runtime, BusyTimeAccountsChargedWork) {
+  Fixture f;
+  f.rt.fork_system("t", [&] { f.rt.cpu().charge(sim::usec(123)); });
+  f.engine.run();
+  // Work + context switch; no more than a handful of switches.
+  EXPECT_GE(f.rt.cpu().busy_time(), sim::usec(123));
+  EXPECT_LE(f.rt.cpu().busy_time(), sim::usec(123) + 3 * sim::costs::kContextSwitch);
+}
+
+}  // namespace
+}  // namespace nectar::core

@@ -1,0 +1,149 @@
+#include "core/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cpu.hpp"
+#include "core/priorities.hpp"
+
+namespace nectar::core {
+namespace {
+
+TEST(Sync, WriteThenReadReturnsValue) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  std::uint32_t got = 0;
+  cpu.fork("t", kSystemPriority, [&] {
+    auto id = pool.alloc();
+    pool.write(id, 42);
+    got = pool.read(id);
+  });
+  e.run();
+  EXPECT_EQ(got, 42u);
+  EXPECT_EQ(pool.live(), 0u);  // read frees
+}
+
+TEST(Sync, ReadBlocksUntilWritten) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  SyncPool::SyncId id = 0;
+  std::uint32_t got = 0;
+  sim::SimTime read_at = -1;
+  cpu.fork("reader", kSystemPriority, [&] {
+    id = pool.alloc();
+    got = pool.read(id);  // blocks
+    read_at = e.now();
+  });
+  cpu.fork("writer", kAppPriority, [&] {
+    cpu.sleep_until(sim::usec(300));
+    pool.write(id, 7);
+  });
+  e.run();
+  EXPECT_EQ(got, 7u);
+  EXPECT_GE(read_at, sim::usec(300));
+}
+
+TEST(Sync, WriteFromInterruptWakesReader) {
+  // The paper's use case: a transport protocol returns a status value to a
+  // waiting sender.
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  SyncPool::SyncId id = 0;
+  std::uint32_t got = 0;
+  cpu.fork("sender", kSystemPriority, [&] {
+    id = pool.alloc();
+    got = pool.read(id);
+  });
+  e.schedule_at(sim::usec(100), [&] { cpu.post_interrupt([&] { pool.write(id, 0xC0DEu); }); });
+  e.run();
+  EXPECT_EQ(got, 0xC0DEu);
+}
+
+TEST(Sync, CancelBeforeWriteFreesOnWrite) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  cpu.fork("t", kSystemPriority, [&] {
+    auto id = pool.alloc();
+    pool.cancel(id);
+    EXPECT_EQ(pool.live(), 1u);  // canceled, not yet freed (§3.4)
+    pool.write(id, 5);           // write frees it
+    EXPECT_EQ(pool.live(), 0u);
+  });
+  e.run();
+}
+
+TEST(Sync, CancelAfterWriteFreesImmediately) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  cpu.fork("t", kSystemPriority, [&] {
+    auto id = pool.alloc();
+    pool.write(id, 5);
+    pool.cancel(id);
+    EXPECT_EQ(pool.live(), 0u);
+  });
+  e.run();
+}
+
+TEST(Sync, ReadTryPollsWithoutBlocking) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  cpu.fork("t", kSystemPriority, [&] {
+    auto id = pool.alloc();
+    std::uint32_t v = 0;
+    EXPECT_FALSE(pool.read_try(id, &v));
+    pool.write(id, 99);
+    EXPECT_TRUE(pool.read_try(id, &v));
+    EXPECT_EQ(v, 99u);
+    EXPECT_EQ(pool.live(), 0u);
+  });
+  e.run();
+}
+
+TEST(Sync, DoubleWriteThrows) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  cpu.fork("t", kSystemPriority, [&] {
+    auto id = pool.alloc();
+    pool.write(id, 1);
+    EXPECT_THROW(pool.write(id, 2), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(Sync, UseAfterFreeThrows) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool pool("p");
+  cpu.fork("t", kSystemPriority, [&] {
+    auto id = pool.alloc();
+    pool.write(id, 1);
+    (void)pool.read(id);
+    EXPECT_THROW(pool.write(id, 2), std::logic_error);
+    EXPECT_THROW((void)pool.read(id), std::logic_error);
+  });
+  e.run();
+}
+
+TEST(Sync, SeparatePoolsHaveIndependentIds) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  SyncPool host_pool("host"), cab_pool("cab");
+  cpu.fork("t", kSystemPriority, [&] {
+    auto h = host_pool.alloc();
+    auto c = cab_pool.alloc();
+    host_pool.write(h, 1);
+    cab_pool.write(c, 2);
+    EXPECT_EQ(host_pool.read(h), 1u);
+    EXPECT_EQ(cab_pool.read(c), 2u);
+  });
+  e.run();
+}
+
+}  // namespace
+}  // namespace nectar::core

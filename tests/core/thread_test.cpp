@@ -1,0 +1,194 @@
+#include "core/thread.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cpu.hpp"
+#include "core/priorities.hpp"
+
+namespace nectar::core {
+namespace {
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  int in_critical = 0;
+  int max_in_critical = 0;
+  for (int i = 0; i < 4; ++i) {
+    cpu.fork("t", kSystemPriority, [&] {
+      for (int k = 0; k < 3; ++k) {
+        LockGuard g(m);
+        ++in_critical;
+        max_in_critical = std::max(max_in_critical, in_critical);
+        cpu.charge(sim::usec(30));  // preemption point inside the section
+        --in_critical;
+      }
+    });
+  }
+  e.run();
+  EXPECT_EQ(max_in_critical, 1);
+}
+
+TEST(Mutex, TryLockFailsWhenHeld) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  std::vector<bool> results;
+  cpu.fork("holder", kSystemPriority, [&] {
+    m.lock();
+    cpu.sleep_until(sim::usec(500));  // holds the lock while blocked
+    m.unlock();
+  });
+  cpu.fork("prober", kSystemPriority, [&] {
+    cpu.sleep_until(sim::usec(100));
+    results.push_back(m.try_lock());  // holder still has it
+    cpu.sleep_until(sim::usec(900));
+    results.push_back(m.try_lock());  // free now
+    m.unlock();
+  });
+  e.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0]);
+  EXPECT_TRUE(results[1]);
+}
+
+TEST(Mutex, FifoHandOff) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  std::vector<int> order;
+  cpu.fork("holder", kSystemPriority, [&] {
+    m.lock();
+    cpu.charge(sim::usec(100));
+    m.unlock();
+  });
+  for (int i = 0; i < 3; ++i) {
+    cpu.fork("w" + std::to_string(i), kSystemPriority, [&, i] {
+      m.lock();
+      order.push_back(i);
+      m.unlock();
+    });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CondVar, SignalWakesOneWaiter) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  CondVar cv(cpu);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    cpu.fork("waiter", kSystemPriority, [&] {
+      LockGuard g(m);
+      cv.wait(m);
+      ++woken;
+    });
+  }
+  cpu.fork("signaler", kAppPriority, [&] {
+    LockGuard g(m);
+    cv.signal();
+  });
+  e.run_until(sim::msec(10));
+  EXPECT_EQ(woken, 1);
+}
+
+TEST(CondVar, BroadcastWakesAll) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  CondVar cv(cpu);
+  int woken = 0;
+  for (int i = 0; i < 5; ++i) {
+    cpu.fork("waiter", kSystemPriority, [&] {
+      LockGuard g(m);
+      cv.wait(m);
+      ++woken;
+    });
+  }
+  cpu.fork("caster", kAppPriority, [&] {
+    LockGuard g(m);
+    cv.broadcast();
+  });
+  e.run();
+  EXPECT_EQ(woken, 5);
+}
+
+TEST(CondVar, ProducerConsumerPipeline) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  CondVar nonempty(cpu);
+  std::vector<int> queue;
+  std::vector<int> consumed;
+  constexpr int kItems = 20;
+
+  cpu.fork("consumer", kSystemPriority, [&] {
+    for (int i = 0; i < kItems; ++i) {
+      LockGuard g(m);
+      while (queue.empty()) nonempty.wait(m);
+      consumed.push_back(queue.front());
+      queue.erase(queue.begin());
+    }
+  });
+  cpu.fork("producer", kSystemPriority, [&] {
+    for (int i = 0; i < kItems; ++i) {
+      cpu.charge(sim::usec(7));
+      LockGuard g(m);
+      queue.push_back(i);
+      nonempty.signal();
+    }
+  });
+  e.run();
+  ASSERT_EQ(consumed.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(consumed[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CondVar, NoLostWakeupAcrossUnlockWindow) {
+  // The signaler acquires the mutex the instant the waiter's wait() releases
+  // it; the waiter must still see the signal.
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  CondVar cv(cpu);
+  bool got_signal = false;
+  cpu.fork("waiter", kSystemPriority, [&] {
+    LockGuard g(m);
+    cv.wait(m);
+    got_signal = true;
+  });
+  cpu.fork("signaler", kSystemPriority, [&] {
+    LockGuard g(m);
+    cv.signal();
+  });
+  e.run();
+  EXPECT_TRUE(got_signal);
+}
+
+TEST(CondVar, SignalWithNoWaitersIsLostByDesign) {
+  sim::Engine e;
+  Cpu cpu(e, "cpu");
+  Mutex m(cpu);
+  CondVar cv(cpu);
+  bool woke = false;
+  cpu.fork("signaler", kSystemPriority, [&] {
+    LockGuard g(m);
+    cv.signal();  // nobody waiting: signal evaporates (condition variable
+                  // semantics, not a semaphore)
+  });
+  cpu.fork("late-waiter", kAppPriority, [&] {
+    LockGuard g(m);
+    while (!woke) {
+      cv.wait(m);
+      woke = true;  // only reached if something signals again — it won't
+    }
+  });
+  e.run_until(sim::msec(5));
+  EXPECT_FALSE(woke);
+}
+
+}  // namespace
+}  // namespace nectar::core

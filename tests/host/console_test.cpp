@@ -1,0 +1,83 @@
+#include "host/console.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/node.hpp"
+
+namespace nectar::host {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{1, /*with_vme=*/true};
+  HostNode h{sys, 0};
+  HostConsole console{h.driver};
+};
+
+TEST(Console, CabThreadPrintsThroughTheHost) {
+  Fixture f;
+  f.sys.runtime(0).fork_app("task", [&] {
+    f.console.print_from_cab("hello from the CAB");
+  });
+  f.sys.net().run_until(sim::sec(1));
+  ASSERT_EQ(f.console.lines().size(), 1u);
+  EXPECT_EQ(f.console.lines()[0], "hello from the CAB");
+}
+
+TEST(Console, LinesArriveInOrderAndBuffersAreFreed) {
+  Fixture f;
+  std::size_t floor = f.sys.runtime(0).heap().bytes_in_use();
+  f.sys.runtime(0).fork_app("task", [&] {
+    for (int i = 0; i < 10; ++i) {
+      f.console.print_from_cab("line " + std::to_string(i));
+      f.sys.runtime(0).cpu().sleep_for(sim::usec(100));
+    }
+  });
+  f.sys.net().run_until(sim::sec(1));
+  ASSERT_EQ(f.console.lines().size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(f.console.lines()[static_cast<std::size_t>(i)], "line " + std::to_string(i));
+  }
+  // Every buffer came back through the completion opcode.
+  EXPECT_LE(f.sys.runtime(0).heap().bytes_in_use(), floor + core::Mailbox::kSmallBufSize + 16);
+}
+
+TEST(Console, CustomSinkReceivesOutput) {
+  Fixture f;
+  std::string collected;
+  f.console.set_sink([&](std::string s) { collected += s + "\n"; });
+  f.sys.runtime(0).fork_app("task", [&] {
+    f.console.print_from_cab("a");
+    f.console.print_from_cab("b");
+  });
+  f.sys.net().run_until(sim::sec(1));
+  EXPECT_EQ(collected, "a\nb\n");
+  EXPECT_TRUE(f.console.lines().empty());  // sink bypasses the buffer
+}
+
+TEST(Console, LargeLineCrossesTheBusIntact) {
+  Fixture f;
+  std::string big;
+  for (int i = 0; i < 3000; ++i) big.push_back(static_cast<char>('a' + i % 26));
+  f.sys.runtime(0).fork_app("task", [&] { f.console.print_from_cab(big); });
+  f.sys.net().run_until(sim::sec(1));
+  ASSERT_EQ(f.console.lines().size(), 1u);
+  EXPECT_EQ(f.console.lines()[0], big);
+  EXPECT_EQ(f.console.bytes_printed(), big.size());
+}
+
+TEST(Console, PrintingCostsHostCpuOnlyWhenDelivering) {
+  // The CAB pays to build the text; the host pays only the interrupt +
+  // cross-bus read — there is no host polling anywhere.
+  Fixture f;
+  f.sys.runtime(0).fork_app("task", [&] {
+    f.console.print_from_cab(std::string(1000, 'x'));
+  });
+  f.sys.net().run_until(sim::sec(1));
+  ASSERT_EQ(f.console.lines().size(), 1u);
+  // Host CPU: one interrupt (~15 us) + 250 VME words (~250 us) + posting the
+  // completion. Far below a millisecond, and nothing after delivery.
+  EXPECT_LT(f.h.host.cpu().busy_time(), sim::usec(600));
+}
+
+}  // namespace
+}  // namespace nectar::host

@@ -1,0 +1,166 @@
+#include "host/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/node.hpp"
+#include "net/system.hpp"
+
+namespace nectar::host {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{2, /*with_vme=*/true};
+  HostNode h0{sys, 0};
+  HostNode h1{sys, 1};
+};
+
+TEST(Driver, ProgrammedIoReadsAndWritesCabMemory) {
+  Fixture f;
+  std::uint32_t got = 0;
+  f.h0.host.run_process("p", [&] {
+    f.h0.driver.write32(hw::kDataBase + 64, 0xFEEDFACE);
+    got = f.h0.driver.read32(hw::kDataBase + 64);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, 0xFEEDFACEu);
+  EXPECT_GE(f.sys.net().vme(0)->words_transferred(), 2u);
+}
+
+TEST(Driver, ProgrammedIoCostsAMicrosecondPerWord) {
+  Fixture f;
+  sim::SimTime elapsed = -1;
+  f.h0.host.run_process("p", [&] {
+    sim::SimTime t0 = f.sys.engine().now();
+    for (int i = 0; i < 100; ++i) f.h0.driver.write32(hw::kDataBase, 1);
+    elapsed = f.sys.engine().now() - t0;
+  });
+  f.sys.engine().run();
+  EXPECT_GE(elapsed, sim::usec(100));  // the paper's ~1 us per access
+  EXPECT_LT(elapsed, sim::usec(200));
+}
+
+TEST(Driver, DmaMovesBulkDataBothWays) {
+  Fixture f;
+  std::vector<std::uint8_t> out(4096);
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = static_cast<std::uint8_t>(i * 7);
+  std::vector<std::uint8_t> back(4096, 0);
+  f.h0.host.run_process("p", [&] {
+    f.h0.driver.dma_to_cab(out, hw::kDataBase + 8192);
+    f.h0.driver.dma_from_cab(hw::kDataBase + 8192, back);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(back, out);
+  EXPECT_EQ(f.sys.net().vme(0)->dma_transfers(), 2u);
+}
+
+TEST(Driver, HostConditionPollWait) {
+  Fixture f;
+  auto cond = f.sys.runtime(0).signals().alloc_condition();
+  sim::SimTime woke_at = -1;
+  f.h0.host.run_process("waiter", [&] {
+    std::uint32_t v = f.h0.driver.wait_poll(cond, 0);
+    woke_at = f.sys.engine().now();
+    EXPECT_EQ(v, 1u);
+  });
+  // A CAB thread signals after 300 us.
+  f.sys.runtime(0).fork_system("signaler", [&] {
+    f.sys.runtime(0).cpu().sleep_until(sim::usec(300));
+    f.sys.runtime(0).signals().signal(cond);
+  });
+  f.sys.engine().run();
+  EXPECT_GE(woke_at, sim::usec(300));
+  EXPECT_LT(woke_at, sim::usec(370));  // wake + signal charges + a few poll accesses
+}
+
+TEST(Driver, HostConditionBlockingWaitUsesInterrupt) {
+  Fixture f;
+  auto cond = f.sys.runtime(0).signals().alloc_condition();
+  sim::SimTime woke_at = -1;
+  f.h0.host.run_process("waiter", [&] {
+    std::uint32_t v = f.h0.driver.wait_blocking(cond, 0);
+    woke_at = f.sys.engine().now();
+    EXPECT_EQ(v, 1u);
+  });
+  f.sys.runtime(0).fork_system("signaler", [&] {
+    f.sys.runtime(0).cpu().sleep_until(sim::msec(2));
+    f.sys.runtime(0).signals().signal(cond);
+  });
+  f.sys.engine().run();
+  EXPECT_GE(woke_at, sim::msec(2));
+  EXPECT_GE(f.h0.driver.host_interrupts(), 1u);
+}
+
+TEST(Driver, BlockingWaitDoesNotBurnHostCpu) {
+  // While blocked in the driver the host CPU is free (no poll loop).
+  Fixture f;
+  auto cond = f.sys.runtime(0).signals().alloc_condition();
+  f.h0.host.run_process("waiter", [&] { f.h0.driver.wait_blocking(cond, 0); });
+  f.sys.runtime(0).fork_system("signaler", [&] {
+    f.sys.runtime(0).cpu().sleep_until(sim::msec(10));
+    f.sys.runtime(0).signals().signal(cond);
+  });
+  f.sys.engine().run();
+  // Host CPU busy time is a tiny fraction of the 10 ms wait.
+  EXPECT_LT(f.h0.host.cpu().busy_time(), sim::msec(1));
+}
+
+TEST(Driver, PollWaitBurnsHostCpuOnTheBus) {
+  // The contrast case for the test above (§3.2: "polling ... wastes host
+  // CPU cycles").
+  Fixture f;
+  auto cond = f.sys.runtime(0).signals().alloc_condition();
+  f.h0.host.run_process("waiter", [&] { f.h0.driver.wait_poll(cond, 0); });
+  f.sys.runtime(0).fork_system("signaler", [&] {
+    f.sys.runtime(0).cpu().sleep_until(sim::msec(10));
+    f.sys.runtime(0).signals().signal(cond);
+  });
+  f.sys.engine().run();
+  EXPECT_GT(f.h0.host.cpu().busy_time(), sim::msec(5));
+}
+
+TEST(Driver, SignalFromHostWakesLocalBlockedProcess) {
+  Fixture f;
+  auto cond = f.sys.runtime(0).signals().alloc_condition();
+  bool woke = false;
+  f.h0.host.run_process("waiter", [&] {
+    f.h0.driver.wait_blocking(cond, 0);
+    woke = true;
+  });
+  f.h0.host.run_process("signaler", [&] {
+    f.h0.host.cpu().sleep_until(sim::msec(1));
+    f.h0.driver.signal(cond);
+  });
+  f.sys.engine().run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(Driver, HostToCabRpcReturnsValue) {
+  Fixture f;
+  // Register a doubling opcode on the CAB.
+  f.sys.runtime(0).signals().register_opcode(77, [&](core::SignalElement e) {
+    f.sys.runtime(0).host_syncs().write(e.aux & 0xFFFF, e.param * 2);
+  });
+  std::uint32_t result = 0;
+  f.h0.host.run_process("caller", [&] { result = f.h0.driver.call_cab(77, 21); });
+  f.sys.engine().run();
+  EXPECT_EQ(result, 42u);
+}
+
+TEST(Driver, RpcRoundTripIsTensOfMicroseconds) {
+  Fixture f;
+  f.sys.runtime(0).signals().register_opcode(78, [&](core::SignalElement e) {
+    f.sys.runtime(0).host_syncs().write(e.aux & 0xFFFF, 1);
+  });
+  sim::SimTime elapsed = -1;
+  f.h0.host.run_process("caller", [&] {
+    sim::SimTime t0 = f.sys.engine().now();
+    f.h0.driver.call_cab(78, 0);
+    elapsed = f.sys.engine().now() - t0;
+  });
+  f.sys.engine().run();
+  EXPECT_GT(elapsed, sim::usec(5));
+  EXPECT_LT(elapsed, sim::usec(100));
+}
+
+}  // namespace
+}  // namespace nectar::host

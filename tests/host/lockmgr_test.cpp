@@ -1,0 +1,154 @@
+#include "nectarine/lockmgr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+
+namespace nectar::nectarine {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{4};
+  // The lock table lives on node 0's CAB (§5.3: offload locking to the CAB).
+  LockServer server{sys.runtime(0), sys.stack(0).reqresp, sys.stack(0).rmp};
+};
+
+TEST(LockMgr, ExclusiveAcquireRelease) {
+  Fixture f;
+  bool done = false;
+  f.sys.runtime(1).fork_app("client", [&] {
+    LockClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address(), 1);
+    EXPECT_TRUE(c.acquire("table:accounts", LockServer::Mode::Exclusive));
+    EXPECT_EQ(f.server.locks_held(), 1u);
+    EXPECT_TRUE(c.release("table:accounts"));
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.server.locks_held(), 0u);
+  EXPECT_EQ(f.server.grants(), 1u);
+}
+
+TEST(LockMgr, SharedHoldersCoexist) {
+  Fixture f;
+  int granted = 0;
+  for (int n = 1; n <= 3; ++n) {
+    f.sys.runtime(n).fork_app("reader", [&f, n, &granted] {
+      LockClient c(f.sys.runtime(n), f.sys.stack(n).reqresp, f.server.address(),
+                   static_cast<std::uint32_t>(n));
+      if (c.acquire("catalog", LockServer::Mode::Shared)) ++granted;
+      // Hold for a while: all three must be in simultaneously.
+      f.sys.runtime(n).cpu().sleep_for(sim::msec(5));
+      c.release("catalog");
+    });
+  }
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(f.server.queued_waits(), 0u);  // shared never queued behind shared
+}
+
+TEST(LockMgr, ExclusiveWaitsForSharedToDrain) {
+  Fixture f;
+  std::vector<std::string> order;
+  f.sys.runtime(1).fork_app("reader", [&] {
+    LockClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address(), 1);
+    ASSERT_TRUE(c.acquire("row:42", LockServer::Mode::Shared));
+    order.push_back("reader-in");
+    f.sys.runtime(1).cpu().sleep_for(sim::msec(10));
+    order.push_back("reader-out");
+    c.release("row:42");
+  });
+  f.sys.runtime(2).fork_app("writer", [&] {
+    f.sys.runtime(2).cpu().sleep_for(sim::msec(2));  // reader goes first
+    LockClient c(f.sys.runtime(2), f.sys.stack(2).reqresp, f.server.address(), 2);
+    ASSERT_TRUE(c.acquire("row:42", LockServer::Mode::Exclusive));
+    order.push_back("writer-in");
+    c.release("row:42");
+  });
+  f.sys.net().run_until(sim::sec(2));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "reader-in");
+  EXPECT_EQ(order[1], "reader-out");
+  EXPECT_EQ(order[2], "writer-in");  // blocked until the shared holder left
+  EXPECT_GE(f.server.queued_waits(), 1u);
+}
+
+TEST(LockMgr, TryAcquireDoesNotBlock) {
+  Fixture f;
+  bool probe_result = true;
+  f.sys.runtime(1).fork_app("holder", [&] {
+    LockClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address(), 1);
+    ASSERT_TRUE(c.acquire("x", LockServer::Mode::Exclusive));
+    f.sys.runtime(1).cpu().sleep_for(sim::msec(20));
+    c.release("x");
+  });
+  f.sys.runtime(2).fork_app("prober", [&] {
+    f.sys.runtime(2).cpu().sleep_for(sim::msec(5));
+    LockClient c(f.sys.runtime(2), f.sys.stack(2).reqresp, f.server.address(), 2);
+    probe_result = c.try_acquire("x", LockServer::Mode::Exclusive);
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_FALSE(probe_result);
+}
+
+TEST(LockMgr, ReleaseWithoutHoldReportsNotHeld) {
+  Fixture f;
+  bool released = true;
+  f.sys.runtime(1).fork_app("client", [&] {
+    LockClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address(), 1);
+    released = c.release("never-held");
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_FALSE(released);
+}
+
+TEST(LockMgr, FifoFairnessAcrossWriters) {
+  Fixture f;
+  std::vector<int> grant_order;
+  f.sys.runtime(1).fork_app("holder", [&] {
+    LockClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address(), 1);
+    ASSERT_TRUE(c.acquire("q", LockServer::Mode::Exclusive));
+    f.sys.runtime(1).cpu().sleep_for(sim::msec(10));
+    c.release("q");
+  });
+  for (int n = 2; n <= 3; ++n) {
+    f.sys.runtime(n).fork_app("writer", [&f, n, &grant_order] {
+      // Stagger so node 2 queues before node 3.
+      f.sys.runtime(n).cpu().sleep_for(sim::msec(n));
+      LockClient c(f.sys.runtime(n), f.sys.stack(n).reqresp, f.server.address(),
+                   static_cast<std::uint32_t>(n));
+      if (c.acquire("q", LockServer::Mode::Exclusive)) {
+        grant_order.push_back(n);
+        f.sys.runtime(n).cpu().sleep_for(sim::msec(2));
+        c.release("q");
+      }
+    });
+  }
+  f.sys.net().run_until(sim::sec(2));
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], 2);  // queued first, granted first
+  EXPECT_EQ(grant_order[1], 3);
+}
+
+TEST(LockMgr, LossyNetworkStillAtMostOnce) {
+  // Retransmitted acquires must not double-grant (the reqresp duplicate
+  // cache) and deferred grants must survive loss (RMP).
+  Fixture f;
+  f.sys.net().cab(1).out_link().set_drop_rate(0.3, 91);
+  f.sys.net().cab(0).out_link().set_drop_rate(0.2, 92);
+  bool done = false;
+  f.sys.runtime(1).fork_app("client", [&] {
+    LockClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address(), 1);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(c.acquire("contended", LockServer::Mode::Exclusive));
+      ASSERT_TRUE(c.release("contended"));
+    }
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(10));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.server.locks_held(), 0u);
+}
+
+}  // namespace
+}  // namespace nectar::nectarine

@@ -1,0 +1,129 @@
+#include "nectarine/names.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+
+namespace nectar::nectarine {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{3};
+  NameServer server{sys.runtime(0), sys.stack(0).reqresp};
+};
+
+TEST(Names, RegisterAndLookupAcrossNodes) {
+  Fixture f;
+  core::MailboxAddr got{};
+  bool done = false;
+  f.sys.runtime(1).fork_app("service", [&] {
+    core::Mailbox& mb = f.sys.runtime(1).create_mailbox("svc");
+    NameClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address());
+    EXPECT_EQ(c.register_name("printer", mb.address()), NameServer::kOk);
+  });
+  f.sys.runtime(2).fork_app("client", [&] {
+    NameClient c(f.sys.runtime(2), f.sys.stack(2).reqresp, f.server.address());
+    got = c.wait_for("printer");
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got.node, 1);
+  EXPECT_EQ(f.server.entries(), 1u);
+}
+
+TEST(Names, LookupMissingReportsNotFound) {
+  Fixture f;
+  bool done = false;
+  f.sys.runtime(1).fork_app("client", [&] {
+    NameClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address());
+    core::MailboxAddr addr{};
+    EXPECT_EQ(c.lookup("ghost", &addr), NameServer::kNotFound);
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(done);
+}
+
+TEST(Names, ConflictingRegistrationRejected) {
+  Fixture f;
+  bool done = false;
+  f.sys.runtime(1).fork_app("t", [&] {
+    NameClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address());
+    EXPECT_EQ(c.register_name("db", {1, 10}), NameServer::kOk);
+    EXPECT_EQ(c.register_name("db", {1, 10}), NameServer::kOk);       // idempotent
+    EXPECT_EQ(c.register_name("db", {2, 99}), NameServer::kConflict);  // taken
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(done);
+}
+
+TEST(Names, UnregisterFreesTheName) {
+  Fixture f;
+  bool done = false;
+  f.sys.runtime(1).fork_app("t", [&] {
+    NameClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address());
+    ASSERT_EQ(c.register_name("tmp", {1, 5}), NameServer::kOk);
+    EXPECT_EQ(c.unregister_name("tmp"), NameServer::kOk);
+    EXPECT_EQ(c.unregister_name("tmp"), NameServer::kNotFound);
+    EXPECT_EQ(c.register_name("tmp", {2, 7}), NameServer::kOk);  // reusable
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(done);
+}
+
+TEST(Names, RendezvousWhenClientStartsFirst) {
+  // The client begins waiting before the service registers — the blocking
+  // lookup is the startup rendezvous.
+  Fixture f;
+  core::MailboxAddr got{};
+  bool done = false;
+  f.sys.runtime(2).fork_app("client", [&] {
+    NameClient c(f.sys.runtime(2), f.sys.stack(2).reqresp, f.server.address());
+    got = c.wait_for("late-service");
+    done = true;
+  });
+  f.sys.runtime(1).fork_app("service", [&] {
+    f.sys.runtime(1).cpu().sleep_for(sim::msec(5));
+    NameClient c(f.sys.runtime(1), f.sys.stack(1).reqresp, f.server.address());
+    c.register_name("late-service", {1, 77});
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got.index, 77u);
+}
+
+TEST(Names, EndToEndRendezvousAndMessage) {
+  // Full flow: service registers, client resolves by name and sends a
+  // reliable message to the resolved address.
+  Fixture f;
+  std::string got;
+  f.sys.runtime(1).fork_app("service", [&] {
+    core::CabRuntime& rt = f.sys.runtime(1);
+    core::Mailbox& mb = rt.create_mailbox("inbox");
+    NameClient c(rt, f.sys.stack(1).reqresp, f.server.address());
+    ASSERT_EQ(c.register_name("chat", mb.address()), NameServer::kOk);
+    core::Message m = mb.begin_get();
+    std::vector<std::uint8_t> buf(m.len);
+    rt.board().memory().read(m.data, buf);
+    got.assign(buf.begin(), buf.end());
+    mb.end_get(m);
+  });
+  f.sys.runtime(2).fork_app("client", [&] {
+    core::CabRuntime& rt = f.sys.runtime(2);
+    NameClient c(rt, f.sys.stack(2).reqresp, f.server.address());
+    core::MailboxAddr dst = c.wait_for("chat");
+    core::Mailbox& s = rt.create_mailbox("s");
+    core::Message m = s.begin_put(5);
+    rt.board().memory().write(
+        m.data, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("hello"), 5));
+    f.sys.stack(2).rmp.send(dst, m);
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_EQ(got, "hello");
+}
+
+}  // namespace
+}  // namespace nectar::nectarine

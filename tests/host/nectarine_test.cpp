@@ -1,0 +1,169 @@
+#include "nectarine/nectarine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "host/node.hpp"
+
+namespace nectar::nectarine {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{2, /*with_vme=*/true};
+  host::HostNode h0{sys, 0};
+  host::HostNode h1{sys, 1};
+
+  std::vector<std::uint8_t> bytes(const std::string& s) {
+    return {s.begin(), s.end()};
+  }
+};
+
+TEST(Nectarine, HostToCabMailboxHandoff) {
+  // A host process produces a message in place; a CAB thread consumes it —
+  // the §3.3 shared-memory path with no copies beyond the VME transfer.
+  Fixture f;
+  auto h = f.h0.nin.create_mailbox("ipc");
+  std::string got;
+  f.h0.host.run_process("producer", [&] {
+    core::Message m = f.h0.nin.begin_put(h, 5);
+    f.h0.nin.write_message(m, f.bytes("hi550"));
+    f.h0.nin.end_put(h, m);
+  });
+  f.sys.runtime(0).fork_app("consumer", [&] {
+    core::Message m = h.mb->begin_get();
+    std::vector<std::uint8_t> buf(m.len);
+    f.sys.runtime(0).board().memory().read(m.data, buf);
+    got.assign(buf.begin(), buf.end());
+    h.mb->end_get(m);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, "hi550");
+}
+
+TEST(Nectarine, CabToHostMailboxHandoffPolling) {
+  Fixture f;
+  auto h = f.h0.nin.create_mailbox("ipc");
+  std::string got;
+  f.sys.runtime(0).fork_app("producer", [&] {
+    f.sys.runtime(0).cpu().sleep_until(sim::usec(200));
+    core::Message m = h.mb->begin_put(4);
+    f.sys.runtime(0).board().memory().write(
+        m.data, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("pong"), 4));
+    h.mb->end_put(m);
+  });
+  f.h0.host.run_process("consumer", [&] {
+    core::Message m = f.h0.nin.begin_get_poll(h);
+    std::vector<std::uint8_t> buf(m.len);
+    f.h0.nin.read_message(m, buf);
+    got.assign(buf.begin(), buf.end());
+    f.h0.nin.end_get(h, m);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, "pong");
+}
+
+TEST(Nectarine, CabToHostMailboxHandoffBlocking) {
+  Fixture f;
+  auto h = f.h0.nin.create_mailbox("ipc");
+  std::string got;
+  f.sys.runtime(0).fork_app("producer", [&] {
+    f.sys.runtime(0).cpu().sleep_until(sim::msec(3));
+    core::Message m = h.mb->begin_put(6);
+    f.sys.runtime(0).board().memory().write(
+        m.data,
+        std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("queued"), 6));
+    h.mb->end_put(m);
+  });
+  f.h0.host.run_process("server", [&] {
+    core::Message m = f.h0.nin.begin_get_block(h);
+    std::vector<std::uint8_t> buf(m.len);
+    f.h0.nin.read_message(m, buf);
+    got.assign(buf.begin(), buf.end());
+    f.h0.nin.end_get(h, m);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, "queued");
+  EXPECT_GE(f.h0.driver.host_interrupts(), 1u);
+}
+
+TEST(Nectarine, RpcMailboxOpsWork) {
+  // §3.3's RPC-based implementation, kept for the factor-of-two comparison.
+  Fixture f;
+  auto h = f.h0.nin.create_mailbox("ipc-rpc");
+  std::string got;
+  f.h0.host.run_process("producer", [&] {
+    core::Message m = f.h0.nin.begin_put_rpc(h, 7);
+    f.h0.nin.write_message(m, f.bytes("via-rpc"));
+    f.h0.nin.end_put_rpc(h, m);
+    core::Message g = f.h0.nin.begin_get_rpc(h);
+    std::vector<std::uint8_t> buf(g.len);
+    f.h0.nin.read_message(g, buf);
+    got.assign(buf.begin(), buf.end());
+    f.h0.nin.end_get_rpc(h, g);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, "via-rpc");
+  EXPECT_EQ(f.h0.services.rpc_mailbox_ops(), 5u);  // put, end, get, len, end
+}
+
+TEST(Nectarine, SharedMemoryOpsBeatRpcOps) {
+  // §3.3: "the shared memory implementation provides about a factor of two
+  // improvement over the RPC-based implementation".
+  Fixture f;
+  auto h = f.h0.nin.create_mailbox("bench");
+  sim::SimTime shared_time = 0, rpc_time = 0;
+  constexpr int kOps = 50;
+  f.h0.host.run_process("bench", [&] {
+    sim::SimTime t0 = f.sys.engine().now();
+    for (int i = 0; i < kOps; ++i) {
+      core::Message m = f.h0.nin.begin_put(h, 32);
+      f.h0.nin.end_put(h, m);
+      core::Message g = f.h0.nin.begin_get_poll(h);
+      f.h0.nin.end_get(h, g);
+    }
+    shared_time = f.sys.engine().now() - t0;
+    t0 = f.sys.engine().now();
+    for (int i = 0; i < kOps; ++i) {
+      core::Message m = f.h0.nin.begin_put_rpc(h, 32);
+      f.h0.nin.end_put_rpc(h, m);
+      core::Message g = f.h0.nin.begin_get_rpc(h);
+      f.h0.nin.end_get_rpc(h, g);
+    }
+    rpc_time = f.sys.engine().now() - t0;
+  });
+  f.sys.engine().run();
+  ASSERT_GT(shared_time, 0);
+  ASSERT_GT(rpc_time, 0);
+  EXPECT_GT(static_cast<double>(rpc_time) / static_cast<double>(shared_time), 1.5);
+}
+
+TEST(Nectarine, RemoteTaskCreation) {
+  // §3.5: Nectarine "allows applications to create mailboxes and tasks on
+  // other hosts or CABs".
+  Fixture f;
+  std::uint32_t ran_with = 0;
+  f.h1.services.register_task("worker", [&](std::uint32_t arg) { ran_with = arg; });
+  bool ok = false;
+  f.h0.host.run_process("spawner", [&] {
+    ok = f.h0.nin.start_remote_task(f.h0.services, f.h1.services.service_address(), "worker",
+                                    1234);
+  });
+  f.sys.engine().run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(ran_with, 1234u);
+  EXPECT_EQ(f.h1.services.tasks_started(), 1u);
+}
+
+TEST(Nectarine, UnknownRemoteTaskReportsFailure) {
+  Fixture f;
+  bool ok = true;
+  f.h0.host.run_process("spawner", [&] {
+    ok = f.h0.nin.start_remote_task(f.h0.services, f.h1.services.service_address(), "ghost", 0);
+  });
+  f.sys.engine().run();
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace nectar::nectarine

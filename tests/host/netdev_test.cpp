@@ -1,0 +1,121 @@
+#include "host/netdev.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/ethernet.hpp"
+#include "host/node.hpp"
+
+namespace nectar::host {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{2, /*with_vme=*/true};
+  HostNode h0{sys, 0};
+  HostNode h1{sys, 1};
+  NetDevice dev0{h0.nin, sys.net().datalink(0)};
+  NetDevice dev1{h1.nin, sys.net().datalink(1)};
+};
+
+TEST(NetDev, DeliversPacketsHostToHost) {
+  Fixture f;
+  std::vector<std::vector<std::uint8_t>> got;
+  f.dev1.start_receiver([&](std::vector<std::uint8_t> pkt) { got.push_back(std::move(pkt)); });
+  std::vector<std::uint8_t> pkt(600);
+  for (std::size_t i = 0; i < pkt.size(); ++i) pkt[i] = static_cast<std::uint8_t>(i);
+  f.h0.host.run_process("send", [&] {
+    f.dev0.send_packet(1, pkt);
+    f.dev0.send_packet(1, pkt);
+  });
+  f.sys.net().run_until(sim::sec(1));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], pkt);  // byte-exact through pools, wire, and pools again
+  EXPECT_EQ(f.dev0.packets_sent(), 2u);
+  EXPECT_EQ(f.dev1.packets_received(), 2u);
+}
+
+TEST(NetDev, RejectsOversizePackets) {
+  Fixture f;
+  bool threw = false;
+  f.h0.host.run_process("send", [&] {
+    std::vector<std::uint8_t> big(NetDevice::kMtu + 1);
+    try {
+      f.dev0.send_packet(1, big);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+  });
+  f.sys.net().run_until(sim::sec(1));
+  EXPECT_TRUE(threw);
+}
+
+TEST(NetDev, SlowerThanProtocolEngineByDesign) {
+  // §6.3: the whole point — host-resident protocols push per-packet cost
+  // onto the host; one 1500-byte packet takes >1.5 ms end to end.
+  Fixture f;
+  sim::SimTime got_at = -1;
+  f.dev1.start_receiver([&](std::vector<std::uint8_t>) { got_at = f.sys.engine().now(); });
+  sim::SimTime t0 = -1;
+  f.h0.host.run_process("send", [&] {
+    std::vector<std::uint8_t> pkt(NetDevice::kMtu);
+    t0 = f.sys.engine().now();
+    f.dev0.send_packet(1, pkt);
+  });
+  f.sys.net().run_until(sim::sec(1));
+  ASSERT_GT(got_at, 0);
+  EXPECT_GT(got_at - t0, sim::msec(2));  // two host stacks + VME crossing
+}
+
+TEST(Ethernet, DeliversFramesBetweenHosts) {
+  sim::Engine e;
+  Host a(e, "a"), b(e, "b");
+  EthernetSegment seg(e);
+  auto& na = seg.attach(a);
+  auto& nb = seg.attach(b);
+  std::vector<std::uint8_t> got;
+  nb.start_receiver([&](std::vector<std::uint8_t> fr) { got = std::move(fr); });
+  std::vector<std::uint8_t> frame(800, 0x77);
+  a.run_process("tx", [&] { na.send(nb.station(), frame); });
+  e.run();
+  EXPECT_EQ(got, frame);
+  EXPECT_EQ(na.frames_sent(), 1u);
+  EXPECT_EQ(nb.frames_received(), 1u);
+}
+
+TEST(Ethernet, SharedMediumSerializes) {
+  sim::Engine e;
+  Host a(e, "a"), b(e, "b"), c(e, "c");
+  EthernetSegment seg(e);
+  auto& na = seg.attach(a);
+  auto& nb = seg.attach(b);
+  auto& nc = seg.attach(c);
+  std::vector<sim::SimTime> arrivals;
+  nc.start_receiver([&](std::vector<std::uint8_t>) { arrivals.push_back(e.now()); });
+  std::vector<std::uint8_t> frame(1500);
+  a.run_process("tx", [&] { na.send(nc.station(), frame); });
+  b.run_process("tx", [&] { nb.send(nc.station(), frame); });
+  e.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // 1518-byte frame at 10 Mbit/s = ~1.2 ms of serialization between frames.
+  EXPECT_GE(arrivals[1] - arrivals[0], sim::msec(1));
+}
+
+TEST(Ethernet, BadStationThrows) {
+  sim::Engine e;
+  Host a(e, "a");
+  EthernetSegment seg(e);
+  auto& na = seg.attach(a);
+  bool threw = false;
+  a.run_process("tx", [&] {
+    std::vector<std::uint8_t> frame(10);
+    try {
+      na.send(7, frame);
+    } catch (const std::out_of_range&) {
+      threw = true;
+    }
+  });
+  e.run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace nectar::host

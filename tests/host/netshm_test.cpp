@@ -1,0 +1,168 @@
+#include "nectarine/netshm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+
+namespace nectar::nectarine {
+namespace {
+
+struct Cluster {
+  net::NectarSystem sys;
+  std::vector<std::unique_ptr<NetSharedMemory>> shm;
+
+  explicit Cluster(int nodes) : sys(nodes) {
+    std::map<int, NetSharedMemory::PeerAddr> peers;
+    for (int i = 0; i < nodes; ++i) {
+      shm.push_back(std::make_unique<NetSharedMemory>(sys.runtime(i), sys.stack(i).reqresp,
+                                                      sys.stack(i).rmp));
+      peers[i] = shm.back()->addresses();
+    }
+    auto home_of = [nodes](std::uint32_t page) { return static_cast<int>(page) % nodes; };
+    for (auto& s : shm) s->configure(home_of, peers);
+  }
+};
+
+std::vector<std::uint8_t> page_of(std::uint8_t fill) {
+  return std::vector<std::uint8_t>(NetSharedMemory::kPageSize, fill);
+}
+
+TEST(NetShm, RemoteReadFetchesAndCaches) {
+  Cluster c(2);
+  bool done = false;
+  c.sys.runtime(1).fork_app("reader", [&] {
+    std::vector<std::uint8_t> buf(NetSharedMemory::kPageSize);
+    c.shm[1]->read(0, buf);  // page 0 homes on node 0 -> remote fetch
+    EXPECT_EQ(buf[0], 0);    // fresh pages read as zero
+    c.shm[1]->read(0, buf);  // second read is a local cache hit
+    done = true;
+  });
+  c.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(c.shm[1]->cache_misses(), 1u);
+  EXPECT_EQ(c.shm[1]->cache_hits(), 1u);
+  EXPECT_TRUE(c.shm[1]->cached(0));
+}
+
+TEST(NetShm, WriteInvalidatesRemoteCaches) {
+  Cluster c(3);
+  bool reader_primed = false, writer_done = false, verified = false;
+  // Node 1 caches page 0 (home: node 0).
+  c.sys.runtime(1).fork_app("reader", [&] {
+    std::vector<std::uint8_t> buf(NetSharedMemory::kPageSize);
+    c.shm[1]->read(0, buf);
+    reader_primed = true;
+    // Wait until the writer is done, then read again: must see new data.
+    while (!writer_done) c.sys.runtime(1).cpu().sleep_for(sim::usec(200));
+    c.shm[1]->read(0, buf);
+    EXPECT_EQ(buf[7], 0xEE);  // the written value, not the stale zero
+    verified = true;
+  });
+  // Node 2 writes page 0 once node 1 has cached it.
+  c.sys.runtime(2).fork_app("writer", [&] {
+    while (!reader_primed) c.sys.runtime(2).cpu().sleep_for(sim::usec(200));
+    auto data = page_of(0xEE);
+    c.shm[2]->write(0, data);
+    writer_done = true;
+  });
+  c.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(verified);
+  EXPECT_EQ(c.shm[0]->invalidations_sent(), 1u);   // home invalidated node 1
+  EXPECT_EQ(c.shm[1]->invalidations_applied(), 1u);
+  // (the verify read legitimately re-cached the page afterwards; the fresh
+  // value assertion above is what proves the stale copy was destroyed)
+  EXPECT_EQ(c.shm[1]->cache_misses(), 2u);  // initial fetch + post-invalidation refetch
+}
+
+TEST(NetShm, WriteIsNotVisibleBeforeInvalidationCompletes) {
+  // Strong coherence: once write() returns anywhere, every read anywhere
+  // returns the new value.
+  Cluster c(2);
+  bool ok = false;
+  c.sys.runtime(1).fork_app("t", [&] {
+    std::vector<std::uint8_t> buf(NetSharedMemory::kPageSize);
+    c.shm[1]->read(2, buf);  // page 2 homes on node 0; cache it
+    auto v1 = page_of(0x11);
+    c.shm[1]->write(2, v1);  // write through home
+    c.shm[1]->read(2, buf);  // must observe our own write
+    EXPECT_EQ(buf[100], 0x11);
+    ok = true;
+  });
+  c.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(ok);
+}
+
+TEST(NetShm, HomeNodeReadsAndWritesLocally) {
+  Cluster c(2);
+  bool ok = false;
+  c.sys.runtime(0).fork_app("t", [&] {
+    auto data = page_of(0x42);
+    c.shm[0]->write(0, data);  // page 0 homes here: no network
+    std::vector<std::uint8_t> buf(NetSharedMemory::kPageSize);
+    c.shm[0]->read(0, buf);
+    EXPECT_EQ(buf[500], 0x42);
+    ok = true;
+  });
+  c.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(c.shm[0]->remote_writes(), 0u);
+  EXPECT_EQ(c.shm[0]->cache_misses(), 0u);
+}
+
+TEST(NetShm, ManyPagesDistributeAcrossHomes) {
+  Cluster c(4);
+  bool ok = false;
+  c.sys.runtime(0).fork_app("t", [&] {
+    std::vector<std::uint8_t> buf(NetSharedMemory::kPageSize);
+    for (std::uint32_t page = 0; page < 8; ++page) {
+      auto data = page_of(static_cast<std::uint8_t>(page + 1));
+      c.shm[0]->write(page, data);
+    }
+    for (std::uint32_t page = 0; page < 8; ++page) {
+      c.shm[0]->read(page, buf);
+      EXPECT_EQ(buf[0], page + 1) << "page " << page;
+    }
+    ok = true;
+  });
+  c.sys.net().run_until(sim::sec(10));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(c.shm[0]->remote_writes(), 6u);  // pages 0 and 4 are local
+}
+
+TEST(NetShm, SequentialConsistencyAcrossTwoWriters) {
+  // Writers on two nodes alternate increments through shared page 1; a
+  // strict turn-taking protocol over the page contents must never observe a
+  // lost update if coherence holds.
+  Cluster c(3);
+  constexpr int kRounds = 6;
+  auto worker = [&](int node, std::uint8_t parity) {
+    c.sys.runtime(node).fork_app("w", [&c, node, parity] {
+      std::vector<std::uint8_t> buf(NetSharedMemory::kPageSize);
+      for (int done = 0; done < kRounds;) {
+        c.shm[static_cast<std::size_t>(node)]->read(1, buf);
+        if (buf[0] % 2 == parity) {
+          buf[0] = static_cast<std::uint8_t>(buf[0] + 1);
+          c.shm[static_cast<std::size_t>(node)]->write(1, buf);
+          ++done;
+        } else {
+          c.sys.runtime(node).cpu().sleep_for(sim::usec(300));
+        }
+      }
+    });
+  };
+  worker(1, 0);  // increments when counter is even
+  worker(2, 1);  // increments when counter is odd
+  c.sys.net().run_until(sim::sec(30));
+  bool checked = false;
+  c.sys.runtime(0).fork_app("audit", [&] {
+    std::vector<std::uint8_t> buf(NetSharedMemory::kPageSize);
+    c.shm[0]->read(1, buf);
+    EXPECT_EQ(buf[0], 2 * kRounds);  // every increment observed exactly once
+    checked = true;
+  });
+  c.sys.net().run_until(sim::sec(31));
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace nectar::nectarine

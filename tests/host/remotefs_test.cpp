@@ -1,0 +1,174 @@
+#include "nectarine/remotefs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+#include "sim/random.hpp"
+
+namespace nectar::nectarine {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{3};
+  FileServer server{sys.runtime(0), sys.stack(0).reqresp};
+
+  void run_client(int node, std::function<void(FileClient&)> body) {
+    sys.runtime(node).fork_app("client", [this, node, body = std::move(body)] {
+      FileClient c(sys.runtime(node), sys.stack(node).reqresp, server.address());
+      body(c);
+    });
+  }
+};
+
+TEST(RemoteFs, CreateWriteReadRoundTrip) {
+  Fixture f;
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::vector<std::uint8_t> data{'h', 'e', 'l', 'l', 'o'};
+    ASSERT_TRUE(c.write_file("/etc/motd", data).ok());
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(c.read_file("/etc/motd", &back).ok());
+    EXPECT_EQ(back, data);
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.server.files(), 1u);
+}
+
+TEST(RemoteFs, LookupMissingReportsNoEnt) {
+  Fixture f;
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::uint32_t fh = 0;
+    EXPECT_EQ(c.lookup("/no/such/file", &fh).code, FileServer::kNoEnt);
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(c.read_file("/no/such/file", &out).code, FileServer::kNoEnt);
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(done);
+}
+
+TEST(RemoteFs, DoubleCreateReportsExists) {
+  Fixture f;
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::uint32_t fh = 0;
+    ASSERT_TRUE(c.create("/a", &fh).ok());
+    EXPECT_EQ(c.create("/a", &fh).code, FileServer::kExists);
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(done);
+}
+
+TEST(RemoteFs, StaleHandleAfterRemove) {
+  Fixture f;
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::uint32_t fh = 0;
+    ASSERT_TRUE(c.create("/tmp/x", &fh).ok());
+    ASSERT_TRUE(c.remove("/tmp/x").ok());
+    std::uint32_t size = 0;
+    EXPECT_EQ(c.getattr(fh, &size).code, FileServer::kStale);
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(done);
+}
+
+TEST(RemoteFs, LargeFileSpansManyRpcs) {
+  Fixture f;
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    sim::Random rng(99);
+    std::vector<std::uint8_t> data(20000);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(256));
+    ASSERT_TRUE(c.write_file("/big", data).ok());
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(c.read_file("/big", &back).ok());
+    EXPECT_EQ(back, data);  // byte-exact over ceil(20000/4096)*2 RPCs
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(10));
+  EXPECT_TRUE(done);
+  EXPECT_GE(f.server.calls_served(), 12u);
+}
+
+TEST(RemoteFs, SparseWriteZeroFills) {
+  Fixture f;
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::uint32_t fh = 0;
+    ASSERT_TRUE(c.create("/sparse", &fh).ok());
+    std::vector<std::uint8_t> tail{0xAB};
+    std::uint32_t written = 0;
+    ASSERT_TRUE(c.write(fh, 100, tail, &written).ok());
+    std::vector<std::uint8_t> all;
+    ASSERT_TRUE(c.read(fh, 0, 200, &all).ok());
+    ASSERT_EQ(all.size(), 101u);
+    EXPECT_EQ(all[0], 0);     // hole reads as zero
+    EXPECT_EQ(all[100], 0xAB);
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(done);
+}
+
+TEST(RemoteFs, ReaddirListsAllFiles) {
+  Fixture f;
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::uint32_t fh = 0;
+    ASSERT_TRUE(c.create("/b", &fh).ok());
+    ASSERT_TRUE(c.create("/a", &fh).ok());
+    ASSERT_TRUE(c.create("/c", &fh).ok());
+    std::vector<std::string> names;
+    ASSERT_TRUE(c.readdir(&names).ok());
+    EXPECT_EQ(names, (std::vector<std::string>{"/a", "/b", "/c"}));
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(done);
+}
+
+TEST(RemoteFs, TwoClientsShareTheServer) {
+  Fixture f;
+  bool writer_done = false, reader_done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::vector<std::uint8_t> data{'s', 'h', 'a', 'r', 'e', 'd'};
+    ASSERT_TRUE(c.write_file("/shared", data).ok());
+    writer_done = true;
+  });
+  f.sys.net().run_until(sim::msec(50));
+  ASSERT_TRUE(writer_done);
+  f.run_client(2, [&](FileClient& c) {
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(c.read_file("/shared", &back).ok());
+    EXPECT_EQ(back.size(), 6u);
+    reader_done = true;
+  });
+  f.sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(reader_done);
+}
+
+TEST(RemoteFs, SurvivesLossyNetwork) {
+  Fixture f;
+  f.sys.net().cab(1).out_link().set_drop_rate(0.2, 55);
+  f.sys.net().cab(0).out_link().set_drop_rate(0.15, 56);
+  bool done = false;
+  f.run_client(1, [&](FileClient& c) {
+    std::vector<std::uint8_t> data(6000, 0xD7);
+    ASSERT_TRUE(c.write_file("/lossy", data).ok());
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(c.read_file("/lossy", &back).ok());
+    EXPECT_EQ(back, data);  // at-most-once retries make the RPCs reliable
+    done = true;
+  });
+  f.sys.net().run_until(sim::sec(30));
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace nectar::nectarine

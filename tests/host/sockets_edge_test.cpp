@@ -1,0 +1,112 @@
+// Protocol-engine edge cases: socket close semantics, blocking receive,
+// failed connects, and oversized receive buffers.
+
+#include <gtest/gtest.h>
+
+#include "host/node.hpp"
+
+namespace nectar::host {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{2, /*with_vme=*/true};
+  HostNode h0{sys, 0};
+  HostNode h1{sys, 1};
+};
+
+TEST(SocketsEdge, CloseDeliversEofToPeer) {
+  Fixture f;
+  std::size_t last_recv = 99;
+  f.h1.host.run_process("server", [&] {
+    HostTcpSocket s(f.h1.nin, f.h1.sockets, f.sys.stack(1).tcp);
+    ASSERT_TRUE(s.listen(80));
+    std::vector<std::uint8_t> buf(1024);
+    last_recv = s.recv(buf);  // 0 = end of stream
+  });
+  f.h0.host.run_process("client", [&] {
+    f.h0.host.cpu().sleep_for(sim::usec(500));
+    HostTcpSocket s(f.h0.nin, f.h0.sockets, f.sys.stack(0).tcp);
+    ASSERT_TRUE(s.connect(5000, proto::ip_of_node(1), 80));
+    s.close();
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_EQ(last_recv, 0u);
+}
+
+TEST(SocketsEdge, ConnectToDeadPortFails) {
+  Fixture f;
+  bool connected = true;
+  f.h0.host.run_process("client", [&] {
+    HostTcpSocket s(f.h0.nin, f.h0.sockets, f.sys.stack(0).tcp);
+    connected = s.connect(5000, proto::ip_of_node(1), 4444);  // nobody listens
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_FALSE(connected);
+}
+
+TEST(SocketsEdge, BlockingRecvFreesHostCpu) {
+  Fixture f;
+  std::string got;
+  f.h1.host.run_process("server", [&] {
+    HostTcpSocket s(f.h1.nin, f.h1.sockets, f.sys.stack(1).tcp);
+    ASSERT_TRUE(s.listen(80));
+    std::vector<std::uint8_t> buf(1024);
+    std::size_t n = s.recv(buf, /*poll=*/false);  // blocking wait in the driver
+    got.assign(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  });
+  f.h0.host.run_process("client", [&] {
+    f.h0.host.cpu().sleep_for(sim::usec(500));
+    HostTcpSocket s(f.h0.nin, f.h0.sockets, f.sys.stack(0).tcp);
+    ASSERT_TRUE(s.connect(5000, proto::ip_of_node(1), 80));
+    f.h0.host.cpu().sleep_for(sim::msec(20));  // make the server wait a while
+    std::vector<std::uint8_t> data{'l', 'a', 't', 'e'};
+    s.send(data);
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_EQ(got, "late");
+  // The 20 ms wait was spent blocked, not polling the bus.
+  EXPECT_LT(f.h1.host.cpu().busy_time(), sim::msec(8));
+}
+
+TEST(SocketsEdge, RecvBufferTooSmallThrows) {
+  Fixture f;
+  bool threw = false;
+  f.h1.host.run_process("server", [&] {
+    HostTcpSocket s(f.h1.nin, f.h1.sockets, f.sys.stack(1).tcp);
+    ASSERT_TRUE(s.listen(80));
+    std::vector<std::uint8_t> tiny(8);
+    try {
+      s.recv(tiny);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  f.h0.host.run_process("client", [&] {
+    f.h0.host.cpu().sleep_for(sim::usec(500));
+    HostTcpSocket s(f.h0.nin, f.h0.sockets, f.sys.stack(0).tcp);
+    ASSERT_TRUE(s.connect(5000, proto::ip_of_node(1), 80));
+    std::vector<std::uint8_t> data(256, 1);
+    s.send(data);
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(threw);
+}
+
+TEST(SocketsEdge, RecvBeforeConnectThrows) {
+  Fixture f;
+  bool threw = false;
+  f.h0.host.run_process("p", [&] {
+    HostTcpSocket s(f.h0.nin, f.h0.sockets, f.sys.stack(0).tcp);
+    std::vector<std::uint8_t> buf(64);
+    try {
+      s.recv(buf);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  f.sys.net().run_until(sim::sec(1));
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace nectar::host

@@ -1,0 +1,159 @@
+#include "host/sockets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "host/node.hpp"
+
+namespace nectar::host {
+namespace {
+
+struct Fixture {
+  net::NectarSystem sys{2, /*with_vme=*/true};
+  HostNode h0{sys, 0};
+  HostNode h1{sys, 1};
+
+  std::vector<std::uint8_t> bytes(const std::string& s) { return {s.begin(), s.end()}; }
+};
+
+TEST(HostSockets, TcpStreamBetweenHosts) {
+  Fixture f;
+  std::string got;
+  f.h1.host.run_process("server", [&] {
+    HostTcpSocket s(f.h1.nin, f.h1.sockets, f.sys.stack(1).tcp);
+    ASSERT_TRUE(s.listen(80));
+    std::vector<std::uint8_t> buf(16 * 1024);
+    std::size_t n = s.recv(buf);
+    got.assign(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  });
+  f.h0.host.run_process("client", [&] {
+    f.h0.host.cpu().sleep_for(sim::usec(500));
+    HostTcpSocket s(f.h0.nin, f.h0.sockets, f.sys.stack(0).tcp);
+    ASSERT_TRUE(s.connect(5000, proto::ip_of_node(1), 80));
+    auto data = f.bytes("host to host over the protocol engine");
+    s.send(data);
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_EQ(got, "host to host over the protocol engine");
+}
+
+TEST(HostSockets, TcpBulkTransferIsByteExact) {
+  Fixture f;
+  std::string big;
+  for (int i = 0; i < 50000; ++i) big.push_back(static_cast<char>('a' + i % 26));
+  std::string got;
+  f.h1.host.run_process("server", [&] {
+    HostTcpSocket s(f.h1.nin, f.h1.sockets, f.sys.stack(1).tcp);
+    ASSERT_TRUE(s.listen(80));
+    std::vector<std::uint8_t> buf(16 * 1024);
+    while (got.size() < big.size()) {
+      std::size_t n = s.recv(buf);
+      if (n == 0) break;
+      got.append(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  });
+  f.h0.host.run_process("client", [&] {
+    f.h0.host.cpu().sleep_for(sim::usec(500));
+    HostTcpSocket s(f.h0.nin, f.h0.sockets, f.sys.stack(0).tcp);
+    ASSERT_TRUE(s.connect(5000, proto::ip_of_node(1), 80));
+    auto data = f.bytes(big);
+    std::size_t off = 0;
+    while (off < data.size()) {
+      std::size_t chunk = std::min<std::size_t>(8192, data.size() - off);
+      s.send(std::span<const std::uint8_t>(data).subspan(off, chunk));
+      off += chunk;
+    }
+  });
+  f.sys.net().run_until(sim::sec(10));
+  EXPECT_EQ(got, big);
+}
+
+TEST(HostSockets, DatagramPortsDeliver) {
+  Fixture f;
+  std::string got_req;
+  core::MailboxAddr server_addr{};
+  bool addr_ready = false;
+  f.h1.host.run_process("server", [&] {
+    HostNectarPort port(f.h1.nin, f.h1.sockets, "dg-server");
+    server_addr = port.address();
+    addr_ready = true;
+    std::vector<std::uint8_t> buf(256);
+    std::size_t n = port.recv(buf);
+    got_req.assign(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  });
+  f.sys.net().run_until(sim::msec(1));
+  ASSERT_TRUE(addr_ready);
+  f.h0.host.run_process("client", [&] {
+    HostNectarPort port(f.h0.nin, f.h0.sockets, "dg-client");
+    auto data = f.bytes("ping!");
+    port.send_datagram(server_addr, data);
+  });
+  f.sys.net().run_until(sim::sec(1));
+  EXPECT_EQ(got_req, "ping!");
+}
+
+TEST(HostSockets, ReliablePortDeliversUnderLoss) {
+  Fixture f;
+  f.sys.net().cab(0).out_link().set_drop_rate(0.3, 41);
+  std::string got;
+  core::MailboxAddr server_addr{};
+  bool ready = false;
+  f.h1.host.run_process("server", [&] {
+    HostNectarPort port(f.h1.nin, f.h1.sockets, "rmp-server");
+    server_addr = port.address();
+    ready = true;
+    std::vector<std::uint8_t> buf(8192);
+    std::size_t n = port.recv(buf, /*poll=*/false);
+    got.assign(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  });
+  f.sys.net().run_until(sim::msec(1));
+  ASSERT_TRUE(ready);
+  f.h0.host.run_process("client", [&] {
+    HostNectarPort port(f.h0.nin, f.h0.sockets, "rmp-client");
+    std::vector<std::uint8_t> data(4096, 0x3C);
+    port.send_reliable(server_addr, data);
+  });
+  f.sys.net().run_until(sim::sec(5));
+  ASSERT_EQ(got.size(), 4096u);
+  EXPECT_EQ(static_cast<std::uint8_t>(got[0]), 0x3C);
+}
+
+TEST(HostSockets, HostRttIsLanScale) {
+  // Host-to-host datagram ping-pong: Table 1's headline configuration.
+  Fixture f;
+  core::MailboxAddr server_addr{};
+  bool ready = false;
+  f.h1.host.run_process("echo", [&] {
+    HostNectarPort port(f.h1.nin, f.h1.sockets, "echo");
+    server_addr = port.address();
+    ready = true;
+    std::vector<std::uint8_t> buf(256);
+    std::size_t n = port.recv(buf);
+    // The first 8 bytes of the payload carry the reply address.
+    core::MailboxAddr back{static_cast<std::int32_t>(proto::get32(buf, 0)), proto::get32(buf, 4)};
+    port.send_datagram(back, std::span<const std::uint8_t>(buf).first(n));
+  });
+  f.sys.net().run_until(sim::msec(1));
+  ASSERT_TRUE(ready);
+  sim::SimTime rtt = -1;
+  f.h0.host.run_process("client", [&] {
+    HostNectarPort port(f.h0.nin, f.h0.sockets, "client");
+    std::vector<std::uint8_t> msg(64, 0);
+    proto::put32(msg, 0, static_cast<std::uint32_t>(port.address().node));
+    proto::put32(msg, 4, port.address().index);
+    sim::SimTime t0 = f.sys.engine().now();
+    port.send_datagram(server_addr, msg);
+    std::vector<std::uint8_t> buf(256);
+    port.recv(buf);
+    rtt = f.sys.engine().now() - t0;
+  });
+  f.sys.net().run_until(sim::sec(1));
+  ASSERT_GT(rtt, 0);
+  // Table 1: 325 us. Accept a generous band pre-calibration.
+  EXPECT_GT(rtt, sim::usec(150));
+  EXPECT_LT(rtt, sim::usec(700));
+}
+
+}  // namespace
+}  // namespace nectar::host

@@ -1,0 +1,58 @@
+#include "hw/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace nectar::hw {
+namespace {
+
+std::vector<std::uint8_t> bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(Crc32, KnownVector) {
+  // CRC-32/IEEE of "123456789" is 0xCBF43926 (standard check value).
+  auto data = bytes("123456789");
+  EXPECT_EQ(Crc32::compute(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  std::vector<std::uint8_t> empty;
+  EXPECT_EQ(Crc32::compute(empty), 0u);
+}
+
+TEST(Crc32, StreamingMatchesOneShot) {
+  auto data = bytes("the quick brown fox jumps over the lazy dog");
+  Crc32 c;
+  c.update(std::span<const std::uint8_t>(data).subspan(0, 10));
+  c.update(std::span<const std::uint8_t>(data).subspan(10));
+  EXPECT_EQ(c.value(), Crc32::compute(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  auto data = bytes("important packet payload");
+  std::uint32_t good = Crc32::compute(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x01;
+    EXPECT_NE(Crc32::compute(data), good) << "flip at byte " << i;
+    data[i] ^= 0x01;
+  }
+}
+
+TEST(Crc32, DetectsByteSwap) {
+  auto a = bytes("AB");
+  auto b = bytes("BA");
+  EXPECT_NE(Crc32::compute(a), Crc32::compute(b));
+}
+
+TEST(Crc32, ResetClearsState) {
+  auto data = bytes("payload");
+  Crc32 c;
+  c.update(data);
+  c.reset();
+  c.update(data);
+  EXPECT_EQ(c.value(), Crc32::compute(data));
+}
+
+}  // namespace
+}  // namespace nectar::hw

@@ -1,0 +1,167 @@
+#include "hw/dma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cab.hpp"
+#include "hw/crc.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+namespace {
+
+/// Loopback sink: connect a CAB's out link to its own in FIFO.
+void loopback(CabBoard& cab) { cab.out_link().attach(&cab.in_fifo()); }
+
+TEST(Dma, SendBuildsFrameFromHeaderAndMemory) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  loopback(cab);
+  cab.set_irq_handler(CabIrq::PacketArrival, [] {});
+
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+  cab.memory().write(kDataBase, data);
+  bool sent = false;
+  cab.dma().start_send({/*route*/}, {/*header*/ 0xAA, 0xBB}, kDataBase, data.size(),
+                       [&] { sent = true; }, 0);
+  e.run();
+  EXPECT_TRUE(sent);
+  ASSERT_TRUE(cab.in_fifo().has_frame());
+  const Frame& f = cab.in_fifo().front().frame;
+  ASSERT_EQ(f.payload.size(), 10u);
+  EXPECT_EQ(f.payload[0], 0xAA);
+  EXPECT_EQ(f.payload[1], 0xBB);
+  EXPECT_EQ(f.payload[2], 1);
+  EXPECT_EQ(f.payload[9], 8);
+  EXPECT_EQ(Crc32::compute(f.payload), f.crc);
+}
+
+TEST(Dma, RecvCopiesPayloadSkippingHeader) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  loopback(cab);
+  cab.set_irq_handler(CabIrq::PacketArrival, [] {});
+
+  std::vector<std::uint8_t> data{9, 8, 7, 6};
+  cab.memory().write(kDataBase, data);
+  cab.dma().start_send({}, {0x55}, kDataBase, data.size(), [] {}, 0);
+  e.run();
+  ASSERT_TRUE(cab.in_fifo().has_frame());
+
+  bool done = false;
+  CabAddr dst = kDataBase + 4096;
+  cab.dma().start_recv(dst, /*skip=*/1, [&](FiberInFifo::ArrivedFrame af, bool crc_ok) {
+    EXPECT_TRUE(crc_ok);
+    EXPECT_EQ(af.frame.payload.size(), 5u);
+    done = true;
+  });
+  e.run();
+  EXPECT_TRUE(done);
+  std::vector<std::uint8_t> out(4);
+  cab.memory().read(dst, out);
+  EXPECT_EQ(out, data);
+  EXPECT_FALSE(cab.in_fifo().has_frame());
+}
+
+TEST(Dma, RecvDetectsCorruption) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  loopback(cab);
+  cab.set_irq_handler(CabIrq::PacketArrival, [] {});
+  cab.out_link().set_corrupt_rate(1.0, 5);
+
+  cab.memory().write(kDataBase, std::vector<std::uint8_t>{1, 2, 3, 4});
+  cab.dma().start_send({}, {}, kDataBase, 4, [] {}, 0);
+  e.run();
+  bool crc_result = true;
+  cab.dma().start_recv(kDataBase + 4096, 0,
+                       [&](FiberInFifo::ArrivedFrame, bool ok) { crc_result = ok; });
+  e.run();
+  EXPECT_FALSE(crc_result);
+  EXPECT_EQ(cab.dma().recv_crc_errors(), 1u);
+}
+
+TEST(Dma, ProgramMemoryIsNotDmaable) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  loopback(cab);
+  // Sending from program RAM must fault (paper §2.2: "DMA transfers are
+  // supported for data memory only").
+  EXPECT_THROW(cab.dma().start_send({}, {}, kProgramRamBase, 16, [] {}, 0), std::logic_error);
+}
+
+TEST(Dma, RecvRequiresFrame) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  EXPECT_THROW(cab.dma().start_recv(kDataBase, 0, [](FiberInFifo::ArrivedFrame, bool) {}),
+               std::logic_error);
+}
+
+TEST(Dma, DiscardDrainsWithoutStoring) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  loopback(cab);
+  cab.set_irq_handler(CabIrq::PacketArrival, [] {});
+  cab.memory().write(kDataBase, std::vector<std::uint8_t>{1, 2, 3, 4});
+  cab.dma().start_send({}, {}, kDataBase, 4, [] {}, 0);
+  e.run();
+  bool done = false;
+  cab.dma().start_recv(DmaController::kDiscard, 0,
+                       [&](FiberInFifo::ArrivedFrame, bool) { done = true; });
+  e.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(cab.in_fifo().has_frame());
+}
+
+TEST(Dma, VmeChannelsCopyBothWays) {
+  sim::Engine e;
+  VmeBus vme(e);
+  CabBoard cab(e, "cab0", 0, &vme);
+
+  std::vector<std::uint8_t> host_buf{10, 20, 30, 40, 50};
+  bool in_done = false;
+  cab.dma().start_vme_to_cab(host_buf, kDataBase + 64, [&] { in_done = true; });
+  e.run();
+  EXPECT_TRUE(in_done);
+  std::vector<std::uint8_t> check(5);
+  cab.memory().read(kDataBase + 64, check);
+  EXPECT_EQ(check, host_buf);
+
+  std::vector<std::uint8_t> host_out(5, 0);
+  bool out_done = false;
+  cab.dma().start_cab_to_vme(kDataBase + 64, host_out, [&] { out_done = true; });
+  e.run();
+  EXPECT_TRUE(out_done);
+  EXPECT_EQ(host_out, host_buf);
+  EXPECT_EQ(cab.dma().vme_transfers(), 2u);
+  EXPECT_EQ(vme.dma_transfers(), 2u);
+}
+
+TEST(Dma, VmeWithoutBusThrows) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0, nullptr);
+  std::vector<std::uint8_t> buf(4);
+  EXPECT_THROW(cab.dma().start_vme_to_cab(buf, kDataBase, [] {}), std::logic_error);
+}
+
+TEST(CabBoardTest, UnhandledIrqFailsLoudly) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  EXPECT_THROW(cab.raise_irq(CabIrq::HostDoorbell), std::logic_error);
+}
+
+TEST(CabBoardTest, ArrivalRaisesPacketIrq) {
+  sim::Engine e;
+  CabBoard cab(e, "cab0", 0);
+  loopback(cab);
+  int irqs = 0;
+  cab.set_irq_handler(CabIrq::PacketArrival, [&] { ++irqs; });
+  cab.memory().write(kDataBase, std::vector<std::uint8_t>{1});
+  cab.dma().start_send({}, {}, kDataBase, 1, [] {}, 0);
+  e.run();
+  EXPECT_EQ(irqs, 1);
+}
+
+}  // namespace
+}  // namespace nectar::hw

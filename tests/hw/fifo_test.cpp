@@ -1,0 +1,102 @@
+#include "hw/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hw/crc.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+namespace {
+
+Frame make_frame(std::size_t payload_len, std::uint8_t fill = 0x11) {
+  Frame f;
+  f.payload.assign(payload_len, fill);
+  f.crc = Crc32::compute(f.payload);
+  return f;
+}
+
+TEST(FiberInFifo, AcceptsAndExposesFrame) {
+  sim::Engine e;
+  FiberInFifo fifo(e, 4096);
+  int arrivals = 0;
+  fifo.set_arrival_callback([&] { ++arrivals; });
+  EXPECT_TRUE(fifo.offer(make_frame(100), 10, 90));
+  EXPECT_EQ(arrivals, 1);
+  ASSERT_TRUE(fifo.has_frame());
+  EXPECT_EQ(fifo.front().frame.payload.size(), 100u);
+  EXPECT_EQ(fifo.front().first_byte, 10);
+  EXPECT_EQ(fifo.front().last_byte, 90);
+}
+
+TEST(FiberInFifo, RejectsWhenFull) {
+  sim::Engine e;
+  FiberInFifo fifo(e, 256);
+  EXPECT_TRUE(fifo.offer(make_frame(200), 0, 10));
+  Frame second = make_frame(100);
+  EXPECT_FALSE(fifo.offer(std::move(second), 0, 10));
+  EXPECT_EQ(fifo.offers_rejected(), 1u);
+  // Rejection must leave the frame intact (flow-control contract).
+  EXPECT_EQ(second.payload.size(), 100u);
+}
+
+TEST(FiberInFifo, PopFreesSpaceAndNotifies) {
+  sim::Engine e;
+  FiberInFifo fifo(e, 256);
+  int drains = 0;
+  fifo.set_drain_notify([&] { ++drains; });
+  fifo.offer(make_frame(200), 0, 10);
+  EXPECT_GT(fifo.used(), 200u);
+  auto af = fifo.pop();
+  EXPECT_EQ(af.frame.payload.size(), 200u);
+  EXPECT_EQ(fifo.used(), 0u);
+  EXPECT_EQ(drains, 1);
+  EXPECT_FALSE(fifo.has_frame());
+}
+
+TEST(FiberInFifo, FifoOrderPreserved) {
+  sim::Engine e;
+  FiberInFifo fifo(e, 64 * 1024);
+  fifo.offer(make_frame(10, 0xAA), 0, 1);
+  fifo.offer(make_frame(20, 0xBB), 2, 3);
+  EXPECT_EQ(fifo.pop().frame.payload[0], 0xAA);
+  EXPECT_EQ(fifo.pop().frame.payload[0], 0xBB);
+}
+
+TEST(FiberInFifo, PopEmptyThrows) {
+  sim::Engine e;
+  FiberInFifo fifo(e);
+  EXPECT_THROW(fifo.pop(), std::logic_error);
+}
+
+TEST(FiberInFifo, PayloadAvailabilityIsCutThrough) {
+  sim::Engine e;
+  FiberInFifo fifo(e, 64 * 1024);
+  // 1000-byte payload arriving linearly between t=0 and t=1008*80 (the wire
+  // carries payload + framing overhead).
+  Frame f = make_frame(1000);
+  std::size_t wire = f.wire_bytes();
+  sim::SimTime last = static_cast<sim::SimTime>(wire) * 80;
+  fifo.offer(std::move(f), 0, last);
+  // The first 20 payload bytes are available long before the last byte.
+  sim::SimTime t20 = fifo.payload_available_at(20);
+  EXPECT_GT(t20, 0);
+  EXPECT_LT(t20, last / 10);
+  // The full payload needs (almost) the whole serialization time.
+  sim::SimTime t_all = fifo.payload_available_at(1000);
+  EXPECT_GT(t_all, last * 9 / 10);
+  EXPECT_LE(t_all, last);
+}
+
+TEST(FiberInFifo, AccountsWireOverheadInOccupancy) {
+  sim::Engine e;
+  FiberInFifo fifo(e, 1024);
+  Frame f = make_frame(100);
+  f.route = {3, 5};  // remaining route bytes travel with the frame
+  std::size_t expect = f.wire_bytes();
+  fifo.offer(std::move(f), 0, 1);
+  EXPECT_EQ(fifo.used(), expect);
+  EXPECT_EQ(fifo.used(), 100 + 2 + kFrameOverhead);
+}
+
+}  // namespace
+}  // namespace nectar::hw

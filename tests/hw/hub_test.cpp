@@ -1,0 +1,171 @@
+#include "hw/hub.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/crc.hpp"
+#include "hw/link.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::hw {
+namespace {
+
+class RecordingSink : public FrameSink {
+ public:
+  struct Delivery {
+    Frame frame;
+    sim::SimTime first;
+    sim::SimTime last;
+  };
+  bool offer(Frame&& f, sim::SimTime first, sim::SimTime last) override {
+    deliveries.push_back({std::move(f), first, last});
+    return true;
+  }
+  void set_drain_notify(std::function<void()> fn) override { drain = std::move(fn); }
+  std::vector<Delivery> deliveries;
+  std::function<void()> drain;
+};
+
+Frame routed_frame(std::vector<std::uint8_t> route, std::size_t len) {
+  Frame f;
+  f.route = std::move(route);
+  f.payload.assign(len, 0x5A);
+  f.crc = Crc32::compute(f.payload);
+  return f;
+}
+
+TEST(Hub, SourceRoutingConsumesOneByte) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(4, &sink);
+  hub.input(0)->offer(routed_frame({4}, 100), 0, 80);
+  e.run();
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].frame.remaining_hops(), 0u);
+  EXPECT_EQ(hub.frames_switched(), 1u);
+}
+
+TEST(Hub, CutThroughAddsOnlySetupLatency) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(1, &sink, /*propagation=*/0);
+  Frame f = routed_frame({1}, 100);
+  sim::SimTime ttime = sim::transmit_time(static_cast<std::int64_t>(f.wire_bytes()), 100e6);
+  sim::SimTime first_in = 1000, last_in = first_in + ttime;
+  hub.input(0)->offer(std::move(f), first_in, last_in);
+  e.run();
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  // 700 ns setup, pipelined with arrival (paper §2.1).
+  EXPECT_EQ(sink.deliveries[0].first, first_in + sim::costs::kHubSetup);
+  EXPECT_EQ(sink.deliveries[0].last, last_in + sim::costs::kHubSetup);
+}
+
+TEST(Hub, OutputContentionSerializes) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(2, &sink, 0);
+  // Two inputs race for the same output at the same instant.
+  Frame a = routed_frame({2}, 1000);
+  Frame b = routed_frame({2}, 1000);
+  sim::SimTime ttime = sim::transmit_time(static_cast<std::int64_t>(a.wire_bytes()), 100e6);
+  hub.input(0)->offer(std::move(a), 0, ttime);
+  hub.input(1)->offer(std::move(b), 0, ttime);
+  e.run();
+  ASSERT_EQ(sink.deliveries.size(), 2u);
+  // Loser starts only after the winner's last byte.
+  EXPECT_GE(sink.deliveries[1].first, sink.deliveries[0].last);
+}
+
+TEST(Hub, MultiHopThroughTwoHubs) {
+  sim::Engine e;
+  Hub h1(e, "h1"), h2(e, "h2");
+  RecordingSink sink;
+  h1.attach_output(3, h2.input(0), 100);
+  h2.attach_output(7, &sink, 100);
+  // Route: first hub -> port 3, second hub -> port 7.
+  h1.input(0)->offer(routed_frame({3, 7}, 200), 0, 200);
+  e.run();
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(sink.deliveries[0].frame.remaining_hops(), 0u);
+  // Two setups and two propagations of extra latency.
+  EXPECT_GE(sink.deliveries[0].first, 2 * sim::costs::kHubSetup + 200);
+  EXPECT_EQ(h1.frames_switched(), 1u);
+  EXPECT_EQ(h2.frames_switched(), 1u);
+}
+
+TEST(Hub, ExhaustedRouteIsRouteError) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(0, &sink);
+  hub.input(0)->offer(routed_frame({}, 50), 0, 10);
+  e.run();
+  EXPECT_TRUE(sink.deliveries.empty());
+  EXPECT_EQ(hub.route_errors(), 1u);
+}
+
+TEST(Hub, BadPortIsRouteError) {
+  sim::Engine e;
+  Hub hub(e, "h", 16);
+  hub.input(0)->offer(routed_frame({200}, 50), 0, 10);
+  hub.input(0)->offer(routed_frame({5}, 50), 0, 10);  // port 5 has no sink
+  e.run();
+  EXPECT_EQ(hub.route_errors(), 2u);
+}
+
+TEST(Hub, CircuitSwitchingCarriesRoutelessFrames) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(6, &sink);
+  ASSERT_TRUE(hub.open_circuit(2, 6));
+  hub.input(2)->offer(routed_frame({}, 100), 0, 80);
+  e.run();
+  ASSERT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(hub.route_errors(), 0u);
+}
+
+TEST(Hub, CircuitBlocksOtherInputsUntilClosed) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(6, &sink);
+  ASSERT_TRUE(hub.open_circuit(2, 6));
+  // Packet traffic from input 0 to the reserved output waits.
+  hub.input(0)->offer(routed_frame({6}, 100), 0, 80);
+  e.run();
+  EXPECT_TRUE(sink.deliveries.empty());
+  hub.close_circuit(2);
+  e.run();
+  EXPECT_EQ(sink.deliveries.size(), 1u);
+}
+
+TEST(Hub, SecondCircuitOnSameOutputRefused) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  EXPECT_TRUE(hub.open_circuit(0, 3));
+  EXPECT_FALSE(hub.open_circuit(1, 3));
+  EXPECT_EQ(hub.circuit_output(0), 3);
+  EXPECT_EQ(hub.circuit_output(1), std::nullopt);
+}
+
+TEST(Hub, QueueHighwaterTracksContention) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(1, &sink, 0);
+  for (int i = 0; i < 5; ++i) {
+    hub.input(static_cast<int>(i % 16))->offer(routed_frame({1}, 2000), 0, 1600);
+  }
+  e.run();
+  EXPECT_EQ(sink.deliveries.size(), 5u);
+  EXPECT_GE(hub.output_queue_highwater(1), 3u);
+  EXPECT_GT(hub.output_busy_time(1), 0);
+}
+
+}  // namespace
+}  // namespace nectar::hw

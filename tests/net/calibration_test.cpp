@@ -1,0 +1,188 @@
+// Calibration guards: the paper-reproduction numbers in EXPERIMENTS.md are
+// regression-tested here with tolerance bands. If a change to the runtime,
+// protocols, or cost model moves a headline result out of its band, this
+// file fails before the benchmarks quietly drift away from the paper.
+
+#include <gtest/gtest.h>
+
+#include "host/node.hpp"
+
+namespace nectar::net {
+namespace {
+
+// --- CAB-CAB datagram RTT: paper 179 us, calibrated 165.8 ------------------------
+
+TEST(Calibration, CabToCabDatagramRtt) {
+  NectarSystem sys(2);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("echo");
+  core::Mailbox& reply = sys.runtime(0).create_mailbox("reply");
+  sim::SimTime rtt = -1;
+  sys.runtime(1).fork_system("echo", [&] {
+    core::Message m = svc.begin_get();
+    auto info = sys.stack(1).datagram.last_sender(svc);
+    sys.stack(1).datagram.send({info.src_node, info.src_mailbox}, m);
+  });
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    core::Message m = s.begin_put(64);
+    sim::SimTime t0 = sys.engine().now();
+    sys.stack(0).datagram.send(svc.address(), m, true, reply.address().index);
+    core::Message r = reply.begin_get();
+    rtt = sys.engine().now() - t0;
+    reply.end_get(r);
+  });
+  sys.engine().run();
+  // Paper: 179 us. Band: 140-210 us.
+  EXPECT_GE(rtt, sim::usec(140));
+  EXPECT_LE(rtt, sim::usec(210));
+}
+
+// --- host-host datagram RTT: paper 325 us, calibrated 342 --------------------------
+
+TEST(Calibration, HostToHostDatagramRtt) {
+  NectarSystem sys(2, /*with_vme=*/true);
+  host::HostNode h0(sys, 0), h1(sys, 1);
+  core::MailboxAddr svc{};
+  bool ready = false;
+  h1.host.run_process("echo", [&] {
+    host::HostNectarPort port(h1.nin, h1.sockets, "echo");
+    svc = port.address();
+    ready = true;
+    std::vector<std::uint8_t> buf(128);
+    std::size_t n = port.recv(buf);
+    core::MailboxAddr back{static_cast<std::int32_t>(proto::get32n(buf, 0)),
+                           proto::get32n(buf, 4)};
+    port.send_datagram(back, std::span<const std::uint8_t>(buf).first(n));
+  });
+  sys.net().run_until(sim::msec(1));
+  ASSERT_TRUE(ready);
+  sim::SimTime rtt = -1;
+  h0.host.run_process("client", [&] {
+    host::HostNectarPort port(h0.nin, h0.sockets, "cli");
+    std::vector<std::uint8_t> msg(64, 0);
+    proto::put32n(msg, 0, static_cast<std::uint32_t>(port.address().node));
+    proto::put32n(msg, 4, port.address().index);
+    std::vector<std::uint8_t> buf(128);
+    sim::SimTime t0 = sys.engine().now();
+    port.send_datagram(svc, msg);
+    port.recv(buf);
+    rtt = sys.engine().now() - t0;
+  });
+  sys.net().run_until(sim::sec(2));
+  // Paper: 325 us. Band: 280-400 us.
+  EXPECT_GE(rtt, sim::usec(280));
+  EXPECT_LE(rtt, sim::usec(400));
+}
+
+// --- RMP CAB-CAB throughput at 8 KB: paper ~90, calibrated 86.8 --------------------
+
+TEST(Calibration, RmpThroughputAt8K) {
+  NectarSystem sys(2);
+  core::Mailbox& sink = sys.runtime(1).create_mailbox("sink");
+  constexpr int kN = 100;
+  sim::SimTime t0 = -1, t1 = -1;
+  sys.runtime(1).fork_system("rx", [&] {
+    for (int i = 0; i < kN; ++i) {
+      core::Message m = sink.begin_get();
+      if (t0 < 0) t0 = sys.engine().now();
+      sink.end_get(m);
+    }
+    t1 = sys.engine().now();
+  });
+  sys.runtime(0).fork_system("tx", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    for (int i = 0; i < kN; ++i) {
+      sys.stack(0).rmp.wait_queue_below(1, 16);
+      core::Message m = s.begin_put(8192);
+      sys.stack(0).rmp.send(sink.address(), m);
+    }
+  });
+  sys.engine().run();
+  double mbit = (kN - 1) * 8192 * 8.0 / (static_cast<double>(t1 - t0) / sim::kSecond) / 1e6;
+  // Paper: ~90 Mbit/s of 100. Band: 80-95.
+  EXPECT_GE(mbit, 80.0);
+  EXPECT_LE(mbit, 95.0);
+}
+
+// --- host-host RMP throughput at 8 KB: paper ~28 (VME-capped) ------------------------
+
+TEST(Calibration, HostRmpThroughputIsVmeCapped) {
+  NectarSystem sys(2, /*with_vme=*/true);
+  host::HostNode h0(sys, 0), h1(sys, 1);
+  core::MailboxAddr dst{};
+  bool ready = false;
+  constexpr int kN = 40;
+  sim::SimTime t0 = -1, t1 = -1;
+  h1.host.run_process("rx", [&] {
+    host::HostNectarPort port(h1.nin, h1.sockets, "sink");
+    dst = port.address();
+    ready = true;
+    std::vector<std::uint8_t> buf(8192);
+    for (int i = 0; i < kN; ++i) {
+      port.recv(buf);
+      if (t0 < 0) t0 = sys.engine().now();
+    }
+    t1 = sys.engine().now();
+  });
+  sys.net().run_until(sim::msec(1));
+  ASSERT_TRUE(ready);
+  h0.host.run_process("tx", [&] {
+    host::HostNectarPort port(h0.nin, h0.sockets, "src");
+    std::vector<std::uint8_t> data(8192, 0x42);
+    for (int i = 0; i < kN; ++i) {
+      while (sys.stack(0).rmp.queued_to(1) >= 8) h0.host.cpu().sleep_for(sim::usec(200));
+      port.send_reliable(dst, data);
+    }
+  });
+  sys.net().run_until(sim::sec(30));
+  double mbit = (kN - 1) * 8192 * 8.0 / (static_cast<double>(t1 - t0) / sim::kSecond) / 1e6;
+  // Paper: ~28 Mbit/s against the ~30 Mbit/s VME. Band: 24-30.
+  EXPECT_GE(mbit, 24.0);
+  EXPECT_LE(mbit, 30.0);
+}
+
+// --- the TCP-vs-RMP checksum gap (Fig. 7's central claim) ----------------------------
+
+TEST(Calibration, ChecksumGapSeparatesTcpFromRmp) {
+  auto tcp_8k = [](bool cksum) {
+    proto::TcpConfig cfg;
+    cfg.software_checksum = cksum;
+    NectarSystem sys(2, false, cfg);
+    constexpr int kN = 60;
+    sim::SimTime t0 = -1, t1 = -1;
+    sys.runtime(1).fork_app("server", [&] {
+      proto::TcpConnection* c = sys.stack(1).tcp.listen(80);
+      sys.stack(1).tcp.wait_established(c);
+      std::uint64_t got = 0;
+      while (got < static_cast<std::uint64_t>(kN) * 8192) {
+        core::Message m = c->receive_mailbox().begin_get();
+        if (t0 < 0) t0 = sys.engine().now();
+        got += m.len;
+        c->receive_mailbox().end_get(m);
+      }
+      t1 = sys.engine().now();
+    });
+    sys.runtime(0).fork_app("client", [&] {
+      sys.runtime(0).cpu().sleep_for(sim::usec(100));
+      proto::TcpConnection* c = sys.stack(0).tcp.connect(5000, proto::ip_of_node(1), 80);
+      sys.stack(0).tcp.wait_established(c);
+      core::Mailbox& s = sys.runtime(0).create_mailbox("tx");
+      for (int i = 0; i < kN; ++i) {
+        sys.stack(0).tcp.wait_send_window(c, 128 * 1024);
+        core::Message m = s.begin_put(8192);
+        sys.stack(0).tcp.send(c, m);
+      }
+    });
+    sys.engine().run();
+    return kN * 8192 * 8.0 / (static_cast<double>(t1 - t0) / sim::kSecond) / 1e6;
+  };
+  double with = tcp_8k(true);
+  double without = tcp_8k(false);
+  // Calibrated: ~45 vs ~99. The gap factor stays near 2x.
+  EXPECT_GE(with, 38.0);
+  EXPECT_LE(with, 55.0);
+  EXPECT_GE(without / with, 1.7);
+}
+
+}  // namespace
+}  // namespace nectar::net

@@ -1,0 +1,151 @@
+// Soak / resource-leak tests: sustained mixed traffic must leave every CAB's
+// buffer heap back at its idle footprint — a leaked message anywhere in the
+// protocol stack (unfreed send buffer, dropped-but-not-released packet,
+// orphaned reassembly fragment) shows up here as residual heap bytes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::net {
+namespace {
+
+/// Heap bytes in use that are legitimate at idle: per-mailbox small-buffer
+/// caches (128 B each) and host-condition words. Everything else is a leak.
+std::size_t idle_floor(core::CabRuntime& rt) {
+  return rt.mailbox_count() * core::Mailbox::kSmallBufSize + 256;
+}
+
+core::Message stage(core::Mailbox& mb, core::CabRuntime& rt, std::size_t n) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(n));
+  rt.board().memory().fill(m.data, n, 0x6B);
+  return m;
+}
+
+TEST(Soak, RmpStreamLeavesNoResidue) {
+  NectarSystem sys(2);
+  core::Mailbox& sink = sys.runtime(1).create_mailbox("sink");
+  constexpr int kN = 300;
+  sys.runtime(1).fork_system("rx", [&] {
+    for (int i = 0; i < kN; ++i) {
+      core::Message m = sink.begin_get();
+      sink.end_get(m);
+    }
+  });
+  sys.runtime(0).fork_system("tx", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    for (int i = 0; i < kN; ++i) {
+      sys.stack(0).rmp.wait_queue_below(1, 8);
+      sys.stack(0).rmp.send(sink.address(), stage(s, sys.runtime(0), 1000 + (i % 5) * 700));
+    }
+    sys.stack(0).rmp.wait_acked(1);
+  });
+  sys.engine().run();
+  EXPECT_LE(sys.runtime(0).heap().bytes_in_use(), idle_floor(sys.runtime(0)));
+  EXPECT_LE(sys.runtime(1).heap().bytes_in_use(), idle_floor(sys.runtime(1)));
+}
+
+TEST(Soak, RmpUnderHeavyLossLeavesNoResidue) {
+  NectarSystem sys(2);
+  sys.net().cab(0).out_link().set_drop_rate(0.3, 7);
+  sys.net().cab(1).out_link().set_drop_rate(0.3, 8);
+  core::Mailbox& sink = sys.runtime(1).create_mailbox("sink");
+  constexpr int kN = 60;
+  sys.runtime(1).fork_system("rx", [&] {
+    for (int i = 0; i < kN; ++i) {
+      core::Message m = sink.begin_get();
+      sink.end_get(m);
+    }
+  });
+  sys.runtime(0).fork_system("tx", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    for (int i = 0; i < kN; ++i) {
+      sys.stack(0).rmp.wait_queue_below(1, 4);
+      sys.stack(0).rmp.send(sink.address(), stage(s, sys.runtime(0), 2048));
+    }
+    sys.stack(0).rmp.wait_acked(1);
+  });
+  sys.net().run_until(sim::sec(60));
+  EXPECT_LE(sys.runtime(0).heap().bytes_in_use(), idle_floor(sys.runtime(0)));
+  EXPECT_LE(sys.runtime(1).heap().bytes_in_use(), idle_floor(sys.runtime(1)));
+}
+
+TEST(Soak, TcpTransferAndCloseLeavesNoResidue) {
+  NectarSystem sys(2);
+  std::string data(50000, 's');
+  std::size_t got = 0;
+  proto::TcpConnection* server = nullptr;
+  proto::TcpConnection* client = nullptr;
+  sys.runtime(1).fork_app("server", [&] {
+    server = sys.stack(1).tcp.listen(80);
+    sys.stack(1).tcp.wait_established(server);
+    for (;;) {
+      core::Message m = server->receive_mailbox().begin_get();
+      std::uint32_t n = m.len;
+      server->receive_mailbox().end_get(m);
+      if (n == 0) break;  // FIN
+      got += n;
+    }
+    sys.stack(1).tcp.close(server);
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    sys.runtime(0).cpu().sleep_for(sim::usec(100));
+    client = sys.stack(0).tcp.connect(5000, proto::ip_of_node(1), 80);
+    ASSERT_TRUE(sys.stack(0).tcp.wait_established(client));
+    core::Mailbox& s = sys.runtime(0).create_mailbox("tx");
+    for (std::size_t off = 0; off < data.size(); off += 5000) {
+      sys.stack(0).tcp.wait_send_window(client, 64 * 1024);
+      sys.stack(0).tcp.send(client, stage(s, sys.runtime(0), 5000));
+    }
+    sys.stack(0).tcp.wait_drained(client);
+    sys.stack(0).tcp.close(client);
+  });
+  sys.net().run_until(sim::sec(30));
+  EXPECT_EQ(got, data.size());
+  EXPECT_EQ(server->state(), proto::TcpConnection::State::Closed);
+  EXPECT_EQ(client->state(), proto::TcpConnection::State::Closed);
+  EXPECT_LE(sys.runtime(0).heap().bytes_in_use(), idle_floor(sys.runtime(0)));
+  EXPECT_LE(sys.runtime(1).heap().bytes_in_use(), idle_floor(sys.runtime(1)));
+}
+
+TEST(Soak, UdpBlastToUnboundPortLeavesNoResidue) {
+  // Every datagram is rejected with an ICMP error; both the offender and
+  // the error buffers must be reclaimed on both sides.
+  NectarSystem sys(2);
+  sys.runtime(0).fork_system("tx", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    for (int i = 0; i < 50; ++i) {
+      sys.stack(0).udp.send(1000, proto::ip_of_node(1), 4242, stage(s, sys.runtime(0), 512));
+      sys.runtime(0).cpu().sleep_for(sim::usec(300));
+    }
+  });
+  sys.engine().run();
+  EXPECT_EQ(sys.stack(1).udp.dropped_no_port(), 50u);
+  EXPECT_EQ(sys.stack(1).icmp.unreachables_sent(), 50u);
+  EXPECT_LE(sys.runtime(0).heap().bytes_in_use(), idle_floor(sys.runtime(0)));
+  EXPECT_LE(sys.runtime(1).heap().bytes_in_use(), idle_floor(sys.runtime(1)));
+}
+
+TEST(Soak, ReassemblyTimeoutsReclaimFragments) {
+  NectarSystem sys(2, false, {}, /*mtu=*/1500);
+  sys.net().cab(0).out_link().set_drop_rate(0.5, 31);
+  sys.runtime(0).fork_system("tx", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    for (int i = 0; i < 20; ++i) {
+      core::Message m = stage(s, sys.runtime(0), 6000);  // 5 fragments each
+      proto::Ip::OutputInfo info;
+      info.dst = proto::ip_of_node(1);
+      info.protocol = 200;  // unregistered: complete ones are dropped anyway
+      sys.stack(0).ip.output_msg(info, {}, m, true);
+      sys.runtime(0).cpu().sleep_for(sim::msec(1));
+    }
+  });
+  sys.net().run_until(sim::sec(10));  // past every reassembly timeout
+  EXPECT_EQ(sys.stack(1).ip.reassembly_pending(), 0u);
+  EXPECT_LE(sys.runtime(1).heap().bytes_in_use(), idle_floor(sys.runtime(1)));
+}
+
+}  // namespace
+}  // namespace nectar::net

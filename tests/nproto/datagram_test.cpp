@@ -1,0 +1,143 @@
+#include "nproto/datagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::nproto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+TEST(Datagram, DeliversToRemoteMailbox) {
+  net::NectarSystem sys(2);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("service");
+  std::string got;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).datagram.send(dst.address(), stage(s, sys.runtime(0), "hello mailbox"));
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    core::Message m = dst.begin_get();
+    got = read_bytes(sys.runtime(1), m);
+    dst.end_get(m);
+  });
+  sys.engine().run();
+  EXPECT_EQ(got, "hello mailbox");
+  EXPECT_EQ(sys.stack(0).datagram.datagrams_sent(), 1u);
+  EXPECT_EQ(sys.stack(1).datagram.datagrams_delivered(), 1u);
+}
+
+TEST(Datagram, UnknownMailboxDropped) {
+  net::NectarSystem sys(2);
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).datagram.send({1, 9999}, stage(s, sys.runtime(0), "void"));
+  });
+  sys.engine().run();
+  EXPECT_EQ(sys.stack(1).datagram.dropped_no_mailbox(), 1u);
+}
+
+TEST(Datagram, LossyWireLosesDatagramsSilently) {
+  net::NectarSystem sys(2);
+  sys.net().cab(0).out_link().set_drop_rate(1.0, 17);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("service");
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).datagram.send(dst.address(), stage(s, sys.runtime(0), "gone"));
+  });
+  sys.engine().run();
+  EXPECT_EQ(dst.queued(), 0u);  // unreliable: no retransmission
+  EXPECT_EQ(sys.stack(1).datagram.datagrams_delivered(), 0u);
+}
+
+TEST(Datagram, SenderInfoAvailableForReply) {
+  net::NectarSystem sys(2);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("service");
+  core::Mailbox& reply_box = sys.runtime(0).create_mailbox("replies");
+  std::string reply;
+  sys.runtime(1).fork_system("server", [&] {
+    core::Message m = svc.begin_get();
+    auto info = sys.stack(1).datagram.last_sender(svc);
+    svc.end_get(m);
+    core::Mailbox& s = sys.runtime(1).create_mailbox("scratch");
+    sys.stack(1).datagram.send({info.src_node, info.src_mailbox},
+                               stage(s, sys.runtime(1), "pong"));
+  });
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).datagram.send(svc.address(), stage(s, sys.runtime(0), "ping"), true,
+                               reply_box.address().index);
+    core::Message m = reply_box.begin_get();
+    reply = read_bytes(sys.runtime(0), m);
+    reply_box.end_get(m);
+  });
+  sys.engine().run();
+  EXPECT_EQ(reply, "pong");
+}
+
+TEST(Datagram, RoundTripLatencyIsLanScale) {
+  // Table 1 sanity: a 64-byte datagram CAB-to-CAB round trip lands in the
+  // low hundreds of microseconds.
+  net::NectarSystem sys(2);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("echo");
+  core::Mailbox& reply_box = sys.runtime(0).create_mailbox("replies");
+  sim::SimTime rtt = -1;
+  sys.runtime(1).fork_system("echo", [&] {
+    core::Message m = svc.begin_get();
+    auto info = sys.stack(1).datagram.last_sender(svc);
+    sys.stack(1).datagram.send({info.src_node, info.src_mailbox}, m);
+  });
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    core::Message m = s.begin_put(64);
+    sim::SimTime t0 = sys.engine().now();
+    sys.stack(0).datagram.send(svc.address(), m, true, reply_box.address().index);
+    core::Message r = reply_box.begin_get();
+    rtt = sys.engine().now() - t0;
+    reply_box.end_get(r);
+  });
+  sys.engine().run();
+  ASSERT_GT(rtt, 0);
+  EXPECT_LT(rtt, sim::usec(400));
+  EXPECT_GT(rtt, sim::usec(50));
+}
+
+TEST(Datagram, ManyMessagesArriveInOrder) {
+  net::NectarSystem sys(2);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  std::vector<std::string> got;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    for (int i = 0; i < 12; ++i) {
+      sys.stack(0).datagram.send(dst.address(), stage(s, sys.runtime(0), "d" + std::to_string(i)));
+    }
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    for (int i = 0; i < 12; ++i) {
+      core::Message m = dst.begin_get();
+      got.push_back(read_bytes(sys.runtime(1), m));
+      dst.end_get(m);
+    }
+  });
+  sys.engine().run();
+  ASSERT_EQ(got.size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], "d" + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace nectar::nproto

@@ -1,0 +1,170 @@
+#include "nproto/reqresp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::nproto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+/// An uppercase-echo RPC server on node `n`.
+void run_server(net::NectarSystem& sys, int n, core::Mailbox& svc, int requests) {
+  sys.runtime(n).fork_system("server", [&sys, n, &svc, requests] {
+    for (int i = 0; i < requests; ++i) {
+      core::Message req = svc.begin_get();
+      auto info = ReqResp::parse_request(sys.runtime(n), req);
+      core::Message payload = ReqResp::payload_of(req);
+      std::string data = read_bytes(sys.runtime(n), payload);
+      for (char& ch : data) ch = static_cast<char>(std::toupper(ch));
+      svc.end_get(payload);
+      core::Mailbox& s = sys.runtime(n).create_mailbox("rsp" + std::to_string(i));
+      sys.stack(n).reqresp.respond(info, stage(s, sys.runtime(n), data));
+    }
+  });
+}
+
+TEST(ReqRespTest, BasicRpcRoundTrip) {
+  net::NectarSystem sys(2);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("service");
+  run_server(sys, 1, svc, 1);
+  std::string result;
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    core::Message rsp = sys.stack(0).reqresp.call(svc.address(), stage(s, sys.runtime(0), "rpc"));
+    result = read_bytes(sys.runtime(0), rsp);
+    s.end_get(rsp);
+  });
+  sys.engine().run();
+  EXPECT_EQ(result, "RPC");
+  EXPECT_EQ(sys.stack(0).reqresp.calls_sent(), 1u);
+  EXPECT_EQ(sys.stack(1).reqresp.responses_sent(), 1u);
+}
+
+TEST(ReqRespTest, SequentialCallsGetDistinctResponses) {
+  net::NectarSystem sys(2);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("service");
+  run_server(sys, 1, svc, 5);
+  std::vector<std::string> results;
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    for (int i = 0; i < 5; ++i) {
+      core::Message rsp =
+          sys.stack(0).reqresp.call(svc.address(), stage(s, sys.runtime(0), "q" + std::to_string(i)));
+      results.push_back(read_bytes(sys.runtime(0), rsp));
+      s.end_get(rsp);
+    }
+  });
+  sys.engine().run();
+  ASSERT_EQ(results.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], "Q" + std::to_string(i));
+}
+
+TEST(ReqRespTest, RetriesThroughLostRequests) {
+  net::NectarSystem sys(2);
+  sys.net().cab(0).out_link().set_drop_rate(0.4, 21);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("service");
+  run_server(sys, 1, svc, 3);
+  std::vector<std::string> results;
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    for (int i = 0; i < 3; ++i) {
+      core::Message rsp =
+          sys.stack(0).reqresp.call(svc.address(), stage(s, sys.runtime(0), "x" + std::to_string(i)));
+      results.push_back(read_bytes(sys.runtime(0), rsp));
+      s.end_get(rsp);
+    }
+  });
+  sys.net().run_until(sim::sec(5));
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[2], "X2");
+  EXPECT_GT(sys.stack(0).reqresp.retries(), 0u);
+}
+
+TEST(ReqRespTest, LostResponseReplayedNotReexecuted) {
+  net::NectarSystem sys(2);
+  // Drop replies sometimes: server executes once, replays cached response.
+  sys.net().cab(1).out_link().set_drop_rate(0.4, 33);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("service");
+  int executions = 0;
+  sys.runtime(1).fork_system("server", [&] {
+    for (int i = 0; i < 3; ++i) {
+      core::Message req = svc.begin_get();
+      auto info = ReqResp::parse_request(sys.runtime(1), req);
+      ++executions;
+      svc.end_get(ReqResp::payload_of(req));
+      core::Mailbox& s = sys.runtime(1).create_mailbox("rsp" + std::to_string(i));
+      sys.stack(1).reqresp.respond(info, stage(s, sys.runtime(1), "ok" + std::to_string(i)));
+    }
+  });
+  std::vector<std::string> results;
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    for (int i = 0; i < 3; ++i) {
+      core::Message rsp =
+          sys.stack(0).reqresp.call(svc.address(), stage(s, sys.runtime(0), "c" + std::to_string(i)));
+      results.push_back(read_bytes(sys.runtime(0), rsp));
+      s.end_get(rsp);
+    }
+  });
+  sys.net().run_until(sim::sec(10));
+  ASSERT_EQ(results.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], "ok" + std::to_string(i));
+  // At-most-once: each request executed exactly once despite duplicates.
+  EXPECT_EQ(executions, 3);
+}
+
+TEST(ReqRespTest, CallFailsAfterMaxRetries) {
+  net::NectarSystem sys(2);
+  sys.net().cab(0).out_link().set_drop_rate(1.0, 3);  // nothing ever arrives
+  bool threw = false;
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    try {
+      core::Message rsp = sys.stack(0).reqresp.call({1, 1}, stage(s, sys.runtime(0), "lost"));
+      s.end_get(rsp);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  sys.net().run_until(sim::sec(5));
+  EXPECT_TRUE(threw);
+}
+
+TEST(ReqRespTest, RpcLatencyUnderHalfMillisecond) {
+  // §6: "The latency of a remote procedure call between application tasks
+  // executing on two Nectar hosts is less than 500 usec" — CAB-to-CAB must
+  // be comfortably under that.
+  net::NectarSystem sys(2);
+  core::Mailbox& svc = sys.runtime(1).create_mailbox("service");
+  run_server(sys, 1, svc, 1);
+  sim::SimTime rtt = -1;
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sim::SimTime t0 = sys.engine().now();
+    core::Message rsp = sys.stack(0).reqresp.call(svc.address(), stage(s, sys.runtime(0), "hi"));
+    rtt = sys.engine().now() - t0;
+    s.end_get(rsp);
+  });
+  sys.engine().run();
+  ASSERT_GT(rtt, 0);
+  EXPECT_LT(rtt, sim::usec(500));
+}
+
+}  // namespace
+}  // namespace nectar::nproto

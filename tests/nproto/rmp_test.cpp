@@ -1,0 +1,197 @@
+#include "nproto/rmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::nproto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+TEST(RmpTest, ReliableDeliveryOnCleanWire) {
+  net::NectarSystem sys(2);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  std::string got;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).rmp.send(dst.address(), stage(s, sys.runtime(0), "reliable"));
+    sys.stack(0).rmp.wait_acked(1);
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    core::Message m = dst.begin_get();
+    got = read_bytes(sys.runtime(1), m);
+    dst.end_get(m);
+  });
+  sys.engine().run();
+  EXPECT_EQ(got, "reliable");
+  EXPECT_EQ(sys.stack(0).rmp.retransmissions(), 0u);
+  EXPECT_EQ(sys.stack(1).rmp.acks_sent(), 1u);
+}
+
+TEST(RmpTest, StopAndWaitRecoversFromLoss) {
+  net::NectarSystem sys(2);
+  sys.net().cab(0).out_link().set_drop_rate(0.3, 99);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  std::vector<std::string> got;
+  constexpr int kN = 20;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    for (int i = 0; i < kN; ++i) {
+      sys.stack(0).rmp.send(dst.address(), stage(s, sys.runtime(0), "m" + std::to_string(i)));
+    }
+    sys.stack(0).rmp.wait_acked(1);
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    for (int i = 0; i < kN; ++i) {
+      core::Message m = dst.begin_get();
+      got.push_back(read_bytes(sys.runtime(1), m));
+      dst.end_get(m);
+    }
+  });
+  sys.net().run_until(sim::sec(5));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], "m" + std::to_string(i));  // exactly once, in order
+  }
+  EXPECT_GT(sys.stack(0).rmp.retransmissions(), 0u);
+}
+
+TEST(RmpTest, LostAckCausesDuplicateSuppression) {
+  net::NectarSystem sys(2);
+  // Drop some of the *receiver's* frames (its ACKs).
+  sys.net().cab(1).out_link().set_drop_rate(0.4, 5);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  std::vector<std::string> got;
+  constexpr int kN = 10;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    for (int i = 0; i < kN; ++i) {
+      sys.stack(0).rmp.send(dst.address(), stage(s, sys.runtime(0), "u" + std::to_string(i)));
+    }
+    sys.stack(0).rmp.wait_acked(1);
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    for (int i = 0; i < kN; ++i) {
+      core::Message m = dst.begin_get();
+      got.push_back(read_bytes(sys.runtime(1), m));
+      dst.end_get(m);
+    }
+  });
+  sys.net().run_until(sim::sec(5));
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)], "u" + std::to_string(i));
+  }
+  // Lost ACKs forced retransmissions; the receiver dropped the duplicates.
+  EXPECT_GT(sys.stack(1).rmp.duplicates_dropped(), 0u);
+  EXPECT_EQ(sys.stack(1).rmp.messages_delivered(), static_cast<std::uint64_t>(kN));
+}
+
+TEST(RmpTest, CorruptedFramesRepairedByCrcPlusRetransmit) {
+  net::NectarSystem sys(2);
+  sys.net().cab(0).out_link().set_corrupt_rate(0.25, 7);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  std::string big(4096, 'B');
+  std::string got;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).rmp.send(dst.address(), stage(s, sys.runtime(0), big));
+    sys.stack(0).rmp.wait_acked(1);
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    core::Message m = dst.begin_get();
+    got = read_bytes(sys.runtime(1), m);
+    dst.end_get(m);
+  });
+  sys.net().run_until(sim::sec(5));
+  EXPECT_EQ(got, big);  // byte-exact despite corruption
+}
+
+TEST(RmpTest, SendBuffersFreedOnAck) {
+  net::NectarSystem sys(2);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  std::size_t heap_floor = 0;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    heap_floor = sys.runtime(0).heap().bytes_in_use();
+    for (int i = 0; i < 5; ++i) {
+      sys.stack(0).rmp.send(dst.address(), stage(s, sys.runtime(0), std::string(2048, 'f')));
+    }
+    sys.stack(0).rmp.wait_acked(1);
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    for (int i = 0; i < 5; ++i) {
+      core::Message m = dst.begin_get();
+      dst.end_get(m);
+    }
+  });
+  sys.engine().run();
+  // All five 2 KB send buffers returned to the heap.
+  EXPECT_LE(sys.runtime(0).heap().bytes_in_use(), heap_floor + 256);
+}
+
+TEST(RmpTest, AckCallbackFires) {
+  net::NectarSystem sys(2);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  bool acked = false;
+  sys.runtime(1).fork_system("recv", [&] {
+    core::Message m = dst.begin_get();
+    dst.end_get(m);
+  });
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).rmp.send(dst.address(), stage(s, sys.runtime(0), "cb"), true,
+                          [&] { acked = true; });
+  });
+  sys.engine().run();
+  EXPECT_TRUE(acked);
+}
+
+TEST(RmpTest, ThroughputApproachesWireSpeedAtLargeMessages) {
+  // Fig. 7 sanity: RMP at 8 KB messages should reach most of the 100 Mbit/s
+  // fiber (the paper reports ~90 Mbit/s).
+  net::NectarSystem sys(2);
+  core::Mailbox& dst = sys.runtime(1).create_mailbox("sink");
+  constexpr int kN = 50;
+  constexpr std::size_t kSize = 8192;
+  sim::SimTime done_at = 0;
+  sys.runtime(1).fork_system("recv", [&] {
+    for (int i = 0; i < kN; ++i) {
+      core::Message m = dst.begin_get();
+      dst.end_get(m);
+    }
+    done_at = sys.engine().now();
+  });
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    for (int i = 0; i < kN; ++i) {
+      core::Message m = s.begin_put(kSize);
+      sys.stack(0).rmp.send(dst.address(), m);
+    }
+  });
+  sys.engine().run();
+  ASSERT_GT(done_at, 0);
+  double mbits = kN * kSize * 8.0 / 1e6;
+  double seconds = static_cast<double>(done_at) / sim::kSecond;
+  double throughput = mbits / seconds;
+  EXPECT_GT(throughput, 55.0);   // stop-and-wait costs a round trip per message
+  EXPECT_LT(throughput, 100.0);  // cannot beat the wire
+}
+
+}  // namespace
+}  // namespace nectar::nproto

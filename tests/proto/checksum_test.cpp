@@ -1,0 +1,65 @@
+#include "proto/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nectar::proto {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int b : v) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+TEST(InternetChecksumTest, Rfc1071Example) {
+  // RFC 1071 worked example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2,
+  // checksum = ~0xddf2 = 0x220d.
+  auto data = bytes({0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7});
+  EXPECT_EQ(InternetChecksum::compute(data), 0x220D);
+}
+
+TEST(InternetChecksumTest, VerifyEmbeddedChecksum) {
+  auto data = bytes({0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00,
+                     10, 0, 0, 1, 10, 0, 0, 2});
+  std::uint16_t sum = InternetChecksum::compute(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_TRUE(InternetChecksum::verify(data));
+  data[15] ^= 1;
+  EXPECT_FALSE(InternetChecksum::verify(data));
+}
+
+TEST(InternetChecksumTest, OddLengthPadsWithZero) {
+  auto odd = bytes({0xAB, 0xCD, 0xEF});
+  auto padded = bytes({0xAB, 0xCD, 0xEF, 0x00});
+  EXPECT_EQ(InternetChecksum::compute(odd), InternetChecksum::compute(padded));
+}
+
+TEST(InternetChecksumTest, SplitUpdatesMatchOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 101; ++i) data.push_back(static_cast<std::uint8_t>(i * 7));
+  for (std::size_t split = 0; split <= data.size(); split += 13) {
+    InternetChecksum c;
+    c.update(std::span<const std::uint8_t>(data).first(split));
+    c.update(std::span<const std::uint8_t>(data).subspan(split));
+    EXPECT_EQ(c.value(), InternetChecksum::compute(data)) << "split at " << split;
+  }
+}
+
+TEST(InternetChecksumTest, Compute2MatchesConcatenation) {
+  auto a = bytes({1, 2, 3, 4});
+  auto b = bytes({5, 6, 7, 8});
+  auto ab = bytes({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(InternetChecksum::compute2(a, b), InternetChecksum::compute(ab));
+}
+
+TEST(InternetChecksumTest, CostScalesLinearly) {
+  EXPECT_EQ(checksum_cost(0), 0);
+  EXPECT_GT(checksum_cost(1000), 0);
+  EXPECT_EQ(checksum_cost(2000), 2 * checksum_cost(1000));
+}
+
+}  // namespace
+}  // namespace nectar::proto

@@ -1,0 +1,226 @@
+#include "proto/datalink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/priorities.hpp"
+#include "net/topology.hpp"
+
+namespace nectar::proto {
+namespace {
+
+/// Minimal protocol for exercising the datalink: collects received packets.
+class TestClient : public DatalinkClient {
+ public:
+  TestClient(core::CabRuntime& rt, std::size_t hdr_bytes = 4)
+      : rt_(rt), hdr_bytes_(hdr_bytes), input_(rt.create_mailbox("test-proto")) {}
+
+  std::size_t header_bytes() const override { return hdr_bytes_; }
+  core::Mailbox& input_mailbox() override { return input_; }
+
+  void start_of_data(const core::Message& m, std::uint8_t src) override {
+    (void)m;
+    (void)src;
+    start_count++;
+    start_times.push_back(rt_.engine().now());
+  }
+  void end_of_data(core::Message m, std::uint8_t src) override {
+    end_times.push_back(rt_.engine().now());
+    srcs.push_back(src);
+    std::vector<std::uint8_t> bytes(m.len);
+    rt_.board().memory().read(m.data, bytes);
+    received.emplace_back(bytes.begin(), bytes.end());
+    input_.end_get(m);
+  }
+
+  core::CabRuntime& rt_;
+  std::size_t hdr_bytes_;
+  core::Mailbox& input_;
+  int start_count = 0;
+  std::vector<sim::SimTime> start_times;
+  std::vector<sim::SimTime> end_times;
+  std::vector<std::string> received;
+  std::vector<std::uint8_t> srcs;
+};
+
+constexpr PacketType kTestType = static_cast<PacketType>(200);
+
+struct TwoCabs {
+  net::Network net;
+  int a, b;
+  std::unique_ptr<TestClient> client_a, client_b;
+
+  TwoCabs() {
+    int hub = net.add_hub();
+    a = net.add_cab(hub, 0);
+    b = net.add_cab(hub, 1);
+    net.install_routes();
+    client_a = std::make_unique<TestClient>(net.runtime(a));
+    client_b = std::make_unique<TestClient>(net.runtime(b));
+    net.datalink(a).register_client(kTestType, client_a.get());
+    net.datalink(b).register_client(kTestType, client_b.get());
+  }
+
+  /// Stage payload bytes in a CAB's data memory and send them.
+  void send(int from, int to, const std::string& header, const std::string& payload) {
+    core::CabRuntime& rt = net.runtime(from);
+    rt.fork_system("sender", [this, from, to, header, payload] {
+      hw::CabAddr buf = rt_of(from).heap().alloc(payload.size() + 1);
+      rt_of(from).board().memory().write(
+          buf, std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()));
+      std::vector<std::uint8_t> hdr(header.begin(), header.end());
+      net.datalink(from).send(kTestType, to, hdr, buf, payload.size());
+    });
+  }
+  core::CabRuntime& rt_of(int n) { return net.runtime(n); }
+};
+
+TEST(Datalink, DeliversPacketBetweenCabs) {
+  TwoCabs t;
+  t.send(t.a, t.b, "HD", "payload-bytes");
+  t.net.run();
+  ASSERT_EQ(t.client_b->received.size(), 1u);
+  EXPECT_EQ(t.client_b->received[0], "HDpayload-bytes");  // proto hdr + payload
+  EXPECT_EQ(t.client_b->srcs[0], t.a);
+  EXPECT_EQ(t.net.datalink(t.a).packets_sent(), 1u);
+  EXPECT_EQ(t.net.datalink(t.b).packets_received(), 1u);
+}
+
+TEST(Datalink, StartOfDataPrecedesEndOfData) {
+  TwoCabs t;
+  t.send(t.a, t.b, "HDRX", std::string(4000, 'x'));
+  t.net.run();
+  ASSERT_EQ(t.client_b->start_count, 1);
+  ASSERT_EQ(t.client_b->end_times.size(), 1u);
+  // The start-of-data upcall overlaps packet arrival: for a 4 KB packet at
+  // 100 Mbit/s (~320 us serialization) it must run well before end-of-data.
+  EXPECT_LT(t.client_b->start_times[0] + sim::usec(200), t.client_b->end_times[0]);
+}
+
+TEST(Datalink, ManyPacketsInOrder) {
+  TwoCabs t;
+  for (int i = 0; i < 10; ++i) t.send(t.a, t.b, "HP", "msg" + std::to_string(i));
+  t.net.run();
+  ASSERT_EQ(t.client_b->received.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(t.client_b->received[static_cast<std::size_t>(i)], "HPmsg" + std::to_string(i));
+  }
+}
+
+TEST(Datalink, BidirectionalTraffic) {
+  TwoCabs t;
+  t.send(t.a, t.b, "HX", "a-to-b");
+  t.send(t.b, t.a, "HX", "b-to-a");
+  t.net.run();
+  ASSERT_EQ(t.client_b->received.size(), 1u);
+  ASSERT_EQ(t.client_a->received.size(), 1u);
+  EXPECT_EQ(t.client_a->received[0], "HXb-to-a");
+}
+
+TEST(Datalink, UnknownTypeDropped) {
+  TwoCabs t;
+  // Unregister on the receiver.
+  t.net.datalink(t.b).register_client(kTestType, nullptr);
+  t.send(t.a, t.b, "HZ", "nobody-home");
+  t.net.run();
+  EXPECT_TRUE(t.client_b->received.empty());
+  EXPECT_EQ(t.net.datalink(t.b).dropped_no_client(), 1u);
+}
+
+TEST(Datalink, CorruptedFrameDroppedByCrc) {
+  TwoCabs t;
+  t.net.cab(t.a).out_link().set_corrupt_rate(1.0, 11);
+  t.send(t.a, t.b, "HC", "damaged-in-transit");
+  t.net.run();
+  EXPECT_TRUE(t.client_b->received.empty());
+  EXPECT_EQ(t.net.datalink(t.b).dropped_crc(), 1u);
+  // The drop freed the receive buffer: heap back to just the mailbox cache.
+  EXPECT_EQ(t.net.runtime(t.b).heap().bytes_in_use(),
+            t.client_b->input_.cache_hits() > 0 ? 128u : 0u);
+}
+
+TEST(Datalink, SelfRouteThroughOwnHubPort) {
+  TwoCabs t;
+  t.send(t.a, t.a, "HS", "loop-to-self");
+  t.net.run();
+  ASSERT_EQ(t.client_a->received.size(), 1u);
+  EXPECT_EQ(t.client_a->received[0], "HSloop-to-self");
+}
+
+TEST(Datalink, NoRouteThrows) {
+  net::Network net;
+  int hub = net.add_hub();
+  int a = net.add_cab(hub, 0);
+  // No install_routes() call.
+  bool threw = false;
+  net.runtime(a).fork_system("t", [&] {
+    try {
+      net.datalink(a).send(kTestType, 5, {}, hw::kDataBase, 0);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  net.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Datalink, MultiHubDelivery) {
+  net::Network net;
+  int h1 = net.add_hub();
+  int h2 = net.add_hub();
+  net.link_hubs(h1, 15, h2, 15);
+  int a = net.add_cab(h1, 0);
+  int b = net.add_cab(h2, 0);
+  net.install_routes();
+  EXPECT_EQ(net.route(a, b), (std::vector<std::uint8_t>{15, 0}));
+
+  TestClient rx(net.runtime(b));
+  net.datalink(b).register_client(kTestType, &rx);
+  net.runtime(a).fork_system("s", [&] {
+    hw::CabAddr buf = net.runtime(a).heap().alloc(5);
+    net.runtime(a).board().memory().write(
+        buf, std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>("hello"), 5));
+    net.datalink(a).send(kTestType, b, {'H', '2'}, buf, 5);
+  });
+  net.run();
+  ASSERT_EQ(rx.received.size(), 1u);
+  EXPECT_EQ(rx.received[0], "H2hello");
+}
+
+TEST(Datalink, SendCompletionCallbackRunsInInterruptContext) {
+  TwoCabs t;
+  bool fired = false;
+  bool was_irq = false;
+  core::CabRuntime& rt = t.net.runtime(t.a);
+  rt.fork_system("s", [&] {
+    hw::CabAddr buf = rt.heap().alloc(8);
+    t.net.datalink(t.a).send(kTestType, t.b, {'H', 'H'}, buf, 8, [&] {
+      fired = true;
+      was_irq = rt.cpu().in_interrupt();
+    });
+  });
+  t.net.run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(was_irq);
+}
+
+TEST(Datalink, OversizePacketRejected) {
+  TwoCabs t;
+  core::CabRuntime& rt = t.net.runtime(t.a);
+  bool threw = false;
+  rt.fork_system("s", [&] {
+    try {
+      t.net.datalink(t.a).send(kTestType, t.b, {}, hw::kDataBase, Datalink::kMaxPayload + 1);
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  t.net.run();
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace nectar::proto

@@ -1,0 +1,150 @@
+#include "proto/headers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nectar::proto {
+namespace {
+
+TEST(Headers, ByteOrderHelpers) {
+  std::vector<std::uint8_t> buf(8, 0);
+  put16(buf, 0, 0x1234);
+  put32(buf, 2, 0xDEADBEEF);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[1], 0x34);
+  EXPECT_EQ(get16(buf, 0), 0x1234);
+  EXPECT_EQ(get32(buf, 2), 0xDEADBEEFu);
+}
+
+TEST(Headers, DatalinkRoundTrip) {
+  DatalinkHeader h;
+  h.type = PacketType::Rmp;
+  h.src_node = 7;
+  h.length = 4096;
+  std::vector<std::uint8_t> buf(DatalinkHeader::kSize);
+  h.serialize(buf);
+  DatalinkHeader g = DatalinkHeader::parse(buf);
+  EXPECT_EQ(g.type, PacketType::Rmp);
+  EXPECT_EQ(g.src_node, 7);
+  EXPECT_EQ(g.length, 4096);
+}
+
+TEST(Headers, IpRoundTripAndChecksum) {
+  IpHeader h;
+  h.total_len = 1500;
+  h.id = 42;
+  h.ttl = 17;
+  h.protocol = kProtoUdp;
+  h.src = ip_of_node(1);
+  h.dst = ip_of_node(2);
+  std::vector<std::uint8_t> buf(IpHeader::kSize);
+  h.serialize(buf);
+  EXPECT_TRUE(IpHeader::checksum_ok(buf));
+  IpHeader g = IpHeader::parse(buf);
+  EXPECT_EQ(g.total_len, 1500);
+  EXPECT_EQ(g.id, 42);
+  EXPECT_EQ(g.ttl, 17);
+  EXPECT_EQ(g.protocol, kProtoUdp);
+  EXPECT_EQ(g.src, ip_of_node(1));
+  EXPECT_EQ(g.dst, ip_of_node(2));
+  // Corrupt one byte: checksum must fail.
+  buf[9] ^= 0xFF;
+  EXPECT_FALSE(IpHeader::checksum_ok(buf));
+}
+
+TEST(Headers, IpFragmentFields) {
+  IpHeader h;
+  h.more_fragments = true;
+  h.frag_offset = 185;  // 1480 bytes / 8
+  h.total_len = 1500;
+  std::vector<std::uint8_t> buf(IpHeader::kSize);
+  h.serialize(buf);
+  IpHeader g = IpHeader::parse(buf);
+  EXPECT_TRUE(g.more_fragments);
+  EXPECT_FALSE(g.dont_fragment);
+  EXPECT_EQ(g.frag_offset, 185);
+}
+
+TEST(Headers, IpRejectsNonIpv4) {
+  std::vector<std::uint8_t> buf(IpHeader::kSize, 0);
+  buf[0] = 0x65;  // version 6
+  EXPECT_THROW(IpHeader::parse(buf), std::invalid_argument);
+}
+
+TEST(Headers, AddressPlan) {
+  EXPECT_EQ(ip_to_string(ip_of_node(3)), "10.0.0.3");
+  EXPECT_EQ(node_of_ip(ip_of_node(12)), 12);
+}
+
+TEST(Headers, UdpRoundTrip) {
+  UdpHeader h{.src_port = 1000, .dst_port = 53, .length = 512, .checksum = 0xBEEF};
+  std::vector<std::uint8_t> buf(UdpHeader::kSize);
+  h.serialize(buf);
+  UdpHeader g = UdpHeader::parse(buf);
+  EXPECT_EQ(g.src_port, 1000);
+  EXPECT_EQ(g.dst_port, 53);
+  EXPECT_EQ(g.length, 512);
+  EXPECT_EQ(g.checksum, 0xBEEF);
+}
+
+TEST(Headers, TcpRoundTripAndFlags) {
+  TcpHeader h;
+  h.src_port = 5555;
+  h.dst_port = 80;
+  h.seq = 0xA1B2C3D4;
+  h.ack = 0x01020304;
+  h.flags = kTcpSyn | kTcpAck;
+  h.window = 8192;
+  std::vector<std::uint8_t> buf(TcpHeader::kSize);
+  h.serialize(buf);
+  TcpHeader g = TcpHeader::parse(buf);
+  EXPECT_EQ(g.seq, 0xA1B2C3D4u);
+  EXPECT_EQ(g.ack, 0x01020304u);
+  EXPECT_TRUE(g.has(kTcpSyn));
+  EXPECT_TRUE(g.has(kTcpAck));
+  EXPECT_FALSE(g.has(kTcpFin));
+  EXPECT_EQ(g.window, 8192);
+}
+
+TEST(Headers, IcmpRoundTrip) {
+  IcmpHeader h{.type = kIcmpEchoRequest, .code = 0, .checksum = 0, .id = 77, .seq = 3};
+  std::vector<std::uint8_t> buf(IcmpHeader::kSize);
+  h.serialize(buf);
+  IcmpHeader g = IcmpHeader::parse(buf);
+  EXPECT_EQ(g.type, kIcmpEchoRequest);
+  EXPECT_EQ(g.id, 77);
+  EXPECT_EQ(g.seq, 3);
+}
+
+TEST(Headers, NectarRoundTrip) {
+  NectarHeader h;
+  h.dst_mailbox = 12345;
+  h.src_mailbox = 67890;
+  h.src_node = 9;
+  h.flags = 0x2;
+  h.seq = 777;
+  h.length = 256;
+  std::vector<std::uint8_t> buf(NectarHeader::kSize);
+  h.serialize(buf);
+  NectarHeader g = NectarHeader::parse(buf);
+  EXPECT_EQ(g.dst_mailbox, 12345u);
+  EXPECT_EQ(g.src_mailbox, 67890u);
+  EXPECT_EQ(g.src_node, 9);
+  EXPECT_EQ(g.flags, 0x2);
+  EXPECT_EQ(g.seq, 777);
+  EXPECT_EQ(g.length, 256);
+}
+
+TEST(Headers, ShortBufferThrows) {
+  std::vector<std::uint8_t> tiny(2);
+  EXPECT_THROW(IpHeader::parse(tiny), std::invalid_argument);
+  EXPECT_THROW(TcpHeader::parse(tiny), std::invalid_argument);
+  EXPECT_THROW(UdpHeader::parse(tiny), std::invalid_argument);
+  EXPECT_THROW(NectarHeader::parse(tiny), std::invalid_argument);
+  IpHeader h;
+  EXPECT_THROW(h.serialize(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nectar::proto

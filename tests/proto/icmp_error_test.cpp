@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+
+namespace nectar::proto {
+namespace {
+
+TEST(IcmpError, ProtocolUnreachableGenerated) {
+  net::NectarSystem sys(2);
+  std::uint8_t got_code = 0xFF;
+  IpAddr offending_dst = 0;
+  sys.stack(0).icmp.set_unreachable_handler([&](std::uint8_t code, const IpHeader& off) {
+    got_code = code;
+    offending_dst = off.dst;
+  });
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    core::Message m = s.begin_put(32);
+    Ip::OutputInfo info;
+    info.dst = ip_of_node(1);
+    info.protocol = 123;  // nobody registered on node 1
+    sys.stack(0).ip.output_msg(info, {}, m, true);
+  });
+  sys.engine().run();
+  EXPECT_EQ(sys.stack(1).icmp.unreachables_sent(), 1u);
+  EXPECT_EQ(sys.stack(0).icmp.unreachables_received(), 1u);
+  EXPECT_EQ(got_code, 2);  // protocol unreachable
+  EXPECT_EQ(offending_dst, ip_of_node(1));  // the quoted offending header
+}
+
+TEST(IcmpError, PortUnreachableGenerated) {
+  net::NectarSystem sys(2);
+  std::uint8_t got_code = 0xFF;
+  sys.stack(0).icmp.set_unreachable_handler(
+      [&](std::uint8_t code, const IpHeader&) { got_code = code; });
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    core::Message m = s.begin_put(16);
+    sys.stack(0).udp.send(1234, ip_of_node(1), 4242, m);  // port 4242 unbound
+  });
+  sys.engine().run();
+  EXPECT_EQ(sys.stack(1).udp.dropped_no_port(), 1u);
+  EXPECT_EQ(sys.stack(1).icmp.unreachables_sent(), 1u);
+  EXPECT_EQ(got_code, 3);  // port unreachable
+}
+
+TEST(IcmpError, NoErrorStormFromErrors) {
+  // An unreachable answering an unreachable would loop forever; the sender
+  // check (src == self) and ICMP being always registered prevent it.
+  net::NectarSystem sys(2);
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    for (int i = 0; i < 3; ++i) {
+      core::Message m = s.begin_put(16);
+      Ip::OutputInfo info;
+      info.dst = ip_of_node(1);
+      info.protocol = 99;
+      sys.stack(0).ip.output_msg(info, {}, m, true);
+    }
+  });
+  sys.engine().run();
+  // Exactly one error per offending datagram, none in response to errors.
+  EXPECT_EQ(sys.stack(1).icmp.unreachables_sent(), 3u);
+  EXPECT_EQ(sys.stack(0).icmp.unreachables_sent(), 0u);
+  EXPECT_EQ(sys.stack(0).icmp.unreachables_received(), 3u);
+}
+
+TEST(IcmpError, UnreachableChecksumVerifies) {
+  // The generated error passes the receiver's ICMP checksum (it would be
+  // dropped and counted as bad otherwise).
+  net::NectarSystem sys(2);
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("s");
+    core::Message m = s.begin_put(64);
+    Ip::OutputInfo info;
+    info.dst = ip_of_node(1);
+    info.protocol = 250;
+    sys.stack(0).ip.output_msg(info, {}, m, true);
+  });
+  sys.engine().run();
+  EXPECT_EQ(sys.stack(0).icmp.bad_checksums(), 0u);
+  EXPECT_EQ(sys.stack(0).icmp.unreachables_received(), 1u);
+}
+
+}  // namespace
+}  // namespace nectar::proto

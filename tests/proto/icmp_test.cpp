@@ -1,0 +1,90 @@
+#include "proto/icmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+
+namespace nectar::proto {
+namespace {
+
+TEST(IcmpTest, PingEchoRoundTrip) {
+  net::NectarSystem sys(2);
+  sim::SimTime rtt = -1;
+  std::uint16_t got_seq = 0;
+  sys.runtime(0).fork_system("pinger", [&] {
+    sys.stack(0).icmp.ping(ip_of_node(1), 7, 3, 56, [&](std::uint16_t seq, sim::SimTime t) {
+      got_seq = seq;
+      rtt = t;
+    });
+  });
+  sys.engine().run();
+  EXPECT_EQ(got_seq, 3);
+  EXPECT_GT(rtt, 0);
+  EXPECT_LT(rtt, sim::msec(1));  // LAN-scale round trip
+  EXPECT_EQ(sys.stack(1).icmp.echo_requests_received(), 1u);
+  EXPECT_EQ(sys.stack(1).icmp.echo_replies_sent(), 1u);
+  EXPECT_EQ(sys.stack(0).icmp.echo_replies_received(), 1u);
+}
+
+TEST(IcmpTest, RepliesHandledEntirelyAtInterruptLevel) {
+  // The responder side must answer without any of its *threads* running:
+  // ICMP is a mailbox upcall (§4.1).
+  net::NectarSystem sys(2);
+  bool replied = false;
+  sys.runtime(0).fork_system("pinger", [&] {
+    sys.stack(0).icmp.ping(ip_of_node(1), 1, 1, 32,
+                           [&](std::uint16_t, sim::SimTime) { replied = true; });
+  });
+  std::uint64_t switches_before = sys.runtime(1).cpu().context_switches();
+  sys.engine().run();
+  EXPECT_TRUE(replied);
+  // Node 1 never context-switched to answer (its only threads — udp/tcp
+  // servers — stay blocked; allow their initial scheduling only).
+  EXPECT_LE(sys.runtime(1).cpu().context_switches(), switches_before + 3);
+}
+
+TEST(IcmpTest, MultiplePingsMatchBySequence) {
+  net::NectarSystem sys(2);
+  std::vector<std::uint16_t> seqs;
+  sys.runtime(0).fork_system("pinger", [&] {
+    for (std::uint16_t s = 1; s <= 5; ++s) {
+      sys.stack(0).icmp.ping(ip_of_node(1), 9, s, 16,
+                             [&seqs](std::uint16_t seq, sim::SimTime) { seqs.push_back(seq); });
+      sys.runtime(0).cpu().sleep_for(sim::usec(300));
+    }
+  });
+  sys.engine().run();
+  EXPECT_EQ(seqs, (std::vector<std::uint16_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(IcmpTest, PayloadSizeScalesRtt) {
+  net::NectarSystem sys(2);
+  sim::SimTime small_rtt = 0, big_rtt = 0;
+  sys.runtime(0).fork_system("pinger", [&] {
+    sys.stack(0).icmp.ping(ip_of_node(1), 2, 1, 16,
+                           [&](std::uint16_t, sim::SimTime t) { small_rtt = t; });
+    sys.runtime(0).cpu().sleep_for(sim::msec(5));
+    sys.stack(0).icmp.ping(ip_of_node(1), 2, 2, 8000,
+                           [&](std::uint16_t, sim::SimTime t) { big_rtt = t; });
+  });
+  sys.engine().run();
+  ASSERT_GT(small_rtt, 0);
+  ASSERT_GT(big_rtt, 0);
+  // 8 KB twice over a 100 Mbit/s wire adds >1.2 ms.
+  EXPECT_GT(big_rtt, small_rtt + sim::usec(1000));
+}
+
+TEST(IcmpTest, CorruptedEchoDetected) {
+  net::NectarSystem sys(2);
+  sys.net().cab(0).out_link().set_corrupt_rate(1.0, 3);
+  bool replied = false;
+  sys.runtime(0).fork_system("pinger", [&] {
+    sys.stack(0).icmp.ping(ip_of_node(1), 4, 1, 64,
+                           [&](std::uint16_t, sim::SimTime) { replied = true; });
+  });
+  sys.engine().run();
+  EXPECT_FALSE(replied);  // ICMP has no retransmission: the ping is lost
+}
+
+}  // namespace
+}  // namespace nectar::proto

@@ -1,0 +1,127 @@
+// Tests for the congestion-control extension (TcpConfig::congestion_control)
+// — slow start, congestion avoidance, fast retransmit. Off by default; these
+// tests turn it on explicitly.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::proto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+struct CcFixture {
+  net::NectarSystem sys;
+  explicit CcFixture(double drop = 0.0, std::size_t mtu = 1500)
+      : sys(2, false, make_config(), mtu) {
+    if (drop > 0) sys.net().cab(0).out_link().set_drop_rate(drop, 4242);
+  }
+  static TcpConfig make_config() {
+    TcpConfig cfg;
+    cfg.congestion_control = true;
+    return cfg;
+  }
+
+  /// Transfer `data` 0 -> 1, return the client connection.
+  TcpConnection* transfer(const std::string& data, std::string* got) {
+    TcpConnection** out = new TcpConnection*(nullptr);
+    sys.runtime(1).fork_app("server", [this, &data, got] {
+      TcpConnection* c = sys.stack(1).tcp.listen(80);
+      sys.stack(1).tcp.wait_established(c);
+      while (got->size() < data.size()) {
+        core::Message m = c->receive_mailbox().begin_get();
+        if (m.len == 0) {
+          c->receive_mailbox().end_get(m);
+          break;
+        }
+        *got += read_bytes(sys.runtime(1), m);
+        c->receive_mailbox().end_get(m);
+      }
+    });
+    sys.runtime(0).fork_app("client", [this, &data, out] {
+      sys.runtime(0).cpu().sleep_for(sim::usec(100));
+      TcpConnection* c = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+      *out = c;
+      if (!sys.stack(0).tcp.wait_established(c)) return;
+      core::Mailbox& s = sys.runtime(0).create_mailbox("tx");
+      std::size_t off = 0;
+      while (off < data.size()) {
+        std::size_t chunk = std::min<std::size_t>(4096, data.size() - off);
+        sys.stack(0).tcp.wait_send_window(c, 64 * 1024);
+        sys.stack(0).tcp.send(c, stage(s, sys.runtime(0), data.substr(off, chunk)));
+        off += chunk;
+      }
+    });
+    sys.net().run_until(sim::sec(60));
+    TcpConnection* c = *out;
+    delete out;
+    return c;
+  }
+};
+
+TEST(TcpCongestion, SlowStartGrowsWindowOnCleanWire) {
+  CcFixture f;
+  std::string data(60000, 'w');
+  std::string got;
+  TcpConnection* c = f.transfer(data, &got);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(got, data);
+  // cwnd started at one MSS and grew well past it.
+  EXPECT_GT(c->cwnd(), 4 * static_cast<std::uint32_t>(f.sys.stack(0).tcp.mss()));
+  EXPECT_EQ(c->retransmissions(), 0u);
+}
+
+TEST(TcpCongestion, LossShrinksWindowAndStreamSurvives) {
+  CcFixture f(/*drop=*/0.08);
+  std::string data(40000, 'l');
+  std::string got;
+  TcpConnection* c = f.transfer(data, &got);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(got, data);
+  EXPECT_GT(c->retransmissions() + c->fast_retransmits(), 0u);
+  // ssthresh was pulled down from its initial 64 KB by at least one loss.
+  EXPECT_LT(c->ssthresh(), 64u * 1024u);
+}
+
+TEST(TcpCongestion, FastRetransmitFiresOnDupAcks) {
+  // Small MTU => many segments per burst => a single drop leaves enough
+  // following segments to generate three duplicate ACKs.
+  CcFixture f(/*drop=*/0.04, /*mtu=*/576);
+  std::string data(60000, 'f');
+  std::string got;
+  TcpConnection* c = f.transfer(data, &got);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(got, data);
+  EXPECT_GT(c->fast_retransmits(), 0u);  // recovered without waiting for RTO
+}
+
+TEST(TcpCongestion, DisabledByDefaultKeepsPaperBehaviour) {
+  net::NectarSystem sys(2);  // default config
+  bool checked = false;
+  sys.runtime(0).fork_app("t", [&] {
+    TcpConnection* c = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+    (void)c;
+    EXPECT_FALSE(sys.stack(0).tcp.config().congestion_control);
+    checked = true;
+  });
+  sys.net().run_until(sim::msec(10));
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace nectar::proto

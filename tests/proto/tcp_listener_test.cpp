@@ -1,0 +1,148 @@
+// Persistent listeners (Tcp::open_listener / accept): many concurrent
+// clients on one well-known port — server behaviour the single-shot listen()
+// the paper's measurement programs used cannot express.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::proto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+TEST(TcpListener, ThreeConcurrentClientsOnOnePort) {
+  net::NectarSystem sys(4);
+  std::multiset<std::string> got;
+  // Server on node 3: accept three connections, read one message from each.
+  sys.runtime(3).fork_app("server", [&] {
+    TcpListener* l = sys.stack(3).tcp.open_listener(80);
+    for (int i = 0; i < 3; ++i) {
+      TcpConnection* c = sys.stack(3).tcp.accept(l);
+      ASSERT_NE(c, nullptr);
+      // One service thread per accepted connection — the fork-per-client
+      // server shape.
+      sys.runtime(3).fork_app("conn", [&sys, c, &got] {
+        core::Message m = c->receive_mailbox().begin_get();
+        got.insert(read_bytes(sys.runtime(3), m));
+        c->receive_mailbox().end_get(m);
+      });
+    }
+  });
+  for (int n = 0; n < 3; ++n) {
+    sys.runtime(n).fork_app("client", [&sys, n] {
+      sys.runtime(n).cpu().sleep_for(sim::usec(100 + 40 * n));
+      TcpConnection* c = sys.stack(n).tcp.connect(5000, ip_of_node(3), 80);
+      ASSERT_TRUE(sys.stack(n).tcp.wait_established(c));
+      core::Mailbox& s = sys.runtime(n).create_mailbox("tx");
+      sys.stack(n).tcp.send(c, stage(s, sys.runtime(n), "from-node-" + std::to_string(n)));
+    });
+  }
+  sys.net().run_until(sim::sec(5));
+  EXPECT_EQ(got.size(), 3u);
+  for (int n = 0; n < 3; ++n) EXPECT_EQ(got.count("from-node-" + std::to_string(n)), 1u);
+}
+
+TEST(TcpListener, AcceptBlocksUntilAClientArrives) {
+  net::NectarSystem sys(2);
+  sim::SimTime accepted_at = -1;
+  sys.runtime(1).fork_app("server", [&] {
+    TcpListener* l = sys.stack(1).tcp.open_listener(80);
+    TcpConnection* c = sys.stack(1).tcp.accept(l);
+    ASSERT_NE(c, nullptr);
+    accepted_at = sys.engine().now();
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    sys.runtime(0).cpu().sleep_until(sim::msec(3));
+    TcpConnection* c = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+    sys.stack(0).tcp.wait_established(c);
+  });
+  sys.net().run_until(sim::sec(2));
+  EXPECT_GE(accepted_at, sim::msec(3));
+}
+
+TEST(TcpListener, ClosedListenerRefusesWithRst) {
+  net::NectarSystem sys(2);
+  TcpListener* l = nullptr;
+  sys.runtime(1).fork_app("server", [&] {
+    l = sys.stack(1).tcp.open_listener(80);
+    sys.stack(1).tcp.close_listener(l);
+  });
+  TcpConnection* client = nullptr;
+  sys.runtime(0).fork_app("client", [&] {
+    sys.runtime(0).cpu().sleep_for(sim::msec(1));
+    client = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+    sys.stack(0).tcp.wait_established(client);
+  });
+  sys.net().run_until(sim::sec(2));
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->reset());
+  EXPECT_TRUE(client->closed());
+}
+
+TEST(TcpListener, CloseListenerReleasesBlockedAccept) {
+  net::NectarSystem sys(2);
+  bool returned_null = false;
+  TcpListener* l = nullptr;
+  sys.runtime(1).fork_app("server", [&] {
+    l = sys.stack(1).tcp.open_listener(80);
+    TcpConnection* c = sys.stack(1).tcp.accept(l);  // nobody will connect
+    returned_null = (c == nullptr);
+  });
+  sys.runtime(1).fork_app("closer", [&] {
+    sys.runtime(1).cpu().sleep_for(sim::msec(2));
+    sys.stack(1).tcp.close_listener(l);
+  });
+  sys.net().run_until(sim::sec(2));
+  EXPECT_TRUE(returned_null);
+}
+
+TEST(TcpListener, SequentialAcceptsReuseThePort) {
+  net::NectarSystem sys(3);
+  std::vector<std::string> got;
+  sys.runtime(2).fork_app("server", [&] {
+    TcpListener* l = sys.stack(2).tcp.open_listener(80);
+    for (int i = 0; i < 2; ++i) {
+      TcpConnection* c = sys.stack(2).tcp.accept(l);
+      ASSERT_NE(c, nullptr);
+      core::Message m = c->receive_mailbox().begin_get();
+      got.push_back(read_bytes(sys.runtime(2), m));
+      c->receive_mailbox().end_get(m);
+      sys.stack(2).tcp.close(c);
+    }
+    EXPECT_EQ(l->accepted, 2u);
+  });
+  for (int n = 0; n < 2; ++n) {
+    sys.runtime(n).fork_app("client", [&sys, n] {
+      sys.runtime(n).cpu().sleep_for(sim::msec(1 + 20 * n));  // strictly sequential
+      TcpConnection* c = sys.stack(n).tcp.connect(5000, ip_of_node(2), 80);
+      ASSERT_TRUE(sys.stack(n).tcp.wait_established(c));
+      core::Mailbox& s = sys.runtime(n).create_mailbox("tx");
+      sys.stack(n).tcp.send(c, stage(s, sys.runtime(n), "client" + std::to_string(n)));
+      sys.stack(n).tcp.wait_drained(c);
+      sys.stack(n).tcp.close(c);
+    });
+  }
+  sys.net().run_until(sim::sec(5));
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "client0");
+  EXPECT_EQ(got[1], "client1");
+}
+
+}  // namespace
+}  // namespace nectar::proto

@@ -1,0 +1,194 @@
+// TCP state-machine edge cases beyond the happy paths in tcp_test.cpp:
+// half-close with data, simultaneous close, RST mid-transfer, sequential
+// connections on one port, and zero-window stalls with recovery.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::proto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+TEST(TcpStates, HalfCloseStillDeliversPeerData) {
+  // Client closes its direction, then keeps RECEIVING server data — the
+  // FIN-WAIT-2 half of full-duplex close.
+  net::NectarSystem sys(2);
+  std::string server_data(8000, 'h');
+  std::string got_at_client;
+  TcpConnection* client = nullptr;
+  sys.runtime(1).fork_app("server", [&] {
+    TcpConnection* c = sys.stack(1).tcp.listen(80);
+    sys.stack(1).tcp.wait_established(c);
+    // Wait for the client's FIN (EOF marker).
+    core::Message m = c->receive_mailbox().begin_get();
+    EXPECT_EQ(m.len, 0u);
+    c->receive_mailbox().end_get(m);
+    // Our direction is still open: send data into the half-closed pipe.
+    core::Mailbox& s = sys.runtime(1).create_mailbox("tx");
+    sys.stack(1).tcp.send(c, stage(s, sys.runtime(1), server_data));
+    sys.stack(1).tcp.wait_drained(c);
+    sys.stack(1).tcp.close(c);
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    sys.runtime(0).cpu().sleep_for(sim::usec(100));
+    client = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(sys.stack(0).tcp.wait_established(client));
+    sys.stack(0).tcp.close(client);  // half-close: we send nothing more
+    while (got_at_client.size() < server_data.size()) {
+      core::Message m = client->receive_mailbox().begin_get();
+      if (m.len == 0) {
+        client->receive_mailbox().end_get(m);
+        break;
+      }
+      got_at_client += read_bytes(sys.runtime(0), m);
+      client->receive_mailbox().end_get(m);
+    }
+  });
+  sys.net().run_until(sim::sec(5));
+  EXPECT_EQ(got_at_client, server_data);
+  EXPECT_EQ(client->state(), TcpConnection::State::Closed);  // via TIME_WAIT
+}
+
+TEST(TcpStates, SimultaneousCloseReachesClosedOnBothSides) {
+  net::NectarSystem sys(2);
+  TcpConnection* a = nullptr;
+  TcpConnection* b = nullptr;
+  sys.runtime(1).fork_app("server", [&] {
+    b = sys.stack(1).tcp.listen(80);
+    sys.stack(1).tcp.wait_established(b);
+    sys.stack(1).tcp.close(b);  // both sides close at essentially the same time
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    sys.runtime(0).cpu().sleep_for(sim::usec(100));
+    a = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(sys.stack(0).tcp.wait_established(a));
+    sys.stack(0).tcp.close(a);
+  });
+  sys.net().run_until(sim::sec(5));
+  EXPECT_EQ(a->state(), TcpConnection::State::Closed);
+  EXPECT_EQ(b->state(), TcpConnection::State::Closed);
+}
+
+TEST(TcpStates, SequentialConnectionsOnOnePort) {
+  // Two connect/transfer/close cycles against fresh listeners on port 80.
+  net::NectarSystem sys(2);
+  std::vector<std::string> got(2);
+  sys.runtime(1).fork_app("server", [&] {
+    for (int round = 0; round < 2; ++round) {
+      TcpConnection* c = sys.stack(1).tcp.listen(80);
+      sys.stack(1).tcp.wait_established(c);
+      for (;;) {
+        core::Message m = c->receive_mailbox().begin_get();
+        if (m.len == 0) {
+          c->receive_mailbox().end_get(m);
+          break;
+        }
+        got[static_cast<std::size_t>(round)] += read_bytes(sys.runtime(1), m);
+        c->receive_mailbox().end_get(m);
+      }
+      sys.stack(1).tcp.close(c);
+    }
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    for (int round = 0; round < 2; ++round) {
+      sys.runtime(0).cpu().sleep_for(sim::msec(30));  // let TIME_WAIT expire
+      TcpConnection* c =
+          sys.stack(0).tcp.connect(static_cast<std::uint16_t>(5000 + round), ip_of_node(1), 80);
+      ASSERT_TRUE(sys.stack(0).tcp.wait_established(c));
+      core::Mailbox& s = sys.runtime(0).create_mailbox("tx" + std::to_string(round));
+      sys.stack(0).tcp.send(c, stage(s, sys.runtime(0), "round" + std::to_string(round)));
+      sys.stack(0).tcp.wait_drained(c);
+      sys.stack(0).tcp.close(c);
+    }
+  });
+  sys.net().run_until(sim::sec(10));
+  EXPECT_EQ(got[0], "round0");
+  EXPECT_EQ(got[1], "round1");
+}
+
+TEST(TcpStates, PeerDisappearingMidTransferTimesOutWithRetransmissions) {
+  // Sever the wire mid-stream: the sender must keep retransmitting (bounded
+  // by the capped RTO), never crash, and never falsely report delivery.
+  net::NectarSystem sys(2);
+  TcpConnection* client = nullptr;
+  std::size_t delivered = 0;
+  sys.runtime(1).fork_app("server", [&] {
+    TcpConnection* c = sys.stack(1).tcp.listen(80);
+    sys.stack(1).tcp.wait_established(c);
+    for (;;) {
+      core::Message m = c->receive_mailbox().begin_get();
+      delivered += m.len;
+      c->receive_mailbox().end_get(m);
+    }
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    sys.runtime(0).cpu().sleep_for(sim::usec(100));
+    client = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(sys.stack(0).tcp.wait_established(client));
+    core::Mailbox& s = sys.runtime(0).create_mailbox("tx");
+    sys.stack(0).tcp.send(client, stage(s, sys.runtime(0), std::string(20000, 'x')));
+  });
+  // Let some data through, then cut the link completely.
+  sys.net().run_until(sim::msec(2));
+  sys.net().cab(0).out_link().set_drop_rate(1.0, 1);
+  sys.net().run_until(sim::sec(3));
+  ASSERT_NE(client, nullptr);
+  EXPECT_GT(client->retransmissions(), 2u);   // kept trying
+  EXPECT_GT(client->unacked_bytes(), 0u);     // and knows it didn't finish
+  EXPECT_LT(delivered, 20000u);
+}
+
+TEST(TcpStates, ZeroWindowStallRecoversThroughWindowUpdate) {
+  // A receiver that stops consuming closes its window; when it resumes, the
+  // window-update path (or probe) must restart the flow.
+  net::NectarSystem sys(2);
+  std::string data(60000, 'z');
+  std::string got;
+  sys.runtime(1).fork_app("server", [&] {
+    TcpConnection* c = sys.stack(1).tcp.listen(80);
+    sys.stack(1).tcp.wait_established(c);
+    // Consume a little, nap long enough for the window to slam shut, resume.
+    for (int i = 0; i < 2; ++i) {
+      core::Message m = c->receive_mailbox().begin_get();
+      got += read_bytes(sys.runtime(1), m);
+      c->receive_mailbox().end_get(m);
+    }
+    sys.runtime(1).cpu().sleep_for(sim::msec(30));
+    while (got.size() < data.size()) {
+      core::Message m = c->receive_mailbox().begin_get();
+      got += read_bytes(sys.runtime(1), m);
+      c->receive_mailbox().end_get(m);
+    }
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    sys.runtime(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = sys.stack(0).tcp.connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(sys.stack(0).tcp.wait_established(c));
+    core::Mailbox& s = sys.runtime(0).create_mailbox("tx");
+    for (std::size_t off = 0; off < data.size(); off += 4000) {
+      sys.stack(0).tcp.wait_send_window(c, 128 * 1024);
+      sys.stack(0).tcp.send(c, stage(s, sys.runtime(0), data.substr(off, 4000)));
+    }
+  });
+  sys.net().run_until(sim::sec(10));
+  EXPECT_EQ(got, data);
+}
+
+}  // namespace
+}  // namespace nectar::proto

@@ -1,0 +1,378 @@
+#include "proto/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::proto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage_msg(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+/// Read the full stream from a connection's receive mailbox until EOF
+/// (zero-length message) or `expected` bytes.
+std::string read_stream(core::CabRuntime& rt, TcpConnection* c, std::size_t expected) {
+  std::string out;
+  while (out.size() < expected) {
+    core::Message m = c->receive_mailbox().begin_get();
+    if (m.len == 0) {
+      c->receive_mailbox().end_get(m);
+      break;
+    }
+    out += read_bytes(rt, m);
+    c->receive_mailbox().end_get(m);
+  }
+  return out;
+}
+
+struct TcpFixture {
+  net::NectarSystem sys;
+  explicit TcpFixture(TcpConfig cfg = {}, std::size_t mtu = Ip::kDefaultMtu)
+      : sys(2, false, cfg, mtu) {}
+
+  Tcp& tcp(int n) { return sys.stack(n).tcp; }
+  core::CabRuntime& rt(int n) { return sys.runtime(n); }
+};
+
+TEST(TcpTest, ThreeWayHandshake) {
+  TcpFixture f;
+  TcpConnection* server = nullptr;
+  TcpConnection* client = nullptr;
+  bool server_ok = false, client_ok = false;
+  f.rt(1).fork_app("server", [&] {
+    server = f.tcp(1).listen(80);
+    server_ok = f.tcp(1).wait_established(server);
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    client = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    client_ok = f.tcp(0).wait_established(client);
+  });
+  f.sys.engine().run();
+  EXPECT_TRUE(server_ok);
+  EXPECT_TRUE(client_ok);
+  EXPECT_EQ(server->state(), TcpConnection::State::Established);
+  EXPECT_EQ(client->state(), TcpConnection::State::Established);
+  EXPECT_EQ(server->remote_port(), 5000);
+  EXPECT_EQ(server->remote_addr(), ip_of_node(0));
+}
+
+TEST(TcpTest, DataTransferByteExact) {
+  TcpFixture f;
+  std::string sent = "The Nectar communication processor offloads TCP from the host.";
+  std::string got;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    got = read_stream(f.rt(1), c, sent.size());
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(c));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+    f.tcp(0).send(c, stage_msg(scratch, f.rt(0), sent));
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, sent);
+}
+
+TEST(TcpTest, LargeTransferSegmentsAtMss) {
+  TcpFixture f;
+  std::string big;
+  for (int i = 0; i < 40000; ++i) big.push_back(static_cast<char>('0' + i % 75));
+  std::string got;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    got = read_stream(f.rt(1), c, big.size());
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(c));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+    f.tcp(0).send(c, stage_msg(scratch, f.rt(0), big));
+    f.tcp(0).wait_drained(c);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got.size(), big.size());
+  EXPECT_EQ(got, big);
+  // 40000 bytes / MSS(9K-40) => at least 5 data segments.
+  EXPECT_GE(f.tcp(0).segments_sent(), 5u);
+}
+
+TEST(TcpTest, RetransmissionRecoversFromLoss) {
+  TcpFixture f;
+  f.sys.net().cab(0).out_link().set_drop_rate(0.15, 77);
+  std::string data(20000, 'r');
+  std::string got;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    got = read_stream(f.rt(1), c, data.size());
+  });
+  TcpConnection* client = nullptr;
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    client = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(client));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+    f.tcp(0).send(client, stage_msg(scratch, f.rt(0), data));
+    f.tcp(0).wait_drained(client);
+  });
+  f.sys.net().run_until(sim::sec(10));
+  EXPECT_EQ(got, data);  // reliable despite 15% frame loss
+  EXPECT_GT(client->retransmissions(), 0u);
+}
+
+TEST(TcpTest, CorruptionIsRepairedEndToEnd) {
+  TcpFixture f;
+  f.sys.net().cab(0).out_link().set_corrupt_rate(0.10, 31);
+  std::string data(16000, 'c');
+  std::string got;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    got = read_stream(f.rt(1), c, data.size());
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(c));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+    f.tcp(0).send(c, stage_msg(scratch, f.rt(0), data));
+  });
+  f.sys.net().run_until(sim::sec(10));
+  EXPECT_EQ(got, data);
+}
+
+TEST(TcpTest, BidirectionalStreams) {
+  TcpFixture f;
+  std::string a2b(5000, 'x'), b2a(7000, 'y');
+  std::string got_at_b, got_at_a;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    core::Mailbox& scratch = f.rt(1).create_mailbox("tx1");
+    f.tcp(1).send(c, stage_msg(scratch, f.rt(1), b2a));
+    got_at_b = read_stream(f.rt(1), c, a2b.size());
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(c));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx0");
+    f.tcp(0).send(c, stage_msg(scratch, f.rt(0), a2b));
+    got_at_a = read_stream(f.rt(0), c, b2a.size());
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got_at_b, a2b);
+  EXPECT_EQ(got_at_a, b2a);
+}
+
+TEST(TcpTest, GracefulCloseDeliversEof) {
+  TcpFixture f;
+  bool got_eof = false;
+  TcpConnection* server = nullptr;
+  f.rt(1).fork_app("server", [&] {
+    server = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(server);
+    core::Message m = server->receive_mailbox().begin_get();
+    got_eof = (m.len == 0);
+    server->receive_mailbox().end_get(m);
+  });
+  TcpConnection* client = nullptr;
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    client = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(client));
+    f.tcp(0).close(client);
+  });
+  f.sys.net().run_until(sim::sec(1));
+  EXPECT_TRUE(got_eof);
+  EXPECT_TRUE(server->remote_closed());
+  // Client went FIN_WAIT_1 -> FIN_WAIT_2 (server hasn't closed its side).
+  EXPECT_EQ(client->state(), TcpConnection::State::FinWait2);
+}
+
+TEST(TcpTest, FullCloseBothSidesReachesClosed) {
+  TcpFixture f;
+  TcpConnection* server = nullptr;
+  TcpConnection* client = nullptr;
+  f.rt(1).fork_app("server", [&] {
+    server = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(server);
+    // Wait for client FIN (EOF marker), then close our side.
+    core::Message m = server->receive_mailbox().begin_get();
+    server->receive_mailbox().end_get(m);
+    f.tcp(1).close(server);
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    client = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(client));
+    f.tcp(0).close(client);
+  });
+  f.sys.net().run_until(sim::sec(2));
+  EXPECT_EQ(server->state(), TcpConnection::State::Closed);
+  // Client passed through TIME_WAIT and fully closed after 2*MSL.
+  EXPECT_EQ(client->state(), TcpConnection::State::Closed);
+}
+
+TEST(TcpTest, DataToClosedPortGetsReset) {
+  TcpFixture f;
+  TcpConnection* client = nullptr;
+  f.rt(0).fork_app("client", [&] {
+    client = f.tcp(0).connect(5000, ip_of_node(1), 4444);  // nobody listening
+    f.tcp(0).wait_established(client);
+  });
+  f.sys.net().run_until(sim::sec(1));
+  EXPECT_TRUE(client->reset());
+  EXPECT_TRUE(client->closed());
+  EXPECT_GE(f.tcp(1).resets_sent(), 1u);
+}
+
+TEST(TcpTest, ChecksumOffStillDeliversOnCleanWire) {
+  TcpConfig cfg;
+  cfg.software_checksum = false;  // the "TCP w/o checksum" configuration (§6.2)
+  TcpFixture f(cfg);
+  std::string data(10000, 'n');
+  std::string got;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    got = read_stream(f.rt(1), c, data.size());
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(c));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+    f.tcp(0).send(c, stage_msg(scratch, f.rt(0), data));
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, data);
+}
+
+TEST(TcpTest, ChecksumCostShowsUpInTransferTime) {
+  // The same transfer with and without software checksumming: the checksum
+  // run must be measurably slower (this is the Fig. 7 mechanism).
+  auto run_transfer = [](bool checksum) {
+    TcpConfig cfg;
+    cfg.software_checksum = checksum;
+    TcpFixture f(cfg);
+    std::string data(64 * 1024, 'k');
+    sim::SimTime done_at = 0;
+    f.rt(1).fork_app("server", [&] {
+      TcpConnection* c = f.tcp(1).listen(80);
+      f.tcp(1).wait_established(c);
+      std::string got = read_stream(f.rt(1), c, data.size());
+      done_at = f.sys.engine().now();
+    });
+    f.rt(0).fork_app("client", [&] {
+      f.rt(0).cpu().sleep_for(sim::usec(100));
+      TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+      f.tcp(0).wait_established(c);
+      core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+      f.tcp(0).send(c, stage_msg(scratch, f.rt(0), data));
+    });
+    f.sys.engine().run();
+    return done_at;
+  };
+  sim::SimTime with = run_transfer(true);
+  sim::SimTime without = run_transfer(false);
+  EXPECT_GT(with, without + sim::msec(1));
+}
+
+TEST(TcpTest, SendRequestMailboxInlinePath) {
+  // §4.2: "A user wishing to send data ... places a request in the TCP
+  // send-request mailbox", data inline after the request header.
+  TcpFixture f;
+  std::string got;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    got = read_stream(f.rt(1), c, 9);
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(c));
+    core::Mailbox& req_mb = f.tcp(0).send_request_mailbox();
+    core::Message req = req_mb.begin_put(16 + 9);
+    hw::CabMemory& mem = f.rt(0).board().memory();
+    mem.write32(req.data, c->id());
+    mem.write32(req.data + 4, Tcp::kSendReqInline);
+    mem.write32(req.data + 8, 0);
+    mem.write32(req.data + 12, 0);
+    const char* s = "inline-tx";
+    mem.write(req.data + 16,
+              std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s), 9));
+    req_mb.end_put(req);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, "inline-tx");
+}
+
+TEST(TcpTest, RttEstimatorTracksNetworkDelay) {
+  TcpFixture f;
+  TcpConnection* client = nullptr;
+  std::string data(30000, 'e');
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    read_stream(f.rt(1), c, data.size());
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    client = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(client));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+    f.tcp(0).send(client, stage_msg(scratch, f.rt(0), data));
+    f.tcp(0).wait_drained(client);
+  });
+  f.sys.engine().run();
+  // SRTT converged to something LAN-plausible: above zero, below 100 ms.
+  EXPECT_GT(client->srtt(), 0);
+  EXPECT_LT(client->srtt(), sim::msec(100));
+}
+
+TEST(TcpTest, SmallMtuForcesManySegments) {
+  TcpFixture f({}, /*mtu=*/576);
+  std::string data(10000, 's');
+  std::string got;
+  f.rt(1).fork_app("server", [&] {
+    TcpConnection* c = f.tcp(1).listen(80);
+    f.tcp(1).wait_established(c);
+    got = read_stream(f.rt(1), c, data.size());
+  });
+  f.rt(0).fork_app("client", [&] {
+    f.rt(0).cpu().sleep_for(sim::usec(100));
+    TcpConnection* c = f.tcp(0).connect(5000, ip_of_node(1), 80);
+    ASSERT_TRUE(f.tcp(0).wait_established(c));
+    core::Mailbox& scratch = f.rt(0).create_mailbox("tx");
+    f.tcp(0).send(c, stage_msg(scratch, f.rt(0), data));
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, data);
+  EXPECT_GE(f.tcp(0).segments_sent(), 10000u / 536u);
+}
+
+}  // namespace
+}  // namespace nectar::proto

@@ -1,0 +1,174 @@
+#include "proto/udp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/system.hpp"
+
+namespace nectar::proto {
+namespace {
+
+std::string read_bytes(core::CabRuntime& rt, const core::Message& m) {
+  std::vector<std::uint8_t> buf(m.len);
+  rt.board().memory().read(m.data, buf);
+  return {buf.begin(), buf.end()};
+}
+
+core::Message stage_msg(core::Mailbox& mb, core::CabRuntime& rt, const std::string& s) {
+  core::Message m = mb.begin_put(static_cast<std::uint32_t>(s.size()));
+  rt.board().memory().write(m.data, std::span<const std::uint8_t>(
+                                        reinterpret_cast<const std::uint8_t*>(s.data()),
+                                        s.size()));
+  return m;
+}
+
+struct UdpFixture {
+  net::NectarSystem sys{2};
+  core::Mailbox& port_rx;
+
+  UdpFixture() : port_rx(sys.runtime(1).create_mailbox("udp-port-7")) {
+    sys.stack(1).udp.bind(7, &port_rx);
+  }
+
+  void send(const std::string& payload, std::uint16_t dst_port = 7) {
+    sys.runtime(0).fork_system("sender", [this, payload, dst_port] {
+      core::Mailbox& scratch = sys.runtime(0).create_mailbox("scratch");
+      core::Message m = stage_msg(scratch, sys.runtime(0), payload);
+      sys.stack(0).udp.send(1234, ip_of_node(1), dst_port, m);
+    });
+  }
+};
+
+TEST(UdpTest, DatagramDeliveredToBoundPort) {
+  UdpFixture f;
+  std::string got;
+  Udp::DatagramInfo info;
+  f.send("udp-payload");
+  f.sys.runtime(1).fork_system("recv", [&] {
+    core::Message m = f.port_rx.begin_get();
+    info = f.sys.stack(1).udp.info_of(m);
+    core::Message payload = Udp::payload_of(m);
+    got = read_bytes(f.sys.runtime(1), payload);
+    f.port_rx.end_get(payload);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, "udp-payload");
+  EXPECT_EQ(info.src_addr, ip_of_node(0));
+  EXPECT_EQ(info.src_port, 1234);
+  EXPECT_EQ(info.dst_port, 7);
+  EXPECT_EQ(info.payload_len, 11u);
+  EXPECT_EQ(f.sys.stack(1).udp.datagrams_delivered(), 1u);
+}
+
+TEST(UdpTest, UnboundPortDropped) {
+  UdpFixture f;
+  f.send("nobody", 9999);
+  f.sys.engine().run();
+  EXPECT_EQ(f.sys.stack(1).udp.dropped_no_port(), 1u);
+  EXPECT_EQ(f.port_rx.queued(), 0u);
+}
+
+TEST(UdpTest, UnbindStopsDelivery) {
+  UdpFixture f;
+  f.sys.stack(1).udp.unbind(7);
+  f.send("late");
+  f.sys.engine().run();
+  EXPECT_EQ(f.sys.stack(1).udp.dropped_no_port(), 1u);
+}
+
+TEST(UdpTest, ChecksumProtectsPayload) {
+  // Flip bytes *after* the datalink CRC is bypassed: simulate by corrupting
+  // memory between checksum computation and verification is not possible in
+  // this model, so instead verify that a valid checksum passes and that the
+  // checksum field is nonzero on the wire.
+  UdpFixture f;
+  std::string got;
+  f.send("checksummed");
+  f.sys.runtime(1).fork_system("recv", [&] {
+    core::Message m = f.port_rx.begin_get();
+    UdpHeader uh = UdpHeader::parse(
+        f.sys.runtime(1).board().memory().view(m.data + IpHeader::kSize, UdpHeader::kSize));
+    EXPECT_NE(uh.checksum, 0);  // checksum was computed and transmitted
+    got = read_bytes(f.sys.runtime(1), Udp::payload_of(m));
+    f.port_rx.end_get(m);
+  });
+  f.sys.engine().run();
+  EXPECT_EQ(got, "checksummed");
+  EXPECT_EQ(f.sys.stack(1).udp.dropped_bad_checksum(), 0u);
+}
+
+TEST(UdpTest, RequestReplyBetweenNodes) {
+  net::NectarSystem sys(2);
+  core::Mailbox& server_rx = sys.runtime(1).create_mailbox("server");
+  core::Mailbox& client_rx = sys.runtime(0).create_mailbox("client");
+  sys.stack(1).udp.bind(53, &server_rx);
+  sys.stack(0).udp.bind(1111, &client_rx);
+
+  // Server: reverse the payload and send it back.
+  sys.runtime(1).fork_system("server", [&] {
+    core::Message m = server_rx.begin_get();
+    auto info = sys.stack(1).udp.info_of(m);
+    core::Message payload = Udp::payload_of(m);
+    std::string req = read_bytes(sys.runtime(1), payload);
+    std::string rsp(req.rbegin(), req.rend());
+    core::Mailbox& scratch = sys.runtime(1).create_mailbox("scratch");
+    core::Message out = stage_msg(scratch, sys.runtime(1), rsp);
+    sys.stack(1).udp.send(53, info.src_addr, info.src_port, out);
+    server_rx.end_get(payload);
+  });
+
+  std::string reply;
+  sys.runtime(0).fork_system("client", [&] {
+    core::Mailbox& scratch = sys.runtime(0).create_mailbox("scratch0");
+    core::Message m = stage_msg(scratch, sys.runtime(0), "hello");
+    sys.stack(0).udp.send(1111, ip_of_node(1), 53, m);
+    core::Message r = client_rx.begin_get();
+    reply = read_bytes(sys.runtime(0), Udp::payload_of(r));
+    client_rx.end_get(r);
+  });
+  sys.engine().run();
+  EXPECT_EQ(reply, "olleh");
+}
+
+TEST(UdpTest, LargeDatagramFragmentsTransparently) {
+  net::NectarSystem sys(2, false, {}, /*mtu=*/1500);
+  core::Mailbox& rx = sys.runtime(1).create_mailbox("rx");
+  sys.stack(1).udp.bind(7, &rx);
+  std::string big;
+  for (int i = 0; i < 6000; ++i) big.push_back(static_cast<char>('A' + i % 23));
+  std::string got;
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& scratch = sys.runtime(0).create_mailbox("s");
+    core::Message m = stage_msg(scratch, sys.runtime(0), big);
+    sys.stack(0).udp.send(5, ip_of_node(1), 7, m);
+  });
+  sys.runtime(1).fork_system("recv", [&] {
+    core::Message m = rx.begin_get();
+    got = read_bytes(sys.runtime(1), Udp::payload_of(m));
+    rx.end_get(m);
+  });
+  sys.engine().run();
+  EXPECT_GT(sys.stack(0).ip.fragments_sent(), 1u);
+  EXPECT_EQ(got, big);  // checksum still verifies across reassembly
+  EXPECT_EQ(sys.stack(1).udp.dropped_bad_checksum(), 0u);
+}
+
+TEST(UdpTest, ManyDatagramsKeepOrderPerSender) {
+  UdpFixture f;
+  std::vector<std::string> got;
+  for (int i = 0; i < 8; ++i) f.send("m" + std::to_string(i));
+  f.sys.runtime(1).fork_system("recv", [&] {
+    for (int i = 0; i < 8; ++i) {
+      core::Message m = f.port_rx.begin_get();
+      got.push_back(read_bytes(f.sys.runtime(1), Udp::payload_of(m)));
+      f.port_rx.end_get(m);
+    }
+  });
+  f.sys.engine().run();
+  ASSERT_EQ(got.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], "m" + std::to_string(i));
+}
+
+}  // namespace
+}  // namespace nectar::proto

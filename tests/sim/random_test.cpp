@@ -1,0 +1,71 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nectar::sim {
+namespace {
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Random, NextBelowStaysInRange) {
+  Random r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Random, NextRangeInclusive) {
+  Random r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Random r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // rough uniformity check
+}
+
+TEST(Random, ChanceRespectsProbability) {
+  Random r(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.1) ? 1 : 0;
+  EXPECT_NEAR(hits, 1000, 150);
+  Random r2(14);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(r2.chance(0.0));
+}
+
+TEST(Random, ZeroSeedStillWorks) {
+  Random r(0);
+  EXPECT_NE(r.next_u64(), r.next_u64());
+}
+
+}  // namespace
+}  // namespace nectar::sim

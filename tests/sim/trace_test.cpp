@@ -1,0 +1,73 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace nectar::sim {
+namespace {
+
+TEST(Trace, MarksRecordSimulatedTime) {
+  Engine e;
+  TraceRecorder tr(e);
+  e.schedule_at(100, [&] { tr.mark("a"); });
+  e.schedule_at(250, [&] { tr.mark("b"); });
+  e.run();
+  EXPECT_EQ(tr.mark_time("a"), 100);
+  EXPECT_EQ(tr.mark_time("b"), 250);
+  EXPECT_EQ(tr.mark_time("missing"), -1);
+}
+
+TEST(Trace, SpansMeasureDurations) {
+  Engine e;
+  TraceRecorder tr(e);
+  e.schedule_at(10, [&] { tr.begin("work"); });
+  e.schedule_at(70, [&] { tr.end("work"); });
+  e.run();
+  ASSERT_EQ(tr.spans().size(), 1u);
+  EXPECT_EQ(tr.spans()[0].duration(), 60);
+  EXPECT_EQ(tr.span_total("work"), 60);
+}
+
+TEST(Trace, RepeatedSpansAccumulate) {
+  Engine e;
+  TraceRecorder tr(e);
+  for (SimTime t = 0; t < 100; t += 20) {
+    e.schedule_at(t, [&] { tr.begin("op"); });
+    e.schedule_at(t + 5, [&] { tr.end("op"); });
+  }
+  e.run();
+  EXPECT_EQ(tr.span_total("op"), 25);
+  EXPECT_EQ(tr.spans().size(), 5u);
+}
+
+TEST(Trace, EndWithoutBeginThrows) {
+  Engine e;
+  TraceRecorder tr(e);
+  EXPECT_THROW(tr.end("never-opened"), std::logic_error);
+}
+
+TEST(Trace, DisabledRecorderIgnoresEverything) {
+  Engine e;
+  TraceRecorder tr(e);
+  tr.set_enabled(false);
+  tr.mark("x");
+  tr.begin("y");
+  tr.end("y");  // no throw: disabled
+  EXPECT_TRUE(tr.marks().empty());
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Trace, ClearResets) {
+  Engine e;
+  TraceRecorder tr(e);
+  tr.mark("m");
+  tr.begin("s");
+  tr.end("s");
+  tr.clear();
+  EXPECT_TRUE(tr.marks().empty());
+  EXPECT_TRUE(tr.spans().empty());
+}
+
+}  // namespace
+}  // namespace nectar::sim
