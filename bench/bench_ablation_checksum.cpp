@@ -46,10 +46,12 @@ double tcp_transfer_usec_per_msg(std::size_t size, bool checksum, int n) {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Ablation: the cost of software checksums in TCP (paper §6.2)");
 
+  nectar::obs::RunReport report("ablation-checksum");
   std::printf("%8s %14s %14s %12s %14s\n", "size", "with cksum", "w/o cksum", "delta us",
               "model 2x cksum");
   for (std::size_t size : {64, 256, 1024, 4096, 8192}) {
@@ -61,11 +63,16 @@ int main() {
                        static_cast<double>(nectar::sim::costs::kChecksumPerByte) / 1000.0;
     std::printf("%8zu %11.1f us %11.1f us %9.1f us %11.1f us\n", size, with, without,
                 with - without, predicted);
+    std::string sz = std::to_string(size);
+    report.add("with_cksum_" + sz, with, "us/msg");
+    report.add("without_cksum_" + sz, without, "us/msg");
+    report.add("predicted_delta_" + sz, predicted, "us/msg");
   }
   std::printf(
       "\nThe measured delta tracks the model's two checksum passes per segment\n"
       "until pipelining hides part of the cost; this is the entire mechanism\n"
       "separating TCP/IP from RMP in Fig. 7 (\"mostly due to the cost of doing\n"
       "TCP checksums in software\", §6.2).\n");
+  finish_report(opts, report);
   return 0;
 }

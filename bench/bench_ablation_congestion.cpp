@@ -62,24 +62,33 @@ Run transfer(bool cc, double drop, std::size_t mtu) {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Ablation: TCP congestion control extension (off in the 1990 stack)");
 
+  nectar::obs::RunReport report("ablation-congestion");
   std::printf("%22s %12s %12s %8s %10s\n", "scenario", "plain 1990", "with CC", "retx",
               "fast-retx");
   struct Case {
     const char* name;
+    const char* slug;
     double drop;
     std::size_t mtu;
   };
-  for (const Case& c : {Case{"quiet LAN, 9K MTU", 0.0, 9216}, Case{"2% loss, 1500 MTU", 0.02, 1500},
-                        Case{"5% loss, 1500 MTU", 0.05, 1500}}) {
+  for (const Case& c : {Case{"quiet LAN, 9K MTU", "quiet", 0.0, 9216},
+                        Case{"2% loss, 1500 MTU", "loss2", 0.02, 1500},
+                        Case{"5% loss, 1500 MTU", "loss5", 0.05, 1500}}) {
     Run plain = transfer(false, c.drop, c.mtu);
     Run cc = transfer(true, c.drop, c.mtu);
     std::printf("%22s %9.2f Mb %9.2f Mb %8llu %10llu\n", c.name, plain.mbit, cc.mbit,
                 static_cast<unsigned long long>(cc.retx),
                 static_cast<unsigned long long>(cc.fast_retx));
+    std::string s = c.slug;
+    report.add("plain_" + s, plain.mbit, "Mbit/s");
+    report.add("cc_" + s, cc.mbit, "Mbit/s");
+    report.add("cc_retx_" + s, static_cast<double>(cc.retx), "count");
+    report.add("cc_fast_retx_" + s, static_cast<double>(cc.fast_retx), "count");
   }
   std::printf(
       "\nOn the quiet LAN the extension changes nothing — the paper's stack was\n"
@@ -87,5 +96,6 @@ int main() {
       "throughput the bare stack keeps; at heavier loss the bare stack\n"
       "collapses into serial RTO stalls while fast retransmit keeps the pipe\n"
       "flowing (an order of magnitude apart at 5%%).\n");
+  finish_report(opts, report);
   return 0;
 }

@@ -110,10 +110,12 @@ double handoff_usec(bool use_enqueue, std::uint32_t size) {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Ablation: mailbox implementation choices (paper §3.3)");
 
+  nectar::obs::RunReport report("ablation-mailbox");
   double shared = shared_memory_op_usec();
   double rpc = rpc_op_usec();
   std::printf("host mailbox put+get cycle, shared memory : %7.1f us/op\n", shared);
@@ -127,13 +129,21 @@ int main() {
   std::printf("CAB put+get cycle, 1 KB (heap alloc/free) : %7.1f us/op\n", heap);
   std::printf("  -> small-buffer cache saves %.1f us/op (§3.3)\n\n", heap - cached);
 
+  report.add("host_shared_memory", shared, "us/op");
+  report.add("host_rpc", rpc, "us/op");
+  report.add("cab_cycle_cached_64", cached, "us/op");
+  report.add("cab_cycle_heap_1024", heap, "us/op");
   for (std::uint32_t size : {256u, 4096u}) {
     double enq = handoff_usec(true, size);
     double cpy = handoff_usec(false, size);
     std::printf("hand-off %4u B: Enqueue %7.1f us vs copy %7.1f us  (%.1fx)\n", size, enq, cpy,
                 cpy / enq);
+    std::string sz = std::to_string(size);
+    report.add("handoff_enqueue_" + sz, enq, "us/op");
+    report.add("handoff_copy_" + sz, cpy, "us/op");
   }
   std::printf("  -> Enqueue's advantage grows with message size: it is why IP's\n"
               "     hand-off to TCP/UDP copies nothing (§4.1).\n");
+  finish_report(opts, report);
   return 0;
 }

@@ -91,8 +91,9 @@ Result cab_marshals() {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Ablation: presentation-layer marshaling offload (paper §5.3)");
 
   Result host_side = host_marshals();
@@ -108,5 +109,11 @@ int main() {
               "     moves raw bytes; the presentation layer runs on the CAB.\n",
               host_side.host_cpu_ms - cab_side.host_cpu_ms,
               100.0 * (host_side.host_cpu_ms - cab_side.host_cpu_ms) / host_side.host_cpu_ms);
+  nectar::obs::RunReport report("ablation-marshal");
+  report.add("host_marshal_host_cpu", host_side.host_cpu_ms, "ms");
+  report.add("host_marshal_elapsed", host_side.elapsed_ms, "ms");
+  report.add("cab_marshal_host_cpu", cab_side.host_cpu_ms, "ms");
+  report.add("cab_marshal_elapsed", cab_side.elapsed_ms, "ms");
+  finish_report(opts, report);
   return 0;
 }

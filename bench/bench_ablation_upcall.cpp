@@ -96,8 +96,9 @@ std::pair<double, double> host_wait(bool poll) {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Ablation: upcalls vs threads; polling vs blocking (paper §3)");
 
   double up = upcall_server_usec();
@@ -115,5 +116,13 @@ int main() {
               block_cpu);
   std::printf("  -> polling wakes faster but burns the host CPU on the VME bus;\n"
               "     blocking frees the CPU at the cost of interrupt + reschedule (§3.2).\n");
+  nectar::obs::RunReport report("ablation-upcall");
+  report.add("upcall_server", up, "us/request");
+  report.add("thread_server", th, "us/request");
+  report.add("poll_wake_latency", poll_lat, "us");
+  report.add("poll_host_cpu", poll_cpu, "us");
+  report.add("block_wake_latency", block_lat, "us");
+  report.add("block_host_cpu", block_cpu, "us");
+  finish_report(opts, report);
   return 0;
 }

@@ -20,10 +20,11 @@ struct Breakdown {
   double total;
 };
 
-Breakdown measure() {
+Breakdown measure(const std::string& trace_path, obs::Snapshot* metrics_out) {
   net::NectarSystem sys(2, /*with_vme=*/true);
   host::HostNode h0(sys, 0), h1(sys, 1);
   sim::TraceRecorder& tr = sys.net().trace();
+  if (!trace_path.empty()) sys.tracer().set_enabled(true);
 
   core::MailboxAddr svc_addr{};
   bool ready = false;
@@ -93,17 +94,21 @@ Breakdown measure() {
   (void)copied;
   (void)got;
   b.total = sim::to_usec(read_done - t0);
+  finish_trace(trace_path, sys.tracer());
+  if (metrics_out != nullptr) *metrics_out = sys.metrics().snapshot();
   return b;
 }
 
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Figure 6: one-way host-to-host datagram latency breakdown (64 bytes)");
 
-  Breakdown b = measure();
+  nectar::obs::Snapshot metrics;
+  Breakdown b = measure(opts.trace_path, &metrics);
   std::printf("%-46s %8.1f us\n", "host: create message (begin_put)", b.host_create);
   std::printf("%-46s %8.1f us\n", "host-CAB iface, sender (VME copy+end_put+signal)", b.iface_sender);
   std::printf("%-46s %8.1f us\n", "CAB-to-CAB (wakeup + protocol + wire + deliver)", b.cab_to_cab);
@@ -118,5 +123,16 @@ int main() {
   std::printf("  CAB-to-CAB         : %5.1f us  (%4.1f%%)\n", b.cab_to_cab,
               100 * b.cab_to_cab / b.total);
   std::printf("  host processing    : %5.1f us  (%4.1f%%)\n", host, 100 * host / b.total);
+
+  nectar::obs::RunReport report("fig6-breakdown");
+  report.param("message_bytes", static_cast<std::int64_t>(kMsgSize));
+  report.add("host_create", b.host_create, "us");
+  report.add("iface_sender", b.iface_sender, "us");
+  report.add("cab_to_cab", b.cab_to_cab, "us");
+  report.add("iface_receiver", b.iface_receiver, "us");
+  report.add("host_read", b.host_read, "us");
+  report.add("total_one_way", b.total, "us");
+  report.attach_metrics(metrics);
+  finish_report(opts, report);
   return 0;
 }

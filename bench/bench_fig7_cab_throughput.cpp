@@ -88,10 +88,12 @@ double tcp_throughput(std::size_t size, bool checksum) {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Figure 7: CAB-to-CAB throughput vs message size (Mbit/s)");
 
+  nectar::obs::RunReport report("fig7-cab-throughput");
   std::printf("%8s %10s %14s %10s %10s\n", "size", "TCP/IP", "TCP w/o cksum", "RMP",
               "RMP x2?");
   double prev_rmp = 0;
@@ -102,10 +104,15 @@ int main() {
     std::printf("%8zu %10.2f %14.2f %10.2f %9.2fx\n", size, tcp, tcp_nock, rmp,
                 prev_rmp > 0 ? rmp / prev_rmp : 0.0);
     prev_rmp = rmp;
+    std::string sz = std::to_string(size);
+    report.add("tcp_" + sz, tcp, "Mbit/s");
+    report.add("tcp_nocksum_" + sz, tcp_nock, "Mbit/s");
+    report.add("rmp_" + sz, rmp, "Mbit/s");
   }
   std::printf(
       "\nShape checks (paper): RMP ~90 Mbit/s at 8 KB; TCP w/o checksum almost\n"
       "matches RMP; TCP/IP trails because of software checksums; below 256 B\n"
       "throughput roughly doubles with message size (per-packet overhead).\n");
+  finish_report(opts, report);
   return 0;
 }

@@ -153,25 +153,35 @@ double ethernet_throughput() {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Figure 8: host-to-host throughput vs message size (Mbit/s)");
 
+  nectar::obs::RunReport report("fig8-host-throughput");
   std::printf("%8s %10s %10s\n", "size", "TCP/IP", "RMP");
   for (std::size_t size : {16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}) {
     double tcp = host_tcp_throughput(size);
     double rmp = host_rmp_throughput(size);
     std::printf("%8zu %10.2f %10.2f\n", size, tcp, rmp);
+    std::string sz = std::to_string(size);
+    report.add("tcp_" + sz, tcp, "Mbit/s");
+    report.add("rmp_" + sz, rmp, "Mbit/s");
   }
+  double netdev = netdev_throughput();
+  double ether = ethernet_throughput();
+  report.add("netdev_8192", netdev, "Mbit/s");
+  report.add("ethernet_8192", ether, "Mbit/s");
   std::printf("\nComparison points (paper §6.3):\n");
   std::printf("  %-42s %6.2f Mbit/s   (paper: 6.4)\n", "CAB as network device (protocols on host)",
-              netdev_throughput());
+              netdev);
   std::printf("  %-42s %6.2f Mbit/s   (paper: 7.2)\n", "on-board Ethernet (bypasses VME)",
-              ethernet_throughput());
+              ether);
   std::printf(
       "\nShape checks (paper): both curves flatten earlier than Fig. 7, capped\n"
       "by the ~30 Mbit/s VME bus; TCP/IP peaks around 24 Mbit/s, RMP ~28;\n"
       "netdev mode is ~4x slower than the protocol engine; Ethernet beats\n"
       "netdev mode because its interface bypasses the VME bus.\n");
+  finish_report(opts, report);
   return 0;
 }

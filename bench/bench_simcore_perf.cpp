@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <string>
+#include <vector>
+
 #include "core/cpu.hpp"
 #include "core/heap.hpp"
 #include "core/priorities.hpp"
@@ -107,4 +111,27 @@ BENCHMARK(BM_FullDatagramRoundTrip);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so this binary accepts the same `--json <path>`
+// flag as the simulated-time benches: it is translated into google-benchmark's
+// native JSON reporter flags (the report schema here is google-benchmark's,
+// not nectar-bench-report, since these are wall-clock measurements).
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::vector<std::string> storage;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (std::string(args[i]) == "--json" && i + 1 < args.size()) {
+      storage.push_back("--benchmark_out=" + std::string(args[i + 1]));
+      storage.push_back("--benchmark_out_format=json");
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      for (std::string& s : storage) args.push_back(s.data());
+      break;
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

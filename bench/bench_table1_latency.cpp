@@ -136,8 +136,9 @@ struct HostPair {
   host::HostNode h1{sys, 1};
 };
 
-double host_datagram_rtt() {
+double host_datagram_rtt(const std::string& trace_path = "") {
   HostPair p;
+  if (!trace_path.empty()) p.sys.tracer().set_enabled(true);
   core::MailboxAddr svc_addr{};
   bool ready = false;
   p.h1.host.run_process("echo", [&] {
@@ -169,6 +170,7 @@ double host_datagram_rtt() {
     }
   });
   p.sys.net().run_until(sim::sec(5));
+  finish_trace(trace_path, p.sys.tracer());
   return median_usec(rtts);
 }
 
@@ -280,8 +282,9 @@ double host_udp_rtt() {
 }  // namespace
 }  // namespace nectar::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace nectar::bench;
+  BenchOptions opts = parse_options(argc, argv);
   print_header("Table 1: round-trip latency (usec), 64-byte messages");
 
   struct Row {
@@ -291,7 +294,7 @@ int main() {
     const char* paper;
   };
   Row rows[] = {
-      {"datagram", host_datagram_rtt(), cab_datagram_rtt(), "325 / 179"},
+      {"datagram", host_datagram_rtt(opts.trace_path), cab_datagram_rtt(), "325 / 179"},
       {"reliable message (RMP)", host_rmp_rtt(), cab_rmp_rtt(), "n/a (between dg and rr)"},
       {"request-response (RPC)", host_reqresp_rtt(), cab_reqresp_rtt(), "< 500 (RPC, host-host)"},
       {"UDP", host_udp_rtt(), cab_udp_rtt(), "n/a (slowest row)"},
@@ -303,5 +306,15 @@ int main() {
   }
   std::printf("\nShape checks: datagram is the fastest row; every Nectar-specific\n"
               "protocol beats UDP; the host-host RPC stays under 500 us.\n");
+
+  nectar::obs::RunReport report("table1-latency");
+  report.param("message_bytes", std::int64_t{64});
+  report.param("rounds", std::int64_t{kRounds});
+  const char* slug[] = {"datagram", "rmp", "reqresp", "udp"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    report.add(std::string(slug[i]) + "_host_host_rtt", rows[i].host_host, "us");
+    report.add(std::string(slug[i]) + "_cab_cab_rtt", rows[i].cab_cab, "us");
+  }
+  finish_report(opts, report);
   return 0;
 }

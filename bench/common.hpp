@@ -10,13 +10,61 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "host/node.hpp"
 #include "net/system.hpp"
+#include "obs/report.hpp"
+#include "obs/tracer.hpp"
 
 namespace nectar::bench {
+
+/// Flags every bench binary understands:
+///   --json <path>   write a machine-readable run report (obs::RunReport)
+///   --trace <path>  export a Chrome trace-event timeline of (part of) the run
+struct BenchOptions {
+  std::string json_path;
+  std::string trace_path;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      o.json_path = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      o.trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>] [--trace <path>]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Write the report if --json was given; exits non-zero on I/O failure so CI
+/// catches a silently missing report.
+inline void finish_report(const BenchOptions& o, const obs::RunReport& report) {
+  if (o.json_path.empty()) return;
+  if (!report.write(o.json_path)) {
+    std::fprintf(stderr, "error: cannot write report to %s\n", o.json_path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote %s\n", o.json_path.c_str());
+}
+
+/// Write the Chrome trace if --trace was given (no-op on an empty path).
+inline void finish_trace(const std::string& path, const obs::Tracer& tracer) {
+  if (path.empty()) return;
+  if (!tracer.write_chrome(path)) {
+    std::fprintf(stderr, "error: cannot write trace to %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%zu events)\n", path.c_str(), tracer.events().size());
+}
 
 inline std::vector<std::uint8_t> pattern(std::size_t n) {
   std::vector<std::uint8_t> v(n);

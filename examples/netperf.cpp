@@ -5,12 +5,19 @@
 // (§5.2) over TCP and RMP at a chosen message size, plus a 64-byte datagram
 // round-trip — a one-command condensation of Table 1 and Figure 8.
 //
-//   $ ./netperf [message_bytes]
+//   $ ./netperf [message_bytes] [--trace out.json]
+//
+// With --trace, the datagram round-trip run also writes a Chrome trace-event
+// timeline (host CPUs, CAB threads, VME, wire as separate tracks); open it in
+// chrome://tracing or https://ui.perfetto.dev.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "host/node.hpp"
+#include "obs/tracer.hpp"
 
 using namespace nectar;
 
@@ -88,8 +95,9 @@ double rmp_stream(std::size_t size, int n) {
          (static_cast<double>(t1 - t0) / sim::kSecond) / 1e6;
 }
 
-double datagram_rtt_usec() {
+double datagram_rtt_usec(const std::string& trace_path) {
   Pair p;
+  if (!trace_path.empty()) p.sys.tracer().set_enabled(true);
   core::MailboxAddr svc{};
   bool ready = false;
   p.h1.host.run_process("echo", [&] {
@@ -122,20 +130,38 @@ double datagram_rtt_usec() {
     }
   });
   p.sys.net().run_until(sim::sec(5));
+  if (!trace_path.empty()) {
+    if (!p.sys.tracer().write_chrome(trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path.c_str());
+      std::exit(1);
+    }
+    std::printf("  (wrote %s: %zu events)\n", trace_path.c_str(),
+                p.sys.tracer().events().size());
+  }
   return sim::to_usec(best);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t size = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8192;
+  std::string trace_path;
+  std::size_t size = 8192;
+  bool size_set = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (!size_set) {
+      size = static_cast<std::size_t>(std::atoi(argv[i]));
+      size_set = true;
+    }
+  }
   int n = size >= 4096 ? 150 : 400;
 
   std::printf("netperf: host-to-host over the Nectar protocol engine\n");
   std::printf("message size %zu bytes, %d messages per run (simulated clock)\n\n", size, n);
   std::printf("  TCP/IP stream   : %7.2f Mbit/s\n", tcp_stream(size, n));
   std::printf("  RMP stream      : %7.2f Mbit/s\n", rmp_stream(size, n));
-  std::printf("  datagram RTT    : %7.1f us (64-byte, best of 9)\n", datagram_rtt_usec());
+  std::printf("  datagram RTT    : %7.1f us (64-byte, best of 9)\n", datagram_rtt_usec(trace_path));
   std::printf("\n(the paper's testbed: ~24-28 Mbit/s streams, 325 us round trip)\n");
   return 0;
 }

@@ -5,20 +5,38 @@
 // input mailbox, and the ICMP responder running entirely as a mailbox upcall
 // (no thread is scheduled on the echoing node).
 //
-//   $ ./ping [count] [payload_bytes]
+//   $ ./ping [count] [payload_bytes] [--trace out.json]
+//
+// With --trace, a Chrome trace-event timeline of the run (CAB CPU scheduling,
+// link transmissions, protocol marks) is written; open it in chrome://tracing
+// or https://ui.perfetto.dev.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "net/system.hpp"
+#include "obs/tracer.hpp"
 
 using namespace nectar;
 
 int main(int argc, char** argv) {
-  int count = argc > 1 ? std::atoi(argv[1]) : 5;
-  std::size_t payload = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 56;
+  std::string trace_path;
+  int pos_args[2] = {5, 56};
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (npos < 2) {
+      pos_args[npos++] = std::atoi(argv[i]);
+    }
+  }
+  int count = pos_args[0];
+  std::size_t payload = static_cast<std::size_t>(pos_args[1]);
 
   net::NectarSystem sys(2);
+  if (!trace_path.empty()) sys.tracer().set_enabled(true);
   std::printf("PING 10.0.0.1 from 10.0.0.0: %zu data bytes (simulated clock)\n", payload);
 
   double total_rtt = 0;
@@ -51,5 +69,12 @@ int main(int argc, char** argv) {
   std::printf("%d packets transmitted, %d received, %.0f%% packet loss\n", count, received,
               100.0 * (count - received) / count);
   if (received > 0) std::printf("round-trip avg = %.1f us\n", total_rtt / received);
+  if (!trace_path.empty()) {
+    if (!sys.tracer().write_chrome(trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu events)\n", trace_path.c_str(), sys.tracer().events().size());
+  }
   return received == count ? 0 : 1;
 }

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace nectar::core {
 
 namespace {
@@ -41,6 +44,7 @@ void Cpu::thread_trampoline(Thread* t, const std::function<void()>& body) {
   t->state_ = Thread::State::Finished;
   for (Thread* j : t->joiners_) wake(j);
   t->joiners_.clear();
+  NECTAR_TRACE(trace_thread_out());
   current_ = nullptr;
   // Returning ends the fiber; dispatch() continues with the next thread.
 }
@@ -91,6 +95,7 @@ void Cpu::yield() {
   if (best == nullptr || best->priority() < self->priority()) return;
   self->state_ = Thread::State::Ready;
   run_queue_.push(self);
+  NECTAR_TRACE(trace_thread_out());
   current_ = nullptr;
   sim::Fiber::suspend();
 }
@@ -105,6 +110,7 @@ void Cpu::block() {
   // its stale timer.
   ++self->sleep_gen_;
   self->state_ = Thread::State::Blocked;
+  NECTAR_TRACE(trace_thread_out());
   current_ = nullptr;
   sim::Fiber::suspend();
 }
@@ -117,6 +123,7 @@ void Cpu::block_unmasked() {
   assert(irq_disable_depth_ > 0 && "block_unmasked requires the interrupt mask held");
   ++self->sleep_gen_;  // see block(): invalidates stale sleep timers
   self->state_ = Thread::State::Blocked;
+  NECTAR_TRACE(trace_thread_out());
   current_ = nullptr;
   // Drop the mask *after* marking ourselves blocked: a pending interrupt
   // delivered once we suspend can therefore wake us without a lost-wakeup
@@ -168,9 +175,11 @@ void Cpu::irq_loop() {
       IrqHandler h = std::move(irq_queue_.front());
       irq_queue_.pop_front();
       ++interrupts_taken_;
+      NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->begin(trace_track_, "irq"));
       charge(sim::costs::kInterruptEntry);
       h();
       charge(sim::costs::kInterruptExit);
+      NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->end(trace_track_, "irq"));
     }
     irq_active_ = false;
     sim::Fiber::suspend();
@@ -225,6 +234,7 @@ void Cpu::dispatch() {
       switch_target_ = nullptr;
       current_ = t;
       t->state_ = Thread::State::Running;
+      NECTAR_TRACE(trace_thread_in(t));
       resume_fiber(t->fiber_);
     } else if (irq_active_ || (!irq_queue_.empty() && irq_disable_depth_ == 0)) {
       irq_active_ = true;
@@ -238,6 +248,10 @@ void Cpu::dispatch() {
           Thread* prev = current_;
           prev->state_ = Thread::State::Ready;
           run_queue_.push(prev);
+          NECTAR_TRACE({
+            trace_instant("cpu.preempt");
+            trace_thread_out();
+          });
           current_ = nullptr;
           ++context_switches_;
           switch_target_ = run_queue_.pop_best();
@@ -255,6 +269,42 @@ void Cpu::dispatch() {
     }
     if (engine_.now() < busy_until_) return;  // the running context started a charge
   }
+}
+
+// --- observability ------------------------------------------------------------------
+
+void Cpu::attach_tracer(obs::Tracer* tracer, int track) {
+  tracer_ = tracer;
+  trace_track_ = track;
+  thread_span_open_ = false;
+}
+
+void Cpu::trace_thread_in(Thread* t) {
+  if (!obs::tracing(tracer_)) return;
+  tracer_->begin(trace_track_, t->name());
+  thread_span_open_ = true;
+}
+
+void Cpu::trace_thread_out() {
+  // thread_span_open_ guards against a tracer enabled mid-run: the first
+  // scheduling-out after enable has no matching begin to close.
+  if (!obs::tracing(tracer_) || !thread_span_open_ || current_ == nullptr) return;
+  tracer_->end(trace_track_, current_->name());
+  thread_span_open_ = false;
+}
+
+void Cpu::trace_instant(const char* label) {
+  if (obs::tracing(tracer_)) tracer_->instant(trace_track_, label);
+}
+
+void Cpu::register_metrics(obs::Registration& reg, int node, const std::string& component) const {
+  reg.probe(node, component, "context_switches",
+            [this] { return static_cast<std::int64_t>(context_switches_); });
+  reg.probe(node, component, "interrupts_taken",
+            [this] { return static_cast<std::int64_t>(interrupts_taken_); });
+  reg.probe(node, component, "busy_ns", [this] { return static_cast<std::int64_t>(busy_time_); });
+  reg.probe(node, component, "threads_alive",
+            [this] { return static_cast<std::int64_t>(threads_alive()); });
 }
 
 }  // namespace nectar::core

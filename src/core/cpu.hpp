@@ -13,6 +13,11 @@
 #include "sim/engine.hpp"
 #include "sim/fiber.hpp"
 
+namespace nectar::obs {
+class Tracer;
+class Registration;
+}
+
 namespace nectar::core {
 
 /// A simulated processor (the CAB's SPARC, or a host CPU) executing threads
@@ -122,6 +127,20 @@ class Cpu {
   std::size_t threads_alive() const;
   sim::SimTime context_switch_cost() const { return switch_cost_; }
 
+  // --- observability ---------------------------------------------------------
+
+  /// Emit scheduler events (thread occupancy spans, preemptions, interrupt
+  /// service spans) onto `track` of `tracer`. nullptr detaches.
+  void attach_tracer(obs::Tracer* tracer, int track);
+  obs::Tracer* tracer() const { return tracer_; }
+  int trace_track() const { return trace_track_; }
+
+  /// Expose this CPU's stats through a metrics registry as probes under
+  /// (node, component): context_switches, interrupts_taken, busy_ns,
+  /// threads_alive. Component distinguishes CAB SPARCs ("cab.cpu") from
+  /// host processors ("host.cpu").
+  void register_metrics(obs::Registration& reg, int node, const std::string& component) const;
+
  private:
   friend class Thread;
 
@@ -131,6 +150,9 @@ class Cpu {
   void resume_fiber(sim::Fiber& f);
   void begin_busy(sim::SimTime ns);
   void thread_trampoline(Thread* t, const std::function<void()>& body);
+  void trace_thread_in(Thread* t);
+  void trace_thread_out();
+  void trace_instant(const char* label);
 
   sim::Engine& engine_;
   std::string name_;
@@ -159,6 +181,10 @@ class Cpu {
   std::uint64_t context_switches_ = 0;
   std::uint64_t interrupts_taken_ = 0;
   sim::SimTime busy_time_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  int trace_track_ = -1;
+  bool thread_span_open_ = false;  // a thread-occupancy span is open on the track
 };
 
 /// RAII interrupt mask.

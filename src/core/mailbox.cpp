@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/cpu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::core {
@@ -23,6 +25,27 @@ Cpu& caller() {
 
 Mailbox::Mailbox(Cpu& home_cpu, BufferHeap& heap, std::string name, MailboxAddr addr)
     : cpu_(home_cpu), heap_(heap), name_(std::move(name)), addr_(addr) {}
+
+// Mailbox events land on the track of whichever CPU performs the operation,
+// so a host-side End_Put and the CAB-side Begin_Get show up as separate
+// swimlane rows of the same exchange.
+void Mailbox::trace_op(Cpu& c, const char* op) const {
+  obs::Tracer* t = c.tracer();
+  if (obs::tracing(t)) t->instant(c.trace_track(), name_ + "." + op);
+}
+
+void Mailbox::register_metrics(obs::Registration& reg, int node) const {
+  reg.probe(node, "mailbox", name_ + ".puts",
+            [this] { return static_cast<std::int64_t>(puts_); });
+  reg.probe(node, "mailbox", name_ + ".gets",
+            [this] { return static_cast<std::int64_t>(gets_); });
+  reg.probe(node, "mailbox", name_ + ".enqueues",
+            [this] { return static_cast<std::int64_t>(enqueues_); });
+  reg.probe(node, "mailbox", name_ + ".cache_hits",
+            [this] { return static_cast<std::int64_t>(cache_hits_); });
+  reg.probe(node, "mailbox", name_ + ".queued",
+            [this] { return static_cast<std::int64_t>(queue_.size()); });
+}
 
 std::optional<Message> Mailbox::alloc_message(std::uint32_t size) {
   if (size <= kSmallBufSize) {
@@ -60,6 +83,7 @@ std::optional<Message> Mailbox::alloc_message(std::uint32_t size) {
 Message Mailbox::begin_put(std::uint32_t size) {
   Cpu& c = caller();
   if (c.in_interrupt()) throw std::logic_error("begin_put in interrupt context: use begin_put_try");
+  NECTAR_TRACE(trace_op(c, "begin_put"));
   bool small = size <= kSmallBufSize;
   c.charge(small ? costs::kMailboxBeginPutCached : costs::kMailboxBeginPut);
   InterruptGuard g(c);
@@ -107,6 +131,7 @@ void Mailbox::publish(Message m, Cpu& c) {
 void Mailbox::end_put(Message m) {
   if (!m.valid()) throw std::logic_error("end_put: invalid message");
   Cpu& c = caller();
+  NECTAR_TRACE(trace_op(c, "end_put"));
   c.charge(costs::kMailboxEndPut);
   publish(m, c);
 }
@@ -114,6 +139,7 @@ void Mailbox::end_put(Message m) {
 Message Mailbox::begin_get() {
   Cpu& c = caller();
   if (c.in_interrupt()) throw std::logic_error("begin_get in interrupt context: use begin_get_try");
+  NECTAR_TRACE(trace_op(c, "begin_get"));
   c.charge(costs::kMailboxBeginGet);
   InterruptGuard g(c);
   while (queue_.empty()) {
@@ -155,6 +181,7 @@ void Mailbox::release_storage(const Message& m) {
 void Mailbox::end_get(Message m) {
   if (!m.valid()) throw std::logic_error("end_get: invalid message");
   Cpu& c = caller();
+  NECTAR_TRACE(trace_op(c, "end_get"));
   c.charge(costs::kMailboxEndGet);
   release_storage(m);
 }
@@ -162,6 +189,7 @@ void Mailbox::end_get(Message m) {
 void Mailbox::enqueue(Message m, Mailbox& dst) {
   if (!m.valid()) throw std::logic_error("enqueue: invalid message");
   Cpu& c = caller();
+  NECTAR_TRACE(trace_op(c, "enqueue"));
   // §3.3: Enqueue "moves the message without copying the data ... by simply
   // moving pointers."
   c.charge(costs::kMailboxEnqueue);

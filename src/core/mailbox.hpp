@@ -9,6 +9,10 @@
 #include "core/heap.hpp"
 #include "hw/memory.hpp"
 
+namespace nectar::obs {
+class Registration;
+}
+
 namespace nectar::core {
 
 class Cpu;
@@ -124,10 +128,15 @@ class Mailbox {
   std::uint64_t enqueues() const { return enqueues_; }
   std::uint64_t cache_hits() const { return cache_hits_; }
 
+  /// Expose this mailbox's stats as probes under (node, "mailbox",
+  /// "<name>.puts" / ".gets" / ".enqueues" / ".cache_hits" / ".queued").
+  void register_metrics(obs::Registration& reg, int node) const;
+
  private:
   std::optional<Message> alloc_message(std::uint32_t size);
   void release_storage(const Message& m);
   void publish(Message m, Cpu& caller);
+  void trace_op(Cpu& c, const char* op) const;
 
   Cpu& cpu_;  // home CPU: where the storage lives (the CAB)
   BufferHeap& heap_;

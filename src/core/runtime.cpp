@@ -2,14 +2,24 @@
 
 namespace nectar::core {
 
-CabRuntime::CabRuntime(hw::CabBoard& board, sim::TraceRecorder* trace)
+CabRuntime::CabRuntime(hw::CabBoard& board, sim::TraceRecorder* trace,
+                       obs::MetricsRegistry* metrics, obs::Tracer* tracer)
     : board_(board),
       cpu_(board.engine(), board.name() + ".cpu"),
       heap_(board.memory()),
       signals_(cpu_, board.memory(), heap_),
       cab_syncs_(board.name() + ".cab-syncs"),
       host_syncs_(board.name() + ".host-syncs"),
-      trace_(trace) {
+      trace_(trace),
+      own_metrics_(metrics == nullptr ? std::make_unique<obs::MetricsRegistry>() : nullptr),
+      metrics_(metrics != nullptr ? metrics : own_metrics_.get()),
+      tracer_(tracer),
+      metrics_reg_(*metrics_) {
+  cpu_.register_metrics(metrics_reg_, node_id(), "cab.cpu");
+  if (tracer_ != nullptr) {
+    int track = tracer_->track("node" + std::to_string(node_id()), "cab.cpu");
+    cpu_.attach_tracer(tracer_, track);
+  }
   // Start-of-packet interrupt: the input FIFO went non-empty (§4.1).
   board_.set_irq_handler(hw::CabIrq::PacketArrival, [this] {
     cpu_.post_interrupt([this] {
@@ -33,6 +43,7 @@ Mailbox& CabRuntime::create_mailbox(std::string name) {
   MailboxAddr addr{board_.node_id(), index};
   auto mb = std::make_unique<Mailbox>(cpu_, heap_, std::move(name), addr);
   Mailbox& ref = *mb;
+  ref.register_metrics(metrics_reg_, node_id());
   mailboxes_.emplace(index, std::move(mb));
   return ref;
 }

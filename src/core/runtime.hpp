@@ -13,6 +13,8 @@
 #include "core/priorities.hpp"
 #include "core/sync.hpp"
 #include "hw/cab.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/trace.hpp"
 
 namespace nectar::core {
@@ -23,7 +25,11 @@ namespace nectar::core {
 /// network-wide addresses, syncs, and the host-CAB signaling layer.
 class CabRuntime {
  public:
-  explicit CabRuntime(hw::CabBoard& board, sim::TraceRecorder* trace = nullptr);
+  /// `metrics` and `tracer` are the network-wide observability sinks; a
+  /// standalone runtime (nullptr metrics) falls back to a private registry so
+  /// register_metrics callers always have somewhere to report.
+  explicit CabRuntime(hw::CabBoard& board, sim::TraceRecorder* trace = nullptr,
+                      obs::MetricsRegistry* metrics = nullptr, obs::Tracer* tracer = nullptr);
 
   CabRuntime(const CabRuntime&) = delete;
   CabRuntime& operator=(const CabRuntime&) = delete;
@@ -61,12 +67,20 @@ class CabRuntime {
   /// FIFO goes non-empty — the start-of-packet interrupt (§3.1, §4.1).
   void set_packet_handler(std::function<void()> fn) { packet_handler_ = std::move(fn); }
 
-  // --- tracing ----------------------------------------------------------------------
+  // --- observability ----------------------------------------------------------------
 
   sim::TraceRecorder* trace() { return trace_; }
   void trace_mark(const char* label) {
     if (trace_ != nullptr) trace_->mark(label);
+    // Mirror legacy marks onto this CAB's CPU track so Figure-6 style
+    // breakdown points appear on the Chrome timeline unchanged.
+    NECTAR_TRACE(if (obs::tracing(cpu_.tracer())) cpu_.tracer()->instant(cpu_.trace_track(), label));
   }
+
+  /// The registry this node reports into (network-wide or the private
+  /// fallback).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  obs::Tracer* tracer() { return tracer_; }
 
  private:
   hw::CabBoard& board_;
@@ -77,9 +91,18 @@ class CabRuntime {
   SyncPool host_syncs_;
   sim::TraceRecorder* trace_;
 
+  // Declared before metrics_reg_ so probes unhook before the fallback
+  // registry (if used) is destroyed.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+
   std::map<std::uint32_t, std::unique_ptr<Mailbox>> mailboxes_;
   std::uint32_t next_mailbox_ = 1;
   std::function<void()> packet_handler_;
+
+  // Last member: its probes read the members above, so it must release first.
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::core

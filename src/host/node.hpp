@@ -30,7 +30,17 @@ struct HostNode {
         nin(driver),
         services(sys.runtime(node), sys.stack(node).reqresp),
         sockets(sys.runtime(node), sys.stack(node).tcp, sys.stack(node).datagram,
-                sys.stack(node).rmp, &sys.stack(node).udp, &sys.stack(node).reqresp) {}
+                sys.stack(node).rmp, &sys.stack(node).udp, &sys.stack(node).reqresp),
+        metrics_reg_(sys.net().metrics()) {
+    // The host CPU is its own swimlane next to the node's CAB/VME/wire rows.
+    obs::Tracer& tracer = sys.net().tracer();
+    host.cpu().attach_tracer(&tracer, tracer.track("node" + std::to_string(node), "host.cpu"));
+    host.cpu().register_metrics(metrics_reg_, node, "host.cpu");
+  }
+
+ private:
+  // Last member: its probes read host.cpu, which must still exist on release.
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::host

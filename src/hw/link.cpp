@@ -3,6 +3,9 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace nectar::hw {
 
 FiberLink::FiberLink(sim::Engine& engine, std::string name, double bits_per_sec,
@@ -45,6 +48,13 @@ void FiberLink::try_start() {
   ++frames_sent_;
   bytes_sent_ += f.wire_bytes();
 
+  // The head serializes one frame at a time, so explicit-stamp spans on the
+  // wire track never overlap.
+  NECTAR_TRACE(if (obs::tracing(tracer_)) {
+    tracer_->begin_at(trace_track_, "link.tx", engine_.now());
+    tracer_->end_at(trace_track_, "link.tx", engine_.now() + ttime);
+  });
+
   // The link head frees once the last byte leaves the transmitter.
   engine_.schedule_in(ttime, [this, on_sent = std::move(on_sent)] {
     transmitting_ = false;
@@ -54,6 +64,7 @@ void FiberLink::try_start() {
 
   if (drop_rate_ > 0 && drop_rng_.chance(drop_rate_)) {
     ++frames_dropped_;  // the frame evaporates mid-flight
+    NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->instant(trace_track_, "link.drop"));
     return;
   }
 
@@ -65,6 +76,7 @@ void FiberLink::try_start() {
     }
     f.corrupted = true;
     ++frames_corrupted_;
+    NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->instant(trace_track_, "link.corrupt"));
   }
 
   engine_.schedule_at(first, [this, f = std::move(f), first, last]() mutable {
@@ -80,6 +92,22 @@ void FiberLink::deliver(Frame&& f, sim::SimTime first, sim::SimTime last) {
     blocked_.emplace(std::move(f));
     blocked_span_ = last - first;
   }
+}
+
+void FiberLink::attach_tracer(obs::Tracer* tracer, int track) {
+  tracer_ = tracer;
+  trace_track_ = track;
+}
+
+void FiberLink::register_metrics(obs::Registration& reg, int node) const {
+  reg.probe(node, "link", name_ + ".frames_sent",
+            [this] { return static_cast<std::int64_t>(frames_sent_); });
+  reg.probe(node, "link", name_ + ".bytes_sent",
+            [this] { return static_cast<std::int64_t>(bytes_sent_); });
+  reg.probe(node, "link", name_ + ".frames_corrupted",
+            [this] { return static_cast<std::int64_t>(frames_corrupted_); });
+  reg.probe(node, "link", name_ + ".frames_dropped",
+            [this] { return static_cast<std::int64_t>(frames_dropped_); });
 }
 
 void FiberLink::on_drain() {

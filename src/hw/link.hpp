@@ -11,6 +11,11 @@
 #include "sim/engine.hpp"
 #include "sim/random.hpp"
 
+namespace nectar::obs {
+class Tracer;
+class Registration;
+}
+
 namespace nectar::hw {
 
 /// Unidirectional fiber-optic link segment (paper §2.1: 100 Mbit/s).
@@ -44,6 +49,14 @@ class FiberLink {
   std::uint64_t frames_dropped() const { return frames_dropped_; }
   std::size_t queue_depth() const { return queue_.size(); }
 
+  /// Emit "link.tx" serialization spans (plus drop/corrupt instants) onto
+  /// `track` — the wire swimlane of a node's timeline.
+  void attach_tracer(obs::Tracer* tracer, int track);
+
+  /// Probes under (node, "link"): "<name>.frames_sent" / ".bytes_sent" /
+  /// ".frames_corrupted" / ".frames_dropped".
+  void register_metrics(obs::Registration& reg, int node) const;
+
  private:
   void try_start();
   void deliver(Frame&& f, sim::SimTime first, sim::SimTime last);
@@ -73,6 +86,9 @@ class FiberLink {
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t frames_dropped_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  int trace_track_ = -1;
 };
 
 }  // namespace nectar::hw

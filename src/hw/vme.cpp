@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
 namespace nectar::hw {
 
 sim::SimTime VmeBus::acquire(sim::SimTime duration) {
@@ -10,17 +13,42 @@ sim::SimTime VmeBus::acquire(sim::SimTime duration) {
   return busy_until_;
 }
 
+void VmeBus::trace_span(const char* label, sim::SimTime start, sim::SimTime end) const {
+  // The bus serializes grants, so [start, end) intervals never overlap and
+  // explicit-timestamp begin/end pairs nest trivially on the track.
+  if (!obs::tracing(tracer_)) return;
+  tracer_->begin_at(trace_track_, label, start);
+  tracer_->end_at(trace_track_, label, end);
+}
+
 sim::SimTime VmeBus::programmed_access(std::size_t words) {
   words_ += words;
-  return acquire(static_cast<sim::SimTime>(words) * word_access_);
+  sim::SimTime duration = static_cast<sim::SimTime>(words) * word_access_;
+  sim::SimTime end = acquire(duration);
+  NECTAR_TRACE(trace_span("vme.pio", end - duration, end));
+  return end;
 }
 
 void VmeBus::dma_transfer(std::size_t bytes, std::function<void()> done) {
   ++dma_count_;
   dma_bytes_ += bytes;
-  sim::SimTime end = acquire(sim::costs::kVmeDmaSetup +
-                             sim::transmit_time(static_cast<std::int64_t>(bytes), dma_rate_));
+  sim::SimTime duration = sim::costs::kVmeDmaSetup +
+                          sim::transmit_time(static_cast<std::int64_t>(bytes), dma_rate_);
+  sim::SimTime end = acquire(duration);
+  NECTAR_TRACE(trace_span("vme.dma", end - duration, end));
   engine_.schedule_at(end, std::move(done));
+}
+
+void VmeBus::attach_tracer(obs::Tracer* tracer, int track) {
+  tracer_ = tracer;
+  trace_track_ = track;
+}
+
+void VmeBus::register_metrics(obs::Registration& reg, int node) const {
+  reg.probe(node, "vme", "words", [this] { return static_cast<std::int64_t>(words_); });
+  reg.probe(node, "vme", "dma_bytes", [this] { return static_cast<std::int64_t>(dma_bytes_); });
+  reg.probe(node, "vme", "dma_transfers",
+            [this] { return static_cast<std::int64_t>(dma_count_); });
 }
 
 }  // namespace nectar::hw

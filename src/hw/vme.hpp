@@ -7,6 +7,11 @@
 #include "sim/costs.hpp"
 #include "sim/engine.hpp"
 
+namespace nectar::obs {
+class Tracer;
+class Registration;
+}
+
 namespace nectar::hw {
 
 /// VME backplane connecting a host to its CAB (paper §2.2, §6).
@@ -44,8 +49,16 @@ class VmeBus {
   std::uint64_t dma_bytes() const { return dma_bytes_; }
   std::uint64_t dma_transfers() const { return dma_count_; }
 
+  /// Emit "vme.pio" / "vme.dma" occupancy spans onto `track`. Bus grants are
+  /// computed up front, so spans use explicit [start, completion] stamps.
+  void attach_tracer(obs::Tracer* tracer, int track);
+
+  /// Probes under (node, "vme"): words, dma_bytes, dma_transfers.
+  void register_metrics(obs::Registration& reg, int node) const;
+
  private:
   sim::SimTime acquire(sim::SimTime duration);
+  void trace_span(const char* label, sim::SimTime start, sim::SimTime end) const;
 
   sim::Engine& engine_;
   std::string name_;
@@ -55,6 +68,8 @@ class VmeBus {
   std::uint64_t words_ = 0;
   std::uint64_t dma_bytes_ = 0;
   std::uint64_t dma_count_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  int trace_track_ = -1;
 };
 
 }  // namespace nectar::hw

@@ -52,6 +52,8 @@ class NectarSystem {
   sim::Engine& engine() { return net_.engine(); }
   NodeStack& stack(int node) { return *stacks_.at(static_cast<std::size_t>(node)); }
   core::CabRuntime& runtime(int node) { return net_.runtime(node); }
+  obs::MetricsRegistry& metrics() { return net_.metrics(); }
+  obs::Tracer& tracer() { return net_.tracer(); }
 
  private:
   Network net_;

@@ -17,15 +17,22 @@ int Network::add_cab(int hub_id, int port, bool with_vme) {
   if (hub_id < 0 || hub_id >= hub_count()) throw std::out_of_range("Network::add_cab: bad hub");
   int node = static_cast<int>(cabs_.size());
   auto cn = std::make_unique<CabNode>();
+  std::string node_proc = "node" + std::to_string(node);
   if (with_vme) {
     cn->vme = std::make_unique<hw::VmeBus>(engine_, "vme" + std::to_string(node));
+    cn->vme->attach_tracer(&tracer_, tracer_.track(node_proc, "vme"));
+    cn->vme->register_metrics(metrics_reg_, node);
   }
   cn->board =
       std::make_unique<hw::CabBoard>(engine_, "cab" + std::to_string(node), node, cn->vme.get());
-  cn->rt = std::make_unique<core::CabRuntime>(*cn->board, &trace_);
+  cn->rt = std::make_unique<core::CabRuntime>(*cn->board, &trace_, &metrics_, &tracer_);
   cn->dl = std::make_unique<proto::Datalink>(*cn->rt);
   cn->hub = hub_id;
   cn->port = port;
+
+  // The node's outbound fiber is its "wire" swimlane.
+  cn->board->out_link().attach_tracer(&tracer_, tracer_.track(node_proc, "wire"));
+  cn->board->out_link().register_metrics(metrics_reg_, node);
 
   hw::Hub& h = hub(hub_id);
   cn->board->out_link().attach(h.input(port));

@@ -29,6 +29,12 @@ class Network {
   sim::Engine& engine() { return engine_; }
   sim::TraceRecorder& trace() { return trace_; }
 
+  /// Network-wide observability: every node's stats report into one registry,
+  /// and every node's scheduler/bus/wire events share one tracer (disabled
+  /// until Tracer::set_enabled(true)).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+
   /// Add a HUB (16x16 by default). Returns its id.
   int add_hub(int ports = 16);
   hw::Hub& hub(int id) { return *hubs_.at(static_cast<std::size_t>(id)); }
@@ -75,9 +81,15 @@ class Network {
 
   sim::Engine engine_;
   sim::TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
+  obs::Tracer tracer_{engine_};
   std::vector<std::unique_ptr<hw::Hub>> hubs_;
   std::vector<std::unique_ptr<CabNode>> cabs_;
   std::vector<Trunk> trunks_;
+
+  // Last member: holds probes reading the nodes above (VME, links), so it
+  // must release before they are destroyed.
+  obs::Registration metrics_reg_{metrics_};
 };
 
 }  // namespace nectar::net

@@ -7,8 +7,18 @@ namespace nectar::nproto {
 namespace costs = sim::costs;
 
 DatagramProtocol::DatagramProtocol(proto::Datalink& dl)
-    : dl_(dl), input_(dl.runtime().create_mailbox("datagram-input")) {
+    : dl_(dl),
+      input_(dl.runtime().create_mailbox("datagram-input")),
+      metrics_reg_(dl.runtime().metrics()) {
   dl_.register_client(proto::PacketType::NectarDatagram, this);
+
+  int node = dl_.node_id();
+  metrics_reg_.probe(node, "datagram", "datagrams_sent",
+                     [this] { return static_cast<std::int64_t>(sent_); });
+  metrics_reg_.probe(node, "datagram", "datagrams_delivered",
+                     [this] { return static_cast<std::int64_t>(delivered_); });
+  metrics_reg_.probe(node, "datagram", "dropped_no_mailbox",
+                     [this] { return static_cast<std::int64_t>(dropped_no_mailbox_); });
 }
 
 void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,

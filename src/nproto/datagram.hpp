@@ -62,6 +62,9 @@ class DatagramProtocol : public proto::DatalinkClient {
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_no_mailbox_ = 0;
+
+  // Last member: probes read the counters above, so they must unhook first.
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::nproto

@@ -10,8 +10,22 @@ namespace nectar::nproto {
 namespace costs = sim::costs;
 
 ReqResp::ReqResp(proto::Datalink& dl)
-    : dl_(dl), input_(dl.runtime().create_mailbox("reqresp-input")) {
+    : dl_(dl),
+      input_(dl.runtime().create_mailbox("reqresp-input")),
+      metrics_reg_(dl.runtime().metrics()) {
   dl_.register_client(proto::PacketType::ReqResp, this);
+
+  int node = dl_.node_id();
+  metrics_reg_.probe(node, "reqresp", "calls_sent",
+                     [this] { return static_cast<std::int64_t>(calls_); });
+  metrics_reg_.probe(node, "reqresp", "requests_delivered",
+                     [this] { return static_cast<std::int64_t>(requests_delivered_); });
+  metrics_reg_.probe(node, "reqresp", "responses_sent",
+                     [this] { return static_cast<std::int64_t>(responses_sent_); });
+  metrics_reg_.probe(node, "reqresp", "retries",
+                     [this] { return static_cast<std::int64_t>(retries_); });
+  metrics_reg_.probe(node, "reqresp", "duplicate_requests",
+                     [this] { return static_cast<std::int64_t>(dup_requests_); });
 }
 
 ReqResp::RequestInfo ReqResp::parse_request(core::CabRuntime& rt, const core::Message& m) {

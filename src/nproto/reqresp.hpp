@@ -121,6 +121,9 @@ class ReqResp : public proto::DatalinkClient {
   std::uint64_t responses_sent_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t dup_requests_ = 0;
+
+  // Last member: probes read the counters above, so they must unhook first.
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::nproto

@@ -7,8 +7,25 @@ namespace nectar::nproto {
 
 namespace costs = sim::costs;
 
-Rmp::Rmp(proto::Datalink& dl) : dl_(dl), input_(dl.runtime().create_mailbox("rmp-input")) {
+Rmp::Rmp(proto::Datalink& dl)
+    : dl_(dl),
+      input_(dl.runtime().create_mailbox("rmp-input")),
+      metrics_reg_(dl.runtime().metrics()) {
   dl_.register_client(proto::PacketType::Rmp, this);
+
+  int node = dl_.node_id();
+  metrics_reg_.probe(node, "rmp", "messages_sent",
+                     [this] { return static_cast<std::int64_t>(sent_); });
+  metrics_reg_.probe(node, "rmp", "messages_delivered",
+                     [this] { return static_cast<std::int64_t>(delivered_); });
+  metrics_reg_.probe(node, "rmp", "retransmissions",
+                     [this] { return static_cast<std::int64_t>(retransmissions_); });
+  metrics_reg_.probe(node, "rmp", "duplicates_dropped",
+                     [this] { return static_cast<std::int64_t>(dups_); });
+  metrics_reg_.probe(node, "rmp", "acks_sent",
+                     [this] { return static_cast<std::int64_t>(acks_sent_); });
+  metrics_reg_.probe(node, "rmp", "dropped_no_mailbox",
+                     [this] { return static_cast<std::int64_t>(dropped_no_mailbox_); });
 }
 
 void Rmp::send(core::MailboxAddr dst, core::Message data, bool free_when_acked,
@@ -40,6 +57,7 @@ void Rmp::transmit_head(int node) {
   h.serialize(hdr);
 
   ++sent_;
+  NECTAR_TRACE(runtime().trace_mark("rmp.xmit"));
   dl_.send(proto::PacketType::Rmp, node, std::move(hdr), p.msg.data, p.msg.len);
 
   core::Cpu& cpu = runtime().cpu();
@@ -115,6 +133,7 @@ void Rmp::send_ack(int node, std::uint16_t seq) {
   std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
   h.serialize(hdr);
   ++acks_sent_;
+  NECTAR_TRACE(runtime().trace_mark("rmp.ack"));
   dl_.send(proto::PacketType::Rmp, node, std::move(hdr), hw::kDataBase, 0);
 }
 
@@ -155,6 +174,7 @@ void Rmp::end_of_data(core::Message m, std::uint8_t src_node) {
     return;
   }
   ++delivered_;
+  NECTAR_TRACE(runtime().trace_mark("rmp.deliver"));
   ++rc.expected_seq;
   core::Message payload = core::Mailbox::adjust_prefix(m, proto::NectarHeader::kSize);
   input_.enqueue(payload, *dst);

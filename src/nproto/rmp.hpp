@@ -101,6 +101,9 @@ class Rmp : public proto::DatalinkClient {
   std::uint64_t dups_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t dropped_no_mailbox_ = 0;
+
+  // Last member: probes read the counters above, so they must unhook first.
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::nproto

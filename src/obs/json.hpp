@@ -1,0 +1,106 @@
+#pragma once
+
+// Minimal JSON document model for the observability layer: deterministic
+// serialization (objects keep insertion order, fixed number formatting) plus
+// a small strict parser so tests can round-trip exporter output without an
+// external dependency. Not a general-purpose JSON library: no comments, no
+// trailing commas, numbers limited to int64/double.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nectar::obs::json {
+
+/// Escape a string for embedding inside a JSON string literal (quotes not
+/// included).
+std::string escape(std::string_view s);
+
+/// Deterministic number formatting shared by every JSON emitter in the repo:
+/// shortest form via %.17g would leak libc differences into committed files,
+/// so we fix the precision instead.
+std::string format_double(double v);
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool b) : type_(Type::Bool), bool_(b) {}
+  Value(int i) : type_(Type::Int), int_(i) {}
+  Value(std::int64_t i) : type_(Type::Int), int_(i) {}
+  Value(std::uint64_t i) : type_(Type::Int), int_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : type_(Type::Double), dbl_(d) {}
+  Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Value(const char* s) : type_(Type::String), str_(s) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const { return type_ == Type::Double ? static_cast<std::int64_t>(dbl_) : int_; }
+  double as_double() const { return type_ == Type::Int ? static_cast<double>(int_) : dbl_; }
+  const std::string& as_string() const { return str_; }
+
+  // --- array ------------------------------------------------------------------
+  void push(Value v) { items_.push_back(std::move(v)); }
+  std::size_t size() const { return is_object() ? members_.size() : items_.size(); }
+  const Value& at(std::size_t i) const { return items_.at(i); }
+  const std::vector<Value>& items() const { return items_; }
+
+  // --- object (insertion-ordered) ----------------------------------------------
+  Value& set(std::string key, Value v) {
+    members_.emplace_back(std::move(key), std::move(v));
+    return members_.back().second;
+  }
+  /// nullptr if the key is absent.
+  const Value* find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Value>>& members() const { return members_; }
+
+  /// Serialize. indent < 0: compact single line; otherwise pretty-printed
+  /// with that many spaces per level. Output is byte-deterministic for a
+  /// given document.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse; throws std::runtime_error with offset info on malformed
+  /// input (including trailing garbage).
+  static Value parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+}  // namespace nectar::obs::json

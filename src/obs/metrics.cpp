@@ -1,0 +1,187 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace nectar::obs {
+
+// --- Histogram -----------------------------------------------------------------
+
+Histogram::Histogram(std::vector<std::int64_t> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("Histogram: bucket bounds must be ascending");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);  // +1: overflow bucket
+}
+
+void Histogram::observe(std::int64_t v) {
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+}
+
+// --- MetricsRegistry -----------------------------------------------------------
+
+Counter& MetricsRegistry::counter(int node, std::string component, std::string name) {
+  Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
+  c.kind = SnapshotEntry::Kind::Counter;
+  return c.counter;
+}
+
+Gauge& MetricsRegistry::gauge(int node, std::string component, std::string name) {
+  Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
+  c.kind = SnapshotEntry::Kind::Gauge;
+  return c.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(int node, std::string component, std::string name,
+                                      std::vector<std::int64_t> bounds) {
+  Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
+  if (c.histogram == nullptr) {
+    c.kind = SnapshotEntry::Kind::Histogram;
+    c.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *c.histogram;
+}
+
+bool MetricsRegistry::contains(int node, std::string_view component, std::string_view name) const {
+  return cells_.count(MetricKey{node, std::string(component), std::string(name)}) > 0;
+}
+
+MetricKey MetricsRegistry::unique_key(MetricKey key) const {
+  if (cells_.count(key) == 0) return key;
+  std::string base = key.name;
+  for (int i = 2;; ++i) {
+    key.name = base + "#" + std::to_string(i);
+    if (cells_.count(key) == 0) return key;
+  }
+}
+
+MetricKey MetricsRegistry::add_probe(MetricKey key, Probe fn) {
+  key = unique_key(std::move(key));
+  Cell& c = cells_[key];
+  c.kind = SnapshotEntry::Kind::Probe;
+  c.probe = std::move(fn);
+  return key;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::vector<SnapshotEntry> entries;
+  entries.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {  // std::map: already key-sorted
+    SnapshotEntry e;
+    e.key = key;
+    e.kind = cell.kind;
+    switch (cell.kind) {
+      case SnapshotEntry::Kind::Counter:
+        e.value = static_cast<std::int64_t>(cell.counter.value());
+        break;
+      case SnapshotEntry::Kind::Gauge:
+        e.value = cell.gauge.value();
+        break;
+      case SnapshotEntry::Kind::Probe:
+        e.value = cell.probe ? cell.probe() : 0;
+        break;
+      case SnapshotEntry::Kind::Histogram:
+        e.count = cell.histogram->count();
+        e.sum = cell.histogram->sum();
+        e.bounds = cell.histogram->bounds();
+        e.buckets = cell.histogram->buckets();
+        break;
+    }
+    entries.push_back(std::move(e));
+  }
+  return Snapshot(std::move(entries));
+}
+
+// --- Snapshot -----------------------------------------------------------------
+
+const SnapshotEntry* Snapshot::find(int node, std::string_view component,
+                                    std::string_view name) const {
+  for (const SnapshotEntry& e : entries_) {
+    if (e.key.node == node && e.key.component == component && e.key.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::int64_t Snapshot::value_of(int node, std::string_view component, std::string_view name,
+                                std::int64_t fallback) const {
+  const SnapshotEntry* e = find(node, component, name);
+  return e == nullptr ? fallback : e->value;
+}
+
+Snapshot Snapshot::delta(const Snapshot& base) const {
+  std::vector<SnapshotEntry> out;
+  for (const SnapshotEntry& e : entries_) {
+    const SnapshotEntry* b = base.find(e.key.node, e.key.component, e.key.name);
+    SnapshotEntry d = e;
+    if (b != nullptr) {
+      d.value -= b->value;
+      d.count -= b->count;
+      d.sum -= b->sum;
+      if (b->buckets.size() == d.buckets.size()) {
+        for (std::size_t i = 0; i < d.buckets.size(); ++i) d.buckets[i] -= b->buckets[i];
+      }
+    }
+    bool changed = d.value != 0 || d.count != 0 || d.sum != 0;
+    if (changed) out.push_back(std::move(d));
+  }
+  return Snapshot(std::move(out));
+}
+
+std::string Snapshot::to_json(int indent) const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "nectar-metrics-snapshot");
+  doc.set("version", std::int64_t{1});
+  json::Value metrics = json::Value::array();
+  for (const SnapshotEntry& e : entries_) {
+    json::Value m = json::Value::object();
+    m.set("node", std::int64_t{e.key.node});
+    m.set("component", e.key.component);
+    m.set("name", e.key.name);
+    switch (e.kind) {
+      case SnapshotEntry::Kind::Counter: m.set("kind", "counter"); break;
+      case SnapshotEntry::Kind::Gauge: m.set("kind", "gauge"); break;
+      case SnapshotEntry::Kind::Probe: m.set("kind", "probe"); break;
+      case SnapshotEntry::Kind::Histogram: m.set("kind", "histogram"); break;
+    }
+    if (e.kind == SnapshotEntry::Kind::Histogram) {
+      m.set("count", e.count);
+      m.set("sum", e.sum);
+      json::Value bounds = json::Value::array();
+      for (std::int64_t b : e.bounds) bounds.push(b);
+      m.set("bounds", std::move(bounds));
+      json::Value buckets = json::Value::array();
+      for (std::uint64_t b : e.buckets) buckets.push(b);
+      m.set("buckets", std::move(buckets));
+    } else {
+      m.set("value", e.value);
+    }
+    metrics.push(std::move(m));
+  }
+  doc.set("metrics", std::move(metrics));
+  return doc.dump(indent);
+}
+
+// --- Registration ---------------------------------------------------------------
+
+void Registration::probe(int node, std::string component, std::string name,
+                         MetricsRegistry::Probe fn) {
+  if (reg_ == nullptr) return;
+  keys_.push_back(
+      reg_->add_probe(MetricKey{node, std::move(component), std::move(name)}, std::move(fn)));
+}
+
+void Registration::release() {
+  if (reg_ != nullptr) {
+    for (const MetricKey& k : keys_) reg_->remove(k);
+  }
+  keys_.clear();
+  reg_ = nullptr;
+}
+
+}  // namespace nectar::obs

@@ -1,0 +1,205 @@
+#pragma once
+
+// Metrics registry for the Nectar reproduction.
+//
+// Every instrumented value in the system is keyed by (node, component, name)
+// — e.g. (1, "tcp", "segments_sent") — and lives in exactly one registry
+// (one per Network; standalone CabRuntimes fall back to a private one).
+// Because the simulation is deterministic, a Snapshot taken at the same
+// simulated point of two identical runs is byte-identical when serialized,
+// which is what makes snapshots diffable across code changes.
+//
+// Two registration styles:
+//  - owned cells (counter/gauge/histogram): the registry owns the storage,
+//    callers hold a stable reference and push updates on the hot path;
+//  - probes: a callback reads a module's existing plain counter at snapshot
+//    time. This is how the legacy per-module `stats` members (proto::Tcp,
+//    proto::Ip, core::Cpu, hw::VmeBus, ...) report through the registry
+//    without changing their accessors or adding hot-path work. Probes are
+//    registered through a Registration (RAII) so a module that dies before
+//    the registry unhooks itself.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nectar::obs {
+
+struct MetricKey {
+  int node = -1;
+  std::string component;
+  std::string name;
+  auto operator<=>(const MetricKey&) const = default;
+  std::string str() const {
+    return "node" + std::to_string(node) + "/" + component + "/" + name;
+  }
+};
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+  Counter& operator++() {
+    ++v_;
+    return *this;
+  }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_ = v; }
+  void add(std::int64_t d) { v_ += d; }
+  std::int64_t value() const { return v_; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+/// Fixed-bucket histogram. `bounds` are inclusive upper bounds in ascending
+/// order; one implicit overflow bucket catches everything above the last
+/// bound. Bucket counts are non-cumulative.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> bounds);
+
+  void observe(std::int64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  const std::vector<std::int64_t>& bounds() const { return bounds_; }
+  /// i in [0, bounds().size()]: the last index is the overflow bucket.
+  std::uint64_t bucket_count(std::size_t i) const { return buckets_.at(i); }
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<std::int64_t> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+struct SnapshotEntry {
+  enum class Kind { Counter, Gauge, Histogram, Probe };
+
+  MetricKey key;
+  Kind kind = Kind::Counter;
+  std::int64_t value = 0;                 // counter/gauge/probe
+  std::uint64_t count = 0;                // histogram
+  std::int64_t sum = 0;                   // histogram
+  std::vector<std::int64_t> bounds;       // histogram
+  std::vector<std::uint64_t> buckets;     // histogram
+
+  bool operator==(const SnapshotEntry&) const = default;
+};
+
+/// A deterministic, diffable point-in-time view of a registry: entries are
+/// sorted by key, and to_json() is byte-stable for a given set of values.
+class Snapshot {
+ public:
+  explicit Snapshot(std::vector<SnapshotEntry> entries) : entries_(std::move(entries)) {}
+  Snapshot() = default;
+
+  const std::vector<SnapshotEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  const SnapshotEntry* find(int node, std::string_view component, std::string_view name) const;
+  /// Value of a scalar metric (counter/gauge/probe); `fallback` if absent.
+  std::int64_t value_of(int node, std::string_view component, std::string_view name,
+                        std::int64_t fallback = 0) const;
+
+  bool operator==(const Snapshot&) const = default;
+
+  /// Scalar entries whose value changed vs `base` (new minus old); entries
+  /// absent from `base` count from zero. Histograms diff count and sum.
+  Snapshot delta(const Snapshot& base) const;
+
+  std::string to_json(int indent = 2) const;
+
+ private:
+  std::vector<SnapshotEntry> entries_;
+};
+
+class Registration;
+
+class MetricsRegistry {
+ public:
+  using Probe = std::function<std::int64_t()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Owned cells: created on first use, returned thereafter. References stay
+  /// valid for the registry's lifetime.
+  Counter& counter(int node, std::string component, std::string name);
+  Gauge& gauge(int node, std::string component, std::string name);
+  Histogram& histogram(int node, std::string component, std::string name,
+                       std::vector<std::int64_t> bounds);
+
+  std::size_t size() const { return cells_.size(); }
+  bool contains(int node, std::string_view component, std::string_view name) const;
+
+  Snapshot snapshot() const;
+
+ private:
+  friend class Registration;
+
+  struct Cell {
+    SnapshotEntry::Kind kind = SnapshotEntry::Kind::Counter;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+    Probe probe;
+  };
+
+  /// Key actually used after de-duplication ("name", "name#2", ...): a
+  /// second registrant under the same key gets a deterministic suffix
+  /// instead of clobbering the first.
+  MetricKey unique_key(MetricKey key) const;
+  MetricKey add_probe(MetricKey key, Probe fn);
+  void remove(const MetricKey& key) { cells_.erase(key); }
+
+  std::map<MetricKey, Cell> cells_;
+};
+
+/// RAII group of probe registrations: destroying (or releasing) it removes
+/// every probe it added, so modules can register callbacks that read their
+/// own members without risking dangling reads after they are destroyed.
+class Registration {
+ public:
+  Registration() = default;
+  explicit Registration(MetricsRegistry& reg) : reg_(&reg) {}
+  Registration(Registration&& o) noexcept : reg_(o.reg_), keys_(std::move(o.keys_)) {
+    o.reg_ = nullptr;
+    o.keys_.clear();
+  }
+  Registration& operator=(Registration&& o) noexcept {
+    if (this != &o) {
+      release();
+      reg_ = o.reg_;
+      keys_ = std::move(o.keys_);
+      o.reg_ = nullptr;
+      o.keys_.clear();
+    }
+    return *this;
+  }
+  ~Registration() { release(); }
+
+  MetricsRegistry* registry() const { return reg_; }
+
+  /// Register a probe; no-op when this Registration is empty (no registry).
+  void probe(int node, std::string component, std::string name, MetricsRegistry::Probe fn);
+
+  void release();
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  std::vector<MetricKey> keys_;
+};
+
+}  // namespace nectar::obs

@@ -1,0 +1,46 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+namespace nectar::obs {
+
+RunReport::RunReport(std::string bench) : bench_(std::move(bench)) {}
+
+void RunReport::param(const std::string& key, std::int64_t value) { params_.set(key, value); }
+
+void RunReport::param(const std::string& key, const std::string& value) {
+  params_.set(key, value);
+}
+
+void RunReport::add(const std::string& name, double value, const std::string& unit) {
+  json::Value r = json::Value::object();
+  r.set("name", name);
+  r.set("value", value);
+  r.set("unit", unit);
+  results_.push(std::move(r));
+}
+
+void RunReport::attach_metrics(const Snapshot& snap) {
+  metrics_ = json::Value::parse(snap.to_json(-1));
+}
+
+std::string RunReport::to_json_string() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "nectar-bench-report");
+  doc.set("version", std::int64_t{kVersion});
+  doc.set("bench", bench_);
+  doc.set("clock", "simulated");
+  doc.set("params", params_);
+  doc.set("results", results_);
+  if (!metrics_.is_null()) doc.set("metrics", metrics_);
+  return doc.dump(2) + "\n";
+}
+
+bool RunReport::write(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << to_json_string();
+  return static_cast<bool>(f);
+}
+
+}  // namespace nectar::obs

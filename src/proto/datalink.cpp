@@ -8,8 +8,29 @@ namespace nectar::proto {
 
 namespace costs = sim::costs;
 
-Datalink::Datalink(core::CabRuntime& rt) : rt_(rt) {
+Datalink::Datalink(core::CabRuntime& rt) : rt_(rt), metrics_reg_(rt.metrics()) {
   rt_.set_packet_handler([this] { process_pending(); });
+
+  int node = node_id();
+  metrics_reg_.probe(node, "datalink", "packets_sent",
+                     [this] { return static_cast<std::int64_t>(packets_sent_); });
+  metrics_reg_.probe(node, "datalink", "packets_received",
+                     [this] { return static_cast<std::int64_t>(packets_received_); });
+  metrics_reg_.probe(node, "datalink", "dropped_no_client",
+                     [this] { return static_cast<std::int64_t>(dropped_no_client_); });
+  metrics_reg_.probe(node, "datalink", "dropped_no_buffer",
+                     [this] { return static_cast<std::int64_t>(dropped_no_buffer_); });
+  metrics_reg_.probe(node, "datalink", "dropped_crc",
+                     [this] { return static_cast<std::int64_t>(dropped_crc_); });
+  metrics_reg_.probe(node, "datalink", "dropped_runt",
+                     [this] { return static_cast<std::int64_t>(dropped_runt_); });
+  packet_bytes_ =
+      &rt_.metrics().histogram(node, "datalink", "packet_bytes", {64, 256, 1024, 4096, 16384});
+}
+
+void Datalink::trace_instant(const char* label) {
+  obs::Tracer* t = rt_.cpu().tracer();
+  if (obs::tracing(t)) t->instant(rt_.cpu().trace_track(), label);
 }
 
 void Datalink::set_route(int dst_node, std::vector<std::uint8_t> route) {
@@ -49,6 +70,8 @@ void Datalink::send(PacketType type, int dst_node, std::vector<std::uint8_t> pro
   std::copy(proto_header.begin(), proto_header.end(), header.begin() + DatalinkHeader::kSize);
 
   ++packets_sent_;
+  packet_bytes_->observe(static_cast<std::int64_t>(proto_header.size() + len));
+  NECTAR_TRACE(trace_instant("dl.send"));
   std::function<void()> completion;
   if (on_sent) {
     core::Cpu& cpu = rt_.cpu();
@@ -112,6 +135,7 @@ void Datalink::process_pending() {
                  [this, m, src, client](hw::FiberInFifo::ArrivedFrame af, bool crc_ok) {
                    rt_.cpu().post_interrupt([this, m, src, client, crc_ok] {
                      ++packets_received_;
+                     NECTAR_TRACE(trace_instant("dl.recv"));
                      if (crc_ok) {
                        client->end_of_data(m, src);
                      } else {

@@ -87,6 +87,7 @@ class Datalink {
  private:
   void process_pending();  // interrupt context
   void discard_front();    // interrupt context
+  void trace_instant(const char* label);
 
   core::CabRuntime& rt_;
   std::map<int, std::vector<std::uint8_t>> routes_;
@@ -98,6 +99,9 @@ class Datalink {
   std::uint64_t dropped_no_buffer_ = 0;
   std::uint64_t dropped_crc_ = 0;
   std::uint64_t dropped_runt_ = 0;
+
+  obs::Histogram* packet_bytes_ = nullptr;  // registry-owned send-size histogram
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::proto

@@ -12,9 +12,29 @@ namespace nectar::proto {
 namespace costs = sim::costs;
 
 Ip::Ip(Datalink& dl, IpAddr my_addr, std::size_t mtu)
-    : dl_(dl), my_addr_(my_addr), mtu_(mtu), input_(dl.runtime().create_mailbox("ip-input")) {
+    : dl_(dl),
+      my_addr_(my_addr),
+      mtu_(mtu),
+      input_(dl.runtime().create_mailbox("ip-input")),
+      metrics_reg_(dl.runtime().metrics()) {
   if (mtu_ <= IpHeader::kSize + 8) throw std::invalid_argument("Ip: MTU too small");
   dl_.register_client(PacketType::Ip, this);
+
+  int node = dl_.node_id();
+  metrics_reg_.probe(node, "ip", "datagrams_sent",
+                     [this] { return static_cast<std::int64_t>(sent_); });
+  metrics_reg_.probe(node, "ip", "fragments_sent",
+                     [this] { return static_cast<std::int64_t>(frag_sent_); });
+  metrics_reg_.probe(node, "ip", "datagrams_delivered",
+                     [this] { return static_cast<std::int64_t>(delivered_); });
+  metrics_reg_.probe(node, "ip", "datagrams_reassembled",
+                     [this] { return static_cast<std::int64_t>(reassembled_); });
+  metrics_reg_.probe(node, "ip", "dropped_bad_header",
+                     [this] { return static_cast<std::int64_t>(dropped_bad_header_); });
+  metrics_reg_.probe(node, "ip", "dropped_no_protocol",
+                     [this] { return static_cast<std::int64_t>(dropped_no_protocol_); });
+  metrics_reg_.probe(node, "ip", "reassembly_timeouts",
+                     [this] { return static_cast<std::int64_t>(reass_timeouts_); });
 }
 
 void Ip::register_protocol(std::uint8_t protocol, core::Mailbox* input) {
@@ -43,6 +63,7 @@ void Ip::output(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
   std::size_t max_payload = (mtu_ - IpHeader::kSize) & ~std::size_t{7};
   std::uint16_t id = next_id_++;
   ++sent_;
+  NECTAR_TRACE(dl_.runtime().trace_mark("ip.output"));
 
   auto make_header = [&](std::size_t off, std::size_t chunk, bool more) {
     IpHeader h;
@@ -162,6 +183,7 @@ void Ip::deliver(core::Message m, const IpHeader& hdr) {
     return;
   }
   ++delivered_;
+  NECTAR_TRACE(dl_.runtime().trace_mark("ip.deliver"));
   // §4.1: "This transfer uses the mailbox Enqueue operation, so no data is
   // copied." The IP header stays attached; transports strip it themselves.
   input_.enqueue(m, *it->second);

@@ -143,6 +143,9 @@ class Ip : public DatalinkClient {
   std::uint64_t dropped_bad_header_ = 0;
   std::uint64_t dropped_no_protocol_ = 0;
   std::uint64_t reass_timeouts_ = 0;
+
+  // Last member: probes read the counters above, so they must unhook first.
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::proto

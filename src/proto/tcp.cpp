@@ -26,7 +26,17 @@ Tcp::Tcp(Ip& ip, Config config)
       state_cv_(ip.runtime().cpu()),
       input_(ip.runtime().create_mailbox("tcp-input")),
       send_req_(ip.runtime().create_mailbox("tcp-send-request")),
-      mss_(ip.mtu() - kCombinedHeader) {
+      mss_(ip.mtu() - kCombinedHeader),
+      metrics_reg_(ip.runtime().metrics()) {
+  int node = ip_.runtime().node_id();
+  metrics_reg_.probe(node, "tcp", "segments_sent",
+                     [this] { return static_cast<std::int64_t>(segs_sent_); });
+  metrics_reg_.probe(node, "tcp", "segments_received",
+                     [this] { return static_cast<std::int64_t>(segs_rcvd_); });
+  metrics_reg_.probe(node, "tcp", "bad_checksums",
+                     [this] { return static_cast<std::int64_t>(bad_checksum_); });
+  metrics_reg_.probe(node, "tcp", "resets_sent",
+                     [this] { return static_cast<std::int64_t>(rst_sent_); });
   ip_.register_protocol(kProtoTcp, &input_);
   // §4.2: "All TCP input processing is performed by the TCP input thread."
   ip_.runtime().fork_system("tcp-input", [this] { input_loop(); });
@@ -257,6 +267,7 @@ void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabA
   }
 
   ++segs_sent_;
+  NECTAR_TRACE(runtime().trace_mark("tcp.segment-sent"));
   Ip::OutputInfo info;
   info.dst = c->remote_addr_;
   info.protocol = kProtoTcp;
@@ -484,6 +495,7 @@ void Tcp::process_segment(core::Message m) {
   core::LockGuard g(lock_);
   cpu.charge(costs::kTcpSegment);
   ++segs_rcvd_;
+  NECTAR_TRACE(runtime().trace_mark("tcp.segment-received"));
 
   if (m.len < kCombinedHeader) {
     input_.end_get(m);

@@ -289,6 +289,9 @@ class Tcp {
   std::uint64_t segs_rcvd_ = 0;
   std::uint64_t bad_checksum_ = 0;
   std::uint64_t rst_sent_ = 0;
+
+  // Last member: probes read the counters above, so they must unhook first.
+  obs::Registration metrics_reg_;
 };
 
 }  // namespace nectar::proto

@@ -3,17 +3,20 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace nectar::sim {
 
 void TraceRecorder::mark(std::string label) {
   if (!enabled_) return;
+  if (obs::tracing(sink_)) sink_->instant(sink_track_, label);
   marks_.push_back({std::move(label), engine_.now()});
 }
 
 void TraceRecorder::begin(std::string label) {
   if (!enabled_) return;
+  if (obs::tracing(sink_)) sink_->begin(sink_track_, label);
   open_.push_back({std::move(label), engine_.now(), 0});
 }
 
@@ -25,6 +28,7 @@ void TraceRecorder::end(const std::string& label) {
   Span s = *it;
   open_.erase(std::next(it).base());
   s.end = engine_.now();
+  if (obs::tracing(sink_)) sink_->end(sink_track_, label);
   spans_.push_back(std::move(s));
 }
 

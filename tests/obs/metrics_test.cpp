@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nectar::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter(0, "tcp", "segments_sent");
+  c.inc();
+  c.inc(3);
+  ++c;
+  EXPECT_EQ(c.value(), 5u);
+  // Same key returns the same cell.
+  EXPECT_EQ(&reg.counter(0, "tcp", "segments_sent"), &c);
+
+  Gauge& g = reg.gauge(1, "mailbox", "queued");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_TRUE(reg.contains(0, "tcp", "segments_sent"));
+  EXPECT_FALSE(reg.contains(9, "tcp", "segments_sent"));
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram(0, "datalink", "packet_bytes", {64, 256, 1024});
+  // Bounds are inclusive upper bounds: 64 lands in bucket 0, 65 in bucket 1.
+  h.observe(0);
+  h.observe(64);
+  h.observe(65);
+  h.observe(256);
+  h.observe(257);
+  h.observe(1024);
+  h.observe(1025);     // overflow bucket
+  h.observe(1 << 20);  // overflow bucket
+  EXPECT_EQ(h.count(), 8u);
+  ASSERT_EQ(h.buckets().size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);   // 0, 64
+  EXPECT_EQ(h.bucket_count(1), 2u);   // 65, 256
+  EXPECT_EQ(h.bucket_count(2), 2u);   // 257, 1024
+  EXPECT_EQ(h.bucket_count(3), 2u);   // 1025, 1M
+  EXPECT_EQ(h.sum(), 0 + 64 + 65 + 256 + 257 + 1024 + 1025 + (1 << 20));
+}
+
+TEST(Metrics, SnapshotSortedAndDeterministic) {
+  auto populate = [](MetricsRegistry& reg) {
+    // Deliberately register out of key order.
+    reg.counter(1, "zeta", "z").inc(2);
+    reg.counter(0, "alpha", "a").inc(1);
+    reg.gauge(0, "alpha", "b").set(-4);
+    reg.histogram(0, "beta", "h", {10, 20}).observe(15);
+  };
+  MetricsRegistry r1, r2;
+  populate(r1);
+  populate(r2);
+
+  Snapshot s1 = r1.snapshot();
+  Snapshot s2 = r2.snapshot();
+  EXPECT_EQ(s1, s2);
+  // Byte-identical serialization is the diffability guarantee.
+  EXPECT_EQ(s1.to_json(), s2.to_json());
+
+  // Entries come out sorted by (node, component, name).
+  ASSERT_EQ(s1.size(), 4u);
+  EXPECT_EQ(s1.entries()[0].key.str(), "node0/alpha/a");
+  EXPECT_EQ(s1.entries()[3].key.str(), "node1/zeta/z");
+  EXPECT_EQ(s1.value_of(1, "zeta", "z"), 2);
+  EXPECT_EQ(s1.value_of(0, "alpha", "b"), -4);
+  EXPECT_EQ(s1.value_of(5, "none", "none", -1), -1);
+}
+
+TEST(Metrics, SnapshotDelta) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter(0, "tcp", "segments_sent");
+  c.inc(10);
+  Snapshot base = reg.snapshot();
+  c.inc(5);
+  reg.counter(0, "tcp", "resets_sent").inc(1);  // new since base
+  Snapshot now = reg.snapshot();
+  Snapshot d = now.delta(base);
+  EXPECT_EQ(d.value_of(0, "tcp", "segments_sent"), 5);
+  EXPECT_EQ(d.value_of(0, "tcp", "resets_sent"), 1);
+}
+
+TEST(Metrics, ProbesReadLiveValuesAndUnregisterViaRaii) {
+  MetricsRegistry reg;
+  std::uint64_t plain_counter = 0;  // a module's existing stat member
+  {
+    Registration r(reg);
+    r.probe(0, "cpu", "context_switches",
+            [&] { return static_cast<std::int64_t>(plain_counter); });
+    plain_counter = 42;
+    EXPECT_EQ(reg.snapshot().value_of(0, "cpu", "context_switches"), 42);
+    plain_counter = 43;
+    EXPECT_EQ(reg.snapshot().value_of(0, "cpu", "context_switches"), 43);
+  }
+  // Registration destroyed: the probe is gone, no dangling read at snapshot.
+  EXPECT_FALSE(reg.contains(0, "cpu", "context_switches"));
+  EXPECT_EQ(reg.snapshot().size(), 0u);
+}
+
+TEST(Metrics, DuplicateKeysGetDeterministicSuffix) {
+  MetricsRegistry reg;
+  Registration r(reg);
+  r.probe(0, "mailbox", "m.puts", [] { return 1; });
+  r.probe(0, "mailbox", "m.puts", [] { return 2; });
+  r.probe(0, "mailbox", "m.puts", [] { return 3; });
+  Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.value_of(0, "mailbox", "m.puts"), 1);
+  EXPECT_EQ(s.value_of(0, "mailbox", "m.puts#2"), 2);
+  EXPECT_EQ(s.value_of(0, "mailbox", "m.puts#3"), 3);
+}
+
+TEST(Metrics, EmptyRegistrationIsInert) {
+  Registration r;  // no registry attached
+  r.probe(0, "x", "y", [] { return 0; });  // must not crash
+  r.release();
+}
+
+}  // namespace
+}  // namespace nectar::obs

@@ -1,0 +1,103 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace nectar::obs {
+namespace {
+
+TEST(Json, DumpAndParseRoundTrip) {
+  json::Value o = json::Value::object();
+  o.set("schema", "test");
+  o.set("n", std::int64_t{-42});
+  o.set("x", 2.5);
+  o.set("flag", true);
+  o.set("none", nullptr);
+  json::Value arr = json::Value::array();
+  arr.push("a\"b\\c\n");
+  arr.push(std::int64_t{7});
+  o.set("arr", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    json::Value back = json::Value::parse(o.dump(indent));
+    EXPECT_EQ(back.find("schema")->as_string(), "test");
+    EXPECT_EQ(back.find("n")->as_int(), -42);
+    EXPECT_DOUBLE_EQ(back.find("x")->as_double(), 2.5);
+    EXPECT_TRUE(back.find("flag")->as_bool());
+    EXPECT_TRUE(back.find("none")->is_null());
+    EXPECT_EQ(back.find("arr")->at(0).as_string(), "a\"b\\c\n");
+    EXPECT_EQ(back.find("arr")->at(1).as_int(), 7);
+  }
+  // Objects keep insertion order — part of the determinism contract.
+  EXPECT_EQ(o.members()[0].first, "schema");
+  EXPECT_EQ(o.members()[5].first, "arr");
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  EXPECT_THROW(json::Value::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json::Value::parse("'single'"), std::runtime_error);
+}
+
+TEST(Report, VersionedSchemaWithParamsAndResults) {
+  RunReport r("table1-latency");
+  r.param("message_bytes", 64);
+  r.param("mode", "host-host");
+  r.add("datagram_rtt", 325.5, "us");
+  r.add("rmp_rtt", 674.0, "us");
+  EXPECT_EQ(r.result_count(), 2u);
+
+  json::Value doc = json::Value::parse(r.to_json_string());
+  EXPECT_EQ(doc.find("schema")->as_string(), "nectar-bench-report");
+  EXPECT_EQ(doc.find("version")->as_int(), RunReport::kVersion);
+  EXPECT_EQ(doc.find("bench")->as_string(), "table1-latency");
+  EXPECT_EQ(doc.find("clock")->as_string(), "simulated");
+  EXPECT_EQ(doc.find("params")->find("message_bytes")->as_int(), 64);
+  EXPECT_EQ(doc.find("params")->find("mode")->as_string(), "host-host");
+  const json::Value* results = doc.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ(results->at(0).find("name")->as_string(), "datagram_rtt");
+  EXPECT_DOUBLE_EQ(results->at(0).find("value")->as_double(), 325.5);
+  EXPECT_EQ(results->at(0).find("unit")->as_string(), "us");
+  EXPECT_FALSE(doc.has("metrics"));
+}
+
+TEST(Report, AttachedMetricsSnapshotIsEmbedded) {
+  MetricsRegistry reg;
+  reg.counter(0, "tcp", "segments_sent").inc(9);
+  RunReport r("fig6-breakdown");
+  r.add("total", 163.0, "us");
+  r.attach_metrics(reg.snapshot());
+
+  json::Value doc = json::Value::parse(r.to_json_string());
+  const json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("schema")->as_string(), "nectar-metrics-snapshot");
+  ASSERT_EQ(metrics->find("metrics")->size(), 1u);
+  EXPECT_EQ(metrics->find("metrics")->at(0).find("value")->as_int(), 9);
+}
+
+TEST(Report, WriteProducesValidFile) {
+  RunReport r("smoke");
+  r.add("x", 1.0, "count");
+  std::string path = ::testing::TempDir() + "nectar_report_test.json";
+  ASSERT_TRUE(r.write(path));
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  json::Value doc = json::Value::parse(ss.str());
+  EXPECT_EQ(doc.find("bench")->as_string(), "smoke");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(r.write("/nonexistent-dir/zzz/report.json"));
+}
+
+}  // namespace
+}  // namespace nectar::obs

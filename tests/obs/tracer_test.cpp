@@ -1,0 +1,130 @@
+#include "obs/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "sim/engine.hpp"
+
+namespace nectar::obs {
+namespace {
+
+TEST(Tracer, DisabledByDefaultRecordsNothing) {
+  sim::Engine e;
+  Tracer t(e);
+  int tr = t.track("node0", "cab.cpu");
+  t.begin(tr, "work");
+  t.end(tr, "work");
+  t.instant(tr, "mark");
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_FALSE(tracing(&t));
+  EXPECT_FALSE(tracing(nullptr));
+  t.set_enabled(true);
+  EXPECT_TRUE(tracing(&t));
+}
+
+TEST(Tracer, TrackIdsAssignedInRegistrationOrder) {
+  sim::Engine e;
+  Tracer t(e);
+  int a = t.track("node0", "cab.cpu");
+  int b = t.track("node0", "vme");
+  int c = t.track("node1", "cab.cpu");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(c, 2);
+  // Re-registering returns the same id.
+  EXPECT_EQ(t.track("node0", "vme"), b);
+  ASSERT_EQ(t.tracks().size(), 3u);
+  // Distinct processes get distinct pids; rows within one process get
+  // consecutive tids.
+  EXPECT_EQ(t.tracks()[0].pid, t.tracks()[1].pid);
+  EXPECT_NE(t.tracks()[0].pid, t.tracks()[2].pid);
+  EXPECT_EQ(t.tracks()[0].tid, 1);
+  EXPECT_EQ(t.tracks()[1].tid, 2);
+}
+
+TEST(Tracer, EventsCarrySimulatedTimestamps) {
+  sim::Engine e;
+  Tracer t(e);
+  t.set_enabled(true);
+  int tr = t.track("node0", "cab.cpu");
+  e.schedule_at(1500, [&] { t.begin(tr, "span"); });
+  e.schedule_at(4750, [&] { t.end(tr, "span"); });
+  e.run();
+  t.instant_at(tr, "late", 9001);
+  ASSERT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.events()[0].ts, 1500);
+  EXPECT_EQ(t.events()[1].ts, 4750);
+  EXPECT_EQ(t.events()[2].ts, 9001);
+  const Tracer::Event* found = t.find("span");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->type, Tracer::EventType::Begin);
+  EXPECT_EQ(t.find("missing"), nullptr);
+}
+
+TEST(Tracer, ChromeJsonRoundTrip) {
+  sim::Engine e;
+  Tracer t(e);
+  t.set_enabled(true);
+  int cpu = t.track("node0", "cab.cpu");
+  int wire = t.track("node0", "wire");
+  t.begin_at(cpu, "thread \"main\"", 1000);  // quote needs escaping
+  t.instant_at(cpu, "mark", 1500);
+  t.counter(wire, "depth", 3);
+  t.end_at(cpu, "thread \"main\"", 2750);
+
+  json::Value doc = json::Value::parse(t.chrome_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("displayTimeUnit")->as_string(), "ns");
+  const json::Value* evs = doc.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_TRUE(evs->is_array());
+
+  // Leading metadata names the pid/tid plane: one process_name per process,
+  // one thread_name per track.
+  ASSERT_GE(evs->size(), 3u + 4u);
+  EXPECT_EQ(evs->at(0).find("ph")->as_string(), "M");
+  EXPECT_EQ(evs->at(0).find("name")->as_string(), "process_name");
+  EXPECT_EQ(evs->at(0).find("args")->find("name")->as_string(), "node0");
+  EXPECT_EQ(evs->at(1).find("name")->as_string(), "thread_name");
+  EXPECT_EQ(evs->at(1).find("args")->find("name")->as_string(), "cab.cpu");
+  EXPECT_EQ(evs->at(2).find("args")->find("name")->as_string(), "wire");
+
+  // Payload events: ph/ts/pid/tid survive the round trip. ts is in
+  // microseconds (1000 ns -> 1.0 us).
+  const json::Value& b = evs->at(3);
+  EXPECT_EQ(b.find("ph")->as_string(), "B");
+  EXPECT_EQ(b.find("name")->as_string(), "thread \"main\"");
+  EXPECT_DOUBLE_EQ(b.find("ts")->as_double(), 1.0);
+  EXPECT_EQ(b.find("pid")->as_int(), 1);
+  EXPECT_EQ(b.find("tid")->as_int(), 1);
+
+  const json::Value& i = evs->at(4);
+  EXPECT_EQ(i.find("ph")->as_string(), "i");
+  EXPECT_EQ(i.find("s")->as_string(), "t");
+  EXPECT_DOUBLE_EQ(i.find("ts")->as_double(), 1.5);
+
+  const json::Value& c = evs->at(5);
+  EXPECT_EQ(c.find("ph")->as_string(), "C");
+  EXPECT_EQ(c.find("tid")->as_int(), 2);  // wire is the second node0 row
+  EXPECT_EQ(c.find("args")->find("value")->as_int(), 3);
+
+  const json::Value& end = evs->at(6);
+  EXPECT_EQ(end.find("ph")->as_string(), "E");
+  EXPECT_DOUBLE_EQ(end.find("ts")->as_double(), 2.75);
+}
+
+TEST(Tracer, ChromeExportIsByteDeterministic) {
+  auto build = [](sim::Engine& e) {
+    Tracer t(e);
+    t.set_enabled(true);
+    int cpu = t.track("node1", "host.cpu");
+    t.begin_at(cpu, "op", 10);
+    t.end_at(cpu, "op", 30);
+    return t.chrome_json();
+  };
+  sim::Engine e1, e2;
+  EXPECT_EQ(build(e1), build(e2));
+}
+
+}  // namespace
+}  // namespace nectar::obs

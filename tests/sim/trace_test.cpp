@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace nectar::sim {
@@ -56,6 +57,64 @@ TEST(Trace, DisabledRecorderIgnoresEverything) {
   tr.end("y");  // no throw: disabled
   EXPECT_TRUE(tr.marks().empty());
   EXPECT_TRUE(tr.spans().empty());
+}
+
+TEST(Trace, SameLabelSpansNestLifo) {
+  Engine e;
+  TraceRecorder tr(e);
+  // A re-entrant stage: outer [0, 100], inner [20, 50]. end() must close the
+  // innermost open span with the label, so both depths account correctly.
+  e.schedule_at(0, [&] { tr.begin("stage"); });
+  e.schedule_at(20, [&] { tr.begin("stage"); });
+  e.schedule_at(50, [&] { tr.end("stage"); });
+  e.schedule_at(100, [&] { tr.end("stage"); });
+  e.run();
+  ASSERT_EQ(tr.spans().size(), 2u);
+  // Inner closes first.
+  EXPECT_EQ(tr.spans()[0].start, 20);
+  EXPECT_EQ(tr.spans()[0].end, 50);
+  EXPECT_EQ(tr.spans()[1].start, 0);
+  EXPECT_EQ(tr.spans()[1].end, 100);
+  EXPECT_EQ(tr.span_total("stage"), 130);
+  EXPECT_EQ(tr.open_spans(), 0u);
+}
+
+TEST(Trace, EndAfterFullyClosedThrowsAgain) {
+  Engine e;
+  TraceRecorder tr(e);
+  tr.begin("s");
+  tr.end("s");
+  EXPECT_THROW(tr.end("s"), std::logic_error);
+  // Other labels with open spans don't satisfy a mismatched end().
+  tr.begin("other");
+  EXPECT_THROW(tr.end("s"), std::logic_error);
+  tr.end("other");
+}
+
+TEST(Trace, ForwardsIntoTracerSink) {
+  Engine e;
+  TraceRecorder tr(e);
+  obs::Tracer tracer(e);
+  tracer.set_enabled(true);
+  tr.set_sink(&tracer, tracer.track("node0", "cab.cpu"));
+  e.schedule_at(5, [&] { tr.mark("m"); });
+  e.schedule_at(10, [&] { tr.begin("s"); });
+  e.schedule_at(30, [&] { tr.end("s"); });
+  e.run();
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events()[0].type, obs::Tracer::EventType::Instant);
+  EXPECT_EQ(tracer.events()[0].name, "m");
+  EXPECT_EQ(tracer.events()[0].ts, 5);
+  EXPECT_EQ(tracer.events()[1].type, obs::Tracer::EventType::Begin);
+  EXPECT_EQ(tracer.events()[2].type, obs::Tracer::EventType::End);
+  EXPECT_EQ(tracer.events()[2].ts, 30);
+  // Local recording continues alongside the sink.
+  EXPECT_EQ(tr.marks().size(), 1u);
+  EXPECT_EQ(tr.spans().size(), 1u);
+  // Detach: subsequent events stay local only.
+  tr.set_sink(nullptr, -1);
+  tr.mark("local");
+  EXPECT_EQ(tracer.events().size(), 3u);
 }
 
 TEST(Trace, ClearResets) {
