@@ -187,23 +187,26 @@ void Cpu::irq_loop() {
   }
 }
 
-Cpu::TimerId Cpu::set_timer(sim::SimTime t, std::function<void()> fn) {
+Cpu::TimerId Cpu::set_timer(sim::SimTime t, sim::InplaceAction fn) {
   TimerId id = next_timer_++;
-  auto timer = std::make_shared<Timer>();
-  timer->event = engine_.schedule_at(
-      t, [this, id, timer, fn = std::move(fn)]() mutable {
-        timers_.erase(id);
-        if (timer->alive) post_interrupt(std::move(fn));
-      });
-  timers_.emplace(id, timer);
+  // The callback lives in the timer table, not the event capture, so the
+  // scheduled event stays two words and always fits the engine's inline slot.
+  Timer& timer = timers_[id];
+  timer.fn = std::move(fn);
+  timer.event = engine_.schedule_at(t, [this, id] {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) return;  // cancelled after the event fired
+    sim::InplaceAction cb = std::move(it->second.fn);
+    timers_.erase(it);
+    post_interrupt(std::move(cb));
+  });
   return id;
 }
 
 void Cpu::cancel_timer(TimerId id) {
   auto it = timers_.find(id);
   if (it == timers_.end()) return;
-  it->second->alive = false;
-  engine_.cancel(it->second->event);
+  engine_.cancel(it->second.event);
   timers_.erase(it);
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,7 +39,10 @@ namespace nectar::core {
 /// interleaving on the event queue, which makes every run deterministic.
 class Cpu {
  public:
-  using IrqHandler = std::function<void()>;
+  /// Interrupt handlers and timer callbacks are small-buffer callables: the
+  /// hardware completion paths post them per packet, so they must not heap-
+  /// allocate for ordinary captures.
+  using IrqHandler = sim::InplaceAction;
   using TimerId = std::uint64_t;
 
   Cpu(sim::Engine& engine, std::string name,
@@ -116,7 +120,7 @@ class Cpu {
   bool interrupts_enabled() const { return irq_disable_depth_ == 0; }
 
   /// One-shot timer: at time `t`, run `fn` in interrupt context.
-  TimerId set_timer(sim::SimTime t, std::function<void()> fn);
+  TimerId set_timer(sim::SimTime t, sim::InplaceAction fn);
   void cancel_timer(TimerId id);
 
   // --- stats ---------------------------------------------------------------
@@ -172,11 +176,11 @@ class Cpu {
   bool dispatch_scheduled_ = false;
 
   struct Timer {
-    bool alive = true;
     sim::Engine::EventId event = 0;
+    sim::InplaceAction fn;  // moved out (and the entry erased) when it fires
   };
   std::uint64_t next_timer_ = 1;
-  std::map<TimerId, std::shared_ptr<Timer>> timers_;
+  std::map<TimerId, Timer> timers_;
 
   std::uint64_t context_switches_ = 0;
   std::uint64_t interrupts_taken_ = 0;

@@ -34,7 +34,7 @@ void DmaController::start_recv(CabAddr dst, std::size_t skip, RecvDone done) {
   // (payload_available_at) — the datalink layer stalls on those before
   // reading. The CRC verdict exists only once the last byte has arrived.
   if (dst != kDiscard && copy_len > 0) {
-    memory_.write(dst, std::span<const std::uint8_t>(front.frame.payload).subspan(skip, copy_len));
+    memory_.write(dst, front.frame.payload.bytes().subspan(skip, copy_len));
   }
 
   // Low-level flow control: the channel waits for the last byte to arrive
@@ -42,26 +42,32 @@ void DmaController::start_recv(CabAddr dst, std::size_t skip, RecvDone done) {
   sim::SimTime finish = std::max(front.last_byte, engine_.now() + sim::costs::kDmaSetup) +
                         sim::costs::kFifoDrain;
 
-  engine_.schedule_at(finish, [this, done = std::move(done)] {
-    FiberInFifo::ArrivedFrame af = in_fifo_.pop();
-    bool crc_ok = Crc32::compute(af.frame.payload) == af.frame.crc;
-    ++recv_frames_;
-    if (!crc_ok) ++recv_crc_errors_;
-    recv_busy_ = false;
-    done(std::move(af), crc_ok);
-  });
+  recv_done_ = std::move(done);
+  engine_.schedule_at(finish, [this] { finish_recv(); });
 }
 
-void DmaController::start_send(std::vector<std::uint8_t> route, std::vector<std::uint8_t> header,
-                               CabAddr src, std::size_t len, std::function<void()> done,
-                               int src_node) {
+void DmaController::finish_recv() {
+  FiberInFifo::ArrivedFrame af = in_fifo_.pop();
+  bool crc_ok = Crc32::compute(af.frame.payload) == af.frame.crc;
+  ++recv_frames_;
+  if (!crc_ok) ++recv_crc_errors_;
+  recv_busy_ = false;
+  // Move the completion out first: it may start the next receive.
+  RecvDone done = std::move(recv_done_);
+  done(std::move(af), crc_ok);
+}
+
+void DmaController::start_send(RouteRef route, std::span<const std::uint8_t> header, CabAddr src,
+                               std::size_t len, SendCallback done, int src_node) {
   if (len > 0) check_dma_range(src, len);
   Frame f;
   f.route = std::move(route);
-  f.payload = std::move(header);
-  f.payload.resize(f.payload.size() + len);
+  // Gather [header][payload] into one pooled buffer: the header bytes come
+  // from the CPU's composition buffer, the payload from CAB data memory.
+  f.payload = PooledBytes(header.size() + len);
+  std::copy(header.begin(), header.end(), f.payload.begin());
   if (len > 0) {
-    memory_.read(src, std::span<std::uint8_t>(f.payload).subspan(f.payload.size() - len, len));
+    memory_.read(src, f.payload.bytes().subspan(header.size(), len));
   }
   f.crc = Crc32::compute(f.payload);  // hardware CRC, zero CPU cost
   f.id = next_frame_id_++;
@@ -69,11 +75,16 @@ void DmaController::start_send(std::vector<std::uint8_t> route, std::vector<std:
   ++send_frames_;
 
   // The memory->FIFO leg streams at least at fiber rate and overlaps the
-  // transmission; a fixed setup charge covers channel programming.
-  engine_.schedule_in(sim::costs::kDmaSetup,
-                      [this, f = std::move(f), done = std::move(done)]() mutable {
-                        out_link_.submit(std::move(f), std::move(done));
-                      });
+  // transmission; a fixed setup charge covers channel programming. The frame
+  // waits in the controller (FIFO order matches event order at equal times).
+  send_queue_.push_back(PendingSend{std::move(f), std::move(done)});
+  engine_.schedule_in(sim::costs::kDmaSetup, [this] { flush_send(); });
+}
+
+void DmaController::flush_send() {
+  PendingSend p = std::move(send_queue_.front());
+  send_queue_.pop_front();
+  out_link_.submit(std::move(p.frame), std::move(p.done));
 }
 
 void DmaController::start_vme_to_cab(std::span<const std::uint8_t> host_src, CabAddr dst,

@@ -33,18 +33,20 @@ class DmaController {
   /// `done(frame, crc_ok)` fires when the last byte has been moved;
   /// `crc_ok` is the hardware CRC verdict.
   static constexpr CabAddr kDiscard = 0xFFFFFFFFu;
-  using RecvDone = std::function<void(FiberInFifo::ArrivedFrame frame, bool crc_ok)>;
+  using RecvDone = sim::InplaceFunction<void(FiberInFifo::ArrivedFrame, bool), 48>;
   void start_recv(CabAddr dst, std::size_t skip, RecvDone done);
   bool recv_busy() const { return recv_busy_; }
 
   // ---- Send channel (data memory -> fiber out) ---------------------------
 
-  /// Transmit a frame: `header` (datalink header bytes, built by the CPU in
-  /// registers) followed by `len` bytes from data memory at `src`.
+  /// Transmit a frame: `header` (datalink + protocol header bytes, gathered
+  /// from the CPU's composition buffer) followed by `len` bytes from data
+  /// memory at `src`. The header bytes are copied into the frame's pooled
+  /// payload buffer before this returns; `header` need not outlive the call.
   /// Hardware computes the CRC over the payload as it streams out.
   /// `done` fires when the last byte has left the transmitter.
-  void start_send(std::vector<std::uint8_t> route, std::vector<std::uint8_t> header, CabAddr src,
-                  std::size_t len, std::function<void()> done, int src_node = -1);
+  void start_send(RouteRef route, std::span<const std::uint8_t> header, CabAddr src,
+                  std::size_t len, SendCallback done, int src_node = -1);
 
   // ---- VME channel (host memory <-> data memory) -------------------------
 
@@ -62,12 +64,23 @@ class DmaController {
 
  private:
   void check_dma_range(CabAddr a, std::size_t len) const;
+  void flush_send();   // channel-setup elapsed: hand the next frame to the link
+  void finish_recv();  // last byte arrived: pop the FIFO and report CRC
 
   sim::Engine& engine_;
   CabMemory& memory_;
   FiberInFifo& in_fifo_;
   FiberLink& out_link_;
   VmeBus* vme_;
+
+  // Pending state lives in the controller, not in event captures, so the
+  // scheduled events stay small enough for the engine's inline slots.
+  struct PendingSend {
+    Frame frame;
+    SendCallback done;
+  };
+  std::deque<PendingSend> send_queue_;
+  RecvDone recv_done_;
 
   bool recv_busy_ = false;
   std::uint64_t recv_frames_ = 0;

@@ -5,6 +5,8 @@
 #include <span>
 #include <vector>
 
+#include "hw/pool.hpp"
+#include "sim/action.hpp"
 #include "sim/time.hpp"
 
 namespace nectar::hw {
@@ -13,16 +15,23 @@ namespace nectar::hw {
 /// 4-byte hardware CRC trailer.
 constexpr std::size_t kFrameOverhead = 8;
 
+/// Send-completion callable (DMA send channel / link head free). Sized to
+/// hold a posted-interrupt wrapper around a protocol's own InplaceAction
+/// without spilling to the heap.
+using SendCallback = sim::InplaceFunction<void(), 64>;
+
 /// A frame in flight on the Nectar fabric.
 ///
-/// `route` holds one output-port number per HUB hop (source routing, §2.1);
-/// each HUB consumes one byte. `payload` is the datalink frame (datalink
-/// header + packet); the sending CAB's hardware computes `crc` over it as it
-/// streams out (§2.2), and the receiving CAB's hardware recomputes it.
+/// `route` holds one output-port number per HUB hop (source routing, §2.1),
+/// shared immutably with the datalink's route table; each HUB consumes one
+/// byte by advancing `hops_done`. `payload` is the datalink frame (datalink
+/// header + packet) in a pool-recycled buffer; the sending CAB's hardware
+/// computes `crc` over it as it streams out (§2.2), and the receiving CAB's
+/// hardware recomputes it.
 struct Frame {
-  std::vector<std::uint8_t> route;
+  RouteRef route;
   std::size_t hops_done = 0;
-  std::vector<std::uint8_t> payload;
+  PooledBytes payload;
   std::uint32_t crc = 0;
   bool corrupted = false;  ///< set when fault injection damaged the bytes
   std::uint64_t id = 0;

@@ -126,18 +126,19 @@ void Hub::try_forward(int out_port) {
     try_forward(out_port);
   });
 
-  sim::SimTime prop = o.propagation;
-  engine_.schedule_at(out_first,
-                      [this, out_port, qf = std::move(qf), out_first, out_last, prop]() mutable {
-                        OutputPort& p = outputs_[static_cast<std::size_t>(out_port)];
-                        Frame f = std::move(qf.frame);
-                        sim::SimTime first = out_first + prop;
-                        sim::SimTime last = out_last + prop;
-                        if (!p.sink->offer(std::move(f), first, last)) {
-                          p.blocked.emplace(std::move(f));
-                          p.blocked_span = last - first;
-                        }
-                      });
+  o.delivering.push_back(
+      Delivering{std::move(qf.frame), out_first + o.propagation, out_last + o.propagation});
+  engine_.schedule_at(out_first, [this, out_port] { deliver_front(out_port); });
+}
+
+void Hub::deliver_front(int out_port) {
+  OutputPort& p = outputs_[static_cast<std::size_t>(out_port)];
+  Delivering d = std::move(p.delivering.front());
+  p.delivering.pop_front();
+  if (!p.sink->offer(std::move(d.frame), d.first, d.last)) {
+    p.blocked.emplace(std::move(d.frame));
+    p.blocked_span = d.last - d.first;
+  }
 }
 
 void Hub::on_output_drain(int out_port) {

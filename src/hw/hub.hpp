@@ -60,10 +60,19 @@ class Hub {
     int in_port;
   };
 
+  /// A frame between this output's crossbar stage and the downstream sink.
+  /// Held here (not in event captures) so delivery events stay pointer-sized.
+  struct Delivering {
+    Frame frame;
+    sim::SimTime first;  // first-byte arrival at the downstream sink
+    sim::SimTime last;   // last-byte arrival at the downstream sink
+  };
+
   struct OutputPort {
     FrameSink* sink = nullptr;
     sim::SimTime propagation = 0;
     std::deque<QueuedFrame> queue;
+    std::deque<Delivering> delivering;  // in first-byte order
     std::size_t highwater = 0;
     bool transmitting = false;
     std::optional<Frame> blocked;
@@ -87,6 +96,7 @@ class Hub {
 
   void route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last);
   void try_forward(int out_port);
+  void deliver_front(int out_port);  // first byte reached the downstream sink
   void on_output_drain(int out_port);
 
   sim::Engine& engine_;

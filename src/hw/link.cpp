@@ -17,7 +17,7 @@ void FiberLink::attach(FrameSink* sink) {
   sink_->set_drain_notify([this] { on_drain(); });
 }
 
-void FiberLink::submit(Frame&& f, std::function<void()> on_sent) {
+void FiberLink::submit(Frame&& f, SendCallback on_sent) {
   queue_.push_back({std::move(f), std::move(on_sent)});
   try_start();
 }
@@ -38,7 +38,7 @@ void FiberLink::try_start() {
   transmitting_ = true;
 
   Frame f = std::move(queue_.front().frame);
-  std::function<void()> on_sent = std::move(queue_.front().on_sent);
+  head_done_ = std::move(queue_.front().on_sent);
   queue_.pop_front();
 
   sim::SimTime ttime = sim::transmit_time(static_cast<std::int64_t>(f.wire_bytes()), rate_);
@@ -56,11 +56,7 @@ void FiberLink::try_start() {
   });
 
   // The link head frees once the last byte leaves the transmitter.
-  engine_.schedule_in(ttime, [this, on_sent = std::move(on_sent)] {
-    transmitting_ = false;
-    if (on_sent) on_sent();
-    try_start();
-  });
+  engine_.schedule_in(ttime, [this] { on_head_sent(); });
 
   if (drop_rate_ > 0 && drop_rng_.chance(drop_rate_)) {
     ++frames_dropped_;  // the frame evaporates mid-flight
@@ -79,9 +75,24 @@ void FiberLink::try_start() {
     NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->instant(trace_track_, "link.corrupt"));
   }
 
-  engine_.schedule_at(first, [this, f = std::move(f), first, last]() mutable {
-    deliver(std::move(f), first, last);
-  });
+  // The frame rides in the in-flight queue (first-byte order) rather than in
+  // the event capture; the event only needs `this`.
+  in_flight_.push_back(InFlight{std::move(f), first, last});
+  engine_.schedule_at(first, [this] { deliver_front(); });
+}
+
+void FiberLink::on_head_sent() {
+  transmitting_ = false;
+  // Move the completion out first: it may submit the next frame.
+  SendCallback done = std::move(head_done_);
+  if (done) done();
+  try_start();
+}
+
+void FiberLink::deliver_front() {
+  InFlight fl = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  deliver(std::move(fl.frame), fl.first, fl.last);
 }
 
 void FiberLink::deliver(Frame&& f, sim::SimTime first, sim::SimTime last) {

@@ -36,7 +36,7 @@ class FiberLink {
   /// Queue a frame for transmission. Transmission begins as soon as the link
   /// head is free. `on_sent` (optional) fires when the last byte has left the
   /// transmitter — the DMA send-complete interrupt hangs off this.
-  void submit(Frame&& f, std::function<void()> on_sent = {});
+  void submit(Frame&& f, SendCallback on_sent = {});
 
   // Fault injection (deterministic, seeded).
   void set_corrupt_rate(double p, std::uint64_t seed = 42);
@@ -59,6 +59,8 @@ class FiberLink {
 
  private:
   void try_start();
+  void on_head_sent();   // last byte left the transmitter
+  void deliver_front();  // first byte reached the far end
   void deliver(Frame&& f, sim::SimTime first, sim::SimTime last);
   void on_drain();
 
@@ -70,10 +72,19 @@ class FiberLink {
 
   struct Pending {
     Frame frame;
-    std::function<void()> on_sent;
+    SendCallback on_sent;
   };
   std::deque<Pending> queue_;
   bool transmitting_ = false;
+  SendCallback head_done_;             // completion of the transmitting frame
+  // Frames between transmitter and far end, in first-byte order. Held here
+  // (not in event captures) so delivery events stay pointer-sized.
+  struct InFlight {
+    Frame frame;
+    sim::SimTime first;
+    sim::SimTime last;
+  };
+  std::deque<InFlight> in_flight_;
   std::optional<Frame> blocked_;       // held by downstream back-pressure
   sim::SimTime blocked_span_ = 0;      // serialization span of the held frame
 

@@ -1,11 +1,39 @@
 #include "hw/memory.hpp"
 
 #include <cstring>
+#include <new>
 #include <stdexcept>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define NECTAR_HAVE_MMAP 1
+#endif
 
 namespace nectar::hw {
 
-CabMemory::CabMemory() : bytes_(kDataEnd, 0) {}
+LazyZeroPages::LazyZeroPages(std::size_t size) : size_(size) {
+#ifdef NECTAR_HAVE_MMAP
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p != MAP_FAILED) {
+    data_ = static_cast<std::uint8_t*>(p);
+    mapped_ = true;
+    return;
+  }
+#endif
+  data_ = new std::uint8_t[size]();
+}
+
+LazyZeroPages::~LazyZeroPages() {
+#ifdef NECTAR_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(data_, size_);
+    return;
+  }
+#endif
+  delete[] data_;
+}
+
+CabMemory::CabMemory() : bytes_(kDataEnd) {}
 
 void CabMemory::check(CabAddr a, std::size_t len) const {
   if (static_cast<std::size_t>(a) + len > bytes_.size() ||
@@ -16,13 +44,13 @@ void CabMemory::check(CabAddr a, std::size_t len) const {
 
 std::uint8_t CabMemory::read8(CabAddr a) const {
   check(a, 1);
-  return bytes_[a];
+  return bytes_.data()[a];
 }
 
 void CabMemory::write8(CabAddr a, std::uint8_t v) {
   check(a, 1);
   if (in_prom(a, 1)) throw std::logic_error("CabMemory: write to PROM");
-  bytes_[a] = v;
+  bytes_.data()[a] = v;
 }
 
 std::uint32_t CabMemory::read32(CabAddr a) const {

@@ -26,6 +26,28 @@ constexpr CabAddr kDataEnd = kDataBase + kDataSize;
 constexpr CabAddr kPageSize = 1024;
 constexpr CabAddr kNumPages = kDataEnd / kPageSize;
 
+/// A fixed-size zero-initialized byte array whose pages are faulted in
+/// lazily. A CAB carries 2 MB of simulated memory but a typical run touches
+/// only a few KB of it; an anonymous mmap hands out guaranteed-zero pages on
+/// first access instead of paying an eager memset over the whole region at
+/// construction (which dominated NectarSystem setup cost).
+class LazyZeroPages {
+ public:
+  explicit LazyZeroPages(std::size_t size);
+  ~LazyZeroPages();
+  LazyZeroPages(const LazyZeroPages&) = delete;
+  LazyZeroPages& operator=(const LazyZeroPages&) = delete;
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  // mmap-backed (else heap fallback)
+};
+
 /// CAB on-board memory. Backed by a real byte array: every message the
 /// simulation sends exists as real bytes here, so data integrity can be
 /// asserted end to end.
@@ -55,7 +77,7 @@ class CabMemory {
 
  private:
   void check(CabAddr a, std::size_t len) const;
-  std::vector<std::uint8_t> bytes_;
+  LazyZeroPages bytes_;
 };
 
 /// Per-page memory protection with multiple protection domains (§2.2):

@@ -1,0 +1,38 @@
+#include "hw/pool.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace nectar::hw {
+
+BufferPool& BufferPool::payloads() {
+  static BufferPool pool;
+  return pool;
+}
+
+std::vector<std::uint8_t> BufferPool::acquire(std::size_t n) {
+  ++acquires_;
+  if (!free_.empty()) {
+    ++reuses_;
+    std::vector<std::uint8_t> v = std::move(free_.back());
+    free_.pop_back();
+    v.resize(n);  // cleared on release, so new bytes are value-initialized
+    return v;
+  }
+  return std::vector<std::uint8_t>(n);
+}
+
+void BufferPool::release(std::vector<std::uint8_t>&& v) {
+  if (free_.size() >= kMaxPooled) return;  // let it free normally
+  v.clear();
+  free_.push_back(std::move(v));
+}
+
+void BufferPool::register_metrics(obs::Registration& reg, const std::string& component,
+                                  int node) const {
+  reg.probe(node, component, "acquires",
+            [this] { return static_cast<std::int64_t>(acquires()); });
+  reg.probe(node, component, "reuses", [this] { return static_cast<std::int64_t>(reuses()); });
+  reg.probe(node, component, "pooled", [this] { return static_cast<std::int64_t>(pooled()); });
+}
+
+}  // namespace nectar::hw

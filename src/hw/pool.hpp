@@ -1,0 +1,141 @@
+#pragma once
+
+// Host-memory buffer recycling for the hardware models.
+//
+// Every simulated frame used to allocate (and free) its payload vector as it
+// moved DMA -> link -> HUB -> FIFO -> DMA; at packet rates this dominated the
+// simulator's wall-clock. The pool keeps retired payload vectors (capacity
+// intact) on a free list and hands them back on the next acquire. This is
+// purely a host-side optimization: simulated times and bytes are unaffected,
+// so results stay bit-for-bit identical.
+//
+// The simulation is single-OS-threaded, so a process-wide pool shared by all
+// nodes (frames cross node boundaries anyway) needs no locking.
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nectar::obs {
+class Registration;
+}
+
+namespace nectar::hw {
+
+/// Free list of recycled byte vectors. Use through PooledBytes.
+class BufferPool {
+ public:
+  /// The process-wide pool frame payloads circulate through.
+  static BufferPool& payloads();
+
+  /// A vector of exactly `n` bytes (zero-filled when freshly grown).
+  std::vector<std::uint8_t> acquire(std::size_t n);
+  void release(std::vector<std::uint8_t>&& v);
+
+  std::uint64_t acquires() const { return acquires_; }
+  /// Acquires served from the free list instead of a fresh allocation.
+  std::uint64_t reuses() const { return reuses_; }
+  std::size_t pooled() const { return free_.size(); }
+
+  /// Drop all pooled buffers (keeps counters; for memory-pressure / tests).
+  void trim() { free_.clear(); }
+
+  /// Report pool statistics as probes under (node, `component`). The pool is
+  /// process-wide, so callers conventionally pass node -1.
+  void register_metrics(obs::Registration& reg, const std::string& component,
+                        int node = -1) const;
+
+ private:
+  // Bounds host memory held by the pool; beyond this, released buffers are
+  // simply freed.
+  static constexpr std::size_t kMaxPooled = 1024;
+
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Move-only owner of a pooled byte buffer: acquired from BufferPool on
+/// construction, returned to it on destruction. Mimics the slice of the
+/// std::vector interface the hardware models use.
+class PooledBytes {
+ public:
+  PooledBytes() = default;
+  explicit PooledBytes(std::size_t n) : v_(BufferPool::payloads().acquire(n)) {}
+  /// Adopt an existing vector; its storage enters pool circulation when this
+  /// owner dies.
+  PooledBytes(std::vector<std::uint8_t> bytes) : v_(std::move(bytes)) {}  // NOLINT
+  PooledBytes(std::initializer_list<std::uint8_t> bytes)  // NOLINT(google-explicit-constructor)
+      : v_(bytes) {}
+
+  PooledBytes(PooledBytes&& o) noexcept : v_(std::move(o.v_)) { o.v_.clear(); }
+  PooledBytes& operator=(PooledBytes&& o) noexcept {
+    if (this != &o) {
+      recycle();
+      v_ = std::move(o.v_);
+      o.v_.clear();
+    }
+    return *this;
+  }
+  PooledBytes(const PooledBytes&) = delete;
+  PooledBytes& operator=(const PooledBytes&) = delete;
+  ~PooledBytes() { recycle(); }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  std::uint8_t* data() { return v_.data(); }
+  const std::uint8_t* data() const { return v_.data(); }
+  std::uint8_t& operator[](std::size_t i) { return v_[i]; }
+  std::uint8_t operator[](std::size_t i) const { return v_[i]; }
+  auto begin() { return v_.begin(); }
+  auto end() { return v_.end(); }
+  auto begin() const { return v_.begin(); }
+  auto end() const { return v_.end(); }
+  void resize(std::size_t n) { v_.resize(n); }
+  void assign(std::size_t n, std::uint8_t v) { v_.assign(n, v); }
+
+  operator std::span<const std::uint8_t>() const { return v_; }  // NOLINT
+  operator std::span<std::uint8_t>() { return v_; }              // NOLINT
+  std::span<const std::uint8_t> bytes() const { return v_; }
+  std::span<std::uint8_t> bytes() { return v_; }
+
+ private:
+  void recycle() {
+    if (v_.capacity() > 0) BufferPool::payloads().release(std::move(v_));
+  }
+
+  std::vector<std::uint8_t> v_;
+};
+
+/// A shared immutable source route (one output-port byte per HUB hop).
+///
+/// The datalink layer interns one route per destination at topology-install
+/// time and every frame to that destination carries a reference, instead of
+/// copying the route vector per packet (§2.1 routes are static).
+class RouteRef {
+ public:
+  RouteRef() = default;
+  RouteRef(std::vector<std::uint8_t> hops)  // NOLINT(google-explicit-constructor)
+      : p_(hops.empty()
+               ? nullptr
+               : std::make_shared<const std::vector<std::uint8_t>>(std::move(hops))) {}
+  RouteRef(std::initializer_list<std::uint8_t> hops)  // NOLINT(google-explicit-constructor)
+      : RouteRef(std::vector<std::uint8_t>(hops)) {}
+
+  std::size_t size() const { return p_ == nullptr ? 0 : p_->size(); }
+  bool empty() const { return size() == 0; }
+  std::uint8_t operator[](std::size_t i) const { return (*p_)[i]; }
+  const std::vector<std::uint8_t>& bytes() const {
+    static const std::vector<std::uint8_t> kEmpty;
+    return p_ == nullptr ? kEmpty : *p_;
+  }
+  bool operator==(const RouteRef& o) const { return bytes() == o.bytes(); }
+
+ private:
+  std::shared_ptr<const std::vector<std::uint8_t>> p_;
+};
+
+}  // namespace nectar::hw

@@ -3,9 +3,25 @@
 #include <deque>
 #include <stdexcept>
 
+#include "hw/pool.hpp"
+#include "proto/headerbuf.hpp"
+
 namespace nectar::net {
 
 Network::Network() : trace_(engine_) {}
+
+void Network::register_substrate_metrics() {
+  // Event-queue/pool stats report under node -1. Opt-in rather than always
+  // on: committed bench reports snapshot the registry, and the substrate's
+  // host-side pool counters are not part of the simulated results those
+  // reports track. The process-wide byte pools (hw::BufferPool,
+  // proto::HeaderBufPool) additionally span Networks, so auto-registering
+  // them would break the guarantee that identical runs snapshot
+  // byte-identically.
+  engine_.register_metrics(metrics_reg_);
+  hw::BufferPool::payloads().register_metrics(metrics_reg_, "hw.framepool");
+  proto::HeaderBufPool::instance().register_metrics(metrics_reg_, "proto.hdrpool");
+}
 
 int Network::add_hub(int ports) {
   int id = static_cast<int>(hubs_.size());

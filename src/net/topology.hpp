@@ -35,6 +35,13 @@ class Network {
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
 
+  /// Opt-in: report the simulation substrate's host-side pool statistics
+  /// (event slab under "sim.engine", process-wide frame/header byte pools
+  /// under "hw.framepool"/"proto.hdrpool", all node -1) into metrics().
+  /// Not registered by default — the byte-pool counters span Networks, and
+  /// committed bench reports must snapshot byte-identically across runs.
+  void register_substrate_metrics();
+
   /// Add a HUB (16x16 by default). Returns its id.
   int add_hub(int ports = 16);
   hw::Hub& hub(int id) { return *hubs_.at(static_cast<std::size_t>(id)); }

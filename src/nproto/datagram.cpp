@@ -22,7 +22,7 @@ DatagramProtocol::DatagramProtocol(proto::Datalink& dl)
 }
 
 void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
-                                std::function<void()> on_sent, std::uint32_t src_mailbox) {
+                                sim::InplaceAction on_sent, std::uint32_t src_mailbox) {
   runtime().cpu().charge(costs::kNectarProtoSend);
   runtime().trace_mark("datagram.send");
 
@@ -31,8 +31,8 @@ void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std:
   h.src_mailbox = src_mailbox;
   h.src_node = static_cast<std::uint8_t>(dl_.node_id());
   h.length = static_cast<std::uint16_t>(len);
-  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
-  h.serialize(hdr);
+  proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+  h.serialize(hdr->push_front(proto::NectarHeader::kSize));
 
   ++sent_;
   dl_.send(proto::PacketType::NectarDatagram, dst.node, std::move(hdr), payload, len,

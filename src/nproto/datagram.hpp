@@ -31,7 +31,7 @@ class DatagramProtocol : public proto::DatalinkClient {
 
   /// Raw variant: payload directly from CAB data memory.
   void send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
-                std::function<void()> on_sent = {}, std::uint32_t src_mailbox = 0);
+                sim::InplaceAction on_sent = {}, std::uint32_t src_mailbox = 0);
 
   /// Addressing info of a delivered datagram (who sent it, reply mailbox).
   struct Info {

@@ -51,8 +51,8 @@ void ReqResp::transmit_request(std::uint16_t xid) {
   h.flags = kFlagRequest;
   h.seq = xid;
   h.length = static_cast<std::uint16_t>(oc.req_len);
-  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
-  h.serialize(hdr);
+  proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+  h.serialize(hdr->push_front(proto::NectarHeader::kSize));
   dl_.send(proto::PacketType::ReqResp, oc.dst_node, std::move(hdr), oc.req_payload, oc.req_len);
 
   core::Cpu& cpu = runtime().cpu();
@@ -115,8 +115,8 @@ void ReqResp::transmit_response(int client_node, std::uint16_t xid, std::uint32_
   h.flags = kFlagResponse;
   h.seq = xid;
   h.length = static_cast<std::uint16_t>(reply.len);
-  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
-  h.serialize(hdr);
+  proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+  h.serialize(hdr->push_front(proto::NectarHeader::kSize));
   ++responses_sent_;
   dl_.send(proto::PacketType::ReqResp, client_node, std::move(hdr), reply.data, reply.len);
 }

@@ -53,8 +53,8 @@ void Rmp::transmit_head(int node) {
   h.flags = kFlagData;
   h.seq = ch.next_seq;
   h.length = static_cast<std::uint16_t>(p.msg.len);
-  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
-  h.serialize(hdr);
+  proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+  h.serialize(hdr->push_front(proto::NectarHeader::kSize));
 
   ++sent_;
   NECTAR_TRACE(runtime().trace_mark("rmp.xmit"));
@@ -130,8 +130,8 @@ void Rmp::send_ack(int node, std::uint16_t seq) {
   h.flags = kFlagAck;
   h.seq = seq;
   h.length = 0;
-  std::vector<std::uint8_t> hdr(proto::NectarHeader::kSize);
-  h.serialize(hdr);
+  proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+  h.serialize(hdr->push_front(proto::NectarHeader::kSize));
   ++acks_sent_;
   NECTAR_TRACE(runtime().trace_mark("rmp.ack"));
   dl_.send(proto::PacketType::Rmp, node, std::move(hdr), hw::kDataBase, 0);

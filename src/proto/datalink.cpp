@@ -34,10 +34,16 @@ void Datalink::trace_instant(const char* label) {
 }
 
 void Datalink::set_route(int dst_node, std::vector<std::uint8_t> route) {
-  routes_[dst_node] = std::move(route);
+  // Intern once: every frame to this destination shares the same immutable
+  // route bytes instead of carrying a per-packet copy.
+  routes_[dst_node] = hw::RouteRef(std::move(route));
 }
 
 const std::vector<std::uint8_t>& Datalink::route_to(int dst_node) const {
+  return route_ref(dst_node).bytes();
+}
+
+const hw::RouteRef& Datalink::route_ref(int dst_node) const {
   auto it = routes_.find(dst_node);
   if (it == routes_.end()) {
     throw std::logic_error(rt_.board().name() + ": no route to node " +
@@ -50,34 +56,34 @@ void Datalink::register_client(PacketType type, DatalinkClient* client) {
   clients_[static_cast<std::uint8_t>(type)] = client;
 }
 
-void Datalink::send(PacketType type, int dst_node, std::vector<std::uint8_t> proto_header,
-                    hw::CabAddr payload, std::size_t len, std::function<void()> on_sent) {
-  if (proto_header.size() + len > kMaxPayload) {
+void Datalink::send(PacketType type, int dst_node, HeaderBufLease hdr, hw::CabAddr payload,
+                    std::size_t len, sim::InplaceAction on_sent) {
+  std::size_t proto_len = hdr.size();
+  if (proto_len + len > kMaxPayload) {
     throw std::logic_error("Datalink::send: packet exceeds maximum payload");
   }
-  const std::vector<std::uint8_t>& route = route_to(dst_node);
+  const hw::RouteRef& route = route_ref(dst_node);
   rt_.cpu().charge(costs::kDatalinkSend);
 
   DatalinkHeader dh;
   dh.type = type;
   dh.src_node = static_cast<std::uint8_t>(node_id());
-  dh.length = static_cast<std::uint16_t>(proto_header.size() + len);
+  dh.length = static_cast<std::uint16_t>(proto_len + len);
 
-  // Gather: [datalink header][protocol header] from registers, payload from
-  // CAB data memory via the send DMA channel.
-  std::vector<std::uint8_t> header(DatalinkHeader::kSize + proto_header.size());
-  dh.serialize(header);
-  std::copy(proto_header.begin(), proto_header.end(), header.begin() + DatalinkHeader::kSize);
+  // Prepend the datalink header into the composition buffer's headroom: the
+  // frame's header bytes [datalink][proto...] are already contiguous, no
+  // gather copy needed.
+  dh.serialize(hdr.ensure().push_front(DatalinkHeader::kSize));
 
   ++packets_sent_;
-  packet_bytes_->observe(static_cast<std::int64_t>(proto_header.size() + len));
+  packet_bytes_->observe(static_cast<std::int64_t>(proto_len + len));
   NECTAR_TRACE(trace_instant("dl.send"));
-  std::function<void()> completion;
+  hw::SendCallback completion;
   if (on_sent) {
     core::Cpu& cpu = rt_.cpu();
-    completion = [&cpu, fn = std::move(on_sent)] { cpu.post_interrupt(fn); };
+    completion = [&cpu, fn = std::move(on_sent)]() mutable { cpu.post_interrupt(std::move(fn)); };
   }
-  rt_.board().dma().start_send(route, std::move(header), len > 0 ? payload : hw::kDataBase, len,
+  rt_.board().dma().start_send(route, hdr.bytes(), len > 0 ? payload : hw::kDataBase, len,
                                std::move(completion), node_id());
 }
 

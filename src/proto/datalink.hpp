@@ -7,7 +7,9 @@
 
 #include "core/mailbox.hpp"
 #include "core/runtime.hpp"
+#include "proto/headerbuf.hpp"
 #include "proto/headers.hpp"
+#include "sim/action.hpp"
 
 namespace nectar::proto {
 
@@ -61,6 +63,8 @@ class Datalink {
   void set_route(int dst_node, std::vector<std::uint8_t> route);
   bool has_route(int dst_node) const { return routes_.count(dst_node) > 0; }
   const std::vector<std::uint8_t>& route_to(int dst_node) const;
+  /// Interned shared route (frames reference it instead of copying).
+  const hw::RouteRef& route_ref(int dst_node) const;
 
   // --- protocol registration --------------------------------------------------
 
@@ -68,12 +72,14 @@ class Datalink {
 
   // --- send path -----------------------------------------------------------------
 
-  /// Transmit `proto_header` (built by the protocol, copied into the frame)
+  /// Transmit the headers composed in `hdr` (the datalink header is
+  /// prepended here; pass `{}` when there are no protocol header bytes)
   /// followed by `len` bytes of payload from CAB data memory at `payload`.
+  /// The header bytes are copied into the frame before this returns.
   /// `on_sent`, if given, runs in interrupt context after the last byte has
   /// left the fiber (protocols use it to free send buffers).
-  void send(PacketType type, int dst_node, std::vector<std::uint8_t> proto_header,
-            hw::CabAddr payload, std::size_t len, std::function<void()> on_sent = {});
+  void send(PacketType type, int dst_node, HeaderBufLease hdr, hw::CabAddr payload,
+            std::size_t len, sim::InplaceAction on_sent = {});
 
   // --- stats ------------------------------------------------------------------------
 
@@ -90,7 +96,7 @@ class Datalink {
   void trace_instant(const char* label);
 
   core::CabRuntime& rt_;
-  std::map<int, std::vector<std::uint8_t>> routes_;
+  std::map<int, hw::RouteRef> routes_;
   std::array<DatalinkClient*, 256> clients_{};
 
   std::uint64_t packets_sent_ = 0;

@@ -1,0 +1,36 @@
+#include "proto/headerbuf.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace nectar::proto {
+
+HeaderBufPool& HeaderBufPool::instance() {
+  static HeaderBufPool pool;
+  return pool;
+}
+
+std::unique_ptr<HeaderBuf> HeaderBufPool::acquire() {
+  ++acquires_;
+  if (!free_.empty()) {
+    ++reuses_;
+    std::unique_ptr<HeaderBuf> b = std::move(free_.back());
+    free_.pop_back();
+    b->reset();
+    return b;
+  }
+  return std::make_unique<HeaderBuf>();
+}
+
+void HeaderBufPool::release(std::unique_ptr<HeaderBuf> b) {
+  if (free_.size() < kMaxPooled) free_.push_back(std::move(b));
+}
+
+void HeaderBufPool::register_metrics(obs::Registration& reg, const std::string& component,
+                                     int node) const {
+  reg.probe(node, component, "acquires",
+            [this] { return static_cast<std::int64_t>(acquires()); });
+  reg.probe(node, component, "reuses", [this] { return static_cast<std::int64_t>(reuses()); });
+  reg.probe(node, component, "pooled", [this] { return static_cast<std::int64_t>(pooled()); });
+}
+
+}  // namespace nectar::proto

@@ -1,0 +1,156 @@
+#pragma once
+
+// Headroom-based header composition buffer for the protocol send path.
+//
+// A packet's headers used to be built inside-out with one std::vector per
+// layer: the transport serialized into a fresh vector, IP allocated a larger
+// one and copied the transport header behind its own, and the datalink did
+// the same again. A HeaderBuf reserves the maximum header depth up front and
+// each layer *prepends* into the remaining headroom, so the whole stack
+// composes one contiguous [datalink][IP][transport] header with zero
+// allocations and zero inter-layer copies. Buffers are pool-recycled through
+// HeaderBufLease (the simulation is single-OS-threaded; no locking).
+//
+// This is purely a host-side optimization: the simulated per-layer CPU costs
+// are charged exactly as before, so simulated results are bit-for-bit
+// identical.
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nectar::obs {
+class Registration;
+}
+
+namespace nectar::proto {
+
+/// Fixed-capacity byte buffer filled back-to-front.
+class HeaderBuf {
+ public:
+  /// Deepest header stack in the simulator: datalink (4) + IP (20) + TCP (20)
+  /// = 44 bytes; rounded up for headroom.
+  static constexpr std::size_t kCapacity = 64;
+
+  /// Claim `n` bytes of headroom in front of the current contents and return
+  /// a writable view of them (the new front of the buffer).
+  std::span<std::uint8_t> push_front(std::size_t n) {
+    if (n > head_) throw std::logic_error("HeaderBuf: headroom exhausted");
+    head_ -= n;
+    return std::span<std::uint8_t>(buf_.data() + head_, n);
+  }
+
+  std::size_t size() const { return kCapacity - head_; }
+  bool empty() const { return head_ == kCapacity; }
+  void reset() { head_ = kCapacity; }
+
+  std::span<const std::uint8_t> bytes() const {
+    return std::span<const std::uint8_t>(buf_.data() + head_, size());
+  }
+  std::span<std::uint8_t> bytes() {
+    return std::span<std::uint8_t>(buf_.data() + head_, size());
+  }
+
+ private:
+  std::size_t head_ = kCapacity;
+  std::array<std::uint8_t, kCapacity> buf_{};
+};
+
+/// Free list HeaderBufs circulate through. Use through HeaderBufLease.
+class HeaderBufPool {
+ public:
+  /// The process-wide pool (header composition is transient and
+  /// single-threaded; one pool serves every node).
+  static HeaderBufPool& instance();
+
+  std::unique_ptr<HeaderBuf> acquire();
+  void release(std::unique_ptr<HeaderBuf> b);
+
+  std::uint64_t acquires() const { return acquires_; }
+  /// Acquires served from the free list instead of a fresh allocation.
+  std::uint64_t reuses() const { return reuses_; }
+  std::size_t pooled() const { return free_.size(); }
+
+  /// Drop all pooled buffers (keeps counters; for memory-pressure / tests).
+  void trim() { free_.clear(); }
+
+  /// Report pool statistics as probes under (node, `component`). The pool is
+  /// process-wide, so callers conventionally pass node -1.
+  void register_metrics(obs::Registration& reg, const std::string& component,
+                        int node = -1) const;
+
+ private:
+  static constexpr std::size_t kMaxPooled = 64;
+
+  std::vector<std::unique_ptr<HeaderBuf>> free_;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Move-only owner of a pooled HeaderBuf. A default-constructed (null) lease
+/// means "no header bytes yet": layers that need to prepend acquire a buffer
+/// on demand via `ensure()`.
+class HeaderBufLease {
+ public:
+  HeaderBufLease() = default;
+  static HeaderBufLease acquire() { return HeaderBufLease(HeaderBufPool::instance().acquire()); }
+
+  /// Convenience conversions (tests, raw datalink users): copy the given
+  /// bytes into a fresh pooled buffer. Empty input yields a null lease.
+  HeaderBufLease(const std::vector<std::uint8_t>& b)  // NOLINT(google-explicit-constructor)
+      : HeaderBufLease(std::span<const std::uint8_t>(b)) {}
+  HeaderBufLease(std::initializer_list<std::uint8_t> b)  // NOLINT(google-explicit-constructor)
+      : HeaderBufLease(std::span<const std::uint8_t>(b.begin(), b.size())) {}
+  explicit HeaderBufLease(std::span<const std::uint8_t> b) {
+    if (!b.empty()) {
+      std::span<std::uint8_t> dst = ensure().push_front(b.size());
+      std::copy(b.begin(), b.end(), dst.begin());
+    }
+  }
+
+  HeaderBufLease(HeaderBufLease&&) noexcept = default;
+  HeaderBufLease& operator=(HeaderBufLease&& o) noexcept {
+    if (this != &o) {
+      recycle();
+      buf_ = std::move(o.buf_);
+    }
+    return *this;
+  }
+  HeaderBufLease(const HeaderBufLease&) = delete;
+  HeaderBufLease& operator=(const HeaderBufLease&) = delete;
+  ~HeaderBufLease() { recycle(); }
+
+  explicit operator bool() const { return buf_ != nullptr; }
+  HeaderBuf* operator->() { return buf_.get(); }
+  const HeaderBuf* operator->() const { return buf_.get(); }
+  HeaderBuf& operator*() { return *buf_; }
+
+  /// Acquire a buffer if this lease is null (a layer below the first header
+  /// writer sees `{}` and starts the stack itself).
+  HeaderBuf& ensure() {
+    if (buf_ == nullptr) buf_ = HeaderBufPool::instance().acquire();
+    return *buf_;
+  }
+
+  /// Header bytes composed so far (empty for a null lease).
+  std::span<const std::uint8_t> bytes() const {
+    return buf_ == nullptr ? std::span<const std::uint8_t>{} : buf_->bytes();
+  }
+  std::size_t size() const { return buf_ == nullptr ? 0 : buf_->size(); }
+
+ private:
+  explicit HeaderBufLease(std::unique_ptr<HeaderBuf> b) : buf_(std::move(b)) {}
+  void recycle() {
+    if (buf_ != nullptr) HeaderBufPool::instance().release(std::move(buf_));
+  }
+
+  std::unique_ptr<HeaderBuf> buf_;
+};
+
+}  // namespace nectar::proto

@@ -1,5 +1,7 @@
 #include "proto/icmp.hpp"
 
+#include <array>
+
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
 
@@ -122,7 +124,7 @@ void Icmp::send_unreachable(std::uint8_t code, core::Message offender) {
   eh.code = code;
   eh.id = 0;  // the id/seq words are the "unused" field of a type-3 message
   eh.seq = 0;
-  std::vector<std::uint8_t> hdr(IcmpHeader::kSize);
+  std::array<std::uint8_t, IcmpHeader::kSize> hdr;
   eh.serialize(hdr);
   mem.write(out->data, hdr);
   // Copy the quoted bytes from the offender in place.
@@ -157,7 +159,7 @@ void Icmp::ping(IpAddr dst, std::uint16_t id, std::uint16_t seq, std::size_t pay
   h.type = kIcmpEchoRequest;
   h.id = id;
   h.seq = seq;
-  std::vector<std::uint8_t> hdr(IcmpHeader::kSize);
+  std::array<std::uint8_t, IcmpHeader::kSize> hdr;
   h.serialize(hdr);
   mem.write(m.data, hdr);
   for (std::size_t i = 0; i < payload_len; ++i) {

@@ -52,14 +52,15 @@ int Ip::node_for(IpAddr dst) const {
 
 // --- output ---------------------------------------------------------------------
 
-void Ip::output(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
-                hw::CabAddr payload, std::size_t len, std::function<void()> on_sent) {
+void Ip::output(const OutputInfo& info, HeaderBufLease proto_header, hw::CabAddr payload,
+                std::size_t len, sim::InplaceAction on_sent) {
   core::Cpu& cpu = runtime().cpu();
   cpu.charge(costs::kIpOutput);
 
   IpAddr src = info.src != 0 ? info.src : my_addr_;
   int dst_node = node_for(info.dst);
-  std::size_t total = proto_header.size() + len;
+  std::size_t proto_len = proto_header.size();
+  std::size_t total = proto_len + len;
   std::size_t max_payload = (mtu_ - IpHeader::kSize) & ~std::size_t{7};
   std::uint16_t id = next_id_++;
   ++sent_;
@@ -80,39 +81,36 @@ void Ip::output(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
   };
 
   if (total <= max_payload) {
-    // Common case: a single datagram, gathered as [IP hdr][proto hdr] from
-    // registers plus the payload from CAB memory.
-    std::vector<std::uint8_t> hdr(IpHeader::kSize + proto_header.size());
-    make_header(0, total, false).serialize(hdr);
-    std::copy(proto_header.begin(), proto_header.end(), hdr.begin() + IpHeader::kSize);
-    dl_.send(PacketType::Ip, dst_node, std::move(hdr), payload, len, std::move(on_sent));
+    // Common case: a single datagram. Prepend the IP header into the
+    // transport's composition buffer — [IP hdr][proto hdr] are contiguous.
+    make_header(0, total, false).serialize(proto_header.ensure().push_front(IpHeader::kSize));
+    dl_.send(PacketType::Ip, dst_node, std::move(proto_header), payload, len,
+             std::move(on_sent));
     return;
   }
 
   // Fragmentation: offsets are in the combined (proto_header ++ payload)
   // byte space. Only the first fragment can contain proto_header bytes
   // (transport headers are far smaller than one fragment).
-  if (proto_header.size() >= max_payload) {
+  if (proto_len >= max_payload) {
     throw std::logic_error("Ip::output: transport header exceeds fragment size");
   }
   std::size_t nfrags = (total + max_payload - 1) / max_payload;
   auto remaining = std::make_shared<std::size_t>(nfrags);
-  auto shared_done = std::make_shared<std::function<void()>>(std::move(on_sent));
+  auto shared_done = std::make_shared<sim::InplaceAction>(std::move(on_sent));
   for (std::size_t off = 0; off < total; off += max_payload) {
     std::size_t chunk = std::min(max_payload, total - off);
     bool more = off + chunk < total;
-    std::vector<std::uint8_t> hdr_part;
+    HeaderBufLease hdr;
     hw::CabAddr mem = payload;
     std::size_t mem_len = chunk;
     if (off == 0) {
-      hdr_part = proto_header;
-      mem_len = chunk - proto_header.size();
+      hdr = std::move(proto_header);  // first fragment carries the transport header
+      mem_len = chunk - proto_len;
     } else {
-      mem += static_cast<hw::CabAddr>(off - proto_header.size());
+      mem += static_cast<hw::CabAddr>(off - proto_len);
     }
-    std::vector<std::uint8_t> hdr(IpHeader::kSize + hdr_part.size());
-    make_header(off, chunk, more).serialize(hdr);
-    std::copy(hdr_part.begin(), hdr_part.end(), hdr.begin() + IpHeader::kSize);
+    make_header(off, chunk, more).serialize(hdr.ensure().push_front(IpHeader::kSize));
     ++frag_sent_;
     dl_.send(PacketType::Ip, dst_node, std::move(hdr), mem, mem_len,
              [remaining, shared_done] {
@@ -121,8 +119,8 @@ void Ip::output(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
   }
 }
 
-void Ip::output_msg(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
-                    core::Message data, bool free_when_sent) {
+void Ip::output_msg(const OutputInfo& info, HeaderBufLease proto_header, core::Message data,
+                    bool free_when_sent) {
   core::Mailbox& storage = input_;
   if (free_when_sent) {
     output(info, std::move(proto_header), data.data, data.len,

@@ -63,16 +63,18 @@ class Ip : public DatalinkClient {
     std::uint8_t tos = 0;
   };
 
-  /// Send `proto_header` ++ payload[0..len) as one datagram, fragmenting if
-  /// it exceeds the MTU. `on_sent` runs (interrupt context) after the last
-  /// byte of the last fragment has left the fiber.
-  void output(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
-              hw::CabAddr payload, std::size_t len, std::function<void()> on_sent = {});
+  /// Send the transport header composed in `proto_header` (pass `{}` for
+  /// none; the IP header is prepended into its headroom) ++ payload[0..len)
+  /// as one datagram, fragmenting if it exceeds the MTU. `on_sent` runs
+  /// (interrupt context) after the last byte of the last fragment has left
+  /// the fiber.
+  void output(const OutputInfo& info, HeaderBufLease proto_header, hw::CabAddr payload,
+              std::size_t len, sim::InplaceAction on_sent = {});
 
   /// Variant taking a mailbox message as the data area; frees it after
   /// transmission when `free_when_sent` (the paper's flag).
-  void output_msg(const OutputInfo& info, std::vector<std::uint8_t> proto_header,
-                  core::Message data, bool free_when_sent);
+  void output_msg(const OutputInfo& info, HeaderBufLease proto_header, core::Message data,
+                  bool free_when_sent);
 
   // --- DatalinkClient --------------------------------------------------------------
 

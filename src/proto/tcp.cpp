@@ -1,7 +1,9 @@
 #include "proto/tcp.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <span>
 
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
@@ -249,7 +251,8 @@ void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabA
   if (flags & kTcpAck) th.ack = c->rcv_nxt_;
   th.window = advertised_window(c);
   c->last_advertised_wnd_ = th.window;
-  std::vector<std::uint8_t> hdr(TcpHeader::kSize);
+  HeaderBufLease lease = HeaderBufLease::acquire();
+  std::span<std::uint8_t> hdr = lease->push_front(TcpHeader::kSize);
   th.serialize(hdr);
 
   if (config_.software_checksum) {
@@ -257,7 +260,7 @@ void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabA
     cpu.charge(checksum_cost(TcpHeader::kSize + len + PseudoHeader::kSize));
     PseudoHeader ph{ip_.address(), c->remote_addr_, kProtoTcp,
                     static_cast<std::uint16_t>(TcpHeader::kSize + len)};
-    std::vector<std::uint8_t> pseudo(PseudoHeader::kSize);
+    std::array<std::uint8_t, PseudoHeader::kSize> pseudo;
     ph.serialize(pseudo);
     InternetChecksum ck;
     ck.update(pseudo);
@@ -271,7 +274,7 @@ void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabA
   Ip::OutputInfo info;
   info.dst = c->remote_addr_;
   info.protocol = kProtoTcp;
-  ip_.output(info, std::move(hdr), payload, len);
+  ip_.output(info, std::move(lease), payload, len);
 }
 
 void Tcp::send(TcpConnection* c, core::Message data, bool free_when_acked) {
@@ -510,7 +513,7 @@ void Tcp::process_segment(core::Message m) {
   if (config_.software_checksum && th.checksum != 0) {
     cpu.charge(checksum_cost(tcp_len + PseudoHeader::kSize));
     PseudoHeader ph{iph.src, iph.dst, kProtoTcp, static_cast<std::uint16_t>(tcp_len)};
-    std::vector<std::uint8_t> pseudo(PseudoHeader::kSize);
+    std::array<std::uint8_t, PseudoHeader::kSize> pseudo;
     ph.serialize(pseudo);
     InternetChecksum ck;
     ck.update(pseudo);
@@ -798,12 +801,13 @@ void Tcp::send_rst(IpAddr dst, std::uint16_t dst_port, std::uint16_t src_port, s
     th.flags |= kTcpAck;
     th.ack = ack;
   }
-  std::vector<std::uint8_t> hdr(TcpHeader::kSize);
+  HeaderBufLease lease = HeaderBufLease::acquire();
+  std::span<std::uint8_t> hdr = lease->push_front(TcpHeader::kSize);
   th.serialize(hdr);
   if (config_.software_checksum) {
     cpu.charge(checksum_cost(TcpHeader::kSize + PseudoHeader::kSize));
     PseudoHeader ph{ip_.address(), dst, kProtoTcp, TcpHeader::kSize};
-    std::vector<std::uint8_t> pseudo(PseudoHeader::kSize);
+    std::array<std::uint8_t, PseudoHeader::kSize> pseudo;
     ph.serialize(pseudo);
     InternetChecksum ck;
     ck.update(pseudo);
@@ -814,7 +818,7 @@ void Tcp::send_rst(IpAddr dst, std::uint16_t dst_port, std::uint16_t src_port, s
   Ip::OutputInfo info;
   info.dst = dst;
   info.protocol = kProtoTcp;
-  ip_.output(info, std::move(hdr), 0, 0);
+  ip_.output(info, std::move(lease), 0, 0);
 }
 
 // --- send-request mailbox (§4.2) ----------------------------------------------------------

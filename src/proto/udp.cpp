@@ -1,5 +1,8 @@
 #include "proto/udp.hpp"
 
+#include <array>
+#include <span>
+
 #include "proto/icmp.hpp"
 
 #include "proto/checksum.hpp"
@@ -49,13 +52,14 @@ void Udp::send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core:
   uh.src_port = src_port;
   uh.dst_port = dst_port;
   uh.length = static_cast<std::uint16_t>(UdpHeader::kSize + data.len);
-  std::vector<std::uint8_t> hdr(UdpHeader::kSize);
+  HeaderBufLease lease = HeaderBufLease::acquire();
+  std::span<std::uint8_t> hdr = lease->push_front(UdpHeader::kSize);
   uh.serialize(hdr);
 
   if (checksum_enabled_) {
     cpu.charge(checksum_cost(UdpHeader::kSize + data.len + PseudoHeader::kSize));
     PseudoHeader ph{ip_.address(), dst, kProtoUdp, uh.length};
-    std::vector<std::uint8_t> pseudo(PseudoHeader::kSize);
+    std::array<std::uint8_t, PseudoHeader::kSize> pseudo;
     ph.serialize(pseudo);
     InternetChecksum c;
     c.update(pseudo);
@@ -69,7 +73,7 @@ void Udp::send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core:
   Ip::OutputInfo info;
   info.dst = dst;
   info.protocol = kProtoUdp;
-  ip_.output_msg(info, std::move(hdr), data, free_when_sent);
+  ip_.output_msg(info, std::move(lease), data, free_when_sent);
 }
 
 void Udp::server_loop() {
@@ -89,7 +93,7 @@ void Udp::server_loop() {
       std::size_t udp_len = m.len - IpHeader::kSize;
       cpu.charge(checksum_cost(udp_len + PseudoHeader::kSize));
       PseudoHeader ph{iph.src, iph.dst, kProtoUdp, static_cast<std::uint16_t>(udp_len)};
-      std::vector<std::uint8_t> pseudo(PseudoHeader::kSize);
+      std::array<std::uint8_t, PseudoHeader::kSize> pseudo;
       ph.serialize(pseudo);
       InternetChecksum c;
       c.update(pseudo);

@@ -1,0 +1,138 @@
+#pragma once
+
+// Small-buffer-optimized move-only callables for the simulation hot paths.
+//
+// Every simulated event, interrupt post, and DMA/link completion used to be a
+// std::function, which heap-allocates for any capture larger than two words
+// and again whenever one closure is wrapped in another. InplaceFunction
+// stores captures up to `Inline` bytes directly in the object (heap fallback
+// for larger ones), is move-only (so it can own move-only captures such as
+// other InplaceFunctions or pooled buffers), and reports whether it spilled
+// to the heap so the engine can count fallbacks.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nectar::sim {
+
+template <typename Sig, std::size_t Inline = 40>
+class InplaceFunction;
+
+template <typename R, typename... Args, std::size_t Inline>
+class InplaceFunction<R(Args...), Inline> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InplaceFunction> &&
+             std::is_invocable_r_v<R, std::remove_cvref_t<F>&, Args...>)
+  InplaceFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InplaceFunction(InplaceFunction&& o) noexcept { move_from(o); }
+  InplaceFunction& operator=(InplaceFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vt_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(storage());
+      vt_ = nullptr;
+    }
+  }
+
+  /// True if the capture did not fit in the inline buffer.
+  bool heap_allocated() const { return vt_ != nullptr && vt_->heap; }
+
+  static constexpr std::size_t inline_capacity() { return Inline; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct dst, destroy src
+    void (*destroy)(void*) noexcept;
+    bool heap;
+  };
+
+  template <typename F>
+  static const VTable* inline_vtable() {
+    static constexpr VTable vt{
+        [](void* s, Args&&... args) -> R {
+          return (*std::launder(reinterpret_cast<F*>(s)))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+          F* f = std::launder(reinterpret_cast<F*>(src));
+          ::new (dst) F(std::move(*f));
+          f->~F();
+        },
+        [](void* s) noexcept { std::launder(reinterpret_cast<F*>(s))->~F(); },
+        /*heap=*/false};
+    return &vt;
+  }
+
+  template <typename F>
+  static const VTable* heap_vtable() {
+    static constexpr VTable vt{
+        [](void* s, Args&&... args) -> R {
+          return (**std::launder(reinterpret_cast<F**>(s)))(std::forward<Args>(args)...);
+        },
+        [](void* dst, void* src) noexcept {
+          F** p = std::launder(reinterpret_cast<F**>(src));
+          ::new (dst) (F*)(*p);
+        },
+        [](void* s) noexcept { delete *std::launder(reinterpret_cast<F**>(s)); },
+        /*heap=*/true};
+    return &vt;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (sizeof(D) <= Inline && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (storage()) D(std::forward<F>(f));
+      vt_ = inline_vtable<D>();
+    } else {
+      ::new (storage()) (D*)(new D(std::forward<F>(f)));
+      vt_ = heap_vtable<D>();
+    }
+  }
+
+  void move_from(InplaceFunction& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(storage(), o.storage());
+      o.vt_ = nullptr;
+    }
+  }
+
+  void* storage() { return buf_; }
+
+  alignas(std::max_align_t) std::byte buf_[Inline];
+  const VTable* vt_ = nullptr;
+};
+
+/// The engine's event callable: fits a `this` pointer plus a handful of
+/// scalar captures inline; larger captures (rare on hot paths after the
+/// buffer-pooling refactor) spill to the heap.
+using InplaceAction = InplaceFunction<void()>;
+
+}  // namespace nectar::sim

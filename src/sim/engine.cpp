@@ -3,26 +3,65 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace nectar::sim {
+
+Engine::Slot* Engine::live_slot(EventId id) {
+  std::size_t index = static_cast<std::size_t>(id >> 32);
+  if (index == 0 || index > slots_.size()) return nullptr;
+  Slot& s = slots_[index - 1];
+  if (!s.armed || s.gen != static_cast<std::uint32_t>(id)) return nullptr;
+  return &s;
+}
+
+void Engine::release_slot(std::size_t slot_index) {
+  Slot& s = slots_[slot_index];
+  s.armed = false;
+  ++s.gen;  // invalidates the fired/cancelled handle and any queue entry
+  free_.push_back(static_cast<std::uint32_t>(slot_index));
+  --live_;
+}
 
 Engine::EventId Engine::schedule_at(SimTime t, Action fn) {
   if (t < now_) throw std::logic_error("Engine::schedule_at: time in the past");
-  EventId id = next_id_++;
-  queue_.push(QueueEntry{t, id});
-  live_.emplace(id, std::move(fn));
+  if (fn.heap_allocated()) ++heap_actions_;
+  std::size_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+    ++pool_reuses_;
+  } else {
+    index = slots_.size();
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[index];
+  s.armed = true;
+  s.action = std::move(fn);
+  EventId id = make_id(index, s.gen);
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  ++live_;
   return id;
 }
 
-bool Engine::cancel(EventId id) { return live_.erase(id) > 0; }
+bool Engine::cancel(EventId id) {
+  Slot* s = live_slot(id);
+  if (s == nullptr) return false;
+  s->action.reset();
+  release_slot(static_cast<std::size_t>(s - slots_.data()));
+  return true;
+}
 
 bool Engine::step() {
   while (!queue_.empty()) {
     QueueEntry e = queue_.top();
     queue_.pop();
-    auto it = live_.find(e.id);
-    if (it == live_.end()) continue;  // cancelled
-    Action fn = std::move(it->second);
-    live_.erase(it);
+    Slot* s = live_slot(e.id);
+    if (s == nullptr) continue;  // cancelled
+    // Move the action out before running it: the callback may schedule new
+    // events, which can recycle this slot or grow the slab.
+    Action fn = std::move(s->action);
+    release_slot(static_cast<std::size_t>(s - slots_.data()));
     assert(e.time >= now_);
     now_ = e.time;
     ++processed_;
@@ -41,7 +80,7 @@ bool Engine::run_until(SimTime t) {
   while (!queue_.empty()) {
     // Skip over cancelled entries without advancing time.
     QueueEntry e = queue_.top();
-    if (!live_.count(e.id)) {
+    if (live_slot(e.id) == nullptr) {
       queue_.pop();
       continue;
     }
@@ -60,6 +99,21 @@ bool Engine::run_while(const std::function<bool()>& pending) {
     if (!step()) return false;
   }
   return true;
+}
+
+void Engine::register_metrics(obs::Registration& reg, int node) const {
+  reg.probe(node, "sim.engine", "events_processed",
+            [this] { return static_cast<std::int64_t>(events_processed()); });
+  reg.probe(node, "sim.engine", "pending_events",
+            [this] { return static_cast<std::int64_t>(pending_events()); });
+  reg.probe(node, "sim.engine", "pool_slots",
+            [this] { return static_cast<std::int64_t>(pool_slots()); });
+  reg.probe(node, "sim.engine", "pool_free",
+            [this] { return static_cast<std::int64_t>(pool_free()); });
+  reg.probe(node, "sim.engine", "pool_reuses",
+            [this] { return static_cast<std::int64_t>(pool_reuses()); });
+  reg.probe(node, "sim.engine", "heap_actions",
+            [this] { return static_cast<std::int64_t>(heap_actions()); });
 }
 
 }  // namespace nectar::sim

@@ -2,11 +2,15 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <queue>
 #include <vector>
 
+#include "sim/action.hpp"
 #include "sim/time.hpp"
+
+namespace nectar::obs {
+class Registration;
+}
 
 namespace nectar::sim {
 
@@ -15,10 +19,16 @@ namespace nectar::sim {
 /// Single-threaded: events fire in (time, insertion-order) order, so every
 /// run of a given scenario is bit-for-bit reproducible. All hardware models
 /// and the CAB/host CPU schedulers are driven from this queue.
+///
+/// Events live in a slab of pooled slots (free-list recycled) holding their
+/// callables inline; an EventId is a generation-checked handle into the slab,
+/// so cancel() is O(1) and stale handles (fired, cancelled, or recycled
+/// events) are rejected without any map lookup. The heap only orders
+/// lightweight (time, seq, handle) entries.
 class Engine {
  public:
   using EventId = std::uint64_t;
-  using Action = std::function<void()>;
+  using Action = InplaceAction;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -34,7 +44,7 @@ class Engine {
   EventId schedule_in(SimTime delay, Action fn) { return schedule_at(now_ + delay, std::move(fn)); }
 
   /// Cancel a pending event. Returns false if it already fired or was
-  /// cancelled before.
+  /// cancelled before (stale handles are detected by generation).
   bool cancel(EventId id);
 
   /// Process a single event. Returns false if the queue is empty.
@@ -52,23 +62,59 @@ class Engine {
   bool run_while(const std::function<bool()>& pending);
 
   std::uint64_t events_processed() const { return processed_; }
-  bool empty() const { return live_.empty(); }
-  std::size_t pending_events() const { return live_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t pending_events() const { return live_; }
+
+  // --- event-pool statistics (observability probes) -------------------------
+
+  /// Slots ever allocated in the slab (high-water of concurrently live events).
+  std::size_t pool_slots() const { return slots_.size(); }
+  /// Slots currently on the free list.
+  std::size_t pool_free() const { return free_.size(); }
+  /// Events that reused a recycled slot instead of growing the slab.
+  std::uint64_t pool_reuses() const { return pool_reuses_; }
+  /// Scheduled actions whose captures spilled to the heap (SBO miss).
+  std::uint64_t heap_actions() const { return heap_actions_; }
+
+  /// Report queue/pool statistics as probes under (node, "sim.engine").
+  /// The engine is network-wide, so callers conventionally pass node -1.
+  void register_metrics(obs::Registration& reg, int node = -1) const;
 
  private:
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool armed = false;
+    Action action;
+  };
+
   struct QueueEntry {
     SimTime time;
+    std::uint64_t seq;  // global insertion order: ties on `time` fire FIFO
     EventId id;
     bool operator>(const QueueEntry& o) const {
-      return time != o.time ? time > o.time : id > o.id;
+      return time != o.time ? time > o.time : seq > o.seq;
     }
   };
 
+  // EventId layout: (slot index + 1) << 32 | generation. The +1 keeps 0 free
+  // as a "no event" sentinel for callers.
+  static EventId make_id(std::size_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot + 1) << 32) | gen;
+  }
+  /// The slot an id refers to iff the id is live; nullptr for stale handles.
+  Slot* live_slot(EventId id);
+  void release_slot(std::size_t slot_index);
+
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t live_ = 0;
   std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::map<EventId, Action> live_;  // cancelled events are simply absent
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+
+  std::uint64_t pool_reuses_ = 0;
+  std::uint64_t heap_actions_ = 0;
 };
 
 }  // namespace nectar::sim

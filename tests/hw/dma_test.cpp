@@ -23,8 +23,8 @@ TEST(Dma, SendBuildsFrameFromHeaderAndMemory) {
   std::vector<std::uint8_t> data{1, 2, 3, 4, 5, 6, 7, 8};
   cab.memory().write(kDataBase, data);
   bool sent = false;
-  cab.dma().start_send({/*route*/}, {/*header*/ 0xAA, 0xBB}, kDataBase, data.size(),
-                       [&] { sent = true; }, 0);
+  const std::uint8_t header[] = {0xAA, 0xBB};
+  cab.dma().start_send({/*route*/}, header, kDataBase, data.size(), [&] { sent = true; }, 0);
   e.run();
   EXPECT_TRUE(sent);
   ASSERT_TRUE(cab.in_fifo().has_frame());
@@ -45,7 +45,8 @@ TEST(Dma, RecvCopiesPayloadSkippingHeader) {
 
   std::vector<std::uint8_t> data{9, 8, 7, 6};
   cab.memory().write(kDataBase, data);
-  cab.dma().start_send({}, {0x55}, kDataBase, data.size(), [] {}, 0);
+  const std::uint8_t header[] = {0x55};
+  cab.dma().start_send({}, header, kDataBase, data.size(), [] {}, 0);
   e.run();
   ASSERT_TRUE(cab.in_fifo().has_frame());
 
