@@ -1,0 +1,120 @@
+// Scenario soak: 64 CABs on a two-level fat-tree driving a mixed workload —
+// closed-loop TCP users and an open-loop RMP aggregate — through a mid-run
+// fault burst (a scripted loss burst, a HUB output-port blackout, and a CAB
+// crash-and-reboot). Reports SLO-style results: per-workload tail latency
+// percentiles, goodput, fairness, and fault-attributed loss.
+//
+// There is no paper figure for this; it is the stress configuration that
+// exercises every layer the paper describes (fiber, HUB crossbar, datalink,
+// TCP and Nectar transports) at a scale the real 1990 installation never
+// reached. The run is deterministic: the committed BENCH_scenario.json must
+// reproduce byte-for-byte from `bench_scenario_soak --json`.
+
+#include "common.hpp"
+#include "scenario/engine.hpp"
+
+namespace nectar::bench {
+namespace {
+
+// The whole experiment as a scenario config (the INI grammar of
+// docs/SCENARIOS.md) so the bench doubles as a worked example.
+constexpr const char* kConfig = R"(
+[scenario]
+name = soak64
+seed = 1990
+duration = 2s
+
+[topology]
+kind = fat_tree
+nodes = 64
+hub_ports = 16
+spines = 2
+
+# Two interactive TCP users per node pair: send 512..4096 bytes, wait until
+# the stream drains, think ~5 ms. Congestion control is on (scenario
+# default), so the loss burst answers with fast retransmits.
+[workload]
+name = tcp-closed
+proto = tcp
+mode = closed
+users = 2
+think = 5ms
+size_min = 512
+size_max = 4096
+stride = 9
+
+# An aggregate of 200 modeled users per node offering Poisson RMP traffic
+# across the spine; overload and fault windows surface as shed/drops.
+[workload]
+name = rmp-open
+proto = rmp
+mode = open
+users = 200
+rate = 1
+size_min = 128
+size_max = 1024
+stride = 17
+
+# --- mid-run fault burst ----------------------------------------------------
+# Exactly 50 frames vanish from node 5's outbound fiber...
+[fault]
+kind = link_drop_burst
+target = node5.link
+at = 800ms
+count = 50
+
+# ...then the HUB port feeding node 3 goes dark for 100 ms...
+[fault]
+kind = hub_blackout
+target = hub0.port3
+at = 1s
+duration = 100ms
+
+# ...and board 9 crashes outright, rebooting 200 ms later.
+[fault]
+kind = cab_crash
+target = node9.cab
+at = 1200ms
+duration = 200ms
+)";
+
+int run(const BenchOptions& options) {
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::from_config(scenario::Config::parse_string(kConfig));
+  std::printf("scenario soak: %d nodes, %zu workloads, %zu faults, %.0f ms simulated\n",
+              spec.topology.nodes, spec.workloads.size(), spec.faults.size(),
+              sim::to_msec(spec.duration));
+
+  scenario::Scenario sc(std::move(spec));
+  sc.run();
+
+  std::printf("\n%-12s %10s %8s %8s %8s %10s %9s %9s %9s\n", "workload", "delivered", "shed",
+              "errors", "fair", "Mbit/s", "p50 us", "p99 us", "p999 us");
+  for (const auto& w : sc.workloads()) {
+    const auto& h = w->latency();
+    std::printf("%-12s %10llu %8llu %8llu %8.3f %10.2f %9.1f %9.1f %9.1f\n",
+                w->spec().name.c_str(), static_cast<unsigned long long>(w->delivered()),
+                static_cast<unsigned long long>(w->shed()),
+                static_cast<unsigned long long>(w->errors()), w->fairness(),
+                w->goodput_mbps(sc.spec().duration), h.p50() / sim::kMicrosecond,
+                h.p99() / sim::kMicrosecond, h.p999() / sim::kMicrosecond);
+  }
+  std::printf("\ndrops: %llu total, %llu fault-attributed\n",
+              static_cast<unsigned long long>(sc.faults().network_drops()),
+              static_cast<unsigned long long>(sc.faults().total_attributed_drops()));
+  for (std::size_t i = 0; i < sc.faults().records().size(); ++i) {
+    const auto& r = sc.faults().records()[i];
+    std::printf("  fault%zu %s at %.1f ms: %llu drops\n", i, r.spec.describe().c_str(),
+                sim::to_msec(r.applied_at), static_cast<unsigned long long>(r.attributed_drops));
+  }
+
+  finish_report(options, sc.report());
+  return 0;
+}
+
+}  // namespace
+}  // namespace nectar::bench
+
+int main(int argc, char** argv) {
+  return nectar::bench::run(nectar::bench::parse_options(argc, argv));
+}

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace nectar::hw {
 
 Hub::Hub(sim::Engine& engine, std::string name, int num_ports, double bits_per_sec,
@@ -53,6 +55,27 @@ std::optional<int> Hub::circuit_output(int in) const {
   return std::nullopt;
 }
 
+void Hub::set_port_blackout(int port, bool on) {
+  if (port < 0 || port >= num_ports()) throw std::out_of_range("Hub::set_port_blackout: bad port");
+  OutputPort& o = outputs_[static_cast<std::size_t>(port)];
+  o.blackout = on;
+  if (on) {
+    // Frames already queued (or held by back-pressure) at a dead port are
+    // lost; frames mid-delivery keep their scheduled events and complete.
+    blackout_drops_ += o.queue.size();
+    o.queue.clear();
+    if (o.blocked.has_value()) {
+      o.blocked.reset();
+      o.blocked_time += engine_.now() - o.blocked_since;
+      ++blackout_drops_;
+    }
+  }
+}
+
+bool Hub::port_blackout(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).blackout;
+}
+
 std::size_t Hub::output_queue_depth(int port) const {
   return outputs_.at(static_cast<std::size_t>(port)).queue.size();
 }
@@ -89,6 +112,10 @@ void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime l
     return;
   }
   OutputPort& o = outputs_[static_cast<std::size_t>(out)];
+  if (o.blackout) {
+    ++blackout_drops_;  // dead output: the frame is silently lost
+    return;
+  }
   o.queue.push_back({std::move(f), first, last, in_port});
   o.highwater = std::max(o.highwater, o.queue.size());
   try_forward(out);
@@ -138,6 +165,7 @@ void Hub::deliver_front(int out_port) {
   if (!p.sink->offer(std::move(d.frame), d.first, d.last)) {
     p.blocked.emplace(std::move(d.frame));
     p.blocked_span = d.last - d.first;
+    p.blocked_since = engine_.now();
   }
 }
 
@@ -152,8 +180,41 @@ void Hub::on_output_drain(int out_port) {
       o.blocked.emplace(std::move(f));
       return;
     }
+    o.blocked_time += engine_.now() - o.blocked_since;
   }
   try_forward(out_port);
+}
+
+sim::SimTime Hub::output_blocked_time(int port) const {
+  const OutputPort& o = outputs_.at(static_cast<std::size_t>(port));
+  sim::SimTime t = o.blocked_time;
+  if (o.blocked.has_value()) t += engine_.now() - o.blocked_since;  // still blocked
+  return t;
+}
+
+std::uint64_t Hub::output_frames(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).frames;
+}
+
+void Hub::register_metrics(obs::Registration& reg) const {
+  reg.probe(-1, "hub", name_ + ".frames_switched",
+            [this] { return static_cast<std::int64_t>(frames_switched_); });
+  reg.probe(-1, "hub", name_ + ".bytes_switched",
+            [this] { return static_cast<std::int64_t>(bytes_switched_); });
+  reg.probe(-1, "hub", name_ + ".route_errors",
+            [this] { return static_cast<std::int64_t>(route_errors_); });
+  reg.probe(-1, "hub", name_ + ".blackout_drops",
+            [this] { return static_cast<std::int64_t>(blackout_drops_); });
+  for (int p = 0; p < num_ports(); ++p) {
+    if (outputs_[static_cast<std::size_t>(p)].sink == nullptr) continue;  // unused port
+    std::string prefix = name_ + ".port" + std::to_string(p);
+    reg.probe(-1, "hub", prefix + ".frames",
+              [this, p] { return static_cast<std::int64_t>(output_frames(p)); });
+    reg.probe(-1, "hub", prefix + ".busy_ns", [this, p] { return output_busy_time(p); });
+    reg.probe(-1, "hub", prefix + ".blocked_ns", [this, p] { return output_blocked_time(p); });
+    reg.probe(-1, "hub", prefix + ".queue_highwater",
+              [this, p] { return static_cast<std::int64_t>(output_queue_highwater(p)); });
+  }
 }
 
 }  // namespace nectar::hw

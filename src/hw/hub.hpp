@@ -11,6 +11,10 @@
 #include "sim/costs.hpp"
 #include "sim/engine.hpp"
 
+namespace nectar::obs {
+class Registration;
+}
+
 namespace nectar::hw {
 
 /// Nectar HUB: an N x N crossbar switch with I/O ports and a controller
@@ -44,13 +48,32 @@ class Hub {
   void close_circuit(int in);
   std::optional<int> circuit_output(int in) const;
 
+  /// Fault injection: a blacked-out output port silently discards every
+  /// frame routed to it (a dead laser / unseated port card). Frames already
+  /// queued at the output are discarded too.
+  void set_port_blackout(int port, bool on);
+  bool port_blackout(int port) const;
+
   std::uint64_t frames_switched() const { return frames_switched_; }
   std::uint64_t route_errors() const { return route_errors_; }
   std::uint64_t bytes_switched() const { return bytes_switched_; }
+  /// Frames discarded by blacked-out output ports (all ports).
+  std::uint64_t blackout_drops() const { return blackout_drops_; }
   std::size_t output_queue_depth(int port) const;
   std::size_t output_queue_highwater(int port) const;
   /// Total time output `port` spent transmitting (utilization numerator).
   sim::SimTime output_busy_time(int port) const;
+  /// Total time output `port` spent head-of-line blocked by downstream
+  /// back-pressure (the crossbar's contribution to tail latency).
+  sim::SimTime output_blocked_time(int port) const;
+  std::uint64_t output_frames(int port) const;
+
+  /// Per-HUB probes under (node -1, "hub"): "<name>.frames_switched",
+  /// "<name>.route_errors", "<name>.blackout_drops", and for each attached
+  /// output port "<name>.port<p>.frames" / ".busy_ns" / ".blocked_ns" /
+  /// ".queue_highwater" — how scenario reports attribute loss and queueing
+  /// delay to the crossbar. Opt-in via Network::register_substrate_metrics.
+  void register_metrics(obs::Registration& reg) const;
 
  private:
   struct QueuedFrame {
@@ -77,7 +100,10 @@ class Hub {
     bool transmitting = false;
     std::optional<Frame> blocked;
     sim::SimTime blocked_span = 0;
+    sim::SimTime blocked_since = 0;   // when the head frame became blocked
+    sim::SimTime blocked_time = 0;    // accumulated head-of-line blocked time
     std::optional<int> reserved_by;  // circuit switching
+    bool blackout = false;           // fault injection: discard everything
     std::uint64_t frames = 0;
     sim::SimTime busy_time = 0;
   };
@@ -108,6 +134,7 @@ class Hub {
   std::uint64_t frames_switched_ = 0;
   std::uint64_t bytes_switched_ = 0;
   std::uint64_t route_errors_ = 0;
+  std::uint64_t blackout_drops_ = 0;
 };
 
 }  // namespace nectar::hw

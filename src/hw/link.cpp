@@ -22,9 +22,17 @@ void FiberLink::submit(Frame&& f, SendCallback on_sent) {
   try_start();
 }
 
+void FiberLink::set_corrupt_rate(double p) {
+  set_corrupt_rate(p, sim::derive_seed(fault_seed_base_, name_ + "/corrupt"));
+}
+
 void FiberLink::set_corrupt_rate(double p, std::uint64_t seed) {
   corrupt_rate_ = p;
   corrupt_rng_ = sim::Random(seed);
+}
+
+void FiberLink::set_drop_rate(double p) {
+  set_drop_rate(p, sim::derive_seed(fault_seed_base_, name_ + "/drop"));
 }
 
 void FiberLink::set_drop_rate(double p, std::uint64_t seed) {
@@ -57,6 +65,14 @@ void FiberLink::try_start() {
 
   // The link head frees once the last byte leaves the transmitter.
   engine_.schedule_in(ttime, [this] { on_head_sent(); });
+
+  if (down_ || scripted_drops_armed_ > 0) {
+    if (!down_) --scripted_drops_armed_;
+    ++frames_dropped_;
+    ++frames_dropped_faulted_;  // element failure, not the random stream
+    NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->instant(trace_track_, "link.drop"));
+    return;
+  }
 
   if (drop_rate_ > 0 && drop_rng_.chance(drop_rate_)) {
     ++frames_dropped_;  // the frame evaporates mid-flight
@@ -119,6 +135,8 @@ void FiberLink::register_metrics(obs::Registration& reg, int node) const {
             [this] { return static_cast<std::int64_t>(frames_corrupted_); });
   reg.probe(node, "link", name_ + ".frames_dropped",
             [this] { return static_cast<std::int64_t>(frames_dropped_); });
+  // frames_dropped_faulted() stays accessor-only: adding a probe here would
+  // perturb the committed metrics snapshots of every bench that never faults.
 }
 
 void FiberLink::on_drain() {

@@ -27,6 +27,9 @@ namespace nectar::hw {
 /// low-level flow control of §2.1.
 class FiberLink {
  public:
+  /// Default base for name-derived fault-stream seeds (see set_fault_seed_base).
+  static constexpr std::uint64_t kDefaultFaultSeedBase = 0x4E454354ull;  // "NECT"
+
   FiberLink(sim::Engine& engine, std::string name,
             double bits_per_sec = sim::costs::kFiberBitsPerSec,
             sim::SimTime propagation = sim::costs::kLinkPropagation);
@@ -38,15 +41,38 @@ class FiberLink {
   /// transmitter — the DMA send-complete interrupt hangs off this.
   void submit(Frame&& f, SendCallback on_sent = {});
 
-  // Fault injection (deterministic, seeded).
-  void set_corrupt_rate(double p, std::uint64_t seed = 42);
-  void set_drop_rate(double p, std::uint64_t seed = 43);
+  // Fault injection (deterministic, seeded). The single-argument forms
+  // derive the stream seed from the fault seed base and the *link name*
+  // (sim::derive_seed), so two links at the same rate never drop the same
+  // frames in lockstep; pass an explicit seed to pin a stream for a test.
+  void set_corrupt_rate(double p);
+  void set_corrupt_rate(double p, std::uint64_t seed);
+  void set_drop_rate(double p);
+  void set_drop_rate(double p, std::uint64_t seed);
+
+  /// Re-key the derived fault streams under a scenario master seed. Affects
+  /// subsequent single-argument set_*_rate calls only.
+  void set_fault_seed_base(std::uint64_t base) { fault_seed_base_ = base; }
+
+  /// Hard down (element failure, not random loss): every frame submitted
+  /// while down evaporates after serializing. Counted separately from the
+  /// random-drop stream so reports can attribute loss to the fault.
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  /// Arm a scripted burst: the next `n` frames submitted are dropped
+  /// (deterministic loss patterns for retransmission tests). Cumulative with
+  /// any already-armed count.
+  void arm_drop_next(std::uint64_t n) { scripted_drops_armed_ += n; }
 
   const std::string& name() const { return name_; }
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t frames_corrupted() const { return frames_corrupted_; }
   std::uint64_t frames_dropped() const { return frames_dropped_; }
+  /// Subset of frames_dropped(): lost to set_down() / arm_drop_next() faults
+  /// rather than the random-drop stream.
+  std::uint64_t frames_dropped_faulted() const { return frames_dropped_faulted_; }
   std::size_t queue_depth() const { return queue_.size(); }
 
   /// Emit "link.tx" serialization spans (plus drop/corrupt instants) onto
@@ -92,11 +118,15 @@ class FiberLink {
   double drop_rate_ = 0.0;
   sim::Random corrupt_rng_{42};
   sim::Random drop_rng_{43};
+  std::uint64_t fault_seed_base_ = kDefaultFaultSeedBase;
+  bool down_ = false;
+  std::uint64_t scripted_drops_armed_ = 0;
 
   std::uint64_t frames_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t frames_dropped_faulted_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;

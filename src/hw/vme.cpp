@@ -21,6 +21,13 @@ void VmeBus::trace_span(const char* label, sim::SimTime start, sim::SimTime end)
   tracer_->end_at(trace_track_, label, end);
 }
 
+void VmeBus::stall_for(sim::SimTime duration) {
+  ++stalls_;
+  stall_time_ += duration;
+  sim::SimTime end = acquire(duration);
+  NECTAR_TRACE(trace_span("vme.stall", end - duration, end));
+}
+
 sim::SimTime VmeBus::programmed_access(std::size_t words) {
   words_ += words;
   sim::SimTime duration = static_cast<sim::SimTime>(words) * word_access_;
@@ -49,6 +56,8 @@ void VmeBus::register_metrics(obs::Registration& reg, int node) const {
   reg.probe(node, "vme", "dma_bytes", [this] { return static_cast<std::int64_t>(dma_bytes_); });
   reg.probe(node, "vme", "dma_transfers",
             [this] { return static_cast<std::int64_t>(dma_count_); });
+  // stalls()/stall_time() stay accessor-only: adding probes here would
+  // perturb the committed metrics snapshots of every bench that never faults.
 }
 
 }  // namespace nectar::hw

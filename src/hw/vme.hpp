@@ -43,11 +43,18 @@ class VmeBus {
   /// Reserve the bus for a block DMA of `bytes`; `done` fires at completion.
   void dma_transfer(std::size_t bytes, std::function<void()> done);
 
+  /// Fault injection: occupy the bus for `duration` starting now (a
+  /// misbehaving third board holding the backplane). Every pending and
+  /// subsequent grant — PIO and DMA alike — is pushed past the window.
+  void stall_for(sim::SimTime duration);
+
   /// When the bus would next be free (for tests / stats).
   sim::SimTime busy_until() const { return busy_until_; }
   std::uint64_t words_transferred() const { return words_; }
   std::uint64_t dma_bytes() const { return dma_bytes_; }
   std::uint64_t dma_transfers() const { return dma_count_; }
+  std::uint64_t stalls() const { return stalls_; }
+  sim::SimTime stall_time() const { return stall_time_; }
 
   /// Emit "vme.pio" / "vme.dma" occupancy spans onto `track`. Bus grants are
   /// computed up front, so spans use explicit [start, completion] stamps.
@@ -68,6 +75,8 @@ class VmeBus {
   std::uint64_t words_ = 0;
   std::uint64_t dma_bytes_ = 0;
   std::uint64_t dma_count_ = 0;
+  std::uint64_t stalls_ = 0;
+  sim::SimTime stall_time_ = 0;
   obs::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;
 };

@@ -21,6 +21,7 @@ void Network::register_substrate_metrics() {
   engine_.register_metrics(metrics_reg_);
   hw::BufferPool::payloads().register_metrics(metrics_reg_, "hw.framepool");
   proto::HeaderBufPool::instance().register_metrics(metrics_reg_, "proto.hdrpool");
+  for (const auto& h : hubs_) h->register_metrics(metrics_reg_);
 }
 
 int Network::add_hub(int ports) {

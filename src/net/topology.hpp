@@ -40,6 +40,9 @@ class Network {
   /// under "hw.framepool"/"proto.hdrpool", all node -1) into metrics().
   /// Not registered by default — the byte-pool counters span Networks, and
   /// committed bench reports must snapshot byte-identically across runs.
+  /// Also registers every HUB's crossbar probes (per-output-port busy /
+  /// blocked time, blackout drops; see hw::Hub::register_metrics) so
+  /// scenario reports can attribute loss and queueing to the switch fabric.
   void register_substrate_metrics();
 
   /// Add a HUB (16x16 by default). Returns its id.
@@ -56,6 +59,10 @@ class Network {
   core::CabRuntime& runtime(int node) { return *cabs_.at(static_cast<std::size_t>(node))->rt; }
   proto::Datalink& datalink(int node) { return *cabs_.at(static_cast<std::size_t>(node))->dl; }
   hw::VmeBus* vme(int node) { return cabs_.at(static_cast<std::size_t>(node))->vme.get(); }
+  /// Where a CAB hangs off the switch fabric (fault targeting needs the
+  /// HUB port that feeds the CAB's inbound fiber).
+  int cab_hub(int node) const { return cabs_.at(static_cast<std::size_t>(node))->hub; }
+  int cab_port(int node) const { return cabs_.at(static_cast<std::size_t>(node))->port; }
 
   /// Connect two HUBs with a trunk fiber pair (multi-HUB systems, §2.1).
   void link_hubs(int hub_a, int port_a, int hub_b, int port_b);

@@ -1,0 +1,83 @@
+#include "obs/latency.hpp"
+
+#include <bit>
+
+namespace nectar::obs {
+
+int LatencyHistogram::bucket_index(std::int64_t v) {
+  if (v < (std::int64_t{1} << kMinOctave)) return 0;  // underflow bucket
+  int octave = std::bit_width(static_cast<std::uint64_t>(v)) - 1;  // 2^octave <= v
+  if (octave >= kMaxOctave) return kBuckets - 1;                   // overflow bucket
+  int sub = static_cast<int>((v - (std::int64_t{1} << octave)) >> (octave - kSubBits));
+  return (octave - kMinOctave) * kSub + sub + 1;
+}
+
+std::int64_t LatencyHistogram::bucket_bound(int i) {
+  if (i <= 0) return (std::int64_t{1} << kMinOctave) - 1;
+  if (i >= kBuckets - 1) return INT64_MAX;
+  int octave = kMinOctave + (i - 1) / kSub;
+  int sub = (i - 1) % kSub;
+  return (std::int64_t{1} << octave) +
+         (static_cast<std::int64_t>(sub + 1) << (octave - kSubBits)) - 1;
+}
+
+void LatencyHistogram::observe(sim::SimTime v) {
+  if (v < 0) v = 0;
+  ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min_);
+  if (q >= 1.0) return static_cast<double>(max_);
+  double rank = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    if (static_cast<double>(cum + n) >= rank) {
+      // Interpolate inside the bucket; clamp to observed extremes so a
+      // one-sample histogram reports that sample, not a bucket edge.
+      double lo = i == 0 ? 0.0 : static_cast<double>(bucket_bound(i - 1)) + 1.0;
+      double hi = static_cast<double>(i == kBuckets - 1 ? max_ : bucket_bound(i));
+      double frac = (rank - static_cast<double>(cum)) / static_cast<double>(n);
+      double v = lo + (hi - lo) * frac;
+      if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+      if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+      return v;
+    }
+    cum += n;
+  }
+  return static_cast<double>(max_);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& o) {
+  if (o.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += o.buckets_[static_cast<std::size_t>(i)];
+  }
+  if (count_ == 0 || o.min_ < min_) min_ = o.min_;
+  if (o.max_ > max_) max_ = o.max_;
+  count_ += o.count_;
+  sum_ += o.sum_;
+}
+
+json::Value LatencyHistogram::to_json() const {
+  json::Value v = json::Value::object();
+  v.set("count", count_);
+  v.set("sum_ns", sum_);
+  v.set("min_ns", static_cast<std::int64_t>(min()));
+  v.set("max_ns", static_cast<std::int64_t>(max_));
+  v.set("mean_us", mean() / 1000.0);
+  v.set("p50_us", p50() / 1000.0);
+  v.set("p90_us", p90() / 1000.0);
+  v.set("p99_us", p99() / 1000.0);
+  v.set("p999_us", p999() / 1000.0);
+  return v;
+}
+
+}  // namespace nectar::obs

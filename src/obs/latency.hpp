@@ -1,0 +1,66 @@
+#pragma once
+
+// Log-bucketed latency histogram for SLO-style tail reporting (p50/p90/p99/
+// p999). Fixed geometric bucket layout — 8 sub-buckets per power of two from
+// 256 ns up to ~2.3 simulated minutes (~9% relative resolution) — so two
+// histograms are always mergeable and a quantile is a deterministic function
+// of the recorded counts: the same run serializes byte-identically, which
+// keeps scenario reports diffable like every other obs artifact.
+//
+// This complements obs::Histogram (caller-chosen linear bounds, used for
+// size distributions): latencies span five orders of magnitude, where fixed
+// linear bounds either blur the tail or cost hundreds of buckets.
+
+#include <array>
+#include <cstdint>
+
+#include "obs/json.hpp"
+#include "sim/time.hpp"
+
+namespace nectar::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;                     ///< 8 sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+  static constexpr int kMinOctave = 8;                   ///< first bound 2^8 = 256 ns
+  static constexpr int kMaxOctave = 37;                  ///< ~137 s
+  static constexpr int kBuckets = (kMaxOctave - kMinOctave) * kSub + 2;  // +under/overflow
+
+  void observe(sim::SimTime v);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  sim::SimTime min() const { return count_ ? min_ : 0; }
+  sim::SimTime max() const { return max_; }
+  double mean() const { return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0; }
+
+  /// Latency (ns) at quantile `q` in [0, 1]: log-linear interpolation inside
+  /// the covering bucket. 0 when empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
+  void merge(const LatencyHistogram& o);
+
+  /// {"count", "sum_ns", "min_ns", "max_ns", "mean_us", "p50_us", "p90_us",
+  ///  "p99_us", "p999_us"} — the summary embedded in scenario reports.
+  json::Value to_json() const;
+
+  /// Inclusive upper bound (ns) of bucket `i` (tests / exporters).
+  static std::int64_t bucket_bound(int i);
+  std::uint64_t bucket_count(int i) const { return buckets_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  static int bucket_index(std::int64_t v);
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  sim::SimTime min_ = 0;
+  sim::SimTime max_ = 0;
+};
+
+}  // namespace nectar::obs

@@ -1,0 +1,159 @@
+#include "scenario/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nectar::scenario {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value, const char* want) {
+  throw std::runtime_error("config: key '" + key + "': expected " + want + ", got '" + value +
+                           "'");
+}
+
+}  // namespace
+
+std::string Section::get(const std::string& key, const std::string& fallback) const {
+  auto it = values.find(key);
+  return it == values.end() ? fallback : it->second;
+}
+
+std::int64_t Section::get_int(const std::string& key, std::int64_t fallback) const {
+  auto it = values.find(key);
+  if (it == values.end()) return fallback;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') bad_value(key, it->second, "an integer");
+  return v;
+}
+
+double Section::get_double(const std::string& key, double fallback) const {
+  auto it = values.find(key);
+  if (it == values.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') bad_value(key, it->second, "a number");
+  return v;
+}
+
+bool Section::get_bool(const std::string& key, bool fallback) const {
+  auto it = values.find(key);
+  if (it == values.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  bad_value(key, v, "a boolean");
+}
+
+sim::SimTime Section::get_time(const std::string& key, sim::SimTime fallback) const {
+  auto it = values.find(key);
+  if (it == values.end()) return fallback;
+  try {
+    return parse_time(it->second);
+  } catch (const std::exception&) {
+    bad_value(key, it->second, "a duration (e.g. 250us, 5ms, 2s)");
+  }
+}
+
+sim::SimTime parse_time(std::string_view text) {
+  text = trim(text);
+  std::string num(text);
+  char* end = nullptr;
+  double v = std::strtod(num.c_str(), &end);
+  if (end == num.c_str()) throw std::runtime_error("bad duration: " + num);
+  std::string_view unit = trim(num.c_str() + (end - num.c_str()));
+  double scale;
+  if (unit.empty() || unit == "ns") {
+    scale = 1;
+  } else if (unit == "us") {
+    scale = sim::kMicrosecond;
+  } else if (unit == "ms") {
+    scale = sim::kMillisecond;
+  } else if (unit == "s") {
+    scale = sim::kSecond;
+  } else {
+    throw std::runtime_error("bad duration unit: " + std::string(unit));
+  }
+  return static_cast<sim::SimTime>(v * scale);
+}
+
+Config Config::parse_string(std::string_view text) {
+  Config cfg;
+  Section current;  // implicit "" section
+  int line_no = 0;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw std::runtime_error("config line " + std::to_string(line_no) +
+                                 ": malformed section header: " + std::string(line));
+      }
+      if (!current.name.empty() || !current.values.empty()) {
+        cfg.sections_.push_back(std::move(current));
+      }
+      current = Section{};
+      current.name = std::string(trim(line.substr(1, line.size() - 2)));
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error("config line " + std::to_string(line_no) +
+                               ": expected key = value, got: " + std::string(line));
+    }
+    std::string key(trim(line.substr(0, eq)));
+    std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      throw std::runtime_error("config line " + std::to_string(line_no) + ": empty key");
+    }
+    if (!current.values.emplace(key, value).second) {
+      throw std::runtime_error("config line " + std::to_string(line_no) + ": duplicate key '" +
+                               key + "' in section [" + current.name + "]");
+    }
+  }
+  if (!current.name.empty() || !current.values.empty()) {
+    cfg.sections_.push_back(std::move(current));
+  }
+  return cfg;
+}
+
+Config Config::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("config: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_string(buf.str());
+}
+
+const Section* Config::find(std::string_view name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Section*> Config::all(std::string_view name) const {
+  std::vector<const Section*> out;
+  for (const Section& s : sections_) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace nectar::scenario

@@ -1,0 +1,70 @@
+#pragma once
+
+// Declarative scenario configuration: a tiny INI-style format (no external
+// dependencies) that scenario_runner and tests load scenarios from.
+//
+//   # comment (';' works too)
+//   [scenario]
+//   seed = 1
+//   duration = 2s          # durations take ns/us/ms/s suffixes
+//
+//   [workload]             # sections may repeat: one per workload / fault
+//   protocol = rmp
+//   rate = 200/s
+//
+//   [fault]
+//   at = 500ms
+//   kind = link_drop
+//   target = node3.link
+//
+// Keys and section names are case-sensitive; values keep inner whitespace
+// but are trimmed at the ends. Parse errors throw std::runtime_error with a
+// line number.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nectar::scenario {
+
+/// One `[name]` block: an ordered bag of key=value pairs.
+struct Section {
+  std::string name;
+  std::map<std::string, std::string> values;
+
+  bool has(const std::string& key) const { return values.count(key) != 0; }
+  /// Typed getters: `fallback` when the key is absent; malformed values throw.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+  /// Duration with unit suffix: "250ns", "10us", "5ms", "2s" (bare numbers
+  /// are nanoseconds).
+  sim::SimTime get_time(const std::string& key, sim::SimTime fallback) const;
+};
+
+/// Parse a duration literal ("500ms"); throws on malformed input.
+sim::SimTime parse_time(std::string_view text);
+
+class Config {
+ public:
+  /// Keys before any [section] header land in an implicit "" section.
+  static Config parse_string(std::string_view text);
+  /// Throws std::runtime_error when the file cannot be read.
+  static Config parse_file(const std::string& path);
+
+  const std::vector<Section>& sections() const { return sections_; }
+  /// First section with `name`; nullptr if absent.
+  const Section* find(std::string_view name) const;
+  /// All sections with `name`, in file order (repeated-section idiom).
+  std::vector<const Section*> all(std::string_view name) const;
+
+ private:
+  std::vector<Section> sections_;
+};
+
+}  // namespace nectar::scenario

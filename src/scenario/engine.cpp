@@ -1,0 +1,175 @@
+#include "scenario/engine.hpp"
+
+#include <stdexcept>
+
+namespace nectar::scenario {
+
+namespace {
+
+/// Reject typo'd keys: every section's vocabulary is closed.
+void check_keys(const Section& s, std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : s.values) {
+    bool ok = false;
+    for (const char* a : allowed) {
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      throw std::runtime_error("config: unknown key '" + key + "' in section [" + s.name + "]");
+    }
+  }
+}
+
+const char* kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::Star: return "star";
+    case TopologyKind::DualHub: return "dual_hub";
+    case TopologyKind::FatTree: return "fat_tree";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
+  ScenarioSpec spec;
+  if (const Section* s = cfg.find("scenario")) {
+    check_keys(*s, {"name", "seed", "duration", "tcp_congestion", "software_checksum", "mtu",
+                    "substrate_metrics", "attach_metrics"});
+    spec.name = s->get("name", spec.name);
+    spec.seed = static_cast<std::uint64_t>(s->get_int("seed", 1));
+    spec.duration = s->get_time("duration", spec.duration);
+    spec.tcp_congestion = s->get_bool("tcp_congestion", spec.tcp_congestion);
+    spec.software_checksum = s->get_bool("software_checksum", spec.software_checksum);
+    spec.mtu = s->get_int("mtu", spec.mtu);
+    spec.substrate_metrics = s->get_bool("substrate_metrics", spec.substrate_metrics);
+    spec.attach_metrics = s->get_bool("attach_metrics", spec.attach_metrics);
+  }
+  if (const Section* s = cfg.find("topology")) {
+    check_keys(*s, {"kind", "nodes", "hub_ports", "trunks", "spines", "with_vme"});
+    spec.topology.kind = TopologySpec::parse_kind(s->get("kind", "star"));
+    spec.topology.nodes = static_cast<int>(s->get_int("nodes", spec.topology.nodes));
+    spec.topology.hub_ports = static_cast<int>(s->get_int("hub_ports", spec.topology.hub_ports));
+    spec.topology.trunks = static_cast<int>(s->get_int("trunks", spec.topology.trunks));
+    spec.topology.spines = static_cast<int>(s->get_int("spines", spec.topology.spines));
+    spec.topology.with_vme = s->get_bool("with_vme", spec.topology.with_vme);
+  }
+  int wl_index = 0;
+  for (const Section* s : cfg.all("workload")) {
+    check_keys(*s, {"name", "proto", "mode", "users", "rate", "think", "size", "size_min",
+                    "size_max", "stride", "start", "port"});
+    WorkloadSpec w;
+    w.name = s->get("name", "wl" + std::to_string(wl_index));
+    w.proto = WorkloadSpec::parse_proto(s->get("proto", "udp"));
+    w.mode = WorkloadSpec::parse_mode(s->get("mode", "closed"));
+    w.users = static_cast<int>(s->get_int("users", w.users));
+    w.rate = s->get_double("rate", w.rate);
+    w.think = s->get_time("think", w.think);
+    auto size = static_cast<std::uint32_t>(s->get_int("size", 64));
+    w.size_min = static_cast<std::uint32_t>(s->get_int("size_min", size));
+    w.size_max = static_cast<std::uint32_t>(s->get_int("size_max", size));
+    w.stride = static_cast<int>(s->get_int("stride", w.stride));
+    w.start = s->get_time("start", w.start);
+    // Workload i claims a private 16-port band so TCP client ports (port+1)
+    // never collide across workloads.
+    w.port = static_cast<std::uint16_t>(s->get_int("port", 7000 + 16 * wl_index));
+    spec.workloads.push_back(std::move(w));
+    ++wl_index;
+  }
+  for (const Section* s : cfg.all("fault")) {
+    check_keys(*s, {"kind", "target", "at", "duration", "jitter", "rate", "count"});
+    FaultSpec f;
+    f.kind = FaultSpec::parse_kind(s->get("kind", ""));
+    f.target = s->get("target", "");
+    f.at = s->get_time("at", 0);
+    f.duration = s->get_time("duration", 0);
+    f.jitter = s->get_time("jitter", 0);
+    f.rate = s->get_double("rate", f.rate);
+    f.count = static_cast<std::uint64_t>(s->get_int("count", 1));
+    spec.faults.push_back(std::move(f));
+  }
+  return spec;
+}
+
+Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
+  int n = build_topology(net_, spec_.topology, spec_.seed);
+  proto::TcpConfig tc;
+  tc.software_checksum = spec_.software_checksum;
+  tc.congestion_control = spec_.tcp_congestion;
+  for (int i = 0; i < n; ++i) {
+    stacks_.push_back(std::make_unique<net::NodeStack>(net_, i, tc,
+                                                       static_cast<std::size_t>(spec_.mtu)));
+  }
+  if (spec_.substrate_metrics) net_.register_substrate_metrics();
+  faults_ = std::make_unique<FaultScheduler>(net_, spec_.seed);
+  for (const FaultSpec& f : spec_.faults) faults_->schedule(f);
+  std::vector<net::NodeStack*> raw;
+  raw.reserve(stacks_.size());
+  for (auto& s : stacks_) raw.push_back(s.get());
+  for (const WorkloadSpec& w : spec_.workloads) {
+    workloads_.push_back(std::make_unique<Workload>(net_, raw, w, spec_.seed));
+    workloads_.back()->install();
+  }
+}
+
+void Scenario::run() {
+  net_.run_until(spec_.duration);
+  faults_->finalize();
+}
+
+obs::RunReport Scenario::report() {
+  obs::RunReport rep("scenario");
+  rep.param("name", spec_.name);
+  rep.param("seed", static_cast<std::int64_t>(spec_.seed));
+  rep.param("topology", kind_name(spec_.topology.kind));
+  rep.param("nodes", net_.cab_count());
+  rep.param("duration_us", spec_.duration / sim::kMicrosecond);
+  rep.param("workloads", static_cast<std::int64_t>(workloads_.size()));
+  rep.param("faults", static_cast<std::int64_t>(spec_.faults.size()));
+
+  std::uint64_t tcp_retx = 0, tcp_fast = 0;
+  for (const auto& w : workloads_) {
+    const std::string p = w->spec().name + ".";
+    rep.add(p + "sent", static_cast<double>(w->sent()), "count");
+    rep.add(p + "delivered", static_cast<double>(w->delivered()), "count");
+    rep.add(p + "shed", static_cast<double>(w->shed()), "count");
+    rep.add(p + "errors", static_cast<double>(w->errors()), "count");
+    rep.add(p + "goodput", w->goodput_mbps(spec_.duration), "Mbit/s");
+    rep.add(p + "fairness", w->fairness(), "ratio");
+    const obs::LatencyHistogram& h = w->latency();
+    rep.add(p + "latency.count", static_cast<double>(h.count()), "count");
+    rep.add(p + "mean", h.mean() / sim::kMicrosecond, "us");
+    rep.add(p + "p50", h.p50() / sim::kMicrosecond, "us");
+    rep.add(p + "p90", h.p90() / sim::kMicrosecond, "us");
+    rep.add(p + "p99", h.p99() / sim::kMicrosecond, "us");
+    rep.add(p + "p999", h.p999() / sim::kMicrosecond, "us");
+    tcp_retx += w->tcp_retransmissions();
+    tcp_fast += w->tcp_fast_retransmits();
+  }
+
+  std::uint64_t rmp_retx = 0, rr_retries = 0;
+  for (const auto& s : stacks_) {
+    rmp_retx += s->rmp.retransmissions();
+    rr_retries += s->reqresp.retries();
+  }
+  rep.add("drops.total", static_cast<double>(faults_->network_drops()), "count");
+  rep.add("drops.fault_attributed", static_cast<double>(faults_->total_attributed_drops()),
+          "count");
+  rep.add("retransmits.tcp", static_cast<double>(tcp_retx), "count");
+  rep.add("retransmits.tcp_fast", static_cast<double>(tcp_fast), "count");
+  rep.add("retransmits.rmp", static_cast<double>(rmp_retx), "count");
+  rep.add("retries.reqresp", static_cast<double>(rr_retries), "count");
+  rep.add("faults.injected", static_cast<double>(faults_->faults_injected()), "count");
+  for (std::size_t i = 0; i < faults_->records().size(); ++i) {
+    const FaultRecord& r = faults_->records()[i];
+    const std::string p = "fault" + std::to_string(i) + ".";
+    rep.add(p + "applied", sim::to_usec(r.applied_at), "us");
+    rep.add(p + "drops", static_cast<double>(r.attributed_drops), "count");
+  }
+  if (spec_.attach_metrics) rep.attach_metrics(net_.metrics().snapshot());
+  return rep;
+}
+
+}  // namespace nectar::scenario

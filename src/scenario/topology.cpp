@@ -1,0 +1,98 @@
+#include "scenario/topology.hpp"
+
+#include <stdexcept>
+
+namespace nectar::scenario {
+
+TopologyKind TopologySpec::parse_kind(const std::string& name) {
+  if (name == "star") return TopologyKind::Star;
+  if (name == "dual_hub") return TopologyKind::DualHub;
+  if (name == "fat_tree") return TopologyKind::FatTree;
+  throw std::invalid_argument("topology: unknown kind '" + name +
+                              "' (want star | dual_hub | fat_tree)");
+}
+
+namespace {
+
+void build_star(net::Network& net, const TopologySpec& s) {
+  if (s.nodes > s.hub_ports) {
+    throw std::invalid_argument("topology: star needs nodes <= hub_ports (" +
+                                std::to_string(s.nodes) + " > " + std::to_string(s.hub_ports) +
+                                "); use fat_tree");
+  }
+  int h = net.add_hub(s.hub_ports);
+  for (int i = 0; i < s.nodes; ++i) net.add_cab(h, i, s.with_vme);
+}
+
+void build_dual_hub(net::Network& net, const TopologySpec& s) {
+  if (s.trunks < 1) throw std::invalid_argument("topology: dual_hub needs trunks >= 1");
+  int cab_ports = s.hub_ports - s.trunks;
+  if (s.nodes > 2 * cab_ports) {
+    throw std::invalid_argument("topology: dual_hub fits at most " +
+                                std::to_string(2 * cab_ports) + " nodes");
+  }
+  int h0 = net.add_hub(s.hub_ports);
+  int h1 = net.add_hub(s.hub_ports);
+  // Trunks occupy the top ports, mirrored on both HUBs (routing uses the
+  // first trunk found by the BFS; extra trunks serve circuit switching).
+  for (int t = 0; t < s.trunks; ++t) {
+    int p = s.hub_ports - 1 - t;
+    net.link_hubs(h0, p, h1, p);
+  }
+  int first_half = (s.nodes + 1) / 2;
+  for (int i = 0; i < s.nodes; ++i) {
+    bool low = i < first_half;
+    net.add_cab(low ? h0 : h1, low ? i : i - first_half, s.with_vme);
+  }
+}
+
+void build_fat_tree(net::Network& net, const TopologySpec& s) {
+  if (s.spines < 1) throw std::invalid_argument("topology: fat_tree needs spines >= 1");
+  int cabs_per_leaf = s.hub_ports - s.spines;
+  if (cabs_per_leaf < 1) {
+    throw std::invalid_argument("topology: fat_tree needs hub_ports > spines");
+  }
+  int leaves = (s.nodes + cabs_per_leaf - 1) / cabs_per_leaf;
+  if (leaves < 1) leaves = 1;
+  // Leaf HUBs first (ids 0..leaves-1), then one spine HUB per uplink with a
+  // port per leaf.
+  for (int l = 0; l < leaves; ++l) net.add_hub(s.hub_ports);
+  for (int sp = 0; sp < s.spines; ++sp) {
+    int spine = net.add_hub(leaves);
+    for (int l = 0; l < leaves; ++l) {
+      net.link_hubs(l, cabs_per_leaf + sp, spine, l);
+    }
+  }
+  for (int i = 0; i < s.nodes; ++i) {
+    net.add_cab(i / cabs_per_leaf, i % cabs_per_leaf, s.with_vme);
+  }
+}
+
+}  // namespace
+
+int build_topology(net::Network& net, const TopologySpec& spec, std::uint64_t master_seed) {
+  if (net.hub_count() != 0 || net.cab_count() != 0) {
+    throw std::invalid_argument("build_topology: network is not empty");
+  }
+  if (spec.nodes < 1) throw std::invalid_argument("topology: need nodes >= 1");
+  switch (spec.kind) {
+    case TopologyKind::Star:
+      build_star(net, spec);
+      break;
+    case TopologyKind::DualHub:
+      build_dual_hub(net, spec);
+      break;
+    case TopologyKind::FatTree:
+      build_fat_tree(net, spec);
+      break;
+  }
+  net.install_routes();
+  // One master seed reproduces the whole run: every link derives its fault
+  // streams from (master_seed, link name).
+  for (int n = 0; n < net.cab_count(); ++n) {
+    net.cab(n).out_link().set_fault_seed_base(master_seed);
+  }
+  return net.cab_count();
+}
+
+}  // namespace nectar::scenario

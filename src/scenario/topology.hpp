@@ -1,0 +1,39 @@
+#pragma once
+
+// Topology builders: stamp out multi-HUB meshes of CAB+host nodes on a
+// net::Network from a small spec, instead of hand-wiring add_hub/add_cab
+// calls. All three shapes compute and install source routes and re-key every
+// link's fault-RNG streams under the scenario master seed, so a scenario is
+// fully described by (spec, seed).
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace nectar::scenario {
+
+enum class TopologyKind {
+  Star,     ///< N CABs on one HUB (N <= HUB ports; the common installation)
+  DualHub,  ///< two HUBs, nodes split evenly, `trunks` parallel trunk pairs
+  FatTree,  ///< 2-level: leaf HUBs with CABs, each leaf trunked to every spine
+};
+
+struct TopologySpec {
+  TopologyKind kind = TopologyKind::Star;
+  int nodes = 2;
+  int hub_ports = 16;  ///< leaf/star HUB radix
+  int trunks = 1;      ///< DualHub: parallel trunk fiber pairs between the HUBs
+  int spines = 2;      ///< FatTree: number of spine HUBs (= trunks per leaf)
+  bool with_vme = false;
+
+  static TopologyKind parse_kind(const std::string& name);  // "star" | "dual_hub" | "fat_tree"
+};
+
+/// Build `spec` into `net` (which must be empty), install routes, and seed
+/// every CAB out-link's fault streams from `master_seed`. Returns the node
+/// count actually built (== spec.nodes). Throws std::invalid_argument when
+/// the spec does not fit (e.g. Star with more nodes than ports).
+int build_topology(net::Network& net, const TopologySpec& spec, std::uint64_t master_seed);
+
+}  // namespace nectar::scenario

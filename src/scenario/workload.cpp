@@ -1,0 +1,502 @@
+#include "scenario/workload.hpp"
+
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "proto/headers.hpp"
+
+namespace nectar::scenario {
+
+namespace {
+
+void pack32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void pack64(std::uint8_t* p, std::uint64_t v) {
+  pack32(p, static_cast<std::uint32_t>(v));
+  pack32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t unpack32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t unpack64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(unpack32(p)) |
+         (static_cast<std::uint64_t>(unpack32(p + 4)) << 32);
+}
+
+}  // namespace
+
+Proto WorkloadSpec::parse_proto(const std::string& name) {
+  if (name == "udp") return Proto::Udp;
+  if (name == "tcp") return Proto::Tcp;
+  if (name == "datagram") return Proto::Datagram;
+  if (name == "rmp") return Proto::Rmp;
+  if (name == "reqresp") return Proto::ReqResp;
+  throw std::invalid_argument("workload: unknown proto '" + name +
+                              "' (want udp | tcp | datagram | rmp | reqresp)");
+}
+
+Mode WorkloadSpec::parse_mode(const std::string& name) {
+  if (name == "open") return Mode::Open;
+  if (name == "closed") return Mode::Closed;
+  throw std::invalid_argument("workload: unknown mode '" + name + "' (want open | closed)");
+}
+
+const char* WorkloadSpec::proto_name(Proto p) {
+  switch (p) {
+    case Proto::Udp: return "udp";
+    case Proto::Tcp: return "tcp";
+    case Proto::Datagram: return "datagram";
+    case Proto::Rmp: return "rmp";
+    case Proto::ReqResp: return "reqresp";
+  }
+  return "?";
+}
+
+Workload::Workload(net::Network& net, std::vector<net::NodeStack*> stacks, WorkloadSpec spec,
+                   std::uint64_t master_seed)
+    : net_(net), stacks_(std::move(stacks)), spec_(std::move(spec)), master_seed_(master_seed) {
+  int n = net_.cab_count();
+  if (spec_.users < 1) throw std::invalid_argument("workload '" + spec_.name + "': users >= 1");
+  if (spec_.size_min > spec_.size_max) {
+    throw std::invalid_argument("workload '" + spec_.name + "': size_min > size_max");
+  }
+  if (spec_.mode == Mode::Open && spec_.rate <= 0.0) {
+    throw std::invalid_argument("workload '" + spec_.name + "': open mode needs rate > 0");
+  }
+  // Flows pair i -> (i + stride) % n: a permutation, so every node serves
+  // exactly one flow and drives exactly one.
+  int stride = spec_.stride % n;
+  if (stride < 0) stride += n;
+  flow_of_src_.assign(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    int dst = (i + stride) % n;
+    if (dst == i) continue;
+    flow_of_src_[static_cast<std::size_t>(i)] = static_cast<int>(flow_defs_.size());
+    Flow f;
+    f.src = i;
+    f.dst = dst;
+    flow_defs_.push_back(f);
+    FlowStats st;
+    st.src = i;
+    st.dst = dst;
+    flows_.push_back(st);
+  }
+  if (flow_defs_.empty()) {
+    throw std::invalid_argument("workload '" + spec_.name +
+                                "': stride pairs every node with itself");
+  }
+}
+
+std::uint64_t Workload::flow_seed(std::size_t flow, const char* role, int user) const {
+  return sim::derive_seed(master_seed_, "wl/" + spec_.name + "/f" + std::to_string(flow) + "/" +
+                                            role + std::to_string(user));
+}
+
+std::uint32_t Workload::pick_size(sim::Random& rng) const {
+  auto v = static_cast<std::uint32_t>(
+      rng.next_range(static_cast<std::int64_t>(spec_.size_min),
+                     static_cast<std::int64_t>(spec_.size_max)));
+  return v < kHeaderBytes ? kHeaderBytes : v;
+}
+
+sim::SimTime Workload::exp_draw(sim::Random& rng, double mean_ns) const {
+  double t = -std::log(1.0 - rng.next_double()) * mean_ns;
+  if (t < 0.0) t = 0.0;
+  if (t > 9.0e15) t = 9.0e15;  // cap at ~104 days; keeps the cast defined
+  return static_cast<sim::SimTime>(t);
+}
+
+std::optional<core::Message> Workload::stage(int node, core::Mailbox& scratch, std::size_t flow,
+                                             std::uint32_t size, bool blocking) {
+  if (size < kHeaderBytes) size = kHeaderBytes;
+  std::optional<core::Message> m;
+  if (blocking) {
+    m = scratch.begin_put(size);
+  } else {
+    m = scratch.begin_put_try(size);
+    if (!m) return std::nullopt;
+  }
+  FlowStats& st = flows_[flow];
+  std::uint8_t hdr[kHeaderBytes];
+  pack32(hdr, static_cast<std::uint32_t>(flow_defs_[flow].src));
+  pack32(hdr + 4, static_cast<std::uint32_t>(st.sent));
+  pack64(hdr + 8, static_cast<std::uint64_t>(net_.engine().now()));
+  net_.cab(node).memory().write(m->data, std::span<const std::uint8_t>(hdr, kHeaderBytes));
+  ++st.sent;
+  st.sent_bytes += m->len;
+  return m;
+}
+
+void Workload::observe_delivery(int node, const core::Message& m) {
+  if (m.len < kHeaderBytes) return;
+  std::uint8_t hdr[kHeaderBytes];
+  net_.cab(node).memory().read(m.data, std::span<std::uint8_t>(hdr, kHeaderBytes));
+  std::uint32_t src = unpack32(hdr);
+  if (src >= flow_of_src_.size()) return;
+  int fi = flow_of_src_[src];
+  if (fi < 0) return;
+  auto sent_ns = static_cast<sim::SimTime>(unpack64(hdr + 8));
+  sim::SimTime now = net_.engine().now();
+  // A timestamp of 0 or from the future means this is not one of our
+  // headers (e.g. a continuation segment of an oversized TCP message).
+  if (sent_ns <= 0 || sent_ns > now) return;
+  latency_.observe(now - sent_ns);
+  FlowStats& st = flows_[static_cast<std::size_t>(fi)];
+  ++st.delivered;
+  st.delivered_bytes += m.len;
+}
+
+void Workload::install() {
+  if ((spec_.proto == Proto::Udp || spec_.proto == Proto::Tcp) && spec_.port == 0) {
+    throw std::invalid_argument("workload '" + spec_.name + "': udp/tcp needs a port");
+  }
+  install_servers();
+  install_clients();
+}
+
+// --- servers ---------------------------------------------------------------------
+
+void Workload::server_reader_loop(int node, core::Mailbox& mb) {
+  for (;;) {
+    core::Message m = mb.begin_get();
+    observe_delivery(node, m);
+    mb.end_get(m);
+  }
+}
+
+void Workload::udp_server(int node) {
+  core::Mailbox& rx = runtime(node).create_mailbox("wl/" + spec_.name + "/udp");
+  stack(node).udp.bind(spec_.port, &rx);
+  runtime(node).fork_system("wl/" + spec_.name + "/srv", [this, node, &rx] {
+    for (;;) {
+      core::Message m = rx.begin_get();
+      observe_delivery(node, proto::Udp::payload_of(m));
+      rx.end_get(m);
+    }
+  });
+}
+
+void Workload::tcp_server(int node) {
+  runtime(node).fork_system("wl/" + spec_.name + "/acc", [this, node] {
+    // Opened from thread context (Mutex is a thread-level primitive); the
+    // accept thread runs at t=0, ahead of any SYN's wire latency.
+    proto::TcpListener* l = stack(node).tcp.open_listener(spec_.port);
+    for (;;) {
+      proto::TcpConnection* c = stack(node).tcp.accept(l);
+      runtime(node).fork_system("wl/" + spec_.name + "/srv", [this, node, c] {
+        for (;;) {
+          core::Message m = c->receive_mailbox().begin_get();
+          if (m.len == 0) {  // peer closed
+            c->receive_mailbox().end_get(m);
+            return;
+          }
+          observe_delivery(node, m);
+          c->receive_mailbox().end_get(m);
+        }
+      });
+    }
+  });
+}
+
+void Workload::reqresp_server(int node, core::Mailbox& svc) {
+  runtime(node).fork_system("wl/" + spec_.name + "/srv", [this, node, &svc] {
+    core::Mailbox& rsp_arena = runtime(node).create_mailbox("wl/" + spec_.name + "/rsp");
+    for (;;) {
+      core::Message req = svc.begin_get();
+      auto info = nproto::ReqResp::parse_request(runtime(node), req);
+      core::Message payload = nproto::ReqResp::payload_of(req);
+      svc.end_get(payload);
+      // The client measures round-trip time itself; the reply only has to
+      // exist.
+      core::Message reply = rsp_arena.begin_put(kHeaderBytes);
+      stack(node).reqresp.respond(info, reply);
+    }
+  });
+}
+
+void Workload::install_servers() {
+  for (Flow& f : flow_defs_) {
+    switch (spec_.proto) {
+      case Proto::Udp:
+        udp_server(f.dst);
+        break;
+      case Proto::Tcp:
+        tcp_server(f.dst);
+        break;
+      case Proto::Datagram:
+      case Proto::Rmp: {
+        core::Mailbox& sink = runtime(f.dst).create_mailbox("wl/" + spec_.name + "/sink");
+        f.sink = sink.address();
+        int node = f.dst;
+        runtime(node).fork_system("wl/" + spec_.name + "/srv",
+                                  [this, node, &sink] { server_reader_loop(node, sink); });
+        break;
+      }
+      case Proto::ReqResp: {
+        core::Mailbox& svc = runtime(f.dst).create_mailbox("wl/" + spec_.name + "/svc");
+        f.sink = svc.address();
+        reqresp_server(f.dst, svc);
+        break;
+      }
+    }
+  }
+}
+
+// --- clients ---------------------------------------------------------------------
+
+void Workload::closed_user_loop(std::size_t flow, int user) {
+  Flow& f = flow_defs_[flow];
+  FlowStats& st = flows_[flow];
+  core::CabRuntime& rt = runtime(f.src);
+  sim::Random rng(flow_seed(flow, "closed", user));
+  core::Mailbox& scratch =
+      rt.create_mailbox("wl/" + spec_.name + "/u" + std::to_string(user));
+  if (net_.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
+  // Fire-and-forget protocols have no completion to wait on; a floor on the
+  // think time keeps the loop from spinning at one simulation instant.
+  sim::SimTime think = spec_.think;
+  if ((spec_.proto == Proto::Udp || spec_.proto == Proto::Datagram) && think < sim::usec(1)) {
+    think = sim::usec(1);
+  }
+  for (;;) {
+    std::uint32_t size = pick_size(rng);
+    std::optional<core::Message> m = stage(f.src, scratch, flow, size, /*blocking=*/true);
+    switch (spec_.proto) {
+      case Proto::Udp:
+        stack(f.src).udp.send(spec_.port, proto::ip_of_node(f.dst), spec_.port, *m);
+        break;
+      case Proto::Tcp:
+        stack(f.src).tcp.send(f.conn, *m);
+        stack(f.src).tcp.wait_drained(f.conn);
+        break;
+      case Proto::Datagram:
+        stack(f.src).datagram.send(f.sink, *m);
+        break;
+      case Proto::Rmp:
+        stack(f.src).rmp.send(f.sink, *m);
+        stack(f.src).rmp.wait_acked(f.dst);
+        break;
+      case Proto::ReqResp: {
+        sim::SimTime t0 = net_.engine().now();
+        try {
+          core::Message rsp = stack(f.src).reqresp.call(f.sink, *m);
+          latency_.observe(net_.engine().now() - t0);
+          ++st.delivered;
+          st.delivered_bytes += size;
+          scratch.end_get(rsp);
+        } catch (const std::runtime_error&) {
+          ++st.errors;
+        }
+        break;
+      }
+    }
+    if (think > 0) rt.cpu().sleep_for(exp_draw(rng, static_cast<double>(think)));
+  }
+}
+
+bool Workload::open_send_once(std::size_t flow, core::Mailbox& scratch, sim::Random& rng) {
+  Flow& f = flow_defs_[flow];
+  FlowStats& st = flows_[flow];
+  // Back-pressure guards: an open-loop source sheds instead of blocking, so
+  // overload shows up as loss at the edge rather than a stuck generator.
+  switch (spec_.proto) {
+    case Proto::Tcp:
+      if (f.conn == nullptr || !f.conn->established() ||
+          f.conn->unacked_bytes() > kTcpShedBytes) {
+        ++st.shed;
+        return false;
+      }
+      break;
+    case Proto::Rmp:
+      if (stack(f.src).rmp.queued_to(f.dst) >= kRmpShedQueue) {
+        ++st.shed;
+        return false;
+      }
+      break;
+    case Proto::ReqResp:
+      if (f.rpc_outstanding) {
+        ++st.shed;
+        return false;
+      }
+      break;
+    default:
+      break;
+  }
+  std::uint32_t size = pick_size(rng);
+  std::optional<core::Message> m = stage(f.src, scratch, flow, size, /*blocking=*/false);
+  if (!m) {
+    ++st.shed;  // buffer heap exhausted
+    return false;
+  }
+  switch (spec_.proto) {
+    case Proto::Udp:
+      stack(f.src).udp.send(spec_.port, proto::ip_of_node(f.dst), spec_.port, *m);
+      break;
+    case Proto::Tcp:
+      stack(f.src).tcp.send(f.conn, *m);
+      break;
+    case Proto::Datagram:
+      stack(f.src).datagram.send(f.sink, *m);
+      break;
+    case Proto::Rmp:
+      stack(f.src).rmp.send(f.sink, *m);
+      break;
+    case Proto::ReqResp: {
+      f.rpc_outstanding = true;
+      core::Message req = *m;
+      runtime(f.src).fork_app("wl/" + spec_.name + "/rpc",
+                              [this, flow, size, &scratch, req] {
+        Flow& fl = flow_defs_[flow];
+        FlowStats& s = flows_[flow];
+        sim::SimTime t0 = net_.engine().now();
+        try {
+          core::Message rsp = stack(fl.src).reqresp.call(fl.sink, req);
+          latency_.observe(net_.engine().now() - t0);
+          ++s.delivered;
+          s.delivered_bytes += size;
+          scratch.end_get(rsp);
+        } catch (const std::runtime_error&) {
+          ++s.errors;
+        }
+        fl.rpc_outstanding = false;
+      });
+      break;
+    }
+  }
+  return true;
+}
+
+void Workload::open_flow_loop(std::size_t flow) {
+  Flow& f = flow_defs_[flow];
+  FlowStats& st = flows_[flow];
+  core::CabRuntime& rt = runtime(f.src);
+  sim::Random rng(flow_seed(flow, "open", 0));
+  core::Mailbox& scratch = rt.create_mailbox("wl/" + spec_.name + "/gen");
+  if (net_.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
+  if (spec_.proto == Proto::Tcp) {
+    f.conn = stack(f.src).tcp.connect(static_cast<std::uint16_t>(spec_.port + 1),
+                                      proto::ip_of_node(f.dst), spec_.port);
+    if (!stack(f.src).tcp.wait_established(f.conn)) {
+      ++st.errors;
+      return;
+    }
+  }
+  // `users` independent Poisson sources aggregate to one Poisson process.
+  double mean_ns = 1e9 / (spec_.rate * spec_.users);
+  for (;;) {
+    rt.cpu().sleep_for(exp_draw(rng, mean_ns));
+    open_send_once(flow, scratch, rng);
+  }
+}
+
+void Workload::install_clients() {
+  for (std::size_t i = 0; i < flow_defs_.size(); ++i) {
+    Flow& f = flow_defs_[i];
+    if (spec_.mode == Mode::Open) {
+      runtime(f.src).fork_app("wl/" + spec_.name + "/gen", [this, i] { open_flow_loop(i); });
+      continue;
+    }
+    if (spec_.proto == Proto::Tcp) {
+      // One connection per flow, shared by every user thread; the driver
+      // establishes it, then spawns the users.
+      runtime(f.src).fork_app("wl/" + spec_.name + "/drv", [this, i] {
+        Flow& fl = flow_defs_[i];
+        core::CabRuntime& rt = runtime(fl.src);
+        if (net_.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
+        fl.conn = stack(fl.src).tcp.connect(static_cast<std::uint16_t>(spec_.port + 1),
+                                            proto::ip_of_node(fl.dst), spec_.port);
+        if (!stack(fl.src).tcp.wait_established(fl.conn)) {
+          ++flows_[i].errors;
+          return;
+        }
+        for (int u = 0; u < spec_.users; ++u) {
+          rt.fork_app("wl/" + spec_.name + "/u" + std::to_string(u),
+                      [this, i, u] { closed_user_loop(i, u); });
+        }
+      });
+    } else {
+      for (int u = 0; u < spec_.users; ++u) {
+        runtime(f.src).fork_app("wl/" + spec_.name + "/u" + std::to_string(u),
+                                [this, i, u] { closed_user_loop(i, u); });
+      }
+    }
+  }
+}
+
+// --- aggregates ------------------------------------------------------------------
+
+std::uint64_t Workload::sent() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows_) n += f.sent;
+  return n;
+}
+
+std::uint64_t Workload::delivered() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows_) n += f.delivered;
+  return n;
+}
+
+std::uint64_t Workload::delivered_bytes() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows_) n += f.delivered_bytes;
+  return n;
+}
+
+std::uint64_t Workload::shed() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows_) n += f.shed;
+  return n;
+}
+
+std::uint64_t Workload::errors() const {
+  std::uint64_t n = 0;
+  for (const FlowStats& f : flows_) n += f.errors;
+  return n;
+}
+
+std::uint64_t Workload::tcp_retransmissions() const {
+  std::uint64_t n = 0;
+  for (const Flow& f : flow_defs_) {
+    if (f.conn != nullptr) n += f.conn->retransmissions();
+  }
+  return n;
+}
+
+std::uint64_t Workload::tcp_fast_retransmits() const {
+  std::uint64_t n = 0;
+  for (const Flow& f : flow_defs_) {
+    if (f.conn != nullptr) n += f.conn->fast_retransmits();
+  }
+  return n;
+}
+
+double Workload::goodput_mbps(sim::SimTime duration) const {
+  if (duration <= 0) return 0.0;
+  double bits = static_cast<double>(delivered_bytes()) * 8.0;
+  double secs = static_cast<double>(duration) / static_cast<double>(sim::kSecond);
+  return bits / secs / 1e6;
+}
+
+double Workload::fairness() const {
+  double sum = 0.0, sq = 0.0;
+  for (const FlowStats& f : flows_) {
+    auto x = static_cast<double>(f.delivered_bytes);
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0.0) return 1.0;
+  double n = static_cast<double>(flows_.size());
+  return (sum * sum) / (n * sq);
+}
+
+}  // namespace nectar::scenario

@@ -1,0 +1,153 @@
+#pragma once
+
+// Workload generators: synthetic traffic over the real protocol stacks
+// (UDP, TCP, Nectar datagram / RMP / request-response) on every node of a
+// scenario topology. Two shapes:
+//
+//   open    Poisson arrivals at `users * rate` messages/sec per flow — an
+//           aggregate of many independent users, offered regardless of
+//           whether the network keeps up. Senders shed (count, don't block)
+//           when back-pressure guards trip, so an overloaded run measures
+//           loss instead of deadlocking the generator.
+//   closed  `users` concurrent user threads per flow, each looping
+//           send -> wait-for-completion -> exponential think time. Load is
+//           self-limiting, the classic interactive-terminal model.
+//
+// Flows pair node i with node (i + stride) % N. Every message carries a
+// 16-byte header [u32 src-node][u32 seq][u64 send-time-ns]; the receiver
+// computes one-way delay from the global simulation clock into the
+// workload's log-bucketed latency histogram (request-response measures
+// client-side round-trip instead). All randomness (sizes, interarrivals,
+// think times) derives from the scenario master seed and the flow/user
+// name, so a run is exactly reproducible.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/system.hpp"
+#include "obs/latency.hpp"
+#include "sim/random.hpp"
+
+namespace nectar::scenario {
+
+enum class Proto { Udp, Tcp, Datagram, Rmp, ReqResp };
+enum class Mode { Open, Closed };
+
+struct WorkloadSpec {
+  std::string name = "wl";
+  Proto proto = Proto::Udp;
+  Mode mode = Mode::Closed;
+  int users = 1;                  ///< users per flow (open: rate multiplier)
+  double rate = 100.0;            ///< open: messages/sec per user
+  sim::SimTime think = 0;         ///< closed: mean think time between sends
+  std::uint32_t size_min = 64;    ///< payload bytes, uniform in [min, max]
+  std::uint32_t size_max = 64;
+  int stride = 1;                 ///< node i sends to (i + stride) % N
+  sim::SimTime start = 0;         ///< when the generators begin
+  std::uint16_t port = 0;         ///< UDP/TCP port (0: engine auto-assigns)
+
+  static Proto parse_proto(const std::string& name);  // "udp" | "tcp" | ...
+  static Mode parse_mode(const std::string& name);    // "open" | "closed"
+  static const char* proto_name(Proto p);
+};
+
+/// Per-flow counters. `shed` counts offered messages the open-loop
+/// generator discarded at the source because a back-pressure guard tripped
+/// (TCP unacked bytes, RMP queue depth, buffer heap exhaustion, or an RPC
+/// still outstanding); `errors` counts failed RPCs and refused connections.
+struct FlowStats {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t sent = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;
+};
+
+class Workload {
+ public:
+  /// Embedded measurement header; also the minimum payload size.
+  static constexpr std::uint32_t kHeaderBytes = 16;
+  /// Open-loop TCP guard: shed while more than this is queued-unacked.
+  static constexpr std::uint32_t kTcpShedBytes = 256 * 1024;
+  /// Open-loop RMP guard: shed while this many messages are queued.
+  static constexpr std::size_t kRmpShedQueue = 64;
+
+  Workload(net::Network& net, std::vector<net::NodeStack*> stacks, WorkloadSpec spec,
+           std::uint64_t master_seed);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  /// Create sinks/listeners and fork server + client threads. Call once,
+  /// before the simulation runs.
+  void install();
+
+  const WorkloadSpec& spec() const { return spec_; }
+  const std::vector<FlowStats>& flows() const { return flows_; }
+  const obs::LatencyHistogram& latency() const { return latency_; }
+
+  std::uint64_t sent() const;
+  std::uint64_t delivered() const;
+  std::uint64_t delivered_bytes() const;
+  std::uint64_t shed() const;
+  std::uint64_t errors() const;
+
+  /// Delivered payload megabits per second over `duration`.
+  double goodput_mbps(sim::SimTime duration) const;
+  /// Jain's fairness index over per-flow delivered bytes (1.0 = equal).
+  double fairness() const;
+
+  /// Sums over this workload's TCP connections (0 for other protocols).
+  std::uint64_t tcp_retransmissions() const;
+  std::uint64_t tcp_fast_retransmits() const;
+
+ private:
+  struct Flow {
+    int src = -1;
+    int dst = -1;
+    core::MailboxAddr sink{};               // datagram / rmp / reqresp service
+    proto::TcpConnection* conn = nullptr;   // tcp
+    bool rpc_outstanding = false;           // open-loop reqresp guard
+  };
+
+  net::NodeStack& stack(int node) { return *stacks_[static_cast<std::size_t>(node)]; }
+  core::CabRuntime& runtime(int node) { return net_.runtime(node); }
+
+  std::uint64_t flow_seed(std::size_t flow, const char* role, int user) const;
+  std::uint32_t pick_size(sim::Random& rng) const;
+  sim::SimTime exp_draw(sim::Random& rng, double mean_ns) const;
+
+  /// Stage a message with the measurement header in `scratch`; nullopt when
+  /// the buffer heap is exhausted (open-loop shed).
+  std::optional<core::Message> stage(int node, core::Mailbox& scratch, std::size_t flow,
+                                     std::uint32_t size, bool blocking);
+  /// Receiver side: read the header of `m` (already payload-adjusted),
+  /// observe latency, credit the sending flow. Safe on short/foreign
+  /// payloads (ignored).
+  void observe_delivery(int node, const core::Message& m);
+
+  void install_servers();
+  void install_clients();
+  void server_reader_loop(int node, core::Mailbox& mb);
+  void udp_server(int node);
+  void tcp_server(int node);
+  void reqresp_server(int node, core::Mailbox& svc);
+  void closed_user_loop(std::size_t flow, int user);
+  void open_flow_loop(std::size_t flow);
+  bool open_send_once(std::size_t flow, core::Mailbox& scratch, sim::Random& rng);
+
+  net::Network& net_;
+  std::vector<net::NodeStack*> stacks_;
+  WorkloadSpec spec_;
+  std::uint64_t master_seed_;
+  std::vector<Flow> flow_defs_;
+  std::vector<FlowStats> flows_;
+  std::vector<int> flow_of_src_;  // node -> flow index, -1 if none
+  obs::LatencyHistogram latency_;
+};
+
+}  // namespace nectar::scenario

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace nectar::sim {
 
@@ -36,5 +37,25 @@ class Random {
  private:
   std::uint64_t state_;
 };
+
+/// Derive an independent stream seed from a master seed and an element name
+/// (FNV-1a over the name, finalized with a splitmix64 round so nearby names
+/// do not produce correlated xorshift states). Every per-element RNG in a
+/// scenario — link fault streams, workload arrival processes, fault jitter —
+/// is seeded this way, so one master seed reproduces the whole run while
+/// distinct elements ("node3.out/drop" vs "node4.out/drop") get
+/// decorrelated streams.
+constexpr std::uint64_t derive_seed(std::uint64_t master, std::string_view name) {
+  std::uint64_t h = 0xCBF29CE484222325ull ^ master;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  h += 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return h ? h : 1;
+}
 
 }  // namespace nectar::sim

@@ -6,6 +6,7 @@
 
 #include "hw/crc.hpp"
 #include "hw/link.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace nectar::hw {
@@ -19,12 +20,17 @@ class RecordingSink : public FrameSink {
     sim::SimTime last;
   };
   bool offer(Frame&& f, sim::SimTime first, sim::SimTime last) override {
+    if (reject_next > 0) {
+      --reject_next;
+      return false;
+    }
     deliveries.push_back({std::move(f), first, last});
     return true;
   }
   void set_drain_notify(std::function<void()> fn) override { drain = std::move(fn); }
   std::vector<Delivery> deliveries;
   std::function<void()> drain;
+  int reject_next = 0;
 };
 
 Frame routed_frame(std::vector<std::uint8_t> route, std::size_t len) {
@@ -165,6 +171,77 @@ TEST(Hub, QueueHighwaterTracksContention) {
   EXPECT_EQ(sink.deliveries.size(), 5u);
   EXPECT_GE(hub.output_queue_highwater(1), 3u);
   EXPECT_GT(hub.output_busy_time(1), 0);
+}
+
+TEST(Hub, PortBlackoutDiscardsQueuedAndIncomingFrames) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  hub.attach_output(1, &sink, 0);
+  // Pile up a queue behind one in-flight frame, then kill the port: the
+  // in-flight frame completes, the queue is lost, and frames arriving during
+  // the blackout are discarded at the switch.
+  for (int i = 0; i < 5; ++i) {
+    hub.input(static_cast<int>(i % 16))->offer(routed_frame({1}, 2000), 0, 1600);
+  }
+  hub.set_port_blackout(1, true);
+  EXPECT_TRUE(hub.port_blackout(1));
+  EXPECT_EQ(hub.blackout_drops(), 4u);
+  hub.input(0)->offer(routed_frame({1}, 2000), 0, 1600);
+  e.run();
+  EXPECT_EQ(sink.deliveries.size(), 1u);
+  EXPECT_EQ(hub.blackout_drops(), 5u);
+  hub.set_port_blackout(1, false);
+  hub.input(0)->offer(routed_frame({1}, 2000), 0, 1600);
+  e.run();
+  EXPECT_EQ(sink.deliveries.size(), 2u);  // restored port switches again
+  EXPECT_EQ(hub.blackout_drops(), 5u);
+}
+
+TEST(Hub, BlackoutReleasesBackPressuredFrame) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink sink;
+  sink.reject_next = 1;
+  hub.attach_output(1, &sink, 0);
+  hub.input(0)->offer(routed_frame({1}, 100), 0, 80);
+  e.run();
+  EXPECT_TRUE(sink.deliveries.empty());  // held by back-pressure
+  hub.set_port_blackout(1, true);
+  EXPECT_GT(hub.output_blocked_time(1), 0);  // the stall was accounted
+  EXPECT_EQ(hub.blackout_drops(), 1u);  // the held frame is lost too
+  hub.set_port_blackout(1, false);
+  ASSERT_TRUE(sink.drain);
+  sink.drain();
+  e.run();
+  EXPECT_TRUE(sink.deliveries.empty());  // nothing left to deliver
+}
+
+TEST(Hub, RegisterMetricsExposesPerPortProbes) {
+  sim::Engine e;
+  Hub hub(e, "h0");
+  RecordingSink sink;
+  hub.attach_output(1, &sink, 0);
+  for (int i = 0; i < 3; ++i) {
+    hub.input(static_cast<int>(i % 16))->offer(routed_frame({1}, 2000), 0, 1600);
+  }
+  e.run();
+  obs::MetricsRegistry registry;
+  obs::Registration reg(registry);
+  hub.register_metrics(reg);
+  obs::Snapshot snap = registry.snapshot();
+  const obs::SnapshotEntry* frames = snap.find(-1, "hub", "h0.port1.frames");
+  ASSERT_NE(frames, nullptr);
+  EXPECT_EQ(frames->value, 3);
+  const obs::SnapshotEntry* busy = snap.find(-1, "hub", "h0.port1.busy_ns");
+  ASSERT_NE(busy, nullptr);
+  EXPECT_GT(busy->value, 0);
+  EXPECT_NE(snap.find(-1, "hub", "h0.port1.blocked_ns"), nullptr);
+  EXPECT_NE(snap.find(-1, "hub", "h0.port1.queue_highwater"), nullptr);
+  EXPECT_NE(snap.find(-1, "hub", "h0.blackout_drops"), nullptr);
+  // Unattached ports register nothing: the probe list stays proportional to
+  // the wired fabric, not the radix.
+  EXPECT_EQ(snap.find(-1, "hub", "h0.port2.frames"), nullptr);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+#include "obs/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace nectar::obs {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SingleObservation) {
+  LatencyHistogram h;
+  h.observe(sim::usec(100));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), sim::usec(100));
+  EXPECT_EQ(h.max(), sim::usec(100));
+  EXPECT_DOUBLE_EQ(h.mean(), 100'000.0);
+  // Every quantile of a single sample is that sample (clamped to [min,max]).
+  EXPECT_DOUBLE_EQ(h.p50(), 100'000.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 100'000.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesOfUniformSpread) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.observe(sim::usec(i));
+  EXPECT_EQ(h.count(), 1000u);
+  // Log-bucketed: ~9% relative resolution per sub-bucket.
+  EXPECT_NEAR(h.p50(), 500'000.0, 0.10 * 500'000.0);
+  EXPECT_NEAR(h.p90(), 900'000.0, 0.10 * 900'000.0);
+  EXPECT_NEAR(h.p99(), 990'000.0, 0.10 * 990'000.0);
+  // Quantiles never escape the observed range.
+  EXPECT_GE(h.p50(), static_cast<double>(h.min()));
+  EXPECT_LE(h.p999(), static_cast<double>(h.max()));
+}
+
+TEST(LatencyHistogramTest, QuantilesAreMonotonic) {
+  LatencyHistogram h;
+  sim::Random rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    h.observe(static_cast<sim::SimTime>(rng.next_below(sim::msec(50))) + 300);
+  }
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), static_cast<double>(h.max()));
+}
+
+TEST(LatencyHistogramTest, UnderflowAndOverflowAreClamped) {
+  LatencyHistogram h;
+  h.observe(0);
+  h.observe(3);                // below the 256 ns first octave
+  h.observe(sim::sec(1000));   // beyond the last octave (~137 s)
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), sim::sec(1000));
+  EXPECT_GE(h.p999(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedStream) {
+  LatencyHistogram a, b, both;
+  for (int i = 1; i <= 100; ++i) {
+    a.observe(sim::usec(i));
+    both.observe(sim::usec(i));
+  }
+  for (int i = 1000; i <= 2000; i += 10) {
+    b.observe(sim::usec(i));
+    both.observe(sim::usec(i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.p50(), both.p50());
+  EXPECT_DOUBLE_EQ(a.p999(), both.p999());
+}
+
+TEST(LatencyHistogramTest, BucketBoundsGrowMonotonically) {
+  for (int i = 1; i < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_LT(LatencyHistogram::bucket_bound(i - 1), LatencyHistogram::bucket_bound(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, JsonCarriesPercentiles) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.observe(sim::usec(500));
+  json::Value v = h.to_json();
+  ASSERT_TRUE(v.has("count"));
+  EXPECT_EQ(v.find("count")->as_int(), 100);
+  EXPECT_NEAR(v.find("p50_us")->as_double(), 500.0, 50.0);
+  EXPECT_NEAR(v.find("p999_us")->as_double(), 500.0, 50.0);
+}
+
+TEST(LatencyHistogramTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    LatencyHistogram h;
+    sim::Random rng(7);
+    for (int i = 0; i < 2000; ++i) h.observe(static_cast<sim::SimTime>(rng.next_below(1 << 20)));
+    return h.to_json().dump(0);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace nectar::obs

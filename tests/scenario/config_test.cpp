@@ -1,0 +1,83 @@
+#include "scenario/config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nectar::scenario {
+namespace {
+
+TEST(ConfigTest, ParsesSectionsAndValues) {
+  Config cfg = Config::parse_string(
+      "[scenario]\n"
+      "name = smoke\n"
+      "seed = 42\n"
+      "\n"
+      "[topology]\n"
+      "kind = star\n"
+      "nodes = 8\n");
+  const Section* s = cfg.find("scenario");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->get("name", ""), "smoke");
+  EXPECT_EQ(s->get_int("seed", 0), 42);
+  EXPECT_EQ(cfg.find("topology")->get_int("nodes", 0), 8);
+  EXPECT_EQ(cfg.find("missing"), nullptr);
+}
+
+TEST(ConfigTest, RepeatedSectionsKeepFileOrder) {
+  Config cfg = Config::parse_string(
+      "[workload]\nname = a\n"
+      "[fault]\nkind = link_drop\n"
+      "[workload]\nname = b\n");
+  auto wls = cfg.all("workload");
+  ASSERT_EQ(wls.size(), 2u);
+  EXPECT_EQ(wls[0]->get("name", ""), "a");
+  EXPECT_EQ(wls[1]->get("name", ""), "b");
+  EXPECT_EQ(cfg.all("fault").size(), 1u);
+}
+
+TEST(ConfigTest, CommentsAndWhitespaceIgnored) {
+  Config cfg = Config::parse_string(
+      "# leading comment\n"
+      "  [a]  \n"
+      "; alt comment style\n"
+      "  key =   spaced value  \n");
+  EXPECT_EQ(cfg.find("a")->get("key", ""), "spaced value");
+}
+
+TEST(ConfigTest, DurationSuffixes) {
+  EXPECT_EQ(parse_time("250"), 250);
+  EXPECT_EQ(parse_time("250ns"), 250);
+  EXPECT_EQ(parse_time("250us"), sim::usec(250));
+  EXPECT_EQ(parse_time("5ms"), sim::msec(5));
+  EXPECT_EQ(parse_time("2s"), sim::sec(2));
+  EXPECT_EQ(parse_time("1.5ms"), sim::usec(1500));
+  EXPECT_THROW(parse_time("5 fortnights"), std::runtime_error);
+  EXPECT_THROW(parse_time("fast"), std::runtime_error);
+}
+
+TEST(ConfigTest, TypedGettersValidate) {
+  Config cfg = Config::parse_string("[s]\nn = 12\nf = 0.5\nb = yes\nt = 3ms\nbad = zzz\n");
+  const Section* s = cfg.find("s");
+  EXPECT_EQ(s->get_int("n", 0), 12);
+  EXPECT_DOUBLE_EQ(s->get_double("f", 0), 0.5);
+  EXPECT_TRUE(s->get_bool("b", false));
+  EXPECT_EQ(s->get_time("t", 0), sim::msec(3));
+  EXPECT_EQ(s->get_int("absent", 7), 7);
+  EXPECT_THROW(s->get_int("bad", 0), std::runtime_error);
+  EXPECT_THROW(s->get_bool("bad", false), std::runtime_error);
+  EXPECT_THROW(s->get_time("bad", 0), std::runtime_error);
+}
+
+TEST(ConfigTest, MalformedInputThrowsWithLineNumber) {
+  try {
+    Config::parse_string("[ok]\nkey = 1\nnot-a-kv-line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW(Config::parse_string("[unclosed\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse_string("[s]\na = 1\na = 2\n"), std::runtime_error);
+  EXPECT_THROW(Config::parse_string("[s]\n= nokey\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nectar::scenario

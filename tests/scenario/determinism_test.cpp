@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "scenario/engine.hpp"
+
+namespace nectar::scenario {
+namespace {
+
+// The determinism contract (docs/SCENARIOS.md): a scenario is a pure
+// function of (spec, seed). Same seed => byte-identical report and
+// identical event count; different seed => decorrelated arrivals, sizes and
+// fault timings.
+
+ScenarioSpec mixed_spec(std::uint64_t seed) {
+  ScenarioSpec spec = ScenarioSpec::from_config(Config::parse_string(R"(
+[scenario]
+name = det
+duration = 300ms
+
+[topology]
+kind = star
+nodes = 6
+
+[workload]
+name = udp
+proto = udp
+mode = open
+users = 50
+rate = 10
+size_min = 64
+size_max = 512
+
+[workload]
+name = rmp
+proto = rmp
+mode = closed
+users = 2
+think = 5ms
+size = 128
+stride = 2
+
+[fault]
+kind = link_drop
+target = node1.link
+at = 100ms
+duration = 80ms
+rate = 0.3
+jitter = 40ms
+)"));
+  spec.seed = seed;
+  return spec;
+}
+
+struct RunResult {
+  std::string report;
+  std::uint64_t events;
+  sim::SimTime fault_at;
+  std::uint64_t delivered;
+};
+
+RunResult run_once(std::uint64_t seed) {
+  Scenario sc(mixed_spec(seed));
+  sc.run();
+  RunResult r;
+  r.report = sc.report().to_json_string();
+  r.events = sc.net().engine().events_processed();
+  r.fault_at = sc.faults().records().at(0).applied_at;
+  r.delivered = 0;
+  for (const auto& w : sc.workloads()) r.delivered += w->delivered();
+  return r;
+}
+
+TEST(ScenarioDeterminismTest, SameSeedSameRun) {
+  RunResult a = run_once(11);
+  RunResult b = run_once(11);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.fault_at, b.fault_at);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.report, b.report) << "same (spec, seed) must be byte-identical";
+}
+
+TEST(ScenarioDeterminismTest, DifferentSeedDifferentRun) {
+  RunResult a = run_once(11);
+  RunResult c = run_once(12);
+  EXPECT_NE(a.fault_at, c.fault_at) << "fault jitter must follow the master seed";
+  EXPECT_NE(a.report, c.report);
+}
+
+TEST(ScenarioDeterminismTest, UnknownConfigKeysRejected) {
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[scenario]\nsede = 4\n")),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[workload]\nprotocol = udp\n")),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[fault]\nkind = link_drop\nwhen = 5ms\n")),
+               std::runtime_error);
+}
+
+TEST(ScenarioDeterminismTest, SloReportCarriesTailPercentiles) {
+  Scenario sc(mixed_spec(21));
+  sc.run();
+  obs::RunReport rep = sc.report();
+  std::string json = rep.to_json_string();
+  for (const char* key : {"udp.p50", "udp.p99", "udp.p999", "rmp.goodput", "rmp.fairness",
+                          "drops.fault_attributed", "retransmits.rmp", "faults.injected"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing result " << key;
+  }
+  const auto& wl = *sc.workloads().at(0);
+  EXPECT_GT(wl.delivered(), 0u);
+  EXPECT_GT(wl.latency().count(), 0u);
+  EXPECT_GT(wl.fairness(), 0.5);
+}
+
+}  // namespace
+}  // namespace nectar::scenario
