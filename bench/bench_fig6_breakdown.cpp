@@ -20,11 +20,12 @@ struct Breakdown {
   double total;
 };
 
-Breakdown measure(const std::string& trace_path, obs::Snapshot* metrics_out) {
+Breakdown measure(const BenchOptions& opts, obs::Snapshot* metrics_out) {
   net::NectarSystem sys(2, /*with_vme=*/true);
   host::HostNode h0(sys, 0), h1(sys, 1);
   sim::TraceRecorder& tr = sys.net().trace();
-  if (!trace_path.empty()) sys.tracer().set_enabled(true);
+  if (!opts.trace_path.empty()) sys.tracer().set_enabled(true);
+  start_profile(opts, sys.profiler());
 
   core::MailboxAddr svc_addr{};
   bool ready = false;
@@ -94,7 +95,8 @@ Breakdown measure(const std::string& trace_path, obs::Snapshot* metrics_out) {
   (void)copied;
   (void)got;
   b.total = sim::to_usec(read_done - t0);
-  finish_trace(trace_path, sys.tracer());
+  finish_trace(opts.trace_path, sys.tracer());
+  finish_profile(opts, sys.profiler());
   if (metrics_out != nullptr) *metrics_out = sys.metrics().snapshot();
   return b;
 }
@@ -108,7 +110,7 @@ int main(int argc, char** argv) {
   print_header("Figure 6: one-way host-to-host datagram latency breakdown (64 bytes)");
 
   nectar::obs::Snapshot metrics;
-  Breakdown b = measure(opts.trace_path, &metrics);
+  Breakdown b = measure(opts, &metrics);
   std::printf("%-46s %8.1f us\n", "host: create message (begin_put)", b.host_create);
   std::printf("%-46s %8.1f us\n", "host-CAB iface, sender (VME copy+end_put+signal)", b.iface_sender);
   std::printf("%-46s %8.1f us\n", "CAB-to-CAB (wakeup + protocol + wire + deliver)", b.cab_to_cab);

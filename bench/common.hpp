@@ -16,17 +16,23 @@
 
 #include "host/node.hpp"
 #include "net/system.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/tracer.hpp"
 
 namespace nectar::bench {
 
 /// Flags every bench binary understands:
-///   --json <path>   write a machine-readable run report (obs::RunReport)
-///   --trace <path>  export a Chrome trace-event timeline of (part of) the run
+///   --json <path>     write a machine-readable run report (obs::RunReport)
+///   --trace <path>    export a Chrome trace-event timeline of (part of) the run
+///   --profile <path>  enable the cycle-attribution profiler and write its
+///                     folded-stack output (flamegraph.pl / speedscope input).
+///                     Profiling charges no simulated time, so --profile does
+///                     not change any reported numbers.
 struct BenchOptions {
   std::string json_path;
   std::string trace_path;
+  std::string profile_path;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -37,12 +43,22 @@ inline BenchOptions parse_options(int argc, char** argv) {
       o.json_path = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       o.trace_path = argv[++i];
+    } else if (a == "--profile" && i + 1 < argc) {
+      o.profile_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--json <path>] [--trace <path>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--json <path>] [--trace <path>] [--profile <path>]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
   return o;
+}
+
+/// Enable profiling if --profile was given. Call right after building the
+/// system, before any traffic runs.
+inline void start_profile(const BenchOptions& o, obs::Profiler& profiler) {
+  if (o.profile_path.empty()) return;
+  profiler.set_enabled(true);
 }
 
 /// Write the report if --json was given; exits non-zero on I/O failure so CI
@@ -54,6 +70,18 @@ inline void finish_report(const BenchOptions& o, const obs::RunReport& report) {
     std::exit(1);
   }
   std::printf("\nwrote %s\n", o.json_path.c_str());
+}
+
+/// Write the folded-stack profile if --profile was given (no-op on an empty
+/// path).
+inline void finish_profile(const BenchOptions& o, const obs::Profiler& profiler) {
+  if (o.profile_path.empty()) return;
+  if (!profiler.write_folded(o.profile_path)) {
+    std::fprintf(stderr, "error: cannot write profile to %s\n", o.profile_path.c_str());
+    std::exit(1);
+  }
+  std::printf("wrote %s (%llu samples)\n", o.profile_path.c_str(),
+              static_cast<unsigned long long>(profiler.samples()));
 }
 
 /// Write the Chrome trace if --trace was given (no-op on an empty path).

@@ -93,6 +93,19 @@ int main(int argc, char** argv) {
                   sim::to_msec(r.applied_at), static_cast<unsigned long long>(r.attributed_drops));
     }
 
+    for (std::size_t i = 0; i < sc.spec().captures.size(); ++i) {
+      const auto& c = sc.spec().captures[i];
+      std::printf("capture %s (%s): %llu packet(s) -> %s\n", c.element.c_str(), c.format.c_str(),
+                  static_cast<unsigned long long>(sc.captures()[i]->packets_written()),
+                  c.file.c_str());
+    }
+    if (!sc.spec().profile.folded.empty()) {
+      std::printf("profile: folded stacks -> %s\n", sc.spec().profile.folded.c_str());
+    }
+    if (!sc.spec().profile.timeline.empty()) {
+      std::printf("profile: protocol timelines -> %s\n", sc.spec().profile.timeline.c_str());
+    }
+
     if (!json_path.empty()) {
       obs::RunReport rep = sc.report();
       if (!rep.write(json_path)) {

@@ -5,12 +5,18 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace nectar::core {
 
 namespace {
 thread_local Cpu* g_current_cpu = nullptr;
+
+// Execution-context labels for profiler attribution (see busy_context()).
+const std::string kCtxIrq = "irq";
+const std::string kCtxSwitch = "switch";
+const std::string kCtxEngine = "engine";
 }
 
 Cpu* Cpu::current() { return g_current_cpu; }
@@ -28,6 +34,7 @@ Thread* Cpu::fork(std::string name, int priority, std::function<void()> body) {
   auto t = std::make_unique<Thread>(*this, std::move(name), priority, std::move(body));
   Thread* raw = t.get();
   threads_.push_back(std::move(t));
+  if (profiling()) raw->ready_at_ = engine_.now();
   run_queue_.push(raw);
   kick();
   return raw;
@@ -67,9 +74,25 @@ std::size_t Cpu::threads_alive() const {
 
 // --- execution ----------------------------------------------------------------
 
+bool Cpu::profiling() const { return profiler_ != nullptr && profiler_->enabled(); }
+
+/// What execution context is consuming the busy interval begin_busy opens?
+/// Order matters: an interrupt can run while a thread is still mid-charge
+/// (current_ set), so the irq context is checked first.
+const std::string& Cpu::busy_context() const {
+  if (irq_active_) return kCtxIrq;
+  if (switch_target_ != nullptr) return kCtxSwitch;
+  if (current_ != nullptr) return current_->name();
+  return kCtxEngine;
+}
+
+// The single point where busy time accrues — charges (sliced) and the
+// dispatcher's context-switch cost both land here, which is what makes the
+// profiler's invariant exact: sum(folded entries of this CPU) == busy_time().
 void Cpu::begin_busy(sim::SimTime ns) {
   busy_until_ = engine_.now() + ns;
   busy_time_ += ns;
+  if (profiling()) profiler_->record(name_, busy_context(), ns);
   engine_.schedule_at(busy_until_, [this] { dispatch(); });
 }
 
@@ -94,6 +117,7 @@ void Cpu::yield() {
   Thread* best = run_queue_.peek_best();
   if (best == nullptr || best->priority() < self->priority()) return;
   self->state_ = Thread::State::Ready;
+  if (profiling()) self->ready_at_ = engine_.now();
   run_queue_.push(self);
   NECTAR_TRACE(trace_thread_out());
   current_ = nullptr;
@@ -137,6 +161,7 @@ void Cpu::block_unmasked() {
 void Cpu::wake(Thread* t) {
   if (t->state_ != Thread::State::Blocked) return;
   t->state_ = Thread::State::Ready;
+  if (profiling()) t->ready_at_ = engine_.now();
   run_queue_.push(t);
   kick();
 }
@@ -176,9 +201,15 @@ void Cpu::irq_loop() {
       irq_queue_.pop_front();
       ++interrupts_taken_;
       NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->begin(trace_track_, "irq"));
-      charge(sim::costs::kInterruptEntry);
+      {
+        obs::CostScope scope("irq/dispatch");
+        charge(sim::costs::kInterruptEntry);
+      }
       h();
-      charge(sim::costs::kInterruptExit);
+      {
+        obs::CostScope scope("irq/dispatch");
+        charge(sim::costs::kInterruptExit);
+      }
       NECTAR_TRACE(if (obs::tracing(tracer_)) tracer_->end(trace_track_, "irq"));
     }
     irq_active_ = false;
@@ -224,7 +255,11 @@ void Cpu::kick() {
 void Cpu::resume_fiber(sim::Fiber& f) {
   assert(sim::Fiber::current() == nullptr);
   g_current_cpu = this;
+  // Announce the context so CostScope domains open inside this fiber stay
+  // with it across suspends (charges are sliced; other fibers interleave).
+  obs::Profiler::set_context(&f);
   f.resume();
+  obs::Profiler::set_context(nullptr);
   g_current_cpu = nullptr;
 }
 
@@ -237,6 +272,13 @@ void Cpu::dispatch() {
       switch_target_ = nullptr;
       current_ = t;
       t->state_ = Thread::State::Running;
+      // Run-queue wait = ready-stamp to actually-running (includes the
+      // switch cost). ready_at_ < 0 means the profiler was enabled after
+      // the thread was queued; skip rather than misattribute.
+      if (profiling() && t->ready_at_ >= 0) {
+        profiler_->add_queue_wait(name_, t->name(), engine_.now() - t->ready_at_);
+      }
+      t->ready_at_ = -1;
       NECTAR_TRACE(trace_thread_in(t));
       resume_fiber(t->fiber_);
     } else if (irq_active_ || (!irq_queue_.empty() && irq_disable_depth_ == 0)) {
@@ -250,6 +292,7 @@ void Cpu::dispatch() {
           // higher-priority thread is awakened" (§3.1).
           Thread* prev = current_;
           prev->state_ = Thread::State::Ready;
+          if (profiling()) prev->ready_at_ = engine_.now();
           run_queue_.push(prev);
           NECTAR_TRACE({
             trace_instant("cpu.preempt");

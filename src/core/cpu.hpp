@@ -17,6 +17,7 @@
 namespace nectar::obs {
 class Tracer;
 class Registration;
+class Profiler;
 }
 
 namespace nectar::core {
@@ -139,6 +140,14 @@ class Cpu {
   obs::Tracer* tracer() const { return tracer_; }
   int trace_track() const { return trace_track_; }
 
+  /// Attribute every busy interval (charges, context-switch costs) to
+  /// `profiler` under (cpu name, running context, CostScope domain stack).
+  /// Also enables run-queue wait accounting. nullptr detaches. Like the
+  /// tracer, an attached-but-disabled profiler costs one flag check and
+  /// never charges simulated time.
+  void attach_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+  obs::Profiler* profiler() const { return profiler_; }
+
   /// Expose this CPU's stats through a metrics registry as probes under
   /// (node, component): context_switches, interrupts_taken, busy_ns,
   /// threads_alive. Component distinguishes CAB SPARCs ("cab.cpu") from
@@ -153,6 +162,8 @@ class Cpu {
   void irq_loop();
   void resume_fiber(sim::Fiber& f);
   void begin_busy(sim::SimTime ns);
+  bool profiling() const;
+  const std::string& busy_context() const;
   void thread_trampoline(Thread* t, const std::function<void()>& body);
   void trace_thread_in(Thread* t);
   void trace_thread_out();
@@ -189,6 +200,8 @@ class Cpu {
   obs::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;
   bool thread_span_open_ = false;  // a thread-occupancy span is open on the track
+
+  obs::Profiler* profiler_ = nullptr;
 };
 
 /// RAII interrupt mask.

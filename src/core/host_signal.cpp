@@ -4,6 +4,7 @@
 
 #include "core/cpu.hpp"
 #include "core/heap.hpp"
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::core {
@@ -40,6 +41,7 @@ std::uint32_t HostSignaling::poll_value(HostCondId id) const {
 void HostSignaling::signal(HostCondId id) {
   // §3.2: "Signal increments a poll value in the host condition."
   Cpu* c = Cpu::current();
+  obs::CostScope scope("sync/host_signal");
   if (c != nullptr) c->charge(sim::costs::kSignalQueuePost);
   hw::CabAddr word = poll_addr(id);
   memory_.write32(word, memory_.read32(word) + 1);

@@ -5,6 +5,7 @@
 
 #include "core/cpu.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 #include "sim/costs.hpp"
 
@@ -84,6 +85,7 @@ Message Mailbox::begin_put(std::uint32_t size) {
   Cpu& c = caller();
   if (c.in_interrupt()) throw std::logic_error("begin_put in interrupt context: use begin_put_try");
   NECTAR_TRACE(trace_op(c, "begin_put"));
+  obs::CostScope scope("mailbox/begin_put");
   bool small = size <= kSmallBufSize;
   c.charge(small ? costs::kMailboxBeginPutCached : costs::kMailboxBeginPut);
   InterruptGuard g(c);
@@ -104,6 +106,7 @@ Message Mailbox::begin_put(std::uint32_t size) {
 
 std::optional<Message> Mailbox::begin_put_try(std::uint32_t size) {
   Cpu& c = caller();
+  obs::CostScope scope("mailbox/begin_put");
   c.charge(size <= kSmallBufSize ? costs::kMailboxBeginPutCached : costs::kMailboxBeginPut);
   return alloc_message(size);
 }
@@ -112,6 +115,9 @@ void Mailbox::publish(Message m, Cpu& c) {
   queue_.push_back(m);
   queued_bytes_ += m.len;
   ++puts_;
+  if (obs::Profiler* p = c.profiler(); p != nullptr && p->enabled()) {
+    p->sample_queue_depth(cpu_.name() + "/" + name_, queue_.size());
+  }
   if (!readers_.empty()) {
     Thread* t = readers_.front();
     readers_.pop_front();
@@ -132,6 +138,7 @@ void Mailbox::end_put(Message m) {
   if (!m.valid()) throw std::logic_error("end_put: invalid message");
   Cpu& c = caller();
   NECTAR_TRACE(trace_op(c, "end_put"));
+  obs::CostScope scope("mailbox/end_put");
   c.charge(costs::kMailboxEndPut);
   publish(m, c);
 }
@@ -140,6 +147,7 @@ Message Mailbox::begin_get() {
   Cpu& c = caller();
   if (c.in_interrupt()) throw std::logic_error("begin_get in interrupt context: use begin_get_try");
   NECTAR_TRACE(trace_op(c, "begin_get"));
+  obs::CostScope scope("mailbox/begin_get");
   c.charge(costs::kMailboxBeginGet);
   InterruptGuard g(c);
   while (queue_.empty()) {
@@ -158,6 +166,7 @@ Message Mailbox::begin_get() {
 
 std::optional<Message> Mailbox::begin_get_try() {
   Cpu& c = caller();
+  obs::CostScope scope("mailbox/begin_get");
   c.charge(costs::kMailboxBeginGet);
   if (queue_.empty()) return std::nullopt;
   Message m = queue_.front();
@@ -182,6 +191,7 @@ void Mailbox::end_get(Message m) {
   if (!m.valid()) throw std::logic_error("end_get: invalid message");
   Cpu& c = caller();
   NECTAR_TRACE(trace_op(c, "end_get"));
+  obs::CostScope scope("mailbox/end_get");
   c.charge(costs::kMailboxEndGet);
   release_storage(m);
 }
@@ -190,6 +200,7 @@ void Mailbox::enqueue(Message m, Mailbox& dst) {
   if (!m.valid()) throw std::logic_error("enqueue: invalid message");
   Cpu& c = caller();
   NECTAR_TRACE(trace_op(c, "enqueue"));
+  obs::CostScope scope("mailbox/enqueue");
   // §3.3: Enqueue "moves the message without copying the data ... by simply
   // moving pointers."
   c.charge(costs::kMailboxEnqueue);
@@ -199,6 +210,7 @@ void Mailbox::enqueue(Message m, Mailbox& dst) {
 
 Message Mailbox::adjust_prefix(Message m, std::uint32_t n) {
   if (n > m.len) throw std::logic_error("adjust_prefix: longer than message");
+  obs::CostScope scope("mailbox/adjust");
   caller().charge(costs::kMailboxAdjust);
   m.data += n;
   m.len -= n;
@@ -207,6 +219,7 @@ Message Mailbox::adjust_prefix(Message m, std::uint32_t n) {
 
 Message Mailbox::adjust_suffix(Message m, std::uint32_t n) {
   if (n > m.len) throw std::logic_error("adjust_suffix: longer than message");
+  obs::CostScope scope("mailbox/adjust");
   caller().charge(costs::kMailboxAdjust);
   m.len -= n;
   return m;

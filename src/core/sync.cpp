@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/cpu.hpp"
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::core {
@@ -22,6 +23,7 @@ SyncPool::Sync& SyncPool::get(SyncId id) {
 }
 
 SyncPool::SyncId SyncPool::alloc() {
+  obs::CostScope scope("sync/op");
   caller().charge(sim::costs::kSyncOp);
   SyncId id = next_++;
   syncs_.emplace(id, Sync{});
@@ -31,6 +33,7 @@ SyncPool::SyncId SyncPool::alloc() {
 
 void SyncPool::write(SyncId id, std::uint32_t value) {
   Cpu& c = caller();
+  obs::CostScope scope("sync/op");
   // §3.4: "checking whether the sync has already been canceled and marking
   // the sync as written must be done atomically. On the CAB this is done by
   // masking interrupts."
@@ -55,6 +58,7 @@ void SyncPool::write(SyncId id, std::uint32_t value) {
 std::uint32_t SyncPool::read(SyncId id) {
   Cpu& c = caller();
   if (c.in_interrupt()) throw std::logic_error(name_ + ": blocking read in interrupt context");
+  obs::CostScope scope("sync/op");
   c.charge(sim::costs::kSyncOp);
   InterruptGuard guard(c);
   for (;;) {
@@ -74,6 +78,7 @@ std::uint32_t SyncPool::read(SyncId id) {
 
 bool SyncPool::read_try(SyncId id, std::uint32_t* out) {
   Cpu& c = caller();
+  obs::CostScope scope("sync/op");
   c.charge(sim::costs::kSyncOp);
   Sync& s = get(id);
   if (s.state != State::Written) return false;
@@ -84,6 +89,7 @@ bool SyncPool::read_try(SyncId id, std::uint32_t* out) {
 
 void SyncPool::cancel(SyncId id) {
   Cpu& c = caller();
+  obs::CostScope scope("sync/op");
   c.charge(sim::costs::kSyncOp);
   InterruptGuard guard(c);
   Sync& s = get(id);

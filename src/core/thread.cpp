@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/cpu.hpp"
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::core {
@@ -12,6 +13,7 @@ void Mutex::lock() {
   assert(self != nullptr && !cpu_.in_interrupt() &&
          "Mutex is a thread-level primitive; interrupt handlers must use "
          "interrupt masking instead (paper §3.1)");
+  obs::CostScope scope("sync/lock");
   cpu_.charge(sim::costs::kLockOp);
   while (owner_ != nullptr) {
     waiters_.push_back(self);
@@ -23,6 +25,7 @@ void Mutex::lock() {
 bool Mutex::try_lock() {
   Thread* self = cpu_.current_thread();
   assert(self != nullptr && !cpu_.in_interrupt());
+  obs::CostScope scope("sync/lock");
   cpu_.charge(sim::costs::kLockOp);
   if (owner_ != nullptr) return false;
   owner_ = self;
@@ -31,6 +34,7 @@ bool Mutex::try_lock() {
 
 void Mutex::unlock() {
   assert(owner_ == cpu_.current_thread() && "unlock by non-owner");
+  obs::CostScope scope("sync/lock");
   cpu_.charge(sim::costs::kLockOp);
   owner_ = nullptr;
   if (!waiters_.empty()) {
@@ -51,6 +55,7 @@ void CondVar::wait(Mutex& m) {
 }
 
 void CondVar::signal() {
+  obs::CostScope scope("sync/cond");
   cpu_.charge(sim::costs::kCondSignal);
   if (waiters_.empty()) return;
   Thread* t = waiters_.front();
@@ -60,6 +65,7 @@ void CondVar::signal() {
 }
 
 void CondVar::broadcast() {
+  obs::CostScope scope("sync/cond");
   cpu_.charge(sim::costs::kCondSignal);
   while (!waiters_.empty()) {
     Thread* t = waiters_.front();

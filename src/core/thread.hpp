@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/fiber.hpp"
+#include "sim/time.hpp"
 
 namespace nectar::core {
 
@@ -42,6 +43,7 @@ class Thread {
   State state_ = State::Ready;
   sim::Fiber fiber_;
   std::uint64_t sleep_gen_ = 0;       // invalidates stale sleep timers
+  sim::SimTime ready_at_ = -1;        // run-queue entry time (profiler; -1 = unstamped)
   std::vector<Thread*> joiners_;      // threads blocked in join() on us
 };
 

@@ -35,6 +35,7 @@ struct HostNode {
     // The host CPU is its own swimlane next to the node's CAB/VME/wire rows.
     obs::Tracer& tracer = sys.net().tracer();
     host.cpu().attach_tracer(&tracer, tracer.track("node" + std::to_string(node), "host.cpu"));
+    host.cpu().attach_profiler(&sys.net().profiler());
     host.cpu().register_metrics(metrics_reg_, node, "host.cpu");
   }
 

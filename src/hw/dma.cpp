@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "hw/crc.hpp"
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::hw {
@@ -42,6 +43,10 @@ void DmaController::start_recv(CabAddr dst, std::size_t skip, RecvDone done) {
   sim::SimTime finish = std::max(front.last_byte, engine_.now() + sim::costs::kDmaSetup) +
                         sim::costs::kFifoDrain;
 
+  if (profiler_ != nullptr && profiler_->enabled()) {
+    profiler_->record_occupancy(profile_name_, "recv", finish - engine_.now());
+  }
+
   recv_done_ = std::move(done);
   engine_.schedule_at(finish, [this] { finish_recv(); });
 }
@@ -77,6 +82,9 @@ void DmaController::start_send(RouteRef route, std::span<const std::uint8_t> hea
   // The memory->FIFO leg streams at least at fiber rate and overlaps the
   // transmission; a fixed setup charge covers channel programming. The frame
   // waits in the controller (FIFO order matches event order at equal times).
+  if (profiler_ != nullptr && profiler_->enabled()) {
+    profiler_->record_occupancy(profile_name_, "send", sim::costs::kDmaSetup);
+  }
   send_queue_.push_back(PendingSend{std::move(f), std::move(done)});
   engine_.schedule_in(sim::costs::kDmaSetup, [this] { flush_send(); });
 }

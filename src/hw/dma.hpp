@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "hw/fifo.hpp"
@@ -62,6 +63,14 @@ class DmaController {
   std::uint64_t send_frames() const { return send_frames_; }
   std::uint64_t vme_transfers() const { return vme_transfers_; }
 
+  /// Record fiber-channel occupancy (recv drain / send setup) into `profiler`
+  /// under `name` ("node<i>.dma"). VME-channel occupancy is recorded by the
+  /// VmeBus itself. nullptr detaches.
+  void attach_profiler(obs::Profiler* profiler, std::string name) {
+    profiler_ = profiler;
+    profile_name_ = std::move(name);
+  }
+
  private:
   void check_dma_range(CabAddr a, std::size_t len) const;
   void flush_send();   // channel-setup elapsed: hand the next frame to the link
@@ -81,6 +90,9 @@ class DmaController {
   };
   std::deque<PendingSend> send_queue_;
   RecvDone recv_done_;
+
+  obs::Profiler* profiler_ = nullptr;
+  std::string profile_name_;
 
   bool recv_busy_ = false;
   std::uint64_t recv_frames_ = 0;

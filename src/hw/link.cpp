@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/pcap.hpp"
 #include "obs/tracer.hpp"
 
 namespace nectar::hw {
@@ -55,6 +56,7 @@ void FiberLink::try_start() {
 
   ++frames_sent_;
   bytes_sent_ += f.wire_bytes();
+  if (pcap_ != nullptr) pcap_->frame(engine_.now(), f.payload.bytes());
 
   // The head serializes one frame at a time, so explicit-stamp spans on the
   // wire track never overlap.

@@ -14,6 +14,7 @@
 namespace nectar::obs {
 class Tracer;
 class Registration;
+class PcapWriter;
 }
 
 namespace nectar::hw {
@@ -79,6 +80,12 @@ class FiberLink {
   /// `track` — the wire swimlane of a node's timeline.
   void attach_tracer(obs::Tracer* tracer, int track);
 
+  /// Tap every frame entering this link into `pcap` (transmitter side: the
+  /// capture sees frames before fault injection drops or corrupts them, at
+  /// the time the first bit hits the fiber). nullptr detaches.
+  void attach_pcap(obs::PcapWriter* pcap) { pcap_ = pcap; }
+  obs::PcapWriter* pcap() const { return pcap_; }
+
   /// Probes under (node, "link"): "<name>.frames_sent" / ".bytes_sent" /
   /// ".frames_corrupted" / ".frames_dropped".
   void register_metrics(obs::Registration& reg, int node) const;
@@ -130,6 +137,7 @@ class FiberLink {
 
   obs::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;
+  obs::PcapWriter* pcap_ = nullptr;
 };
 
 }  // namespace nectar::hw

@@ -3,9 +3,14 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/tracer.hpp"
 
 namespace nectar::hw {
+
+namespace {
+bool occupying(obs::Profiler* p) { return p != nullptr && p->enabled(); }
+}
 
 sim::SimTime VmeBus::acquire(sim::SimTime duration) {
   sim::SimTime start = std::max(engine_.now(), busy_until_);
@@ -25,6 +30,7 @@ void VmeBus::stall_for(sim::SimTime duration) {
   ++stalls_;
   stall_time_ += duration;
   sim::SimTime end = acquire(duration);
+  if (occupying(profiler_)) profiler_->record_occupancy(name_, "stall", duration);
   NECTAR_TRACE(trace_span("vme.stall", end - duration, end));
 }
 
@@ -32,6 +38,7 @@ sim::SimTime VmeBus::programmed_access(std::size_t words) {
   words_ += words;
   sim::SimTime duration = static_cast<sim::SimTime>(words) * word_access_;
   sim::SimTime end = acquire(duration);
+  if (occupying(profiler_)) profiler_->record_occupancy(name_, "pio", duration);
   NECTAR_TRACE(trace_span("vme.pio", end - duration, end));
   return end;
 }
@@ -42,6 +49,7 @@ void VmeBus::dma_transfer(std::size_t bytes, std::function<void()> done) {
   sim::SimTime duration = sim::costs::kVmeDmaSetup +
                           sim::transmit_time(static_cast<std::int64_t>(bytes), dma_rate_);
   sim::SimTime end = acquire(duration);
+  if (occupying(profiler_)) profiler_->record_occupancy(name_, "dma", duration);
   NECTAR_TRACE(trace_span("vme.dma", end - duration, end));
   engine_.schedule_at(end, std::move(done));
 }

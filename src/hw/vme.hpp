@@ -10,6 +10,7 @@
 namespace nectar::obs {
 class Tracer;
 class Registration;
+class Profiler;
 }
 
 namespace nectar::hw {
@@ -60,6 +61,11 @@ class VmeBus {
   /// computed up front, so spans use explicit [start, completion] stamps.
   void attach_tracer(obs::Tracer* tracer, int track);
 
+  /// Record bus occupancy (pio/dma/stall durations) into `profiler` under
+  /// this bus's name. Separate from CPU attribution: bus time overlaps CPU
+  /// time, so it must not pollute the folded stacks. nullptr detaches.
+  void attach_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
   /// Probes under (node, "vme"): words, dma_bytes, dma_transfers.
   void register_metrics(obs::Registration& reg, int node) const;
 
@@ -79,6 +85,7 @@ class VmeBus {
   sim::SimTime stall_time_ = 0;
   obs::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;
+  obs::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace nectar::hw

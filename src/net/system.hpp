@@ -54,6 +54,7 @@ class NectarSystem {
   core::CabRuntime& runtime(int node) { return net_.runtime(node); }
   obs::MetricsRegistry& metrics() { return net_.metrics(); }
   obs::Tracer& tracer() { return net_.tracer(); }
+  obs::Profiler& profiler() { return net_.profiler(); }
 
  private:
   Network net_;

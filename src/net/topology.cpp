@@ -38,11 +38,14 @@ int Network::add_cab(int hub_id, int port, bool with_vme) {
   if (with_vme) {
     cn->vme = std::make_unique<hw::VmeBus>(engine_, "vme" + std::to_string(node));
     cn->vme->attach_tracer(&tracer_, tracer_.track(node_proc, "vme"));
+    cn->vme->attach_profiler(&profiler_);
     cn->vme->register_metrics(metrics_reg_, node);
   }
   cn->board =
       std::make_unique<hw::CabBoard>(engine_, "cab" + std::to_string(node), node, cn->vme.get());
+  cn->board->dma().attach_profiler(&profiler_, node_proc + ".dma");
   cn->rt = std::make_unique<core::CabRuntime>(*cn->board, &trace_, &metrics_, &tracer_);
+  cn->rt->cpu().attach_profiler(&profiler_);
   cn->dl = std::make_unique<proto::Datalink>(*cn->rt);
   cn->hub = hub_id;
   cn->port = port;

@@ -7,6 +7,7 @@
 
 #include "core/runtime.hpp"
 #include "hw/cab.hpp"
+#include "obs/profiler.hpp"
 #include "hw/hub.hpp"
 #include "hw/vme.hpp"
 #include "proto/datalink.hpp"
@@ -34,6 +35,11 @@ class Network {
   /// until Tracer::set_enabled(true)).
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
+
+  /// Network-wide cycle-attribution profiler. Every CAB CPU, VME bus, and
+  /// DMA controller is attached at construction; disabled (zero simulated
+  /// cost, one branch per charge) until Profiler::set_enabled(true).
+  obs::Profiler& profiler() { return profiler_; }
 
   /// Opt-in: report the simulation substrate's host-side pool statistics
   /// (event slab under "sim.engine", process-wide frame/header byte pools
@@ -97,6 +103,7 @@ class Network {
   sim::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
   obs::Tracer tracer_{engine_};
+  obs::Profiler profiler_;
   std::vector<std::unique_ptr<hw::Hub>> hubs_;
   std::vector<std::unique_ptr<CabNode>> cabs_;
   std::vector<Trunk> trunks_;

@@ -1,5 +1,6 @@
 #include "nproto/datagram.hpp"
 
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::nproto {
@@ -23,6 +24,7 @@ DatagramProtocol::DatagramProtocol(proto::Datalink& dl)
 
 void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
                                 sim::InplaceAction on_sent, std::uint32_t src_mailbox) {
+  obs::CostScope scope("datagram/send");
   runtime().cpu().charge(costs::kNectarProtoSend);
   runtime().trace_mark("datagram.send");
 
@@ -51,6 +53,7 @@ void DatagramProtocol::send(core::MailboxAddr dst, core::Message data, bool free
 
 void DatagramProtocol::end_of_data(core::Message m, std::uint8_t src_node) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("datagram/recv");
   cpu.charge(costs::kNectarProtoRecv);
 
   if (m.len < proto::NectarHeader::kSize) {

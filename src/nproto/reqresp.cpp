@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/cpu.hpp"
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::nproto {
@@ -80,6 +81,7 @@ void ReqResp::on_call_timeout(std::uint16_t xid) {
 
 core::Message ReqResp::call(core::MailboxAddr dst, core::Message request, bool free_request) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("reqresp/call");
   cpu.charge(costs::kNectarProtoSend);
   runtime().trace_mark("reqresp.call");
 
@@ -123,6 +125,7 @@ void ReqResp::transmit_response(int client_node, std::uint16_t xid, std::uint32_
 
 void ReqResp::respond(const RequestInfo& info, core::Message reply) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("reqresp/respond");
   cpu.charge(costs::kNectarProtoSend);
   core::InterruptGuard g(cpu);
   ServerCache& sc = server_cache_[info.client_node];
@@ -136,6 +139,7 @@ void ReqResp::respond(const RequestInfo& info, core::Message reply) {
 
 void ReqResp::end_of_data(core::Message m, std::uint8_t src_node) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("reqresp/recv");
   cpu.charge(costs::kNectarProtoRecv);
   if (m.len < proto::NectarHeader::kSize) {
     input_.end_get(m);

@@ -1,6 +1,7 @@
 #include "nproto/rmp.hpp"
 
 #include "core/cpu.hpp"
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::nproto {
@@ -31,6 +32,7 @@ Rmp::Rmp(proto::Datalink& dl)
 void Rmp::send(core::MailboxAddr dst, core::Message data, bool free_when_acked,
                std::function<void()> on_acked) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("rmp/send");
   cpu.charge(costs::kNectarProtoSend);
   // Send state is shared with the interrupt-level ACK/timeout handlers, so
   // manipulate it under the interrupt mask (§3.1 discipline).
@@ -67,11 +69,17 @@ void Rmp::transmit_head(int node) {
                            [this, node] { on_timeout(node); });
 }
 
+void Rmp::record_event(const char* kind, int peer, std::uint16_t seq) {
+  if (!record_events_ || events_.size() >= kEventCap) return;
+  events_.push_back(RmpEvent{runtime().engine().now(), kind, peer, seq});
+}
+
 void Rmp::on_timeout(int node) {
   SendChannel& ch = send_channels_[node];
   if (!ch.timer_set || !ch.outstanding) return;
   ch.timer_set = false;
   ++retransmissions_;
+  record_event("retransmit", node, ch.next_seq);
   transmit_head(node);
 }
 
@@ -104,6 +112,7 @@ void Rmp::wait_queue_below(int node, std::size_t n) {
   core::InterruptGuard g(cpu);
   SendChannel& ch = send_channels_[node];
   while (ch.queue.size() >= n) {
+    record_event("window_stall", node, 0);
     ch.drain_waiters.push_back(cpu.current_thread());
     cpu.block_unmasked();
   }
@@ -139,6 +148,7 @@ void Rmp::send_ack(int node, std::uint16_t seq) {
 
 void Rmp::end_of_data(core::Message m, std::uint8_t src_node) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("rmp/recv");
   cpu.charge(costs::kNectarProtoRecv);
 
   if (m.len < proto::NectarHeader::kSize) {

@@ -12,6 +12,15 @@
 
 namespace nectar::nproto {
 
+/// One protocol event recorded when event capture is on
+/// (Rmp::set_record_events): retransmissions and sender window stalls.
+struct RmpEvent {
+  sim::SimTime t = 0;
+  const char* kind = "";  // "retransmit" | "window_stall"
+  int peer = 0;           // remote node
+  std::uint16_t seq = 0;  // outstanding sequence number (0 for stalls)
+};
+
 /// Nectar reliable message protocol (paper §4): "a simple stop-and-wait
 /// protocol". One message outstanding per destination node; the receiver
 /// acknowledges each message; the sender retransmits on timeout. No software
@@ -63,6 +72,15 @@ class Rmp : public proto::DatalinkClient {
   std::uint64_t duplicates_dropped() const { return dups_; }
   std::uint64_t acks_sent() const { return acks_sent_; }
 
+  // --- event timeline ---------------------------------------------------------
+
+  /// Record retransmit/window-stall events (bounded at kEventCap). Costs host
+  /// memory only, never simulated time; off by default.
+  void set_record_events(bool on) { record_events_ = on; }
+  bool record_events() const { return record_events_; }
+  const std::vector<RmpEvent>& events() const { return events_; }
+  static constexpr std::size_t kEventCap = 4096;
+
  private:
   static constexpr std::uint8_t kFlagData = 0;
   static constexpr std::uint8_t kFlagAck = 1;
@@ -89,6 +107,7 @@ class Rmp : public proto::DatalinkClient {
   void handle_ack(int node, std::uint16_t seq);
   void on_timeout(int node);
   void send_ack(int node, std::uint16_t seq);
+  void record_event(const char* kind, int peer, std::uint16_t seq);
 
   proto::Datalink& dl_;
   core::Mailbox& input_;
@@ -101,6 +120,8 @@ class Rmp : public proto::DatalinkClient {
   std::uint64_t dups_ = 0;
   std::uint64_t acks_sent_ = 0;
   std::uint64_t dropped_no_mailbox_ = 0;
+  bool record_events_ = false;
+  std::vector<RmpEvent> events_;
 
   // Last member: probes read the counters above, so they must unhook first.
   obs::Registration metrics_reg_;

@@ -24,6 +24,10 @@ void RunReport::attach_metrics(const Snapshot& snap) {
   metrics_ = json::Value::parse(snap.to_json(-1));
 }
 
+void RunReport::extra(const std::string& key, json::Value value) {
+  extras_.set(key, std::move(value));
+}
+
 std::string RunReport::to_json_string() const {
   json::Value doc = json::Value::object();
   doc.set("schema", "nectar-bench-report");
@@ -33,6 +37,7 @@ std::string RunReport::to_json_string() const {
   doc.set("params", params_);
   doc.set("results", results_);
   if (!metrics_.is_null()) doc.set("metrics", metrics_);
+  for (const auto& [key, value] : extras_.members()) doc.set(key, value);
   return doc.dump(2) + "\n";
 }
 

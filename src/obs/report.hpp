@@ -43,6 +43,10 @@ class RunReport {
   /// Attach a metrics snapshot (rendered under "metrics").
   void attach_metrics(const Snapshot& snap);
 
+  /// Attach an extra top-level section (e.g. "profile", "timelines"),
+  /// rendered after "metrics" in insertion order. Attach each key once.
+  void extra(const std::string& key, json::Value value);
+
   std::size_t result_count() const { return results_.size(); }
   std::string to_json_string() const;
   /// Write to `path`; returns false if the file could not be written.
@@ -53,6 +57,7 @@ class RunReport {
   json::Value params_ = json::Value::object();
   json::Value results_ = json::Value::array();
   json::Value metrics_;  // null until attached
+  json::Value extras_ = json::Value::object();
 };
 
 }  // namespace nectar::obs

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
 namespace nectar::proto {
@@ -63,6 +64,7 @@ void Datalink::send(PacketType type, int dst_node, HeaderBufLease hdr, hw::CabAd
     throw std::logic_error("Datalink::send: packet exceeds maximum payload");
   }
   const hw::RouteRef& route = route_ref(dst_node);
+  obs::CostScope scope("dl/send");
   rt_.cpu().charge(costs::kDatalinkSend);
 
   DatalinkHeader dh;
@@ -103,6 +105,7 @@ void Datalink::process_pending() {
 
   // Stall until the datalink header has arrived in the FIFO (§2.2: the CPU
   // reads the FIFO head; the bytes may still be in flight), then parse it.
+  obs::CostScope scope("dl/recv");
   cpu.charge_until(fifo.payload_available_at(DatalinkHeader::kSize));
   cpu.charge(costs::kDatalinkRecv);
 

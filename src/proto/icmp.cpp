@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "obs/profiler.hpp"
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
 
@@ -31,6 +32,7 @@ void Icmp::handle(core::Mailbox& mb) {
 void Icmp::handle_message(core::Message m) {
   core::Cpu& cpu = ip_.runtime().cpu();
   hw::CabMemory& mem = ip_.runtime().board().memory();
+  obs::CostScope scope("icmp/input");
   cpu.charge(costs::kIcmpProcessing);
 
   if (m.len < IpHeader::kSize + IcmpHeader::kSize) {
@@ -103,6 +105,7 @@ void Icmp::handle_message(core::Message m) {
 void Icmp::send_unreachable(std::uint8_t code, core::Message offender) {
   core::Cpu& cpu = ip_.runtime().cpu();
   hw::CabMemory& mem = ip_.runtime().board().memory();
+  obs::CostScope scope("icmp/output");
   cpu.charge(costs::kIcmpProcessing);
 
   if (offender.len < IpHeader::kSize) {
@@ -150,6 +153,7 @@ void Icmp::ping(IpAddr dst, std::uint16_t id, std::uint16_t seq, std::size_t pay
                 EchoCallback on_reply) {
   core::Cpu& cpu = ip_.runtime().cpu();
   hw::CabMemory& mem = ip_.runtime().board().memory();
+  obs::CostScope scope("icmp/output");
   cpu.charge(costs::kIcmpProcessing);
 
   std::size_t total = IcmpHeader::kSize + payload_len;

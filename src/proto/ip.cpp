@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
 
@@ -55,6 +56,7 @@ int Ip::node_for(IpAddr dst) const {
 void Ip::output(const OutputInfo& info, HeaderBufLease proto_header, hw::CabAddr payload,
                 std::size_t len, sim::InplaceAction on_sent) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("ip/output");
   cpu.charge(costs::kIpOutput);
 
   IpAddr src = info.src != 0 ? info.src : my_addr_;
@@ -138,8 +140,12 @@ void Ip::start_of_data(const core::Message& m, std::uint8_t src_node) {
   // §4.1: "IP uses this opportunity to perform a sanity check of the IP
   // header (including computation of the IP header checksum)" while the
   // rest of the packet streams in.
+  obs::CostScope scope("ip/input");
   cpu.charge(costs::kIpInputHeader);
-  cpu.charge(checksum_cost(IpHeader::kSize));
+  {
+    obs::CostScope cksum("ip/checksum");
+    cpu.charge(checksum_cost(IpHeader::kSize));
+  }
   bool ok = false;
   if (m.len >= IpHeader::kSize) {
     auto hdr_bytes = runtime().board().memory().view(m.data, IpHeader::kSize);
@@ -189,6 +195,7 @@ void Ip::deliver(core::Message m, const IpHeader& hdr) {
 
 void Ip::handle_fragment(core::Message m, const IpHeader& hdr) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("ip/reassembly");
   cpu.charge(costs::kIpReassembly);
 
   ReassemblyKey key{hdr.src, hdr.dst, hdr.id, hdr.protocol};
@@ -250,6 +257,7 @@ void Ip::finish_reassembly(const ReassemblyKey& key, Reassembly& r, const IpHead
   mem.write(combined->data, hdr_bytes);
 
   for (Fragment& f : r.fragments) {
+    obs::CostScope copy("ip/copy");
     cpu.charge(static_cast<sim::SimTime>(f.len) * costs::kCabCopyPerByte);
     auto src = mem.view(f.msg.data + IpHeader::kSize, f.len);
     std::vector<std::uint8_t> tmp(src.begin(), src.end());

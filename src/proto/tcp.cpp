@@ -5,6 +5,7 @@
 #include <cassert>
 #include <span>
 
+#include "obs/profiler.hpp"
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
 
@@ -241,6 +242,7 @@ std::uint16_t Tcp::advertised_window(TcpConnection* c) const {
 void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabAddr payload,
                std::size_t len) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("tcp/output");
   cpu.charge(costs::kTcpSegment);
 
   TcpHeader th;
@@ -256,6 +258,7 @@ void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabA
   th.serialize(hdr);
 
   if (config_.software_checksum) {
+    obs::CostScope cksum("tcp/checksum");
     // §6.2: "the cost of doing TCP checksums in software" — charged per byte.
     cpu.charge(checksum_cost(TcpHeader::kSize + len + PseudoHeader::kSize));
     PseudoHeader ph{ip_.address(), c->remote_addr_, kProtoTcp,
@@ -420,6 +423,7 @@ void Tcp::on_retransmit_timeout(std::uint32_t conn_id) {
   // Karn's rule: outstanding RTT samples are invalid after a retransmission.
   c->rtt_samples_.clear();
   c->rto_ = std::min(c->rto_ * 2, config_.max_rto);
+  timeline_sample(c, "rto");
 
   switch (c->state_) {
     case TcpConnection::State::SynSent:
@@ -496,6 +500,7 @@ void Tcp::process_segment(core::Message m) {
   core::Cpu& cpu = runtime().cpu();
   hw::CabMemory& mem = runtime().board().memory();
   core::LockGuard g(lock_);
+  obs::CostScope scope("tcp/input");
   cpu.charge(costs::kTcpSegment);
   ++segs_rcvd_;
   NECTAR_TRACE(runtime().trace_mark("tcp.segment-received"));
@@ -511,6 +516,7 @@ void Tcp::process_segment(core::Message m) {
 
   // §4.2: the input thread "checksums the entire packet".
   if (config_.software_checksum && th.checksum != 0) {
+    obs::CostScope cksum("tcp/checksum");
     cpu.charge(checksum_cost(tcp_len + PseudoHeader::kSize));
     PseudoHeader ph{iph.src, iph.dst, kProtoTcp, static_cast<std::uint16_t>(tcp_len)};
     std::array<std::uint8_t, PseudoHeader::kSize> pseudo;
@@ -659,6 +665,7 @@ void Tcp::handle_ack(TcpConnection* c, const TcpHeader& th) {
       if (++c->dup_acks_ == 3) {
         ++c->fast_retx_;
         cc_on_loss(c, /*fast=*/true);
+        timeline_sample(c, "fast_retx");
         retransmit_head(c);
       }
     }
@@ -669,6 +676,7 @@ void Tcp::handle_ack(TcpConnection* c, const TcpHeader& th) {
   std::uint32_t acked_bytes = th.ack - c->snd_una_;
   c->snd_una_ = th.ack;
   cc_on_new_ack(c, acked_bytes);
+  timeline_sample(c, "ack");
 
   // RTT samples (Karn-filtered: cleared on any retransmission).
   for (auto it = c->rtt_samples_.begin(); it != c->rtt_samples_.end();) {
@@ -762,9 +770,25 @@ void Tcp::drain_out_of_order(TcpConnection* c) {
   }
 }
 
+void Tcp::timeline_sample(TcpConnection* c, const char* event) {
+  if (!record_timeline_ || c->timeline_.size() >= kTimelineCap) return;
+  TcpTimelineSample s;
+  s.t = runtime().engine().now();
+  s.event = event;
+  s.cwnd = c->cwnd_;
+  s.ssthresh = c->ssthresh_;
+  s.srtt = c->srtt_;
+  s.rto = c->rto_;
+  s.snd_una = c->snd_una_;
+  s.snd_nxt = c->snd_nxt_;
+  s.rcv_nxt = c->rcv_nxt_;
+  c->timeline_.push_back(s);
+}
+
 void Tcp::enter_established(TcpConnection* c) {
   c->state_ = TcpConnection::State::Established;
   cc_init(c);
+  timeline_sample(c, "established");
   if (c->spawned_by_ != nullptr) {
     c->spawned_by_->ready.push_back(c);
     c->spawned_by_ = nullptr;
@@ -790,6 +814,7 @@ void Tcp::deliver_eof(TcpConnection* c) {
 void Tcp::send_rst(IpAddr dst, std::uint16_t dst_port, std::uint16_t src_port, std::uint32_t seq,
                    std::uint32_t ack, bool with_ack) {
   core::Cpu& cpu = runtime().cpu();
+  obs::CostScope scope("tcp/output");
   cpu.charge(costs::kTcpSegment);
   ++rst_sent_;
   TcpHeader th;
@@ -805,6 +830,7 @@ void Tcp::send_rst(IpAddr dst, std::uint16_t dst_port, std::uint16_t src_port, s
   std::span<std::uint8_t> hdr = lease->push_front(TcpHeader::kSize);
   th.serialize(hdr);
   if (config_.software_checksum) {
+    obs::CostScope cksum("tcp/checksum");
     cpu.charge(checksum_cost(TcpHeader::kSize + PseudoHeader::kSize));
     PseudoHeader ph{ip_.address(), dst, kProtoTcp, TcpHeader::kSize};
     std::array<std::uint8_t, PseudoHeader::kSize> pseudo;

@@ -21,6 +21,23 @@ struct TcpListener {
   std::uint64_t accepted = 0;
 };
 
+/// One point-in-time observation of a connection's transmission state,
+/// recorded when timeline capture is on (Tcp::set_record_timeline). Samples
+/// are taken at the state transitions that matter for post-mortem analysis:
+/// connection establishment, every ACK that advances snd_una, retransmission
+/// timeouts, and fast retransmits.
+struct TcpTimelineSample {
+  sim::SimTime t = 0;
+  const char* event = "";      // "established" | "ack" | "rto" | "fast_retx"
+  std::uint32_t cwnd = 0;
+  std::uint32_t ssthresh = 0;
+  sim::SimTime srtt = 0;
+  sim::SimTime rto = 0;
+  std::uint32_t snd_una = 0;
+  std::uint32_t snd_nxt = 0;
+  std::uint32_t rcv_nxt = 0;
+};
+
 /// One TCP connection endpoint.
 ///
 /// Structured like the paper's implementation (§4.2): all input processing
@@ -70,6 +87,9 @@ class TcpConnection {
   /// Congestion window (meaningful when congestion control is enabled).
   std::uint32_t cwnd() const { return cwnd_; }
   std::uint32_t ssthresh() const { return ssthresh_; }
+
+  /// Recorded state samples (empty unless Tcp::set_record_timeline(true)).
+  const std::vector<TcpTimelineSample>& timeline() const { return timeline_; }
 
  private:
   friend class Tcp;
@@ -126,6 +146,8 @@ class TcpConnection {
   // Window-update bookkeeping (receiver side).
   std::uint16_t last_advertised_wnd_ = 0;
   bool wnd_update_pending_ = false;
+
+  std::vector<TcpTimelineSample> timeline_;  // bounded, see kTimelineCap
 };
 
 /// Configuration: `software_checksum` toggles the per-byte checksum work
@@ -216,6 +238,21 @@ class Tcp {
   std::uint64_t resets_sent() const { return rst_sent_; }
   std::size_t mss() const { return mss_; }
 
+  // --- timelines ---------------------------------------------------------------
+
+  /// Record per-connection state samples (cwnd/ssthresh/srtt/rto/seq points)
+  /// at establishment, new ACKs, RTOs, and fast retransmits. Off by default:
+  /// recording costs host memory only (never simulated time) but is bounded
+  /// at kTimelineCap samples per connection.
+  void set_record_timeline(bool on) { record_timeline_ = on; }
+  bool record_timeline() const { return record_timeline_; }
+  static constexpr std::size_t kTimelineCap = 4096;
+
+  /// All connections ever created (including closed ones), for reporting.
+  const std::map<std::uint32_t, std::unique_ptr<TcpConnection>>& connections() const {
+    return connections_;
+  }
+
  private:
   friend class TcpConnection;
 
@@ -267,6 +304,7 @@ class Tcp {
   void drain_out_of_order(TcpConnection* c);
   void enter_established(TcpConnection* c);
   void enter_time_wait(TcpConnection* c);
+  void timeline_sample(TcpConnection* c, const char* event);
   void wake_state_waiters(TcpConnection* c);
   void deliver_eof(TcpConnection* c);
 
@@ -289,6 +327,7 @@ class Tcp {
   std::uint64_t segs_rcvd_ = 0;
   std::uint64_t bad_checksum_ = 0;
   std::uint64_t rst_sent_ = 0;
+  bool record_timeline_ = false;
 
   // Last member: probes read the counters above, so they must unhook first.
   obs::Registration metrics_reg_;

@@ -5,6 +5,7 @@
 
 #include "proto/icmp.hpp"
 
+#include "obs/profiler.hpp"
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
 
@@ -45,6 +46,7 @@ void Udp::send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core:
                bool free_when_sent) {
   core::Cpu& cpu = ip_.runtime().cpu();
   hw::CabMemory& mem = ip_.runtime().board().memory();
+  obs::CostScope scope("udp/output");
   cpu.charge(costs::kUdpOutput);
   ++sent_;
 
@@ -57,6 +59,7 @@ void Udp::send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core:
   uh.serialize(hdr);
 
   if (checksum_enabled_) {
+    obs::CostScope cksum("udp/checksum");
     cpu.charge(checksum_cost(UdpHeader::kSize + data.len + PseudoHeader::kSize));
     PseudoHeader ph{ip_.address(), dst, kProtoUdp, uh.length};
     std::array<std::uint8_t, PseudoHeader::kSize> pseudo;
@@ -81,6 +84,7 @@ void Udp::server_loop() {
   hw::CabMemory& mem = ip_.runtime().board().memory();
   for (;;) {
     core::Message m = input_.begin_get();
+    obs::CostScope scope("udp/input");
     cpu.charge(costs::kUdpInput);
     if (m.len < kHeaderSpace) {
       input_.end_get(m);
@@ -90,6 +94,7 @@ void Udp::server_loop() {
     UdpHeader uh = UdpHeader::parse(mem.view(m.data + IpHeader::kSize, UdpHeader::kSize));
 
     if (checksum_enabled_ && uh.checksum != 0) {
+      obs::CostScope cksum("udp/checksum");
       std::size_t udp_len = m.len - IpHeader::kSize;
       cpu.charge(checksum_cost(udp_len + PseudoHeader::kSize));
       PseudoHeader ph{iph.src, iph.dst, kProtoUdp, static_cast<std::uint16_t>(udp_len)};

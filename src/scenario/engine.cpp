@@ -1,5 +1,6 @@
 #include "scenario/engine.hpp"
 
+#include <fstream>
 #include <stdexcept>
 
 namespace nectar::scenario {
@@ -29,6 +30,32 @@ const char* kind_name(TopologyKind k) {
     case TopologyKind::FatTree: return "fat_tree";
   }
   return "?";
+}
+
+obs::PcapWriter::Format parse_capture_format(const std::string& name) {
+  if (name == "raw_ip") return obs::PcapWriter::Format::RawIp;
+  if (name == "datalink") return obs::PcapWriter::Format::DatalinkFrame;
+  throw std::invalid_argument("capture: unknown format '" + name +
+                              "' (want raw_ip | datalink)");
+}
+
+/// Capture element grammar: "node<i>.link" — node i's outbound fiber (the
+/// same element vocabulary faults use for link targeting).
+int parse_capture_node(const std::string& element, int nodes) {
+  std::size_t dot = element.rfind(".link");
+  if (element.rfind("node", 0) == 0 && dot != std::string::npos &&
+      dot + 5 == element.size() && dot > 4) {
+    int node = -1;
+    try {
+      node = std::stoi(element.substr(4, dot - 4));
+    } catch (const std::exception&) {
+      node = -1;
+    }
+    if (node >= 0 && node < nodes) return node;
+  }
+  throw std::invalid_argument("capture: unknown element '" + element +
+                              "' (want node<i>.link with i in [0, " + std::to_string(nodes) +
+                              "))");
 }
 
 }  // namespace
@@ -78,6 +105,22 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
     spec.workloads.push_back(std::move(w));
     ++wl_index;
   }
+  for (const Section* s : cfg.all("capture")) {
+    check_keys(*s, {"element", "file", "format"});
+    CaptureSpec c;
+    c.element = s->get("element", "");
+    c.file = s->get("file", "");
+    c.format = s->get("format", c.format);
+    if (c.element.empty()) throw std::runtime_error("config: [capture] needs element");
+    if (c.file.empty()) throw std::runtime_error("config: [capture] needs file");
+    parse_capture_format(c.format);  // reject typos at parse time
+    spec.captures.push_back(std::move(c));
+  }
+  if (const Section* s = cfg.find("profile")) {
+    check_keys(*s, {"folded", "timeline"});
+    spec.profile.folded = s->get("folded", "");
+    spec.profile.timeline = s->get("timeline", "");
+  }
   for (const Section* s : cfg.all("fault")) {
     check_keys(*s, {"kind", "target", "at", "duration", "jitter", "rate", "count"});
     FaultSpec f;
@@ -112,11 +155,38 @@ Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
     workloads_.push_back(std::make_unique<Workload>(net_, raw, w, spec_.seed));
     workloads_.back()->install();
   }
+  for (const CaptureSpec& c : spec_.captures) {
+    int node = parse_capture_node(c.element, n);
+    auto w = std::make_unique<obs::PcapWriter>(c.file, parse_capture_format(c.format));
+    net_.cab(node).out_link().attach_pcap(w.get());
+    pcaps_.push_back(std::move(w));
+  }
+  if (!spec_.profile.folded.empty()) {
+    net_.profiler().set_enabled(true);
+    net_.profiler().set_autoflush(spec_.profile.folded);
+  }
+  if (!spec_.profile.timeline.empty()) {
+    for (auto& s : stacks_) {
+      s->tcp.set_record_timeline(true);
+      s->rmp.set_record_events(true);
+    }
+  }
 }
 
 void Scenario::run() {
   net_.run_until(spec_.duration);
   faults_->finalize();
+  if (!spec_.profile.timeline.empty()) {
+    std::ofstream out(spec_.profile.timeline, std::ios::binary);
+    if (out) out << timelines_json().dump(2) << '\n';
+  }
+  // Flush capture/profile artifacts now (destructors would too): a scenario
+  // that has run leaves complete files behind even if the process aborts
+  // between run() and teardown.
+  for (auto& p : pcaps_) p->flush();
+  if (net_.profiler().enabled() && !spec_.profile.folded.empty()) {
+    net_.profiler().write_folded(spec_.profile.folded);
+  }
 }
 
 obs::RunReport Scenario::report() {
@@ -130,6 +200,7 @@ obs::RunReport Scenario::report() {
   rep.param("faults", static_cast<std::int64_t>(spec_.faults.size()));
 
   std::uint64_t tcp_retx = 0, tcp_fast = 0;
+  obs::LatencyHistogram global;  // per-flow histograms merged across workloads
   for (const auto& w : workloads_) {
     const std::string p = w->spec().name + ".";
     rep.add(p + "sent", static_cast<double>(w->sent()), "count");
@@ -138,7 +209,8 @@ obs::RunReport Scenario::report() {
     rep.add(p + "errors", static_cast<double>(w->errors()), "count");
     rep.add(p + "goodput", w->goodput_mbps(spec_.duration), "Mbit/s");
     rep.add(p + "fairness", w->fairness(), "ratio");
-    const obs::LatencyHistogram& h = w->latency();
+    obs::LatencyHistogram h = w->latency();
+    global.merge(h);
     rep.add(p + "latency.count", static_cast<double>(h.count()), "count");
     rep.add(p + "mean", h.mean() / sim::kMicrosecond, "us");
     rep.add(p + "p50", h.p50() / sim::kMicrosecond, "us");
@@ -148,6 +220,12 @@ obs::RunReport Scenario::report() {
     tcp_retx += w->tcp_retransmissions();
     tcp_fast += w->tcp_fast_retransmits();
   }
+  rep.add("global.latency.count", static_cast<double>(global.count()), "count");
+  rep.add("global.mean", global.mean() / sim::kMicrosecond, "us");
+  rep.add("global.p50", global.p50() / sim::kMicrosecond, "us");
+  rep.add("global.p90", global.p90() / sim::kMicrosecond, "us");
+  rep.add("global.p99", global.p99() / sim::kMicrosecond, "us");
+  rep.add("global.p999", global.p999() / sim::kMicrosecond, "us");
 
   std::uint64_t rmp_retx = 0, rr_retries = 0;
   for (const auto& s : stacks_) {
@@ -169,7 +247,61 @@ obs::RunReport Scenario::report() {
     rep.add(p + "drops", static_cast<double>(r.attributed_drops), "count");
   }
   if (spec_.attach_metrics) rep.attach_metrics(net_.metrics().snapshot());
+  if (net_.profiler().enabled()) {
+    obs::json::Value prof = net_.profiler().summary();
+    // Profiling charges no simulated time (a disabled-check branch per charge
+    // on the host side only), so the overhead the run paid is identically
+    // zero — recorded explicitly so report consumers need not know the
+    // design invariant.
+    prof.set("sim_overhead_ns", static_cast<std::int64_t>(0));
+    rep.extra("profile", std::move(prof));
+  }
+  if (!spec_.profile.timeline.empty()) rep.extra("timelines", timelines_json());
   return rep;
+}
+
+obs::json::Value Scenario::timelines_json() {
+  obs::json::Value doc = obs::json::Value::object();
+  obs::json::Value tcp = obs::json::Value::array();
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    for (const auto& [id, conn] : stacks_[i]->tcp.connections()) {
+      if (conn->timeline().empty()) continue;
+      obs::json::Value c = obs::json::Value::object();
+      c.set("node", static_cast<std::int64_t>(i));
+      c.set("conn", static_cast<std::int64_t>(id));
+      obs::json::Value samples = obs::json::Value::array();
+      for (const proto::TcpTimelineSample& s : conn->timeline()) {
+        obs::json::Value e = obs::json::Value::object();
+        e.set("t_ns", s.t);
+        e.set("event", s.event);
+        e.set("cwnd", static_cast<std::int64_t>(s.cwnd));
+        e.set("ssthresh", static_cast<std::int64_t>(s.ssthresh));
+        e.set("srtt_ns", s.srtt);
+        e.set("rto_ns", s.rto);
+        e.set("snd_una", static_cast<std::int64_t>(s.snd_una));
+        e.set("snd_nxt", static_cast<std::int64_t>(s.snd_nxt));
+        e.set("rcv_nxt", static_cast<std::int64_t>(s.rcv_nxt));
+        samples.push(std::move(e));
+      }
+      c.set("samples", std::move(samples));
+      tcp.push(std::move(c));
+    }
+  }
+  doc.set("tcp", std::move(tcp));
+  obs::json::Value rmp = obs::json::Value::array();
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    for (const nproto::RmpEvent& ev : stacks_[i]->rmp.events()) {
+      obs::json::Value e = obs::json::Value::object();
+      e.set("node", static_cast<std::int64_t>(i));
+      e.set("t_ns", ev.t);
+      e.set("kind", ev.kind);
+      e.set("peer", ev.peer);
+      e.set("seq", static_cast<std::int64_t>(ev.seq));
+      rmp.push(std::move(e));
+    }
+  }
+  doc.set("rmp", std::move(rmp));
+  return doc;
 }
 
 }  // namespace nectar::scenario

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/pcap.hpp"
 #include "obs/report.hpp"
 #include "proto/ip.hpp"
 #include "scenario/config.hpp"
@@ -25,6 +26,28 @@
 #include "scenario/workload.hpp"
 
 namespace nectar::scenario {
+
+/// One pcap tap: `element` names a capture point in the topology
+/// ("node<i>.link" — node i's outbound fiber). `format` picks the link
+/// type: "raw_ip" strips the Nectar datalink header and keeps IP packets
+/// only (Wireshark dissects the TCP/IP suite); "datalink" records whole
+/// Nectar frames (LINKTYPE_USER0).
+struct CaptureSpec {
+  std::string element;
+  std::string file;
+  std::string format = "raw_ip";
+};
+
+/// Flight-recorder switches: `folded` enables the cycle-attribution
+/// profiler and names its folded-stack output; `timeline` turns on TCP
+/// connection timelines + RMP event recording and names the JSON file they
+/// are written to at the end of run() (also embedded in the report's
+/// "timelines" section).
+struct ProfileSpec {
+  std::string folded;
+  std::string timeline;
+  bool enabled() const { return !folded.empty() || !timeline.empty(); }
+};
 
 struct ScenarioSpec {
   std::string name = "scenario";
@@ -38,6 +61,8 @@ struct ScenarioSpec {
   bool attach_metrics = false;     ///< full metrics snapshot in the report
   std::vector<WorkloadSpec> workloads;
   std::vector<FaultSpec> faults;
+  std::vector<CaptureSpec> captures;
+  ProfileSpec profile;
 
   /// Build a spec from a parsed config: one [scenario] and [topology]
   /// section, any number of [workload] and [fault] sections (applied in
@@ -70,13 +95,19 @@ class Scenario {
   net::NodeStack& stack(int node) { return *stacks_.at(static_cast<std::size_t>(node)); }
   FaultScheduler& faults() { return *faults_; }
   const std::vector<std::unique_ptr<Workload>>& workloads() const { return workloads_; }
+  /// The pcap writers opened for spec().captures, in spec order (tests
+  /// inspect packet counts; files flush on Scenario destruction).
+  const std::vector<std::unique_ptr<obs::PcapWriter>>& captures() const { return pcaps_; }
 
  private:
+  obs::json::Value timelines_json();
+
   ScenarioSpec spec_;
   net::Network net_;
   std::vector<std::unique_ptr<net::NodeStack>> stacks_;
   std::unique_ptr<FaultScheduler> faults_;
   std::vector<std::unique_ptr<Workload>> workloads_;
+  std::vector<std::unique_ptr<obs::PcapWriter>> pcaps_;
 };
 
 }  // namespace nectar::scenario

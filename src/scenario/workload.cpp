@@ -149,8 +149,8 @@ void Workload::observe_delivery(int node, const core::Message& m) {
   // A timestamp of 0 or from the future means this is not one of our
   // headers (e.g. a continuation segment of an oversized TCP message).
   if (sent_ns <= 0 || sent_ns > now) return;
-  latency_.observe(now - sent_ns);
   FlowStats& st = flows_[static_cast<std::size_t>(fi)];
+  st.latency.observe(now - sent_ns);
   ++st.delivered;
   st.delivered_bytes += m.len;
 }
@@ -289,7 +289,7 @@ void Workload::closed_user_loop(std::size_t flow, int user) {
         sim::SimTime t0 = net_.engine().now();
         try {
           core::Message rsp = stack(f.src).reqresp.call(f.sink, *m);
-          latency_.observe(net_.engine().now() - t0);
+          st.latency.observe(net_.engine().now() - t0);
           ++st.delivered;
           st.delivered_bytes += size;
           scratch.end_get(rsp);
@@ -360,7 +360,7 @@ bool Workload::open_send_once(std::size_t flow, core::Mailbox& scratch, sim::Ran
         sim::SimTime t0 = net_.engine().now();
         try {
           core::Message rsp = stack(fl.src).reqresp.call(fl.sink, req);
-          latency_.observe(net_.engine().now() - t0);
+          s.latency.observe(net_.engine().now() - t0);
           ++s.delivered;
           s.delivered_bytes += size;
           scratch.end_get(rsp);
@@ -433,6 +433,12 @@ void Workload::install_clients() {
 }
 
 // --- aggregates ------------------------------------------------------------------
+
+obs::LatencyHistogram Workload::latency() const {
+  obs::LatencyHistogram merged;
+  for (const FlowStats& f : flows_) merged.merge(f.latency);
+  return merged;
+}
 
 std::uint64_t Workload::sent() const {
   std::uint64_t n = 0;

@@ -65,6 +65,7 @@ struct FlowStats {
   std::uint64_t delivered_bytes = 0;
   std::uint64_t shed = 0;
   std::uint64_t errors = 0;
+  obs::LatencyHistogram latency;  ///< per-flow; workload/report views merge()
 };
 
 class Workload {
@@ -88,7 +89,10 @@ class Workload {
 
   const WorkloadSpec& spec() const { return spec_; }
   const std::vector<FlowStats>& flows() const { return flows_; }
-  const obs::LatencyHistogram& latency() const { return latency_; }
+  /// Workload-wide latency view: the per-flow histograms merged. The fixed
+  /// bucket layout makes the merge lossless — percentiles of the merged
+  /// histogram equal percentiles over the union of samples' buckets.
+  obs::LatencyHistogram latency() const;
 
   std::uint64_t sent() const;
   std::uint64_t delivered() const;
@@ -147,7 +151,6 @@ class Workload {
   std::vector<Flow> flow_defs_;
   std::vector<FlowStats> flows_;
   std::vector<int> flow_of_src_;  // node -> flow index, -1 if none
-  obs::LatencyHistogram latency_;
 };
 
 }  // namespace nectar::scenario

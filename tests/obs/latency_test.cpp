@@ -83,6 +83,55 @@ TEST(LatencyHistogramTest, MergeMatchesCombinedStream) {
   EXPECT_DOUBLE_EQ(a.p999(), both.p999());
 }
 
+TEST(LatencyHistogramTest, MergeEmptyIsIdentity) {
+  LatencyHistogram a, empty;
+  for (int i = 1; i <= 50; ++i) a.observe(sim::usec(i));
+  std::string before = a.to_json().dump(0);
+  a.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.to_json().dump(0), before);
+  EXPECT_EQ(a.count(), 50u);
+
+  LatencyHistogram b;
+  b.merge(a);  // merging *into* an empty histogram copies it
+  EXPECT_EQ(b.to_json().dump(0), before);
+  EXPECT_EQ(b.min(), a.min());
+  EXPECT_EQ(b.max(), a.max());
+}
+
+TEST(LatencyHistogramTest, MergeEmptyIntoEmpty) {
+  LatencyHistogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 0);
+  EXPECT_DOUBLE_EQ(a.p999(), 0.0);
+}
+
+TEST(LatencyHistogramTest, MergeIsAssociativeOverManyParts) {
+  // The per-flow -> global aggregation path in scenario reports: merging N
+  // flow histograms in any grouping equals observing the union stream.
+  LatencyHistogram parts[4], all;
+  sim::Random rng(42);
+  for (int i = 0; i < 4000; ++i) {
+    sim::SimTime v = static_cast<sim::SimTime>(rng.next_below(sim::msec(10))) + 1;
+    parts[i % 4].observe(v);
+    all.observe(v);
+  }
+  LatencyHistogram left;  // ((p0+p1)+p2)+p3
+  for (auto& p : parts) left.merge(p);
+  LatencyHistogram right;  // p0+(p1+(p2+p3)) built pairwise
+  LatencyHistogram tail;
+  tail.merge(parts[2]);
+  tail.merge(parts[3]);
+  LatencyHistogram mid;
+  mid.merge(parts[1]);
+  mid.merge(tail);
+  right.merge(parts[0]);
+  right.merge(mid);
+  EXPECT_EQ(left.to_json().dump(0), all.to_json().dump(0));
+  EXPECT_EQ(right.to_json().dump(0), all.to_json().dump(0));
+}
+
 TEST(LatencyHistogramTest, BucketBoundsGrowMonotonically) {
   for (int i = 1; i < LatencyHistogram::kBuckets; ++i) {
     EXPECT_LT(LatencyHistogram::bucket_bound(i - 1), LatencyHistogram::bucket_bound(i))

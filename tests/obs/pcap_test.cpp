@@ -1,0 +1,177 @@
+// Packet capture: pcap file structure, RawIp datalink stripping, and a
+// golden-file test — a deterministic 3-packet UDP exchange must produce a
+// byte-exact capture (committed as golden_udp3.pcap; regenerate with
+// NECTAR_REGEN_GOLDEN=1 after an intentional format or cost-model change).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/system.hpp"
+#include "obs/pcap.hpp"
+
+namespace nectar::obs {
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(f),
+                                   std::istreambuf_iterator<char>());
+}
+
+std::uint32_t u32le(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) | static_cast<std::uint32_t>(b[off + 1]) << 8 |
+         static_cast<std::uint32_t>(b[off + 2]) << 16 |
+         static_cast<std::uint32_t>(b[off + 3]) << 24;
+}
+
+std::uint16_t u16le(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] | b[off + 1] << 8);
+}
+
+/// A temp file in the test's working directory, removed on destruction.
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(PcapTest, GlobalHeaderRawIp) {
+  TempFile tmp("pcap_header_rawip.pcap");
+  { PcapWriter w(tmp.path, PcapWriter::Format::RawIp); ASSERT_TRUE(w.ok()); }
+  std::vector<std::uint8_t> b = read_file(tmp.path);
+  ASSERT_EQ(b.size(), 24u);  // global header only
+  EXPECT_EQ(u32le(b, 0), 0xA1B23C4Du);  // nanosecond magic
+  EXPECT_EQ(u16le(b, 4), 2u);           // version 2.4
+  EXPECT_EQ(u16le(b, 6), 4u);
+  EXPECT_EQ(u32le(b, 16), 65535u);  // snaplen
+  EXPECT_EQ(u32le(b, 20), 101u);    // LINKTYPE_RAW
+}
+
+TEST(PcapTest, GlobalHeaderDatalink) {
+  TempFile tmp("pcap_header_dl.pcap");
+  { PcapWriter w(tmp.path, PcapWriter::Format::DatalinkFrame); ASSERT_TRUE(w.ok()); }
+  std::vector<std::uint8_t> b = read_file(tmp.path);
+  ASSERT_EQ(b.size(), 24u);
+  EXPECT_EQ(u32le(b, 20), 147u);  // LINKTYPE_USER0
+}
+
+TEST(PcapTest, RawIpStripsDatalinkHeaderAndStampsSimTime) {
+  TempFile tmp("pcap_strip.pcap");
+  // Datalink frame: [type=1 (IP), src=3, len=0x0004 BE] + 4 payload bytes.
+  const std::vector<std::uint8_t> f = {1, 3, 0, 4, 0xDE, 0xAD, 0xBE, 0xEF};
+  {
+    PcapWriter w(tmp.path, PcapWriter::Format::RawIp);
+    w.frame(3 * sim::kSecond + 42, f);
+    EXPECT_EQ(w.packets_written(), 1u);
+    EXPECT_EQ(w.frames_skipped(), 0u);
+  }
+  std::vector<std::uint8_t> b = read_file(tmp.path);
+  ASSERT_EQ(b.size(), 24u + 16u + 4u);  // header + record header + stripped payload
+  EXPECT_EQ(u32le(b, 24), 3u);   // ts seconds
+  EXPECT_EQ(u32le(b, 28), 42u);  // ts nanoseconds (ns-resolution magic)
+  EXPECT_EQ(u32le(b, 32), 4u);   // incl_len: datalink header stripped
+  EXPECT_EQ(u32le(b, 36), 4u);   // orig_len
+  EXPECT_EQ(b[40], 0xDE);
+  EXPECT_EQ(b[43], 0xEF);
+}
+
+TEST(PcapTest, RawIpSkipsNonIpAndRunts) {
+  TempFile tmp("pcap_skip.pcap");
+  PcapWriter w(tmp.path, PcapWriter::Format::RawIp);
+  const std::vector<std::uint8_t> rmp = {2, 0, 0, 1, 0xAA};  // type 2: not IP
+  const std::vector<std::uint8_t> runt = {1, 0};             // shorter than the header
+  w.frame(0, rmp);
+  w.frame(0, runt);
+  EXPECT_EQ(w.packets_written(), 0u);
+  EXPECT_EQ(w.frames_skipped(), 2u);
+}
+
+TEST(PcapTest, DatalinkFormatRecordsVerbatim) {
+  TempFile tmp("pcap_verbatim.pcap");
+  const std::vector<std::uint8_t> f = {2, 7, 0, 1, 0x55};  // non-IP: still recorded
+  {
+    PcapWriter w(tmp.path, PcapWriter::Format::DatalinkFrame);
+    w.frame(5, f);
+    EXPECT_EQ(w.packets_written(), 1u);
+  }
+  std::vector<std::uint8_t> b = read_file(tmp.path);
+  ASSERT_EQ(b.size(), 24u + 16u + f.size());
+  EXPECT_EQ(u32le(b, 32), f.size());
+  EXPECT_EQ(b[40], 2u);
+}
+
+// --- golden capture -----------------------------------------------------------
+
+/// Three UDP datagrams node0 -> node1 (64, 128, 256 bytes, paced 200 us
+/// apart), captured RawIp on node0's transmit link. UDP sends no ACKs, so
+/// the capture holds exactly the three IP packets.
+void run_golden_exchange(const std::string& pcap_path, std::uint64_t* written,
+                         std::uint64_t* skipped) {
+  net::NectarSystem sys(2);
+  PcapWriter w(pcap_path, PcapWriter::Format::RawIp);
+  ASSERT_TRUE(w.ok());
+  sys.net().cab(0).out_link().attach_pcap(&w);
+
+  core::Mailbox& rx = sys.runtime(1).create_mailbox("sink");
+  sys.stack(1).udp.bind(7, &rx);
+  sys.runtime(1).fork_system("server", [&] {
+    for (;;) {
+      core::Message m = rx.begin_get();
+      rx.end_get(m);
+    }
+  });
+  sys.runtime(0).fork_app("client", [&] {
+    core::Mailbox& scratch = sys.runtime(0).create_mailbox("scratch");
+    for (std::uint32_t size : {64u, 128u, 256u}) {
+      core::Message m = scratch.begin_put(size);
+      sys.stack(0).udp.send(9000, proto::ip_of_node(1), 7, m);
+      sys.runtime(0).cpu().sleep_for(sim::usec(200));
+    }
+  });
+  sys.engine().run();
+  *written = w.packets_written();
+  *skipped = w.frames_skipped();
+}
+
+TEST(PcapTest, GoldenUdpExchange) {
+  const std::string golden = std::string(NECTAR_TEST_SRCDIR) + "/obs/golden_udp3.pcap";
+  TempFile tmp("pcap_golden_run.pcap");
+  std::uint64_t written = 0, skipped = 0;
+  run_golden_exchange(tmp.path, &written, &skipped);
+  EXPECT_EQ(written, 3u);
+
+  std::vector<std::uint8_t> got = read_file(tmp.path);
+  ASSERT_GT(got.size(), 24u + 3 * 16u);
+
+  if (std::getenv("NECTAR_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << golden;
+    out.write(reinterpret_cast<const char*>(got.data()),
+              static_cast<std::streamsize>(got.size()));
+    GTEST_SKIP() << "regenerated " << golden;
+  }
+
+  std::vector<std::uint8_t> want = read_file(golden);
+  ASSERT_FALSE(want.empty()) << "missing golden file " << golden
+                             << " — run with NECTAR_REGEN_GOLDEN=1 to create it";
+  // Byte-exact: same simulated run, same capture bytes, everywhere.
+  EXPECT_EQ(got, want);
+}
+
+TEST(PcapTest, GoldenExchangeIsDeterministic) {
+  TempFile a("pcap_det_a.pcap");
+  TempFile b("pcap_det_b.pcap");
+  std::uint64_t wa = 0, sa = 0, wb = 0, sb = 0;
+  run_golden_exchange(a.path, &wa, &sa);
+  run_golden_exchange(b.path, &wb, &sb);
+  EXPECT_EQ(wa, wb);
+  EXPECT_EQ(read_file(a.path), read_file(b.path));
+}
+
+}  // namespace
+}  // namespace nectar::obs

@@ -1,0 +1,228 @@
+// Flight-recorder wiring through the scenario engine: [capture] and
+// [profile] INI sections, artifact production from a config alone, profile
+// determinism, and the per-flow -> global latency aggregation the report
+// performs via LatencyHistogram::merge.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "scenario/engine.hpp"
+
+namespace nectar::scenario {
+namespace {
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>());
+}
+
+TEST(FlightRecorderTest, ParsesCaptureAndProfileSections) {
+  ScenarioSpec spec = ScenarioSpec::from_config(Config::parse_string(R"(
+[scenario]
+name = rec
+
+[topology]
+nodes = 3
+
+[capture]
+element = node0.link
+file = a.pcap
+
+[capture]
+element = node2.link
+file = b.pcap
+format = datalink
+
+[profile]
+folded = prof.folded
+timeline = tl.json
+)"));
+  ASSERT_EQ(spec.captures.size(), 2u);
+  EXPECT_EQ(spec.captures[0].element, "node0.link");
+  EXPECT_EQ(spec.captures[0].file, "a.pcap");
+  EXPECT_EQ(spec.captures[0].format, "raw_ip");  // the default
+  EXPECT_EQ(spec.captures[1].format, "datalink");
+  EXPECT_TRUE(spec.profile.enabled());
+  EXPECT_EQ(spec.profile.folded, "prof.folded");
+  EXPECT_EQ(spec.profile.timeline, "tl.json");
+}
+
+TEST(FlightRecorderTest, RejectsMalformedCaptureAndProfile) {
+  // Unknown keys: closed vocabulary, same as every other section.
+  EXPECT_THROW(ScenarioSpec::from_config(
+                   Config::parse_string("[capture]\nelement = node0.link\npath = x.pcap\n")),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[profile]\nfold = x\n")),
+               std::runtime_error);
+  // Required keys and the format vocabulary are checked at parse time.
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[capture]\nfile = x.pcap\n")),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[capture]\nelement = node0.link\n")),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string(
+                   "[capture]\nelement = node0.link\nfile = x.pcap\nformat = pcapng\n")),
+               std::invalid_argument);
+  // Element names resolve against the topology when the scenario is built.
+  ScenarioSpec bad = ScenarioSpec::from_config(Config::parse_string(R"(
+[topology]
+nodes = 2
+
+[capture]
+element = node7.link
+file = x.pcap
+)"));
+  EXPECT_THROW(Scenario sc(std::move(bad)), std::invalid_argument);
+  ScenarioSpec junk = ScenarioSpec::from_config(Config::parse_string(R"(
+[topology]
+nodes = 2
+
+[capture]
+element = hub0.port3
+file = x.pcap
+)"));
+  EXPECT_THROW(Scenario sc(std::move(junk)), std::invalid_argument);
+}
+
+/// A small mixed scenario with every recorder on: TCP (for connection
+/// timelines), RMP (for retransmit events under a lossy link), a pcap tap.
+ScenarioSpec recorded_spec(const std::string& pcap, const std::string& folded,
+                           const std::string& timeline, std::uint64_t seed) {
+  ScenarioSpec spec = ScenarioSpec::from_config(Config::parse_string(R"(
+[scenario]
+name = flightrec
+duration = 200ms
+
+[topology]
+kind = star
+nodes = 4
+
+[workload]
+name = bulk
+proto = tcp
+mode = closed
+users = 1
+size = 2048
+
+[workload]
+name = rmp
+proto = rmp
+mode = closed
+users = 1
+think = 2ms
+size = 256
+stride = 2
+
+[fault]
+kind = link_drop
+target = node1.link
+at = 60ms
+duration = 60ms
+rate = 0.4
+)"));
+  spec.seed = seed;
+  spec.captures.push_back({"node0.link", pcap, "raw_ip"});
+  spec.profile.folded = folded;
+  spec.profile.timeline = timeline;
+  return spec;
+}
+
+TEST(FlightRecorderTest, ScenarioProducesAllThreeArtifacts) {
+  TempFile pcap("flightrec.pcap");
+  TempFile folded("flightrec.folded");
+  TempFile timeline("flightrec_tl.json");
+  Scenario sc(recorded_spec(pcap.path, folded.path, timeline.path, 5));
+  sc.run();
+
+  // pcap: well-formed header, and the TCP bulk flow crossed node0's link.
+  std::string cap = slurp(pcap.path);
+  ASSERT_GT(cap.size(), 24u);
+  EXPECT_EQ(static_cast<unsigned char>(cap[0]), 0x4D);  // ns magic, little-endian
+  ASSERT_EQ(sc.captures().size(), 1u);
+  EXPECT_GT(sc.captures()[0]->packets_written(), 0u);
+
+  // folded stacks: non-empty, every line "key ns".
+  std::string prof = slurp(folded.path);
+  ASSERT_FALSE(prof.empty());
+  EXPECT_NE(prof.find("tcp/"), std::string::npos) << prof;
+  EXPECT_NE(prof.find(";"), std::string::npos);
+
+  // timeline JSON: parses, has tcp samples (cwnd trajectory) and, with the
+  // lossy link, rmp retransmit events.
+  obs::json::Value tl = obs::json::Value::parse(slurp(timeline.path));
+  ASSERT_TRUE(tl.has("tcp"));
+  ASSERT_TRUE(tl.has("rmp"));
+  EXPECT_GT(tl.find("tcp")->items().size(), 0u);
+  const auto& first = tl.find("tcp")->items().front();
+  ASSERT_TRUE(first.has("samples"));
+  EXPECT_GT(first.find("samples")->items().size(), 0u);
+  EXPECT_TRUE(first.find("samples")->items().front().has("cwnd"));
+
+  // ...and the report carries the profile summary + embedded timelines.
+  obs::RunReport rep = sc.report();
+  std::string json = rep.to_json_string();
+  EXPECT_NE(json.find("\"profile\""), std::string::npos);
+  EXPECT_NE(json.find("sim_overhead_ns"), std::string::npos);
+  EXPECT_NE(json.find("\"timelines\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, FoldedProfileIsDeterministic) {
+  auto run = [](const char* tag) {
+    std::string pcap = std::string("det_") + tag + ".pcap";
+    std::string folded = std::string("det_") + tag + ".folded";
+    TempFile p(pcap), f(folded);
+    Scenario sc(recorded_spec(p.path, f.path, "", 9));
+    sc.run();
+    return slurp(f.path);
+  };
+  std::string a = run("a");
+  std::string b = run("b");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "--profile output must be byte-identical for the same (spec, seed)";
+}
+
+TEST(FlightRecorderTest, PerFlowHistogramsMergeIntoGlobalPercentiles) {
+  TempFile pcap("merge.pcap");
+  Scenario sc(recorded_spec(pcap.path, "", "", 13));
+  sc.run();
+
+  std::uint64_t flow_total = 0, workload_total = 0;
+  for (const auto& w : sc.workloads()) {
+    std::uint64_t per_flow = 0;
+    for (const FlowStats& f : w->flows()) per_flow += f.latency.count();
+    obs::LatencyHistogram merged = w->latency();
+    EXPECT_EQ(per_flow, merged.count()) << w->spec().name;
+    EXPECT_EQ(merged.count(), w->delivered()) << w->spec().name;
+    flow_total += per_flow;
+    workload_total += merged.count();
+  }
+  EXPECT_GT(flow_total, 0u);
+
+  // The report's global percentiles come from merging the same histograms:
+  // its count row equals the per-flow sum ("results" is an array of
+  // {name, value, unit} rows).
+  obs::RunReport rep = sc.report();
+  obs::json::Value doc = obs::json::Value::parse(rep.to_json_string());
+  const obs::json::Value* results = doc.find("results");
+  ASSERT_NE(results, nullptr);
+  bool found = false;
+  for (const obs::json::Value& row : results->items()) {
+    if (row.find("name")->as_string() != "global.latency.count") continue;
+    found = true;
+    EXPECT_EQ(static_cast<std::uint64_t>(row.find("value")->as_double()), flow_total);
+  }
+  EXPECT_TRUE(found) << "report is missing the global.latency.count row";
+}
+
+}  // namespace
+}  // namespace nectar::scenario
