@@ -63,11 +63,13 @@ void Hub::set_port_blackout(int port, bool on) {
     // Frames already queued (or held by back-pressure) at a dead port are
     // lost; frames mid-delivery keep their scheduled events and complete.
     blackout_drops_ += o.queue.size();
+    o.blackout_drops += o.queue.size();
     o.queue.clear();
     if (o.blocked.has_value()) {
       o.blocked.reset();
       o.blocked_time += engine_.now() - o.blocked_since;
       ++blackout_drops_;
+      ++o.blackout_drops;
     }
   }
 }
@@ -109,11 +111,15 @@ void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime l
   }
   if (out < 0 || out >= num_ports() || outputs_[static_cast<std::size_t>(out)].sink == nullptr) {
     ++route_errors_;
+    // A bad route byte that still names a real port is attributed to that
+    // port; a byte beyond the radix has no port to charge.
+    if (out >= 0 && out < num_ports()) ++outputs_[static_cast<std::size_t>(out)].route_errors;
     return;
   }
   OutputPort& o = outputs_[static_cast<std::size_t>(out)];
   if (o.blackout) {
     ++blackout_drops_;  // dead output: the frame is silently lost
+    ++o.blackout_drops;
     return;
   }
   o.queue.push_back({std::move(f), first, last, in_port});
@@ -196,6 +202,14 @@ std::uint64_t Hub::output_frames(int port) const {
   return outputs_.at(static_cast<std::size_t>(port)).frames;
 }
 
+std::uint64_t Hub::output_blackout_drops(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).blackout_drops;
+}
+
+std::uint64_t Hub::output_route_errors(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).route_errors;
+}
+
 void Hub::register_metrics(obs::Registration& reg) const {
   reg.probe(-1, "hub", name_ + ".frames_switched",
             [this] { return static_cast<std::int64_t>(frames_switched_); });
@@ -214,6 +228,10 @@ void Hub::register_metrics(obs::Registration& reg) const {
     reg.probe(-1, "hub", prefix + ".blocked_ns", [this, p] { return output_blocked_time(p); });
     reg.probe(-1, "hub", prefix + ".queue_highwater",
               [this, p] { return static_cast<std::int64_t>(output_queue_highwater(p)); });
+    reg.probe(-1, "hub", prefix + ".blackout_drops",
+              [this, p] { return static_cast<std::int64_t>(output_blackout_drops(p)); });
+    reg.probe(-1, "hub", prefix + ".route_errors",
+              [this, p] { return static_cast<std::int64_t>(output_route_errors(p)); });
   }
 }
 

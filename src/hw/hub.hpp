@@ -59,6 +59,13 @@ class Hub {
   std::uint64_t bytes_switched() const { return bytes_switched_; }
   /// Frames discarded by blacked-out output ports (all ports).
   std::uint64_t blackout_drops() const { return blackout_drops_; }
+  /// Frames discarded by output `port` while blacked out — the per-port
+  /// attribution failover tests assert against ("loss happened *here*").
+  std::uint64_t output_blackout_drops(int port) const;
+  /// Route errors attributable to output `port` (route byte named a port
+  /// with no attached sink). Exhausted-route errors have no port and count
+  /// only in route_errors().
+  std::uint64_t output_route_errors(int port) const;
   std::size_t output_queue_depth(int port) const;
   std::size_t output_queue_highwater(int port) const;
   /// Total time output `port` spent transmitting (utilization numerator).
@@ -71,8 +78,9 @@ class Hub {
   /// Per-HUB probes under (node -1, "hub"): "<name>.frames_switched",
   /// "<name>.route_errors", "<name>.blackout_drops", and for each attached
   /// output port "<name>.port<p>.frames" / ".busy_ns" / ".blocked_ns" /
-  /// ".queue_highwater" — how scenario reports attribute loss and queueing
-  /// delay to the crossbar. Opt-in via Network::register_substrate_metrics.
+  /// ".queue_highwater" / ".blackout_drops" / ".route_errors" — how scenario
+  /// reports attribute loss and queueing delay to the crossbar. Opt-in via
+  /// Network::register_substrate_metrics.
   void register_metrics(obs::Registration& reg) const;
 
  private:
@@ -105,6 +113,8 @@ class Hub {
     std::optional<int> reserved_by;  // circuit switching
     bool blackout = false;           // fault injection: discard everything
     std::uint64_t frames = 0;
+    std::uint64_t blackout_drops = 0;
+    std::uint64_t route_errors = 0;
     sim::SimTime busy_time = 0;
   };
 

@@ -110,12 +110,20 @@ std::vector<std::uint8_t> Network::compute_route(int src, int dst) const {
                          std::to_string(dst));
 }
 
-std::vector<std::uint8_t> Network::route(int src, int dst) const { return compute_route(src, dst); }
+const hw::RouteRef& Network::route_ref(int src, int dst) const {
+  auto [it, inserted] = route_cache_.try_emplace({src, dst});
+  if (inserted) it->second = hw::RouteRef(compute_route(src, dst));
+  return it->second;
+}
+
+const std::vector<std::uint8_t>& Network::route(int src, int dst) const {
+  return route_ref(src, dst).bytes();
+}
 
 void Network::install_routes() {
   for (int s = 0; s < cab_count(); ++s) {
     for (int d = 0; d < cab_count(); ++d) {
-      cabs_[static_cast<std::size_t>(s)]->dl->set_route(d, compute_route(s, d));
+      cabs_[static_cast<std::size_t>(s)]->dl->set_route(d, route_ref(s, d));
     }
   }
 }

@@ -7,6 +7,7 @@
 
 #include "core/runtime.hpp"
 #include "hw/cab.hpp"
+#include "hw/pool.hpp"
 #include "obs/profiler.hpp"
 #include "hw/hub.hpp"
 #include "hw/vme.hpp"
@@ -73,12 +74,24 @@ class Network {
   /// Connect two HUBs with a trunk fiber pair (multi-HUB systems, §2.1).
   void link_hubs(int hub_a, int port_a, int hub_b, int port_b);
 
+  /// A trunk fiber pair between two HUBs, as passed to link_hubs. Exposed so
+  /// the control plane (route::PathDb) can walk the HUB graph itself.
+  struct Trunk {
+    int hub_a, port_a, hub_b, port_b;
+  };
+  const std::vector<Trunk>& trunks() const { return trunks_; }
+
   /// Compute and install source routes between every pair of CABs (and each
   /// CAB to itself, through its own HUB). Call after the topology is built.
   void install_routes();
 
   /// The raw route (one output-port byte per HUB hop) from `src` to `dst`.
-  std::vector<std::uint8_t> route(int src, int dst) const;
+  /// Backed by the interned cache below, so repeated calls are O(log n).
+  const std::vector<std::uint8_t>& route(int src, int dst) const;
+
+  /// The same route interned as a shared immutable RouteRef — the form the
+  /// datalinks and the control plane hold, computed once per pair.
+  const hw::RouteRef& route_ref(int src, int dst) const;
 
   /// Run the simulation until the event queue drains or `t` is reached.
   void run_until(sim::SimTime t) { engine_.run_until(t); }
@@ -93,10 +106,6 @@ class Network {
     int hub = -1;
     int port = -1;
   };
-  struct Trunk {
-    int hub_a, port_a, hub_b, port_b;
-  };
-
   std::vector<std::uint8_t> compute_route(int src, int dst) const;
 
   sim::Engine engine_;
@@ -107,6 +116,9 @@ class Network {
   std::vector<std::unique_ptr<hw::Hub>> hubs_;
   std::vector<std::unique_ptr<CabNode>> cabs_;
   std::vector<Trunk> trunks_;
+  // BFS routes interned per (src, dst) on first use; host-side cache only,
+  // simulated costs are unaffected.
+  mutable std::map<std::pair<int, int>, hw::RouteRef> route_cache_;
 
   // Last member: holds probes reading the nodes above (VME, links), so it
   // must release before they are destroyed.

@@ -22,8 +22,8 @@ DatagramProtocol::DatagramProtocol(proto::Datalink& dl)
                      [this] { return static_cast<std::int64_t>(dropped_no_mailbox_); });
 }
 
-void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
-                                sim::InplaceAction on_sent, std::uint32_t src_mailbox) {
+proto::HeaderBufLease DatagramProtocol::compose_header(core::MailboxAddr dst, std::size_t len,
+                                                       std::uint32_t src_mailbox) {
   obs::CostScope scope("datagram/send");
   runtime().cpu().charge(costs::kNectarProtoSend);
   runtime().trace_mark("datagram.send");
@@ -35,10 +35,23 @@ void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std:
   h.length = static_cast<std::uint16_t>(len);
   proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
   h.serialize(hdr->push_front(proto::NectarHeader::kSize));
-
   ++sent_;
+  return hdr;
+}
+
+void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
+                                sim::InplaceAction on_sent, std::uint32_t src_mailbox) {
+  proto::HeaderBufLease hdr = compose_header(dst, len, src_mailbox);
   dl_.send(proto::PacketType::NectarDatagram, dst.node, std::move(hdr), payload, len,
            std::move(on_sent));
+}
+
+void DatagramProtocol::send_raw_via(const hw::RouteRef& route, core::MailboxAddr dst,
+                                    hw::CabAddr payload, std::size_t len,
+                                    sim::InplaceAction on_sent, std::uint32_t src_mailbox) {
+  proto::HeaderBufLease hdr = compose_header(dst, len, src_mailbox);
+  dl_.send_via(proto::PacketType::NectarDatagram, route, dst.node, std::move(hdr), payload, len,
+               std::move(on_sent));
 }
 
 void DatagramProtocol::send(core::MailboxAddr dst, core::Message data, bool free_when_sent,

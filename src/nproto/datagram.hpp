@@ -33,6 +33,14 @@ class DatagramProtocol : public proto::DatalinkClient {
   void send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
                 sim::InplaceAction on_sent = {}, std::uint32_t src_mailbox = 0);
 
+  /// Like send_raw, but over an explicit source route instead of the
+  /// datalink's installed table entry. The route-health prober uses this to
+  /// exercise each ECMP path (and its exact reverse for replies) without
+  /// touching the route live traffic takes.
+  void send_raw_via(const hw::RouteRef& route, core::MailboxAddr dst, hw::CabAddr payload,
+                    std::size_t len, sim::InplaceAction on_sent = {},
+                    std::uint32_t src_mailbox = 0);
+
   /// Addressing info of a delivered datagram (who sent it, reply mailbox).
   struct Info {
     int src_node = -1;
@@ -55,6 +63,9 @@ class DatagramProtocol : public proto::DatalinkClient {
   std::uint64_t dropped_no_mailbox() const { return dropped_no_mailbox_; }
 
  private:
+  proto::HeaderBufLease compose_header(core::MailboxAddr dst, std::size_t len,
+                                       std::uint32_t src_mailbox);
+
   proto::Datalink& dl_;
   core::Mailbox& input_;
   std::map<const core::Mailbox*, Info> last_sender_;

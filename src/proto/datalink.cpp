@@ -34,11 +34,13 @@ void Datalink::trace_instant(const char* label) {
   if (obs::tracing(t)) t->instant(rt_.cpu().trace_track(), label);
 }
 
-void Datalink::set_route(int dst_node, std::vector<std::uint8_t> route) {
+void Datalink::set_route(int dst_node, hw::RouteRef route) {
   // Intern once: every frame to this destination shares the same immutable
   // route bytes instead of carrying a per-packet copy.
-  routes_[dst_node] = hw::RouteRef(std::move(route));
+  routes_[dst_node] = std::move(route);
 }
+
+void Datalink::invalidate_route(int dst_node) { routes_.erase(dst_node); }
 
 const std::vector<std::uint8_t>& Datalink::route_to(int dst_node) const {
   return route_ref(dst_node).bytes();
@@ -59,11 +61,17 @@ void Datalink::register_client(PacketType type, DatalinkClient* client) {
 
 void Datalink::send(PacketType type, int dst_node, HeaderBufLease hdr, hw::CabAddr payload,
                     std::size_t len, sim::InplaceAction on_sent) {
+  send_via(type, route_ref(dst_node), dst_node, std::move(hdr), payload, len, std::move(on_sent));
+}
+
+void Datalink::send_via(PacketType type, const hw::RouteRef& route, int dst_node,
+                        HeaderBufLease hdr, hw::CabAddr payload, std::size_t len,
+                        sim::InplaceAction on_sent) {
   std::size_t proto_len = hdr.size();
   if (proto_len + len > kMaxPayload) {
     throw std::logic_error("Datalink::send: packet exceeds maximum payload");
   }
-  const hw::RouteRef& route = route_ref(dst_node);
+  (void)dst_node;
   obs::CostScope scope("dl/send");
   rt_.cpu().charge(costs::kDatalinkSend);
 

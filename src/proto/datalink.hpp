@@ -60,7 +60,13 @@ class Datalink {
 
   // --- routing (source routes, §2.1) ---------------------------------------
 
-  void set_route(int dst_node, std::vector<std::uint8_t> route);
+  /// Install (or replace at runtime — failover) the route to `dst_node`.
+  /// Accepts an already-interned RouteRef, a raw byte vector, or an
+  /// initializer list; in-flight frames keep the route they were sent with.
+  void set_route(int dst_node, hw::RouteRef route);
+  /// Remove the route to `dst_node`; subsequent sends throw until a new
+  /// route is installed (the control plane's "no surviving path" state).
+  void invalidate_route(int dst_node);
   bool has_route(int dst_node) const { return routes_.count(dst_node) > 0; }
   const std::vector<std::uint8_t>& route_to(int dst_node) const;
   /// Interned shared route (frames reference it instead of copying).
@@ -80,6 +86,13 @@ class Datalink {
   /// left the fiber (protocols use it to free send buffers).
   void send(PacketType type, int dst_node, HeaderBufLease hdr, hw::CabAddr payload,
             std::size_t len, sim::InplaceAction on_sent = {});
+
+  /// Like send, but over an explicit source route instead of the installed
+  /// table entry. The control plane uses this to probe alternate paths
+  /// without disturbing the route live traffic takes. `dst_node` is only
+  /// recorded for tracing; the route bytes decide where the frame goes.
+  void send_via(PacketType type, const hw::RouteRef& route, int dst_node, HeaderBufLease hdr,
+                hw::CabAddr payload, std::size_t len, sim::InplaceAction on_sent = {});
 
   // --- stats ------------------------------------------------------------------------
 

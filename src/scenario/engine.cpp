@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "sim/random.hpp"
+
 namespace nectar::scenario {
 
 namespace {
@@ -105,6 +107,21 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
     spec.workloads.push_back(std::move(w));
     ++wl_index;
   }
+  if (const Section* s = cfg.find("routing")) {
+    check_keys(*s, {"enabled", "paths", "probe_interval", "probe_timeout", "suspect_after",
+                    "dead_after", "recover_after", "dead_backoff", "revert"});
+    spec.routing.enabled = s->get_bool("enabled", spec.routing.enabled);
+    spec.routing.paths = static_cast<int>(s->get_int("paths", spec.routing.paths));
+    spec.routing.probe_interval = s->get_time("probe_interval", spec.routing.probe_interval);
+    spec.routing.probe_timeout = s->get_time("probe_timeout", spec.routing.probe_timeout);
+    spec.routing.suspect_after =
+        static_cast<int>(s->get_int("suspect_after", spec.routing.suspect_after));
+    spec.routing.dead_after = static_cast<int>(s->get_int("dead_after", spec.routing.dead_after));
+    spec.routing.recover_after =
+        static_cast<int>(s->get_int("recover_after", spec.routing.recover_after));
+    spec.routing.dead_backoff = s->get_double("dead_backoff", spec.routing.dead_backoff);
+    spec.routing.revert = s->get_bool("revert", spec.routing.revert);
+  }
   for (const Section* s : cfg.all("capture")) {
     check_keys(*s, {"element", "file", "format"});
     CaptureSpec c;
@@ -146,6 +163,14 @@ Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
                                                        static_cast<std::size_t>(spec_.mtu)));
   }
   if (spec_.substrate_metrics) net_.register_substrate_metrics();
+  if (spec_.routing.enabled) {
+    // Every per-element RNG in the control plane (ECMP tie-breaks, probe
+    // phases) derives from the scenario master seed, like faults/workloads.
+    spec_.routing.seed = sim::derive_seed(spec_.seed, "routing");
+    routing_ = std::make_unique<route::RouteManager>(net_, spec_.routing);
+    for (int i = 0; i < n; ++i) routing_->attach(i, stack(i).datagram);
+    routing_->start();
+  }
   faults_ = std::make_unique<FaultScheduler>(net_, spec_.seed);
   for (const FaultSpec& f : spec_.faults) faults_->schedule(f);
   std::vector<net::NodeStack*> raw;
@@ -240,6 +265,7 @@ obs::RunReport Scenario::report() {
   rep.add("retransmits.rmp", static_cast<double>(rmp_retx), "count");
   rep.add("retries.reqresp", static_cast<double>(rr_retries), "count");
   rep.add("faults.injected", static_cast<double>(faults_->faults_injected()), "count");
+  if (routing_) routing_->report_into(rep);
   for (std::size_t i = 0; i < faults_->records().size(); ++i) {
     const FaultRecord& r = faults_->records()[i];
     const std::string p = "fault" + std::to_string(i) + ".";

@@ -20,6 +20,7 @@
 #include "obs/pcap.hpp"
 #include "obs/report.hpp"
 #include "proto/ip.hpp"
+#include "route/manager.hpp"
 #include "scenario/config.hpp"
 #include "scenario/faults.hpp"
 #include "scenario/topology.hpp"
@@ -59,6 +60,10 @@ struct ScenarioSpec {
   std::int64_t mtu = static_cast<std::int64_t>(proto::Ip::kDefaultMtu);
   bool substrate_metrics = false;  ///< HUB/pool probes into the report
   bool attach_metrics = false;     ///< full metrics snapshot in the report
+  /// Control plane ([routing] section). Default-off: with enabled=false no
+  /// RouteManager is built, no monitor threads run, and reports carry no
+  /// route.* rows, so pre-existing scenarios stay byte-identical.
+  route::RoutingConfig routing;
   std::vector<WorkloadSpec> workloads;
   std::vector<FaultSpec> faults;
   std::vector<CaptureSpec> captures;
@@ -94,6 +99,8 @@ class Scenario {
   int nodes() const { return net_.cab_count(); }
   net::NodeStack& stack(int node) { return *stacks_.at(static_cast<std::size_t>(node)); }
   FaultScheduler& faults() { return *faults_; }
+  /// The control plane, or nullptr when [routing] enabled=false.
+  route::RouteManager* routing() { return routing_.get(); }
   const std::vector<std::unique_ptr<Workload>>& workloads() const { return workloads_; }
   /// The pcap writers opened for spec().captures, in spec order (tests
   /// inspect packet counts; files flush on Scenario destruction).
@@ -105,6 +112,7 @@ class Scenario {
   ScenarioSpec spec_;
   net::Network net_;
   std::vector<std::unique_ptr<net::NodeStack>> stacks_;
+  std::unique_ptr<route::RouteManager> routing_;
   std::unique_ptr<FaultScheduler> faults_;
   std::vector<std::unique_ptr<Workload>> workloads_;
   std::vector<std::unique_ptr<obs::PcapWriter>> pcaps_;

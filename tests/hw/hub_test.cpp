@@ -198,6 +198,45 @@ TEST(Hub, PortBlackoutDiscardsQueuedAndIncomingFrames) {
   EXPECT_EQ(hub.blackout_drops(), 5u);
 }
 
+TEST(Hub, BlackoutDropsAttributedPerPort) {
+  sim::Engine e;
+  Hub hub(e, "h");
+  RecordingSink a, b;
+  hub.attach_output(1, &a, 0);
+  hub.attach_output(2, &b, 0);
+  for (int i = 0; i < 3; ++i) hub.input(i)->offer(routed_frame({1}, 2000), 0, 1600);
+  hub.input(3)->offer(routed_frame({2}, 2000), 0, 1600);
+  hub.set_port_blackout(1, true);
+  hub.input(4)->offer(routed_frame({1}, 2000), 0, 1600);
+  e.run();
+  // Loss is attributed to the dead port, and only to it; the healthy port's
+  // traffic flowed untouched.
+  EXPECT_EQ(hub.output_blackout_drops(1), 3u);  // 2 queued + 1 incoming
+  EXPECT_EQ(hub.output_blackout_drops(2), 0u);
+  EXPECT_EQ(hub.blackout_drops(), 3u);
+  EXPECT_EQ(b.deliveries.size(), 1u);
+
+  // Route errors with an in-range port byte are attributed there too; an
+  // exhausted route has no port to charge.
+  hub.input(0)->offer(routed_frame({5}, 100), 0, 80);  // port 5: no sink
+  hub.input(0)->offer(routed_frame({}, 100), 0, 80);   // route exhausted
+  e.run();
+  EXPECT_EQ(hub.output_route_errors(5), 1u);
+  EXPECT_EQ(hub.route_errors(), 2u);
+
+  obs::MetricsRegistry registry;
+  obs::Registration reg(registry);
+  hub.register_metrics(reg);
+  obs::Snapshot snap = registry.snapshot();
+  const obs::SnapshotEntry* drops = snap.find(-1, "hub", "h.port1.blackout_drops");
+  ASSERT_NE(drops, nullptr);
+  EXPECT_EQ(drops->value, 3);
+  const obs::SnapshotEntry* ok = snap.find(-1, "hub", "h.port2.blackout_drops");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->value, 0);
+  EXPECT_NE(snap.find(-1, "hub", "h.port1.route_errors"), nullptr);
+}
+
 TEST(Hub, BlackoutReleasesBackPressuredFrame) {
   sim::Engine e;
   Hub hub(e, "h");

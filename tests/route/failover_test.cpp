@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "route/manager.hpp"
+#include "scenario/engine.hpp"
+
+namespace nectar::route {
+namespace {
+
+// Failover end-to-end on a 2-leaf/2-spine fat tree: kill the spine uplink a
+// live flow is routed over, and require the control plane to move the pair
+// to the surviving spine within the configured detection window — without
+// the transport noticing more than a latency blip.
+//
+// Worst-case detection+switch window for the config below:
+//   (dead_after - 1) * probe_interval + probe_timeout = 2*4ms + 2ms = 10ms.
+constexpr char kBase[] = R"(
+[scenario]
+name = failover
+duration = 400ms
+
+[topology]
+kind = fat_tree
+nodes = 8
+hub_ports = 6
+spines = 2
+
+[routing]
+enabled = true
+paths = 2
+probe_interval = 4ms
+probe_timeout = 2ms
+dead_after = 3
+recover_after = 2
+)";
+
+scenario::ScenarioSpec spec_with(const std::string& extra, std::uint64_t seed) {
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::from_config(scenario::Config::parse_string(kBase + extra));
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(FailoverTest, LinkDownMidTcpFlowReroutesWithoutReset) {
+  scenario::Scenario sc(spec_with(R"(
+[workload]
+name = tcp
+proto = tcp
+mode = closed
+users = 2
+think = 1ms
+size = 512
+stride = 4
+)",
+                                  5));
+  ASSERT_NE(sc.routing(), nullptr);
+
+  // Blackout the exact uplink pair (0 -> 4)'s installed path crosses (route
+  // byte 0 is leaf0's output port), mid-flow and permanently.
+  int before = sc.routing()->installed_path(0, 4);
+  ASSERT_GE(before, 0);
+  int dead_port = sc.routing()->paths().path(0, 4, before)[0];
+  int other_port = dead_port == 4 ? 5 : 4;
+  sc.net().engine().schedule_at(sim::msec(100), [&sc, dead_port] {
+    sc.net().hub(0).set_port_blackout(dead_port, true);
+  });
+  sc.run();
+
+  // The pair failed over to the surviving spine...
+  int after = sc.routing()->installed_path(0, 4);
+  EXPECT_NE(after, before) << "route to node 4 was never switched";
+  EXPECT_NE(sc.routing()->paths().path(0, 4, after)[0], dead_port);
+  EXPECT_EQ(sc.routing()->path_state(0, 4, before), PathState::Dead);
+  EXPECT_GE(sc.routing()->failovers(), 1u);
+  // ...within the configured detection window (generous margin for CPU
+  // charges between the miss and the switch).
+  EXPECT_GT(sc.routing()->reroute_latency().count(), 0u);
+  EXPECT_LE(sc.routing()->reroute_latency().max(), sim::msec(15));
+
+  // The TCP flows survived: traffic kept flowing and no connection errored.
+  const auto& wl = *sc.workloads().at(0);
+  EXPECT_EQ(wl.errors(), 0u) << "a connection reset during failover";
+  EXPECT_GT(wl.delivered(), 0u);
+
+  // Satellite: the loss is attributed to the blacked-out output port, and
+  // only to it.
+  EXPECT_GT(sc.net().hub(0).output_blackout_drops(dead_port), 0u);
+  EXPECT_EQ(sc.net().hub(0).output_blackout_drops(other_port), 0u);
+  EXPECT_EQ(sc.net().hub(0).blackout_drops(), sc.net().hub(0).output_blackout_drops(dead_port));
+}
+
+TEST(FailoverTest, HubBlackoutRecoversWithinProbeWindow) {
+  // INI-scripted transient blackout of leaf0's spine-0 uplink: 100ms..160ms.
+  // Paths over it must go Dead during the window and return to Up (with the
+  // preferred route reverted) before the run ends.
+  scenario::Scenario sc(spec_with(R"(
+[workload]
+name = udp
+proto = udp
+mode = open
+users = 8
+rate = 400
+size = 256
+stride = 4
+
+[fault]
+kind = hub_blackout
+target = hub0.port4
+at = 100ms
+duration = 60ms
+)",
+                                  5));
+  ASSERT_NE(sc.routing(), nullptr);
+  sc.run();
+
+  // Some cross-leaf pair is routed over spine 0 in at least one direction
+  // (32 ordered pairs, seeded ECMP spread), so the fault must have bitten
+  // and healed: dead paths detected, failed over, recovered, reverted.
+  EXPECT_GE(sc.routing()->failovers(), 1u);
+  EXPECT_GE(sc.routing()->reverts(), 1u);
+  EXPECT_GT(sc.routing()->probe_timeouts(), 0u);
+  // Every path is healthy again at the end of the run.
+  for (int s = 0; s < sc.nodes(); ++s) {
+    for (int d = 0; d < sc.nodes(); ++d) {
+      if (s == d) continue;
+      for (int p = 0; p < sc.routing()->paths().path_count(s, d); ++p) {
+        EXPECT_EQ(sc.routing()->path_state(s, d, p), PathState::Up)
+            << "path " << p << " of (" << s << "," << d << ") never recovered";
+      }
+    }
+  }
+  // Loss happened at the faulted port and is attributed there.
+  EXPECT_GT(sc.net().hub(0).output_blackout_drops(4), 0u);
+  EXPECT_EQ(sc.faults().records().at(0).attributed_drops,
+            sc.net().hub(0).output_blackout_drops(4));
+}
+
+TEST(FailoverTest, RoutingDisabledLeavesDataPlaneUntouched) {
+  // enabled=false must mean: no manager, no monitor threads, no route.*
+  // rows — the exact report a pre-routing build produced.
+  scenario::ScenarioSpec spec = scenario::ScenarioSpec::from_config(
+      scenario::Config::parse_string(R"(
+[scenario]
+name = off
+duration = 50ms
+
+[topology]
+kind = fat_tree
+nodes = 8
+hub_ports = 6
+spines = 2
+
+[workload]
+name = udp
+proto = udp
+mode = open
+users = 4
+rate = 200
+size = 128
+stride = 4
+)"));
+  scenario::Scenario sc(spec);
+  EXPECT_EQ(sc.routing(), nullptr);
+  sc.run();
+  std::string json = sc.report().to_json_string();
+  EXPECT_EQ(json.find("route."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nectar::route

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "scenario/engine.hpp"
+
+namespace nectar::route {
+namespace {
+
+// The determinism contract extends to the control plane: probe schedules,
+// ECMP tie-breaks, failovers and reroute-latency histograms all derive from
+// the scenario master seed, so the same (spec, seed) — including a fault
+// that triggers real rerouting — produces byte-identical reports.
+
+scenario::ScenarioSpec failover_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::from_config(scenario::Config::parse_string(R"(
+[scenario]
+name = routing-det
+duration = 300ms
+
+[topology]
+kind = fat_tree
+nodes = 8
+hub_ports = 6
+spines = 2
+
+[routing]
+enabled = true
+paths = 2
+probe_interval = 4ms
+probe_timeout = 2ms
+dead_after = 3
+recover_after = 2
+
+[workload]
+name = udp
+proto = udp
+mode = open
+users = 8
+rate = 300
+size = 256
+stride = 4
+
+[fault]
+kind = hub_blackout
+target = hub0.port4
+at = 80ms
+duration = 60ms
+)"));
+  spec.seed = seed;
+  return spec;
+}
+
+struct RunResult {
+  std::string report;
+  std::uint64_t events;
+  std::uint64_t failovers;
+  std::uint64_t probes;
+};
+
+RunResult run_once(std::uint64_t seed) {
+  scenario::Scenario sc(failover_spec(seed));
+  sc.run();
+  RunResult r;
+  r.report = sc.report().to_json_string();
+  r.events = sc.net().engine().events_processed();
+  r.failovers = sc.routing()->failovers();
+  r.probes = sc.routing()->probes_sent();
+  return r;
+}
+
+TEST(RoutingDeterminismTest, SameSeedByteIdenticalReports) {
+  RunResult a = run_once(9);
+  RunResult b = run_once(9);
+  EXPECT_GE(a.failovers, 1u) << "the fault never triggered a reroute";
+  EXPECT_GT(a.probes, 0u);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(a.report, b.report) << "control plane broke the determinism contract";
+}
+
+TEST(RoutingDeterminismTest, ReportCarriesRouteRows) {
+  scenario::Scenario sc(failover_spec(9));
+  sc.run();
+  std::string json = sc.report().to_json_string();
+  for (const char* key :
+       {"route.failovers", "route.probes_sent", "route.probe_timeouts", "route.reroute.count",
+        "route.reroute.p99", "route.routes_installed"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing result " << key;
+  }
+}
+
+TEST(RoutingDeterminismTest, UnknownRoutingKeysRejected) {
+  EXPECT_THROW(scenario::ScenarioSpec::from_config(
+                   scenario::Config::parse_string("[routing]\nenable = true\n")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nectar::route
