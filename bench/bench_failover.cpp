@@ -80,6 +80,8 @@ int run(const BenchOptions& options) {
       scenario::ScenarioSpec::from_config(scenario::Config::parse_string(kConfig));
   sim::SimTime duration = spec.duration;
   scenario::Scenario sc(std::move(spec));
+  if (!options.trace_path.empty()) sc.net().tracer().set_enabled(true);
+  start_profile(options, sc.net().profiler());
   std::printf("failover: %d nodes, fault at %.0f ms, %.0f ms simulated\n",
               sc.spec().topology.nodes, sim::to_msec(kFaultAt), sim::to_msec(duration));
 
@@ -151,6 +153,8 @@ int run(const BenchOptions& options) {
   report.add("failover.recovered_ratio", recovered / prefault, "ratio");
   report.add("failover.recovery_ms", recovery_ms, "ms");
   finish_report(options, report);
+  finish_trace(options.trace_path, sc.net().tracer());
+  finish_profile(options, sc.net().profiler());
 
   if (rm.failovers() == 0) {
     std::fprintf(stderr, "FAIL: the fault never triggered a failover\n");

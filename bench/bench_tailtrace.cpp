@@ -1,0 +1,154 @@
+// Tail-trace bench: causal tracing with tail-latency attribution on a
+// two-leaf/two-spine fat tree under a mid-run fault burst. An open-loop UDP
+// aggregate and closed-loop TCP users share the fabric; at 400 ms a spine
+// uplink goes dark for 150 ms (probes mark the paths dead, the control plane
+// fails traffic over) and a loss burst chews on a leaf link. Head-sampled
+// messages carry a 16-byte trace stamp through every layer, and the
+// CriticalPathAnalyzer decomposes the resulting per-flow p99 tail into its
+// stage classes: queueing vs protocol vs retransmit wait vs reroute wait.
+//
+// There is no paper figure for this; it is the acceptance experiment for the
+// causal-tracing subsystem (docs/OBSERVABILITY.md). The run is
+// deterministic: the committed BENCH_tailtrace.json must reproduce
+// byte-for-byte from `bench_tailtrace --json`.
+
+#include "common.hpp"
+#include "obs/causal.hpp"
+#include "scenario/engine.hpp"
+
+namespace nectar::bench {
+namespace {
+
+constexpr const char* kConfig = R"(
+[scenario]
+name = tailtrace
+seed = 1990
+duration = 1s
+
+[topology]
+kind = fat_tree
+nodes = 12
+hub_ports = 8
+spines = 2
+
+[routing]
+enabled = true
+paths = 2
+probe_interval = 25ms
+probe_timeout = 5ms
+dead_after = 3
+recover_after = 2
+
+# Every fourth message rides with a trace stamp: enough tail coverage for
+# stable attribution, cheap enough that the stamp bytes do not distort the
+# aggregate (16 B on 512 B payloads, 1/4 of messages).
+[tracing]
+enabled = true
+sample = 0.25
+top_k = 5
+max_traces = 100000
+
+# ~2 Mbit/s per flow of open-loop UDP across the spines: the traffic whose
+# tail the blackout and the failover window shape.
+[workload]
+name = udp-open
+proto = udp
+mode = open
+users = 4
+rate = 125
+size = 512
+stride = 6
+
+# Closed-loop TCP users riding the same fabric: their retransmit timers turn
+# blackout loss into retransmit-wait tail time.
+[workload]
+name = tcp-closed
+proto = tcp
+mode = closed
+users = 1
+think = 2ms
+size = 1024
+stride = 6
+
+# Leaf 0's uplink to spine 0 goes dark for 150 ms: long enough for probe
+# loss to mark the spine-0 paths dead and fail flows over to spine 1.
+[fault]
+kind = hub_blackout
+target = hub0.port6
+at = 400ms
+duration = 150ms
+
+# And a loss burst on a leaf link while the reroute is in flight.
+[fault]
+kind = link_drop_burst
+target = node2.link
+at = 420ms
+count = 40
+)";
+
+int run(const BenchOptions& options) {
+  scenario::ScenarioSpec spec =
+      scenario::ScenarioSpec::from_config(scenario::Config::parse_string(kConfig));
+  scenario::Scenario sc(std::move(spec));
+  if (!options.trace_path.empty()) sc.net().tracer().set_enabled(true);
+  start_profile(options, sc.net().profiler());
+  std::printf("tailtrace: %d nodes, %zu workloads, %zu faults, %.0f ms simulated, sample %.2f\n",
+              sc.spec().topology.nodes, sc.spec().workloads.size(), sc.spec().faults.size(),
+              sim::to_msec(sc.spec().duration), sc.spec().tracing.sample);
+  sc.run();
+
+  const obs::CausalTracer& ct = *sc.causal_tracer();
+  obs::CriticalPathAnalyzer cpa(ct);
+  std::string violation = cpa.verify();
+  if (!violation.empty()) {
+    std::fprintf(stderr, "FAIL: cut-point invariant violated: %s\n", violation.c_str());
+    return 1;
+  }
+
+  std::printf("\ntraces: %llu started, %llu finished, %llu sampled out\n",
+              static_cast<unsigned long long>(ct.started()),
+              static_cast<unsigned long long>(ct.finished_count()),
+              static_cast<unsigned long long>(ct.sampled_out()));
+
+  // Print the per-flow tail decomposition from the artifact the analyzer
+  // renders (the same numbers land in the report's tailtrace.* rows).
+  double retx_plus_reroute = 0.0;
+  obs::json::Value art = cpa.artifact(static_cast<std::size_t>(sc.spec().tracing.top_k));
+  for (const obs::json::Value& f : art.find("flows")->items()) {
+    std::printf("\nflow %-12s p99 %8.1f us over %lld finished, tail of %lld:\n",
+                f.find("flow")->as_string().c_str(), f.find("e2e_p99_us")->as_double(),
+                static_cast<long long>(f.find("finished")->as_int()),
+                static_cast<long long>(f.find("tail_count")->as_int()));
+    for (const auto& [cls, row] : f.find("tail")->members()) {
+      double us = row.find("us")->as_double();
+      if (cls == "retransmit" || cls == "reroute") retx_plus_reroute += us;
+      if (us <= 0.0) continue;
+      std::printf("  %-14s %10.1f us  %5.1f%%\n", cls.c_str(), us,
+                  100.0 * row.find("share")->as_double());
+    }
+  }
+
+  obs::RunReport report = sc.report();
+  finish_report(options, report);
+  finish_trace(options.trace_path, sc.net().tracer());
+  finish_profile(options, sc.net().profiler());
+
+  if (ct.finished_count() == 0) {
+    std::fprintf(stderr, "FAIL: no traces finished\n");
+    return 1;
+  }
+  // The fault burst must actually show up in the tail: some tail time
+  // attributed to waiting out loss (retransmit) or a reroute window.
+  if (retx_plus_reroute <= 0.0) {
+    std::fprintf(stderr, "FAIL: fault burst left no retransmit/reroute tail time\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nectar::bench
+
+int main(int argc, char** argv) {
+  return nectar::bench::run(nectar::bench::parse_options(argc, argv));
+}

@@ -5,9 +5,13 @@
 // invocations with the same inputs produce byte-identical --json reports.
 //
 //   scenario_runner <config.ini> [--seed N] [--duration D] [--json <path>]
+//                   [--trace <path>] [--profile <path>]
 //
 // --seed and --duration override the [scenario] section, so one config file
-// serves as a family of experiments.
+// serves as a family of experiments. --trace and --profile match the bench
+// binaries' flags: --trace writes a Chrome trace-event timeline of the run,
+// --profile enables the cycle-attribution profiler and writes folded stacks
+// (equivalent to setting [profile] folded in the config).
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,7 +24,9 @@
 namespace {
 
 void usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s <config.ini> [--seed N] [--duration D] [--json <path>]\n",
+  std::fprintf(stderr,
+               "usage: %s <config.ini> [--seed N] [--duration D] [--json <path>]\n"
+               "       [--trace <path>] [--profile <path>]\n",
                argv0);
   std::exit(2);
 }
@@ -34,6 +40,8 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string seed_override;
   std::string duration_override;
+  std::string trace_path;
+  std::string profile_path;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
@@ -42,6 +50,10 @@ int main(int argc, char** argv) {
       seed_override = argv[++i];
     } else if (a == "--duration" && i + 1 < argc) {
       duration_override = argv[++i];
+    } else if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (a == "--profile" && i + 1 < argc) {
+      profile_path = argv[++i];
     } else if (!a.empty() && a[0] != '-' && config_path.empty()) {
       config_path = a;
     } else {
@@ -59,6 +71,7 @@ int main(int argc, char** argv) {
     if (!duration_override.empty()) {
       spec.duration = scenario::parse_time(duration_override);
     }
+    if (!profile_path.empty()) spec.profile.folded = profile_path;
 
     std::printf("scenario %s: %d nodes (%s), %zu workload(s), %zu fault(s), seed %llu\n",
                 spec.name.c_str(), spec.topology.nodes,
@@ -69,6 +82,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(spec.seed));
 
     scenario::Scenario sc(std::move(spec));
+    if (!trace_path.empty()) sc.net().tracer().set_enabled(true);
     sc.run();
 
     std::printf("ran %.1f ms of simulated time\n\n", sim::to_msec(sc.spec().duration));
@@ -104,6 +118,19 @@ int main(int argc, char** argv) {
     }
     if (!sc.spec().profile.timeline.empty()) {
       std::printf("profile: protocol timelines -> %s\n", sc.spec().profile.timeline.c_str());
+    }
+    if (!trace_path.empty()) {
+      if (!sc.net().tracer().write_chrome(trace_path)) {
+        std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path.c_str());
+        return 1;
+      }
+      std::printf("trace: %zu event(s) -> %s\n", sc.net().tracer().events().size(),
+                  trace_path.c_str());
+    }
+    if (sc.spec().tracing.enabled && !sc.spec().tracing.artifact.empty()) {
+      std::printf("tracing: %llu trace(s) -> %s\n",
+                  static_cast<unsigned long long>(sc.causal_tracer()->finished_count()),
+                  sc.spec().tracing.artifact.c_str());
     }
 
     if (!json_path.empty()) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "hw/crc.hpp"
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
@@ -25,6 +26,9 @@ void DmaController::start_recv(CabAddr dst, std::size_t skip, RecvDone done) {
   recv_busy_ = true;
 
   const FiberInFifo::ArrivedFrame& front = in_fifo_.front();
+  if (front.frame.trace.valid() && dst != kDiscard) {
+    if (auto* ct = obs::CausalTracer::active()) ct->stage(front.frame.trace, "rx.dma");
+  }
   std::size_t payload_len = front.frame.payload.size();
   std::size_t copy_len = payload_len > skip ? payload_len - skip : 0;
   if (dst != kDiscard && copy_len > 0) check_dma_range(dst, copy_len);
@@ -63,10 +67,15 @@ void DmaController::finish_recv() {
 }
 
 void DmaController::start_send(RouteRef route, std::span<const std::uint8_t> header, CabAddr src,
-                               std::size_t len, SendCallback done, int src_node) {
+                               std::size_t len, SendCallback done, int src_node,
+                               obs::TraceContext trace) {
   if (len > 0) check_dma_range(src, len);
   Frame f;
   f.route = std::move(route);
+  f.trace = trace;
+  if (trace.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) ct->stage(trace, "tx.dma");
+  }
   // Gather [header][payload] into one pooled buffer: the header bytes come
   // from the CPU's composition buffer, the payload from CAB data memory.
   f.payload = PooledBytes(header.size() + len);

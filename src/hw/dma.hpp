@@ -46,8 +46,11 @@ class DmaController {
   /// payload buffer before this returns; `header` need not outlive the call.
   /// Hardware computes the CRC over the payload as it streams out.
   /// `done` fires when the last byte has left the transmitter.
+  /// `trace` (optional) is the causal-trace context mirrored onto the frame
+  /// so fabric elements can attribute time to the sampled message.
   void start_send(RouteRef route, std::span<const std::uint8_t> header, CabAddr src,
-                  std::size_t len, SendCallback done, int src_node = -1);
+                  std::size_t len, SendCallback done, int src_node = -1,
+                  obs::TraceContext trace = {});
 
   // ---- VME channel (host memory <-> data memory) -------------------------
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/causal.hpp"
+
 namespace nectar::hw {
 
 FiberInFifo::FiberInFifo(sim::Engine& engine, std::size_t capacity_bytes)
@@ -15,6 +17,9 @@ bool FiberInFifo::offer(Frame&& f, sim::SimTime first_byte, sim::SimTime last_by
   }
   used_ += need;
   ++accepted_;
+  if (f.trace.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) ct->stage(f.trace, "rx.fifo");
+  }
   arrived_.push_back({std::move(f), first_byte, last_byte});
   if (arrival_) arrival_();
   return true;

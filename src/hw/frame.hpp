@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "hw/pool.hpp"
+#include "obs/span.hpp"
 #include "sim/action.hpp"
 #include "sim/time.hpp"
 
@@ -36,6 +37,11 @@ struct Frame {
   bool corrupted = false;  ///< set when fault injection damaged the bytes
   std::uint64_t id = 0;
   int src_node = -1;  ///< originating CAB (for stats/debug only)
+  /// Causal-trace mirror of the 16-byte stamp riding in the payload's
+  /// datalink headroom (obs/span.hpp): lets links, HUB ports, and FIFOs
+  /// attribute queueing/serialization time to the trace without parsing
+  /// payload bytes. Invalid (trace_id 0) for unsampled frames.
+  obs::TraceContext trace{};
 
   std::size_t remaining_hops() const { return route.size() - hops_done; }
   std::uint8_t next_port() const { return route[hops_done]; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/causal.hpp"
 #include "obs/metrics.hpp"
 
 namespace nectar::hw {
@@ -64,6 +65,13 @@ void Hub::set_port_blackout(int port, bool on) {
     // lost; frames mid-delivery keep their scheduled events and complete.
     blackout_drops_ += o.queue.size();
     o.blackout_drops += o.queue.size();
+    if (auto* ct = obs::CausalTracer::active()) {
+      for (const QueuedFrame& qf : o.queue) {
+        if (!qf.frame.trace.valid()) continue;
+        ct->annotate(qf.frame.trace, "drop.blackout");
+        ct->stage(qf.frame.trace, "loss.wait", name_ + ".port" + std::to_string(port));
+      }
+    }
     o.queue.clear();
     if (o.blocked.has_value()) {
       o.blocked.reset();
@@ -100,6 +108,7 @@ bool Hub::InputPort::offer(Frame&& f, sim::SimTime first, sim::SimTime last) {
 void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last) {
   int out;
   std::optional<int> circuit = circuit_output(in_port);
+  obs::CausalTracer* ct = f.trace.valid() ? obs::CausalTracer::active() : nullptr;
   if (f.remaining_hops() > 0) {
     out = f.next_port();
     ++f.hops_done;  // the HUB consumes one route byte (source routing)
@@ -107,6 +116,10 @@ void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime l
     out = *circuit;  // established circuit: no route byte needed
   } else {
     ++route_errors_;
+    if (ct != nullptr) {
+      ct->annotate(f.trace, "drop.route_error");
+      ct->stage(f.trace, "loss.wait", name_);
+    }
     return;  // undeliverable: route exhausted and no circuit
   }
   if (out < 0 || out >= num_ports() || outputs_[static_cast<std::size_t>(out)].sink == nullptr) {
@@ -114,13 +127,25 @@ void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime l
     // A bad route byte that still names a real port is attributed to that
     // port; a byte beyond the radix has no port to charge.
     if (out >= 0 && out < num_ports()) ++outputs_[static_cast<std::size_t>(out)].route_errors;
+    if (ct != nullptr) {
+      ct->annotate(f.trace, "drop.route_error");
+      ct->stage(f.trace, "loss.wait", name_);
+    }
     return;
   }
   OutputPort& o = outputs_[static_cast<std::size_t>(out)];
   if (o.blackout) {
     ++blackout_drops_;  // dead output: the frame is silently lost
     ++o.blackout_drops;
+    if (ct != nullptr) {
+      ct->annotate(f.trace, "drop.blackout");
+      ct->stage(f.trace, "loss.wait", name_ + ".port" + std::to_string(out));
+    }
     return;
+  }
+  if (ct != nullptr) {
+    ++f.trace.hop;  // one switch traversal
+    ct->stage(f.trace, "hub.queue", name_ + ".port" + std::to_string(out));
   }
   o.queue.push_back({std::move(f), first, last, in_port});
   o.highwater = std::max(o.highwater, o.queue.size());
@@ -137,6 +162,11 @@ void Hub::try_forward(int out_port) {
   QueuedFrame qf = std::move(o.queue.front());
   o.queue.pop_front();
   o.transmitting = true;
+  if (qf.frame.trace.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(qf.frame.trace, "hub.fwd", name_ + ".port" + std::to_string(out_port));
+    }
+  }
 
   sim::SimTime ttime =
       sim::transmit_time(static_cast<std::int64_t>(qf.frame.wire_bytes()), rate_);

@@ -66,6 +66,11 @@ class Hub {
   /// with no attached sink). Exhausted-route errors have no port and count
   /// only in route_errors().
   std::uint64_t output_route_errors(int port) const;
+  /// Whether output `port` has an attached sink (fiber/CAB). Lets report
+  /// writers enumerate only the real ports of a partially-populated HUB.
+  bool port_attached(int port) const {
+    return outputs_.at(static_cast<std::size_t>(port)).sink != nullptr;
+  }
   std::size_t output_queue_depth(int port) const;
   std::size_t output_queue_highwater(int port) const;
   /// Total time output `port` spent transmitting (utilization numerator).

@@ -1,5 +1,6 @@
 #include "nproto/datagram.hpp"
 
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
@@ -40,10 +41,16 @@ proto::HeaderBufLease DatagramProtocol::compose_header(core::MailboxAddr dst, st
 }
 
 void DatagramProtocol::send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
-                                sim::InplaceAction on_sent, std::uint32_t src_mailbox) {
+                                sim::InplaceAction on_sent, std::uint32_t src_mailbox,
+                                obs::TraceContext tctx) {
+  if (tctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(tctx, "tx.datagram", "node" + std::to_string(dl_.node_id()));
+    }
+  }
   proto::HeaderBufLease hdr = compose_header(dst, len, src_mailbox);
   dl_.send(proto::PacketType::NectarDatagram, dst.node, std::move(hdr), payload, len,
-           std::move(on_sent));
+           std::move(on_sent), tctx);
 }
 
 void DatagramProtocol::send_raw_via(const hw::RouteRef& route, core::MailboxAddr dst,
@@ -55,12 +62,13 @@ void DatagramProtocol::send_raw_via(const hw::RouteRef& route, core::MailboxAddr
 }
 
 void DatagramProtocol::send(core::MailboxAddr dst, core::Message data, bool free_when_sent,
-                            std::uint32_t src_mailbox) {
+                            std::uint32_t src_mailbox, obs::TraceContext tctx) {
   if (free_when_sent) {
     core::Mailbox& storage = input_;
-    send_raw(dst, data.data, data.len, [&storage, data] { storage.end_get(data); }, src_mailbox);
+    send_raw(
+        dst, data.data, data.len, [&storage, data] { storage.end_get(data); }, src_mailbox, tctx);
   } else {
-    send_raw(dst, data.data, data.len, {}, src_mailbox);
+    send_raw(dst, data.data, data.len, {}, src_mailbox, tctx);
   }
 }
 
@@ -68,6 +76,11 @@ void DatagramProtocol::end_of_data(core::Message m, std::uint8_t src_node) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("datagram/recv");
   cpu.charge(costs::kNectarProtoRecv);
+  obs::CausalTracer* ct = obs::CausalTracer::active();
+  obs::TraceContext rctx = ct != nullptr ? ct->rx_context() : obs::TraceContext{};
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "rx.datagram", "node" + std::to_string(dl_.node_id()));
+  }
 
   if (m.len < proto::NectarHeader::kSize) {
     input_.end_get(m);
@@ -86,6 +99,9 @@ void DatagramProtocol::end_of_data(core::Message m, std::uint8_t src_node) {
   // Strip the protocol header in place and hand the payload to the target
   // mailbox — the §3.3 zero-copy path.
   core::Message payload = core::Mailbox::adjust_prefix(m, proto::NectarHeader::kSize);
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "mbox.wait", "node" + std::to_string(dl_.node_id()));
+  }
   input_.enqueue(payload, *dst);
   runtime().trace_mark("datagram.deliver");
 }

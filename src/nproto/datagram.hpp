@@ -25,13 +25,15 @@ class DatagramProtocol : public proto::DatalinkClient {
 
   /// Send `data` to the mailbox `dst`. The data area is released once the
   /// message is on the wire when `free_when_sent`. `src_mailbox` (optional)
-  /// travels in the header so the receiver can reply.
+  /// travels in the header so the receiver can reply. `tctx`, when valid,
+  /// attributes the datagram to that causal trace.
   void send(core::MailboxAddr dst, core::Message data, bool free_when_sent = true,
-            std::uint32_t src_mailbox = 0);
+            std::uint32_t src_mailbox = 0, obs::TraceContext tctx = {});
 
   /// Raw variant: payload directly from CAB data memory.
   void send_raw(core::MailboxAddr dst, hw::CabAddr payload, std::size_t len,
-                sim::InplaceAction on_sent = {}, std::uint32_t src_mailbox = 0);
+                sim::InplaceAction on_sent = {}, std::uint32_t src_mailbox = 0,
+                obs::TraceContext tctx = {});
 
   /// Like send_raw, but over an explicit source route instead of the
   /// datalink's installed table entry. The route-health prober uses this to

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/cpu.hpp"
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
@@ -54,7 +55,8 @@ void ReqResp::transmit_request(std::uint16_t xid) {
   h.length = static_cast<std::uint16_t>(oc.req_len);
   proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
   h.serialize(hdr->push_front(proto::NectarHeader::kSize));
-  dl_.send(proto::PacketType::ReqResp, oc.dst_node, std::move(hdr), oc.req_payload, oc.req_len);
+  dl_.send(proto::PacketType::ReqResp, oc.dst_node, std::move(hdr), oc.req_payload, oc.req_len, {},
+           oc.ctx);
 
   core::Cpu& cpu = runtime().cpu();
   if (oc.timer_set) cpu.cancel_timer(oc.timer);
@@ -76,14 +78,26 @@ void ReqResp::on_call_timeout(std::uint16_t xid) {
     return;
   }
   ++retries_;
+  if (oc.ctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->annotate(oc.ctx, "rpc.retry");
+      ct->stage(oc.ctx, "tx.rpc", "node" + std::to_string(dl_.node_id()));
+    }
+  }
   transmit_request(xid);
 }
 
-core::Message ReqResp::call(core::MailboxAddr dst, core::Message request, bool free_request) {
+core::Message ReqResp::call(core::MailboxAddr dst, core::Message request, bool free_request,
+                            obs::TraceContext tctx) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("reqresp/call");
   cpu.charge(costs::kNectarProtoSend);
   runtime().trace_mark("reqresp.call");
+  if (tctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(tctx, "tx.rpc", "node" + std::to_string(dl_.node_id()));
+    }
+  }
 
   core::InterruptGuard g(cpu);
   std::uint16_t xid = next_xid_++;
@@ -93,6 +107,7 @@ core::Message ReqResp::call(core::MailboxAddr dst, core::Message request, bool f
   oc.req_len = request.len;
   oc.dst_mailbox = dst.index;
   oc.dst_node = dst.node;
+  oc.ctx = tctx;
   ++calls_;
   transmit_request(xid);
 
@@ -110,7 +125,7 @@ core::Message ReqResp::call(core::MailboxAddr dst, core::Message request, bool f
 }
 
 void ReqResp::transmit_response(int client_node, std::uint16_t xid, std::uint32_t reply_mailbox,
-                                const core::Message& reply) {
+                                const core::Message& reply, obs::TraceContext tctx) {
   proto::NectarHeader h;
   h.dst_mailbox = reply_mailbox;
   h.src_node = static_cast<std::uint8_t>(dl_.node_id());
@@ -120,7 +135,8 @@ void ReqResp::transmit_response(int client_node, std::uint16_t xid, std::uint32_
   proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
   h.serialize(hdr->push_front(proto::NectarHeader::kSize));
   ++responses_sent_;
-  dl_.send(proto::PacketType::ReqResp, client_node, std::move(hdr), reply.data, reply.len);
+  dl_.send(proto::PacketType::ReqResp, client_node, std::move(hdr), reply.data, reply.len, {},
+           tctx);
 }
 
 void ReqResp::respond(const RequestInfo& info, core::Message reply) {
@@ -134,13 +150,23 @@ void ReqResp::respond(const RequestInfo& info, core::Message reply) {
   sc.have_response = true;
   sc.in_progress = false;
   sc.reply_mailbox = info.reply_mailbox;
-  transmit_response(info.client_node, info.xid, info.reply_mailbox, reply);
+  if (sc.ctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(sc.ctx, "tx.rpc", "node" + std::to_string(dl_.node_id()));
+    }
+  }
+  transmit_response(info.client_node, info.xid, info.reply_mailbox, reply, sc.ctx);
 }
 
 void ReqResp::end_of_data(core::Message m, std::uint8_t src_node) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("reqresp/recv");
   cpu.charge(costs::kNectarProtoRecv);
+  obs::CausalTracer* ct = obs::CausalTracer::active();
+  obs::TraceContext rctx = ct != nullptr ? ct->rx_context() : obs::TraceContext{};
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "rx.rpc", "node" + std::to_string(dl_.node_id()));
+  }
   if (m.len < proto::NectarHeader::kSize) {
     input_.end_get(m);
     return;
@@ -161,6 +187,11 @@ void ReqResp::end_of_data(core::Message m, std::uint8_t src_node) {
     }
     oc.response = core::Mailbox::adjust_prefix(m, proto::NectarHeader::kSize);
     oc.done = true;
+    // The caller is still blocked; the time until it runs again is a
+    // scheduling wait, same as a mailbox dequeue.
+    if (ct != nullptr && rctx.valid()) {
+      ct->stage(rctx, "mbox.wait", "node" + std::to_string(dl_.node_id()));
+    }
     if (oc.waiter != nullptr) oc.waiter->cpu().wake(oc.waiter);
     return;
   }
@@ -182,6 +213,7 @@ void ReqResp::end_of_data(core::Message m, std::uint8_t src_node) {
   sc.last_xid = h.seq;
   sc.in_progress = true;
   sc.reply_mailbox = h.src_mailbox;
+  sc.ctx = rctx;  // the reply continues the request's trace
 
   core::Mailbox* service = runtime().find_mailbox(h.dst_mailbox);
   if (service == nullptr) {
@@ -191,6 +223,9 @@ void ReqResp::end_of_data(core::Message m, std::uint8_t src_node) {
   }
   ++requests_delivered_;
   runtime().trace_mark("reqresp.request-delivered");
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "mbox.wait", "node" + std::to_string(dl_.node_id()));
+  }
   // Header kept: the server parses it to address the reply.
   input_.enqueue(m, *service);
 }

@@ -44,7 +44,7 @@ class ReqResp : public proto::DatalinkClient {
   /// owns the returned message (end_get it on a local mailbox when done).
   /// Throws std::runtime_error after kMaxRetries timeouts.
   core::Message call(core::MailboxAddr dst, core::Message request,
-                     bool free_request_when_sent = true);
+                     bool free_request_when_sent = true, obs::TraceContext tctx = {});
 
   // --- server side -----------------------------------------------------------------
 
@@ -95,6 +95,7 @@ class ReqResp : public proto::DatalinkClient {
     int retries_left = kMaxRetries;
     core::Cpu::TimerId timer = 0;
     bool timer_set = false;
+    obs::TraceContext ctx{};  // causal trace the call belongs to
   };
 
   struct ServerCache {
@@ -103,12 +104,13 @@ class ReqResp : public proto::DatalinkClient {
     core::Message response{};        // retained for duplicate replay
     std::uint32_t reply_mailbox = 0;
     bool in_progress = false;        // request delivered, respond() pending
+    obs::TraceContext ctx{};         // the request's causal trace (reply continues it)
   };
 
   void transmit_request(std::uint16_t xid);
   void on_call_timeout(std::uint16_t xid);
   void transmit_response(int client_node, std::uint16_t xid, std::uint32_t reply_mailbox,
-                         const core::Message& reply);
+                         const core::Message& reply, obs::TraceContext tctx = {});
 
   proto::Datalink& dl_;
   core::Mailbox& input_;

@@ -1,6 +1,7 @@
 #include "nproto/rmp.hpp"
 
 #include "core/cpu.hpp"
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
@@ -30,15 +31,20 @@ Rmp::Rmp(proto::Datalink& dl)
 }
 
 void Rmp::send(core::MailboxAddr dst, core::Message data, bool free_when_acked,
-               std::function<void()> on_acked) {
+               std::function<void()> on_acked, obs::TraceContext tctx) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("rmp/send");
   cpu.charge(costs::kNectarProtoSend);
+  if (tctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(tctx, "tx.rmp.queue", "node" + std::to_string(dl_.node_id()));
+    }
+  }
   // Send state is shared with the interrupt-level ACK/timeout handlers, so
   // manipulate it under the interrupt mask (§3.1 discipline).
   core::InterruptGuard g(cpu);
   SendChannel& ch = send_channels_[dst.node];
-  ch.queue.push_back(Pending{data, dst.index, free_when_acked, std::move(on_acked)});
+  ch.queue.push_back(Pending{data, dst.index, free_when_acked, std::move(on_acked), tctx});
   if (!ch.outstanding) {
     ch.outstanding = true;
     transmit_head(dst.node);
@@ -60,7 +66,12 @@ void Rmp::transmit_head(int node) {
 
   ++sent_;
   NECTAR_TRACE(runtime().trace_mark("rmp.xmit"));
-  dl_.send(proto::PacketType::Rmp, node, std::move(hdr), p.msg.data, p.msg.len);
+  if (p.ctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(p.ctx, "tx.rmp", "node" + std::to_string(dl_.node_id()));
+    }
+  }
+  dl_.send(proto::PacketType::Rmp, node, std::move(hdr), p.msg.data, p.msg.len, {}, p.ctx);
 
   core::Cpu& cpu = runtime().cpu();
   if (ch.timer_set) cpu.cancel_timer(ch.timer);
@@ -80,6 +91,9 @@ void Rmp::on_timeout(int node) {
   ch.timer_set = false;
   ++retransmissions_;
   record_event("retransmit", node, ch.next_seq);
+  if (const Pending& p = ch.queue.front(); p.ctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) ct->annotate(p.ctx, "rmp.retx");
+  }
   transmit_head(node);
 }
 
@@ -150,6 +164,11 @@ void Rmp::end_of_data(core::Message m, std::uint8_t src_node) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("rmp/recv");
   cpu.charge(costs::kNectarProtoRecv);
+  obs::CausalTracer* ct = obs::CausalTracer::active();
+  obs::TraceContext rctx = ct != nullptr ? ct->rx_context() : obs::TraceContext{};
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "rx.rmp", "node" + std::to_string(dl_.node_id()));
+  }
 
   if (m.len < proto::NectarHeader::kSize) {
     input_.end_get(m);
@@ -187,6 +206,9 @@ void Rmp::end_of_data(core::Message m, std::uint8_t src_node) {
   NECTAR_TRACE(runtime().trace_mark("rmp.deliver"));
   ++rc.expected_seq;
   core::Message payload = core::Mailbox::adjust_prefix(m, proto::NectarHeader::kSize);
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "mbox.wait", "node" + std::to_string(dl_.node_id()));
+  }
   input_.enqueue(payload, *dst);
   send_ack(src_node, h.seq);
 }

@@ -45,7 +45,7 @@ class Rmp : public proto::DatalinkClient {
   /// released when acknowledged if `free_when_acked`. `on_acked` (optional,
   /// interrupt context) fires when the acknowledgment arrives.
   void send(core::MailboxAddr dst, core::Message data, bool free_when_acked = true,
-            std::function<void()> on_acked = {});
+            std::function<void()> on_acked = {}, obs::TraceContext tctx = {});
 
   /// Block the calling thread until every queued message to `node` has been
   /// acknowledged.
@@ -90,6 +90,7 @@ class Rmp : public proto::DatalinkClient {
     std::uint32_t dst_index;  // destination mailbox on the remote node
     bool free_when_acked;
     std::function<void()> on_acked;
+    obs::TraceContext ctx{};  // causal trace the message belongs to
   };
   struct SendChannel {
     std::uint16_t next_seq = 0;       // seq of the head-of-line message

@@ -1,0 +1,53 @@
+#include "obs/span.hpp"
+
+namespace nectar::obs {
+
+namespace {
+
+void put16(std::span<std::uint8_t> b, std::size_t off, std::uint16_t v) {
+  b[off] = static_cast<std::uint8_t>(v >> 8);
+  b[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+void put32(std::span<std::uint8_t> b, std::size_t off, std::uint32_t v) {
+  put16(b, off, static_cast<std::uint16_t>(v >> 16));
+  put16(b, off + 2, static_cast<std::uint16_t>(v));
+}
+
+void put64(std::span<std::uint8_t> b, std::size_t off, std::uint64_t v) {
+  put32(b, off, static_cast<std::uint32_t>(v >> 32));
+  put32(b, off + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] << 8 | b[off + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint32_t>(get16(b, off)) << 16 | get16(b, off + 2);
+}
+
+std::uint64_t get64(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint64_t>(get32(b, off)) << 32 | get32(b, off + 4);
+}
+
+}  // namespace
+
+void encode_stamp(std::span<std::uint8_t> out, const TraceContext& c) {
+  put16(out, 0, kTraceStampMagic);
+  out[2] = c.hop;
+  out[3] = 0;
+  put32(out, 4, c.parent_span);
+  put64(out, 8, c.trace_id);
+}
+
+bool decode_stamp(std::span<const std::uint8_t> in, TraceContext& c) {
+  if (in.size() < kTraceStampBytes) return false;
+  if (get16(in, 0) != kTraceStampMagic) return false;
+  c.hop = in[2];
+  c.parent_span = get32(in, 4);
+  c.trace_id = get64(in, 8);
+  return true;
+}
+
+}  // namespace nectar::obs

@@ -1,0 +1,56 @@
+#pragma once
+
+// Causal-trace primitives (Dapper-style, one trace per sampled message).
+//
+// A TraceContext is the compact identity a traced message carries end to
+// end: the trace id, the span id of the stage that forwarded it (its causal
+// parent), and a hop count the switch fabric increments. On the wire it is
+// a 16-byte stamp prepended into the HeaderBuf headroom between the
+// datalink header and the protocol headers (see Datalink::send_via), so it
+// rides the existing frame allocation-free; in flight it is mirrored on
+// hw::Frame so switch-level elements (links, HUBs, FIFOs) can attribute
+// time without parsing payload bytes.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace nectar::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = not traced
+  std::uint32_t parent_span = 0;
+  std::uint8_t hop = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Wire stamp: [u16 magic][u8 hop][u8 zero][u32 parent_span][u64 trace_id],
+/// network byte order.
+constexpr std::size_t kTraceStampBytes = 16;
+constexpr std::uint16_t kTraceStampMagic = 0x7E5Bu;
+
+void encode_stamp(std::span<std::uint8_t> out, const TraceContext& c);
+/// Returns false (and leaves `c` untouched) when `in` is too short or the
+/// magic does not match.
+bool decode_stamp(std::span<const std::uint8_t> in, TraceContext& c);
+
+/// One stage of a message's journey. Stages are produced by the cut-point
+/// model (CausalTracer::stage): each call closes the trace's open stage at
+/// the current sim time and opens the next, so consecutive stages tile the
+/// trace's lifetime exactly — sum of durations == end-to-end latency by
+/// construction, which CriticalPathAnalyzer::verify re-checks.
+struct StageRecord {
+  std::string label;   ///< stage entered ("hub.queue", "link.tx", "rx.udp", ...)
+  std::string where;   ///< element ("node3", "hub0.port6", link name); may be empty
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  std::uint32_t span_id = 0;
+  std::uint8_t hop = 0;
+
+  sim::SimTime duration() const { return end - start; }
+};
+
+}  // namespace nectar::obs

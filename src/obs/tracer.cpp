@@ -1,10 +1,13 @@
 #include "obs/tracer.hpp"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "obs/json.hpp"
 
@@ -84,6 +87,30 @@ void Tracer::export_chrome(std::ostream& os) const {
     if (e.type == EventType::Instant) os << ",\"s\":\"t\"";
     if (e.type == EventType::Counter) os << ",\"args\":{\"value\":" << e.value << "}";
     os << "}";
+  }
+
+  // A run can end with spans still open — a scenario hits its duration
+  // horizon while server threads are scheduled in. Close them LIFO at the
+  // last recorded timestamp so strict viewers see balanced B/E pairs.
+  std::map<int, std::vector<const Event*>> open;
+  sim::SimTime last_ts = 0;
+  for (const Event& e : events_) {
+    last_ts = std::max(last_ts, e.ts);
+    if (e.type == EventType::Begin) {
+      open[e.track].push_back(&e);
+    } else if (e.type == EventType::End) {
+      auto it = open.find(e.track);
+      if (it != open.end() && !it->second.empty()) it->second.pop_back();
+    }
+  }
+  for (const auto& [track, stack] : open) {
+    const Track& t = tracks_.at(static_cast<std::size_t>(track));
+    for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+      sep();
+      os << "{\"ph\":\"E\",\"pid\":" << t.pid << ",\"tid\":" << t.tid
+         << ",\"ts\":" << chrome_ts(last_ts) << ",\"name\":\"" << json::escape((*rit)->name)
+         << "\",\"cat\":\"sim\"}";
+    }
   }
   os << "\n]}\n";
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "sim/costs.hpp"
 
@@ -60,13 +61,14 @@ void Datalink::register_client(PacketType type, DatalinkClient* client) {
 }
 
 void Datalink::send(PacketType type, int dst_node, HeaderBufLease hdr, hw::CabAddr payload,
-                    std::size_t len, sim::InplaceAction on_sent) {
-  send_via(type, route_ref(dst_node), dst_node, std::move(hdr), payload, len, std::move(on_sent));
+                    std::size_t len, sim::InplaceAction on_sent, obs::TraceContext tctx) {
+  send_via(type, route_ref(dst_node), dst_node, std::move(hdr), payload, len, std::move(on_sent),
+           tctx);
 }
 
 void Datalink::send_via(PacketType type, const hw::RouteRef& route, int dst_node,
                         HeaderBufLease hdr, hw::CabAddr payload, std::size_t len,
-                        sim::InplaceAction on_sent) {
+                        sim::InplaceAction on_sent, obs::TraceContext tctx) {
   std::size_t proto_len = hdr.size();
   if (proto_len + len > kMaxPayload) {
     throw std::logic_error("Datalink::send: packet exceeds maximum payload");
@@ -75,10 +77,20 @@ void Datalink::send_via(PacketType type, const hw::RouteRef& route, int dst_node
   obs::CostScope scope("dl/send");
   rt_.cpu().charge(costs::kDatalinkSend);
 
+  obs::CausalTracer* ct = tctx.valid() ? obs::CausalTracer::active() : nullptr;
+  if (ct != nullptr) {
+    ct->stage(tctx, "tx.datalink", "node" + std::to_string(node_id()));
+    // The stamp rides the wire between the datalink header and the protocol
+    // headers: real bytes, serialized and CRC'd like any others.
+    obs::encode_stamp(hdr.ensure().push_front(obs::kTraceStampBytes), tctx);
+    proto_len += obs::kTraceStampBytes;
+  }
+
   DatalinkHeader dh;
   dh.type = type;
   dh.src_node = static_cast<std::uint8_t>(node_id());
   dh.length = static_cast<std::uint16_t>(proto_len + len);
+  dh.traced = ct != nullptr;
 
   // Prepend the datalink header into the composition buffer's headroom: the
   // frame's header bytes [datalink][proto...] are already contiguous, no
@@ -94,7 +106,7 @@ void Datalink::send_via(PacketType type, const hw::RouteRef& route, int dst_node
     completion = [&cpu, fn = std::move(on_sent)]() mutable { cpu.post_interrupt(std::move(fn)); };
   }
   rt_.board().dma().start_send(route, hdr.bytes(), len > 0 ? payload : hw::kDataBase, len,
-                               std::move(completion), node_id());
+                               std::move(completion), node_id(), tctx);
 }
 
 void Datalink::discard_front() {
@@ -118,15 +130,42 @@ void Datalink::process_pending() {
   cpu.charge(costs::kDatalinkRecv);
 
   const hw::FiberInFifo::ArrivedFrame& front = fifo.front();
+  obs::CausalTracer* ct = obs::CausalTracer::active();
+  obs::TraceContext fctx = front.frame.trace;  // in-flight mirror (hop is current)
+  auto drop_trace = [&](const char* why) {
+    if (ct != nullptr && fctx.valid()) {
+      ct->annotate(fctx, why);
+      ct->stage(fctx, "loss.wait", "node" + std::to_string(node_id()));
+    }
+  };
   if (front.frame.payload.size() < DatalinkHeader::kSize) {
     ++dropped_runt_;
+    drop_trace("drop.runt");
     discard_front();
     return;
   }
   DatalinkHeader dh = DatalinkHeader::parse(front.frame.payload);
+  // Strip the causal-trace stamp (if flagged) riding between the datalink
+  // header and the protocol bytes; the wire stamp carries the identity, the
+  // frame mirror the up-to-date hop count.
+  std::size_t stamp_skip = 0;
+  if (dh.traced) {
+    obs::TraceContext wire;
+    if (dh.length < obs::kTraceStampBytes ||
+        front.frame.payload.size() < DatalinkHeader::kSize + obs::kTraceStampBytes ||
+        !obs::decode_stamp(front.frame.payload.bytes().subspan(DatalinkHeader::kSize), wire)) {
+      ++dropped_runt_;
+      drop_trace("drop.runt");
+      discard_front();
+      return;
+    }
+    stamp_skip = obs::kTraceStampBytes;
+    if (!fctx.valid()) fctx = wire;
+  }
   DatalinkClient* client = clients_[static_cast<std::uint8_t>(dh.type)];
   if (client == nullptr) {
     ++dropped_no_client_;
+    drop_trace("drop.no_client");
     discard_front();
     return;
   }
@@ -134,31 +173,52 @@ void Datalink::process_pending() {
   // Allocate the packet's data area directly in the protocol's input
   // mailbox (§4.1: "initiates DMA operations to place the data into an
   // appropriate mailbox"). Non-blocking: we are at interrupt level.
-  auto msg = client->input_mailbox().begin_put_try(dh.length);
+  auto msg = client->input_mailbox().begin_put_try(
+      static_cast<std::uint32_t>(dh.length - stamp_skip));
   if (!msg.has_value()) {
     ++dropped_no_buffer_;
+    drop_trace("drop.no_buffer");
     discard_front();
     return;
   }
   core::Message m = *msg;
   std::uint8_t src = dh.src_node;
 
+  // The receive buffer's address range recovers the context after mailbox
+  // hand-offs (headers are stripped in place; the data pointer only moves
+  // forward). Always clear stale tags on the recycled range, then tag when
+  // this packet is traced.
+  if (ct != nullptr) ct->tag(node_id(), m.data, m.len, fctx);
+
   // When will the protocol header have arrived? (Computed now: the FIFO
   // front may already be popped by the time the DMA completes.)
   sim::SimTime proto_hdr_avail =
-      fifo.payload_available_at(DatalinkHeader::kSize + client->header_bytes());
+      fifo.payload_available_at(DatalinkHeader::kSize + stamp_skip + client->header_bytes());
 
-  dma.start_recv(m.data, DatalinkHeader::kSize,
+  dma.start_recv(m.data, DatalinkHeader::kSize + stamp_skip,
                  [this, m, src, client](hw::FiberInFifo::ArrivedFrame af, bool crc_ok) {
                    rt_.cpu().post_interrupt([this, m, src, client, crc_ok] {
                      ++packets_received_;
                      NECTAR_TRACE(trace_instant("dl.recv"));
+                     obs::CausalTracer* tracer = obs::CausalTracer::active();
+                     obs::TraceContext rctx =
+                         tracer != nullptr ? tracer->lookup(node_id(), m.data)
+                                           : obs::TraceContext{};
                      if (crc_ok) {
+                       if (tracer != nullptr && rctx.valid()) {
+                         tracer->stage(rctx, "rx.datalink", "node" + std::to_string(node_id()));
+                       }
+                       obs::CausalTracer::RxScope rx(rctx);
                        client->end_of_data(m, src);
                      } else {
                        // The hardware CRC caught corruption: drop silently;
                        // reliable protocols recover by retransmission.
                        ++dropped_crc_;
+                       if (tracer != nullptr && rctx.valid()) {
+                         tracer->annotate(rctx, "drop.crc");
+                         tracer->stage(rctx, "loss.wait", "node" + std::to_string(node_id()));
+                         tracer->tag(node_id(), m.data, m.len, {});  // buffer is freed
+                       }
                        client->input_mailbox().end_get(m);
                      }
                      process_pending();

@@ -7,6 +7,7 @@
 
 #include "core/mailbox.hpp"
 #include "core/runtime.hpp"
+#include "obs/span.hpp"
 #include "proto/headerbuf.hpp"
 #include "proto/headers.hpp"
 #include "sim/action.hpp"
@@ -84,15 +85,21 @@ class Datalink {
   /// The header bytes are copied into the frame before this returns.
   /// `on_sent`, if given, runs in interrupt context after the last byte has
   /// left the fiber (protocols use it to free send buffers).
+  /// `tctx`, when valid, identifies the causal trace this packet belongs to:
+  /// a 16-byte stamp is prepended into the header buffer's headroom (between
+  /// the datalink header and the protocol headers, flagged in the type byte)
+  /// so the context rides the wire allocation-free, and the frame carries a
+  /// mirror for the fabric's attribution hooks.
   void send(PacketType type, int dst_node, HeaderBufLease hdr, hw::CabAddr payload,
-            std::size_t len, sim::InplaceAction on_sent = {});
+            std::size_t len, sim::InplaceAction on_sent = {}, obs::TraceContext tctx = {});
 
   /// Like send, but over an explicit source route instead of the installed
   /// table entry. The control plane uses this to probe alternate paths
   /// without disturbing the route live traffic takes. `dst_node` is only
   /// recorded for tracing; the route bytes decide where the frame goes.
   void send_via(PacketType type, const hw::RouteRef& route, int dst_node, HeaderBufLease hdr,
-                hw::CabAddr payload, std::size_t len, sim::InplaceAction on_sent = {});
+                hw::CabAddr payload, std::size_t len, sim::InplaceAction on_sent = {},
+                obs::TraceContext tctx = {});
 
   // --- stats ------------------------------------------------------------------------
 

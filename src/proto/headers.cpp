@@ -26,7 +26,7 @@ void DatalinkHeader::serialize(std::span<std::uint8_t> out) const {
   need_out(out, kSize, "DatalinkHeader");
   put8(out, 0, static_cast<std::uint8_t>(type));
   put8(out, 1, src_node);
-  put16(out, 2, length);
+  put16(out, 2, static_cast<std::uint16_t>(length | (traced ? kDatalinkTraceFlag : 0)));
 }
 
 DatalinkHeader DatalinkHeader::parse(std::span<const std::uint8_t> in) {
@@ -34,7 +34,9 @@ DatalinkHeader DatalinkHeader::parse(std::span<const std::uint8_t> in) {
   DatalinkHeader h;
   h.type = static_cast<PacketType>(get8(in, 0));
   h.src_node = get8(in, 1);
-  h.length = get16(in, 2);
+  std::uint16_t l = get16(in, 2);
+  h.traced = (l & kDatalinkTraceFlag) != 0;
+  h.length = l & static_cast<std::uint16_t>(~kDatalinkTraceFlag);
   return h;
 }
 

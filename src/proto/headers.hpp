@@ -53,11 +53,19 @@ enum class PacketType : std::uint8_t {
   NetDev = 5,         ///< raw packets for the network-device usage level (§5.1)
 };
 
+/// Set in the length field's high bit when a 16-byte causal-trace stamp
+/// (obs/span.hpp) follows the datalink header on the wire. The bit is free:
+/// payloads are capped at Datalink::kMaxPayload (16 KiB), so even with the
+/// stamp the length stays well below 0x8000. The type byte carries the full
+/// 8-bit packet type untouched.
+constexpr std::uint16_t kDatalinkTraceFlag = 0x8000;
+
 /// Datalink header: 4 bytes on the wire, in front of every packet.
 struct DatalinkHeader {
   PacketType type = PacketType::Ip;
   std::uint8_t src_node = 0;
   std::uint16_t length = 0;  ///< payload bytes following this header
+  bool traced = false;       ///< trace stamp present between header and payload
 
   static constexpr std::size_t kSize = 4;
   void serialize(std::span<std::uint8_t> out) const;

@@ -4,6 +4,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
@@ -54,10 +55,15 @@ int Ip::node_for(IpAddr dst) const {
 // --- output ---------------------------------------------------------------------
 
 void Ip::output(const OutputInfo& info, HeaderBufLease proto_header, hw::CabAddr payload,
-                std::size_t len, sim::InplaceAction on_sent) {
+                std::size_t len, sim::InplaceAction on_sent, obs::TraceContext tctx) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("ip/output");
   cpu.charge(costs::kIpOutput);
+  if (tctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(tctx, "tx.ip", "node" + std::to_string(dl_.node_id()));
+    }
+  }
 
   IpAddr src = info.src != 0 ? info.src : my_addr_;
   int dst_node = node_for(info.dst);
@@ -86,8 +92,8 @@ void Ip::output(const OutputInfo& info, HeaderBufLease proto_header, hw::CabAddr
     // Common case: a single datagram. Prepend the IP header into the
     // transport's composition buffer — [IP hdr][proto hdr] are contiguous.
     make_header(0, total, false).serialize(proto_header.ensure().push_front(IpHeader::kSize));
-    dl_.send(PacketType::Ip, dst_node, std::move(proto_header), payload, len,
-             std::move(on_sent));
+    dl_.send(PacketType::Ip, dst_node, std::move(proto_header), payload, len, std::move(on_sent),
+             tctx);
     return;
   }
 
@@ -114,21 +120,24 @@ void Ip::output(const OutputInfo& info, HeaderBufLease proto_header, hw::CabAddr
     }
     make_header(off, chunk, more).serialize(hdr.ensure().push_front(IpHeader::kSize));
     ++frag_sent_;
-    dl_.send(PacketType::Ip, dst_node, std::move(hdr), mem, mem_len,
-             [remaining, shared_done] {
-               if (--*remaining == 0 && *shared_done) (*shared_done)();
-             });
+    dl_.send(
+        PacketType::Ip, dst_node, std::move(hdr), mem, mem_len,
+        [remaining, shared_done] {
+          if (--*remaining == 0 && *shared_done) (*shared_done)();
+        },
+        tctx);
   }
 }
 
 void Ip::output_msg(const OutputInfo& info, HeaderBufLease proto_header, core::Message data,
-                    bool free_when_sent) {
+                    bool free_when_sent, obs::TraceContext tctx) {
   core::Mailbox& storage = input_;
   if (free_when_sent) {
-    output(info, std::move(proto_header), data.data, data.len,
-           [&storage, data] { storage.end_get(data); });
+    output(
+        info, std::move(proto_header), data.data, data.len,
+        [&storage, data] { storage.end_get(data); }, tctx);
   } else {
-    output(info, std::move(proto_header), data.data, data.len);
+    output(info, std::move(proto_header), data.data, data.len, {}, tctx);
   }
 }
 
@@ -162,10 +171,19 @@ void Ip::end_of_data(core::Message m, std::uint8_t src_node) {
   auto it = pending_header_ok_.find(m.data);
   bool ok = it != pending_header_ok_.end() && it->second;
   if (it != pending_header_ok_.end()) pending_header_ok_.erase(it);
+  obs::CausalTracer* ct = obs::CausalTracer::active();
+  obs::TraceContext rctx = ct != nullptr ? ct->rx_context() : obs::TraceContext{};
   if (!ok) {
     ++dropped_bad_header_;
+    if (ct != nullptr && rctx.valid()) {
+      ct->annotate(rctx, "drop.ip_header");
+      ct->stage(rctx, "loss.wait", "node" + std::to_string(dl_.node_id()));
+    }
     release(std::move(m));
     return;
+  }
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "rx.ip", "node" + std::to_string(dl_.node_id()));
   }
   IpHeader h = IpHeader::parse(runtime().board().memory().view(m.data, IpHeader::kSize));
   if (h.more_fragments || h.frag_offset != 0) {
@@ -188,6 +206,10 @@ void Ip::deliver(core::Message m, const IpHeader& hdr) {
   }
   ++delivered_;
   NECTAR_TRACE(dl_.runtime().trace_mark("ip.deliver"));
+  if (auto* ct = obs::CausalTracer::active()) {
+    obs::TraceContext rctx = ct->rx_context();
+    if (rctx.valid()) ct->stage(rctx, "mbox.wait", "node" + std::to_string(dl_.node_id()));
+  }
   // §4.1: "This transfer uses the mailbox Enqueue operation, so no data is
   // copied." The IP header stays attached; transports strip it themselves.
   input_.enqueue(m, *it->second);
@@ -266,6 +288,12 @@ void Ip::finish_reassembly(const ReassemblyKey& key, Reassembly& r, const IpHead
   }
   ++reassembled_;
   (void)key;
+  // The reassembled datagram lives at a fresh address: carry the completing
+  // fragment's trace over to it so downstream lookups keep working.
+  if (auto* ct = obs::CausalTracer::active()) {
+    obs::TraceContext rctx = ct->rx_context();
+    if (rctx.valid()) ct->tag(dl_.node_id(), combined->data, combined->len, rctx);
+  }
   deliver(*combined, h);
 }
 

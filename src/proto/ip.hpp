@@ -67,14 +67,15 @@ class Ip : public DatalinkClient {
   /// none; the IP header is prepended into its headroom) ++ payload[0..len)
   /// as one datagram, fragmenting if it exceeds the MTU. `on_sent` runs
   /// (interrupt context) after the last byte of the last fragment has left
-  /// the fiber.
+  /// the fiber. `tctx`, when valid, attributes the datagram (every fragment)
+  /// to that causal trace.
   void output(const OutputInfo& info, HeaderBufLease proto_header, hw::CabAddr payload,
-              std::size_t len, sim::InplaceAction on_sent = {});
+              std::size_t len, sim::InplaceAction on_sent = {}, obs::TraceContext tctx = {});
 
   /// Variant taking a mailbox message as the data area; frees it after
   /// transmission when `free_when_sent` (the paper's flag).
   void output_msg(const OutputInfo& info, HeaderBufLease proto_header, core::Message data,
-                  bool free_when_sent);
+                  bool free_when_sent, obs::TraceContext tctx = {});
 
   // --- DatalinkClient --------------------------------------------------------------
 

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <span>
 
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
@@ -227,7 +228,13 @@ void Tcp::retransmit_head(TcpConnection* c) {
       chunk = std::min<std::size_t>(chunk, c->snd_end_ - c->snd_una_);
       ++c->retransmissions_;
       c->rtt_samples_.clear();  // Karn
-      emit(c, kTcpAck | kTcpPsh, c->snd_una_, item.msg.data + off, chunk);
+      if (item.ctx.valid()) {
+        if (auto* ct = obs::CausalTracer::active()) {
+          ct->annotate(item.ctx, "tcp.retx");
+          ct->stage(item.ctx, "tx.tcp", "node" + std::to_string(ip_.runtime().node_id()));
+        }
+      }
+      emit(c, kTcpAck | kTcpPsh, c->snd_una_, item.msg.data + off, chunk, item.ctx);
       return;
     }
   }
@@ -240,7 +247,7 @@ std::uint16_t Tcp::advertised_window(TcpConnection* c) const {
 }
 
 void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabAddr payload,
-               std::size_t len) {
+               std::size_t len, obs::TraceContext tctx) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("tcp/output");
   cpu.charge(costs::kTcpSegment);
@@ -277,12 +284,18 @@ void Tcp::emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabA
   Ip::OutputInfo info;
   info.dst = c->remote_addr_;
   info.protocol = kProtoTcp;
-  ip_.output(info, std::move(lease), payload, len);
+  ip_.output(info, std::move(lease), payload, len, {}, tctx);
 }
 
-void Tcp::send(TcpConnection* c, core::Message data, bool free_when_acked) {
+void Tcp::send(TcpConnection* c, core::Message data, bool free_when_acked,
+               obs::TraceContext tctx) {
   core::LockGuard g(lock_);
-  c->send_queue_.push_back({data, c->snd_end_, free_when_acked});
+  if (tctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(tctx, "tx.tcp.queue", "node" + std::to_string(ip_.runtime().node_id()));
+    }
+  }
+  c->send_queue_.push_back({data, c->snd_end_, free_when_acked, tctx});
   c->snd_end_ += data.len;
   try_transmit(c);
 }
@@ -344,7 +357,14 @@ void Tcp::try_transmit(TcpConnection* c) {
     chunk = std::min<std::size_t>(chunk, item->msg.len - off);
     c->rtt_samples_.emplace(c->snd_nxt_ + static_cast<std::uint32_t>(chunk),
                             runtime().engine().now());
-    emit(c, kTcpAck | kTcpPsh, c->snd_nxt_, item->msg.data + off, chunk);
+    if (off == 0 && item->ctx.valid()) {
+      // First transmission of a traced message's first segment: close the
+      // window-wait ("tx.tcp.queue") stage.
+      if (auto* ct = obs::CausalTracer::active()) {
+        ct->stage(item->ctx, "tx.tcp", "node" + std::to_string(ip_.runtime().node_id()));
+      }
+    }
+    emit(c, kTcpAck | kTcpPsh, c->snd_nxt_, item->msg.data + off, chunk, item->ctx);
     c->snd_nxt_ += static_cast<std::uint32_t>(chunk);
   }
   if (seq_lt(c->snd_una_, c->snd_nxt_) ||
@@ -457,7 +477,7 @@ void Tcp::on_retransmit_timeout(std::uint32_t conn_id) {
         std::uint32_t off = c->snd_nxt_ - item.seq_lo;
         ++c->retransmissions_;
         c->rtt_samples_.clear();
-        emit(c, kTcpAck, c->snd_nxt_, item.msg.data + off, 1);
+        emit(c, kTcpAck, c->snd_nxt_, item.msg.data + off, 1, item.ctx);
         c->snd_nxt_ += 1;
         break;
       }
@@ -500,6 +520,12 @@ void Tcp::process_segment(core::Message m) {
   core::Cpu& cpu = runtime().cpu();
   hw::CabMemory& mem = runtime().board().memory();
   core::LockGuard g(lock_);
+  obs::CausalTracer* ct = obs::CausalTracer::active();
+  obs::TraceContext rctx = ct != nullptr ? ct->lookup(ip_.runtime().node_id(), m.data)
+                                         : obs::TraceContext{};
+  if (ct != nullptr && rctx.valid()) {
+    ct->stage(rctx, "rx.tcp", "node" + std::to_string(ip_.runtime().node_id()));
+  }
   obs::CostScope scope("tcp/input");
   cpu.charge(costs::kTcpSegment);
   ++segs_rcvd_;
@@ -526,6 +552,10 @@ void Tcp::process_segment(core::Message m) {
     ck.update(mem.view(m.data + IpHeader::kSize, tcp_len));
     if (ck.value() != 0) {
       ++bad_checksum_;
+      if (ct != nullptr && rctx.valid()) {
+        ct->annotate(rctx, "drop.tcp_checksum");
+        ct->stage(rctx, "loss.wait", "node" + std::to_string(ip_.runtime().node_id()));
+      }
       input_.end_get(m);
       return;
     }
@@ -736,6 +766,12 @@ void Tcp::deliver_payload(TcpConnection* c, core::Message payload, std::uint32_t
   }
   if (seq == c->rcv_nxt_) {
     c->rcv_nxt_ += payload.len;
+    if (auto* ct = obs::CausalTracer::active()) {
+      obs::TraceContext rctx = ct->lookup(ip_.runtime().node_id(), payload.data);
+      if (rctx.valid()) {
+        ct->stage(rctx, "mbox.wait", "node" + std::to_string(ip_.runtime().node_id()));
+      }
+    }
     // §4.2: "TCP simply deletes the headers and transfers the packet to the
     // user's receive mailbox using the Enqueue operation."
     input_.enqueue(payload, *c->receive_);
@@ -766,6 +802,12 @@ void Tcp::drain_out_of_order(TcpConnection* c) {
       m = core::Mailbox::adjust_prefix(m, overlap);
     }
     c->rcv_nxt_ += m.len;
+    if (auto* ct = obs::CausalTracer::active()) {
+      obs::TraceContext rctx = ct->lookup(ip_.runtime().node_id(), m.data);
+      if (rctx.valid()) {
+        ct->stage(rctx, "mbox.wait", "node" + std::to_string(ip_.runtime().node_id()));
+      }
+    }
     input_.enqueue(m, *c->receive_);
   }
 }

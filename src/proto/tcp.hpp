@@ -98,6 +98,7 @@ class TcpConnection {
     core::Message msg;
     std::uint32_t seq_lo;  // sequence number of msg byte 0
     bool free_when_acked;
+    obs::TraceContext ctx{};  // causal trace the queued data belongs to
   };
 
   Tcp* tcp_ = nullptr;
@@ -210,7 +211,10 @@ class Tcp {
   /// segmented to the MSS. The message is freed when fully acknowledged if
   /// `free_when_acked`. Callable from any CAB thread (§4.2: "CAB-resident
   /// senders can do this directly without involving the TCP send thread").
-  void send(TcpConnection* c, core::Message data, bool free_when_acked = true);
+  /// `tctx`, when valid, attributes the queued data (every segment carrying
+  /// it, including retransmissions) to that causal trace.
+  void send(TcpConnection* c, core::Message data, bool free_when_acked = true,
+            obs::TraceContext tctx = {});
 
   /// Graceful close (FIN after all queued data).
   void close(TcpConnection* c);
@@ -278,7 +282,7 @@ class Tcp {
 
   // Segment transmission.
   void emit(TcpConnection* c, std::uint8_t flags, std::uint32_t seq, hw::CabAddr payload,
-            std::size_t len);
+            std::size_t len, obs::TraceContext tctx = {});
   void send_rst(IpAddr dst, std::uint16_t dst_port, std::uint16_t src_port, std::uint32_t seq,
                 std::uint32_t ack, bool with_ack);
   void try_transmit(TcpConnection* c);

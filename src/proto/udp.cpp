@@ -5,6 +5,7 @@
 
 #include "proto/icmp.hpp"
 
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "proto/checksum.hpp"
 #include "sim/costs.hpp"
@@ -43,12 +44,17 @@ core::Message Udp::payload_of(core::Message m) {
 }
 
 void Udp::send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core::Message data,
-               bool free_when_sent) {
+               bool free_when_sent, obs::TraceContext tctx) {
   core::Cpu& cpu = ip_.runtime().cpu();
   hw::CabMemory& mem = ip_.runtime().board().memory();
   obs::CostScope scope("udp/output");
   cpu.charge(costs::kUdpOutput);
   ++sent_;
+  if (tctx.valid()) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      ct->stage(tctx, "tx.udp", "node" + std::to_string(ip_.runtime().node_id()));
+    }
+  }
 
   UdpHeader uh;
   uh.src_port = src_port;
@@ -76,14 +82,20 @@ void Udp::send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core:
   Ip::OutputInfo info;
   info.dst = dst;
   info.protocol = kProtoUdp;
-  ip_.output_msg(info, std::move(lease), data, free_when_sent);
+  ip_.output_msg(info, std::move(lease), data, free_when_sent, tctx);
 }
 
 void Udp::server_loop() {
   core::Cpu& cpu = ip_.runtime().cpu();
   hw::CabMemory& mem = ip_.runtime().board().memory();
+  int node = ip_.runtime().node_id();
   for (;;) {
     core::Message m = input_.begin_get();
+    obs::CausalTracer* ct = obs::CausalTracer::active();
+    obs::TraceContext rctx = ct != nullptr ? ct->lookup(node, m.data) : obs::TraceContext{};
+    if (ct != nullptr && rctx.valid()) {
+      ct->stage(rctx, "rx.udp", "node" + std::to_string(node));
+    }
     obs::CostScope scope("udp/input");
     cpu.charge(costs::kUdpInput);
     if (m.len < kHeaderSpace) {
@@ -105,6 +117,10 @@ void Udp::server_loop() {
       c.update(mem.view(m.data + IpHeader::kSize, udp_len));
       if (c.value() != 0) {
         ++dropped_bad_checksum_;
+        if (ct != nullptr && rctx.valid()) {
+          ct->annotate(rctx, "drop.udp_checksum");
+          ct->stage(rctx, "loss.wait", "node" + std::to_string(node));
+        }
         input_.end_get(m);
         continue;
       }
@@ -121,6 +137,9 @@ void Udp::server_loop() {
       continue;
     }
     ++delivered_;
+    if (ct != nullptr && rctx.valid()) {
+      ct->stage(rctx, "mbox.wait", "node" + std::to_string(node));
+    }
     input_.enqueue(m, *it->second);
   }
 }

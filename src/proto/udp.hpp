@@ -27,9 +27,10 @@ class Udp {
 
   /// Send `data` (a message whose bytes are the UDP payload) to dst:port.
   /// The data area is freed once the packet is on the wire when
-  /// `free_when_sent`.
+  /// `free_when_sent`. `tctx`, when valid, attributes the datagram to that
+  /// causal trace.
   void send(std::uint16_t src_port, IpAddr dst, std::uint16_t dst_port, core::Message data,
-            bool free_when_sent = true);
+            bool free_when_sent = true, obs::TraceContext tctx = {});
 
   /// When set, datagrams to unbound ports are answered with an ICMP port
   /// unreachable (type 3 code 3) instead of being dropped silently.

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 
 namespace nectar::route {
@@ -103,6 +104,11 @@ void RouteManager::on_path_dead(int node, int dst, int path, sim::SimTime first_
   // Runs on node's prober thread at detection time, so this spans the whole
   // window the application saw: first missed probe send -> route switched.
   reroute_.observe(net_.engine().now() - first_miss_sent_at);
+  if (auto* ct = obs::CausalTracer::active()) {
+    // Loss stages of node->dst traces overlapping this window are attributed
+    // to rerouting rather than generic retransmit wait.
+    ct->note_reroute(node, dst, first_miss_sent_at, net_.engine().now());
+  }
   net_.runtime(node).trace_mark("route.failover");
 }
 

@@ -138,6 +138,21 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
     spec.profile.folded = s->get("folded", "");
     spec.profile.timeline = s->get("timeline", "");
   }
+  if (const Section* s = cfg.find("tracing")) {
+    check_keys(*s, {"enabled", "sample", "top_k", "max_traces", "artifact"});
+    spec.tracing.enabled = s->get_bool("enabled", spec.tracing.enabled);
+    spec.tracing.sample = s->get_double("sample", spec.tracing.sample);
+    spec.tracing.top_k = s->get_int("top_k", spec.tracing.top_k);
+    spec.tracing.max_traces = s->get_int("max_traces", spec.tracing.max_traces);
+    spec.tracing.artifact = s->get("artifact", "");
+    if (spec.tracing.sample < 0.0 || spec.tracing.sample > 1.0) {
+      throw std::invalid_argument("tracing: sample must be in [0, 1]");
+    }
+    if (spec.tracing.top_k < 0) throw std::invalid_argument("tracing: top_k must be >= 0");
+    if (spec.tracing.max_traces < 0) {
+      throw std::invalid_argument("tracing: max_traces must be >= 0");
+    }
+  }
   for (const Section* s : cfg.all("fault")) {
     check_keys(*s, {"kind", "target", "at", "duration", "jitter", "rate", "count"});
     FaultSpec f;
@@ -170,6 +185,17 @@ Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
     routing_ = std::make_unique<route::RouteManager>(net_, spec_.routing);
     for (int i = 0; i < n; ++i) routing_->attach(i, stack(i).datagram);
     routing_->start();
+  }
+  if (spec_.tracing.enabled) {
+    // Sampling derives from the scenario master seed like every other random
+    // stream; activation makes the process-global instrumentation sites live
+    // for the duration of this Scenario (the destructor deactivates).
+    obs::CausalTracer::Options topt;
+    topt.sample = spec_.tracing.sample;
+    topt.max_traces = static_cast<std::size_t>(spec_.tracing.max_traces);
+    tracer_ = std::make_unique<obs::CausalTracer>(net_.engine(),
+                                                  sim::derive_seed(spec_.seed, "tracing"), topt);
+    tracer_->activate();
   }
   faults_ = std::make_unique<FaultScheduler>(net_, spec_.seed);
   for (const FaultSpec& f : spec_.faults) faults_->schedule(f);
@@ -211,6 +237,13 @@ void Scenario::run() {
   for (auto& p : pcaps_) p->flush();
   if (net_.profiler().enabled() && !spec_.profile.folded.empty()) {
     net_.profiler().write_folded(spec_.profile.folded);
+  }
+  if (tracer_ && !spec_.tracing.artifact.empty()) {
+    obs::CriticalPathAnalyzer cpa(*tracer_);
+    std::ofstream out(spec_.tracing.artifact, std::ios::binary);
+    if (out) {
+      out << cpa.artifact(static_cast<std::size_t>(spec_.tracing.top_k)).dump(2) << '\n';
+    }
   }
 }
 
@@ -271,6 +304,25 @@ obs::RunReport Scenario::report() {
     const std::string p = "fault" + std::to_string(i) + ".";
     rep.add(p + "applied", sim::to_usec(r.applied_at), "us");
     rep.add(p + "drops", static_cast<double>(r.attributed_drops), "count");
+  }
+  if (tracer_) {
+    // Aggregate tail attribution (throws if the cut-point invariant broke —
+    // a tracer bug, never data-dependent).
+    obs::CriticalPathAnalyzer cpa(*tracer_);
+    cpa.report_into(rep);
+    // HUB per-port queue gauges ride along with tracing: where the frames
+    // that made the tail were sitting.
+    for (int h = 0; h < net_.hub_count(); ++h) {
+      hw::Hub& hub = net_.hub(h);
+      for (int p = 0; p < hub.num_ports(); ++p) {
+        if (!hub.port_attached(p)) continue;
+        const std::string pre = "hub." + hub.name() + ".port" + std::to_string(p) + ".";
+        rep.add(pre + "queue_depth", static_cast<double>(hub.output_queue_depth(p)), "frames");
+        rep.add(pre + "queue_highwater", static_cast<double>(hub.output_queue_highwater(p)),
+                "frames");
+        rep.add(pre + "blocked", sim::to_usec(hub.output_blocked_time(p)), "us");
+      }
+    }
   }
   if (spec_.attach_metrics) rep.attach_metrics(net_.metrics().snapshot());
   if (net_.profiler().enabled()) {

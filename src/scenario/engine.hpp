@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "obs/pcap.hpp"
 #include "obs/report.hpp"
 #include "proto/ip.hpp"
@@ -50,6 +51,18 @@ struct ProfileSpec {
   bool enabled() const { return !folded.empty() || !timeline.empty(); }
 };
 
+/// Causal-tracing switches ([tracing] section). Default-off: with
+/// enabled=false no CausalTracer exists, every instrumentation site is one
+/// failed pointer test, no stamp bytes ride the wire, and reports carry no
+/// tailtrace.* rows — so pre-existing scenarios stay byte-identical.
+struct TracingSpec {
+  bool enabled = false;
+  double sample = 0.01;            ///< head-sampling probability per message
+  std::int64_t top_k = 10;         ///< slowest deliveries kept per flow in the artifact
+  std::int64_t max_traces = 4096;  ///< stop starting new traces past this
+  std::string artifact;            ///< tail-trace JSON file ("" = report rows only)
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   std::uint64_t seed = 1;
@@ -68,6 +81,7 @@ struct ScenarioSpec {
   std::vector<FaultSpec> faults;
   std::vector<CaptureSpec> captures;
   ProfileSpec profile;
+  TracingSpec tracing;
 
   /// Build a spec from a parsed config: one [scenario] and [topology]
   /// section, any number of [workload] and [fault] sections (applied in
@@ -101,6 +115,8 @@ class Scenario {
   FaultScheduler& faults() { return *faults_; }
   /// The control plane, or nullptr when [routing] enabled=false.
   route::RouteManager* routing() { return routing_.get(); }
+  /// The causal tracer, or nullptr when [tracing] enabled=false.
+  obs::CausalTracer* causal_tracer() { return tracer_.get(); }
   const std::vector<std::unique_ptr<Workload>>& workloads() const { return workloads_; }
   /// The pcap writers opened for spec().captures, in spec order (tests
   /// inspect packet counts; files flush on Scenario destruction).
@@ -113,6 +129,7 @@ class Scenario {
   net::Network net_;
   std::vector<std::unique_ptr<net::NodeStack>> stacks_;
   std::unique_ptr<route::RouteManager> routing_;
+  std::unique_ptr<obs::CausalTracer> tracer_;
   std::unique_ptr<FaultScheduler> faults_;
   std::vector<std::unique_ptr<Workload>> workloads_;
   std::vector<std::unique_ptr<obs::PcapWriter>> pcaps_;

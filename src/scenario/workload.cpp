@@ -116,7 +116,8 @@ sim::SimTime Workload::exp_draw(sim::Random& rng, double mean_ns) const {
 }
 
 std::optional<core::Message> Workload::stage(int node, core::Mailbox& scratch, std::size_t flow,
-                                             std::uint32_t size, bool blocking) {
+                                             std::uint32_t size, bool blocking,
+                                             obs::TraceContext* tctx) {
   if (size < kHeaderBytes) size = kHeaderBytes;
   std::optional<core::Message> m;
   if (blocking) {
@@ -126,6 +127,13 @@ std::optional<core::Message> Workload::stage(int node, core::Mailbox& scratch, s
     if (!m) return std::nullopt;
   }
   FlowStats& st = flows_[flow];
+  if (tctx != nullptr) {
+    if (auto* ct = obs::CausalTracer::active()) {
+      const Flow& f = flow_defs_[flow];
+      *tctx = ct->maybe_start(spec_.name, f.src, f.dst, st.sent);
+      if (tctx->valid()) ct->stage(*tctx, "tx.app", "node" + std::to_string(f.src));
+    }
+  }
   std::uint8_t hdr[kHeaderBytes];
   pack32(hdr, static_cast<std::uint32_t>(flow_defs_[flow].src));
   pack32(hdr + 4, static_cast<std::uint32_t>(st.sent));
@@ -153,6 +161,12 @@ void Workload::observe_delivery(int node, const core::Message& m) {
   st.latency.observe(now - sent_ns);
   ++st.delivered;
   st.delivered_bytes += m.len;
+  if (auto* ct = obs::CausalTracer::active()) {
+    // The receive buffer was tagged at datalink rx; header stripping only
+    // moved the data pointer forward, so containment lookup still hits.
+    obs::TraceContext ctx = ct->lookup(node, m.data);
+    if (ctx.valid()) ct->finish(ctx);
+  }
 }
 
 void Workload::install() {
@@ -269,30 +283,36 @@ void Workload::closed_user_loop(std::size_t flow, int user) {
   }
   for (;;) {
     std::uint32_t size = pick_size(rng);
-    std::optional<core::Message> m = stage(f.src, scratch, flow, size, /*blocking=*/true);
+    obs::TraceContext tctx;
+    std::optional<core::Message> m = stage(f.src, scratch, flow, size, /*blocking=*/true, &tctx);
     switch (spec_.proto) {
       case Proto::Udp:
-        stack(f.src).udp.send(spec_.port, proto::ip_of_node(f.dst), spec_.port, *m);
+        stack(f.src).udp.send(spec_.port, proto::ip_of_node(f.dst), spec_.port, *m, true, tctx);
         break;
       case Proto::Tcp:
-        stack(f.src).tcp.send(f.conn, *m);
+        stack(f.src).tcp.send(f.conn, *m, true, tctx);
         stack(f.src).tcp.wait_drained(f.conn);
         break;
       case Proto::Datagram:
-        stack(f.src).datagram.send(f.sink, *m);
+        stack(f.src).datagram.send(f.sink, *m, true, 0, tctx);
         break;
       case Proto::Rmp:
-        stack(f.src).rmp.send(f.sink, *m);
+        stack(f.src).rmp.send(f.sink, *m, true, {}, tctx);
         stack(f.src).rmp.wait_acked(f.dst);
         break;
       case Proto::ReqResp: {
         sim::SimTime t0 = net_.engine().now();
         try {
-          core::Message rsp = stack(f.src).reqresp.call(f.sink, *m);
+          core::Message rsp = stack(f.src).reqresp.call(f.sink, *m, true, tctx);
           st.latency.observe(net_.engine().now() - t0);
           ++st.delivered;
           st.delivered_bytes += size;
           scratch.end_get(rsp);
+          // RPC latency is the client-side round trip; close the trace here
+          // rather than at a receive-side observe_delivery.
+          if (tctx.valid()) {
+            if (auto* ct = obs::CausalTracer::active()) ct->finish(tctx);
+          }
         } catch (const std::runtime_error&) {
           ++st.errors;
         }
@@ -332,38 +352,42 @@ bool Workload::open_send_once(std::size_t flow, core::Mailbox& scratch, sim::Ran
       break;
   }
   std::uint32_t size = pick_size(rng);
-  std::optional<core::Message> m = stage(f.src, scratch, flow, size, /*blocking=*/false);
+  obs::TraceContext tctx;
+  std::optional<core::Message> m = stage(f.src, scratch, flow, size, /*blocking=*/false, &tctx);
   if (!m) {
     ++st.shed;  // buffer heap exhausted
     return false;
   }
   switch (spec_.proto) {
     case Proto::Udp:
-      stack(f.src).udp.send(spec_.port, proto::ip_of_node(f.dst), spec_.port, *m);
+      stack(f.src).udp.send(spec_.port, proto::ip_of_node(f.dst), spec_.port, *m, true, tctx);
       break;
     case Proto::Tcp:
-      stack(f.src).tcp.send(f.conn, *m);
+      stack(f.src).tcp.send(f.conn, *m, true, tctx);
       break;
     case Proto::Datagram:
-      stack(f.src).datagram.send(f.sink, *m);
+      stack(f.src).datagram.send(f.sink, *m, true, 0, tctx);
       break;
     case Proto::Rmp:
-      stack(f.src).rmp.send(f.sink, *m);
+      stack(f.src).rmp.send(f.sink, *m, true, {}, tctx);
       break;
     case Proto::ReqResp: {
       f.rpc_outstanding = true;
       core::Message req = *m;
       runtime(f.src).fork_app("wl/" + spec_.name + "/rpc",
-                              [this, flow, size, &scratch, req] {
+                              [this, flow, size, &scratch, req, tctx] {
         Flow& fl = flow_defs_[flow];
         FlowStats& s = flows_[flow];
         sim::SimTime t0 = net_.engine().now();
         try {
-          core::Message rsp = stack(fl.src).reqresp.call(fl.sink, req);
+          core::Message rsp = stack(fl.src).reqresp.call(fl.sink, req, true, tctx);
           s.latency.observe(net_.engine().now() - t0);
           ++s.delivered;
           s.delivered_bytes += size;
           scratch.end_get(rsp);
+          if (tctx.valid()) {
+            if (auto* ct = obs::CausalTracer::active()) ct->finish(tctx);
+          }
         } catch (const std::runtime_error&) {
           ++s.errors;
         }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "net/system.hpp"
+#include "obs/causal.hpp"
 #include "obs/latency.hpp"
 #include "sim/random.hpp"
 
@@ -126,9 +127,13 @@ class Workload {
   sim::SimTime exp_draw(sim::Random& rng, double mean_ns) const;
 
   /// Stage a message with the measurement header in `scratch`; nullopt when
-  /// the buffer heap is exhausted (open-loop shed).
+  /// the buffer heap is exhausted (open-loop shed). When a tracer is active,
+  /// `tctx` (if non-null) receives the head-sampling decision for this
+  /// message — the trace starts here, at the send instant, with a "tx.app"
+  /// stage open.
   std::optional<core::Message> stage(int node, core::Mailbox& scratch, std::size_t flow,
-                                     std::uint32_t size, bool blocking);
+                                     std::uint32_t size, bool blocking,
+                                     obs::TraceContext* tctx = nullptr);
   /// Receiver side: read the header of `m` (already payload-adjusted),
   /// observe latency, credit the sending flow. Safe on short/foreign
   /// payloads (ignored).

@@ -149,6 +149,77 @@ TEST(LatencyHistogramTest, JsonCarriesPercentiles) {
   EXPECT_NEAR(v.find("p999_us")->as_double(), 500.0, 50.0);
 }
 
+TEST(LatencyHistogramTest, MergeEmptyIntoPopulatedIsIdentity) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 200; ++i) h.observe(sim::usec(i));
+  std::string before = h.to_json().dump(0);
+  LatencyHistogram empty;
+  h.merge(empty);
+  EXPECT_EQ(h.to_json().dump(0), before);
+  // And the other direction: empty absorbs the populated one exactly,
+  // including min/max (an empty histogram's zero min must not survive).
+  LatencyHistogram sink;
+  sink.merge(h);
+  EXPECT_EQ(sink.to_json().dump(0), before);
+  EXPECT_EQ(sink.min(), sim::usec(1));
+  EXPECT_EQ(sink.max(), sim::usec(200));
+}
+
+TEST(LatencyHistogramTest, MergeEmptyIntoEmptyStaysEmpty) {
+  LatencyHistogram a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.min(), 0);
+  EXPECT_EQ(a.max(), 0);
+  EXPECT_DOUBLE_EQ(a.p99(), 0.0);
+}
+
+TEST(LatencyHistogramTest, SelfMergeDoublesCountsKeepsQuantiles) {
+  LatencyHistogram h;
+  sim::Random rng(41);
+  for (int i = 0; i < 3000; ++i) {
+    h.observe(static_cast<sim::SimTime>(rng.next_below(sim::msec(10))) + 500);
+  }
+  LatencyHistogram copy = h;
+  double p50 = h.p50(), p99 = h.p99();
+  h.merge(copy);
+  EXPECT_EQ(h.count(), 6000u);
+  EXPECT_EQ(h.sum(), 2 * copy.sum());
+  EXPECT_EQ(h.min(), copy.min());
+  EXPECT_EQ(h.max(), copy.max());
+  // Doubling every bucket's weight leaves every quantile exactly in place.
+  EXPECT_DOUBLE_EQ(h.p50(), p50);
+  EXPECT_DOUBLE_EQ(h.p99(), p99);
+}
+
+TEST(LatencyHistogramTest, MergeSingleBucketHistograms) {
+  LatencyHistogram lo, hi;
+  for (int i = 0; i < 100; ++i) lo.observe(sim::usec(10));
+  for (int i = 0; i < 100; ++i) hi.observe(sim::msec(10));
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 200u);
+  EXPECT_EQ(lo.min(), sim::usec(10));
+  EXPECT_EQ(lo.max(), sim::msec(10));
+  // Half the mass at each end: p50 splits between the two spikes, p90 must
+  // land in the slow spike's bucket.
+  EXPECT_NEAR(lo.p90(), static_cast<double>(sim::msec(10)), 0.10 * sim::msec(10));
+}
+
+TEST(LatencyHistogramTest, QuantilesMonotonicAfterMerge) {
+  LatencyHistogram a, b;
+  sim::Random ra(5), rb(6);
+  for (int i = 0; i < 2000; ++i) {
+    a.observe(static_cast<sim::SimTime>(ra.next_below(sim::usec(300))) + 256);
+    b.observe(static_cast<sim::SimTime>(rb.next_below(sim::msec(30))) + 256);
+  }
+  a.merge(b);
+  EXPECT_LE(a.p50(), a.p90());
+  EXPECT_LE(a.p90(), a.p99());
+  EXPECT_LE(a.p99(), a.p999());
+  EXPECT_GE(a.p50(), static_cast<double>(a.min()));
+  EXPECT_LE(a.p999(), static_cast<double>(a.max()));
+}
+
 TEST(LatencyHistogramTest, DeterministicAcrossRuns) {
   auto run = [] {
     LatencyHistogram h;

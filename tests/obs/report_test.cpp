@@ -45,6 +45,33 @@ TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_THROW(json::Value::parse("'single'"), std::runtime_error);
 }
 
+// Regression lock on json::escape: each escape class renders exactly as the
+// JSON grammar requires, and hostile strings survive a report round trip.
+TEST(Json, EscapeCoversEveryHostileClass) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json::escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json::escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json::escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(json::escape(std::string_view("a\x1f z", 4)), "a\\u001f z");
+  // Already-escaped input is data, not markup: it escapes again.
+  EXPECT_EQ(json::escape("a\\nb"), "a\\\\nb");
+}
+
+TEST(Report, HostileStringsSurviveRoundTrip) {
+  const std::string hostile = "wl \"a\\b\"\nline2\ttab\x02";
+  RunReport r("escape-check");
+  r.param("label", hostile);
+  r.add(hostile + ".p99", 1.25, "us");
+  json::Value doc = json::Value::parse(r.to_json_string());
+  EXPECT_EQ(doc.find("params")->find("label")->as_string(), hostile);
+  const json::Value& row = doc.find("results")->at(0);
+  EXPECT_EQ(row.find("name")->as_string(), hostile + ".p99");
+  EXPECT_DOUBLE_EQ(row.find("value")->as_double(), 1.25);
+}
+
 TEST(Report, VersionedSchemaWithParamsAndResults) {
   RunReport r("table1-latency");
   r.param("message_bytes", 64);

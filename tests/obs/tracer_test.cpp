@@ -113,6 +113,56 @@ TEST(Tracer, ChromeJsonRoundTrip) {
   EXPECT_DOUBLE_EQ(end.find("ts")->as_double(), 2.75);
 }
 
+// Regression lock on string escaping: track and event names with every
+// JSON-hostile character class (quotes, backslashes, control bytes,
+// newlines/tabs) must survive export -> strict parse unchanged. A missed
+// escape either throws in parse or comes back mangled.
+TEST(Tracer, ChromeExportEscapesHostileNames) {
+  const std::string hostile = "q\"uote b\\ackslash nl\n tab\t cr\r ctl\x01\x1f end";
+  sim::Engine e;
+  Tracer t(e);
+  t.set_enabled(true);
+  int tr = t.track("node\"0\\", "cpu\nrow");
+  t.begin_at(tr, hostile, 100);
+  t.end_at(tr, hostile, 200);
+
+  json::Value doc = json::Value::parse(t.chrome_json());
+  const json::Value* evs = doc.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  // Metadata rows carry the hostile track names.
+  EXPECT_EQ(evs->at(0).find("args")->find("name")->as_string(), "node\"0\\");
+  EXPECT_EQ(evs->at(1).find("args")->find("name")->as_string(), "cpu\nrow");
+  // Payload events carry the hostile span name.
+  EXPECT_EQ(evs->at(2).find("name")->as_string(), hostile);
+  EXPECT_EQ(evs->at(3).find("name")->as_string(), hostile);
+}
+
+// A run that stops mid-flight (scenario duration horizon with server
+// threads scheduled in) leaves Begin spans open; the export must close
+// them LIFO at the last recorded timestamp so B/E pairs balance.
+TEST(Tracer, ChromeExportClosesDanglingSpans) {
+  sim::Engine e;
+  Tracer t(e);
+  t.set_enabled(true);
+  int cpu = t.track("node0", "cab.cpu");
+  t.begin_at(cpu, "outer", 100);
+  t.begin_at(cpu, "inner", 200);
+  t.instant_at(cpu, "tick", 900);  // last event sets the closing timestamp
+
+  json::Value doc = json::Value::parse(t.chrome_json());
+  const json::Value* evs = doc.find("traceEvents");
+  ASSERT_NE(evs, nullptr);
+  ASSERT_EQ(evs->size(), 2u + 3u + 2u);  // metadata + payload + synthetic ends
+  const json::Value& e1 = evs->at(5);
+  const json::Value& e2 = evs->at(6);
+  EXPECT_EQ(e1.find("ph")->as_string(), "E");
+  EXPECT_EQ(e1.find("name")->as_string(), "inner");  // LIFO: inner closes first
+  EXPECT_DOUBLE_EQ(e1.find("ts")->as_double(), 0.9);
+  EXPECT_EQ(e2.find("ph")->as_string(), "E");
+  EXPECT_EQ(e2.find("name")->as_string(), "outer");
+  EXPECT_DOUBLE_EQ(e2.find("ts")->as_double(), 0.9);
+}
+
 TEST(Tracer, ChromeExportIsByteDeterministic) {
   auto build = [](sim::Engine& e) {
     Tracer t(e);

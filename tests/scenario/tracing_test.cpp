@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "obs/causal.hpp"
+#include "obs/json.hpp"
+#include "scenario/engine.hpp"
+
+namespace nectar::scenario {
+namespace {
+
+// Scenario-level contract for [tracing] (docs/OBSERVABILITY.md): with
+// tracing enabled, a full run produces traces whose stage timelines tile the
+// end-to-end latency exactly, the artifact and report are deterministic in
+// (spec, seed), and with tracing disabled the report is byte-identical to a
+// spec with no [tracing] section at all.
+
+ScenarioSpec traced_spec(std::uint64_t seed, const std::string& tracing_section) {
+  ScenarioSpec spec = ScenarioSpec::from_config(Config::parse_string(R"(
+[scenario]
+name = trc
+duration = 200ms
+
+[topology]
+kind = star
+nodes = 4
+
+[workload]
+name = udp
+proto = udp
+mode = open
+users = 8
+rate = 40
+size_min = 64
+size_max = 512
+
+[workload]
+name = tcp
+proto = tcp
+mode = closed
+users = 2
+think = 2ms
+size = 256
+stride = 2
+)" + tracing_section));
+  spec.seed = seed;
+  return spec;
+}
+
+const char* kTracingOn = R"(
+[tracing]
+enabled = true
+sample = 0.5
+top_k = 4
+)";
+
+TEST(ScenarioTracingTest, InvariantHoldsOverFullScenario) {
+  Scenario sc(traced_spec(31, kTracingOn));
+  sc.run();
+  obs::CausalTracer* t = sc.causal_tracer();
+  ASSERT_NE(t, nullptr);
+  EXPECT_GT(t->started(), 0u);
+  EXPECT_GT(t->finished_count(), 0u);
+  EXPECT_EQ(t->overflowed(), 0u);
+  obs::CriticalPathAnalyzer cpa(*t);
+  EXPECT_EQ(cpa.verify(), "") << "stage durations must tile e2e latency exactly";
+  // report() routes through report_into, which throws on violation.
+  EXPECT_NO_THROW(sc.report());
+}
+
+TEST(ScenarioTracingTest, ArtifactAndReportDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Scenario sc(traced_spec(seed, kTracingOn));
+    sc.run();
+    obs::CriticalPathAnalyzer cpa(*sc.causal_tracer());
+    return std::make_pair(cpa.artifact(4).dump(2), sc.report().to_json_string());
+  };
+  auto [art_a, rep_a] = run(31);
+  auto [art_b, rep_b] = run(31);
+  EXPECT_EQ(art_a, art_b) << "same (spec, seed) must give a byte-identical artifact";
+  EXPECT_EQ(rep_a, rep_b);
+  auto [art_c, rep_c] = run(32);
+  EXPECT_NE(art_a, art_c);
+}
+
+TEST(ScenarioTracingTest, ReportCarriesAttributionAndHubGauges) {
+  Scenario sc(traced_spec(31, kTracingOn));
+  sc.run();
+  obs::json::Value doc = obs::json::Value::parse(sc.report().to_json_string());
+  std::vector<std::string> names;
+  for (const obs::json::Value& row : doc.find("results")->items()) {
+    names.push_back(row.find("name")->as_string());
+  }
+  auto has = [&names](const std::string& n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("tailtrace.traces.started"));
+  EXPECT_TRUE(has("tailtrace.traces.finished"));
+  for (const char* cls : {"queueing", "serialization", "switching", "dma", "mailbox",
+                          "proto", "retransmit", "reroute", "app"}) {
+    EXPECT_TRUE(has(std::string("tailtrace.tail.") + cls + "_us")) << cls;
+    EXPECT_TRUE(has(std::string("tailtrace.tail.") + cls + "_share")) << cls;
+  }
+  // Per-port HUB queue gauges export only when tracing is on.
+  EXPECT_TRUE(has("hub.hub0.port0.queue_depth"));
+  EXPECT_TRUE(has("hub.hub0.port0.queue_highwater"));
+  EXPECT_TRUE(has("hub.hub0.port0.blocked"));
+}
+
+TEST(ScenarioTracingTest, DisabledTracingLeavesReportUntouched) {
+  Scenario plain(traced_spec(31, ""));
+  plain.run();
+  Scenario off(traced_spec(31, "\n[tracing]\nenabled = false\nsample = 0.5\n"));
+  off.run();
+  EXPECT_EQ(off.causal_tracer(), nullptr);
+  EXPECT_EQ(plain.report().to_json_string(), off.report().to_json_string())
+      << "a disabled [tracing] section must not perturb the run";
+  EXPECT_EQ(plain.report().to_json_string().find("tailtrace"), std::string::npos);
+}
+
+TEST(ScenarioTracingTest, ConfigValidation) {
+  EXPECT_THROW(traced_spec(1, "\n[tracing]\nenabled = true\nsample = 1.5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(traced_spec(1, "\n[tracing]\nenabled = true\ntop_k = -1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(traced_spec(1, "\n[tracing]\nsampel = 0.5\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nectar::scenario
