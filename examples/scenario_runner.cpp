@@ -4,13 +4,15 @@
 // fault-attributed loss. The run is a pure function of (config, seed): two
 // invocations with the same inputs produce byte-identical --json reports.
 //
-//   scenario_runner <config.ini> [--seed N] [--duration D] [--json <path>]
-//                   [--trace <path>] [--profile <path>]
+//   scenario_runner <config.ini> [--seed N] [--duration D] [--shards N]
+//                   [--json <path>] [--trace <path>] [--profile <path>]
 //
-// --seed and --duration override the [scenario] section, so one config file
-// serves as a family of experiments. --trace and --profile match the bench
-// binaries' flags: --trace writes a Chrome trace-event timeline of the run,
-// --profile enables the cycle-attribution profiler and writes folded stacks
+// --seed, --duration and --shards override the [scenario]/[parallel]
+// sections, so one config file serves as a family of experiments (--shards
+// is how the CI determinism gates run one config at several shard counts).
+// --trace and --profile match the bench binaries' flags: --trace writes a
+// Chrome trace-event timeline of the run (single-shard only), --profile
+// enables the cycle-attribution profiler and writes folded stacks
 // (equivalent to setting [profile] folded in the config).
 
 #include <cstdio>
@@ -25,8 +27,8 @@ namespace {
 
 void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <config.ini> [--seed N] [--duration D] [--json <path>]\n"
-               "       [--trace <path>] [--profile <path>]\n",
+               "usage: %s <config.ini> [--seed N] [--duration D] [--shards N]\n"
+               "       [--json <path>] [--trace <path>] [--profile <path>]\n",
                argv0);
   std::exit(2);
 }
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string seed_override;
   std::string duration_override;
+  std::string shards_override;
   std::string trace_path;
   std::string profile_path;
   for (int i = 1; i < argc; ++i) {
@@ -50,6 +53,8 @@ int main(int argc, char** argv) {
       seed_override = argv[++i];
     } else if (a == "--duration" && i + 1 < argc) {
       duration_override = argv[++i];
+    } else if (a == "--shards" && i + 1 < argc) {
+      shards_override = argv[++i];
     } else if (a == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (a == "--profile" && i + 1 < argc) {
@@ -71,7 +76,19 @@ int main(int argc, char** argv) {
     if (!duration_override.empty()) {
       spec.duration = scenario::parse_time(duration_override);
     }
+    if (!shards_override.empty()) {
+      spec.parallel.shards = std::atoi(shards_override.c_str());
+      if (spec.parallel.shards < 1) {
+        std::fprintf(stderr, "error: --shards wants an integer >= 1\n");
+        return 2;
+      }
+    }
     if (!profile_path.empty()) spec.profile.folded = profile_path;
+    if (!trace_path.empty() && spec.parallel.shards > 1) {
+      std::fprintf(stderr, "error: --trace needs a single-shard run (the Chrome-trace "
+                           "tracer records into one shared event list)\n");
+      return 2;
+    }
 
     std::printf("scenario %s: %d nodes (%s), %zu workload(s), %zu fault(s), seed %llu\n",
                 spec.name.c_str(), spec.topology.nodes,

@@ -22,12 +22,30 @@ FrameSink* Hub::input(int port) {
   return inputs_[static_cast<std::size_t>(port)].get();
 }
 
-void Hub::attach_output(int port, FrameSink* sink, sim::SimTime propagation) {
+void Hub::attach_output(int port, FrameSink* sink, sim::SimTime propagation, bool defer_offer) {
   if (port < 0 || port >= num_ports()) throw std::out_of_range("Hub::attach_output: bad port");
   OutputPort& out = outputs_[static_cast<std::size_t>(port)];
   out.sink = sink;
   out.propagation = propagation;
+  out.defer_offer = defer_offer;
   sink->set_drain_notify([this, port] { on_output_drain(port); });
+}
+
+void Hub::attach_output_remote(int port, FrameSink* sink, sim::SimTime propagation,
+                               sim::Engine& remote, std::uint64_t cross_key) {
+  if (port < 0 || port >= num_ports())
+    throw std::out_of_range("Hub::attach_output_remote: bad port");
+  if (propagation <= 0)
+    throw std::invalid_argument(
+        "Hub::attach_output_remote: cross-shard propagation must be positive (it is the "
+        "synchronization lookahead)");
+  OutputPort& out = outputs_[static_cast<std::size_t>(port)];
+  out.sink = sink;
+  out.propagation = propagation;
+  out.remote = &remote;
+  out.cross_key = cross_key;
+  // No drain notify: HUB inputs always accept, so a remote trunk never
+  // blocks and needs no cross-shard backpressure callback.
 }
 
 bool Hub::open_circuit(int in, int out) {
@@ -189,9 +207,34 @@ void Hub::try_forward(int out_port) {
     try_forward(out_port);
   });
 
+  if (o.remote != nullptr) {
+    // Shard boundary. The local path (below) schedules delivery when the
+    // first byte *leaves* (out_first) and lets the sink see future byte
+    // times; across shards that would put an event on the remote queue at
+    // the present instant, collapsing the lookahead to zero. Instead the
+    // offer itself is posted at the frame's first-byte arrival time — the
+    // earliest simulated instant the remote shard can observe it — which
+    // is >= now + propagation, the bound the window barrier relies on.
+    FrameSink* sink = o.sink;
+    sim::SimTime first = out_first + o.propagation;
+    sim::SimTime last = out_last + o.propagation;
+    engine_.send_cross(
+        *o.remote, first,
+        sim::Engine::Action([sink, first, last, fr = std::move(qf.frame)]() mutable {
+          sink->offer(std::move(fr), first, last);  // HUB inputs always accept
+        }),
+        o.cross_key, o.cross_seq++);
+    return;
+  }
+
   o.delivering.push_back(
       Delivering{std::move(qf.frame), out_first + o.propagation, out_last + o.propagation});
-  engine_.schedule_at(out_first, [this, out_port] { deliver_front(out_port); });
+  // defer_offer: the sink hears about the frame when its first byte arrives
+  // (matching the cross-shard path) instead of when it departs. out_first is
+  // non-decreasing per port, so the Delivering FIFO order is preserved
+  // either way.
+  engine_.schedule_at(o.defer_offer ? out_first + o.propagation : out_first,
+                      [this, out_port] { deliver_front(out_port); });
 }
 
 void Hub::deliver_front(int out_port) {

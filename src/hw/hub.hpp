@@ -37,8 +37,30 @@ class Hub {
 
   /// Attach the element downstream of output `port` (a CAB input FIFO or
   /// another HUB's input port). `propagation` models the fiber segment.
+  /// `defer_offer` moves the downstream offer from the first byte's
+  /// *departure* (the sequential simulator's virtual cut-through shortcut,
+  /// where the sink reacts to byte times still in flight) to its *arrival*
+  /// (out_first + propagation) — the same instant a cross-shard trunk
+  /// delivers at. net::Network sets it on every same-shard trunk of a
+  /// sharded run so all trunks share one arrival discipline regardless of
+  /// which ones cross shards; the sink must then be a HUB input (always
+  /// accepts). Single-shard networks leave it false, preserving the
+  /// legacy event order bit for bit.
   void attach_output(int port, FrameSink* sink,
-                     sim::SimTime propagation = sim::costs::kLinkPropagation);
+                     sim::SimTime propagation = sim::costs::kLinkPropagation,
+                     bool defer_offer = false);
+
+  /// Attach a downstream element that lives on another simulation shard
+  /// (`remote` is that shard's engine). The sink must be a HUB input port —
+  /// those always accept, so no backpressure state crosses the boundary.
+  /// Forwarded frames are posted through the cross-shard mailbox at their
+  /// first-byte *arrival* time (out_first + propagation), which is what
+  /// guarantees the coordinator's lookahead: a frame leaving now can touch
+  /// the remote shard no earlier than now + propagation. `cross_key`
+  /// deterministically identifies this output in the mailbox drain order;
+  /// callers (net::Network) derive it from (hub id, port).
+  void attach_output_remote(int port, FrameSink* sink, sim::SimTime propagation,
+                            sim::Engine& remote, std::uint64_t cross_key);
 
   /// Circuit switching: reserve output `out` for input `in`. Frames arriving
   /// on `in` with an exhausted route are forwarded over the circuit without
@@ -107,6 +129,10 @@ class Hub {
   struct OutputPort {
     FrameSink* sink = nullptr;
     sim::SimTime propagation = 0;
+    bool defer_offer = false;         // offer at first-byte arrival, not departure
+    sim::Engine* remote = nullptr;    // non-null: sink lives on this shard
+    std::uint64_t cross_key = 0;      // mailbox ordering identity
+    std::uint64_t cross_seq = 0;      // per-output post counter
     std::deque<QueuedFrame> queue;
     std::deque<Delivering> delivering;  // in first-byte order
     std::size_t highwater = 0;

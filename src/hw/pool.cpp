@@ -5,7 +5,7 @@
 namespace nectar::hw {
 
 BufferPool& BufferPool::payloads() {
-  static BufferPool pool;
+  static thread_local BufferPool pool;
   return pool;
 }
 

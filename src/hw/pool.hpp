@@ -9,8 +9,11 @@
 // purely a host-side optimization: simulated times and bytes are unaffected,
 // so results stay bit-for-bit identical.
 //
-// The simulation is single-OS-threaded, so a process-wide pool shared by all
-// nodes (frames cross node boundaries anyway) needs no locking.
+// Each OS thread (one per simulation shard) gets its own pool, so no
+// locking is needed: a shard's frames recycle through its worker's pool.
+// Frames that cross shards retire into the receiving shard's free list —
+// vectors migrate between pools, which is harmless (a pool is just a cache
+// of spare capacity) and keeps both acquire and release lock-free.
 
 #include <cstdint>
 #include <initializer_list>
@@ -28,7 +31,8 @@ namespace nectar::hw {
 /// Free list of recycled byte vectors. Use through PooledBytes.
 class BufferPool {
  public:
-  /// The process-wide pool frame payloads circulate through.
+  /// This thread's pool frame payloads circulate through (thread_local:
+  /// one per shard worker; the main thread has its own for build time).
   static BufferPool& payloads();
 
   /// A vector of exactly `n` bytes (zero-filled when freshly grown).

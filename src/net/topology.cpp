@@ -8,41 +8,67 @@
 
 namespace nectar::net {
 
-Network::Network() : trace_(engine_) {}
+Network::Network(int shards)
+    : par_(std::make_unique<sim::ParallelEngine>(shards)),
+      trace_(par_->shard(0)),
+      tracer_(par_->shard(0)) {
+  if (shards > 1) {
+    // The debug TraceRecorder appends to one shared vector from every mark()
+    // site; it is a single-shard tool. Default it off so instrumented code
+    // paths on worker threads reduce to one branch (scenario validation
+    // additionally rejects configs that would re-enable it).
+    trace_.set_enabled(false);
+  }
+}
 
 void Network::register_substrate_metrics() {
   // Event-queue/pool stats report under node -1. Opt-in rather than always
   // on: committed bench reports snapshot the registry, and the substrate's
   // host-side pool counters are not part of the simulated results those
-  // reports track. The process-wide byte pools (hw::BufferPool,
+  // reports track. The per-thread byte pools (hw::BufferPool,
   // proto::HeaderBufPool) additionally span Networks, so auto-registering
   // them would break the guarantee that identical runs snapshot
   // byte-identically.
-  engine_.register_metrics(metrics_reg_);
-  hw::BufferPool::payloads().register_metrics(metrics_reg_, "hw.framepool");
-  proto::HeaderBufPool::instance().register_metrics(metrics_reg_, "proto.hdrpool");
+  if (shard_count() == 1) {
+    engine().register_metrics(metrics_reg_);
+    hw::BufferPool::payloads().register_metrics(metrics_reg_, "hw.framepool");
+    proto::HeaderBufPool::instance().register_metrics(metrics_reg_, "proto.hdrpool");
+  } else {
+    // Per-shard engines report through the coordinator; the byte pools are
+    // thread_local to the worker threads and unreachable (and empty) here.
+    par_->register_metrics(metrics_reg_);
+  }
   for (const auto& h : hubs_) h->register_metrics(metrics_reg_);
 }
 
-int Network::add_hub(int ports) {
+int Network::add_hub(int ports, int shard) {
   int id = static_cast<int>(hubs_.size());
-  hubs_.push_back(std::make_unique<hw::Hub>(engine_, "hub" + std::to_string(id), ports));
+  int s = shard < 0 ? id % shard_count() : shard;
+  if (s >= shard_count())
+    throw std::out_of_range("Network::add_hub: shard " + std::to_string(s) + " out of range");
+  hub_shard_.push_back(s);
+  hubs_.push_back(
+      std::make_unique<hw::Hub>(par_->shard(s), "hub" + std::to_string(id), ports));
   return id;
 }
 
 int Network::add_cab(int hub_id, int port, bool with_vme) {
   if (hub_id < 0 || hub_id >= hub_count()) throw std::out_of_range("Network::add_cab: bad hub");
   int node = static_cast<int>(cabs_.size());
+  // The CAB inherits its HUB's shard: board, VME bus, runtime fibers and
+  // the access link all schedule on this engine, so everything but trunk
+  // crossings stays shard-local.
+  sim::Engine& eng = hub_engine(hub_id);
   auto cn = std::make_unique<CabNode>();
   std::string node_proc = "node" + std::to_string(node);
   if (with_vme) {
-    cn->vme = std::make_unique<hw::VmeBus>(engine_, "vme" + std::to_string(node));
+    cn->vme = std::make_unique<hw::VmeBus>(eng, "vme" + std::to_string(node));
     cn->vme->attach_tracer(&tracer_, tracer_.track(node_proc, "vme"));
     cn->vme->attach_profiler(&profiler_);
     cn->vme->register_metrics(metrics_reg_, node);
   }
   cn->board =
-      std::make_unique<hw::CabBoard>(engine_, "cab" + std::to_string(node), node, cn->vme.get());
+      std::make_unique<hw::CabBoard>(eng, "cab" + std::to_string(node), node, cn->vme.get());
   cn->board->dma().attach_profiler(&profiler_, node_proc + ".dma");
   cn->rt = std::make_unique<core::CabRuntime>(*cn->board, &trace_, &metrics_, &tracer_);
   cn->rt->cpu().attach_profiler(&profiler_);
@@ -62,36 +88,86 @@ int Network::add_cab(int hub_id, int port, bool with_vme) {
   return node;
 }
 
-void Network::link_hubs(int hub_a, int port_a, int hub_b, int port_b) {
+void Network::link_hubs(int hub_a, int port_a, int hub_b, int port_b, sim::SimTime propagation) {
   hw::Hub& a = hub(hub_a);
   hw::Hub& b = hub(hub_b);
-  a.attach_output(port_a, b.input(port_b));
-  b.attach_output(port_b, a.input(port_a));
-  trunks_.push_back({hub_a, port_a, hub_b, port_b});
+  int sa = hub_shard(hub_a);
+  int sb = hub_shard(hub_b);
+  if (sa == sb) {
+    // On a sharded network even same-shard trunks defer their downstream
+    // offer to first-byte arrival, so every trunk in the system follows one
+    // arrival discipline no matter which ones happen to cross shards —
+    // otherwise a HUB fed by a mix of local (offer-at-departure) and remote
+    // (offer-at-arrival) trunks would resolve contention differently at
+    // different shard counts. A single-shard network keeps the legacy
+    // departure-time offers, bit-identical to the sequential simulator.
+    bool defer = shard_count() > 1;
+    a.attach_output(port_a, b.input(port_b), propagation, defer);
+    b.attach_output(port_b, a.input(port_a), propagation, defer);
+  } else {
+    // Shard boundary: frames posted through the coordinator mailbox. The
+    // trunk's flight time is the only simulated delay separating the two
+    // shards, so it must be positive — a zero here would mean zero
+    // lookahead and the conservative windows could never advance. Fail at
+    // wiring time, loudly, instead of deadlocking (or corrupting causality)
+    // at run time.
+    if (propagation <= 0)
+      throw std::invalid_argument(
+          "Network::link_hubs: trunk hub" + std::to_string(hub_a) + "<->hub" +
+          std::to_string(hub_b) +
+          " crosses shards with propagation <= 0; cross-shard trunks need positive "
+          "propagation (it bounds the synchronization lookahead)");
+    // cross_key encodes (hub, port): a stable identity for deterministic
+    // mailbox draining, unique per trunk direction.
+    auto key = [](int h, int p) {
+      return (static_cast<std::uint64_t>(h) << 16) | static_cast<std::uint64_t>(p);
+    };
+    a.attach_output_remote(port_a, b.input(port_b), propagation, hub_engine(hub_b),
+                           key(hub_a, port_a));
+    b.attach_output_remote(port_b, a.input(port_a), propagation, hub_engine(hub_a),
+                           key(hub_b, port_b));
+    sim::SimTime l = par_->lookahead();
+    if (l == 0 || propagation < l) par_->set_lookahead(propagation);
+  }
+  trunks_.push_back({hub_a, port_a, hub_b, port_b, propagation});
 }
 
-std::vector<std::uint8_t> Network::compute_route(int src, int dst) const {
-  const CabNode& s = *cabs_.at(static_cast<std::size_t>(src));
-  const CabNode& d = *cabs_.at(static_cast<std::size_t>(dst));
-  if (s.hub == d.hub) {
-    return {static_cast<std::uint8_t>(d.port)};
+const std::vector<std::uint8_t>& Network::hub_path(int src_hub, int dst_hub) const {
+  auto [it, inserted] = hub_path_cache_.try_emplace({src_hub, dst_hub});
+  if (!inserted) return it->second;
+  // BFS over the HUB graph; remember (trunk output port) per step. Same
+  // traversal order as the original per-CAB-pair search, so the cached
+  // bytes are identical — the cache only removes the O(pairs) recompute.
+  //
+  // With route spreading on, the trunk scan starts at a hash of the hub
+  // pair instead of index 0, rotating which equal-length path wins the BFS
+  // tie-break (on a fat-tree: which spine carries this pair). The route is
+  // still a pure function of (src_hub, dst_hub) — nothing about shard
+  // count, seed, or query order feeds the hash — so reports stay invariant
+  // across shard counts and byte-deterministic per run.
+  std::size_t scan_start = 0;
+  if (route_spread_ && !trunks_.empty()) {
+    std::uint64_t h = static_cast<std::uint64_t>(src_hub) * 0x9E3779B97F4A7C15ull;
+    h ^= static_cast<std::uint64_t>(dst_hub) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    h ^= h >> 33;
+    scan_start = static_cast<std::size_t>(h % trunks_.size());
   }
-  // BFS over the HUB graph; remember (trunk output port) per step.
   struct Step {
     int hub;
     std::vector<std::uint8_t> route;
   };
-  std::deque<Step> frontier{{s.hub, {}}};
+  std::deque<Step> frontier{{src_hub, {}}};
   std::vector<bool> visited(hubs_.size(), false);
-  visited[static_cast<std::size_t>(s.hub)] = true;
+  visited[static_cast<std::size_t>(src_hub)] = true;
   while (!frontier.empty()) {
     Step cur = std::move(frontier.front());
     frontier.pop_front();
-    if (cur.hub == d.hub) {
-      cur.route.push_back(static_cast<std::uint8_t>(d.port));
-      return cur.route;
+    if (cur.hub == dst_hub) {
+      it->second = std::move(cur.route);
+      return it->second;
     }
-    for (const Trunk& t : trunks_) {
+    for (std::size_t k = 0; k < trunks_.size(); ++k) {
+      const Trunk& t = trunks_[(scan_start + k) % trunks_.size()];
       if (t.hub_a == cur.hub && !visited[static_cast<std::size_t>(t.hub_b)]) {
         visited[static_cast<std::size_t>(t.hub_b)] = true;
         Step next{t.hub_b, cur.route};
@@ -106,8 +182,20 @@ std::vector<std::uint8_t> Network::compute_route(int src, int dst) const {
       }
     }
   }
-  throw std::logic_error("Network: no route between CABs " + std::to_string(src) + " and " +
-                         std::to_string(dst));
+  hub_path_cache_.erase(it);
+  throw std::logic_error("Network: no route between hub " + std::to_string(src_hub) + " and " +
+                         std::to_string(dst_hub));
+}
+
+std::vector<std::uint8_t> Network::compute_route(int src, int dst) const {
+  const CabNode& s = *cabs_.at(static_cast<std::size_t>(src));
+  const CabNode& d = *cabs_.at(static_cast<std::size_t>(dst));
+  if (s.hub == d.hub) {
+    return {static_cast<std::uint8_t>(d.port)};
+  }
+  std::vector<std::uint8_t> r = hub_path(s.hub, d.hub);
+  r.push_back(static_cast<std::uint8_t>(d.port));
+  return r;
 }
 
 const hw::RouteRef& Network::route_ref(int src, int dst) const {

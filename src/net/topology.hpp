@@ -3,6 +3,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -13,6 +14,7 @@
 #include "hw/vme.hpp"
 #include "proto/datalink.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 #include "sim/trace.hpp"
 
 namespace nectar::net {
@@ -21,14 +23,42 @@ namespace nectar::net {
 /// CABs on HUB ports (paper §2, Figure 1). Computes the source routes the
 /// CABs use (§2.1) with a BFS over the HUB graph and installs them in every
 /// datalink.
+///
+/// Sharding: the network owns a sim::ParallelEngine with `shards` engines.
+/// Every HUB is assigned to a shard (round-robin by default, or explicitly
+/// via add_hub); a CAB — its board, VME bus, runtime, fibers — lives on its
+/// HUB's shard, so all intra-pod traffic stays on one engine. Trunks
+/// between HUBs on different shards become explicit shard-boundary sends
+/// (hw::Hub::attach_output_remote), and the minimum propagation over those
+/// trunks is the coordinator's lookahead. A cross-shard trunk with zero
+/// propagation would make the lookahead zero, so link_hubs rejects it.
+/// With shards == 1 (the default) everything degenerates to the sequential
+/// simulator: one engine, no threads, byte-identical results.
 class Network {
  public:
-  Network();
+  Network() : Network(1) {}
+  /// `shards` >= 1 parallel shards. HUBs default to shard (id % shards).
+  explicit Network(int shards);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  sim::Engine& engine() { return engine_; }
+  /// Shard 0's engine. With one shard this is *the* engine; with more it is
+  /// still the conventional home for network-global bookkeeping created
+  /// before the run (fault arming, causal tracer), but per-node event flow
+  /// must use engine_of_node()/hub_engine().
+  sim::Engine& engine() { return par_->shard(0); }
+  sim::ParallelEngine& parallel() { return *par_; }
+  int shard_count() const { return par_->shard_count(); }
+  /// Minimum cross-shard trunk propagation (ns); 0 when no trunk crosses
+  /// shards (single shard or single HUB).
+  sim::SimTime lookahead() const { return par_->lookahead(); }
+
+  int hub_shard(int hub_id) const { return hub_shard_.at(static_cast<std::size_t>(hub_id)); }
+  sim::Engine& hub_engine(int hub_id) { return par_->shard(hub_shard(hub_id)); }
+  int node_shard(int node) const { return hub_shard(cab_hub(node)); }
+  sim::Engine& engine_of_node(int node) { return par_->shard(node_shard(node)); }
+
   sim::TraceRecorder& trace() { return trace_; }
 
   /// Network-wide observability: every node's stats report into one registry,
@@ -43,22 +73,28 @@ class Network {
   obs::Profiler& profiler() { return profiler_; }
 
   /// Opt-in: report the simulation substrate's host-side pool statistics
-  /// (event slab under "sim.engine", process-wide frame/header byte pools
+  /// (event slab under "sim.engine", per-thread frame/header byte pools
   /// under "hw.framepool"/"proto.hdrpool", all node -1) into metrics().
   /// Not registered by default — the byte-pool counters span Networks, and
   /// committed bench reports must snapshot byte-identically across runs.
   /// Also registers every HUB's crossbar probes (per-output-port busy /
   /// blocked time, blackout drops; see hw::Hub::register_metrics) so
   /// scenario reports can attribute loss and queueing to the switch fabric.
+  /// With shards > 1 the engine probes come from the ParallelEngine
+  /// (per-shard event counts, window/mailbox statistics) and the byte
+  /// pools are skipped — they are thread_local, and the coordinator thread's
+  /// pools see no frame traffic.
   void register_substrate_metrics();
 
-  /// Add a HUB (16x16 by default). Returns its id.
-  int add_hub(int ports = 16);
+  /// Add a HUB (16x16 by default) on shard `shard` (-1: id % shard_count()).
+  /// Returns its id.
+  int add_hub(int ports = 16, int shard = -1);
   hw::Hub& hub(int id) { return *hubs_.at(static_cast<std::size_t>(id)); }
   int hub_count() const { return static_cast<int>(hubs_.size()); }
 
   /// Add a CAB on `hub_id` port `port` (one fiber pair, §2.2). A VME bus is
   /// created when `with_vme` (for host-attached CABs). Returns the node id.
+  /// The CAB and everything on it live on the HUB's shard.
   int add_cab(int hub_id, int port, bool with_vme = false);
   int cab_count() const { return static_cast<int>(cabs_.size()); }
 
@@ -72,17 +108,37 @@ class Network {
   int cab_port(int node) const { return cabs_.at(static_cast<std::size_t>(node))->port; }
 
   /// Connect two HUBs with a trunk fiber pair (multi-HUB systems, §2.1).
-  void link_hubs(int hub_a, int port_a, int hub_b, int port_b);
+  /// `propagation` models the trunk fiber's flight time; when the two HUBs
+  /// live on different shards it must be positive — it becomes (part of)
+  /// the synchronization lookahead — or std::invalid_argument is thrown.
+  void link_hubs(int hub_a, int port_a, int hub_b, int port_b,
+                 sim::SimTime propagation = sim::costs::kLinkPropagation);
 
   /// A trunk fiber pair between two HUBs, as passed to link_hubs. Exposed so
   /// the control plane (route::PathDb) can walk the HUB graph itself.
   struct Trunk {
     int hub_a, port_a, hub_b, port_b;
+    sim::SimTime propagation;
   };
   const std::vector<Trunk>& trunks() const { return trunks_; }
 
+  /// Opt-in: spread routes across equal-cost trunks. The BFS route search
+  /// scans trunks_ in wiring order, so on a fat-tree every cross-leaf pair
+  /// tie-breaks to the same first spine — which concentrates all cross-leaf
+  /// switching on one HUB (and, sharded, on one shard). With spreading on,
+  /// the scan starts at a deterministic hash of the (src hub, dst hub)
+  /// pair, so different pairs win different equal-length paths while any
+  /// single pair's route stays a pure function of the pair — independent
+  /// of shard count, seed, or call order. Off by default: the committed
+  /// BENCH_* reports bake in first-trunk routes. Set before any route()
+  /// call; the route caches are filled on first use.
+  void set_route_spread(bool on) { route_spread_ = on; }
+  bool route_spread() const { return route_spread_; }
+
   /// Compute and install source routes between every pair of CABs (and each
   /// CAB to itself, through its own HUB). Call after the topology is built.
+  /// After this, the interned route tables are immutable-after-build: the
+  /// run only reads them (shared RouteRefs), so shards need no locking.
   void install_routes();
 
   /// The raw route (one output-port byte per HUB hop) from `src` to `dst`.
@@ -94,8 +150,8 @@ class Network {
   const hw::RouteRef& route_ref(int src, int dst) const;
 
   /// Run the simulation until the event queue drains or `t` is reached.
-  void run_until(sim::SimTime t) { engine_.run_until(t); }
-  void run() { engine_.run(); }
+  void run_until(sim::SimTime t) { par_->run_until(t); }
+  void run() { par_->run(); }
 
  private:
   struct CabNode {
@@ -107,18 +163,25 @@ class Network {
     int port = -1;
   };
   std::vector<std::uint8_t> compute_route(int src, int dst) const;
+  /// Trunk-hop port bytes from hub `a` to hub `b` (BFS, cached per pair —
+  /// every CAB pair on the same HUB pair shares the hub-level path).
+  const std::vector<std::uint8_t>& hub_path(int a, int b) const;
 
-  sim::Engine engine_;
+  std::unique_ptr<sim::ParallelEngine> par_;
   sim::TraceRecorder trace_;
   obs::MetricsRegistry metrics_;
-  obs::Tracer tracer_{engine_};
+  obs::Tracer tracer_;
   obs::Profiler profiler_;
   std::vector<std::unique_ptr<hw::Hub>> hubs_;
+  std::vector<int> hub_shard_;
   std::vector<std::unique_ptr<CabNode>> cabs_;
   std::vector<Trunk> trunks_;
   // BFS routes interned per (src, dst) on first use; host-side cache only,
-  // simulated costs are unaffected.
+  // simulated costs are unaffected. Filled by install_routes before the run
+  // starts — immutable (read-only) while shard threads are active.
   mutable std::map<std::pair<int, int>, hw::RouteRef> route_cache_;
+  mutable std::map<std::pair<int, int>, std::vector<std::uint8_t>> hub_path_cache_;
+  bool route_spread_ = false;
 
   // Last member: holds probes reading the nodes above (VME, links), so it
   // must release before they are destroyed.

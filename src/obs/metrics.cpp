@@ -27,12 +27,14 @@ void Histogram::observe(std::int64_t v) {
 // --- MetricsRegistry -----------------------------------------------------------
 
 Counter& MetricsRegistry::counter(int node, std::string component, std::string name) {
+  std::lock_guard<std::mutex> lk(mutex_);
   Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
   c.kind = SnapshotEntry::Kind::Counter;
   return c.counter;
 }
 
 Gauge& MetricsRegistry::gauge(int node, std::string component, std::string name) {
+  std::lock_guard<std::mutex> lk(mutex_);
   Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
   c.kind = SnapshotEntry::Kind::Gauge;
   return c.gauge;
@@ -40,6 +42,7 @@ Gauge& MetricsRegistry::gauge(int node, std::string component, std::string name)
 
 Histogram& MetricsRegistry::histogram(int node, std::string component, std::string name,
                                       std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lk(mutex_);
   Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
   if (c.histogram == nullptr) {
     c.kind = SnapshotEntry::Kind::Histogram;
@@ -49,6 +52,7 @@ Histogram& MetricsRegistry::histogram(int node, std::string component, std::stri
 }
 
 bool MetricsRegistry::contains(int node, std::string_view component, std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mutex_);
   return cells_.count(MetricKey{node, std::string(component), std::string(name)}) > 0;
 }
 
@@ -62,6 +66,7 @@ MetricKey MetricsRegistry::unique_key(MetricKey key) const {
 }
 
 MetricKey MetricsRegistry::add_probe(MetricKey key, Probe fn) {
+  std::lock_guard<std::mutex> lk(mutex_);
   key = unique_key(std::move(key));
   Cell& c = cells_[key];
   c.kind = SnapshotEntry::Kind::Probe;
@@ -70,6 +75,7 @@ MetricKey MetricsRegistry::add_probe(MetricKey key, Probe fn) {
 }
 
 Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mutex_);
   std::vector<SnapshotEntry> entries;
   entries.reserve(cells_.size());
   for (const auto& [key, cell] : cells_) {  // std::map: already key-sorted

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -136,12 +137,23 @@ class MetricsRegistry {
 
   /// Owned cells: created on first use, returned thereafter. References stay
   /// valid for the registry's lifetime.
+  ///
+  /// Registration (cell/probe creation) is mutex-guarded because shard
+  /// worker threads register mid-run (e.g. a mailbox created by a fiber
+  /// adds depth probes). Updates through the returned references are NOT
+  /// locked: each cell belongs to one node, a node to one shard, so cells
+  /// are single-writer by construction. cells_ is a std::map, so snapshots
+  /// stay key-sorted and byte-deterministic regardless of which thread
+  /// registered first.
   Counter& counter(int node, std::string component, std::string name);
   Gauge& gauge(int node, std::string component, std::string name);
   Histogram& histogram(int node, std::string component, std::string name,
                        std::vector<std::int64_t> bounds);
 
-  std::size_t size() const { return cells_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return cells_.size();
+  }
   bool contains(int node, std::string_view component, std::string_view name) const;
 
   Snapshot snapshot() const;
@@ -160,10 +172,14 @@ class MetricsRegistry {
   /// Key actually used after de-duplication ("name", "name#2", ...): a
   /// second registrant under the same key gets a deterministic suffix
   /// instead of clobbering the first.
-  MetricKey unique_key(MetricKey key) const;
+  MetricKey unique_key(MetricKey key) const;  // caller holds mutex_
   MetricKey add_probe(MetricKey key, Probe fn);
-  void remove(const MetricKey& key) { cells_.erase(key); }
+  void remove(const MetricKey& key) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    cells_.erase(key);
+  }
 
+  mutable std::mutex mutex_;
   std::map<MetricKey, Cell> cells_;
 };
 

@@ -6,14 +6,18 @@ namespace nectar::obs {
 
 namespace {
 
-// Process-global context bookkeeping. The simulation is single-OS-threaded,
-// so plain statics suffice. `g_enabled` counts enabled Profiler instances:
+// Context bookkeeping. `g_enabled` counts enabled Profiler instances:
 // CostScope maintains domain stacks only while at least one profiler in the
 // process is recording, keeping the disabled cost to one integer compare.
+// It is toggled before the simulation runs (thread creation orders the
+// write ahead of every worker's reads), so it stays a plain int. The
+// context pointer and the domain stacks are thread_local: a context is a
+// fiber, a fiber lives on exactly one shard's worker thread, and the
+// announce/push/pop traffic on the hot path must not take a lock.
 int g_enabled = 0;
-const void* g_context = nullptr;
+thread_local const void* g_context = nullptr;
 std::map<const void*, std::vector<const char*>>& stacks() {
-  static std::map<const void*, std::vector<const char*>> s;
+  static thread_local std::map<const void*, std::vector<const char*>> s;
   return s;
 }
 
@@ -41,7 +45,7 @@ void Profiler::set_enabled(bool on) {
 void Profiler::set_context(const void* key) { g_context = key; }
 
 void Profiler::record(const std::string& cpu, const std::string& context, sim::SimTime ns) {
-  ++samples_;
+  // Build the key from this thread's domain stack before taking the lock.
   std::string key = cpu;
   key += ';';
   key += context;
@@ -52,11 +56,14 @@ void Profiler::record(const std::string& cpu, const std::string& context, sim::S
       key += d;
     }
   }
+  std::lock_guard<std::mutex> lk(mutex_);
+  ++samples_;
   folded_[key] += ns;
   cpus_[cpu][context] += ns;
 }
 
 void Profiler::sample_queue_depth(const std::string& key, std::size_t depth) {
+  std::lock_guard<std::mutex> lk(mutex_);
   QueueGauge& g = queue_depth_[key];
   ++g.samples;
   if (depth > g.max) g.max = depth;
@@ -64,6 +71,7 @@ void Profiler::sample_queue_depth(const std::string& key, std::size_t depth) {
 
 void Profiler::add_queue_wait(const std::string& cpu, const std::string& thread,
                               sim::SimTime ns) {
+  std::lock_guard<std::mutex> lk(mutex_);
   WaitStat& w = queue_wait_[cpu][thread];
   ++w.count;
   w.total += ns;
@@ -71,6 +79,7 @@ void Profiler::add_queue_wait(const std::string& cpu, const std::string& thread,
 
 void Profiler::record_occupancy(const std::string& resource, const char* what,
                                 sim::SimTime ns) {
+  std::lock_guard<std::mutex> lk(mutex_);
   OccStat& o = occupancy_[resource][what];
   ++o.count;
   o.total += ns;
@@ -181,6 +190,7 @@ json::Value Profiler::summary() const {
 }
 
 void Profiler::clear() {
+  std::lock_guard<std::mutex> lk(mutex_);
   samples_ = 0;
   folded_.clear();
   cpus_.clear();

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -129,6 +130,12 @@ class Profiler {
 
   bool enabled_ = false;
   std::string autoflush_;
+  /// Serializes the mutators, which shard worker threads call concurrently
+  /// under the parallel engine. All accumulation is commutative (+=, max)
+  /// into sorted maps, so totals — and the rendered output — are identical
+  /// no matter how the threads interleave. Readers (folded, summary, ...)
+  /// run after the simulation has quiesced at a window barrier.
+  std::mutex mutex_;
   std::uint64_t samples_ = 0;
   std::map<std::string, sim::SimTime> folded_;                       // full key -> ns
   std::map<std::string, std::map<std::string, sim::SimTime>> cpus_;  // cpu -> context -> ns

@@ -5,7 +5,7 @@
 namespace nectar::proto {
 
 HeaderBufPool& HeaderBufPool::instance() {
-  static HeaderBufPool pool;
+  static thread_local HeaderBufPool pool;
   return pool;
 }
 

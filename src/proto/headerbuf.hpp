@@ -9,7 +9,10 @@
 // each layer *prepends* into the remaining headroom, so the whole stack
 // composes one contiguous [datalink][IP][transport] header with zero
 // allocations and zero inter-layer copies. Buffers are pool-recycled through
-// HeaderBufLease (the simulation is single-OS-threaded; no locking).
+// HeaderBufLease. The pool is thread_local — one per shard worker thread —
+// so the acquire/release fast path stays lock-free under the parallel
+// engine. Header buffers never cross shards: they live only inside a node's
+// send path, and a node belongs to exactly one shard.
 //
 // This is purely a host-side optimization: the simulated per-layer CPU costs
 // are charged exactly as before, so simulated results are bit-for-bit
@@ -65,8 +68,9 @@ class HeaderBuf {
 /// Free list HeaderBufs circulate through. Use through HeaderBufLease.
 class HeaderBufPool {
  public:
-  /// The process-wide pool (header composition is transient and
-  /// single-threaded; one pool serves every node).
+  /// This thread's pool (thread_local: one per shard worker; leases are
+  /// transient and confined to a node's send path, so they never outlive
+  /// their thread's pool).
   static HeaderBufPool& instance();
 
   std::unique_ptr<HeaderBuf> acquire();

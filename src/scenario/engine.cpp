@@ -77,13 +77,29 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
     spec.attach_metrics = s->get_bool("attach_metrics", spec.attach_metrics);
   }
   if (const Section* s = cfg.find("topology")) {
-    check_keys(*s, {"kind", "nodes", "hub_ports", "trunks", "spines", "with_vme"});
+    check_keys(*s, {"kind", "nodes", "hub_ports", "trunks", "spines", "with_vme",
+                    "trunk_propagation", "route_spread"});
     spec.topology.kind = TopologySpec::parse_kind(s->get("kind", "star"));
     spec.topology.nodes = static_cast<int>(s->get_int("nodes", spec.topology.nodes));
     spec.topology.hub_ports = static_cast<int>(s->get_int("hub_ports", spec.topology.hub_ports));
     spec.topology.trunks = static_cast<int>(s->get_int("trunks", spec.topology.trunks));
     spec.topology.spines = static_cast<int>(s->get_int("spines", spec.topology.spines));
     spec.topology.with_vme = s->get_bool("with_vme", spec.topology.with_vme);
+    spec.topology.trunk_propagation =
+        s->get_time("trunk_propagation", spec.topology.trunk_propagation);
+    if (spec.topology.trunk_propagation <= 0) {
+      throw std::invalid_argument("topology: trunk_propagation must be > 0");
+    }
+    spec.topology.route_spread = s->get_bool("route_spread", spec.topology.route_spread);
+  }
+  if (const Section* s = cfg.find("parallel")) {
+    check_keys(*s, {"shards", "partition"});
+    spec.parallel.shards = static_cast<int>(s->get_int("shards", spec.parallel.shards));
+    spec.parallel.partition = s->get("partition", spec.parallel.partition);
+    if (spec.parallel.shards < 1) {
+      throw std::invalid_argument("parallel: shards must be >= 1");
+    }
+    ParallelSpec::validate_partition(spec.parallel.partition);
   }
   int wl_index = 0;
   for (const Section* s : cfg.all("workload")) {
@@ -168,8 +184,19 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
   return spec;
 }
 
-Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)) {
-  int n = build_topology(net_, spec_.topology, spec_.seed);
+Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)), net_(spec_.parallel.shards) {
+  if (spec_.parallel.shards > 1) {
+    // Both features hang network-global mutable state off every node's hot
+    // path (the causal tracer's trace table, the control plane's route
+    // updates), which shard workers would race on. Fail at build time.
+    if (spec_.tracing.enabled) {
+      throw std::invalid_argument("scenario: [tracing] is incompatible with [parallel] shards > 1");
+    }
+    if (spec_.routing.enabled) {
+      throw std::invalid_argument("scenario: [routing] is incompatible with [parallel] shards > 1");
+    }
+  }
+  int n = build_topology(net_, spec_.topology, spec_.seed, spec_.parallel);
   proto::TcpConfig tc;
   tc.software_checksum = spec_.software_checksum;
   tc.congestion_control = spec_.tcp_congestion;
@@ -256,6 +283,12 @@ obs::RunReport Scenario::report() {
   rep.param("duration_us", spec_.duration / sim::kMicrosecond);
   rep.param("workloads", static_cast<std::int64_t>(workloads_.size()));
   rep.param("faults", static_cast<std::int64_t>(spec_.faults.size()));
+  if (net_.shard_count() > 1) {
+    // Only when sharded: a shards=1 run must render byte-identically to the
+    // reports committed before the parallel engine existed.
+    rep.param("shards", static_cast<std::int64_t>(net_.shard_count()));
+    rep.param("partition", spec_.parallel.partition);
+  }
 
   std::uint64_t tcp_retx = 0, tcp_fast = 0;
   obs::LatencyHistogram global;  // per-flow histograms merged across workloads
@@ -298,6 +331,34 @@ obs::RunReport Scenario::report() {
   rep.add("retransmits.rmp", static_cast<double>(rmp_retx), "count");
   rep.add("retries.reqresp", static_cast<double>(rr_retries), "count");
   rep.add("faults.injected", static_cast<double>(faults_->faults_injected()), "count");
+  if (net_.shard_count() > 1) {
+    // Shard-level load/synchronization gauges. Every value here is a
+    // function of simulated execution only (event counts, window counts) —
+    // wall-clock shard timings stay out so same-seed same-shard-count runs
+    // render byte-identically. Load imbalance shows up directly as skew in
+    // the per-shard event counts.
+    sim::ParallelEngine& par = net_.parallel();
+    const double secs =
+        static_cast<double>(spec_.duration) / static_cast<double>(sim::kSecond);
+    std::uint64_t total = par.total_events();
+    std::uint64_t critical = par.critical_path_events();
+    rep.add("parallel.shards", static_cast<double>(net_.shard_count()), "count");
+    rep.add("parallel.lookahead", sim::to_usec(net_.lookahead()), "us");
+    rep.add("parallel.windows", static_cast<double>(par.windows()), "count");
+    rep.add("parallel.cross_events", static_cast<double>(par.cross_events()), "count");
+    rep.add("parallel.mailbox_highwater", static_cast<double>(par.mailbox_highwater()),
+            "events");
+    rep.add("parallel.critical_path_events", static_cast<double>(critical), "count");
+    rep.add("parallel.ideal_speedup",
+            critical > 0 ? static_cast<double>(total) / static_cast<double>(critical) : 1.0,
+            "ratio");
+    for (int i = 0; i < net_.shard_count(); ++i) {
+      const std::string p = "parallel.shard" + std::to_string(i) + ".";
+      std::uint64_t ev = par.shard_events(i);
+      rep.add(p + "events", static_cast<double>(ev), "count");
+      rep.add(p + "events_per_sim_sec", secs > 0 ? static_cast<double>(ev) / secs : 0.0, "1/s");
+    }
+  }
   if (routing_) routing_->report_into(rep);
   for (std::size_t i = 0; i < faults_->records().size(); ++i) {
     const FaultRecord& r = faults_->records()[i];

@@ -73,6 +73,11 @@ struct ScenarioSpec {
   std::int64_t mtu = static_cast<std::int64_t>(proto::Ip::kDefaultMtu);
   bool substrate_metrics = false;  ///< HUB/pool probes into the report
   bool attach_metrics = false;     ///< full metrics snapshot in the report
+  /// Conservative-parallel execution ([parallel] section). shards=1 (the
+  /// default) runs the sequential engine and reproduces legacy reports
+  /// byte-for-byte. shards>1 is incompatible with [tracing] and [routing]
+  /// (process-global mutable state); the constructor rejects the combination.
+  ParallelSpec parallel;
   /// Control plane ([routing] section). Default-off: with enabled=false no
   /// RouteManager is built, no monitor threads run, and reports carry no
   /// route.* rows, so pre-existing scenarios stay byte-identical.

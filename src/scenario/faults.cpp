@@ -65,6 +65,7 @@ FaultScheduler::Target FaultScheduler::resolve(const FaultSpec& spec) const {
     if (node >= net_.cab_count()) {
       throw std::invalid_argument("fault: no such node in '" + spec.target + "'");
     }
+    t.engine = &net_.engine_of_node(node);
     if (tail == "link") {
       t.link = &net_.cab(node).out_link();
     } else if (tail == "vme") {
@@ -93,6 +94,7 @@ FaultScheduler::Target FaultScheduler::resolve(const FaultSpec& spec) const {
     }
     t.hub = &net_.hub(hub);
     t.port = port;
+    t.engine = &net_.hub_engine(hub);
     return t;
   }
   throw std::invalid_argument("fault: bad target '" + spec.target + "'");
@@ -133,10 +135,12 @@ std::size_t FaultScheduler::schedule(const FaultSpec& spec) {
   records_.push_back(rec);
   targets_.push_back(target);
 
-  net_.engine().schedule_at(rec.applied_at, [this, idx] { apply(idx); });
+  // Arm on the target's shard engine: apply/clear then run on the worker
+  // thread that owns the element, racing with nothing.
+  target.engine->schedule_at(rec.applied_at, [this, idx] { apply(idx); });
   bool windowed = spec.kind != FaultKind::LinkDropBurst && spec.kind != FaultKind::VmeStall;
   if (windowed && spec.duration > 0) {
-    net_.engine().schedule_at(rec.applied_at + spec.duration, [this, idx] { clear(idx); });
+    target.engine->schedule_at(rec.applied_at + spec.duration, [this, idx] { clear(idx); });
   }
   return idx;
 }
@@ -204,11 +208,14 @@ void FaultScheduler::clear(std::size_t idx) {
     case FaultKind::VmeStall:
       return;  // no window to close
   }
-  rec.cleared_at = net_.engine().now();
+  rec.cleared_at = targets_[idx].engine->now();  // clear runs on this engine
   rec.attributed_drops = target_drops(idx) - rec.drops_before;
 }
 
 void FaultScheduler::finalize() {
+  // Called after the run: every shard's clock has settled to the stop time
+  // (ParallelEngine::run_until ends with a per-shard run_until(t)), so
+  // shard 0's now() is the run-wide end time regardless of shard count.
   for (std::size_t i = 0; i < records_.size(); ++i) {
     FaultRecord& rec = records_[i];
     if (net_.engine().now() < rec.applied_at) continue;  // never fired

@@ -84,6 +84,9 @@ class FaultScheduler {
     hw::VmeBus* vme = nullptr;
     hw::Hub* hub = nullptr;
     int port = -1;                   // hub blackout / crash feed port
+    /// The shard engine that owns the element. Apply/clear events are armed
+    /// here so a fault mutates its target from the thread that simulates it.
+    sim::Engine* engine = nullptr;
   };
 
   Target resolve(const FaultSpec& spec) const;

@@ -12,6 +12,13 @@ TopologyKind TopologySpec::parse_kind(const std::string& name) {
                               "' (want star | dual_hub | fat_tree)");
 }
 
+void ParallelSpec::validate_partition(const std::string& name) {
+  if (name != "modulo" && name != "block") {
+    throw std::invalid_argument("parallel: unknown partition '" + name +
+                                "' (want modulo | block)");
+  }
+}
+
 namespace {
 
 void build_star(net::Network& net, const TopologySpec& s) {
@@ -37,7 +44,7 @@ void build_dual_hub(net::Network& net, const TopologySpec& s) {
   // first trunk found by the BFS; extra trunks serve circuit switching).
   for (int t = 0; t < s.trunks; ++t) {
     int p = s.hub_ports - 1 - t;
-    net.link_hubs(h0, p, h1, p);
+    net.link_hubs(h0, p, h1, p, s.trunk_propagation);
   }
   int first_half = (s.nodes + 1) / 2;
   for (int i = 0; i < s.nodes; ++i) {
@@ -46,7 +53,7 @@ void build_dual_hub(net::Network& net, const TopologySpec& s) {
   }
 }
 
-void build_fat_tree(net::Network& net, const TopologySpec& s) {
+void build_fat_tree(net::Network& net, const TopologySpec& s, const ParallelSpec& par) {
   if (s.spines < 1) throw std::invalid_argument("topology: fat_tree needs spines >= 1");
   int cabs_per_leaf = s.hub_ports - s.spines;
   if (cabs_per_leaf < 1) {
@@ -54,13 +61,21 @@ void build_fat_tree(net::Network& net, const TopologySpec& s) {
   }
   int leaves = (s.nodes + cabs_per_leaf - 1) / cabs_per_leaf;
   if (leaves < 1) leaves = 1;
+  const bool block = par.partition == "block";
+  const int shards = net.shard_count();
   // Leaf HUBs first (ids 0..leaves-1), then one spine HUB per uplink with a
-  // port per leaf.
-  for (int l = 0; l < leaves; ++l) net.add_hub(s.hub_ports);
+  // port per leaf. "block" keeps contiguous leaves (and their CABs — node i
+  // lives on leaf i / cabs_per_leaf) on the same shard; "modulo" leaves the
+  // default id % shards interleave.
+  for (int l = 0; l < leaves; ++l) {
+    int shard = block ? static_cast<int>(static_cast<long>(l) * shards / leaves) : -1;
+    net.add_hub(s.hub_ports, shard);
+  }
   for (int sp = 0; sp < s.spines; ++sp) {
-    int spine = net.add_hub(leaves);
+    int shard = block ? static_cast<int>(static_cast<long>(sp) * shards / s.spines) : -1;
+    int spine = net.add_hub(leaves, shard);
     for (int l = 0; l < leaves; ++l) {
-      net.link_hubs(l, cabs_per_leaf + sp, spine, l);
+      net.link_hubs(l, cabs_per_leaf + sp, spine, l, s.trunk_propagation);
     }
   }
   for (int i = 0; i < s.nodes; ++i) {
@@ -70,11 +85,18 @@ void build_fat_tree(net::Network& net, const TopologySpec& s) {
 
 }  // namespace
 
-int build_topology(net::Network& net, const TopologySpec& spec, std::uint64_t master_seed) {
+int build_topology(net::Network& net, const TopologySpec& spec, std::uint64_t master_seed,
+                   const ParallelSpec& par) {
   if (net.hub_count() != 0 || net.cab_count() != 0) {
     throw std::invalid_argument("build_topology: network is not empty");
   }
   if (spec.nodes < 1) throw std::invalid_argument("topology: need nodes >= 1");
+  ParallelSpec::validate_partition(par.partition);
+  if (par.shards != net.shard_count()) {
+    throw std::invalid_argument("build_topology: spec says " + std::to_string(par.shards) +
+                                " shards but the network has " +
+                                std::to_string(net.shard_count()));
+  }
   switch (spec.kind) {
     case TopologyKind::Star:
       build_star(net, spec);
@@ -83,9 +105,11 @@ int build_topology(net::Network& net, const TopologySpec& spec, std::uint64_t ma
       build_dual_hub(net, spec);
       break;
     case TopologyKind::FatTree:
-      build_fat_tree(net, spec);
+      build_fat_tree(net, spec, par);
       break;
   }
+  // Must precede install_routes: the route caches fill on first lookup.
+  net.set_route_spread(spec.route_spread);
   net.install_routes();
   // One master seed reproduces the whole run: every link derives its fault
   // streams from (master_seed, link name).

@@ -26,14 +26,37 @@ struct TopologySpec {
   int trunks = 1;      ///< DualHub: parallel trunk fiber pairs between the HUBs
   int spines = 2;      ///< FatTree: number of spine HUBs (= trunks per leaf)
   bool with_vme = false;
+  /// Flight time of inter-HUB trunk fibers. Under a sharded run the minimum
+  /// over cross-shard trunks is the synchronization lookahead, so larger
+  /// values mean fewer barriers; must be > 0 whenever shards > 1.
+  sim::SimTime trunk_propagation = sim::costs::kLinkPropagation;
+  /// Spread routes across equal-cost trunks (net::Network::set_route_spread):
+  /// on a fat-tree, different node pairs transit different spines instead of
+  /// all tie-breaking to spine 0. Off by default — first-trunk routes are
+  /// baked into the committed BENCH_* reports.
+  bool route_spread = false;
 
   static TopologyKind parse_kind(const std::string& name);  // "star" | "dual_hub" | "fat_tree"
 };
 
+/// How HUBs map to simulation shards ([parallel] INI section).
+struct ParallelSpec {
+  int shards = 1;  ///< worker threads / event queues; 1 = sequential engine
+  /// "modulo": hub id % shards (interleaves leaves and spines).
+  /// "block": contiguous leaf ranges per shard (keeps neighbor leaves
+  /// together; spines spread round-robin). Identical for star/dual_hub.
+  std::string partition = "modulo";
+
+  static void validate_partition(const std::string& name);  // throws on typo
+};
+
 /// Build `spec` into `net` (which must be empty), install routes, and seed
-/// every CAB out-link's fault streams from `master_seed`. Returns the node
-/// count actually built (== spec.nodes). Throws std::invalid_argument when
-/// the spec does not fit (e.g. Star with more nodes than ports).
-int build_topology(net::Network& net, const TopologySpec& spec, std::uint64_t master_seed);
+/// every CAB out-link's fault streams from `master_seed`. `par` picks the
+/// shard partition policy (`par.shards` must match the Network's shard
+/// count). Returns the node count actually built (== spec.nodes). Throws
+/// std::invalid_argument when the spec does not fit (e.g. Star with more
+/// nodes than ports).
+int build_topology(net::Network& net, const TopologySpec& spec, std::uint64_t master_seed,
+                   const ParallelSpec& par = {});
 
 }  // namespace nectar::scenario

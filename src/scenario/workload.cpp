@@ -137,7 +137,7 @@ std::optional<core::Message> Workload::stage(int node, core::Mailbox& scratch, s
   std::uint8_t hdr[kHeaderBytes];
   pack32(hdr, static_cast<std::uint32_t>(flow_defs_[flow].src));
   pack32(hdr + 4, static_cast<std::uint32_t>(st.sent));
-  pack64(hdr + 8, static_cast<std::uint64_t>(net_.engine().now()));
+  pack64(hdr + 8, static_cast<std::uint64_t>(runtime(node).engine().now()));
   net_.cab(node).memory().write(m->data, std::span<const std::uint8_t>(hdr, kHeaderBytes));
   ++st.sent;
   st.sent_bytes += m->len;
@@ -153,7 +153,7 @@ void Workload::observe_delivery(int node, const core::Message& m) {
   int fi = flow_of_src_[src];
   if (fi < 0) return;
   auto sent_ns = static_cast<sim::SimTime>(unpack64(hdr + 8));
-  sim::SimTime now = net_.engine().now();
+  sim::SimTime now = runtime(node).engine().now();
   // A timestamp of 0 or from the future means this is not one of our
   // headers (e.g. a continuation segment of an oversized TCP message).
   if (sent_ns <= 0 || sent_ns > now) return;
@@ -274,7 +274,7 @@ void Workload::closed_user_loop(std::size_t flow, int user) {
   sim::Random rng(flow_seed(flow, "closed", user));
   core::Mailbox& scratch =
       rt.create_mailbox("wl/" + spec_.name + "/u" + std::to_string(user));
-  if (net_.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
+  if (rt.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
   // Fire-and-forget protocols have no completion to wait on; a floor on the
   // think time keeps the loop from spinning at one simulation instant.
   sim::SimTime think = spec_.think;
@@ -301,10 +301,10 @@ void Workload::closed_user_loop(std::size_t flow, int user) {
         stack(f.src).rmp.wait_acked(f.dst);
         break;
       case Proto::ReqResp: {
-        sim::SimTime t0 = net_.engine().now();
+        sim::SimTime t0 = rt.engine().now();
         try {
           core::Message rsp = stack(f.src).reqresp.call(f.sink, *m, true, tctx);
-          st.latency.observe(net_.engine().now() - t0);
+          st.latency.observe(rt.engine().now() - t0);
           ++st.delivered;
           st.delivered_bytes += size;
           scratch.end_get(rsp);
@@ -378,10 +378,10 @@ bool Workload::open_send_once(std::size_t flow, core::Mailbox& scratch, sim::Ran
                               [this, flow, size, &scratch, req, tctx] {
         Flow& fl = flow_defs_[flow];
         FlowStats& s = flows_[flow];
-        sim::SimTime t0 = net_.engine().now();
+        sim::SimTime t0 = runtime(fl.src).engine().now();
         try {
           core::Message rsp = stack(fl.src).reqresp.call(fl.sink, req, true, tctx);
-          s.latency.observe(net_.engine().now() - t0);
+          s.latency.observe(runtime(fl.src).engine().now() - t0);
           ++s.delivered;
           s.delivered_bytes += size;
           scratch.end_get(rsp);
@@ -405,7 +405,7 @@ void Workload::open_flow_loop(std::size_t flow) {
   core::CabRuntime& rt = runtime(f.src);
   sim::Random rng(flow_seed(flow, "open", 0));
   core::Mailbox& scratch = rt.create_mailbox("wl/" + spec_.name + "/gen");
-  if (net_.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
+  if (rt.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
   if (spec_.proto == Proto::Tcp) {
     f.conn = stack(f.src).tcp.connect(static_cast<std::uint16_t>(spec_.port + 1),
                                       proto::ip_of_node(f.dst), spec_.port);
@@ -435,7 +435,7 @@ void Workload::install_clients() {
       runtime(f.src).fork_app("wl/" + spec_.name + "/drv", [this, i] {
         Flow& fl = flow_defs_[i];
         core::CabRuntime& rt = runtime(fl.src);
-        if (net_.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
+        if (rt.engine().now() < spec_.start) rt.cpu().sleep_until(spec_.start);
         fl.conn = stack(fl.src).tcp.connect(static_cast<std::uint16_t>(spec_.port + 1),
                                             proto::ip_of_node(fl.dst), spec_.port);
         if (!stack(fl.src).tcp.wait_established(fl.conn)) {

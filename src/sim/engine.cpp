@@ -4,8 +4,29 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "sim/parallel.hpp"
 
 namespace nectar::sim {
+
+SimTime Engine::next_event_time() {
+  while (!queue_.empty()) {
+    const QueueEntry& e = queue_.top();
+    if (live_slot(e.id) != nullptr) return e.time;
+    queue_.pop();  // stale entry for a cancelled/recycled slot
+  }
+  return -1;
+}
+
+void Engine::send_cross(Engine& dst, SimTime t, Action fn, std::uint64_t key, std::uint64_t seq) {
+  if (&dst == this) {
+    schedule_at(t, std::move(fn));
+    return;
+  }
+  if (coordinator_ == nullptr || coordinator_ != dst.coordinator_)
+    throw std::logic_error("Engine::send_cross: engines do not share a ParallelEngine");
+  ++cross_posts_;
+  coordinator_->post(shard_id_, dst.shard_id_, t, key, seq, std::move(fn));
+}
 
 Engine::Slot* Engine::live_slot(EventId id) {
   std::size_t index = static_cast<std::size_t>(id >> 32);

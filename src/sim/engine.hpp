@@ -14,11 +14,16 @@ class Registration;
 
 namespace nectar::sim {
 
+class ParallelEngine;
+
 /// Deterministic discrete-event engine.
 ///
 /// Single-threaded: events fire in (time, insertion-order) order, so every
 /// run of a given scenario is bit-for-bit reproducible. All hardware models
-/// and the CAB/host CPU schedulers are driven from this queue.
+/// and the CAB/host CPU schedulers are driven from this queue. Under a
+/// ParallelEngine each shard owns one Engine; an Engine is then confined to
+/// its shard's worker thread and talks to other shards only through
+/// send_cross().
 ///
 /// Events live in a slab of pooled slots (free-list recycled) holding their
 /// callables inline; an EventId is a generation-checked handle into the slab,
@@ -80,6 +85,32 @@ class Engine {
   /// The engine is network-wide, so callers conventionally pass node -1.
   void register_metrics(obs::Registration& reg, int node = -1) const;
 
+  // --- shard membership (conservative parallel simulation) ------------------
+
+  /// Attach this engine to `coordinator` as shard `shard_id`. Called once by
+  /// ParallelEngine's constructor.
+  void set_shard(ParallelEngine* coordinator, int shard_id) {
+    coordinator_ = coordinator;
+    shard_id_ = shard_id;
+  }
+  int shard_id() const { return shard_id_; }
+
+  /// Earliest live event time, or -1 if the queue is empty. Prunes
+  /// cancelled entries from the heap top while peeking.
+  SimTime next_event_time();
+
+  /// Schedule `fn` at time `t` on `dst`, which may live on another shard.
+  /// Same-engine sends collapse to schedule_at (zero overhead, identical
+  /// semantics at shards=1); cross-shard sends go through the coordinator's
+  /// mailbox and land at the next window barrier. `key` names the sending
+  /// element (stable across runs) and `seq` is its per-key counter; the pair
+  /// makes the mailbox drain order — and therefore the simulation —
+  /// deterministic. Must only be called from this shard's worker thread.
+  void send_cross(Engine& dst, SimTime t, Action fn, std::uint64_t key, std::uint64_t seq);
+
+  /// Events this shard posted to other shards via send_cross().
+  std::uint64_t cross_posts() const { return cross_posts_; }
+
  private:
   struct Slot {
     std::uint32_t gen = 0;
@@ -115,6 +146,10 @@ class Engine {
 
   std::uint64_t pool_reuses_ = 0;
   std::uint64_t heap_actions_ = 0;
+
+  ParallelEngine* coordinator_ = nullptr;
+  int shard_id_ = 0;
+  std::uint64_t cross_posts_ = 0;
 };
 
 }  // namespace nectar::sim

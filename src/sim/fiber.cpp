@@ -5,6 +5,23 @@
 #include <cstdlib>
 #include <exception>
 
+// TSan cannot follow swapcontext on its own: without annotations every
+// fiber switch looks like one thread magically jumping stacks, and shadow
+// state from one fiber's frames bleeds into the next. The fiber API
+// (__tsan_create_fiber / __tsan_switch_to_fiber) tells it each Fiber is a
+// separate logical execution context.
+#if defined(__SANITIZE_THREAD__)
+#define NECTAR_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NECTAR_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef NECTAR_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace nectar::sim {
 
 namespace {
@@ -12,6 +29,11 @@ namespace {
 thread_local Fiber* g_current = nullptr;
 /// Handshake slot for makecontext, which cannot carry a pointer portably.
 thread_local Fiber* g_starting = nullptr;
+#ifdef NECTAR_TSAN_FIBERS
+/// TSan handle of the main context that last resumed a fiber on this
+/// thread; suspend/finish switch TSan back to it before swapcontext does.
+thread_local void* g_tsan_return = nullptr;
+#endif
 }  // namespace
 
 Fiber::Fiber(std::function<void()> body, std::string name, std::size_t stack_size)
@@ -21,6 +43,9 @@ Fiber::~Fiber() {
   // Destroying a suspended-but-unfinished fiber abandons its stack frame;
   // that is fine for simulation teardown (no RAII cleanup runs on it), and
   // runtime code only destroys fibers it knows are finished or parked.
+#ifdef NECTAR_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
 }
 
 void Fiber::trampoline() {
@@ -37,6 +62,9 @@ void Fiber::trampoline() {
     std::abort();
   }
   self->finished_ = true;
+#ifdef NECTAR_TSAN_FIBERS
+  __tsan_switch_to_fiber(g_tsan_return, 0);
+#endif
   // Fall back to the resumer; uc_link handles the final switch.
 }
 
@@ -53,6 +81,11 @@ void Fiber::resume() {
     g_starting = this;
     makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 0);
   }
+#ifdef NECTAR_TSAN_FIBERS
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = __tsan_create_fiber(0);
+  g_tsan_return = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
   swapcontext(&return_context_, &context_);
   g_current = nullptr;
 }
@@ -61,6 +94,9 @@ void Fiber::suspend() {
   Fiber* self = g_current;
   assert(self != nullptr && "suspend() called outside any fiber");
   g_current = nullptr;
+#ifdef NECTAR_TSAN_FIBERS
+  __tsan_switch_to_fiber(g_tsan_return, 0);
+#endif
   swapcontext(&self->context_, &self->return_context_);
   // Resumed again.
   g_current = self;

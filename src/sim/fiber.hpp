@@ -13,10 +13,16 @@ namespace nectar::sim {
 /// Cooperative green thread (ucontext-based).
 ///
 /// Fibers are the execution substrate for simulated CAB threads, interrupt
-/// contexts, and host processes. The whole simulation runs on one OS thread:
-/// a fiber runs until it calls `suspend()` (directly or via a blocking
+/// contexts, and host processes. Each fiber belongs to exactly one OS
+/// thread — under a sharded simulation that is its shard's worker thread,
+/// which owns all of the shard's fibers via thread-local bookkeeping: a
+/// fiber runs until it calls `suspend()` (directly or via a blocking
 /// runtime primitive), at which point control returns to whoever called
-/// `resume()` — always the event engine's main context.
+/// `resume()` — always the event engine's main context on the same thread.
+///
+/// Under ThreadSanitizer the stack switches are annotated with TSan's fiber
+/// API so cross-shard race detection keeps working instead of false-alarming
+/// on every swapcontext.
 class Fiber {
  public:
   /// Create a fiber that will run `body` when first resumed.
@@ -51,6 +57,7 @@ class Fiber {
   ucontext_t return_context_{};
   bool started_ = false;
   bool finished_ = false;
+  void* tsan_fiber_ = nullptr;  // TSan fiber handle (TSan builds only)
 };
 
 }  // namespace nectar::sim

@@ -1,0 +1,234 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace nectar::sim {
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(int shards) {
+  if (shards < 1) throw std::invalid_argument("ParallelEngine: shard count must be >= 1");
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Engine>());
+    shards_.back()->set_shard(this, i);
+  }
+  outbox_.resize(shards_.size());
+  window_base_.resize(shards_.size(), 0);
+  work_ns_.resize(shards_.size(), 0);
+  barrier_wait_ns_.resize(shards_.size(), 0);
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ParallelEngine::set_lookahead(SimTime l) {
+  if (l < 0) throw std::invalid_argument("ParallelEngine: negative lookahead");
+  lookahead_ = l;
+}
+
+void ParallelEngine::post(int src, int dst, SimTime t, std::uint64_t key, std::uint64_t seq,
+                          Engine::Action fn) {
+  if (dst < 0 || dst >= shard_count())
+    throw std::out_of_range("ParallelEngine::post: bad destination shard");
+  outbox_[static_cast<std::size_t>(src)].push_back(CrossEvent{t, key, seq, dst, std::move(fn)});
+}
+
+std::uint64_t ParallelEngine::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& s : shards_) n += s->events_processed();
+  return n;
+}
+
+SimTime ParallelEngine::next_event_time() {
+  SimTime best = -1;
+  for (auto& s : shards_) {
+    SimTime t = s->next_event_time();
+    if (t >= 0 && (best < 0 || t < best)) best = t;
+  }
+  return best;
+}
+
+void ParallelEngine::drain_mailboxes() {
+  scratch_.clear();
+  for (auto& box : outbox_) {
+    for (auto& ev : box) scratch_.push_back(std::move(ev));
+    box.clear();
+  }
+  if (scratch_.empty()) return;
+  // (time, key, seq) totally orders the drain: key is the posting element's
+  // stable identity, seq its own counter, so the destination queue sees the
+  // same insertion order no matter how worker threads interleaved.
+  std::sort(scratch_.begin(), scratch_.end(), [](const CrossEvent& a, const CrossEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.key != b.key) return a.key < b.key;
+    return a.seq < b.seq;
+  });
+  mailbox_highwater_ = std::max(mailbox_highwater_, scratch_.size());
+  cross_events_ += scratch_.size();
+  for (auto& ev : scratch_) {
+    Engine& dst = *shards_[static_cast<std::size_t>(ev.dst)];
+    if (ev.time < dst.now())
+      throw std::logic_error("ParallelEngine: cross-shard event at t=" + std::to_string(ev.time) +
+                             " arrived behind shard " + std::to_string(ev.dst) + " clock t=" +
+                             std::to_string(dst.now()) + " (lookahead misconfigured?)");
+    dst.schedule_at(ev.time, std::move(ev.fn));
+  }
+  scratch_.clear();
+}
+
+void ParallelEngine::start_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    workers_.emplace_back([this, i] { worker_main(static_cast<int>(i)); });
+}
+
+void ParallelEngine::worker_main(int i) {
+  const std::size_t idx = static_cast<std::size_t>(i);
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    auto idle0 = std::chrono::steady_clock::now();
+    cv_work_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+    barrier_wait_ns_[idx] += elapsed_ns(idle0);
+    if (stop_) return;
+    seen = epoch_;
+    SimTime h = horizon_;
+    lk.unlock();
+    auto work0 = std::chrono::steady_clock::now();
+    if (h < 0) {
+      shards_[idx]->run();  // "drain" window: no horizon, run to empty
+    } else {
+      shards_[idx]->run_until(h - 1);
+    }
+    work_ns_[idx] += elapsed_ns(work0);
+    lk.lock();
+    if (--pending_ == 0) cv_done_.notify_one();
+  }
+}
+
+void ParallelEngine::run_window(SimTime horizon) {
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    window_base_[i] = shards_[i]->events_processed();
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    horizon_ = horizon;
+    pending_ = static_cast<int>(shards_.size());
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+  }
+  std::uint64_t widest = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    widest = std::max(widest, shards_[i]->events_processed() - window_base_[i]);
+  critical_events_ += widest;
+  ++windows_;
+}
+
+bool ParallelEngine::run_until(SimTime t) {
+  if (shards_.size() == 1) {
+    Engine& s = *shards_[0];
+    std::uint64_t base = s.events_processed();
+    bool more = s.run_until(t);
+    critical_events_ += s.events_processed() - base;
+    ++windows_;
+    return more;
+  }
+  start_workers();
+  drain_mailboxes();  // posts left over from a previous run_until
+  for (;;) {
+    SimTime tmin = next_event_time();
+    if (tmin < 0 || tmin > t) break;
+    SimTime h;
+    if (lookahead_ > 0 && t - tmin >= lookahead_) {
+      h = tmin + lookahead_;
+    } else {
+      // Either no cross-shard edges exist (lookahead 0) or the remaining
+      // span fits inside one lookahead window: run straight to t.
+      h = t == std::numeric_limits<SimTime>::max() ? t : t + 1;
+    }
+    run_window(h);
+    drain_mailboxes();
+  }
+  // Nothing at or before t remains anywhere; advance every clock to t.
+  for (auto& s : shards_) s->run_until(t);
+  for (const auto& s : shards_)
+    if (s->pending_events() > 0) return true;
+  return false;
+}
+
+void ParallelEngine::run() {
+  if (shards_.size() == 1) {
+    Engine& s = *shards_[0];
+    std::uint64_t base = s.events_processed();
+    s.run();
+    critical_events_ += s.events_processed() - base;
+    ++windows_;
+    return;
+  }
+  start_workers();
+  drain_mailboxes();
+  for (;;) {
+    SimTime tmin = next_event_time();
+    if (tmin < 0) break;
+    run_window(lookahead_ > 0 ? tmin + lookahead_ : SimTime{-1});
+    drain_mailboxes();
+  }
+}
+
+void ParallelEngine::register_metrics(obs::Registration& reg) const {
+  reg.probe(-1, "sim.parallel", "shards", [this] { return static_cast<std::int64_t>(shard_count()); });
+  reg.probe(-1, "sim.parallel", "lookahead_ns",
+            [this] { return static_cast<std::int64_t>(lookahead_); });
+  reg.probe(-1, "sim.parallel", "windows",
+            [this] { return static_cast<std::int64_t>(windows_); });
+  reg.probe(-1, "sim.parallel", "cross_events",
+            [this] { return static_cast<std::int64_t>(cross_events_); });
+  reg.probe(-1, "sim.parallel", "mailbox_highwater",
+            [this] { return static_cast<std::int64_t>(mailbox_highwater_); });
+  reg.probe(-1, "sim.parallel", "critical_path_events",
+            [this] { return static_cast<std::int64_t>(critical_events_); });
+  for (int i = 0; i < shard_count(); ++i) {
+    std::string prefix = "shard" + std::to_string(i) + ".";
+    reg.probe(-1, "sim.parallel", prefix + "events_processed",
+              [this, i] { return static_cast<std::int64_t>(shard_events(i)); });
+    reg.probe(-1, "sim.parallel", prefix + "pending_events", [this, i] {
+      return static_cast<std::int64_t>(shard(i).pending_events());
+    });
+    reg.probe(-1, "sim.parallel", prefix + "cross_posts", [this, i] {
+      return static_cast<std::int64_t>(shard(i).cross_posts());
+    });
+    // Host wall-clock: useful for spotting load imbalance interactively,
+    // never part of a byte-compared report.
+    reg.probe(-1, "sim.parallel", prefix + "work_ns",
+              [this, i] { return static_cast<std::int64_t>(shard_work_ns(i)); });
+    reg.probe(-1, "sim.parallel", prefix + "barrier_wait_ns",
+              [this, i] { return static_cast<std::int64_t>(shard_barrier_wait_ns(i)); });
+  }
+}
+
+}  // namespace nectar::sim

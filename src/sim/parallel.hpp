@@ -1,0 +1,163 @@
+#pragma once
+
+// Conservative parallel discrete-event coordinator.
+//
+// A ParallelEngine owns K shard Engines, each a fully independent
+// single-threaded event loop with its own queue, event slab, and worker
+// thread. Shards advance in lock-step *windows*: if the earliest pending
+// event anywhere sits at T_min, and the cheapest cross-shard hop takes at
+// least `lookahead` nanoseconds of simulated time, then no shard can
+// receive a remote event before T_min + lookahead — so every shard may run
+// [T_min, T_min + lookahead) without hearing from the others. At the window
+// barrier the coordinator drains the cross-shard mailboxes, computes the
+// next window, and repeats. This is classic conservative (CMB-style)
+// synchronization with the lookahead derived from trunk fiber latency.
+//
+// Determinism contract:
+//   * same seed + same shard count => byte-identical results. Mailboxes are
+//     drained on the coordinator thread in (time, key, seq) order — key
+//     identifies the sending element (e.g. HUB output port), seq is its
+//     per-key counter — so insertion order into the destination queue never
+//     depends on thread timing.
+//   * shards == 1 bypasses the window machinery entirely: run_until()
+//     delegates to the lone Engine on the calling thread, reproducing the
+//     sequential simulator bit-for-bit (no worker threads are created).
+//
+// Wall-clock counters (work_ns, barrier_wait_ns) are host measurements and
+// are deliberately kept out of anything byte-compared; only event counts,
+// window counts, and mailbox statistics are deterministic.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace nectar::obs {
+class Registration;
+}
+
+namespace nectar::sim {
+
+class ParallelEngine {
+ public:
+  /// `shards` >= 1. With one shard no threads are ever spawned.
+  explicit ParallelEngine(int shards);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Engine& shard(int i) { return *shards_.at(static_cast<std::size_t>(i)); }
+  const Engine& shard(int i) const { return *shards_.at(static_cast<std::size_t>(i)); }
+
+  /// Minimum simulated-time latency of any cross-shard edge, in ns. Zero
+  /// means "no cross-shard edges": windows are unbounded and each run_until
+  /// completes in a single window. Wiring code (net::Network) must reject
+  /// any cross-shard link whose latency would lower this to zero.
+  void set_lookahead(SimTime l);
+  SimTime lookahead() const { return lookahead_; }
+
+  /// Advance every shard to simulated time `t` (events at exactly `t`
+  /// fire). Returns true if any shard still has later events pending.
+  bool run_until(SimTime t);
+
+  /// Run windows until every shard queue and mailbox is empty. Shard
+  /// clocks end at the last window horizon (matching Engine::run_until
+  /// semantics); they are not advanced further.
+  void run();
+
+  // --- cross-shard posting (called from shard worker threads) ---------------
+
+  /// Enqueue `fn` for shard `dst` at simulated time `t`. `key` names the
+  /// posting element and `seq` its per-key counter; together with `t` they
+  /// define the deterministic drain order. Only the worker currently
+  /// running shard `src` may post from `src` (single-writer mailboxes).
+  void post(int src, int dst, SimTime t, std::uint64_t key, std::uint64_t seq, Engine::Action fn);
+
+  // --- deterministic statistics ---------------------------------------------
+
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t cross_events() const { return cross_events_; }
+  /// Largest single-barrier mailbox drain (events crossing one window edge).
+  std::size_t mailbox_highwater() const { return mailbox_highwater_; }
+  std::uint64_t total_events() const;
+  std::uint64_t shard_events(int i) const {
+    return shards_.at(static_cast<std::size_t>(i))->events_processed();
+  }
+  /// Sum over windows of the busiest shard's event count: the number of
+  /// events a perfectly parallel host could not avoid executing serially.
+  /// total_events() / critical_path_events() is the speedup an ideal
+  /// K-core host gets from this partition — a deterministic scaling metric
+  /// independent of host core count.
+  std::uint64_t critical_path_events() const { return critical_events_; }
+
+  // --- wall-clock statistics (host-dependent; never byte-compared) ----------
+
+  std::uint64_t shard_work_ns(int i) const {
+    return work_ns_.at(static_cast<std::size_t>(i));
+  }
+  std::uint64_t shard_barrier_wait_ns(int i) const {
+    return barrier_wait_ns_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Probes under (node -1, "sim.parallel"): per-shard event counts and
+  /// wall-clock work/barrier-wait, plus window/mailbox statistics.
+  void register_metrics(obs::Registration& reg) const;
+
+ private:
+  struct CrossEvent {
+    SimTime time;
+    std::uint64_t key;
+    std::uint64_t seq;
+    int dst;
+    Engine::Action fn;
+  };
+
+  void start_workers();
+  void worker_main(int i);
+  /// One barrier cycle: release every worker to run_until(horizon - 1)
+  /// (horizon -1: run to empty), wait for all of them, account the window.
+  void run_window(SimTime horizon);
+  void drain_mailboxes();
+  /// Earliest pending event time across shards, or -1 if all queues are
+  /// empty (mailboxes must already be drained). Non-const: prunes
+  /// cancelled heap entries while peeking.
+  SimTime next_event_time();
+
+  std::vector<std::unique_ptr<Engine>> shards_;
+  SimTime lookahead_ = 0;
+
+  // Single-writer mailboxes: outbox_[src] is written only by the worker
+  // running shard src during a window; the barrier's mutex hand-off orders
+  // those writes before the coordinator's drain.
+  std::vector<std::vector<CrossEvent>> outbox_;
+  std::vector<CrossEvent> scratch_;
+
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_events_ = 0;
+  std::uint64_t critical_events_ = 0;
+  std::size_t mailbox_highwater_ = 0;
+  std::vector<std::uint64_t> window_base_;
+  std::vector<std::uint64_t> work_ns_;
+  std::vector<std::uint64_t> barrier_wait_ns_;
+
+  // Epoch barrier: run_window publishes {horizon_, epoch_} under m_ and
+  // wakes the workers; each worker runs its shard, then the last one to
+  // finish wakes the coordinator via cv_done_.
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  SimTime horizon_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace nectar::sim
