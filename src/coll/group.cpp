@@ -1,0 +1,19 @@
+#include "coll/group.hpp"
+
+#include <stdexcept>
+
+namespace nectar::coll {
+
+Algorithm parse_algorithm(const std::string& name) {
+  if (name == "tree") return Algorithm::Tree;
+  if (name == "dissemination" || name == "dissem" || name == "butterfly") {
+    return Algorithm::Dissemination;
+  }
+  throw std::invalid_argument("coll: unknown algorithm '" + name + "' (tree|dissemination)");
+}
+
+const char* algorithm_name(Algorithm a) {
+  return a == Algorithm::Tree ? "tree" : "dissemination";
+}
+
+}  // namespace nectar::coll

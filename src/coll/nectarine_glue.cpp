@@ -1,0 +1,56 @@
+// Definitions of the Nectarine coll_* surface (declared in
+// nectarine/cab_api.hpp and nectarine/nectarine.hpp against forward
+// declarations). They live here, in the collective library, so Nectarine
+// itself has no build dependency on src/coll — the same one-way layering as
+// every other subsystem pair.
+
+#include <stdexcept>
+
+#include "coll/engine.hpp"
+#include "coll/host.hpp"
+#include "nectarine/cab_api.hpp"
+
+namespace nectar::nectarine {
+
+bool CabNectarine::coll_barrier(std::uint16_t group) {
+  if (coll_ == nullptr) throw std::logic_error("CabNectarine: no collective engine attached");
+  return coll_->barrier(group);
+}
+
+bool CabNectarine::coll_bcast(std::uint16_t group, std::span<std::uint8_t> data) {
+  if (coll_ == nullptr) throw std::logic_error("CabNectarine: no collective engine attached");
+  return coll_->bcast(group, data);
+}
+
+bool CabNectarine::coll_reduce(std::uint16_t group, coll::ReduceOp op,
+                               std::uint64_t contribution, std::uint64_t* result) {
+  if (coll_ == nullptr) throw std::logic_error("CabNectarine: no collective engine attached");
+  return coll_->reduce(group, op, contribution, result);
+}
+
+bool HostNectarine::coll_barrier(std::uint16_t group) {
+  if (coll_ == nullptr || coll_->group_id() != group) {
+    throw std::logic_error("HostNectarine: no collective baseline attached for group " +
+                           std::to_string(group));
+  }
+  return coll_->barrier();
+}
+
+bool HostNectarine::coll_bcast(std::uint16_t group, std::span<std::uint8_t> data) {
+  if (coll_ == nullptr || coll_->group_id() != group) {
+    throw std::logic_error("HostNectarine: no collective baseline attached for group " +
+                           std::to_string(group));
+  }
+  return coll_->bcast(data);
+}
+
+bool HostNectarine::coll_reduce(std::uint16_t group, coll::ReduceOp op,
+                                std::uint64_t contribution, std::uint64_t* result) {
+  if (coll_ == nullptr || coll_->group_id() != group) {
+    throw std::logic_error("HostNectarine: no collective baseline attached for group " +
+                           std::to_string(group));
+  }
+  return coll_->reduce(op, contribution, result);
+}
+
+}  // namespace nectar::nectarine

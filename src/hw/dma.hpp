@@ -52,6 +52,14 @@ class DmaController {
                   std::size_t len, SendCallback done, int src_node = -1,
                   obs::TraceContext trace = {});
 
+  /// Multicast transmit: identical to start_send but the frame carries a
+  /// distribution tree instead of a unicast route; every HUB it reaches
+  /// replicates it per the tree (hw::McastTree). One send-channel pass, one
+  /// fiber serialization — the fan-out happens in the fabric.
+  void start_send_mcast(McastRef mcast, std::span<const std::uint8_t> header, CabAddr src,
+                        std::size_t len, SendCallback done, int src_node = -1,
+                        obs::TraceContext trace = {});
+
   // ---- VME channel (host memory <-> data memory) -------------------------
 
   /// Block-copy host memory into CAB data memory. The host span must stay

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "hw/mcast.hpp"
 #include "hw/pool.hpp"
 #include "obs/span.hpp"
 #include "sim/action.hpp"
@@ -42,11 +43,21 @@ struct Frame {
   /// attribute queueing/serialization time to the trace without parsing
   /// payload bytes. Invalid (trace_id 0) for unsampled frames.
   obs::TraceContext trace{};
+  /// Multicast: when valid, `route` is empty and each HUB replicates the
+  /// frame per the tree node `mcast_node` instead of consuming a route byte.
+  /// CAB-bound replicas have `mcast` cleared, so they arrive as plain
+  /// unicast frames.
+  McastRef mcast{};
+  std::int32_t mcast_node = 0;
 
-  std::size_t remaining_hops() const { return route.size() - hops_done; }
+  std::size_t remaining_hops() const {
+    return mcast.valid() ? mcast.node(mcast_node).depth : route.size() - hops_done;
+  }
   std::uint8_t next_port() const { return route[hops_done]; }
 
-  /// Bytes this frame occupies on the wire at the current hop.
+  /// Bytes this frame occupies on the wire at the current hop. For multicast
+  /// the tree node's depth (max port bytes on any remaining path) stands in
+  /// for the unicast route bytes.
   std::size_t wire_bytes() const { return remaining_hops() + payload.size() + kFrameOverhead; }
 };
 

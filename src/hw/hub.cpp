@@ -124,6 +124,12 @@ bool Hub::InputPort::offer(Frame&& f, sim::SimTime first, sim::SimTime last) {
 }
 
 void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last) {
+  if (f.mcast.valid()) {
+    // Multicast frames carry no route bytes; the tree node names every
+    // output this HUB must copy the frame to.
+    replicate_mcast(in_port, std::move(f), first, last);
+    return;
+  }
   int out;
   std::optional<int> circuit = circuit_output(in_port);
   obs::CausalTracer* ct = f.trace.valid() ? obs::CausalTracer::active() : nullptr;
@@ -140,6 +146,46 @@ void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime l
     }
     return;  // undeliverable: route exhausted and no circuit
   }
+  enqueue_out(in_port, out, std::move(f), first, last);
+}
+
+void Hub::replicate_mcast(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last) {
+  std::int32_t tnode = f.mcast_node;
+  if (tnode < 0 || static_cast<std::size_t>(tnode) >= f.mcast.tree().nodes.size()) {
+    ++route_errors_;  // malformed tree reference: treat like a bad route byte
+    return;
+  }
+  const McastTree::Node& node = f.mcast.node(tnode);
+  ++mcast_in_;
+  // One replica per edge, in port order. The last edge adopts the incoming
+  // frame's payload buffer; earlier edges copy it (host-side copy only — on
+  // the wire each replica re-serializes through its own output port).
+  for (std::size_t i = 0; i < node.edges.size(); ++i) {
+    const McastTree::Edge& e = node.edges[i];
+    Frame r;
+    if (i + 1 == node.edges.size()) {
+      r.payload = std::move(f.payload);
+    } else {
+      r.payload = PooledBytes(f.payload.size());
+      std::copy(f.payload.begin(), f.payload.end(), r.payload.begin());
+    }
+    r.crc = f.crc;
+    r.corrupted = f.corrupted;
+    r.id = f.id;
+    r.src_node = f.src_node;
+    r.trace = f.trace;
+    if (e.child >= 0) {
+      r.mcast = f.mcast;  // trunk edge: the subtree rides on
+      r.mcast_node = e.child;
+    }  // CAB edge: mcast left invalid — the replica arrives as unicast
+    ++mcast_out_;
+    if (e.port < outputs_.size()) ++outputs_[e.port].mcast_frames;
+    enqueue_out(in_port, static_cast<int>(e.port), std::move(r), first, last);
+  }
+}
+
+void Hub::enqueue_out(int in_port, int out, Frame&& f, sim::SimTime first, sim::SimTime last) {
+  obs::CausalTracer* ct = f.trace.valid() ? obs::CausalTracer::active() : nullptr;
   if (out < 0 || out >= num_ports() || outputs_[static_cast<std::size_t>(out)].sink == nullptr) {
     ++route_errors_;
     // A bad route byte that still names a real port is attributed to that
@@ -283,6 +329,10 @@ std::uint64_t Hub::output_route_errors(int port) const {
   return outputs_.at(static_cast<std::size_t>(port)).route_errors;
 }
 
+std::uint64_t Hub::output_mcast_frames(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).mcast_frames;
+}
+
 void Hub::register_metrics(obs::Registration& reg) const {
   reg.probe(-1, "hub", name_ + ".frames_switched",
             [this] { return static_cast<std::int64_t>(frames_switched_); });
@@ -292,6 +342,10 @@ void Hub::register_metrics(obs::Registration& reg) const {
             [this] { return static_cast<std::int64_t>(route_errors_); });
   reg.probe(-1, "hub", name_ + ".blackout_drops",
             [this] { return static_cast<std::int64_t>(blackout_drops_); });
+  reg.probe(-1, "hub", name_ + ".mcast_in",
+            [this] { return static_cast<std::int64_t>(mcast_in_); });
+  reg.probe(-1, "hub", name_ + ".mcast_out",
+            [this] { return static_cast<std::int64_t>(mcast_out_); });
   for (int p = 0; p < num_ports(); ++p) {
     if (outputs_[static_cast<std::size_t>(p)].sink == nullptr) continue;  // unused port
     std::string prefix = name_ + ".port" + std::to_string(p);
@@ -305,6 +359,8 @@ void Hub::register_metrics(obs::Registration& reg) const {
               [this, p] { return static_cast<std::int64_t>(output_blackout_drops(p)); });
     reg.probe(-1, "hub", prefix + ".route_errors",
               [this, p] { return static_cast<std::int64_t>(output_route_errors(p)); });
+    reg.probe(-1, "hub", prefix + ".mcast_frames",
+              [this, p] { return static_cast<std::int64_t>(output_mcast_frames(p)); });
   }
 }
 

@@ -79,6 +79,13 @@ class Hub {
   std::uint64_t frames_switched() const { return frames_switched_; }
   std::uint64_t route_errors() const { return route_errors_; }
   std::uint64_t bytes_switched() const { return bytes_switched_; }
+  /// Multicast frames that reached this HUB's replication stage.
+  std::uint64_t mcast_in() const { return mcast_in_; }
+  /// Replicas produced by the replication stage (over all input frames).
+  std::uint64_t mcast_out() const { return mcast_out_; }
+  /// Replicas fanned out through output `port` — the per-port multicast
+  /// replication gauge (how much of a port's traffic is tree fan-out).
+  std::uint64_t output_mcast_frames(int port) const;
   /// Frames discarded by blacked-out output ports (all ports).
   std::uint64_t blackout_drops() const { return blackout_drops_; }
   /// Frames discarded by output `port` while blacked out — the per-port
@@ -103,11 +110,12 @@ class Hub {
   std::uint64_t output_frames(int port) const;
 
   /// Per-HUB probes under (node -1, "hub"): "<name>.frames_switched",
-  /// "<name>.route_errors", "<name>.blackout_drops", and for each attached
-  /// output port "<name>.port<p>.frames" / ".busy_ns" / ".blocked_ns" /
-  /// ".queue_highwater" / ".blackout_drops" / ".route_errors" — how scenario
-  /// reports attribute loss and queueing delay to the crossbar. Opt-in via
-  /// Network::register_substrate_metrics.
+  /// "<name>.route_errors", "<name>.blackout_drops", "<name>.mcast_in" /
+  /// ".mcast_out", and for each attached output port "<name>.port<p>.frames"
+  /// / ".busy_ns" / ".blocked_ns" / ".queue_highwater" / ".blackout_drops" /
+  /// ".route_errors" / ".mcast_frames" — how scenario reports attribute
+  /// loss, queueing delay, and multicast replication to the crossbar.
+  /// Opt-in via Network::register_substrate_metrics.
   void register_metrics(obs::Registration& reg) const;
 
  private:
@@ -144,6 +152,7 @@ class Hub {
     std::optional<int> reserved_by;  // circuit switching
     bool blackout = false;           // fault injection: discard everything
     std::uint64_t frames = 0;
+    std::uint64_t mcast_frames = 0;  // of `frames`, how many were tree replicas
     std::uint64_t blackout_drops = 0;
     std::uint64_t route_errors = 0;
     sim::SimTime busy_time = 0;
@@ -162,6 +171,13 @@ class Hub {
   };
 
   void route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last);
+  /// Replication stage: fan `f` out per its mcast tree node, one replica per
+  /// edge in port order (deterministic contention), each re-entering the
+  /// common output path below.
+  void replicate_mcast(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last);
+  /// Common output-side tail shared by unicast routing and multicast
+  /// replicas: validates `out`, applies blackout, queues, kicks the port.
+  void enqueue_out(int in_port, int out, Frame&& f, sim::SimTime first, sim::SimTime last);
   void try_forward(int out_port);
   void deliver_front(int out_port);  // first byte reached the downstream sink
   void on_output_drain(int out_port);
@@ -176,6 +192,8 @@ class Hub {
   std::uint64_t bytes_switched_ = 0;
   std::uint64_t route_errors_ = 0;
   std::uint64_t blackout_drops_ = 0;
+  std::uint64_t mcast_in_ = 0;
+  std::uint64_t mcast_out_ = 0;
 };
 
 }  // namespace nectar::hw

@@ -1,8 +1,15 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <string>
 
 #include "nectarine/nectarine.hpp"
+
+namespace nectar::coll {
+class CollectiveEngine;
+enum class ReduceOp : std::uint8_t;
+}
 
 namespace nectar::nectarine {
 
@@ -51,12 +58,27 @@ class CabNectarine {
   bool start_remote_task(core::MailboxAddr remote_service, const std::string& task,
                          std::uint32_t arg);
 
+  // --- collectives (src/coll) ----------------------------------------------
+
+  /// Attach this node's CAB-resident collective engine. The coll_* calls
+  /// below forward to it (same names and shapes as HostNectarine, keeping
+  /// the §3.5 host/CAB interface symmetry); they are defined alongside the
+  /// engine in src/coll, so Nectarine itself carries no dependency on it.
+  void attach_collectives(coll::CollectiveEngine* engine) { coll_ = engine; }
+  coll::CollectiveEngine* collectives() { return coll_; }
+
+  bool coll_barrier(std::uint16_t group);
+  bool coll_bcast(std::uint16_t group, std::span<std::uint8_t> data);
+  bool coll_reduce(std::uint16_t group, coll::ReduceOp op, std::uint64_t contribution,
+                   std::uint64_t* result);
+
  private:
   core::CabRuntime& rt_;
   nproto::DatagramProtocol& datagram_;
   nproto::Rmp& rmp_;
   nproto::ReqResp& reqresp_;
   core::Mailbox& scratch_;
+  coll::CollectiveEngine* coll_ = nullptr;
 };
 
 }  // namespace nectar::nectarine

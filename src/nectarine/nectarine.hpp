@@ -11,6 +11,11 @@
 #include "nproto/reqresp.hpp"
 #include "nproto/rmp.hpp"
 
+namespace nectar::coll {
+class HostCollective;
+enum class ReduceOp : std::uint8_t;
+}
+
 namespace nectar::nectarine {
 
 // RPC-based mailbox operation opcodes (paper §3.3: "Mailbox operations from
@@ -132,8 +137,22 @@ class HostNectarine {
   bool start_remote_task(CabServices& local, core::MailboxAddr remote_service,
                          const std::string& task, std::uint32_t arg);
 
+  // --- collectives (src/coll) -------------------------------------------------
+
+  /// Attach this host's collective baseline. The coll_* calls forward to it
+  /// (mirroring CabNectarine, §3.5 interface symmetry); definitions live in
+  /// src/coll so Nectarine carries no dependency on the collective code.
+  void attach_collectives(coll::HostCollective* hc) { coll_ = hc; }
+  coll::HostCollective* collectives() { return coll_; }
+
+  bool coll_barrier(std::uint16_t group);
+  bool coll_bcast(std::uint16_t group, std::span<std::uint8_t> data);
+  bool coll_reduce(std::uint16_t group, coll::ReduceOp op, std::uint64_t contribution,
+                   std::uint64_t* result);
+
  private:
   host::CabDriver& driver_;
+  coll::HostCollective* coll_ = nullptr;
 };
 
 }  // namespace nectar::nectarine

@@ -1,5 +1,6 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <stdexcept>
 
@@ -206,6 +207,74 @@ const hw::RouteRef& Network::route_ref(int src, int dst) const {
 
 const std::vector<std::uint8_t>& Network::route(int src, int dst) const {
   return route_ref(src, dst).bytes();
+}
+
+const hw::McastRef& Network::mcast_ref(int src, const std::vector<int>& members) const {
+  std::vector<int> key_members = members;
+  std::sort(key_members.begin(), key_members.end());
+  key_members.erase(std::unique(key_members.begin(), key_members.end()), key_members.end());
+  auto [it, inserted] = mcast_cache_.try_emplace({src, key_members});
+  if (!inserted) return it->second;
+
+  // (hub, output port) -> downstream hub, from the wired trunks: lets the
+  // builder follow the port bytes of each unicast hub path hub by hub.
+  std::map<std::pair<int, int>, int> next_hub;
+  for (const Trunk& t : trunks_) {
+    next_hub[{t.hub_a, t.port_a}] = t.hub_b;
+    next_hub[{t.hub_b, t.port_b}] = t.hub_a;
+  }
+
+  const CabNode& s = *cabs_.at(static_cast<std::size_t>(src));
+  hw::McastTree tree;
+  tree.nodes.emplace_back();  // node 0: the source CAB's own HUB
+  std::map<int, std::int32_t> hub_node{{s.hub, 0}};
+
+  // Overlay each member's unicast hub path onto the tree. Paths to members
+  // behind the same hubs share their prefix, so every trunk in the union
+  // carries one replica; the per-member CAB port becomes a leaf edge.
+  for (int dst : key_members) {
+    if (dst == src) continue;  // a node never multicasts to itself
+    const CabNode& d = *cabs_.at(static_cast<std::size_t>(dst));
+    std::int32_t cur = 0;
+    int cur_hub = s.hub;
+    for (std::uint8_t port : hub_path(s.hub, d.hub)) {
+      auto nh = next_hub.find({cur_hub, static_cast<int>(port)});
+      if (nh == next_hub.end())
+        throw std::logic_error("Network::mcast_ref: hub path uses a non-trunk port");
+      auto [hit, fresh] = hub_node.try_emplace(nh->second);
+      if (fresh) {
+        hit->second = static_cast<std::int32_t>(tree.nodes.size());
+        tree.nodes.emplace_back();
+        tree.nodes[static_cast<std::size_t>(cur)].edges.push_back(
+            {port, hit->second});
+      }
+      cur = hit->second;
+      cur_hub = nh->second;
+    }
+    tree.nodes[static_cast<std::size_t>(cur)].edges.push_back(
+        {static_cast<std::uint8_t>(d.port), -1});
+  }
+
+  for (hw::McastTree::Node& n : tree.nodes) {
+    std::sort(n.edges.begin(), n.edges.end(),
+              [](const hw::McastTree::Edge& a, const hw::McastTree::Edge& b) {
+                return a.port < b.port;
+              });
+  }
+  // Children are always appended after their parent, so a reverse sweep sees
+  // every subtree depth before the node that needs it.
+  for (std::size_t i = tree.nodes.size(); i-- > 0;) {
+    std::uint32_t depth = 0;
+    for (const hw::McastTree::Edge& e : tree.nodes[i].edges) {
+      std::uint32_t below =
+          1 + (e.child >= 0 ? tree.nodes[static_cast<std::size_t>(e.child)].depth : 0);
+      depth = std::max(depth, below);
+    }
+    tree.nodes[i].depth = depth;
+  }
+
+  it->second = hw::McastRef(std::move(tree));
+  return it->second;
 }
 
 void Network::install_routes() {

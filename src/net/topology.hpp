@@ -149,6 +149,15 @@ class Network {
   /// datalinks and the control plane hold, computed once per pair.
   const hw::RouteRef& route_ref(int src, int dst) const;
 
+  /// Multicast distribution tree from `src` to every CAB in `members`
+  /// (src itself is skipped — a node never multicasts to itself). Built by
+  /// overlaying the unicast hub paths, so each trunk the union uses carries
+  /// exactly one replica; interned per (src, member set) like the unicast
+  /// route cache and immutable after build, so frames of a collective group
+  /// share one tree with no locking. Call before the run starts (group
+  /// setup time), like route_ref.
+  const hw::McastRef& mcast_ref(int src, const std::vector<int>& members) const;
+
   /// Run the simulation until the event queue drains or `t` is reached.
   void run_until(sim::SimTime t) { par_->run_until(t); }
   void run() { par_->run(); }
@@ -181,6 +190,9 @@ class Network {
   // starts — immutable (read-only) while shard threads are active.
   mutable std::map<std::pair<int, int>, hw::RouteRef> route_cache_;
   mutable std::map<std::pair<int, int>, std::vector<std::uint8_t>> hub_path_cache_;
+  // Interned multicast trees, keyed by (source, sorted member set) — the
+  // canonical form, so permuted member lists share one tree.
+  mutable std::map<std::pair<int, std::vector<int>>, hw::McastRef> mcast_cache_;
   bool route_spread_ = false;
 
   // Last member: holds probes reading the nodes above (VME, links), so it

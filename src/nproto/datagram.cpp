@@ -1,5 +1,7 @@
 #include "nproto/datagram.hpp"
 
+#include <stdexcept>
+
 #include "obs/causal.hpp"
 #include "obs/profiler.hpp"
 #include "sim/costs.hpp"
@@ -88,6 +90,14 @@ void DatagramProtocol::end_of_data(core::Message m, std::uint8_t src_node) {
   }
   proto::NectarHeader h = proto::NectarHeader::parse(
       runtime().board().memory().view(m.data, proto::NectarHeader::kSize));
+  if (auto hit = handlers_.find(h.dst_mailbox); hit != handlers_.end()) {
+    ++delivered_;
+    core::Message payload = core::Mailbox::adjust_prefix(m, proto::NectarHeader::kSize);
+    hit->second(payload, Info{src_node, h.src_mailbox});
+    input_.end_get(payload);  // handler contract: bytes valid only in-call
+    runtime().trace_mark("datagram.deliver");
+    return;
+  }
   core::Mailbox* dst = runtime().find_mailbox(h.dst_mailbox);
   if (dst == nullptr) {
     ++dropped_no_mailbox_;
@@ -104,6 +114,19 @@ void DatagramProtocol::end_of_data(core::Message m, std::uint8_t src_node) {
   }
   input_.enqueue(payload, *dst);
   runtime().trace_mark("datagram.deliver");
+}
+
+void DatagramProtocol::register_delivery_handler(std::uint32_t mailbox_index,
+                                                 DeliveryHandler handler) {
+  if (!handler) throw std::logic_error("DatagramProtocol: null delivery handler");
+  if (!handlers_.emplace(mailbox_index, std::move(handler)).second) {
+    throw std::logic_error("DatagramProtocol: delivery handler for mailbox index " +
+                           std::to_string(mailbox_index) + " already registered");
+  }
+}
+
+void DatagramProtocol::unregister_delivery_handler(std::uint32_t mailbox_index) {
+  handlers_.erase(mailbox_index);
 }
 
 DatagramProtocol::Info DatagramProtocol::last_sender(const core::Mailbox& mb) const {

@@ -52,6 +52,16 @@ class DatagramProtocol : public proto::DatalinkClient {
   /// the last sender info per destination mailbox is available here.
   Info last_sender(const core::Mailbox& mb) const;
 
+  /// A datagram consumer bound to a destination mailbox *index* instead of a
+  /// real mailbox. Runs in interrupt context with the header already
+  /// stripped; the message bytes are valid only for the duration of the
+  /// call (the buffer is recycled when it returns). New message classes
+  /// register here instead of growing a dispatch switch: delivery checks
+  /// the registry first and falls back to the runtime mailbox table.
+  using DeliveryHandler = std::function<void(const core::Message&, const Info&)>;
+  void register_delivery_handler(std::uint32_t mailbox_index, DeliveryHandler handler);
+  void unregister_delivery_handler(std::uint32_t mailbox_index);
+
   // --- DatalinkClient --------------------------------------------------------
 
   std::size_t header_bytes() const override { return proto::NectarHeader::kSize; }
@@ -71,6 +81,7 @@ class DatagramProtocol : public proto::DatalinkClient {
   proto::Datalink& dl_;
   core::Mailbox& input_;
   std::map<const core::Mailbox*, Info> last_sender_;
+  std::map<std::uint32_t, DeliveryHandler> handlers_;
 
   std::uint64_t sent_ = 0;
   std::uint64_t delivered_ = 0;

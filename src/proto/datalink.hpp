@@ -101,6 +101,14 @@ class Datalink {
                 hw::CabAddr payload, std::size_t len, sim::InplaceAction on_sent = {},
                 obs::TraceContext tctx = {});
 
+  /// Multicast send: one serialization out of this CAB, replicated by every
+  /// HUB along `mcast`'s distribution tree (net::Network::mcast_ref). The
+  /// CPU-side cost is a single send — the fan-out is the fabric's work,
+  /// which is exactly the offload the collectives measure.
+  void send_mcast(PacketType type, const hw::McastRef& mcast, HeaderBufLease hdr,
+                  hw::CabAddr payload, std::size_t len, sim::InplaceAction on_sent = {},
+                  obs::TraceContext tctx = {});
+
   // --- stats ------------------------------------------------------------------------
 
   std::uint64_t packets_sent() const { return packets_sent_; }

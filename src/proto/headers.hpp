@@ -51,6 +51,7 @@ enum class PacketType : std::uint8_t {
   Rmp = 3,            ///< Nectar reliable message protocol (§4, §6.2)
   ReqResp = 4,        ///< Nectar request-response protocol (§4)
   NetDev = 5,         ///< raw packets for the network-device usage level (§5.1)
+  Coll = 6,           ///< CAB-resident collective protocols (src/coll)
 };
 
 /// Set in the length field's high bit when a 16-byte causal-trace stamp

@@ -138,6 +138,24 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
     spec.routing.dead_backoff = s->get_double("dead_backoff", spec.routing.dead_backoff);
     spec.routing.revert = s->get_bool("revert", spec.routing.revert);
   }
+  if (const Section* s = cfg.find("collectives")) {
+    check_keys(*s, {"enabled", "mode", "op", "algorithm", "reduce", "payload", "iterations",
+                    "interval", "fanout", "timeout", "retransmit", "multicast"});
+    CollectivesSpec& c = spec.collectives;
+    c.enabled = s->get_bool("enabled", c.enabled);
+    c.mode = s->get("mode", c.mode);
+    c.op = s->get("op", c.op);
+    c.algorithm = s->get("algorithm", c.algorithm);
+    c.reduce = s->get("reduce", c.reduce);
+    c.payload = s->get_int("payload", c.payload);
+    c.iterations = s->get_int("iterations", c.iterations);
+    c.interval = s->get_time("interval", c.interval);
+    c.fanout = s->get_int("fanout", c.fanout);
+    c.timeout = s->get_time("timeout", c.timeout);
+    c.retransmit = s->get_time("retransmit", c.retransmit);
+    c.multicast = s->get_bool("multicast", c.multicast);
+    c.validate();  // reject typos at parse time even when enabled=false
+  }
   for (const Section* s : cfg.all("capture")) {
     check_keys(*s, {"element", "file", "format"});
     CaptureSpec c;
@@ -232,6 +250,9 @@ Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)), net_(spec_.paral
   for (const WorkloadSpec& w : spec_.workloads) {
     workloads_.push_back(std::make_unique<Workload>(net_, raw, w, spec_.seed));
     workloads_.back()->install();
+  }
+  if (spec_.collectives.enabled) {
+    collectives_ = std::make_unique<CollectiveDriver>(net_, raw, spec_.collectives);
   }
   for (const CaptureSpec& c : spec_.captures) {
     int node = parse_capture_node(c.element, n);
@@ -360,6 +381,7 @@ obs::RunReport Scenario::report() {
     }
   }
   if (routing_) routing_->report_into(rep);
+  if (collectives_) collectives_->report_into(rep);
   for (std::size_t i = 0; i < faults_->records().size(); ++i) {
     const FaultRecord& r = faults_->records()[i];
     const std::string p = "fault" + std::to_string(i) + ".";

@@ -22,6 +22,7 @@
 #include "obs/report.hpp"
 #include "proto/ip.hpp"
 #include "route/manager.hpp"
+#include "scenario/collectives.hpp"
 #include "scenario/config.hpp"
 #include "scenario/faults.hpp"
 #include "scenario/topology.hpp"
@@ -82,6 +83,11 @@ struct ScenarioSpec {
   /// RouteManager is built, no monitor threads run, and reports carry no
   /// route.* rows, so pre-existing scenarios stay byte-identical.
   route::RoutingConfig routing;
+  /// Collective workload ([collectives] section). Default-off: with
+  /// enabled=false no group is formed, no coll mailboxes or probes exist,
+  /// and reports carry no coll.* rows — pre-existing scenarios stay
+  /// byte-identical.
+  CollectivesSpec collectives;
   std::vector<WorkloadSpec> workloads;
   std::vector<FaultSpec> faults;
   std::vector<CaptureSpec> captures;
@@ -122,6 +128,8 @@ class Scenario {
   route::RouteManager* routing() { return routing_.get(); }
   /// The causal tracer, or nullptr when [tracing] enabled=false.
   obs::CausalTracer* causal_tracer() { return tracer_.get(); }
+  /// The collective driver, or nullptr when [collectives] enabled=false.
+  CollectiveDriver* collectives() { return collectives_.get(); }
   const std::vector<std::unique_ptr<Workload>>& workloads() const { return workloads_; }
   /// The pcap writers opened for spec().captures, in spec order (tests
   /// inspect packet counts; files flush on Scenario destruction).
@@ -137,6 +145,7 @@ class Scenario {
   std::unique_ptr<obs::CausalTracer> tracer_;
   std::unique_ptr<FaultScheduler> faults_;
   std::vector<std::unique_ptr<Workload>> workloads_;
+  std::unique_ptr<CollectiveDriver> collectives_;
   std::vector<std::unique_ptr<obs::PcapWriter>> pcaps_;
 };
 

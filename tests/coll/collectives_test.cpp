@@ -1,0 +1,362 @@
+#include "coll/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "coll/host.hpp"
+#include "host/driver.hpp"
+#include "host/process.hpp"
+#include "nectarine/cab_api.hpp"
+#include "nectarine/nectarine.hpp"
+#include "net/system.hpp"
+
+namespace nectar::coll {
+namespace {
+
+GroupSpec group_of(int n, Algorithm alg = Algorithm::Tree) {
+  GroupSpec g;
+  g.id = 1;
+  g.members.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) g.members[static_cast<std::size_t>(i)] = i;
+  g.algorithm = alg;
+  return g;
+}
+
+/// N CABs on one HUB, each with a collective engine joined to the same
+/// group. `multicast` hands the root's fan-outs a HUB distribution tree.
+struct CabFixture {
+  net::NectarSystem sys;
+  std::vector<std::unique_ptr<CollectiveEngine>> eng;
+
+  explicit CabFixture(int n, Algorithm alg = Algorithm::Tree, bool multicast = true) : sys(n) {
+    GroupSpec g = group_of(n, alg);
+    if (multicast && n > 1) g.mcast = sys.net().mcast_ref(g.members[0], g.members);
+    for (int i = 0; i < n; ++i) {
+      eng.push_back(std::make_unique<CollectiveEngine>(sys.net().datalink(i)));
+      eng.back()->join_group(g);
+    }
+  }
+};
+
+TEST(CollBarrier, NoMemberExitsBeforeAllEntered) {
+  const int n = 5, iters = 3;
+  CabFixture fx(n);
+  // entered[it][i] / exited[it][i]: simulation times around each barrier.
+  std::vector<std::vector<sim::SimTime>> entered(iters, std::vector<sim::SimTime>(n, -1));
+  std::vector<std::vector<sim::SimTime>> exited(iters, std::vector<sim::SimTime>(n, -1));
+  int ok_count = 0;
+  for (int i = 0; i < n; ++i) {
+    fx.sys.runtime(i).fork_app("w", [&, i] {
+      core::Cpu& cpu = fx.sys.runtime(i).cpu();
+      for (int it = 0; it < iters; ++it) {
+        // Deterministic skew: a different straggler each iteration.
+        cpu.sleep_for(sim::usec(50) * static_cast<sim::SimTime>((i + it) % n));
+        entered[static_cast<std::size_t>(it)][static_cast<std::size_t>(i)] =
+            cpu.engine().now();
+        if (fx.eng[static_cast<std::size_t>(i)]->barrier(1)) ++ok_count;
+        exited[static_cast<std::size_t>(it)][static_cast<std::size_t>(i)] =
+            cpu.engine().now();
+      }
+    });
+  }
+  fx.sys.engine().run();
+
+  EXPECT_EQ(ok_count, n * iters);
+  for (int it = 0; it < iters; ++it) {
+    sim::SimTime last_entry = -1, first_exit = -1;
+    for (int i = 0; i < n; ++i) {
+      last_entry = std::max(last_entry, entered[static_cast<std::size_t>(it)][static_cast<std::size_t>(i)]);
+      sim::SimTime e = exited[static_cast<std::size_t>(it)][static_cast<std::size_t>(i)];
+      first_exit = first_exit < 0 ? e : std::min(first_exit, e);
+    }
+    EXPECT_GE(first_exit, last_entry) << "iteration " << it;
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(fx.eng[static_cast<std::size_t>(i)]->ops_completed(),
+              static_cast<std::uint64_t>(iters));
+    EXPECT_EQ(fx.eng[static_cast<std::size_t>(i)]->ops_failed(), 0u);
+    EXPECT_EQ(fx.eng[static_cast<std::size_t>(i)]->barrier_latency().count(),
+              static_cast<std::uint64_t>(iters));
+  }
+}
+
+TEST(CollBarrier, DisseminationSynchronizes) {
+  const int n = 6;
+  CabFixture fx(n, Algorithm::Dissemination, /*multicast=*/false);
+  std::vector<sim::SimTime> entered(n, -1), exited(n, -1);
+  int ok_count = 0;
+  for (int i = 0; i < n; ++i) {
+    fx.sys.runtime(i).fork_app("w", [&, i] {
+      core::Cpu& cpu = fx.sys.runtime(i).cpu();
+      cpu.sleep_for(sim::usec(70) * static_cast<sim::SimTime>(i));
+      entered[static_cast<std::size_t>(i)] = cpu.engine().now();
+      if (fx.eng[static_cast<std::size_t>(i)]->barrier(1)) ++ok_count;
+      exited[static_cast<std::size_t>(i)] = cpu.engine().now();
+    });
+  }
+  fx.sys.engine().run();
+  EXPECT_EQ(ok_count, n);
+  sim::SimTime last_entry = *std::max_element(entered.begin(), entered.end());
+  sim::SimTime first_exit = *std::min_element(exited.begin(), exited.end());
+  EXPECT_GE(first_exit, last_entry);
+}
+
+TEST(CollBcast, MulticastDeliversPayloadToEveryMember) {
+  const int n = 4;
+  const std::size_t kLen = 96;
+  CabFixture fx(n);
+  std::vector<std::vector<std::uint8_t>> bufs(n, std::vector<std::uint8_t>(kLen, 0));
+  int ok_count = 0;
+  for (int i = 0; i < n; ++i) {
+    fx.sys.runtime(i).fork_app("w", [&, i] {
+      auto& buf = bufs[static_cast<std::size_t>(i)];
+      if (i == 0) {
+        for (std::size_t j = 0; j < kLen; ++j) buf[j] = static_cast<std::uint8_t>(j * 3 + 1);
+      }
+      if (fx.eng[static_cast<std::size_t>(i)]->bcast(1, buf)) ++ok_count;
+    });
+  }
+  fx.sys.engine().run();
+  EXPECT_EQ(ok_count, n);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(bufs[static_cast<std::size_t>(i)], bufs[0]) << "node " << i;
+  }
+  // The root's BcastData fan-out rode the crossbar's replication stage.
+  EXPECT_GT(fx.sys.net().hub(0).mcast_in(), 0u);
+  EXPECT_GE(fx.sys.net().hub(0).mcast_out(), static_cast<std::uint64_t>(n - 1));
+}
+
+TEST(CollBcast, UnicastFallbackWithoutTree) {
+  const int n = 4;
+  const std::size_t kLen = 48;
+  CabFixture fx(n, Algorithm::Tree, /*multicast=*/false);
+  std::vector<std::vector<std::uint8_t>> bufs(n, std::vector<std::uint8_t>(kLen, 0));
+  int ok_count = 0;
+  for (int i = 0; i < n; ++i) {
+    fx.sys.runtime(i).fork_app("w", [&, i] {
+      auto& buf = bufs[static_cast<std::size_t>(i)];
+      if (i == 0) {
+        for (std::size_t j = 0; j < kLen; ++j) buf[j] = static_cast<std::uint8_t>(0xC0 + j);
+      }
+      if (fx.eng[static_cast<std::size_t>(i)]->bcast(1, buf)) ++ok_count;
+    });
+  }
+  fx.sys.engine().run();
+  EXPECT_EQ(ok_count, n);
+  for (int i = 1; i < n; ++i) EXPECT_EQ(bufs[static_cast<std::size_t>(i)], bufs[0]);
+  EXPECT_EQ(fx.sys.net().hub(0).mcast_in(), 0u);  // no tree: plain unicasts
+}
+
+TEST(CollReduce, CombinesOnCabAtInteriorNodes) {
+  const int n = 5;
+  CabFixture fx(n);
+  // contribution of rank r: (r+1)*10 + op index, checked per op below.
+  std::vector<std::array<std::uint64_t, 3>> results(
+      static_cast<std::size_t>(n), std::array<std::uint64_t, 3>{0, 0, 0});
+  int ok_count = 0;
+  const ReduceOp ops[3] = {ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max};
+  for (int i = 0; i < n; ++i) {
+    fx.sys.runtime(i).fork_app("w", [&, i] {
+      for (int k = 0; k < 3; ++k) {
+        std::uint64_t mine = static_cast<std::uint64_t>(i + 1) * 10 + static_cast<std::uint64_t>(k);
+        if (fx.eng[static_cast<std::size_t>(i)]->reduce(
+                1, ops[k], mine, &results[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)])) {
+          ++ok_count;
+        }
+      }
+    });
+  }
+  fx.sys.engine().run();
+  EXPECT_EQ(ok_count, 3 * n);
+  // sum over r of (r+1)*10+0 = 10*(1+..+5) = 150; min = 11; max = 52.
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)][0], 150u) << "node " << i;
+    EXPECT_EQ(results[static_cast<std::size_t>(i)][1], 11u) << "node " << i;
+    EXPECT_EQ(results[static_cast<std::size_t>(i)][2], 52u) << "node " << i;
+  }
+}
+
+TEST(CollNectarine, CabSurfaceForwardsAndThrowsUnattached) {
+  const int n = 3;
+  CabFixture fx(n);
+  std::vector<std::unique_ptr<nectarine::CabNectarine>> nin;
+  for (int i = 0; i < n; ++i) {
+    net::NodeStack& st = fx.sys.stack(i);
+    nin.push_back(std::make_unique<nectarine::CabNectarine>(fx.sys.runtime(i), st.datagram,
+                                                            st.rmp, st.reqresp));
+  }
+  // Unattached: loud error, not a silent no-op.
+  EXPECT_THROW(nin[0]->coll_barrier(1), std::logic_error);
+  for (int i = 0; i < n; ++i) {
+    nin[static_cast<std::size_t>(i)]->attach_collectives(fx.eng[static_cast<std::size_t>(i)].get());
+    EXPECT_EQ(nin[static_cast<std::size_t>(i)]->collectives(),
+              fx.eng[static_cast<std::size_t>(i)].get());
+  }
+  std::vector<std::uint64_t> results(n, 0);
+  int ok_count = 0;
+  for (int i = 0; i < n; ++i) {
+    fx.sys.runtime(i).fork_app("w", [&, i] {
+      if (nin[static_cast<std::size_t>(i)]->coll_barrier(1)) ++ok_count;
+      if (nin[static_cast<std::size_t>(i)]->coll_reduce(
+              1, ReduceOp::Sum, static_cast<std::uint64_t>(i + 1),
+              &results[static_cast<std::size_t>(i)])) {
+        ++ok_count;
+      }
+    });
+  }
+  fx.sys.engine().run();
+  EXPECT_EQ(ok_count, 2 * n);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(results[static_cast<std::size_t>(i)], 6u);
+}
+
+TEST(CollTimeout, MissingMemberFailsLoudThenReformRecovers) {
+  const int n = 2;
+  net::NectarSystem sys(n);
+  GroupSpec g = group_of(n);
+  g.timeout = sim::msec(2);
+  g.retransmit = sim::usec(500);
+  std::vector<std::unique_ptr<CollectiveEngine>> eng;
+  for (int i = 0; i < n; ++i) {
+    eng.push_back(std::make_unique<CollectiveEngine>(sys.net().datalink(i)));
+    eng.back()->join_group(g);
+  }
+
+  // Only the root enters; rank 1 stays silent. The op must fail with the
+  // straggler named — not hang.
+  bool ok = true;
+  sys.runtime(0).fork_app("w0", [&] { ok = eng[0]->barrier(1); });
+  sys.engine().run();
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(eng[0]->ops_failed(), 1u);
+  EXPECT_NE(eng[0]->last_error().find("timed out"), std::string::npos);
+  EXPECT_NE(eng[0]->last_error().find("rank 1"), std::string::npos);
+  // The group is poisoned until reformed: further ops fail fast.
+  bool ok2 = true;
+  sys.runtime(0).fork_app("w0b", [&] { ok2 = eng[0]->barrier(1); });
+  sys.engine().run();
+  EXPECT_FALSE(ok2);
+  EXPECT_EQ(eng[0]->ops_failed(), 2u);
+
+  // Reform under a new epoch on every member; the group works again.
+  for (auto& e : eng) e->reform(1, 2);
+  int ok_count = 0;
+  for (int i = 0; i < n; ++i) {
+    sys.runtime(i).fork_app("w", [&, i] {
+      if (eng[static_cast<std::size_t>(i)]->barrier(1)) ++ok_count;
+    });
+  }
+  sys.engine().run();
+  EXPECT_EQ(ok_count, n);
+}
+
+/// Host-side baseline node: the host process, its CAB driver, and the
+/// Nectarine + HostCollective pair (same construction order on every node).
+struct HostFixtureNode {
+  std::unique_ptr<host::Host> h;
+  std::unique_ptr<host::CabDriver> drv;
+  std::unique_ptr<nectarine::HostNectarine> nin;
+  std::unique_ptr<HostCollective> hc;
+};
+
+std::vector<HostFixtureNode> make_host_nodes(net::NectarSystem& sys, int n,
+                                             const GroupSpec& g) {
+  std::vector<HostFixtureNode> nodes(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    HostFixtureNode& hn = nodes[static_cast<std::size_t>(i)];
+    hn.h = std::make_unique<host::Host>(sys.engine(), "host" + std::to_string(i));
+    hn.drv = std::make_unique<host::CabDriver>(*hn.h, sys.runtime(i));
+    hn.nin = std::make_unique<nectarine::HostNectarine>(*hn.drv);
+    hn.hc = std::make_unique<HostCollective>(*hn.nin, sys.stack(i).datagram, g);
+    hn.nin->attach_collectives(hn.hc.get());
+  }
+  return nodes;
+}
+
+TEST(CollHost, BaselineBarrierAndReduceThroughNectarine) {
+  const int n = 4;
+  net::NectarSystem sys(n, /*with_vme=*/true);
+  auto nodes = make_host_nodes(sys, n, group_of(n));
+
+  std::vector<sim::SimTime> entered(n, -1), exited(n, -1);
+  std::vector<std::uint64_t> results(n, 0);
+  int ok_count = 0;
+  for (int i = 0; i < n; ++i) {
+    nodes[static_cast<std::size_t>(i)].h->run_process("coll", [&, i] {
+      HostFixtureNode& hn = nodes[static_cast<std::size_t>(i)];
+      core::Cpu& cpu = hn.h->cpu();
+      cpu.sleep_for(sim::usec(40) * static_cast<sim::SimTime>(i));
+      entered[static_cast<std::size_t>(i)] = cpu.engine().now();
+      if (hn.nin->coll_barrier(1)) ++ok_count;
+      exited[static_cast<std::size_t>(i)] = cpu.engine().now();
+      if (hn.nin->coll_reduce(1, ReduceOp::Max, static_cast<std::uint64_t>(i * 7 + 1),
+                              &results[static_cast<std::size_t>(i)])) {
+        ++ok_count;
+      }
+    });
+  }
+  sys.engine().run();
+  EXPECT_EQ(ok_count, 2 * n);
+  sim::SimTime last_entry = *std::max_element(entered.begin(), entered.end());
+  sim::SimTime first_exit = *std::min_element(exited.begin(), exited.end());
+  EXPECT_GE(first_exit, last_entry);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(results[static_cast<std::size_t>(i)], static_cast<std::uint64_t>((n - 1) * 7 + 1));
+    EXPECT_EQ(nodes[static_cast<std::size_t>(i)].hc->ops_completed(), 2u);
+  }
+}
+
+TEST(CollHost, CabEngineBeatsHostBaselineOnBarrier) {
+  const int n = 8, iters = 4;
+
+  CabFixture cab(n);
+  for (int i = 0; i < n; ++i) {
+    cab.sys.runtime(i).fork_app("w", [&, i] {
+      for (int it = 0; it < iters; ++it) cab.eng[static_cast<std::size_t>(i)]->barrier(1);
+    });
+  }
+  cab.sys.engine().run();
+
+  net::NectarSystem hsys(n, /*with_vme=*/true);
+  auto nodes = make_host_nodes(hsys, n, group_of(n));
+  for (int i = 0; i < n; ++i) {
+    nodes[static_cast<std::size_t>(i)].h->run_process("coll", [&, i] {
+      for (int it = 0; it < iters; ++it) nodes[static_cast<std::size_t>(i)].hc->barrier();
+    });
+  }
+  hsys.engine().run();
+
+  obs::LatencyHistogram cab_lat, host_lat;
+  for (int i = 0; i < n; ++i) {
+    cab_lat.merge(cab.eng[static_cast<std::size_t>(i)]->barrier_latency());
+    host_lat.merge(nodes[static_cast<std::size_t>(i)].hc->barrier_latency());
+  }
+  ASSERT_EQ(cab_lat.count(), static_cast<std::uint64_t>(n * iters));
+  ASSERT_EQ(host_lat.count(), static_cast<std::uint64_t>(n * iters));
+  // The offload thesis: no per-message host interrupt/wakeup/VME tax, and
+  // the fan-out rides the crossbar — the CAB engine must win clearly.
+  EXPECT_LT(cab_lat.mean() * 2, host_lat.mean());
+}
+
+TEST(CollEngine, SingleMemberFastPathAndUnknownGroupThrows) {
+  net::NectarSystem sys(1);
+  CollectiveEngine eng(sys.net().datalink(0));
+  GroupSpec g = group_of(1);
+  eng.join_group(g);
+  bool ok = false;
+  std::uint64_t result = 0;
+  sys.runtime(0).fork_app("w", [&] {
+    ok = eng.barrier(1) && eng.reduce(1, ReduceOp::Sum, 42, &result);
+  });
+  sys.engine().run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(result, 42u);
+  EXPECT_EQ(eng.msgs_sent(), 0u);  // nothing to talk to
+  EXPECT_THROW(eng.barrier(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nectar::coll

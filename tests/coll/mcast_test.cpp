@@ -1,0 +1,159 @@
+#include "hw/mcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/system.hpp"
+#include "proto/headerbuf.hpp"
+#include "scenario/topology.hpp"
+
+namespace nectar {
+namespace {
+
+std::vector<int> all_members(int n) {
+  std::vector<int> m(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) m[static_cast<std::size_t>(i)] = i;
+  return m;
+}
+
+TEST(McastTree, StarTopologyShapeAndInterning) {
+  net::NectarSystem sys(4);
+  const hw::McastRef& ref = sys.net().mcast_ref(0, {0, 1, 2, 3});
+  ASSERT_TRUE(ref.valid());
+  // One HUB: a single tree node, one CAB leaf per member except the source.
+  ASSERT_EQ(ref.tree().nodes.size(), 1u);
+  EXPECT_EQ(ref.node(0).edges.size(), 3u);
+  EXPECT_EQ(ref.tree().leaves(), 3u);
+  EXPECT_EQ(ref.node(0).depth, 1u);
+  for (const hw::McastTree::Edge& e : ref.node(0).edges) EXPECT_LT(e.child, 0);
+
+  // Interned by (src, sorted-unique members): member order and duplicates
+  // do not fork a second tree.
+  const hw::McastRef& again = sys.net().mcast_ref(0, {3, 1, 2, 0, 2});
+  EXPECT_EQ(&again.tree(), &ref.tree());
+  const hw::McastRef& other_src = sys.net().mcast_ref(1, {0, 1, 2, 3});
+  EXPECT_NE(&other_src.tree(), &ref.tree());
+}
+
+TEST(McastTree, FatTreeSharesTrunkPrefixes) {
+  net::Network net;
+  scenario::TopologySpec ts;
+  ts.kind = scenario::TopologyKind::FatTree;
+  ts.nodes = 8;
+  ts.hub_ports = 8;
+  ts.spines = 2;
+  scenario::build_topology(net, ts, 1);
+
+  const hw::McastRef& ref = net.mcast_ref(0, all_members(8));
+  ASSERT_TRUE(ref.valid());
+  EXPECT_EQ(ref.tree().leaves(), 7u);
+  // Tree property: each non-root tree node is entered by exactly one trunk
+  // edge, so a shared trunk carries one replica no matter how many members
+  // sit behind it.
+  std::size_t trunk_edges = 0;
+  for (const hw::McastTree::Node& node : ref.tree().nodes) {
+    for (const hw::McastTree::Edge& e : node.edges) {
+      if (e.child >= 0) ++trunk_edges;
+    }
+  }
+  EXPECT_EQ(trunk_edges, ref.tree().nodes.size() - 1);
+  EXPECT_GT(ref.tree().nodes.size(), 1u);  // members span multiple leaf HUBs
+  EXPECT_GE(ref.node(0).depth, 2u);        // at least trunk hop + CAB hop deep
+}
+
+/// Minimal datalink client counting deliveries (PacketType::Coll slot is
+/// taken by the engine in real use; tests use a private type).
+class CountingClient : public proto::DatalinkClient {
+ public:
+  explicit CountingClient(core::CabRuntime& rt)
+      : input_(rt.create_mailbox("mcast-count")) {}
+
+  std::size_t header_bytes() const override { return 4; }
+  core::Mailbox& input_mailbox() override { return input_; }
+  void end_of_data(core::Message m, std::uint8_t src) override {
+    ++received;
+    last_src = src;
+    input_.end_get(m);
+  }
+
+  core::Mailbox& input_;
+  int received = 0;
+  std::uint8_t last_src = 0xff;
+};
+
+constexpr proto::PacketType kTestType = static_cast<proto::PacketType>(201);
+
+TEST(HubMcast, ReplicatesOncePerMemberAndCountsPerPort) {
+  const int n = 4;
+  net::NectarSystem sys(n);
+  const hw::McastRef& ref = sys.net().mcast_ref(0, all_members(n));
+
+  std::vector<std::unique_ptr<CountingClient>> clients;
+  for (int i = 0; i < n; ++i) {
+    clients.push_back(std::make_unique<CountingClient>(sys.runtime(i)));
+    sys.net().datalink(i).register_client(kTestType, clients.back().get());
+  }
+
+  const int kSends = 3;
+  sys.runtime(0).fork_system("mcast-send", [&] {
+    for (int s = 0; s < kSends; ++s) {
+      proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+      std::span<std::uint8_t> h = hdr->push_front(4);
+      std::fill(h.begin(), h.end(), std::uint8_t{0xAB});
+      sys.net().datalink(0).send_mcast(kTestType, ref, std::move(hdr), 0, 0);
+      sys.runtime(0).cpu().sleep_for(sim::usec(100));
+    }
+  });
+  sys.engine().run();
+
+  // Every member except the source got each frame exactly once, as unicast.
+  EXPECT_EQ(clients[0]->received, 0);
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(clients[static_cast<std::size_t>(i)]->received, kSends) << "node " << i;
+    EXPECT_EQ(clients[static_cast<std::size_t>(i)]->last_src, 0);
+  }
+
+  // Crossbar gauges (satellite: multicast replication observability): each
+  // send reached the replication stage once and produced n-1 replicas, and
+  // the per-port gauges attribute every replica to a member's port.
+  hw::Hub& hub = sys.net().hub(0);
+  EXPECT_EQ(hub.mcast_in(), static_cast<std::uint64_t>(kSends));
+  EXPECT_EQ(hub.mcast_out(), static_cast<std::uint64_t>(kSends * (n - 1)));
+  EXPECT_EQ(hub.route_errors(), 0u);
+  std::uint64_t per_port = 0;
+  for (int p = 0; p < hub.num_ports(); ++p) per_port += hub.output_mcast_frames(p);
+  EXPECT_EQ(per_port, hub.mcast_out());
+  EXPECT_EQ(hub.output_mcast_frames(0), 0u);  // nothing replicated back at the source
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(hub.output_mcast_frames(i), static_cast<std::uint64_t>(kSends));
+  }
+}
+
+TEST(HubMcast, GaugesRegisteredAsProbes) {
+  const int n = 3;
+  net::NectarSystem sys(n);
+  const hw::McastRef& ref = sys.net().mcast_ref(0, all_members(n));
+  CountingClient c1(sys.runtime(1)), c2(sys.runtime(2));
+  sys.net().datalink(1).register_client(kTestType, &c1);
+  sys.net().datalink(2).register_client(kTestType, &c2);
+  sys.net().register_substrate_metrics();
+
+  sys.runtime(0).fork_system("send", [&] {
+    proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+    hdr->push_front(4);
+    sys.net().datalink(0).send_mcast(kTestType, ref, std::move(hdr), 0, 0);
+  });
+  sys.engine().run();
+
+  obs::Snapshot snap = sys.metrics().snapshot();
+  EXPECT_EQ(snap.value_of(-1, "hub", "hub0.mcast_in"), 1);
+  EXPECT_EQ(snap.value_of(-1, "hub", "hub0.mcast_out"), 2);
+  EXPECT_EQ(snap.value_of(-1, "hub", "hub0.port1.mcast_frames"), 1);
+  EXPECT_EQ(snap.value_of(-1, "hub", "hub0.port2.mcast_frames"), 1);
+  EXPECT_EQ(snap.value_of(-1, "hub", "hub0.port0.mcast_frames"), 0);
+}
+
+}  // namespace
+}  // namespace nectar

@@ -139,5 +139,41 @@ TEST(Datagram, ManyMessagesArriveInOrder) {
   for (int i = 0; i < 12; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], "d" + std::to_string(i));
 }
 
+TEST(Datagram, DeliveryHandlerRegistryInterceptsByIndex) {
+  // New message classes register a consumer for a destination index instead
+  // of growing a dispatch switch; the registry is checked before the runtime
+  // mailbox table.
+  net::NectarSystem sys(2);
+  constexpr std::uint32_t kIndex = 4242;
+  std::vector<std::string> got;
+  DatagramProtocol::Info seen{};
+  sys.stack(1).datagram.register_delivery_handler(
+      kIndex, [&](const core::Message& m, const DatagramProtocol::Info& info) {
+        got.push_back(read_bytes(sys.runtime(1), m));
+        seen = info;
+      });
+  sys.runtime(0).fork_system("send", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch");
+    sys.stack(0).datagram.send({1, kIndex}, stage(s, sys.runtime(0), "to handler"));
+  });
+  sys.engine().run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "to handler");
+  EXPECT_EQ(seen.src_node, 0);
+  EXPECT_EQ(sys.stack(1).datagram.datagrams_delivered(), 1u);
+  EXPECT_EQ(sys.stack(1).datagram.dropped_no_mailbox(), 0u);
+
+  // After unregistering, the same index falls back to the mailbox table —
+  // which has no such mailbox, so the datagram is counted as dropped.
+  sys.stack(1).datagram.unregister_delivery_handler(kIndex);
+  sys.runtime(0).fork_system("send2", [&] {
+    core::Mailbox& s = sys.runtime(0).create_mailbox("scratch2");
+    sys.stack(0).datagram.send({1, kIndex}, stage(s, sys.runtime(0), "void"));
+  });
+  sys.engine().run();
+  EXPECT_EQ(got.size(), 1u);
+  EXPECT_EQ(sys.stack(1).datagram.dropped_no_mailbox(), 1u);
+}
+
 }  // namespace
 }  // namespace nectar::nproto
