@@ -140,6 +140,33 @@ int run(const BenchOptions& options) {
     report.add(k + ".wall_ms", p.wall_ms, "ms");
   }
 
+  if (!options.telemetry_path.empty()) {
+    // One extra telemetered run at 8 shards, separate from the curve above
+    // so the committed BENCH_parallel.json rows (and the delivered-invariance
+    // check) are untouched. The artifact is restricted to the sim.parallel
+    // series — shard<i>.events per window IS the shard-imbalance trace; at
+    // 512 nodes the unfiltered registry would be ~60k series. The
+    // conservation auditor rides along and fails the run loudly on any
+    // violated invariant.
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioSpec::from_config(scenario::Config::parse_string(kConfig));
+    spec.parallel.shards = 8;
+    spec.telemetry.enabled = true;
+    spec.telemetry.interval = options.telemetry_interval;
+    spec.telemetry.artifact = options.telemetry_path;
+    spec.telemetry.include = {"sim.parallel"};
+    scenario::Scenario sc(std::move(spec));
+    try {
+      sc.run();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    std::printf("\ntelemetry (8 shards): %zu samples, %zu series -> %s\n",
+                sc.sampler()->samples(), sc.sampler()->series_count(),
+                options.telemetry_path.c_str());
+  }
+
   finish_report(options, report);
   return 0;
 }

@@ -81,12 +81,36 @@ duration = 200ms
 int run(const BenchOptions& options) {
   scenario::ScenarioSpec spec =
       scenario::ScenarioSpec::from_config(scenario::Config::parse_string(kConfig));
+  if (!options.telemetry_path.empty()) {
+    // --telemetry: continuous sampling + the conservation auditor. Sampling
+    // is pull-based, so the soak's event stream — and the committed
+    // BENCH_scenario.json — is unchanged by turning it on.
+    spec.telemetry.enabled = true;
+    spec.telemetry.interval = options.telemetry_interval;
+    spec.telemetry.artifact = options.telemetry_path;
+  }
   std::printf("scenario soak: %d nodes, %zu workloads, %zu faults, %.0f ms simulated\n",
               spec.topology.nodes, spec.workloads.size(), spec.faults.size(),
               sim::to_msec(spec.duration));
 
   scenario::Scenario sc(std::move(spec));
-  sc.run();
+  try {
+    sc.run();
+  } catch (const std::exception& e) {
+    // The conservation auditor failing is the one loud path out of run().
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  if (sc.sampler() != nullptr) {
+    std::printf("telemetry: %zu samples, %zu series, %zu marks -> %s\n", sc.sampler()->samples(),
+                sc.sampler()->series_count(), sc.sampler()->marks().size(),
+                sc.spec().telemetry.artifact.c_str());
+  }
+  if (sc.auditor() != nullptr) {
+    std::printf("audit: %zu invariants, %llu checks, %zu violations\n", sc.auditor()->invariants(),
+                static_cast<unsigned long long>(sc.auditor()->checks_run()),
+                sc.auditor()->violations().size());
+  }
 
   std::printf("\n%-12s %10s %8s %8s %8s %10s %9s %9s %9s\n", "workload", "delivered", "shed",
               "errors", "fair", "Mbit/s", "p50 us", "p99 us", "p999 us");

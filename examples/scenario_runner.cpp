@@ -6,6 +6,7 @@
 //
 //   scenario_runner <config.ini> [--seed N] [--duration D] [--shards N]
 //                   [--json <path>] [--trace <path>] [--profile <path>]
+//                   [--telemetry <path>] [--audit <path>]
 //
 // --seed, --duration and --shards override the [scenario]/[parallel]
 // sections, so one config file serves as a family of experiments (--shards
@@ -13,7 +14,10 @@
 // --trace and --profile match the bench binaries' flags: --trace writes a
 // Chrome trace-event timeline of the run (single-shard only), --profile
 // enables the cycle-attribution profiler and writes folded stacks
-// (equivalent to setting [profile] folded in the config).
+// (equivalent to setting [profile] folded in the config). --telemetry
+// enables [telemetry] (continuous sampling + the conservation auditor) and
+// writes the time-series artifact; --audit names the audit report file. An
+// invariant violation exits 1 after the audit report is written.
 
 #include <cstdio>
 #include <cstdlib>
@@ -28,7 +32,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <config.ini> [--seed N] [--duration D] [--shards N]\n"
-               "       [--json <path>] [--trace <path>] [--profile <path>]\n",
+               "       [--json <path>] [--trace <path>] [--profile <path>]\n"
+               "       [--telemetry <path>] [--audit <path>]\n",
                argv0);
   std::exit(2);
 }
@@ -45,10 +50,16 @@ int main(int argc, char** argv) {
   std::string shards_override;
   std::string trace_path;
   std::string profile_path;
+  std::string telemetry_path;
+  std::string audit_path;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (a == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (a == "--audit" && i + 1 < argc) {
+      audit_path = argv[++i];
     } else if (a == "--seed" && i + 1 < argc) {
       seed_override = argv[++i];
     } else if (a == "--duration" && i + 1 < argc) {
@@ -84,6 +95,15 @@ int main(int argc, char** argv) {
       }
     }
     if (!profile_path.empty()) spec.profile.folded = profile_path;
+    if (!telemetry_path.empty()) {
+      spec.telemetry.enabled = true;
+      spec.telemetry.artifact = telemetry_path;
+    }
+    if (!audit_path.empty()) {
+      spec.telemetry.enabled = true;
+      spec.telemetry.audit = true;
+      spec.telemetry.audit_artifact = audit_path;
+    }
     if (!trace_path.empty() && spec.parallel.shards > 1) {
       std::fprintf(stderr, "error: --trace needs a single-shard run (the Chrome-trace "
                            "tracer records into one shared event list)\n");
@@ -143,6 +163,19 @@ int main(int argc, char** argv) {
       }
       std::printf("trace: %zu event(s) -> %s\n", sc.net().tracer().events().size(),
                   trace_path.c_str());
+    }
+    if (sc.sampler() != nullptr) {
+      std::printf("telemetry: %zu sample(s), %zu series, %zu mark(s)%s%s\n",
+                  sc.sampler()->samples(), sc.sampler()->series_count(),
+                  sc.sampler()->marks().size(),
+                  sc.spec().telemetry.artifact.empty() ? "" : " -> ",
+                  sc.spec().telemetry.artifact.c_str());
+    }
+    if (sc.auditor() != nullptr) {
+      std::printf("audit: %zu invariant(s), %llu check(s), %zu violation(s)\n",
+                  sc.auditor()->invariants(),
+                  static_cast<unsigned long long>(sc.auditor()->checks_run()),
+                  sc.auditor()->violations().size());
     }
     if (sc.spec().tracing.enabled && !sc.spec().tracing.artifact.empty()) {
       std::printf("tracing: %llu trace(s) -> %s\n",

@@ -44,6 +44,9 @@ class FiberInFifo : public FrameSink {
 
   std::size_t capacity() const { return capacity_; }
   std::size_t used() const { return used_; }
+  /// Frames buffered (accepted, not yet drained by the DMA). Conservation
+  /// (audited): frames_accepted == dma recv_frames + frames_queued.
+  std::size_t frames_queued() const { return arrived_.size(); }
   std::uint64_t frames_accepted() const { return accepted_; }
   std::uint64_t offers_rejected() const { return rejected_; }
 

@@ -82,6 +82,7 @@ void Hub::set_port_blackout(int port, bool on) {
     // Frames already queued (or held by back-pressure) at a dead port are
     // lost; frames mid-delivery keep their scheduled events and complete.
     blackout_drops_ += o.queue.size();
+    blackout_pre_ += o.queue.size();  // never reached frames_switched_
     o.blackout_drops += o.queue.size();
     if (auto* ct = obs::CausalTracer::active()) {
       for (const QueuedFrame& qf : o.queue) {
@@ -95,6 +96,7 @@ void Hub::set_port_blackout(int port, bool on) {
       o.blocked.reset();
       o.blocked_time += engine_.now() - o.blocked_since;
       ++blackout_drops_;
+      ++blackout_post_;  // already counted in frames_switched_
       ++o.blackout_drops;
     }
   }
@@ -124,6 +126,7 @@ bool Hub::InputPort::offer(Frame&& f, sim::SimTime first, sim::SimTime last) {
 }
 
 void Hub::route_frame(int in_port, Frame&& f, sim::SimTime first, sim::SimTime last) {
+  ++frames_in_;
   if (f.mcast.valid()) {
     // Multicast frames carry no route bytes; the tree node names every
     // output this HUB must copy the frame to.
@@ -200,6 +203,7 @@ void Hub::enqueue_out(int in_port, int out, Frame&& f, sim::SimTime first, sim::
   OutputPort& o = outputs_[static_cast<std::size_t>(out)];
   if (o.blackout) {
     ++blackout_drops_;  // dead output: the frame is silently lost
+    ++blackout_pre_;
     ++o.blackout_drops;
     if (ct != nullptr) {
       ct->annotate(f.trace, "drop.blackout");
@@ -270,6 +274,11 @@ void Hub::try_forward(int out_port) {
           sink->offer(std::move(fr), first, last);  // HUB inputs always accept
         }),
         o.cross_key, o.cross_seq++);
+    // Delivered from this HUB's perspective at post time: the remote input
+    // always accepts, and counting here keeps the output-side conservation
+    // sum exact between the post and the mailbox drain.
+    ++frames_delivered_;
+    ++o.delivered;
     return;
   }
 
@@ -291,7 +300,10 @@ void Hub::deliver_front(int out_port) {
     p.blocked.emplace(std::move(d.frame));
     p.blocked_span = d.last - d.first;
     p.blocked_since = engine_.now();
+    return;
   }
+  ++frames_delivered_;
+  ++p.delivered;
 }
 
 void Hub::on_output_drain(int out_port) {
@@ -306,6 +318,8 @@ void Hub::on_output_drain(int out_port) {
       return;
     }
     o.blocked_time += engine_.now() - o.blocked_since;
+    ++frames_delivered_;
+    ++o.delivered;
   }
   try_forward(out_port);
 }
@@ -331,6 +345,15 @@ std::uint64_t Hub::output_route_errors(int port) const {
 
 std::uint64_t Hub::output_mcast_frames(int port) const {
   return outputs_.at(static_cast<std::size_t>(port)).mcast_frames;
+}
+
+std::uint64_t Hub::output_delivered(int port) const {
+  return outputs_.at(static_cast<std::size_t>(port)).delivered;
+}
+
+std::uint64_t Hub::output_in_flight(int port) const {
+  const OutputPort& o = outputs_.at(static_cast<std::size_t>(port));
+  return o.delivering.size() + (o.blocked.has_value() ? 1 : 0);
 }
 
 void Hub::register_metrics(obs::Registration& reg) const {

@@ -79,6 +79,25 @@ class Hub {
   std::uint64_t frames_switched() const { return frames_switched_; }
   std::uint64_t route_errors() const { return route_errors_; }
   std::uint64_t bytes_switched() const { return bytes_switched_; }
+  /// Frames offered to the routing stage (unicast + multicast originals).
+  /// Conservation across the input side (audited by net::Network):
+  ///   frames_in + mcast_out - mcast_in ==
+  ///     route_errors + blackout_drops_preswitch + frames_switched + queued
+  std::uint64_t frames_in() const { return frames_in_; }
+  /// Frames the downstream sinks accepted (cross-shard posts count at post
+  /// time). Output-side conservation:
+  ///   frames_switched == frames_delivered + in-flight + blackout_drops_postswitch
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t output_delivered(int port) const;
+  /// Frames between output `port`'s crossbar stage and its sink: mid-delivery
+  /// plus one possibly held by downstream back-pressure.
+  std::uint64_t output_in_flight(int port) const;
+  /// Split of blackout_drops() around the switching stage: frames discarded
+  /// before being counted in frames_switched (at enqueue, or flushed from the
+  /// output queue) vs after (a held back-pressured frame flushed by the
+  /// blackout). The split is what makes both conservation sums exact.
+  std::uint64_t blackout_drops_preswitch() const { return blackout_pre_; }
+  std::uint64_t blackout_drops_postswitch() const { return blackout_post_; }
   /// Multicast frames that reached this HUB's replication stage.
   std::uint64_t mcast_in() const { return mcast_in_; }
   /// Replicas produced by the replication stage (over all input frames).
@@ -152,6 +171,7 @@ class Hub {
     std::optional<int> reserved_by;  // circuit switching
     bool blackout = false;           // fault injection: discard everything
     std::uint64_t frames = 0;
+    std::uint64_t delivered = 0;     // accepted by the downstream sink
     std::uint64_t mcast_frames = 0;  // of `frames`, how many were tree replicas
     std::uint64_t blackout_drops = 0;
     std::uint64_t route_errors = 0;
@@ -192,6 +212,10 @@ class Hub {
   std::uint64_t bytes_switched_ = 0;
   std::uint64_t route_errors_ = 0;
   std::uint64_t blackout_drops_ = 0;
+  std::uint64_t blackout_pre_ = 0;   // of blackout_drops_, before frames_switched_
+  std::uint64_t blackout_post_ = 0;  // of blackout_drops_, after frames_switched_
+  std::uint64_t frames_in_ = 0;
+  std::uint64_t frames_delivered_ = 0;
   std::uint64_t mcast_in_ = 0;
   std::uint64_t mcast_out_ = 0;
 };

@@ -139,7 +139,9 @@ void FiberLink::deliver(Frame&& f, sim::SimTime first, sim::SimTime last) {
     // the stream. Hold the frame and re-offer when the sink drains.
     blocked_.emplace(std::move(f));
     blocked_span_ = last - first;
+    return;
   }
+  ++frames_delivered_;
 }
 
 void FiberLink::attach_tracer(obs::Tracer* tracer, int track) {
@@ -170,6 +172,7 @@ void FiberLink::on_drain() {
       blocked_.emplace(std::move(f));
       return;
     }
+    ++frames_delivered_;
   }
   try_start();
 }

@@ -74,6 +74,16 @@ class FiberLink {
   /// Subset of frames_dropped(): lost to set_down() / arm_drop_next() faults
   /// rather than the random-drop stream.
   std::uint64_t frames_dropped_faulted() const { return frames_dropped_faulted_; }
+  /// Frames the downstream sink accepted. Conservation (audited by
+  /// net::Network::register_audit): frames_sent == frames_delivered +
+  /// frames_dropped + frames_in_flight at every instant. Corrupted frames
+  /// deliver (the receiver's CRC rejects them), so they count here.
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  /// Frames serialized but not yet accepted downstream: on the fiber plus
+  /// one possibly held by back-pressure.
+  std::uint64_t frames_in_flight() const {
+    return in_flight_.size() + (blocked_.has_value() ? 1 : 0);
+  }
   std::size_t queue_depth() const { return queue_.size(); }
 
   /// Emit "link.tx" serialization spans (plus drop/corrupt instants) onto
@@ -134,6 +144,7 @@ class FiberLink {
   std::uint64_t frames_corrupted_ = 0;
   std::uint64_t frames_dropped_ = 0;
   std::uint64_t frames_dropped_faulted_ = 0;
+  std::uint64_t frames_delivered_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
   int trace_track_ = -1;

@@ -22,6 +22,7 @@ std::vector<std::uint8_t> BufferPool::acquire(std::size_t n) {
 }
 
 void BufferPool::release(std::vector<std::uint8_t>&& v) {
+  ++releases_;
   if (free_.size() >= kMaxPooled) return;  // let it free normally
   v.clear();
   free_.push_back(std::move(v));

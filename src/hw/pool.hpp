@@ -42,6 +42,15 @@ class BufferPool {
   std::uint64_t acquires() const { return acquires_; }
   /// Acquires served from the free list instead of a fresh allocation.
   std::uint64_t reuses() const { return reuses_; }
+  /// Buffers handed back (pooled or freed). A PooledBytes that never dies —
+  /// a leaked lease — keeps outstanding() permanently elevated; the obs
+  /// Auditor's lease-balance invariant compares it against a quiesced
+  /// baseline to catch exactly that.
+  std::uint64_t releases() const { return releases_; }
+  /// acquires() - releases(): leases currently held by live owners.
+  std::int64_t outstanding() const {
+    return static_cast<std::int64_t>(acquires_) - static_cast<std::int64_t>(releases_);
+  }
   std::size_t pooled() const { return free_.size(); }
 
   /// Drop all pooled buffers (keeps counters; for memory-pressure / tests).
@@ -60,6 +69,7 @@ class BufferPool {
   std::vector<std::vector<std::uint8_t>> free_;
   std::uint64_t acquires_ = 0;
   std::uint64_t reuses_ = 0;
+  std::uint64_t releases_ = 0;
 };
 
 /// Move-only owner of a pooled byte buffer: acquired from BufferPool on

@@ -2,12 +2,30 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
 #include <stdexcept>
 
 #include "hw/pool.hpp"
+#include "obs/audit.hpp"
 #include "proto/headerbuf.hpp"
 
 namespace nectar::net {
+
+namespace {
+
+/// "a=1 b=2 c=3" detail lines for Auditor violations.
+std::string balance_detail(std::initializer_list<std::pair<const char*, std::uint64_t>> terms) {
+  std::string out;
+  for (const auto& [name, v] : terms) {
+    if (!out.empty()) out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+}  // namespace
 
 Network::Network(int shards)
     : par_(std::make_unique<sim::ParallelEngine>(shards)),
@@ -22,7 +40,96 @@ Network::Network(int shards)
   }
 }
 
+void Network::register_audit(obs::Auditor& auditor) {
+  // Per-node fiber conservation: every frame that started serializing is
+  // accounted for at every tick. Corrupted frames deliver (the far CRC
+  // rejects them later), so they sit on the delivered side.
+  for (int i = 0; i < cab_count(); ++i) {
+    const hw::FiberLink* l = &cabs_[static_cast<std::size_t>(i)]->board->out_link();
+    auditor.add("link.frames_conserved", "node" + std::to_string(i) + "." + l->name(), [l] {
+      std::uint64_t rhs = l->frames_delivered() + l->frames_dropped() + l->frames_in_flight();
+      if (l->frames_sent() == rhs) return std::string();
+      return balance_detail({{"sent", l->frames_sent()},
+                             {"delivered", l->frames_delivered()},
+                             {"dropped", l->frames_dropped()},
+                             {"in_flight", l->frames_in_flight()}});
+    });
+  }
+  // Per-HUB crossbar conservation, both sides of the switching stage.
+  for (const auto& hp : hubs_) {
+    const hw::Hub* h = hp.get();
+    auditor.add("hub.input_conserved", h->name(), [h] {
+      std::uint64_t queued = 0;
+      for (int p = 0; p < h->num_ports(); ++p) queued += h->output_queue_depth(p);
+      std::uint64_t lhs = h->frames_in() + h->mcast_out() - h->mcast_in();
+      std::uint64_t rhs =
+          h->route_errors() + h->blackout_drops_preswitch() + h->frames_switched() + queued;
+      if (lhs == rhs) return std::string();
+      return balance_detail({{"frames_in", h->frames_in()},
+                             {"mcast_in", h->mcast_in()},
+                             {"mcast_out", h->mcast_out()},
+                             {"route_errors", h->route_errors()},
+                             {"blackout_pre", h->blackout_drops_preswitch()},
+                             {"switched", h->frames_switched()},
+                             {"queued", queued}});
+    });
+    auditor.add("hub.output_conserved", h->name(), [h] {
+      std::uint64_t in_flight = 0;
+      for (int p = 0; p < h->num_ports(); ++p) in_flight += h->output_in_flight(p);
+      std::uint64_t rhs =
+          h->frames_delivered() + in_flight + h->blackout_drops_postswitch();
+      if (h->frames_switched() == rhs) return std::string();
+      return balance_detail({{"switched", h->frames_switched()},
+                             {"delivered", h->frames_delivered()},
+                             {"in_flight", in_flight},
+                             {"blackout_post", h->blackout_drops_postswitch()}});
+    });
+  }
+  // Per-CAB receive chain: the HUB feed port, the input FIFO and the DMA
+  // controller keep independent counters of the same frame stream.
+  for (int i = 0; i < cab_count(); ++i) {
+    const CabNode* cn = cabs_[static_cast<std::size_t>(i)].get();
+    const hw::Hub* h = hubs_[static_cast<std::size_t>(cn->hub)].get();
+    const int port = cn->port;
+    hw::CabBoard* board = cn->board.get();
+    auditor.add("cab.rx_chain_conserved", "node" + std::to_string(i), [h, port, board] {
+      std::uint64_t feed = h->output_delivered(port);
+      std::uint64_t accepted = board->in_fifo().frames_accepted();
+      std::uint64_t drained =
+          board->dma().recv_frames() + board->in_fifo().frames_queued();
+      if (feed == accepted && accepted == drained) return std::string();
+      return balance_detail({{"hub_delivered", feed},
+                             {"fifo_accepted", accepted},
+                             {"dma_recv", board->dma().recv_frames()},
+                             {"fifo_queued", board->in_fifo().frames_queued()}});
+    });
+  }
+  // Per-shard simulator health: event-pool lease balance and a monotone
+  // clock across ticks (stateful check — each lambda owns its watermark).
+  for (int s = 0; s < shard_count(); ++s) {
+    const sim::Engine* e = &par_->shard(s);
+    const std::string shard = "shard" + std::to_string(s);
+    auditor.add("engine.event_pool_balance", shard, [e] {
+      if (e->pool_slots() == e->pool_free() + e->pending_events()) return std::string();
+      return balance_detail(
+          {{"slots", e->pool_slots()}, {"free", e->pool_free()}, {"pending", e->pending_events()}});
+    });
+    auditor.add("engine.clock_monotonic", shard,
+                [e, last = std::make_shared<sim::SimTime>(0)]() mutable {
+                  sim::SimTime now = e->now();
+                  if (now < *last) {
+                    return "now=" + std::to_string(now) +
+                           " previous_tick=" + std::to_string(*last);
+                  }
+                  *last = now;
+                  return std::string();
+                });
+  }
+}
+
 void Network::register_substrate_metrics() {
+  if (substrate_metrics_registered_) return;
+  substrate_metrics_registered_ = true;
   // Event-queue/pool stats report under node -1. Opt-in rather than always
   // on: committed bench reports snapshot the registry, and the substrate's
   // host-side pool counters are not part of the simulated results those

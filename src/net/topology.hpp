@@ -17,6 +17,10 @@
 #include "sim/parallel.hpp"
 #include "sim/trace.hpp"
 
+namespace nectar::obs {
+class Auditor;
+}
+
 namespace nectar::net {
 
 /// Builder/owner for a Nectar network: HUBs connected in an arbitrary mesh,
@@ -84,7 +88,19 @@ class Network {
   /// (per-shard event counts, window/mailbox statistics) and the byte
   /// pools are skipped — they are thread_local, and the coordinator thread's
   /// pools see no frame traffic.
+  /// Idempotent: telemetry and [scenario] substrate_metrics may both ask.
   void register_substrate_metrics();
+
+  /// Wire the substrate's conservation laws into `auditor` (tick-checked
+  /// from the coordinator thread between run_until steps):
+  ///   - per-link:  frames_sent == frames_delivered + frames_dropped + in-flight
+  ///   - per-HUB:   input and output side of the crossbar (see hw::Hub docs)
+  ///   - per-CAB:   rx chain — HUB feed port delivered == FIFO accepted ==
+  ///                DMA recv_frames + FIFO queued
+  ///   - per-shard: event-pool lease balance (slots == free + pending) and
+  ///                clock monotonicity across ticks.
+  /// The auditor must not outlive this Network.
+  void register_audit(obs::Auditor& auditor);
 
   /// Add a HUB (16x16 by default) on shard `shard` (-1: id % shard_count()).
   /// Returns its id.
@@ -194,6 +210,7 @@ class Network {
   // canonical form, so permuted member lists share one tree.
   mutable std::map<std::pair<int, std::vector<int>>, hw::McastRef> mcast_cache_;
   bool route_spread_ = false;
+  bool substrate_metrics_registered_ = false;
 
   // Last member: holds probes reading the nodes above (VME, links), so it
   // must release before they are destroyed.

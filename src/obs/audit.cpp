@@ -1,0 +1,90 @@
+#include "obs/audit.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace nectar::obs {
+
+void Auditor::add(std::string invariant, std::string component, Check fn) {
+  checks_.push_back(Entry{std::move(invariant), std::move(component), std::move(fn)});
+}
+
+void Auditor::add_final(std::string invariant, std::string component, Check fn) {
+  final_checks_.push_back(Entry{std::move(invariant), std::move(component), std::move(fn)});
+}
+
+void Auditor::check(sim::SimTime t) {
+  ++ticks_;
+  run_checks(t, checks_);
+  histogram_builtin(t);
+}
+
+void Auditor::finalize(sim::SimTime t) {
+  check(t);
+  run_checks(t, final_checks_);
+}
+
+void Auditor::run_checks(sim::SimTime t, std::vector<Entry>& entries) {
+  for (Entry& e : entries) {
+    ++checks_run_;
+    std::string detail = e.fn();
+    if (!detail.empty()) record(t, e.invariant, e.component, std::move(detail));
+  }
+}
+
+void Auditor::histogram_builtin(sim::SimTime t) {
+  if (registry_ == nullptr) return;
+  Snapshot snap = registry_->snapshot();
+  for (const SnapshotEntry& e : snap.entries()) {
+    if (e.kind != SnapshotEntry::Kind::Histogram) continue;
+    ++checks_run_;
+    std::uint64_t bucket_sum =
+        std::accumulate(e.buckets.begin(), e.buckets.end(), std::uint64_t{0});
+    if (bucket_sum != e.count) {
+      record(t, "histogram.buckets==count", e.key.str(),
+             "bucket_sum=" + std::to_string(bucket_sum) + " count=" + std::to_string(e.count));
+    }
+  }
+}
+
+void Auditor::record(sim::SimTime t, const std::string& invariant, const std::string& component,
+                     std::string detail) {
+  auto [it, inserted] = index_.try_emplace({invariant, component}, violations_.size());
+  if (inserted) {
+    violations_.push_back(Violation{t, invariant, component, std::move(detail), 1});
+  } else {
+    ++violations_[it->second].occurrences;  // keep the first interval's detail
+  }
+}
+
+json::Value Auditor::report_json() const {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "nectar-audit");
+  doc.set("version", std::int64_t{1});
+  doc.set("ok", violations_.empty());
+  doc.set("invariants", static_cast<std::int64_t>(invariants()));
+  doc.set("ticks", static_cast<std::int64_t>(ticks_));
+  doc.set("checks_run", static_cast<std::int64_t>(checks_run_));
+  json::Value vs = json::Value::array();
+  for (const Violation& v : violations_) {
+    json::Value e = json::Value::object();
+    e.set("t_ns", v.t);
+    e.set("invariant", v.invariant);
+    e.set("component", v.component);
+    e.set("detail", v.detail);
+    e.set("occurrences", static_cast<std::int64_t>(v.occurrences));
+    vs.push(std::move(e));
+  }
+  doc.set("violations", std::move(vs));
+  return doc;
+}
+
+void Auditor::throw_if_failed() const {
+  if (violations_.empty()) return;
+  const Violation& v = violations_.front();
+  throw std::runtime_error("audit: " + std::to_string(violations_.size()) +
+                           " invariant violation(s); first: [" + v.invariant + "] " +
+                           v.component + " at t=" + std::to_string(v.t) + "ns: " + v.detail);
+}
+
+}  // namespace nectar::obs

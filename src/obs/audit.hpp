@@ -1,0 +1,98 @@
+#pragma once
+
+// Conservation auditor: invariants checked at every telemetry tick.
+//
+// Components register named invariants as callbacks that return "" when the
+// invariant holds and a human-readable detail string ("sent=10 delivered=8
+// dropped=1 in_flight=0") when it does not. The auditor evaluates every
+// tick-invariant at each check(t) and the final-only ones once at
+// finalize(t), records the *first* violating interval per (invariant,
+// component) pair — later recurrences only bump an occurrence count — and
+// renders a structured "nectar-audit" report naming the offending component
+// and interval. throw_if_failed() is the loud-failure path scenario runs
+// use.
+//
+// The obs layer sits below hw/net in the link order, so the auditor knows
+// nothing about links or hubs; net::Network::register_audit wires the
+// substrate's conservation laws (frames tx == rx + dropped + in-flight and
+// friends) into a generic Auditor. The one built-in check is registry-level:
+// every histogram's bucket counts must sum to its count.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/time.hpp"
+
+namespace nectar::obs {
+
+class Auditor {
+ public:
+  /// Returns "" when the invariant holds, else the violation detail.
+  using Check = std::function<std::string()>;
+
+  struct Violation {
+    sim::SimTime t = 0;  ///< first violating tick
+    std::string invariant;
+    std::string component;
+    std::string detail;
+    std::uint64_t occurrences = 0;  ///< ticks on which it was violated
+  };
+
+  /// `registry` (optional) enables the built-in histogram sum==count check.
+  explicit Auditor(MetricsRegistry* registry = nullptr) : registry_(registry) {}
+
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  /// Register an invariant checked at every tick (and at finalize).
+  void add(std::string invariant, std::string component, Check fn);
+  /// Register an invariant checked only at finalize() — for balances that
+  /// legitimately float mid-run (e.g. lease balance vs a quiesced baseline).
+  void add_final(std::string invariant, std::string component, Check fn);
+
+  /// Evaluate every tick-invariant at simulated time `t`.
+  void check(sim::SimTime t);
+  /// Evaluate tick- and final-invariants once, at end of run.
+  void finalize(sim::SimTime t);
+
+  bool ok() const { return violations_.empty(); }
+  std::size_t invariants() const { return checks_.size() + final_checks_.size(); }
+  /// Individual invariant evaluations so far (ticks * invariants, roughly).
+  std::uint64_t checks_run() const { return checks_run_; }
+  std::uint64_t ticks() const { return ticks_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /// Structured report ("nectar-audit"): every violation with its first
+  /// interval, sorted by first occurrence.
+  json::Value report_json() const;
+  /// Throws std::runtime_error naming the first violation if !ok().
+  void throw_if_failed() const;
+
+ private:
+  struct Entry {
+    std::string invariant;
+    std::string component;
+    Check fn;
+  };
+
+  void run_checks(sim::SimTime t, std::vector<Entry>& entries);
+  void histogram_builtin(sim::SimTime t);
+  void record(sim::SimTime t, const std::string& invariant, const std::string& component,
+              std::string detail);
+
+  MetricsRegistry* registry_;
+  std::vector<Entry> checks_;
+  std::vector<Entry> final_checks_;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t ticks_ = 0;
+  std::vector<Violation> violations_;  // insertion order == first occurrence
+  std::map<std::pair<std::string, std::string>, std::size_t> index_;
+};
+
+}  // namespace nectar::obs

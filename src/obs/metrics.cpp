@@ -26,29 +26,78 @@ void Histogram::observe(std::int64_t v) {
 
 // --- MetricsRegistry -----------------------------------------------------------
 
+namespace {
+
+const char* cell_kind_name(SnapshotEntry::Kind k) {
+  switch (k) {
+    case SnapshotEntry::Kind::Counter: return "counter";
+    case SnapshotEntry::Kind::Gauge: return "gauge";
+    case SnapshotEntry::Kind::Histogram: return "histogram";
+    case SnapshotEntry::Kind::Probe: return "probe";
+  }
+  return "?";
+}
+
+[[noreturn]] void throw_kind_conflict(const MetricKey& key, SnapshotEntry::Kind want,
+                                      SnapshotEntry::Kind have) {
+  throw std::logic_error("MetricsRegistry: " + key.str() + " already registered as " +
+                         cell_kind_name(have) + ", cannot re-register as " +
+                         cell_kind_name(want));
+}
+
+}  // namespace
+
 Counter& MetricsRegistry::counter(int node, std::string component, std::string name) {
   std::lock_guard<std::mutex> lk(mutex_);
-  Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
-  c.kind = SnapshotEntry::Kind::Counter;
-  return c.counter;
+  MetricKey key{node, std::move(component), std::move(name)};
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell& c = cells_[std::move(key)];
+    c.kind = SnapshotEntry::Kind::Counter;
+    return c.counter;
+  }
+  // Same-kind re-access is a lookup (modules share cells deliberately);
+  // a kind mismatch is a silent-clobber bug and fails loudly instead.
+  if (it->second.kind != SnapshotEntry::Kind::Counter) {
+    throw_kind_conflict(key, SnapshotEntry::Kind::Counter, it->second.kind);
+  }
+  return it->second.counter;
 }
 
 Gauge& MetricsRegistry::gauge(int node, std::string component, std::string name) {
   std::lock_guard<std::mutex> lk(mutex_);
-  Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
-  c.kind = SnapshotEntry::Kind::Gauge;
-  return c.gauge;
+  MetricKey key{node, std::move(component), std::move(name)};
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell& c = cells_[std::move(key)];
+    c.kind = SnapshotEntry::Kind::Gauge;
+    return c.gauge;
+  }
+  if (it->second.kind != SnapshotEntry::Kind::Gauge) {
+    throw_kind_conflict(key, SnapshotEntry::Kind::Gauge, it->second.kind);
+  }
+  return it->second.gauge;
 }
 
 Histogram& MetricsRegistry::histogram(int node, std::string component, std::string name,
                                       std::vector<std::int64_t> bounds) {
   std::lock_guard<std::mutex> lk(mutex_);
-  Cell& c = cells_[MetricKey{node, std::move(component), std::move(name)}];
-  if (c.histogram == nullptr) {
+  MetricKey key{node, std::move(component), std::move(name)};
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell& c = cells_[std::move(key)];
     c.kind = SnapshotEntry::Kind::Histogram;
     c.histogram = std::make_unique<Histogram>(std::move(bounds));
+    return *c.histogram;
   }
-  return *c.histogram;
+  if (it->second.kind != SnapshotEntry::Kind::Histogram) {
+    throw_kind_conflict(key, SnapshotEntry::Kind::Histogram, it->second.kind);
+  }
+  if (it->second.histogram->bounds() != bounds) {
+    throw std::logic_error("MetricsRegistry: " + key.str() +
+                           " re-registered with different histogram bounds");
+  }
+  return *it->second.histogram;
 }
 
 bool MetricsRegistry::contains(int node, std::string_view component, std::string_view name) const {

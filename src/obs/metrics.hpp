@@ -136,7 +136,11 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Owned cells: created on first use, returned thereafter. References stay
-  /// valid for the registry's lifetime.
+  /// valid for the registry's lifetime. Re-accessing an existing key with the
+  /// same kind (and, for histograms, the same bounds) is a lookup; asking for
+  /// a different kind under an existing key throws std::logic_error — a
+  /// duplicate registration never silently clobbers a cell. (Probes instead
+  /// de-duplicate with a "#2" suffix: they are additive read-only taps.)
   ///
   /// Registration (cell/probe creation) is mutex-guarded because shard
   /// worker threads register mid-run (e.g. a mailbox created by a fiber

@@ -1,5 +1,6 @@
 #include "scenario/engine.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -172,6 +173,32 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
     spec.profile.folded = s->get("folded", "");
     spec.profile.timeline = s->get("timeline", "");
   }
+  if (const Section* s = cfg.find("telemetry")) {
+    check_keys(*s, {"enabled", "interval", "artifact", "audit", "audit_artifact",
+                    "max_samples", "include"});
+    spec.telemetry.enabled = s->get_bool("enabled", spec.telemetry.enabled);
+    spec.telemetry.interval = s->get_time("interval", spec.telemetry.interval);
+    spec.telemetry.artifact = s->get("artifact", "");
+    spec.telemetry.audit = s->get_bool("audit", spec.telemetry.audit);
+    spec.telemetry.audit_artifact = s->get("audit_artifact", "");
+    spec.telemetry.max_samples = s->get_int("max_samples", spec.telemetry.max_samples);
+    std::string include = s->get("include", "");
+    for (std::size_t pos = 0; pos < include.size();) {
+      std::size_t comma = include.find(',', pos);
+      if (comma == std::string::npos) comma = include.size();
+      std::string pat = include.substr(pos, comma - pos);
+      pat.erase(0, pat.find_first_not_of(" \t"));
+      pat.erase(pat.find_last_not_of(" \t") + 1);
+      if (!pat.empty()) spec.telemetry.include.push_back(std::move(pat));
+      pos = comma + 1;
+    }
+    if (spec.telemetry.interval <= 0) {
+      throw std::invalid_argument("telemetry: interval must be > 0");
+    }
+    if (spec.telemetry.max_samples < 1) {
+      throw std::invalid_argument("telemetry: max_samples must be >= 1");
+    }
+  }
   if (const Section* s = cfg.find("tracing")) {
     check_keys(*s, {"enabled", "sample", "top_k", "max_traces", "artifact"});
     spec.tracing.enabled = s->get_bool("enabled", spec.tracing.enabled);
@@ -270,11 +297,60 @@ Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)), net_(spec_.paral
       s->rmp.set_record_events(true);
     }
   }
+  if (spec_.telemetry.enabled) {
+    // Substrate probes (HUB crossbar, engine pools) plus per-workload flow
+    // counters feed the sampler; registration is idempotent, so this
+    // composes with [scenario] substrate_metrics.
+    net_.register_substrate_metrics();
+    telemetry_reg_ = obs::Registration(net_.metrics());
+    for (auto& w : workloads_) w->register_metrics(telemetry_reg_);
+    obs::Sampler::Options sopt;
+    sopt.interval = spec_.telemetry.interval;
+    sopt.max_samples = static_cast<std::size_t>(spec_.telemetry.max_samples);
+    sopt.include = spec_.telemetry.include;
+    sampler_ = std::make_unique<obs::Sampler>(net_.metrics(), sopt);
+    if (spec_.telemetry.audit) {
+      auditor_ = std::make_unique<obs::Auditor>(&net_.metrics());
+      net_.register_audit(*auditor_);
+    }
+  }
 }
 
 void Scenario::run() {
-  net_.run_until(spec_.duration);
+  if (sampler_ != nullptr || auditor_ != nullptr) {
+    // Step the clock one sample interval at a time. Between steps no shard
+    // worker runs, so sampling the registry and evaluating audit checks is
+    // race-free; at shards == 1 the event stream is identical to a single
+    // run_until(duration).
+    if (sampler_) sampler_->sample(0);
+    if (auditor_) auditor_->check(0);
+    sim::SimTime t = 0;
+    while (t < spec_.duration) {
+      t = std::min(t + spec_.telemetry.interval, spec_.duration);
+      net_.run_until(t);
+      if (sampler_) sampler_->sample(t);
+      if (auditor_) auditor_->check(t);
+    }
+  } else {
+    net_.run_until(spec_.duration);
+  }
   faults_->finalize();
+  if (sampler_) {
+    // Overlay the injected faults and routing decisions as marks, now that
+    // fault attribution windows are closed.
+    const auto& records = faults_->records();
+    for (const FaultRecord& r : records) {
+      sampler_->mark(r.applied_at, "fault", r.spec.describe(),
+                     r.cleared_at >= 0 ? r.cleared_at : spec_.duration);
+    }
+    if (routing_) {
+      for (const route::RouteManager::RouteEvent& e : routing_->events()) {
+        sampler_->mark(e.t, e.kind,
+                       "node" + std::to_string(e.node) + "->" + std::to_string(e.dst) +
+                           " path" + std::to_string(e.path));
+      }
+    }
+  }
   if (!spec_.profile.timeline.empty()) {
     std::ofstream out(spec_.profile.timeline, std::ios::binary);
     if (out) out << timelines_json().dump(2) << '\n';
@@ -292,6 +368,19 @@ void Scenario::run() {
     if (out) {
       out << cpa.artifact(static_cast<std::size_t>(spec_.tracing.top_k)).dump(2) << '\n';
     }
+  }
+  if (sampler_ && !spec_.telemetry.artifact.empty()) {
+    sampler_->write(spec_.telemetry.artifact, spec_.name);
+  }
+  if (auditor_) {
+    auditor_->finalize(spec_.duration);
+    // Write the structured report before failing loudly, so a violated run
+    // still leaves the evidence behind.
+    if (!spec_.telemetry.audit_artifact.empty()) {
+      std::ofstream out(spec_.telemetry.audit_artifact, std::ios::binary);
+      if (out) out << auditor_->report_json().dump(2) << '\n';
+    }
+    auditor_->throw_if_failed();
   }
 }
 
@@ -382,6 +471,16 @@ obs::RunReport Scenario::report() {
   }
   if (routing_) routing_->report_into(rep);
   if (collectives_) collectives_->report_into(rep);
+  if (sampler_) {
+    rep.add("telemetry.samples", static_cast<double>(sampler_->samples()), "count");
+    rep.add("telemetry.series", static_cast<double>(sampler_->series_count()), "count");
+    rep.add("telemetry.marks", static_cast<double>(sampler_->marks().size()), "count");
+  }
+  if (auditor_) {
+    rep.add("audit.invariants", static_cast<double>(auditor_->invariants()), "count");
+    rep.add("audit.checks", static_cast<double>(auditor_->checks_run()), "count");
+    rep.add("audit.violations", static_cast<double>(auditor_->violations().size()), "count");
+  }
   for (std::size_t i = 0; i < faults_->records().size(); ++i) {
     const FaultRecord& r = faults_->records()[i];
     const std::string p = "fault" + std::to_string(i) + ".";

@@ -17,9 +17,11 @@
 #include <string>
 #include <vector>
 
+#include "obs/audit.hpp"
 #include "obs/causal.hpp"
 #include "obs/pcap.hpp"
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "proto/ip.hpp"
 #include "route/manager.hpp"
 #include "scenario/collectives.hpp"
@@ -64,6 +66,27 @@ struct TracingSpec {
   std::string artifact;            ///< tail-trace JSON file ("" = report rows only)
 };
 
+/// Continuous telemetry ([telemetry] section). Default-off: with
+/// enabled=false no Sampler or Auditor exists, run() drives the clock in one
+/// run_until, and pre-existing scenarios stay byte-identical. Enabled, the
+/// run is stepped `interval` at a time: every metric is sampled into a
+/// delta-encoded time series, conservation invariants are checked at each
+/// tick, and fault/failover windows are overlaid as marks. With shards == 1
+/// stepping is invisible to the event stream; with shards > 1 it caps the
+/// synchronization window at `interval`, so telemetry-on parallel runs are
+/// deterministic but comparable only with other telemetry-on runs.
+struct TelemetrySpec {
+  bool enabled = false;
+  sim::SimTime interval = sim::msec(10);  ///< sample cadence (sim time)
+  std::string artifact;                   ///< time-series JSON ("" = rows only)
+  bool audit = true;                      ///< run the conservation auditor
+  std::string audit_artifact;             ///< audit JSON ("" = rows only)
+  std::int64_t max_samples = 4096;        ///< ring capacity per series
+  /// Optional comma-separated series filter (substring match on
+  /// "component.name"); empty records everything not excluded by default.
+  std::vector<std::string> include;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   std::uint64_t seed = 1;
@@ -88,6 +111,7 @@ struct ScenarioSpec {
   /// and reports carry no coll.* rows — pre-existing scenarios stay
   /// byte-identical.
   CollectivesSpec collectives;
+  TelemetrySpec telemetry;
   std::vector<WorkloadSpec> workloads;
   std::vector<FaultSpec> faults;
   std::vector<CaptureSpec> captures;
@@ -111,7 +135,10 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   /// Run the simulation clock to spec().duration and close fault
-  /// attribution windows. Call once.
+  /// attribution windows. Call once. With [telemetry] enabled the clock is
+  /// stepped one sample interval at a time, artifacts are written, and a
+  /// conservation-invariant violation throws std::runtime_error (after the
+  /// structured audit report has been written).
   void run();
 
   /// The SLO report ("scenario" bench format): per-workload percentiles,
@@ -130,6 +157,10 @@ class Scenario {
   obs::CausalTracer* causal_tracer() { return tracer_.get(); }
   /// The collective driver, or nullptr when [collectives] enabled=false.
   CollectiveDriver* collectives() { return collectives_.get(); }
+  /// The telemetry sampler, or nullptr when [telemetry] enabled=false.
+  obs::Sampler* sampler() { return sampler_.get(); }
+  /// The conservation auditor, or nullptr when [telemetry] audit is off.
+  obs::Auditor* auditor() { return auditor_.get(); }
   const std::vector<std::unique_ptr<Workload>>& workloads() const { return workloads_; }
   /// The pcap writers opened for spec().captures, in spec order (tests
   /// inspect packet counts; files flush on Scenario destruction).
@@ -147,6 +178,11 @@ class Scenario {
   std::vector<std::unique_ptr<Workload>> workloads_;
   std::unique_ptr<CollectiveDriver> collectives_;
   std::vector<std::unique_ptr<obs::PcapWriter>> pcaps_;
+  std::unique_ptr<obs::Sampler> sampler_;
+  std::unique_ptr<obs::Auditor> auditor_;
+  // Last member: holds the telemetry probes (workload counters), which read
+  // the workloads above — it must release before they are destroyed.
+  obs::Registration telemetry_reg_;
 };
 
 }  // namespace nectar::scenario

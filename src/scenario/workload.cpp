@@ -517,6 +517,20 @@ double Workload::goodput_mbps(sim::SimTime duration) const {
   return bits / secs / 1e6;
 }
 
+void Workload::register_metrics(obs::Registration& reg) const {
+  const std::string prefix = spec_.name + ".";
+  reg.probe(-1, "workload", prefix + "sent",
+            [this] { return static_cast<std::int64_t>(sent()); });
+  reg.probe(-1, "workload", prefix + "delivered",
+            [this] { return static_cast<std::int64_t>(delivered()); });
+  reg.probe(-1, "workload", prefix + "delivered_bytes",
+            [this] { return static_cast<std::int64_t>(delivered_bytes()); });
+  reg.probe(-1, "workload", prefix + "shed",
+            [this] { return static_cast<std::int64_t>(shed()); });
+  reg.probe(-1, "workload", prefix + "errors",
+            [this] { return static_cast<std::int64_t>(errors()); });
+}
+
 double Workload::fairness() const {
   double sum = 0.0, sq = 0.0;
   for (const FlowStats& f : flows_) {

@@ -28,6 +28,7 @@
 #include "net/system.hpp"
 #include "obs/causal.hpp"
 #include "obs/latency.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 
 namespace nectar::scenario {
@@ -109,6 +110,13 @@ class Workload {
   /// Sums over this workload's TCP connections (0 for other protocols).
   std::uint64_t tcp_retransmissions() const;
   std::uint64_t tcp_fast_retransmits() const;
+
+  /// Report the aggregate flow counters as probes under (node -1,
+  /// "workload"), named "<spec name>.sent" / ".delivered" /
+  /// ".delivered_bytes" / ".shed" / ".errors". Sampled on a cadence these
+  /// give per-interval offered load and goodput; the telemetry layer calls
+  /// this when a scenario enables [telemetry].
+  void register_metrics(obs::Registration& reg) const;
 
  private:
   struct Flow {

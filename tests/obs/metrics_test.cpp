@@ -114,6 +114,37 @@ TEST(Metrics, DuplicateKeysGetDeterministicSuffix) {
   EXPECT_EQ(s.value_of(0, "mailbox", "m.puts#3"), 3);
 }
 
+TEST(Metrics, SameKindReRegistrationIsLookup) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter(0, "tcp", "segments_sent");
+  c.inc(4);
+  // Re-asking for the same (key, kind) is a lookup, never a reset.
+  EXPECT_EQ(&reg.counter(0, "tcp", "segments_sent"), &c);
+  EXPECT_EQ(reg.counter(0, "tcp", "segments_sent").value(), 4u);
+  Histogram& h = reg.histogram(0, "dl", "bytes", {10, 20});
+  EXPECT_EQ(&reg.histogram(0, "dl", "bytes", {10, 20}), &h);
+}
+
+TEST(Metrics, KindConflictOnDuplicateNameThrows) {
+  MetricsRegistry reg;
+  reg.counter(0, "tcp", "segments_sent").inc();
+  // A different-kind claim on a registered name is a wiring bug: fail loudly
+  // instead of silently aliasing or overwriting the cell.
+  EXPECT_THROW(reg.gauge(0, "tcp", "segments_sent"), std::logic_error);
+  EXPECT_THROW(reg.histogram(0, "tcp", "segments_sent", {1, 2}), std::logic_error);
+  reg.gauge(1, "mailbox", "queued");
+  EXPECT_THROW(reg.counter(1, "mailbox", "queued"), std::logic_error);
+  // The original cells are intact after the failed claims.
+  EXPECT_EQ(reg.counter(0, "tcp", "segments_sent").value(), 1u);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Metrics, HistogramBoundsConflictThrows) {
+  MetricsRegistry reg;
+  reg.histogram(0, "dl", "bytes", {64, 256});
+  EXPECT_THROW(reg.histogram(0, "dl", "bytes", {64, 512}), std::logic_error);
+}
+
 TEST(Metrics, EmptyRegistrationIsInert) {
   Registration r;  // no registry attached
   r.probe(0, "x", "y", [] { return 0; });  // must not crash

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "scenario/engine.hpp"
+
+namespace nectar::scenario {
+namespace {
+
+// Continuous telemetry contract ([telemetry] section, docs/OBSERVABILITY.md):
+//   * sampling is pull-based, so a single-shard telemetry-on run executes the
+//     same event stream as a telemetry-off run;
+//   * the time-series artifact is a pure function of (spec, seed, shards,
+//     interval) — byte-identical across runs, including under [parallel];
+//   * the conservation auditor holds on a healthy run, fault burst included.
+
+constexpr const char* kBase = R"(
+[scenario]
+name = telem
+duration = 200ms
+
+[topology]
+kind = dual_hub
+nodes = 8
+
+[workload]
+name = udp
+proto = udp
+mode = open
+users = 40
+rate = 10
+size_min = 64
+size_max = 512
+stride = 3
+
+[workload]
+name = rmp
+proto = rmp
+mode = closed
+users = 2
+think = 5ms
+size = 128
+stride = 2
+
+[fault]
+kind = link_drop
+target = node1.link
+at = 60ms
+duration = 50ms
+rate = 0.5
+)";
+
+ScenarioSpec spec_with_telemetry(bool telemetry, int shards = 1,
+                                 std::uint64_t seed = 7) {
+  ScenarioSpec spec = ScenarioSpec::from_config(Config::parse_string(kBase));
+  spec.seed = seed;
+  spec.parallel.shards = shards;
+  spec.telemetry.enabled = telemetry;
+  spec.telemetry.interval = sim::msec(10);
+  return spec;
+}
+
+TEST(ScenarioTelemetry, ConfigSectionParses) {
+  ScenarioSpec spec = ScenarioSpec::from_config(Config::parse_string(R"(
+[telemetry]
+enabled = yes
+interval = 5ms
+artifact = ts.json
+audit = no
+audit_artifact = audit.json
+max_samples = 128
+include = sim.parallel, workload
+)"));
+  EXPECT_TRUE(spec.telemetry.enabled);
+  EXPECT_EQ(spec.telemetry.interval, sim::msec(5));
+  EXPECT_EQ(spec.telemetry.artifact, "ts.json");
+  EXPECT_FALSE(spec.telemetry.audit);
+  EXPECT_EQ(spec.telemetry.audit_artifact, "audit.json");
+  EXPECT_EQ(spec.telemetry.max_samples, 128);
+  ASSERT_EQ(spec.telemetry.include.size(), 2u);
+  EXPECT_EQ(spec.telemetry.include[0], "sim.parallel");
+  EXPECT_EQ(spec.telemetry.include[1], "workload");
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[telemetry]\ninterval = 0ms\n")),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[telemetry]\ncadence = 1ms\n")),
+               std::runtime_error);
+}
+
+TEST(ScenarioTelemetry, SamplingIsNeutralToTheRun) {
+  Scenario off(spec_with_telemetry(false));
+  off.run();
+  Scenario on(spec_with_telemetry(true));
+  on.run();
+  ASSERT_NE(on.sampler(), nullptr);
+  ASSERT_NE(on.auditor(), nullptr);
+  EXPECT_EQ(off.sampler(), nullptr);
+  // Same deliveries, drops, event counts: the sampler never scheduled.
+  for (std::size_t i = 0; i < off.workloads().size(); ++i) {
+    EXPECT_EQ(off.workloads()[i]->delivered(), on.workloads()[i]->delivered());
+    EXPECT_EQ(off.workloads()[i]->sent(), on.workloads()[i]->sent());
+  }
+  EXPECT_EQ(off.faults().network_drops(), on.faults().network_drops());
+  EXPECT_EQ(off.net().engine().events_processed(), on.net().engine().events_processed());
+}
+
+TEST(ScenarioTelemetry, ArtifactIsByteIdenticalAcrossRuns) {
+  auto artifact = [] {
+    Scenario sc(spec_with_telemetry(true));
+    sc.run();
+    return sc.sampler()->artifact("telem").dump(2);
+  };
+  std::string a = artifact();
+  EXPECT_GT(a.size(), 0u);
+  EXPECT_EQ(a, artifact());
+}
+
+TEST(ScenarioTelemetry, ArtifactIsByteIdenticalAcrossRunsAtFourShards) {
+  auto artifact = [] {
+    Scenario sc(spec_with_telemetry(true, 4));
+    sc.run();
+    return sc.sampler()->artifact("telem").dump(2);
+  };
+  std::string a = artifact();
+  // The wall-clock probes (work_ns / barrier_wait_ns) are excluded by
+  // default, so even the sharded artifact must reproduce byte-for-byte.
+  EXPECT_NE(a.find("sim.parallel"), std::string::npos);
+  EXPECT_EQ(a, artifact());
+}
+
+TEST(ScenarioTelemetry, AuditorHoldsThroughAFaultBurst) {
+  Scenario sc(spec_with_telemetry(true));
+  sc.run();  // throws on any conservation violation
+  const obs::Auditor& a = *sc.auditor();
+  EXPECT_TRUE(a.ok());
+  EXPECT_GT(a.invariants(), 0u);
+  // 21 ticks (t=0 plus 20 intervals) plus the finalize pass.
+  EXPECT_EQ(a.ticks(), 22u);
+  EXPECT_GE(a.checks_run(), a.invariants() * 22);
+}
+
+TEST(ScenarioTelemetry, FaultWindowsBecomeMarks) {
+  Scenario sc(spec_with_telemetry(true));
+  sc.run();
+  const auto& marks = sc.sampler()->marks();
+  ASSERT_EQ(marks.size(), 1u);
+  EXPECT_EQ(marks[0].kind, "fault");
+  EXPECT_NE(marks[0].label.find("link_drop"), std::string::npos);
+  EXPECT_GE(marks[0].t, sim::msec(60));  // applied_at includes derived jitter
+  EXPECT_GT(marks[0].end, marks[0].t);
+}
+
+TEST(ScenarioTelemetry, ReportCarriesTelemetryRows) {
+  Scenario sc(spec_with_telemetry(true));
+  sc.run();
+  std::string rep = sc.report().to_json_string();
+  EXPECT_NE(rep.find("telemetry.samples"), std::string::npos);
+  EXPECT_NE(rep.find("audit.violations"), std::string::npos);
+  // Telemetry off: no rows, so pre-existing reports stay byte-identical.
+  Scenario off(spec_with_telemetry(false));
+  off.run();
+  EXPECT_EQ(off.report().to_json_string().find("telemetry."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nectar::scenario

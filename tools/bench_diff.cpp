@@ -1,0 +1,267 @@
+// bench_diff: compare two nectar-bench-report JSON files under per-metric
+// tolerance rules and emit a one-line trend row. The CI regression gate runs
+// it against the committed BENCH_*.json baselines.
+//
+//   bench_diff <baseline.json> <candidate.json>
+//              [--wall-tolerance <pct>|inf] [--tol <substr>=<pct>|inf]...
+//              [--trend <path>] [--name <label>]
+//
+// Matching rules:
+//   * schema/bench/params must match exactly — different parameters mean the
+//     two runs are not comparable, which is a failure, not a diff.
+//   * result rows are matched by name; a row missing from either side fails.
+//   * deterministic rows (the default) must match to the byte of their
+//     formatted value — the simulator is deterministic, so any drift is a
+//     real behavior change.
+//   * host wall-clock rows (name contains "wall", "work_ns" or
+//     "barrier_wait") are compared under --wall-tolerance percent; the
+//     default "inf" ignores them entirely, because CI builders make wall
+//     time meaningless (see bench_parallel.cpp).
+//   * --tol substr=pct adds a relative tolerance for any row whose name
+//     contains substr (first match wins, checked before the wall rule).
+//
+// Output: a table of non-identical rows, then one "TREND ..." line
+// summarizing the comparison (machine-grepable); --trend appends the same
+// summary as a JSON line to a trendline file, building a history across CI
+// runs. Exit 0 = within tolerance, 1 = regression/mismatch, 2 = usage or
+// unreadable input.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using nectar::obs::json::Value;
+
+struct ToleranceRule {
+  std::string substr;
+  double pct = 0.0;  // relative tolerance in percent; INFINITY = ignore row
+};
+
+struct Options {
+  std::string baseline;
+  std::string candidate;
+  std::string trend_path;
+  std::string label;
+  double wall_pct = INFINITY;
+  std::vector<ToleranceRule> rules;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff <baseline.json> <candidate.json>\n"
+               "       [--wall-tolerance <pct>|inf] [--tol <substr>=<pct>|inf]...\n"
+               "       [--trend <path>] [--name <label>]\n");
+  std::exit(2);
+}
+
+double parse_pct(const std::string& text) {
+  if (text == "inf") return INFINITY;
+  try {
+    std::size_t pos = 0;
+    double v = std::stod(text, &pos);
+    if (pos != text.size() || v < 0.0) usage();
+    return v;
+  } catch (const std::exception&) {
+    usage();
+  }
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--wall-tolerance" && i + 1 < argc) {
+      o.wall_pct = parse_pct(argv[++i]);
+    } else if (a == "--tol" && i + 1 < argc) {
+      std::string spec = argv[++i];
+      std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) usage();
+      o.rules.push_back({spec.substr(0, eq), parse_pct(spec.substr(eq + 1))});
+    } else if (a == "--trend" && i + 1 < argc) {
+      o.trend_path = argv[++i];
+    } else if (a == "--name" && i + 1 < argc) {
+      o.label = argv[++i];
+    } else if (!a.empty() && a[0] != '-' && o.baseline.empty()) {
+      o.baseline = a;
+    } else if (!a.empty() && a[0] != '-' && o.candidate.empty()) {
+      o.candidate = a;
+    } else {
+      usage();
+    }
+  }
+  if (o.baseline.empty() || o.candidate.empty()) usage();
+  return o;
+}
+
+Value load_report(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  Value doc;
+  try {
+    doc = Value::parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), e.what());
+    std::exit(2);
+  }
+  const Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "nectar-bench-report") {
+    std::fprintf(stderr, "error: %s is not a nectar-bench-report document\n", path.c_str());
+    std::exit(2);
+  }
+  return doc;
+}
+
+bool wall_row(const std::string& name) {
+  return name.find("wall") != std::string::npos || name.find("work_ns") != std::string::npos ||
+         name.find("barrier_wait") != std::string::npos;
+}
+
+/// Tolerance for a row: --tol rules first (in order), then the wall rule,
+/// else exact (0%).
+double tolerance_for(const Options& o, const std::string& name) {
+  for (const ToleranceRule& r : o.rules) {
+    if (name.find(r.substr) != std::string::npos) return r.pct;
+  }
+  if (wall_row(name)) return o.wall_pct;
+  return 0.0;
+}
+
+std::map<std::string, const Value*> rows_by_name(const Value& doc, const std::string& path) {
+  std::map<std::string, const Value*> rows;
+  const Value* results = doc.find("results");
+  if (results == nullptr || !results->is_array()) {
+    std::fprintf(stderr, "error: %s has no results array\n", path.c_str());
+    std::exit(2);
+  }
+  for (const Value& r : results->items()) {
+    const Value* name = r.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    if (!rows.emplace(name->as_string(), &r).second) {
+      std::fprintf(stderr, "error: %s: duplicate result row '%s'\n", path.c_str(),
+                   name->as_string().c_str());
+      std::exit(2);
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt = parse_args(argc, argv);
+  Value base = load_report(opt.baseline);
+  Value cand = load_report(opt.candidate);
+  if (opt.label.empty()) {
+    const Value* bench = base.find("bench");
+    opt.label = bench != nullptr && bench->is_string() ? bench->as_string() : "bench";
+  }
+
+  int failures = 0;
+
+  // Different bench or parameters: the runs are not comparable.
+  for (const char* key : {"bench", "params"}) {
+    const Value* a = base.find(key);
+    const Value* b = cand.find(key);
+    std::string da = a != nullptr ? a->dump() : "(absent)";
+    std::string db = b != nullptr ? b->dump() : "(absent)";
+    if (da != db) {
+      std::printf("MISMATCH %-10s baseline=%s candidate=%s\n", key, da.c_str(), db.c_str());
+      ++failures;
+    }
+  }
+
+  auto base_rows = rows_by_name(base, opt.baseline);
+  auto cand_rows = rows_by_name(cand, opt.candidate);
+
+  std::size_t compared = 0, identical = 0, within = 0, ignored = 0;
+  double max_rel_pct = 0.0;
+  for (const auto& [name, brow] : base_rows) {
+    auto it = cand_rows.find(name);
+    if (it == cand_rows.end()) {
+      std::printf("MISSING  %-40s (row absent from candidate)\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    const Value* bv = brow->find("value");
+    const Value* cv = it->second->find("value");
+    if (bv == nullptr || cv == nullptr || !bv->is_number() || !cv->is_number()) {
+      std::printf("BADROW   %-40s (non-numeric value)\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    ++compared;
+    double tol = tolerance_for(opt, name);
+    // Exact rows compare by formatted value — the same byte-determinism the
+    // committed reports are gated on, immune to double rounding surprises.
+    if (nectar::obs::json::format_double(bv->as_double()) ==
+        nectar::obs::json::format_double(cv->as_double())) {
+      ++identical;
+      continue;
+    }
+    double b_val = bv->as_double();
+    double c_val = cv->as_double();
+    double denom = std::fabs(b_val);
+    double rel_pct = denom > 0.0 ? std::fabs(c_val - b_val) / denom * 100.0 : INFINITY;
+    if (std::isinf(tol)) {
+      ++ignored;
+      continue;
+    }
+    if (rel_pct > max_rel_pct && !std::isinf(rel_pct)) max_rel_pct = rel_pct;
+    if (rel_pct <= tol) {
+      std::printf("WITHIN   %-40s %14g -> %-14g (%+.2f%%, tol %.2f%%)\n", name.c_str(), b_val,
+                  c_val, (c_val - b_val) / denom * 100.0, tol);
+      ++within;
+    } else {
+      std::printf("REGRESS  %-40s %14g -> %-14g (%+.2f%%, tol %.2f%%)\n", name.c_str(), b_val,
+                  c_val, denom > 0.0 ? (c_val - b_val) / denom * 100.0 : INFINITY, tol);
+      ++failures;
+    }
+  }
+  for (const auto& [name, row] : cand_rows) {
+    (void)row;
+    if (base_rows.find(name) == base_rows.end()) {
+      std::printf("EXTRA    %-40s (row absent from baseline)\n", name.c_str());
+      ++failures;
+    }
+  }
+
+  const char* verdict = failures == 0 ? "PASS" : "FAIL";
+  std::printf("TREND %s %s rows=%zu identical=%zu within_tol=%zu ignored=%zu failures=%d "
+              "max_rel_pct=%.4f\n",
+              verdict, opt.label.c_str(), compared, identical, within, ignored, failures,
+              max_rel_pct);
+
+  if (!opt.trend_path.empty()) {
+    Value row = Value::object();
+    row.set("bench", opt.label);
+    row.set("verdict", verdict);
+    row.set("rows", static_cast<std::int64_t>(compared));
+    row.set("identical", static_cast<std::int64_t>(identical));
+    row.set("within_tol", static_cast<std::int64_t>(within));
+    row.set("ignored", static_cast<std::int64_t>(ignored));
+    row.set("failures", static_cast<std::int64_t>(failures));
+    row.set("max_rel_pct", max_rel_pct);
+    std::ofstream f(opt.trend_path, std::ios::binary | std::ios::app);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot append trend row to %s\n", opt.trend_path.c_str());
+      return 2;
+    }
+    f << row.dump() << '\n';
+  }
+  return failures == 0 ? 0 : 1;
+}
