@@ -1,5 +1,8 @@
 #include "nproto/rmp.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "core/cpu.hpp"
 #include "obs/causal.hpp"
 #include "obs/profiler.hpp"
@@ -31,10 +34,15 @@ Rmp::Rmp(proto::Datalink& dl)
 }
 
 void Rmp::send(core::MailboxAddr dst, core::Message data, bool free_when_acked,
-               std::function<void()> on_acked, obs::TraceContext tctx) {
+               std::function<void()> on_acked, obs::TraceContext tctx,
+               std::span<const std::uint8_t> prefix) {
   core::Cpu& cpu = runtime().cpu();
   obs::CostScope scope("rmp/send");
   cpu.charge(costs::kNectarProtoSend);
+  if (prefix.size() > kMaxPrefix) {
+    throw std::length_error("Rmp::send: prefix of " + std::to_string(prefix.size()) +
+                            " bytes exceeds kMaxPrefix (" + std::to_string(kMaxPrefix) + ")");
+  }
   if (tctx.valid()) {
     if (auto* ct = obs::CausalTracer::active()) {
       ct->stage(tctx, "tx.rmp.queue", "node" + std::to_string(dl_.node_id()));
@@ -44,7 +52,10 @@ void Rmp::send(core::MailboxAddr dst, core::Message data, bool free_when_acked,
   // manipulate it under the interrupt mask (§3.1 discipline).
   core::InterruptGuard g(cpu);
   SendChannel& ch = send_channels_[dst.node];
-  ch.queue.push_back(Pending{data, dst.index, free_when_acked, std::move(on_acked), tctx});
+  Pending p{data, dst.index, free_when_acked, std::move(on_acked), tctx, {}, 0};
+  std::copy(prefix.begin(), prefix.end(), p.prefix.begin());
+  p.prefix_len = static_cast<std::uint8_t>(prefix.size());
+  ch.queue.push_back(std::move(p));
   if (!ch.outstanding) {
     ch.outstanding = true;
     transmit_head(dst.node);
@@ -60,8 +71,14 @@ void Rmp::transmit_head(int node) {
   h.src_node = static_cast<std::uint8_t>(dl_.node_id());
   h.flags = kFlagData;
   h.seq = ch.next_seq;
-  h.length = static_cast<std::uint16_t>(p.msg.len);
+  h.length = static_cast<std::uint16_t>(p.msg.len + p.prefix_len);
   proto::HeaderBufLease hdr = proto::HeaderBufLease::acquire();
+  // Innermost first: the upper layer's prefix rides directly in front of the
+  // payload, then the RMP header, then (in dl_.send) the datalink header.
+  if (p.prefix_len > 0) {
+    std::span<std::uint8_t> dst = hdr->push_front(p.prefix_len);
+    std::copy(p.prefix.begin(), p.prefix.begin() + p.prefix_len, dst.begin());
+  }
   h.serialize(hdr->push_front(proto::NectarHeader::kSize));
 
   ++sent_;

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "core/mailbox.hpp"
@@ -40,12 +42,25 @@ class Rmp : public proto::DatalinkClient {
 
   core::CabRuntime& runtime() { return dl_.runtime(); }
 
+  /// Small headers a layer above RMP may prepend per message (the session
+  /// layer's channel frame header rides here). Bounded so Pending can hold
+  /// the bytes inline — no allocation per message.
+  static constexpr std::size_t kMaxPrefix = 16;
+
   /// Queue `data` for reliable delivery to the mailbox `dst`. Messages to
   /// one node are delivered exactly once, in order. The data area is
   /// released when acknowledged if `free_when_acked`. `on_acked` (optional,
   /// interrupt context) fires when the acknowledgment arrives.
+  ///
+  /// `prefix` (≤ kMaxPrefix bytes) is an upper-layer header prepended to the
+  /// payload on the wire: the receiver's mailbox sees one contiguous
+  /// [prefix][data] message. The bytes are copied into the send queue entry
+  /// and re-composed through the HeaderBuf headroom path on every
+  /// (re)transmission, so retries carry the same header without the caller
+  /// staging it into CAB memory.
   void send(core::MailboxAddr dst, core::Message data, bool free_when_acked = true,
-            std::function<void()> on_acked = {}, obs::TraceContext tctx = {});
+            std::function<void()> on_acked = {}, obs::TraceContext tctx = {},
+            std::span<const std::uint8_t> prefix = {});
 
   /// Block the calling thread until every queued message to `node` has been
   /// acknowledged.
@@ -90,7 +105,9 @@ class Rmp : public proto::DatalinkClient {
     std::uint32_t dst_index;  // destination mailbox on the remote node
     bool free_when_acked;
     std::function<void()> on_acked;
-    obs::TraceContext ctx{};  // causal trace the message belongs to
+    obs::TraceContext ctx{};                       // causal trace the message belongs to
+    std::array<std::uint8_t, kMaxPrefix> prefix{};  // upper-layer header bytes
+    std::uint8_t prefix_len = 0;
   };
   struct SendChannel {
     std::uint16_t next_seq = 0;       // seq of the head-of-line message

@@ -42,12 +42,23 @@ class HeaderBuf {
   static constexpr std::size_t kCapacity = 64;
 
   /// Claim `n` bytes of headroom in front of the current contents and return
-  /// a writable view of them (the new front of the buffer).
+  /// a writable view of them (the new front of the buffer). A stack too deep
+  /// for the headroom fails loudly here — never by silently corrupting
+  /// neighbouring layers' bytes.
   std::span<std::uint8_t> push_front(std::size_t n) {
-    if (n > head_) throw std::logic_error("HeaderBuf: headroom exhausted");
+    if (n > head_) {
+      throw std::logic_error("HeaderBuf: headroom exhausted (requested " + std::to_string(n) +
+                             " bytes, " + std::to_string(head_) + " of " +
+                             std::to_string(kCapacity) + " remaining)");
+    }
     head_ -= n;
     return std::span<std::uint8_t>(buf_.data() + head_, n);
   }
+
+  /// Headroom still unclaimed — layers that compose optional headers (trace
+  /// stamps, session frames) check this instead of discovering overflow by
+  /// exception.
+  std::size_t headroom_remaining() const { return head_; }
 
   std::size_t size() const { return kCapacity - head_; }
   bool empty() const { return head_ == kCapacity; }

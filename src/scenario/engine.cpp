@@ -157,6 +157,42 @@ ScenarioSpec ScenarioSpec::from_config(const Config& cfg) {
     c.multicast = s->get_bool("multicast", c.multicast);
     c.validate();  // reject typos at parse time even when enabled=false
   }
+  if (const Section* s = cfg.find("sessions")) {
+    check_keys(*s, {"enabled", "trunks", "channels", "trunk_proto", "stride", "rate", "size",
+                    "start", "warmup", "classes", "weight_spread", "initial_credit",
+                    "credit_refresh", "send_window", "max_batch", "max_channels",
+                    "rmp_queue_cap", "aggregation", "fail_timeout", "churn_rate", "churn_start",
+                    "churn_duration", "stall_at", "stall_duration", "stall_channels",
+                    "probe_channels"});
+    SessionsSpec& c = spec.sessions;
+    c.enabled = s->get_bool("enabled", c.enabled);
+    c.trunks = s->get_int("trunks", c.trunks);
+    c.channels = s->get_int("channels", c.channels);
+    c.trunk_proto = s->get("trunk_proto", c.trunk_proto);
+    c.stride = s->get_int("stride", c.stride);
+    c.rate = s->get_double("rate", c.rate);
+    c.size = s->get_int("size", c.size);
+    c.start = s->get_time("start", c.start);
+    c.warmup = s->get_time("warmup", c.warmup);
+    c.classes = s->get_int("classes", c.classes);
+    c.weight_spread = s->get_int("weight_spread", c.weight_spread);
+    c.initial_credit = s->get_int("initial_credit", c.initial_credit);
+    c.credit_refresh = s->get_int("credit_refresh", c.credit_refresh);
+    c.send_window = s->get_int("send_window", c.send_window);
+    c.max_batch = s->get_int("max_batch", c.max_batch);
+    c.max_channels = s->get_int("max_channels", c.max_channels);
+    c.rmp_queue_cap = s->get_int("rmp_queue_cap", c.rmp_queue_cap);
+    c.aggregation = s->get_time("aggregation", c.aggregation);
+    c.fail_timeout = s->get_time("fail_timeout", c.fail_timeout);
+    c.churn_rate = s->get_double("churn_rate", c.churn_rate);
+    c.churn_start = s->get_time("churn_start", c.churn_start);
+    c.churn_duration = s->get_time("churn_duration", c.churn_duration);
+    c.stall_at = s->get_time("stall_at", c.stall_at);
+    c.stall_duration = s->get_time("stall_duration", c.stall_duration);
+    c.stall_channels = s->get_int("stall_channels", c.stall_channels);
+    c.probe_channels = s->get_int("probe_channels", c.probe_channels);
+    c.validate();  // reject typos at parse time even when enabled=false
+  }
   for (const Section* s : cfg.all("capture")) {
     check_keys(*s, {"element", "file", "format"});
     CaptureSpec c;
@@ -281,6 +317,9 @@ Scenario::Scenario(ScenarioSpec spec) : spec_(std::move(spec)), net_(spec_.paral
   if (spec_.collectives.enabled) {
     collectives_ = std::make_unique<CollectiveDriver>(net_, raw, spec_.collectives);
   }
+  if (spec_.sessions.enabled) {
+    sessions_ = std::make_unique<SessionDriver>(net_, raw, spec_.sessions, spec_.seed);
+  }
   for (const CaptureSpec& c : spec_.captures) {
     int node = parse_capture_node(c.element, n);
     auto w = std::make_unique<obs::PcapWriter>(c.file, parse_capture_format(c.format));
@@ -348,6 +387,14 @@ void Scenario::run() {
         sampler_->mark(e.t, e.kind,
                        "node" + std::to_string(e.node) + "->" + std::to_string(e.dst) +
                            " path" + std::to_string(e.path));
+      }
+    }
+    if (sessions_) {
+      for (int i = 0; i < nodes(); ++i) {
+        for (const session::SessionEvent& e : sessions_->manager(i).events()) {
+          sampler_->mark(e.t, "session", "node" + std::to_string(i) + " " + e.kind + ": " +
+                                             e.detail);
+        }
       }
     }
   }
@@ -471,6 +518,7 @@ obs::RunReport Scenario::report() {
   }
   if (routing_) routing_->report_into(rep);
   if (collectives_) collectives_->report_into(rep);
+  if (sessions_) sessions_->report_into(rep);
   if (sampler_) {
     rep.add("telemetry.samples", static_cast<double>(sampler_->samples()), "count");
     rep.add("telemetry.series", static_cast<double>(sampler_->series_count()), "count");

@@ -27,6 +27,7 @@
 #include "scenario/collectives.hpp"
 #include "scenario/config.hpp"
 #include "scenario/faults.hpp"
+#include "scenario/sessions.hpp"
 #include "scenario/topology.hpp"
 #include "scenario/workload.hpp"
 
@@ -111,6 +112,11 @@ struct ScenarioSpec {
   /// and reports carry no coll.* rows — pre-existing scenarios stay
   /// byte-identical.
   CollectivesSpec collectives;
+  /// Virtual-channel session workload ([sessions] section). Default-off:
+  /// with enabled=false no SessionManager exists, no trunks are wired, and
+  /// reports carry no session.* rows — pre-existing scenarios stay
+  /// byte-identical.
+  SessionsSpec sessions;
   TelemetrySpec telemetry;
   std::vector<WorkloadSpec> workloads;
   std::vector<FaultSpec> faults;
@@ -157,6 +163,8 @@ class Scenario {
   obs::CausalTracer* causal_tracer() { return tracer_.get(); }
   /// The collective driver, or nullptr when [collectives] enabled=false.
   CollectiveDriver* collectives() { return collectives_.get(); }
+  /// The session driver, or nullptr when [sessions] enabled=false.
+  SessionDriver* sessions() { return sessions_.get(); }
   /// The telemetry sampler, or nullptr when [telemetry] enabled=false.
   obs::Sampler* sampler() { return sampler_.get(); }
   /// The conservation auditor, or nullptr when [telemetry] audit is off.
@@ -177,6 +185,7 @@ class Scenario {
   std::unique_ptr<FaultScheduler> faults_;
   std::vector<std::unique_ptr<Workload>> workloads_;
   std::unique_ptr<CollectiveDriver> collectives_;
+  std::unique_ptr<SessionDriver> sessions_;
   std::vector<std::unique_ptr<obs::PcapWriter>> pcaps_;
   std::unique_ptr<obs::Sampler> sampler_;
   std::unique_ptr<obs::Auditor> auditor_;

@@ -1,0 +1,25 @@
+// The CabNectarine session_* surface, defined next to the SessionManager so
+// nectarine itself never links against the session layer (same one-way
+// arrangement as the coll_* glue).
+
+#include "nectarine/cab_api.hpp"
+#include "session/manager.hpp"
+
+namespace nectar::nectarine {
+
+std::uint32_t CabNectarine::session_open(int trunk, std::uint8_t priority, std::uint8_t weight) {
+  if (sessions_ == nullptr) return session::SessionManager::kNoHandle;
+  return sessions_->open_channel(trunk, priority, weight);
+}
+
+session::SendResult CabNectarine::session_send(std::uint32_t channel,
+                                               std::span<const std::uint8_t> payload) {
+  if (sessions_ == nullptr) return session::SendResult::Failed;
+  return sessions_->try_send(channel, payload);
+}
+
+void CabNectarine::session_close(std::uint32_t channel) {
+  if (sessions_ != nullptr) sessions_->close_channel(channel);
+}
+
+}  // namespace nectar::nectarine

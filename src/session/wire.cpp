@@ -1,0 +1,59 @@
+#include "session/wire.hpp"
+
+#include <stdexcept>
+
+#include "proto/headers.hpp"
+
+namespace nectar::session {
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::Open: return "OPEN";
+    case FrameType::OpenAck: return "OPEN_ACK";
+    case FrameType::OpenNak: return "OPEN_NAK";
+    case FrameType::Close: return "CLOSE";
+    case FrameType::CloseAck: return "CLOSE_ACK";
+    case FrameType::Data: return "DATA";
+    case FrameType::Credit: return "CREDIT";
+    case FrameType::Reset: return "RESET";
+  }
+  return "?";
+}
+
+void FrameHeader::serialize(std::span<std::uint8_t> out) const {
+  if (out.size() < kSize) throw std::length_error("session::FrameHeader: buffer too small");
+  proto::put16(out, 0, channel);
+  out[2] = generation;
+  out[3] = static_cast<std::uint8_t>(type);
+  proto::put16(out, 4, seq);
+  proto::put16(out, 6, credit);
+  proto::put16(out, 8, length);
+}
+
+FrameHeader FrameHeader::parse(std::span<const std::uint8_t> in) {
+  if (in.size() < kSize) throw std::length_error("session::FrameHeader: truncated frame");
+  FrameHeader h;
+  h.channel = proto::get16(in, 0);
+  h.generation = in[2];
+  std::uint8_t t = in[3];
+  if (t < static_cast<std::uint8_t>(FrameType::Open) ||
+      t > static_cast<std::uint8_t>(FrameType::Reset)) {
+    throw std::invalid_argument("session::FrameHeader: unknown frame type " + std::to_string(t));
+  }
+  h.type = static_cast<FrameType>(t);
+  h.seq = proto::get16(in, 4);
+  h.credit = proto::get16(in, 6);
+  h.length = proto::get16(in, 8);
+  return h;
+}
+
+std::string FrameHeader::describe() const {
+  std::string s = frame_type_name(type);
+  s += " ch" + std::to_string(channel) + "#" + std::to_string(generation);
+  s += " seq=" + std::to_string(seq);
+  s += " credit=" + std::to_string(credit);
+  s += " len=" + std::to_string(length);
+  return s;
+}
+
+}  // namespace nectar::session

@@ -1,0 +1,68 @@
+#pragma once
+
+// Session-layer wire format: the compact per-channel frame header that
+// multiplexes thousands of logical channels over one trunk connection
+// (docs/SESSIONS.md). Every trunk message is a sequence of frames, each a
+// 10-byte header optionally followed by `length` payload bytes; the single
+// -frame fast path instead composes this header through the HeaderBuf
+// headroom path (Rmp prefix headers), so the common case stays
+// allocation-free end to end.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace nectar::session {
+
+/// Frame discriminator. Open/Close/Data travel initiator → responder;
+/// OpenAck/OpenNak/CloseAck/Credit/Reset travel responder → initiator. All
+/// frames carry the *initiator's* channel id, so each direction of a trunk
+/// has its own id space and the two never collide.
+enum class FrameType : std::uint8_t {
+  Open = 1,      ///< open a channel; seq carries (priority << 8) | weight
+  OpenAck = 2,   ///< accepted; credit carries the initial grant
+  OpenNak = 3,   ///< refused (admission); seq carries a reason code
+  Close = 4,     ///< orderly close after all data
+  CloseAck = 5,  ///< close confirmed; the id may now be reused (generation+1)
+  Data = 6,      ///< seq = per-channel sequence, length = payload bytes
+  Credit = 7,    ///< flow-control replenishment; credit = messages granted
+  Reset = 8,     ///< abortive teardown; seq carries a reason code
+};
+
+const char* frame_type_name(FrameType t);
+
+/// Refusal / reset reason codes (OpenNak.seq, Reset.seq).
+enum class SessionReason : std::uint16_t {
+  kNone = 0,
+  kAdmissionFull = 1,  ///< per-trunk max_channels reached
+  kBadGeneration = 2,  ///< frame for a dead incarnation of a reused id
+  kUnknownChannel = 3,
+  kTrunkFailed = 4,
+};
+
+/// One session frame header. 10 bytes on the wire, big-endian like every
+/// other Nectar header (proto/headers.hpp).
+struct FrameHeader {
+  static constexpr std::size_t kSize = 10;
+
+  std::uint16_t channel = 0;    ///< initiator-side channel id within the trunk
+  std::uint8_t generation = 0;  ///< churn-safe reuse tag; must match both ends
+  FrameType type = FrameType::Data;
+  std::uint16_t seq = 0;     ///< Data: sequence; Open: priority/weight; Nak/Reset: reason
+  std::uint16_t credit = 0;  ///< OpenAck/Credit: message grant
+  std::uint16_t length = 0;  ///< Data: payload bytes following this header
+
+  void serialize(std::span<std::uint8_t> out) const;
+  static FrameHeader parse(std::span<const std::uint8_t> in);
+
+  /// Open frames pack the channel's scheduling class and weight into seq.
+  static std::uint16_t pack_open_params(std::uint8_t priority, std::uint8_t weight) {
+    return static_cast<std::uint16_t>((priority << 8) | weight);
+  }
+  std::uint8_t open_priority() const { return static_cast<std::uint8_t>(seq >> 8); }
+  std::uint8_t open_weight() const { return static_cast<std::uint8_t>(seq & 0xff); }
+
+  std::string describe() const;
+};
+
+}  // namespace nectar::session

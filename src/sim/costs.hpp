@@ -158,6 +158,14 @@ constexpr SimTime kChecksumPerByte = 152;  // ns/byte (~2.5 CAB cycles)
 constexpr SimTime kNectarProtoSend = 5'000;
 constexpr SimTime kNectarProtoRecv = 4'000;
 
+/// [derived] Session layer (src/session): per-frame header compose/parse is
+/// a couple dozen CAB cycles — the whole point of multiplexing is that a
+/// logical channel costs a frame, not a protocol connection.
+constexpr SimTime kSessionFrameSend = cab_cycles(20);  // ~1.2 us
+constexpr SimTime kSessionFrameRecv = cab_cycles(16);  // ~1.0 us
+constexpr SimTime kSessionOpen = cab_cycles(30);       // channel state setup
+constexpr SimTime kSessionStage = cab_cycles(12);      // try_send bookkeeping
+
 // ---------------------------------------------------------------------------
 // Host (Sun-4 workstation, paper §6)
 // ---------------------------------------------------------------------------

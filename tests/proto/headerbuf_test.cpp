@@ -1,0 +1,110 @@
+#include "proto/headerbuf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "proto/headers.hpp"
+#include "session/wire.hpp"
+
+namespace nectar::proto {
+namespace {
+
+TEST(HeaderBufTest, HeadroomAccounting) {
+  HeaderBuf b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.headroom_remaining(), HeaderBuf::kCapacity);
+  b.push_front(10);
+  EXPECT_EQ(b.headroom_remaining(), HeaderBuf::kCapacity - 10);
+  EXPECT_EQ(b.size(), 10u);
+  b.push_front(4);
+  EXPECT_EQ(b.headroom_remaining(), HeaderBuf::kCapacity - 14);
+  b.reset();
+  EXPECT_EQ(b.headroom_remaining(), HeaderBuf::kCapacity);
+}
+
+TEST(HeaderBufTest, PrependComposesBackToFront) {
+  HeaderBuf b;
+  std::span<std::uint8_t> inner = b.push_front(3);
+  inner[0] = 'i';
+  inner[1] = 'n';
+  inner[2] = 'r';
+  std::span<std::uint8_t> outer = b.push_front(2);
+  outer[0] = 'o';
+  outer[1] = 'u';
+  std::span<const std::uint8_t> all = b.bytes();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0], 'o');
+  EXPECT_EQ(all[1], 'u');
+  EXPECT_EQ(all[2], 'i');
+}
+
+// The two deepest header stacks the simulator composes must fit kCapacity:
+// the Nectar-native path with every optional layer on — session frame +
+// Nectar reliable-message header + causal-trace stamp + datalink — and the
+// TCP/IP path with the stamp. A new layer that would overflow should fail
+// this test (at compile-size level) rather than corrupt wire bytes at run
+// time.
+TEST(HeaderBufTest, DeepestStacksFitTheHeadroom) {
+  {
+    HeaderBuf b;
+    b.push_front(session::FrameHeader::kSize);  // 10
+    b.push_front(NectarHeader::kSize);          // 14
+    b.push_front(obs::kTraceStampBytes);        // 16
+    b.push_front(DatalinkHeader::kSize);        // 4
+    EXPECT_EQ(b.size(), session::FrameHeader::kSize + NectarHeader::kSize +
+                            obs::kTraceStampBytes + DatalinkHeader::kSize);
+    EXPECT_GE(b.headroom_remaining(), 0u);
+  }
+  {
+    HeaderBuf b;
+    b.push_front(TcpHeader::kSize);       // 20
+    b.push_front(IpHeader::kSize);        // 20
+    b.push_front(obs::kTraceStampBytes);  // 16
+    b.push_front(DatalinkHeader::kSize);  // 4
+    EXPECT_EQ(b.size(), 60u);
+  }
+}
+
+TEST(HeaderBufTest, OverflowThrowsInsteadOfCorrupting) {
+  HeaderBuf b;
+  std::span<std::uint8_t> claimed = b.push_front(60);
+  std::iota(claimed.begin(), claimed.end(), std::uint8_t{0});
+  try {
+    b.push_front(5);  // only 4 left
+    FAIL() << "push_front past the headroom should throw";
+  } catch (const std::logic_error& e) {
+    // Loud and attributable: the message names the request and what's left.
+    EXPECT_NE(std::string(e.what()).find("requested 5"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("4 of 64"), std::string::npos) << e.what();
+  }
+  // The failed claim consumed nothing and corrupted nothing.
+  EXPECT_EQ(b.headroom_remaining(), 4u);
+  ASSERT_EQ(b.size(), 60u);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(b.bytes()[i], static_cast<std::uint8_t>(i));
+  }
+}
+
+TEST(HeaderBufTest, LeaseRecyclesThroughThePool) {
+  HeaderBufPool& pool = HeaderBufPool::instance();
+  pool.trim();
+  std::uint64_t before = pool.acquires();
+  {
+    HeaderBufLease l = HeaderBufLease::acquire();
+    l->push_front(8);
+  }
+  {
+    HeaderBufLease l = HeaderBufLease::acquire();
+    // Recycled buffers come back reset, not with the previous tenant's bytes.
+    EXPECT_TRUE(l->empty());
+    EXPECT_EQ(l->headroom_remaining(), HeaderBuf::kCapacity);
+  }
+  EXPECT_EQ(pool.acquires(), before + 2);
+}
+
+}  // namespace
+}  // namespace nectar::proto

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "scenario/engine.hpp"
+
 namespace nectar::scenario {
 namespace {
 
@@ -77,6 +79,48 @@ TEST(ConfigTest, MalformedInputThrowsWithLineNumber) {
   EXPECT_THROW(Config::parse_string("[unclosed\n"), std::runtime_error);
   EXPECT_THROW(Config::parse_string("[s]\na = 1\na = 2\n"), std::runtime_error);
   EXPECT_THROW(Config::parse_string("[s]\n= nokey\n"), std::runtime_error);
+}
+
+// A misspelled key in ANY section must fail loudly at parse time: every
+// section added since the scenario engine landed carries the same
+// check_keys contract. One case per section, each with a plausible typo.
+TEST(ConfigTest, EverySectionRejectsUnknownKeys) {
+  auto rejects = [](const std::string& ini) {
+    try {
+      ScenarioSpec::from_config(Config::parse_string(ini));
+      return false;
+    } catch (const std::runtime_error& e) {
+      return std::string(e.what()).find("unknown key") != std::string::npos;
+    }
+  };
+  EXPECT_TRUE(rejects("[scenario]\nsede = 1\n"));
+  EXPECT_TRUE(rejects("[topology]\nnode = 4\n"));
+  EXPECT_TRUE(rejects("[workload]\nproto = rmp\nrat = 100\n"));
+  EXPECT_TRUE(rejects("[fault]\nkind = link_drop\ntargt = node0.link\n"));
+  EXPECT_TRUE(rejects("[capture]\nelement = node0.link\nfile = x.pcap\nfromat = raw_ip\n"));
+  EXPECT_TRUE(rejects("[profile]\nfoldd = out.folded\n"));
+  // Sections added after PR 3, same contract:
+  EXPECT_TRUE(rejects("[parallel]\nshard = 4\n"));
+  EXPECT_TRUE(rejects("[routing]\npath = 2\n"));
+  EXPECT_TRUE(rejects("[collectives]\nopp = barrier\n"));
+  EXPECT_TRUE(rejects("[telemetry]\nintervall = 1ms\n"));
+  EXPECT_TRUE(rejects("[tracing]\nsampel = 0.5\n"));
+  EXPECT_TRUE(rejects("[sessions]\nchanels = 100\n"));
+}
+
+// Disabled sections still validate their values — a typo'd *value* must not
+// hide behind enabled=false.
+TEST(ConfigTest, DisabledSectionsStillValidateValues) {
+  EXPECT_THROW(
+      ScenarioSpec::from_config(Config::parse_string("[collectives]\nop = gather\n")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ScenarioSpec::from_config(Config::parse_string("[sessions]\ntrunk_proto = udp\n")),
+      std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[sessions]\nclasses = 9\n")),
+               std::runtime_error);
+  EXPECT_THROW(ScenarioSpec::from_config(Config::parse_string("[sessions]\nsize = 4\n")),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,73 @@
+#include "session/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <stdexcept>
+
+namespace nectar::session {
+namespace {
+
+TEST(SessionWireTest, HeaderRoundtripsAllFields) {
+  FrameHeader h;
+  h.channel = 0xbeef;
+  h.generation = 0x7a;
+  h.type = FrameType::Data;
+  h.seq = 12345;
+  h.credit = 678;
+  h.length = 4321;
+  std::array<std::uint8_t, FrameHeader::kSize> buf{};
+  h.serialize(buf);
+  FrameHeader g = FrameHeader::parse(buf);
+  EXPECT_EQ(g.channel, h.channel);
+  EXPECT_EQ(g.generation, h.generation);
+  EXPECT_EQ(g.type, FrameType::Data);
+  EXPECT_EQ(g.seq, h.seq);
+  EXPECT_EQ(g.credit, h.credit);
+  EXPECT_EQ(g.length, h.length);
+}
+
+TEST(SessionWireTest, EveryFrameTypeRoundtrips) {
+  for (FrameType t : {FrameType::Open, FrameType::OpenAck, FrameType::OpenNak, FrameType::Close,
+                      FrameType::CloseAck, FrameType::Data, FrameType::Credit,
+                      FrameType::Reset}) {
+    FrameHeader h;
+    h.type = t;
+    std::array<std::uint8_t, FrameHeader::kSize> buf{};
+    h.serialize(buf);
+    EXPECT_EQ(FrameHeader::parse(buf).type, t) << frame_type_name(t);
+  }
+}
+
+TEST(SessionWireTest, ParseRejectsTruncationAndGarbage) {
+  std::array<std::uint8_t, FrameHeader::kSize> buf{};
+  FrameHeader h;
+  h.type = FrameType::Open;
+  h.serialize(buf);
+  EXPECT_THROW(FrameHeader::parse(std::span<const std::uint8_t>(buf.data(), 9)),
+               std::length_error);
+  buf[3] = 0;  // type byte outside the enum
+  EXPECT_THROW(FrameHeader::parse(buf), std::invalid_argument);
+  buf[3] = 99;
+  EXPECT_THROW(FrameHeader::parse(buf), std::invalid_argument);
+}
+
+TEST(SessionWireTest, OpenParamsPackPriorityAndWeight) {
+  FrameHeader h;
+  h.type = FrameType::Open;
+  h.seq = FrameHeader::pack_open_params(3, 200);
+  EXPECT_EQ(h.open_priority(), 3);
+  EXPECT_EQ(h.open_weight(), 200);
+}
+
+TEST(SessionWireTest, DescribeNamesTheFrame) {
+  FrameHeader h;
+  h.channel = 7;
+  h.type = FrameType::Credit;
+  std::string d = h.describe();
+  EXPECT_NE(d.find("CREDIT"), std::string::npos) << d;
+  EXPECT_NE(d.find('7'), std::string::npos) << d;
+}
+
+}  // namespace
+}  // namespace nectar::session
